@@ -1,0 +1,124 @@
+//! EXPLAIN-style rendering of logical plans, in the spirit of Figure 6.
+
+use std::fmt::Write as _;
+
+use sgl_lang::pretty::{cond_to_string, term_to_string};
+
+use crate::optimizer::{Optimized, PlanStats};
+use crate::plan::LogicalPlan;
+
+/// Render a plan as an indented operator tree (root first).
+pub fn explain(plan: &LogicalPlan) -> String {
+    let mut out = String::new();
+    write_node(&mut out, plan, 0);
+    out
+}
+
+fn write_node(out: &mut String, plan: &LogicalPlan, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+    match plan {
+        LogicalPlan::Scan => {
+            let _ = writeln!(out, "Scan E");
+        }
+        LogicalPlan::Empty => {
+            let _ = writeln!(out, "Empty");
+        }
+        LogicalPlan::Select { input, predicate } => {
+            let _ = writeln!(out, "Select σ[{}]", cond_to_string(predicate));
+            write_node(out, input, level + 1);
+        }
+        LogicalPlan::ExtendAgg { input, name, call } => {
+            let args: Vec<String> = call.args.iter().map(term_to_string).collect();
+            let _ = writeln!(out, "ExtendAgg π[*, {}({}) AS {}]", call.name, args.join(", "), name);
+            write_node(out, input, level + 1);
+        }
+        LogicalPlan::ExtendExpr { input, name, term } => {
+            let _ = writeln!(out, "ExtendExpr π[*, {} AS {}]", term_to_string(term), name);
+            write_node(out, input, level + 1);
+        }
+        LogicalPlan::Apply { input, action, args } => {
+            let args: Vec<String> = args.iter().map(term_to_string).collect();
+            let _ = writeln!(out, "Apply {}⊕({})", action, args.join(", "));
+            write_node(out, input, level + 1);
+        }
+        LogicalPlan::Combine { inputs } => {
+            let _ = writeln!(out, "Combine ⊕ ({} inputs)", inputs.len());
+            for i in inputs {
+                write_node(out, i, level + 1);
+            }
+        }
+        LogicalPlan::CombineWithEnv { input } => {
+            let _ = writeln!(out, "CombineWithEnv ⊕ E");
+            write_node(out, input, level + 1);
+        }
+    }
+}
+
+/// Render a one-line summary of plan statistics.
+pub fn stats_line(stats: &PlanStats) -> String {
+    format!(
+        "{} nodes, {} aggregate extensions ({} distinct), {} actions, depth {}",
+        stats.nodes, stats.aggregate_nodes, stats.distinct_aggregates, stats.apply_nodes, stats.depth
+    )
+}
+
+/// Render a before/after report for an optimization result.
+pub fn explain_optimized(optimized: &Optimized) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "before: {}", stats_line(&optimized.before));
+    let _ = writeln!(out, "after:  {}", stats_line(&optimized.after));
+    let _ = writeln!(out, "--- optimized plan ---");
+    out.push_str(&explain(&optimized.plan));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::optimize;
+    use crate::translate::translate;
+    use sgl_lang::builtins::paper_registry;
+    use sgl_lang::normalize::normalize;
+    use sgl_lang::parser::parse_script;
+
+    #[test]
+    fn explain_renders_every_operator() {
+        let script = parse_script(
+            r#"main(u) {
+                (let c = CountEnemiesInRange(u, 12))
+                if c > 4 then perform MoveInDirection(u, 0, 0);
+                else perform FireAt(u, getNearestEnemy(u).key);
+            }"#,
+        )
+        .unwrap();
+        let registry = paper_registry();
+        let normal = normalize(&script, &registry).unwrap();
+        let plan = translate(&normal);
+        let text = explain(&plan);
+        assert!(text.contains("CombineWithEnv"));
+        assert!(text.contains("Combine ⊕"));
+        assert!(text.contains("Select σ["));
+        assert!(text.contains("ExtendAgg π[*, CountEnemiesInRange"));
+        assert!(text.contains("Apply MoveInDirection⊕"));
+        assert!(text.contains("Scan E"));
+
+        let optimized = optimize(plan, &registry);
+        let report = explain_optimized(&optimized);
+        assert!(report.contains("before:"));
+        assert!(report.contains("after:"));
+        assert!(report.contains("distinct"));
+    }
+
+    #[test]
+    fn empty_plan_renders() {
+        assert_eq!(explain(&LogicalPlan::Empty).trim(), "Empty");
+        let text = explain(&LogicalPlan::ExtendExpr {
+            input: Box::new(LogicalPlan::Scan),
+            name: "x".into(),
+            term: sgl_lang::ast::Term::int(1),
+        });
+        assert!(text.contains("ExtendExpr"));
+    }
+}

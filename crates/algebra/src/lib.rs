@@ -1,0 +1,55 @@
+//! # sgl-algebra — bag algebra, translation and query optimization for SGL
+//!
+//! This crate implements §5.1–5.2 of *Scaling Games to Epic Proportions*:
+//!
+//! * [`plan`] — a bag algebra over extended environment relations with the
+//!   combination operator `⊕` ([`plan::LogicalPlan`]);
+//! * [`translate`] — the compositional translation from normalised SGL
+//!   scripts to plans (`[[f1; f2]]⊕`, `[[if φ then f]]⊕`, `[[let]]⊕`, Eq. (6));
+//! * [`rules`] — the rewrite rules of Figure 7 / Example 5.1: dead-column
+//!   elimination, extension pull-up past selections, `⊕` flattening and
+//!   elimination of the final `⊕ E`;
+//! * [`optimizer`] — the rule driver, plan statistics and a simple cost model
+//!   comparing naive and index-based evaluation;
+//! * [`explain`] — Figure-6-style rendering of plans.
+//!
+//! The physical counterpart (per-aggregate index selection and set-at-a-time
+//! evaluation) lives in `sgl-exec`.
+
+#![warn(missing_docs)]
+
+pub mod explain;
+pub mod optimizer;
+pub mod plan;
+pub mod rules;
+pub mod translate;
+
+pub use explain::{explain, explain_optimized};
+pub use optimizer::{
+    estimate_cost, optimize, optimize_with, plan_stats, CostEstimate, Optimized, OptimizerOptions,
+    PlanStats,
+};
+pub use plan::LogicalPlan;
+pub use rules::RuleKind;
+pub use translate::{translate, translate_action};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_lang::builtins::paper_registry;
+    use sgl_lang::normalize::normalize;
+    use sgl_lang::parser::parse_script;
+
+    #[test]
+    fn end_to_end_compile_to_optimized_plan() {
+        let registry = paper_registry();
+        let script = parse_script(
+            "main(u) { (let c = CountEnemiesInRange(u, 8)) if c > 2 then perform Heal(u); }",
+        )
+        .unwrap();
+        let normal = normalize(&script, &registry).unwrap();
+        let optimized = optimize(translate(&normal), &registry);
+        assert_eq!(optimized.after.distinct_aggregates, 1);
+        assert!(explain(&optimized.plan).contains("Heal"));
+    }
+}

@@ -1,0 +1,214 @@
+//! The bag-algebra plan language (paper §5.1).
+//!
+//! Plans operate on *extended environment relations*: the environment `E`
+//! extended by the columns introduced through `let` statements.  The leaves
+//! are scans of `E`; unary operators select units, extend them with computed
+//! or aggregate columns, or apply built-in actions turning a unit relation
+//! into an *effect relation*; the combination operator `⊕` merges effect
+//! relations (and, at the root, merges with `E` itself so every unit appears
+//! in the tick output).
+
+use sgl_lang::ast::{AggCall, Cond, Term};
+
+/// A logical query plan for one SGL script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// The environment relation `E` (one row per unit).
+    Scan,
+    /// `σ_pred` — keep the units satisfying the predicate.
+    Select {
+        /// Input relation.
+        input: Box<LogicalPlan>,
+        /// Per-unit predicate over `u.*` and extended columns.
+        predicate: Cond,
+    },
+    /// `π_{*, agg(*) AS name}` — extend every unit with the result of an
+    /// aggregate function (evaluated against the full environment `E`).
+    ExtendAgg {
+        /// Input relation.
+        input: Box<LogicalPlan>,
+        /// Name of the new column (record-valued for multi-output aggregates).
+        name: String,
+        /// The aggregate call.
+        call: AggCall,
+    },
+    /// `π_{*, f(*) AS name}` — extend every unit with a computed expression.
+    ExtendExpr {
+        /// Input relation.
+        input: Box<LogicalPlan>,
+        /// Name of the new column.
+        name: String,
+        /// The expression.
+        term: Term,
+    },
+    /// `act⊕` — apply a built-in action function for every unit flowing in,
+    /// producing a (already per-action combined) effect relation.
+    Apply {
+        /// Input relation (the acting units).
+        input: Box<LogicalPlan>,
+        /// Name of the built-in action.
+        action: String,
+        /// Argument terms (over `u.*` and extended columns).
+        args: Vec<Term>,
+    },
+    /// `⊕` of several effect relations.
+    Combine {
+        /// The effect relations being combined.
+        inputs: Vec<LogicalPlan>,
+    },
+    /// `⊕ E` — combine an effect relation with the environment itself so that
+    /// every unit is present in the tick output (Eq. (6)).
+    CombineWithEnv {
+        /// The effect relation.
+        input: Box<LogicalPlan>,
+    },
+    /// The empty effect relation (produced by the empty action).
+    Empty,
+}
+
+impl LogicalPlan {
+    /// Wrap in a selection.
+    pub fn select(self, predicate: Cond) -> LogicalPlan {
+        LogicalPlan::Select { input: Box::new(self), predicate }
+    }
+
+    /// Wrap in an aggregate extension.
+    pub fn extend_agg(self, name: impl Into<String>, call: AggCall) -> LogicalPlan {
+        LogicalPlan::ExtendAgg { input: Box::new(self), name: name.into(), call }
+    }
+
+    /// Wrap in an expression extension.
+    pub fn extend_expr(self, name: impl Into<String>, term: Term) -> LogicalPlan {
+        LogicalPlan::ExtendExpr { input: Box::new(self), name: name.into(), term }
+    }
+
+    /// Wrap in an action application.
+    pub fn apply(self, action: impl Into<String>, args: Vec<Term>) -> LogicalPlan {
+        LogicalPlan::Apply { input: Box::new(self), action: action.into(), args }
+    }
+
+    /// Number of nodes in the plan tree.
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            LogicalPlan::Scan | LogicalPlan::Empty => 0,
+            LogicalPlan::Select { input, .. }
+            | LogicalPlan::ExtendAgg { input, .. }
+            | LogicalPlan::ExtendExpr { input, .. }
+            | LogicalPlan::Apply { input, .. }
+            | LogicalPlan::CombineWithEnv { input } => input.node_count(),
+            LogicalPlan::Combine { inputs } => inputs.iter().map(LogicalPlan::node_count).sum(),
+        }
+    }
+
+    /// Children of this node (for generic traversals).
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan | LogicalPlan::Empty => Vec::new(),
+            LogicalPlan::Select { input, .. }
+            | LogicalPlan::ExtendAgg { input, .. }
+            | LogicalPlan::ExtendExpr { input, .. }
+            | LogicalPlan::Apply { input, .. }
+            | LogicalPlan::CombineWithEnv { input } => vec![input],
+            LogicalPlan::Combine { inputs } => inputs.iter().collect(),
+        }
+    }
+
+    /// Count the aggregate-extension nodes in the plan.
+    pub fn count_agg_nodes(&self) -> usize {
+        let own = usize::from(matches!(self, LogicalPlan::ExtendAgg { .. }));
+        own + self.children().iter().map(|c| c.count_agg_nodes()).sum::<usize>()
+    }
+
+    /// Count the action-application nodes in the plan.
+    pub fn count_apply_nodes(&self) -> usize {
+        let own = usize::from(matches!(self, LogicalPlan::Apply { .. }));
+        own + self.children().iter().map(|c| c.count_apply_nodes()).sum::<usize>()
+    }
+
+    /// Collect every aggregate call in the plan (with duplicates).
+    pub fn aggregate_calls(&self) -> Vec<&AggCall> {
+        let mut out = Vec::new();
+        fn walk<'a>(plan: &'a LogicalPlan, out: &mut Vec<&'a AggCall>) {
+            if let LogicalPlan::ExtendAgg { call, .. } = plan {
+                out.push(call);
+            }
+            for c in plan.children() {
+                walk(c, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Collect the names of all actions applied in the plan.
+    pub fn action_names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        fn walk<'a>(plan: &'a LogicalPlan, out: &mut Vec<&'a str>) {
+            if let LogicalPlan::Apply { action, .. } = plan {
+                out.push(action.as_str());
+            }
+            for c in plan.children() {
+                walk(c, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Depth of the plan tree.
+    pub fn depth(&self) -> usize {
+        1 + self.children().iter().map(|c| c.depth()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_lang::ast::CmpOp;
+
+    fn sample_plan() -> LogicalPlan {
+        let count = AggCall { name: "CountEnemiesInRange".into(), args: vec![Term::unit("range")] };
+        let branch1 = LogicalPlan::Scan
+            .extend_agg("c", count.clone())
+            .select(Cond::cmp(CmpOp::Gt, Term::name("c"), Term::int(3)))
+            .apply("MoveInDirection", vec![Term::int(0), Term::int(0)]);
+        let branch2 = LogicalPlan::Scan
+            .extend_agg("c", count)
+            .select(Cond::cmp(CmpOp::Le, Term::name("c"), Term::int(3)))
+            .apply("FireAt", vec![Term::name("target")]);
+        LogicalPlan::CombineWithEnv {
+            input: Box::new(LogicalPlan::Combine { inputs: vec![branch1, branch2] }),
+        }
+    }
+
+    #[test]
+    fn node_and_agg_counting() {
+        let plan = sample_plan();
+        assert_eq!(plan.count_agg_nodes(), 2);
+        assert_eq!(plan.count_apply_nodes(), 2);
+        assert_eq!(plan.aggregate_calls().len(), 2);
+        assert_eq!(plan.action_names(), vec!["MoveInDirection", "FireAt"]);
+        assert!(plan.node_count() >= 10);
+        assert!(plan.depth() >= 5);
+    }
+
+    #[test]
+    fn builders_nest_correctly() {
+        let plan = LogicalPlan::Scan.select(Cond::Lit(true)).extend_expr("x", Term::int(1));
+        match plan {
+            LogicalPlan::ExtendExpr { input, name, .. } => {
+                assert_eq!(name, "x");
+                assert!(matches!(*input, LogicalPlan::Select { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn children_of_leaves_are_empty() {
+        assert!(LogicalPlan::Scan.children().is_empty());
+        assert!(LogicalPlan::Empty.children().is_empty());
+        assert_eq!(LogicalPlan::Scan.node_count(), 1);
+        assert_eq!(LogicalPlan::Empty.depth(), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Initial army formations for scenario generation.
+//!
+//! Section 3.2 motivates the scripting language with formation behaviour —
+//! "archers stay behind armored troops in order to protect them", knights
+//! "close ranks to keep the enemies from going through".  Whether that
+//! behaviour is visible in a run depends a lot on how the armies start, so
+//! the scenario generator supports several classical RTS deployment shapes in
+//! addition to the paper's uniform scatter:
+//!
+//! * [`Formation::Scattered`] — uniform random placement inside the player's
+//!   deployment zone (the §6 setup; the default);
+//! * [`Formation::Line`] — ranks parallel to the front, knights first,
+//!   archers behind, healers in the rear (the §3.2 example made literal);
+//! * [`Formation::Wedge`] — a triangular spearhead pointing at the enemy;
+//! * [`Formation::Box`] — a dense square block (the worst case for the
+//!   clustered-query behaviour discussed in §5.3.1, and therefore the most
+//!   interesting one for index benchmarks).
+//!
+//! Placement is a pure function of `(formation, player, slot index, army
+//! size, world size)` plus the scenario RNG for jitter, so scenarios stay
+//! reproducible.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::UnitKind;
+
+/// Deployment shape of one player's army.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Formation {
+    /// Uniform random placement in the deployment zone (paper §6 default).
+    #[default]
+    Scattered,
+    /// Ranked line: knights at the front, archers behind, healers in the rear.
+    Line,
+    /// Triangular wedge pointing at the enemy.
+    Wedge,
+    /// Dense square block.
+    Box,
+}
+
+impl Formation {
+    /// All formations, for sweeps and ablation benchmarks.
+    pub const ALL: [Formation; 4] =
+        [Formation::Scattered, Formation::Line, Formation::Wedge, Formation::Box];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Formation::Scattered => "scattered",
+            Formation::Line => "line",
+            Formation::Wedge => "wedge",
+            Formation::Box => "box",
+        }
+    }
+}
+
+/// The deployment zone of a player: player 0 owns the left 40 % of the map,
+/// player 1 the right 40 % (the armies start separated and advance, as in the
+/// §6 experiments).
+pub fn deployment_zone(player: i64, world: f64) -> (f64, f64) {
+    if player == 0 {
+        (0.0, world * 0.4)
+    } else {
+        (world * 0.6, world)
+    }
+}
+
+/// Compute the position of the `slot`-th unit (of `army_size`) of `player` in
+/// the given formation.  `kind` influences ranked formations (knights front,
+/// healers rear).  `rng` supplies deterministic jitter.
+pub fn place(
+    formation: Formation,
+    player: i64,
+    slot: usize,
+    army_size: usize,
+    kind: UnitKind,
+    world: f64,
+    rng: &mut SmallRng,
+) -> (f64, f64) {
+    let (x_lo, x_hi) = deployment_zone(player, world);
+    let zone_width = x_hi - x_lo;
+    // The "front" is the zone edge facing the enemy.
+    let front = if player == 0 { x_hi } else { x_lo };
+    let toward_rear = if player == 0 { -1.0 } else { 1.0 };
+    let n = army_size.max(1);
+
+    match formation {
+        Formation::Scattered => (rng.gen_range(x_lo..x_hi.max(x_lo + 1e-6)), rng.gen_range(0.0..world.max(1e-6))),
+        Formation::Line => {
+            // Rank by unit kind (knights 0, archers 1, healers 2), several
+            // files per rank; ranks are spaced so the whole army fits in the
+            // front half of the deployment zone.
+            let rank = kind.code() as f64;
+            let per_rank = (n as f64 / 3.0).ceil().max(1.0);
+            let file = (slot % per_rank as usize) as f64;
+            let rank_depth = (zone_width * 0.5 / 3.0).max(1.5);
+            let spacing = (world * 0.8 / per_rank).max(1.2);
+            let x = front + toward_rear * (rank + 0.5) * rank_depth + rng.gen_range(-0.3..0.3);
+            let y = world * 0.1 + file * spacing + rng.gen_range(-0.3..0.3);
+            (x.clamp(0.0, world), y.clamp(0.0, world))
+        }
+        Formation::Wedge => {
+            // Row r holds r + 1 units; the apex points at the enemy.
+            let mut row = 0usize;
+            let mut first_in_row = 0usize;
+            while first_in_row + row + 1 <= slot {
+                first_in_row += row + 1;
+                row += 1;
+            }
+            let index_in_row = slot - first_in_row;
+            let spacing = 1.6;
+            let x = front + toward_rear * (row as f64 + 0.5) * spacing;
+            let y = world / 2.0 + (index_in_row as f64 - row as f64 / 2.0) * spacing
+                + rng.gen_range(-0.2..0.2);
+            (x.clamp(0.0, world), y.clamp(0.0, world))
+        }
+        Formation::Box => {
+            // A dense side × side block centred in the deployment zone.
+            let side = (n as f64).sqrt().ceil().max(1.0);
+            let spacing = 1.4;
+            let col = (slot as f64) % side;
+            let row = (slot as f64 / side).floor();
+            let cx = x_lo + zone_width / 2.0;
+            let cy = world / 2.0;
+            let x = cx + (col - side / 2.0) * spacing * toward_rear + rng.gen_range(-0.2..0.2);
+            let y = cy + (row - side / 2.0) * spacing + rng.gen_range(-0.2..0.2);
+            (x.clamp(0.0, world), y.clamp(0.0, world))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn positions(formation: Formation, player: i64, n: usize, world: f64) -> Vec<(f64, f64)> {
+        let mut rng = SmallRng::seed_from_u64(7);
+        (0..n)
+            .map(|slot| {
+                let kind = UnitKind::ALL[slot % 3];
+                place(formation, player, slot, n, kind, world, &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_formations_stay_inside_the_world() {
+        for formation in Formation::ALL {
+            for player in [0i64, 1] {
+                for (x, y) in positions(formation, player, 200, 120.0) {
+                    assert!((0.0..=120.0).contains(&x), "{formation:?} x = {x}");
+                    assert!((0.0..=120.0).contains(&y), "{formation:?} y = {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scattered_positions_stay_in_the_deployment_zone() {
+        for player in [0i64, 1] {
+            let (lo, hi) = deployment_zone(player, 100.0);
+            for (x, _) in positions(Formation::Scattered, player, 300, 100.0) {
+                assert!(x >= lo && x <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn deployment_zones_do_not_overlap() {
+        let (l0, h0) = deployment_zone(0, 100.0);
+        let (l1, h1) = deployment_zone(1, 100.0);
+        assert!(h0 <= l1);
+        assert!(l0 < h0 && l1 < h1);
+    }
+
+    #[test]
+    fn line_formation_puts_knights_closer_to_the_front_than_healers() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let world = 100.0;
+        // Player 0: front is at x = 40; larger x = closer to the enemy.
+        let (knight_x, _) = place(Formation::Line, 0, 0, 90, UnitKind::Knight, world, &mut rng);
+        let (healer_x, _) = place(Formation::Line, 0, 0, 90, UnitKind::Healer, world, &mut rng);
+        assert!(knight_x > healer_x, "knights ({knight_x}) should screen healers ({healer_x})");
+        // Player 1: mirrored.
+        let (knight_x, _) = place(Formation::Line, 1, 0, 90, UnitKind::Knight, world, &mut rng);
+        let (healer_x, _) = place(Formation::Line, 1, 0, 90, UnitKind::Healer, world, &mut rng);
+        assert!(knight_x < healer_x);
+    }
+
+    #[test]
+    fn box_formation_is_denser_than_scattered() {
+        let spread = |points: &[(f64, f64)]| {
+            let n = points.len() as f64;
+            let mx = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+            let my = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+            points.iter().map(|(x, y)| ((x - mx).powi(2) + (y - my).powi(2)).sqrt()).sum::<f64>() / n
+        };
+        let scattered = spread(&positions(Formation::Scattered, 0, 150, 200.0));
+        let boxed = spread(&positions(Formation::Box, 0, 150, 200.0));
+        assert!(boxed < scattered / 2.0, "box spread {boxed} vs scattered {scattered}");
+    }
+
+    #[test]
+    fn wedge_rows_grow_toward_the_rear() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let world = 100.0;
+        // Slot 0 is the apex (row 0); slot 10 is in a later row, further from
+        // the front for player 0 (smaller x).
+        let (apex_x, _) = place(Formation::Wedge, 0, 0, 60, UnitKind::Knight, world, &mut rng);
+        let (rear_x, _) = place(Formation::Wedge, 0, 10, 60, UnitKind::Knight, world, &mut rng);
+        assert!(apex_x > rear_x);
+    }
+
+    #[test]
+    fn names_and_default() {
+        assert_eq!(Formation::default(), Formation::Scattered);
+        let names: Vec<&str> = Formation::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names, vec!["scattered", "line", "wedge", "box"]);
+    }
+}

@@ -1,0 +1,502 @@
+//! # sgl-battle — the battle-simulation case study (§3.2 and §6)
+//!
+//! A faithful implementation of the paper's evaluation workload: a two-player
+//! RTS-style battle with three unit types — armored melee **knights**,
+//! long-range **archers** and area-of-effect **healers** — whose behaviour is
+//! written in SGL.  Every unit evaluates roughly ten aggregate queries per
+//! clock tick (counts, centroids, spreads, sums, minima and nearest
+//! neighbours), exercising every index structure of `sgl-index`.  Combat uses
+//! d20-style mechanics (hit roll + flat damage reduced by armor).
+
+#![warn(missing_docs)]
+
+pub mod formations;
+pub mod scenario;
+pub mod skeletons;
+
+use std::sync::Arc;
+
+use sgl_core::engine::{Mechanics, MovementConfig, ResurrectConfig};
+use sgl_core::env::postprocess::{PostProcessor, UpdateExpr};
+use sgl_core::env::{Schema, Value};
+use sgl_core::lang::ast::{CmpOp, Cond, Term};
+use sgl_core::lang::builtins::{
+    ally_filter, enemy_filter, rect_range_filter, squared_distance, ActionDef, AggOutput, AggSpec,
+    AggregateDef, EffectClause, Registry, SimpleAgg,
+};
+
+pub use formations::Formation;
+pub use scenario::{BattleScenario, ScenarioConfig, UnitMix};
+pub use skeletons::{SkeletonConfig, SkeletonScenario, MARCH_SCRIPT};
+
+/// The three unit types of the case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitKind {
+    /// Armored melee fighter: short range, high damage, high health.
+    Knight,
+    /// Ranged attacker: long range, low armor.
+    Archer,
+    /// Support unit casting a nonstackable healing aura.
+    Healer,
+}
+
+impl UnitKind {
+    /// All kinds in a fixed order.
+    pub const ALL: [UnitKind; 3] = [UnitKind::Knight, UnitKind::Archer, UnitKind::Healer];
+
+    /// The integer code stored in the `unittype` attribute.
+    pub fn code(self) -> i64 {
+        match self {
+            UnitKind::Knight => 0,
+            UnitKind::Archer => 1,
+            UnitKind::Healer => 2,
+        }
+    }
+
+    /// Decode from the integer code.
+    pub fn from_code(code: i64) -> Option<UnitKind> {
+        match code {
+            0 => Some(UnitKind::Knight),
+            1 => Some(UnitKind::Archer),
+            2 => Some(UnitKind::Healer),
+            _ => None,
+        }
+    }
+
+    /// d20-flavoured unit statistics: `(max hp, armor, attack/heal range,
+    /// sight range, strength, morale threshold)`.
+    pub fn stats(self) -> UnitStats {
+        match self {
+            UnitKind::Knight => UnitStats { max_health: 30, armor: 4, range: 2.0, sight: 20.0, strength: 8, morale: 8 },
+            UnitKind::Archer => UnitStats { max_health: 18, armor: 1, range: 12.0, sight: 24.0, strength: 5, morale: 3 },
+            UnitKind::Healer => UnitStats { max_health: 16, armor: 1, range: 8.0, sight: 24.0, strength: 3, morale: 2 },
+        }
+    }
+}
+
+/// Static statistics of a unit kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitStats {
+    /// Maximum (and starting) health.
+    pub max_health: i64,
+    /// Flat damage reduction.
+    pub armor: i64,
+    /// Attack or heal range.
+    pub range: f64,
+    /// Sight range used for situational awareness aggregates.
+    pub sight: f64,
+    /// Strength (used for army-strength sums).
+    pub strength: i64,
+    /// Number of nearby enemies that triggers a retreat.
+    pub morale: i64,
+}
+
+/// Build the battle schema: the paper schema of Eq. (1) extended with the
+/// per-unit statistics the scripts read.
+pub fn battle_schema() -> Schema {
+    let mut b = Schema::builder();
+    b.key("key")
+        .const_attr("player", 0i64)
+        .const_attr("unittype", 0i64)
+        .const_attr("posx", 0.0)
+        .const_attr("posy", 0.0)
+        .const_attr("health", 0i64)
+        .const_attr("max_health", 0i64)
+        .const_attr("cooldown", 0i64)
+        .const_attr("range", 1.0)
+        .const_attr("sight", 10.0)
+        .const_attr("morale", 3i64)
+        .const_attr("armor", 0i64)
+        .const_attr("strength", 1i64)
+        .sum_attr("weaponused", 0i64)
+        .sum_attr("movevect_x", 0.0)
+        .sum_attr("movevect_y", 0.0)
+        .sum_attr("damage", 0i64)
+        .max_attr("inaura", 0i64);
+    b.build().expect("battle schema is valid")
+}
+
+fn count_output() -> Vec<AggOutput> {
+    vec![AggOutput { name: "value".into(), func: SimpleAgg::Count, value: Term::int(1), default: Value::Int(0) }]
+}
+
+fn centroid_outputs() -> Vec<AggOutput> {
+    vec![
+        AggOutput { name: "x".into(), func: SimpleAgg::Avg, value: Term::row("posx"), default: Value::Float(0.0) },
+        AggOutput { name: "y".into(), func: SimpleAgg::Avg, value: Term::row("posy"), default: Value::Float(0.0) },
+    ]
+}
+
+fn hit_roll() -> Term {
+    // d20-style to-hit: ((Random(1) mod 20) + _ATK_BONUS) / 20 is 1 on a
+    // sufficiently high roll and 0 otherwise (integer division).
+    Term::bin(
+        sgl_core::lang::BinOp::Div,
+        Term::bin(
+            sgl_core::lang::BinOp::Add,
+            Term::bin(sgl_core::lang::BinOp::Mod, Term::Random(Box::new(Term::int(1))), Term::int(20)),
+            Term::name("_ATK_BONUS"),
+        ),
+        Term::int(20),
+    )
+}
+
+fn damage_effect(weapon_damage: &str) -> Term {
+    // (weapon damage - target armor) * hit roll — armor is always below the
+    // weapon damage so the effect is never negative.
+    Term::bin(
+        sgl_core::lang::BinOp::Mul,
+        Term::bin(sgl_core::lang::BinOp::Sub, Term::name(weapon_damage), Term::row("armor")),
+        hit_roll(),
+    )
+}
+
+/// Build the registry of built-ins used by the battle scripts: ten aggregate
+/// functions (covering every index class of §5.3) and four actions.
+pub fn battle_registry() -> Registry {
+    let mut reg = Registry::new();
+    reg.set_constant("_ARROW_DMG", 6i64);
+    reg.set_constant("_SWORD_DMG", 9i64);
+    reg.set_constant("_ATK_BONUS", 8i64);
+    reg.set_constant("_HEAL_AURA", 4i64);
+    reg.set_constant("_HEALER_RANGE", 8.0f64);
+    reg.set_constant("_TIME_RELOAD", 2i64);
+    reg.set_constant("_KNIGHT", UnitKind::Knight.code());
+    reg.set_constant("_ARCHER", UnitKind::Archer.code());
+    reg.set_constant("_HEALER", UnitKind::Healer.code());
+
+    let rect = |range: &str| rect_range_filter(Term::name(range));
+
+    // --- divisible aggregates (layered aggregate range trees) --------------
+    let simple = |name: &str, filter: Cond, outputs: Vec<AggOutput>| AggregateDef {
+        name: name.into(),
+        params: vec!["u".into(), "range".into()],
+        filter,
+        spec: AggSpec::Simple { outputs },
+    };
+    reg.register_aggregate(simple("CountEnemiesInRange", Cond::and(rect("range"), enemy_filter()), count_output()));
+    reg.register_aggregate(simple("CountAlliesInRange", Cond::and(rect("range"), ally_filter()), count_output()));
+    reg.register_aggregate(simple("CentroidOfEnemies", Cond::and(rect("range"), enemy_filter()), centroid_outputs()));
+    reg.register_aggregate(simple("CentroidOfAllies", Cond::and(rect("range"), ally_filter()), centroid_outputs()));
+    reg.register_aggregate(simple(
+        "CentroidOfAllyKnights",
+        Cond::and(
+            Cond::and(rect("range"), ally_filter()),
+            Cond::cmp(CmpOp::Eq, Term::row("unittype"), Term::name("_KNIGHT")),
+        ),
+        centroid_outputs(),
+    ));
+    reg.register_aggregate(simple(
+        "AllySpreadInRange",
+        Cond::and(rect("range"), ally_filter()),
+        vec![
+            AggOutput { name: "x".into(), func: SimpleAgg::StdDev, value: Term::row("posx"), default: Value::Float(0.0) },
+            AggOutput { name: "y".into(), func: SimpleAgg::StdDev, value: Term::row("posy"), default: Value::Float(0.0) },
+        ],
+    ));
+    reg.register_aggregate(simple(
+        "EnemyStrengthInRange",
+        Cond::and(rect("range"), enemy_filter()),
+        vec![AggOutput { name: "value".into(), func: SimpleAgg::Sum, value: Term::row("strength"), default: Value::Float(0.0) }],
+    ));
+    reg.register_aggregate(simple(
+        "MissingAllyHealthInRange",
+        Cond::and(rect("range"), ally_filter()),
+        vec![AggOutput {
+            name: "value".into(),
+            func: SimpleAgg::Sum,
+            value: Term::bin(sgl_core::lang::BinOp::Sub, Term::row("max_health"), Term::row("health")),
+            default: Value::Float(0.0),
+        }],
+    ));
+
+    // --- MIN aggregate (sweep-line) ----------------------------------------
+    reg.register_aggregate(simple(
+        "WeakestEnemyHealth",
+        Cond::and(rect("range"), enemy_filter()),
+        vec![AggOutput {
+            name: "value".into(),
+            func: SimpleAgg::Min,
+            value: Term::row("health"),
+            default: Value::Float(1.0e9),
+        }],
+    ));
+
+    // --- nearest neighbour (kD-tree) ----------------------------------------
+    reg.register_aggregate(AggregateDef {
+        name: "getNearestEnemy".into(),
+        params: vec!["u".into()],
+        filter: enemy_filter(),
+        spec: AggSpec::ArgBest {
+            minimize: true,
+            rank: squared_distance(),
+            outputs: vec![
+                ("key".into(), Term::row("key"), Value::Int(-1)),
+                ("posx".into(), Term::row("posx"), Value::Float(0.0)),
+                ("posy".into(), Term::row("posy"), Value::Float(0.0)),
+            ],
+        },
+    });
+
+    // --- actions -------------------------------------------------------------
+    let self_clause = |effects: Vec<(String, Term)>| EffectClause {
+        filter: Cond::cmp(CmpOp::Eq, Term::row("key"), Term::unit("key")),
+        effects,
+    };
+    let target_clause = |effects: Vec<(String, Term)>| EffectClause {
+        filter: Cond::cmp(CmpOp::Eq, Term::row("key"), Term::name("target_key")),
+        effects,
+    };
+
+    reg.register_action(ActionDef {
+        name: "MoveInDirection".into(),
+        params: vec!["u".into(), "x".into(), "y".into()],
+        clauses: vec![self_clause(vec![
+            ("movevect_x".into(), Term::bin(sgl_core::lang::BinOp::Sub, Term::name("x"), Term::row("posx"))),
+            ("movevect_y".into(), Term::bin(sgl_core::lang::BinOp::Sub, Term::name("y"), Term::row("posy"))),
+        ])],
+    });
+    reg.register_action(ActionDef {
+        name: "FireAt".into(),
+        params: vec!["u".into(), "target_key".into()],
+        clauses: vec![
+            target_clause(vec![("damage".into(), damage_effect("_ARROW_DMG"))]),
+            self_clause(vec![("weaponused".into(), Term::int(1))]),
+        ],
+    });
+    reg.register_action(ActionDef {
+        name: "Strike".into(),
+        params: vec!["u".into(), "target_key".into()],
+        clauses: vec![
+            target_clause(vec![("damage".into(), damage_effect("_SWORD_DMG"))]),
+            self_clause(vec![("weaponused".into(), Term::int(1))]),
+        ],
+    });
+    reg.register_action(ActionDef {
+        name: "Heal".into(),
+        params: vec!["u".into()],
+        clauses: vec![
+            EffectClause {
+                filter: Cond::and(ally_filter(), rect_range_filter(Term::name("_HEALER_RANGE"))),
+                effects: vec![("inaura".into(), Term::name("_HEAL_AURA"))],
+            },
+            self_clause(vec![("weaponused".into(), Term::int(1))]),
+        ],
+    });
+
+    reg
+}
+
+/// SGL source of the knight script: charge the enemy centroid, close ranks
+/// when the formation spreads out, strike the nearest enemy in reach.
+pub const KNIGHT_SCRIPT: &str = r#"
+main(u) {
+  (let in_reach = CountEnemiesInRange(u, u.range))
+  (let visible = CountEnemiesInRange(u, u.sight))
+  (let strength = EnemyStrengthInRange(u, u.sight))
+  (let spread = AllySpreadInRange(u, u.sight))
+  (let ec = CentroidOfEnemies(u, u.sight))
+  (let ac = CentroidOfAllies(u, u.sight)) {
+    if in_reach > 0 and u.cooldown = 0 then
+      perform Strike(u, getNearestEnemy(u).key);
+    else if visible = 0 and spread.x + spread.y > 14 then
+      perform MoveInDirection(u, ac.x, ac.y);
+    else if visible > 0 then
+      perform MoveInDirection(u, ec.x, ec.y);
+    else
+      perform MoveInDirection(u, u.posx + (u.posx - ac.x), u.posy + (u.posy - ac.y));
+  }
+}
+"#;
+
+/// SGL source of the archer script: flee when enemies close in, otherwise
+/// shoot the nearest enemy, otherwise keep the knights between themselves and
+/// the enemy centroid (the formation behaviour described in §3.2).
+pub const ARCHER_SCRIPT: &str = r#"
+main(u) {
+  (let close = CountEnemiesInRange(u, 6))
+  (let in_range = CountEnemiesInRange(u, u.range))
+  (let weakest = WeakestEnemyHealth(u, u.range))
+  (let ec = CentroidOfEnemies(u, u.sight))
+  (let kc = CentroidOfAllyKnights(u, u.sight)) {
+    if close > u.morale then
+      perform MoveInDirection(u, u.posx + (u.posx - ec.x), u.posy + (u.posy - ec.y));
+    else if in_range > 0 and u.cooldown = 0 and weakest < 1000000 then
+      perform FireAt(u, getNearestEnemy(u).key);
+    else
+      perform MoveInDirection(u, kc.x + (kc.x - ec.x), kc.y + (kc.y - ec.y));
+  }
+}
+"#;
+
+/// SGL source of the healer script: stay away from enemies, cast the healing
+/// aura when allies nearby are wounded, otherwise follow the army centroid.
+pub const HEALER_SCRIPT: &str = r#"
+main(u) {
+  (let close = CountEnemiesInRange(u, 8))
+  (let wounded = MissingAllyHealthInRange(u, u.range))
+  (let allies = CountAlliesInRange(u, u.sight))
+  (let ac = CentroidOfAllies(u, u.sight))
+  (let ec = CentroidOfEnemies(u, u.sight)) {
+    if close > u.morale then
+      perform MoveInDirection(u, u.posx + (u.posx - ec.x), u.posy + (u.posy - ec.y));
+    else if wounded > 0 and u.cooldown = 0 then
+      perform Heal(u);
+    else if allies > 0 then
+      perform MoveInDirection(u, ac.x, ac.y);
+    else
+      perform MoveInDirection(u, u.posx, u.posy + 1);
+  }
+}
+"#;
+
+/// The skeleton-fear script used by the introduction's motivating example and
+/// the `skeleton_fear` example binary: units flee when too many enemies are
+/// visible, otherwise they fight back.
+pub const SKELETON_FEAR_SCRIPT: &str = r#"
+main(u) {
+  (let c = CountEnemiesInRange(u, u.sight))
+  (let away = (u.posx, u.posy) - CentroidOfEnemies(u, u.sight)) {
+    if c > u.morale then
+      perform MoveInDirection(u, u.posx + away.x, u.posy + away.y);
+    else if c > 0 and u.cooldown = 0 then
+      perform FireAt(u, getNearestEnemy(u).key);
+  }
+}
+"#;
+
+/// Build the game mechanics (post-processing, movement, resurrection) for the
+/// battle on a square world of the given side length.
+pub fn battle_mechanics(schema: &Arc<Schema>, world_side: f64, resurrect: bool) -> Mechanics {
+    let health = schema.attr_id("health").expect("battle schema");
+    let max_health = schema.attr_id("max_health").expect("battle schema");
+    let damage = schema.attr_id("damage").expect("battle schema");
+    let aura = schema.attr_id("inaura").expect("battle schema");
+    let cooldown = schema.attr_id("cooldown").expect("battle schema");
+    let weapon = schema.attr_id("weaponused").expect("battle schema");
+    let x = schema.attr_id("posx").expect("battle schema");
+    let y = schema.attr_id("posy").expect("battle schema");
+    let dx = schema.attr_id("movevect_x").expect("battle schema");
+    let dy = schema.attr_id("movevect_y").expect("battle schema");
+
+    let health_expr = UpdateExpr::min(
+        UpdateExpr::add(
+            UpdateExpr::sub(UpdateExpr::State(health), UpdateExpr::Effect(damage)),
+            UpdateExpr::Effect(aura),
+        ),
+        UpdateExpr::State(max_health),
+    );
+    let cooldown_expr = UpdateExpr::max(
+        UpdateExpr::add(
+            UpdateExpr::sub(UpdateExpr::State(cooldown), UpdateExpr::Const(Value::Int(1))),
+            UpdateExpr::mul(UpdateExpr::Effect(weapon), UpdateExpr::Const(Value::Int(2))),
+        ),
+        UpdateExpr::Const(Value::Int(0)),
+    );
+    let mut post = PostProcessor::new(Arc::clone(schema)).assign(health, health_expr).assign(cooldown, cooldown_expr);
+    if !resurrect {
+        post = post.remove_when_le(health, 0i64);
+    }
+    Mechanics {
+        post,
+        movement: Some(MovementConfig {
+            x,
+            y,
+            dx,
+            dy,
+            step: 1.0,
+            collision_radius: 0.7,
+            world: (0.0, 0.0, world_side, world_side),
+        }),
+        resurrect: if resurrect {
+            Some(ResurrectConfig { health, max_health, world: (0.0, 0.0, world_side, world_side), x, y })
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_core::lang::typecheck::{check_registry, check_script};
+    use sgl_core::lang::{normalize, parse_script};
+
+    #[test]
+    fn unit_kind_codes_round_trip() {
+        for kind in UnitKind::ALL {
+            assert_eq!(UnitKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(UnitKind::from_code(9), None);
+        assert!(UnitKind::Knight.stats().max_health > UnitKind::Archer.stats().max_health);
+        assert!(UnitKind::Archer.stats().range > UnitKind::Knight.stats().range);
+    }
+
+    #[test]
+    fn battle_schema_has_all_script_attributes() {
+        let schema = battle_schema();
+        for attr in ["key", "player", "unittype", "posx", "posy", "health", "max_health", "cooldown", "range", "sight", "morale", "armor", "strength", "weaponused", "movevect_x", "movevect_y", "damage", "inaura"] {
+            assert!(schema.attr_id(attr).is_some(), "missing attribute {attr}");
+        }
+    }
+
+    #[test]
+    fn registry_validates_and_has_ten_aggregates() {
+        let schema = battle_schema();
+        let registry = battle_registry();
+        check_registry(&registry, &schema).unwrap();
+        assert_eq!(registry.aggregate_names().len(), 10);
+        assert_eq!(registry.action_names().len(), 4);
+    }
+
+    #[test]
+    fn all_unit_scripts_compile_against_the_battle_schema() {
+        let schema = battle_schema();
+        let registry = battle_registry();
+        for (name, src) in [
+            ("knight", KNIGHT_SCRIPT),
+            ("archer", ARCHER_SCRIPT),
+            ("healer", HEALER_SCRIPT),
+            ("skeleton", SKELETON_FEAR_SCRIPT),
+        ] {
+            let script = parse_script(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let normal = normalize(&script, &registry).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let report = check_script(&normal, &schema, &registry).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(report.aggregate_calls >= 3, "{name} should use several aggregates");
+            assert!(report.performs >= 1);
+        }
+    }
+
+    #[test]
+    fn every_index_strategy_is_exercised_by_the_battle_registry() {
+        use sgl_core::exec::{plan_aggregate, AggStrategy, SpatialAttrs};
+        let schema = battle_schema();
+        let registry = battle_registry();
+        let spatial = SpatialAttrs::from_schema(&schema);
+        let mut divisible = 0;
+        let mut sweeps = 0;
+        let mut kd = 0;
+        for name in registry.aggregate_names() {
+            let planned = plan_aggregate(registry.aggregate(name).unwrap(), &schema, spatial);
+            match planned.strategy {
+                AggStrategy::DivisibleTree { .. } => divisible += 1,
+                AggStrategy::SweepMinMax => sweeps += 1,
+                AggStrategy::KdNearest => kd += 1,
+                AggStrategy::Scan => panic!("battle aggregate `{name}` fell back to scanning"),
+            }
+        }
+        assert_eq!(divisible, 8);
+        assert_eq!(sweeps, 1);
+        assert_eq!(kd, 1);
+    }
+
+    #[test]
+    fn mechanics_cap_health_at_max() {
+        let schema = battle_schema().into_shared();
+        let mechanics = battle_mechanics(&schema, 100.0, true);
+        assert!(mechanics.resurrect.is_some());
+        assert!(mechanics.movement.is_some());
+        let no_res = battle_mechanics(&schema, 100.0, false);
+        assert!(no_res.resurrect.is_none());
+    }
+}

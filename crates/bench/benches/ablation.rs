@@ -1,0 +1,36 @@
+//! Ablations of the design choices called out in DESIGN.md: fractional
+//! cascading on/off, aggregate-result sharing on/off, and the area-of-effect
+//! index for `⊕` processing on/off — all measured on the Figure-10 workload
+//! at a fixed size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sgl_battle::{BattleScenario, ScenarioConfig};
+use sgl_exec::{ExecConfig, ExecMode};
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_500_units");
+    group.sample_size(10);
+    let scenario =
+        BattleScenario::generate(ScenarioConfig { units: 500, density: 0.01, seed: 42, ..Default::default() });
+    let schema = scenario.schema.clone();
+
+    let configs = [
+        ("indexed_full", ExecConfig::indexed(&schema)),
+        ("no_fractional_cascading", ExecConfig { cascading: false, ..ExecConfig::indexed(&schema) }),
+        ("no_aggregate_sharing", ExecConfig { share_aggregates: false, ..ExecConfig::indexed(&schema) }),
+        ("no_aoe_index", ExecConfig { aoe_index: false, ..ExecConfig::indexed(&schema) }),
+        ("naive_baseline", ExecConfig::naive(&schema)),
+    ];
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            let mut sim = scenario.build_simulation(ExecMode::Indexed);
+            sim.set_exec_config(config);
+            b.iter(|| sim.step().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Index micro-benchmarks for Figures 8 and 9: the divisible-aggregate
+//! layered range tree vs. enumerate-then-aggregate, and the sweep-line MIN
+//! vs. a naive scan, on clustered unit positions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sgl_index::agg_tree::{AggEntry, LayeredAggTree};
+use sgl_index::range_tree::RangeTree2D;
+use sgl_index::sweepline::{sweep_min_max, SweepKind};
+use sgl_index::{Point2, Rect};
+
+fn points(n: usize, world: f64, seed: u64) -> Vec<Point2> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64)
+    };
+    // Clustered positions (combat formations): points around a few hotspots.
+    (0..n)
+        .map(|i| {
+            let cx = ((i % 4) as f64 + 0.5) * world / 4.0;
+            let cy = ((i % 3) as f64 + 0.5) * world / 3.0;
+            Point2::new(cx + (next() - 0.5) * world / 6.0, cy + (next() - 0.5) * world / 6.0)
+        })
+        .collect()
+}
+
+/// Figure 8: divisible aggregates answered from prefix accumulators vs.
+/// enumerating the matching points and summing them.
+fn divisible_vs_enumerate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_count_in_range");
+    group.sample_size(10);
+    for &n in &[1000usize, 4000, 16000] {
+        let pts = points(n, 400.0, 7);
+        let entries: Vec<AggEntry> = pts.iter().map(|p| AggEntry::new(*p, vec![p.x, p.y])).collect();
+        let range = 40.0;
+        group.bench_with_input(BenchmarkId::new("agg_tree_cascading", n), &n, |b, _| {
+            let tree = LayeredAggTree::build(&entries, 2, true);
+            b.iter(|| {
+                let mut total = 0.0;
+                for p in &pts {
+                    total += tree.query(&Rect::centered(p.x, p.y, range)).count();
+                }
+                total
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("enumerate_then_count", n), &n, |b, _| {
+            let tree = RangeTree2D::build(&pts);
+            b.iter(|| {
+                let mut total = 0usize;
+                let mut buf = Vec::new();
+                for p in &pts {
+                    tree.query_into(&Rect::centered(p.x, p.y, range), &mut buf);
+                    total += buf.len();
+                }
+                total
+            });
+        });
+        if n <= 4000 {
+            group.bench_with_input(BenchmarkId::new("naive_scan", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for p in &pts {
+                        let rect = Rect::centered(p.x, p.y, range);
+                        total += pts.iter().filter(|q| rect.contains(q)).count();
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Figure 9: sweep-line MIN over constant-size ranges vs. a per-unit scan.
+fn sweep_vs_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_min_in_range");
+    group.sample_size(10);
+    for &n in &[1000usize, 4000, 16000] {
+        let pts = points(n, 400.0, 9);
+        let values: Vec<f64> = (0..n).map(|i| ((i * 31) % 97) as f64).collect();
+        let (rx, ry) = (30.0, 30.0);
+        group.bench_with_input(BenchmarkId::new("sweepline", n), &n, |b, _| {
+            b.iter(|| sweep_min_max(&pts, &values, &pts, rx, ry, SweepKind::Min));
+        });
+        if n <= 4000 {
+            group.bench_with_input(BenchmarkId::new("naive_scan", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut out = Vec::with_capacity(n);
+                    for q in &pts {
+                        let mut best = f64::INFINITY;
+                        for (p, v) in pts.iter().zip(&values) {
+                            if (p.x - q.x).abs() <= rx && (p.y - q.y).abs() <= ry && *v < best {
+                                best = *v;
+                            }
+                        }
+                        out.push(best);
+                    }
+                    out
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, divisible_vs_enumerate, sweep_vs_scan);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! The §6.1 density experiment: 500 units, density varied from 0.5 % to 8 %;
+//! neither engine should be very sensitive to this parameter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sgl_battle::{BattleScenario, ScenarioConfig};
+use sgl_exec::ExecMode;
+
+fn density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_500_units");
+    group.sample_size(10);
+    for &density in &[0.005f64, 0.01, 0.02, 0.04, 0.08] {
+        let label = format!("{:.1}%", density * 100.0);
+        let scenario =
+            BattleScenario::generate(ScenarioConfig { units: 500, density, seed: 42, ..Default::default() });
+        for mode in [ExecMode::Indexed, ExecMode::Naive] {
+            group.bench_with_input(BenchmarkId::new(format!("{mode:?}"), &label), &density, |b, _| {
+                let mut sim = scenario.build_simulation(mode);
+                b.iter(|| sim.step().unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, density);
+criterion_main!(benches);

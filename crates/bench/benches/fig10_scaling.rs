@@ -1,0 +1,36 @@
+//! Figure 10: total simulation time vs. number of units at constant 1 %
+//! density, naive vs. indexed execution.
+//!
+//! The paper sweeps 2 000–14 000 units for 500 ticks; a Criterion benchmark
+//! measures seconds/tick on a smaller sweep (the quantity is proportional).
+//! Run `cargo run --release --bin repro -- fig10` for the full table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sgl_battle::{BattleScenario, ScenarioConfig};
+use sgl_exec::ExecMode;
+
+fn fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_time_per_tick");
+    group.sample_size(10);
+    for &units in &[250usize, 500, 1000, 2000] {
+        let scenario =
+            BattleScenario::generate(ScenarioConfig { units, density: 0.01, seed: 42, ..Default::default() });
+        group.bench_with_input(BenchmarkId::new("indexed", units), &units, |b, _| {
+            let mut sim = scenario.build_simulation(ExecMode::Indexed);
+            b.iter(|| sim.step().unwrap());
+        });
+        // The naive engine is quadratic; keep it to the sizes that finish in
+        // reasonable benchmark time (the repro binary covers the full sweep).
+        if units <= 500 {
+            group.bench_with_input(BenchmarkId::new("naive", units), &units, |b, _| {
+                let mut sim = scenario.build_simulation(ExecMode::Naive);
+                b.iter(|| sim.step().unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Ablation: alternative index structures for the same aggregate workload.
+//!
+//! The paper commits to one combination — layered aggregate range trees for
+//! divisible aggregates (Figure 8) and a sweep-line for MIN over constant
+//! ranges (Figure 9).  These benches measure that choice against the
+//! alternatives implemented in `sgl-index`:
+//!
+//! * `quadtree_*` — a bucket PR quadtree answering the same queries from one
+//!   structure (both divisible and MIN/MAX);
+//! * `mra_exact_min` — the multi-resolution aggregate tree the paper cites as
+//!   the approximate alternative, run in exact mode;
+//! * the `agg_tree` / `sweepline` rows reproduce the paper's own structures
+//!   for reference.
+//!
+//! Build time is included in every measurement (indexes are rebuilt per tick
+//! in the paper's processing model), so the numbers answer the question the
+//! engine actually faces each tick: "build + answer all probes".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sgl_index::agg_tree::{AggEntry, LayeredAggTree};
+use sgl_index::mra_tree::{MraAgg, MraTree};
+use sgl_index::quadtree::AggQuadTree;
+use sgl_index::sweepline::{sweep_min_max, SweepKind};
+use sgl_index::{Point2, Rect};
+
+fn clustered_points(n: usize, world: f64, seed: u64) -> Vec<Point2> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64)
+    };
+    (0..n)
+        .map(|i| {
+            let cx = ((i % 4) as f64 + 0.5) * world / 4.0;
+            let cy = ((i % 3) as f64 + 0.5) * world / 3.0;
+            Point2::new(cx + (next() - 0.5) * world / 6.0, cy + (next() - 0.5) * world / 6.0)
+        })
+        .collect()
+}
+
+/// Divisible aggregate (count + centroid channels) — every unit probes its
+/// own sight rectangle, as in the battle decision phase.
+fn divisible_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_ablation_divisible");
+    group.sample_size(10);
+    for &n in &[1000usize, 4000, 16000] {
+        let pts = clustered_points(n, 400.0, 3);
+        let entries: Vec<AggEntry> = pts.iter().map(|p| AggEntry::new(*p, vec![p.x, p.y])).collect();
+        let range = 40.0;
+        group.bench_with_input(BenchmarkId::new("agg_tree_fig8", n), &n, |b, _| {
+            b.iter(|| {
+                let tree = LayeredAggTree::build(&entries, 2, true);
+                let mut total = 0.0;
+                for p in &pts {
+                    total += tree.query(&Rect::centered(p.x, p.y, range)).count();
+                }
+                total
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("quadtree", n), &n, |b, _| {
+            b.iter(|| {
+                let tree = AggQuadTree::build(&entries, 2, 12);
+                let mut total = 0.0;
+                for p in &pts {
+                    total += tree.query(&Rect::centered(p.x, p.y, range)).count();
+                }
+                total
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mra_exact_count", n), &n, |b, _| {
+            let values: Vec<f64> = pts.iter().map(|p| p.x).collect();
+            b.iter(|| {
+                let tree = MraTree::build(&pts, &values, 8);
+                let mut total = 0.0;
+                for p in &pts {
+                    total += tree.query_exact(&Rect::centered(p.x, p.y, range), MraAgg::Count).unwrap_or(0.0);
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+/// MIN over a constant-size range ("weakest enemy in range").
+fn min_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_ablation_min");
+    group.sample_size(10);
+    for &n in &[1000usize, 4000, 16000] {
+        let pts = clustered_points(n, 400.0, 9);
+        let values: Vec<f64> = (0..n).map(|i| ((i * 31) % 97) as f64).collect();
+        let entries: Vec<AggEntry> = pts
+            .iter()
+            .zip(&values)
+            .map(|(p, v)| AggEntry::new(*p, vec![*v]))
+            .collect();
+        let (rx, ry) = (30.0, 30.0);
+        group.bench_with_input(BenchmarkId::new("sweepline_fig9", n), &n, |b, _| {
+            b.iter(|| sweep_min_max(&pts, &values, &pts, rx, ry, SweepKind::Min));
+        });
+        group.bench_with_input(BenchmarkId::new("quadtree_min", n), &n, |b, _| {
+            b.iter(|| {
+                let tree = AggQuadTree::build(&entries, 1, 12);
+                let mut out = Vec::with_capacity(pts.len());
+                for p in &pts {
+                    out.push(tree.min_in_rect(&Rect::centered(p.x, p.y, rx), 0).map(|m| m.value));
+                }
+                out
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mra_exact_min", n), &n, |b, _| {
+            b.iter(|| {
+                let tree = MraTree::build(&pts, &values, 8);
+                let mut out = Vec::with_capacity(pts.len());
+                for p in &pts {
+                    out.push(tree.query_exact(&Rect::centered(p.x, p.y, rx), MraAgg::Min));
+                }
+                out
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, divisible_structures, min_structures);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Optimizer benchmark (Figure 6 / Example 5.1): compile the battle scripts
+//! with and without the algebraic rewrite rules and check plan quality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sgl_battle::{battle_registry, battle_schema, ARCHER_SCRIPT, HEALER_SCRIPT, KNIGHT_SCRIPT};
+use sgl_core::algebra::OptimizerOptions;
+use sgl_core::compile_script_with;
+
+fn compile_time(c: &mut Criterion) {
+    let schema = battle_schema();
+    let registry = battle_registry();
+    let mut group = c.benchmark_group("optimizer");
+    group.bench_function("compile_battle_scripts_optimized", |b| {
+        b.iter(|| {
+            for (name, src) in [("knight", KNIGHT_SCRIPT), ("archer", ARCHER_SCRIPT), ("healer", HEALER_SCRIPT)] {
+                compile_script_with(name, src, &schema, &registry, OptimizerOptions::default()).unwrap();
+            }
+        });
+    });
+    group.bench_function("compile_battle_scripts_unoptimized", |b| {
+        b.iter(|| {
+            for (name, src) in [("knight", KNIGHT_SCRIPT), ("archer", ARCHER_SCRIPT), ("healer", HEALER_SCRIPT)] {
+                compile_script_with(name, src, &schema, &registry, OptimizerOptions::none()).unwrap();
+            }
+        });
+    });
+    // Plan quality: the rewrite rules never increase aggregate work.
+    group.bench_function("plan_quality_report", |b| {
+        b.iter(|| {
+            let mut total_before = 0;
+            let mut total_after = 0;
+            for (name, src) in [("knight", KNIGHT_SCRIPT), ("archer", ARCHER_SCRIPT), ("healer", HEALER_SCRIPT)] {
+                let compiled =
+                    compile_script_with(name, src, &schema, &registry, OptimizerOptions::default()).unwrap();
+                total_before += compiled.optimized.before.aggregate_nodes;
+                total_after += compiled.optimized.after.aggregate_nodes;
+            }
+            assert!(total_after <= total_before);
+            (total_before, total_after)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, compile_time);
+criterion_main!(benches);

@@ -1,0 +1,593 @@
+//! # sgl-engine — the discrete simulation engine
+//!
+//! Implements the clock-tick processing model of §2.2 and the phase structure
+//! of the experimental engine of §6:
+//!
+//! 1. **index building** and the **decision/action phases** are delegated to
+//!    `sgl-exec` ([`sgl_exec::execute_tick`]), which runs every registered
+//!    script set-at-a-time and returns the combined effect relation;
+//! 2. a **post-processing** step applies non-positional effects (damage,
+//!    healing, cooldowns) through an [`sgl_env::PostProcessor`];
+//! 3. a **movement phase** moves units along their combined movement vectors
+//!    in random order with collision detection and simple pathfinding
+//!    ([`movement`]);
+//! 4. an optional **resurrection rule** respawns dead units at random
+//!    positions (the rule §6 adds to keep the battle from ending during
+//!    measurements), or removes them when resurrection is disabled.
+
+//!
+//! Supporting modules: [`metrics`] (per-phase timings, throughput/capacity
+//! analysis), [`replay`] (state digests and determinism traces) and
+//! [`pathfind`] (the A* "AI engine" substrate of Figure 2).
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod movement;
+pub mod pathfind;
+pub mod replay;
+
+use std::time::Instant;
+
+use rustc_hash::FxHashMap;
+
+use sgl_algebra::LogicalPlan;
+use sgl_env::{AttrId, EnvTable, GameRng, PostProcessor, Value};
+use sgl_exec::{execute_tick, ExecConfig, ScriptRun, TickStats};
+use sgl_lang::Registry;
+
+pub use metrics::{PhaseTimings, RollingStats, ThroughputReport};
+pub use movement::{run_movement, MovementConfig, MovementStats};
+pub use pathfind::{astar, next_waypoint, GridMap};
+pub use replay::{compare_traces, StateDigest, TraceComparison, TraceRecorder};
+
+use crate::error::EngineError;
+
+/// Errors of the engine layer.
+pub mod error {
+    use std::fmt;
+
+    /// Engine error (wraps the lower layers).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum EngineError {
+        /// Execution failed.
+        Exec(sgl_exec::ExecError),
+        /// Environment manipulation failed.
+        Env(sgl_env::EnvError),
+        /// Configuration problem.
+        Config(String),
+    }
+
+    impl fmt::Display for EngineError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                EngineError::Exec(e) => write!(f, "{e}"),
+                EngineError::Env(e) => write!(f, "{e}"),
+                EngineError::Config(msg) => write!(f, "engine configuration error: {msg}"),
+            }
+        }
+    }
+
+    impl std::error::Error for EngineError {}
+
+    impl From<sgl_exec::ExecError> for EngineError {
+        fn from(e: sgl_exec::ExecError) -> Self {
+            EngineError::Exec(e)
+        }
+    }
+
+    impl From<sgl_env::EnvError> for EngineError {
+        fn from(e: sgl_env::EnvError) -> Self {
+            EngineError::Env(e)
+        }
+    }
+}
+
+/// Result alias for the engine.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Selects which units run a given script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitSelector {
+    /// Every unit runs the script.
+    All,
+    /// Units whose attribute equals the given value.
+    AttrEquals(AttrId, Value),
+}
+
+impl UnitSelector {
+    fn matches(&self, table: &EnvTable, row: usize) -> bool {
+        match self {
+            UnitSelector::All => true,
+            UnitSelector::AttrEquals(attr, value) => table.row(row).get(*attr).loose_eq(value),
+        }
+    }
+}
+
+/// A script registered with the simulation: its optimized plan plus the
+/// selector choosing the units that run it.
+#[derive(Debug, Clone)]
+pub struct RegisteredScript {
+    /// Human-readable name (for reports).
+    pub name: String,
+    /// The optimized plan.
+    pub plan: LogicalPlan,
+    /// Which units run it.
+    pub selector: UnitSelector,
+}
+
+/// Resurrection rule of §6: dead units respawn at a random position.
+#[derive(Debug, Clone, Copy)]
+pub struct ResurrectConfig {
+    /// Attribute holding current health.
+    pub health: AttrId,
+    /// Attribute holding the value health is restored to.
+    pub max_health: AttrId,
+    /// World bounds `(x_min, y_min, x_max, y_max)` for the respawn position.
+    pub world: (f64, f64, f64, f64),
+    /// x position attribute.
+    pub x: AttrId,
+    /// y position attribute.
+    pub y: AttrId,
+}
+
+/// Game mechanics: how combined effects turn into state changes.
+#[derive(Debug, Clone)]
+pub struct Mechanics {
+    /// Applies non-positional effects (damage, healing, cooldowns).
+    pub post: PostProcessor,
+    /// Movement phase configuration; `None` disables movement.
+    pub movement: Option<MovementConfig>,
+    /// Resurrection rule; `None` means dead units are removed by `post`.
+    pub resurrect: Option<ResurrectConfig>,
+}
+
+/// Report of one simulated tick.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TickReport {
+    /// Tick number (starting at 0).
+    pub tick: u64,
+    /// Execution statistics from the decision/action phases.
+    pub exec: TickStats,
+    /// Movement statistics.
+    pub movement: MovementStats,
+    /// Units resurrected (or found dead) this tick.
+    pub deaths: usize,
+    /// Number of units alive after the tick.
+    pub population: usize,
+    /// Wall-clock duration of each phase of the tick.
+    pub timings: PhaseTimings,
+}
+
+/// The discrete simulation engine.
+pub struct Simulation {
+    table: EnvTable,
+    registry: Registry,
+    scripts: Vec<RegisteredScript>,
+    mechanics: Mechanics,
+    exec_config: ExecConfig,
+    rng: GameRng,
+    tick: u64,
+    history: Vec<TickReport>,
+}
+
+impl Simulation {
+    /// Create a simulation over an initial environment.
+    pub fn new(
+        table: EnvTable,
+        registry: Registry,
+        mechanics: Mechanics,
+        exec_config: ExecConfig,
+        seed: u64,
+    ) -> Simulation {
+        Simulation {
+            table,
+            registry,
+            scripts: Vec::new(),
+            mechanics,
+            exec_config,
+            rng: GameRng::new(seed),
+            tick: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// Register a script.  Scripts are matched in registration order, so more
+    /// specific selectors should be registered before catch-alls.
+    pub fn add_script(&mut self, name: impl Into<String>, plan: LogicalPlan, selector: UnitSelector) {
+        self.scripts.push(RegisteredScript { name: name.into(), plan, selector });
+    }
+
+    /// Remove all registered scripts.
+    pub fn clear_scripts(&mut self) {
+        self.scripts.clear();
+    }
+
+    /// The current environment.
+    pub fn table(&self) -> &EnvTable {
+        &self.table
+    }
+
+    /// Mutable access to the environment (scenario editing between ticks).
+    pub fn table_mut(&mut self) -> &mut EnvTable {
+        &mut self.table
+    }
+
+    /// The registered scripts.
+    pub fn scripts(&self) -> &[RegisteredScript] {
+        &self.scripts
+    }
+
+    /// The built-in registry used by the simulation.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The current tick number.
+    pub fn current_tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Reports of all ticks simulated so far.
+    pub fn history(&self) -> &[TickReport] {
+        &self.history
+    }
+
+    /// Change the execution configuration (e.g. switch naive ↔ indexed).
+    pub fn set_exec_config(&mut self, config: ExecConfig) {
+        self.exec_config = config;
+    }
+
+    /// Simulate one clock tick.
+    pub fn step(&mut self) -> Result<TickReport> {
+        let mut timings = PhaseTimings::default();
+        let tick_rng = self.rng.for_tick(self.tick);
+        // Assign acting units to scripts.
+        let mut assigned: Vec<bool> = vec![false; self.table.len()];
+        let mut runs: Vec<ScriptRun<'_>> = Vec::with_capacity(self.scripts.len());
+        for script in &self.scripts {
+            let mut rows = Vec::new();
+            for row in 0..self.table.len() {
+                if !assigned[row] && script.selector.matches(&self.table, row) {
+                    assigned[row] = true;
+                    rows.push(row as u32);
+                }
+            }
+            runs.push(ScriptRun { plan: &script.plan, acting_rows: rows });
+        }
+
+        // Decision + action phases (including per-tick index building).
+        let phase_start = Instant::now();
+        let (effects, exec_stats) =
+            execute_tick(&self.table, &self.registry, &runs, &tick_rng, &self.exec_config)?;
+        timings.exec = phase_start.elapsed();
+
+        // Post-processing: apply non-positional effects.
+        let phase_start = Instant::now();
+        self.mechanics.post.apply(&mut self.table, &effects)?;
+        timings.post = phase_start.elapsed();
+
+        // Movement phase.
+        let phase_start = Instant::now();
+        let movement_stats = match &self.mechanics.movement {
+            Some(config) => run_movement(&mut self.table, &effects, config, &tick_rng),
+            None => MovementStats::default(),
+        };
+        timings.movement = phase_start.elapsed();
+
+        // Resurrection rule (§6): dead units respawn at random positions.
+        let phase_start = Instant::now();
+        let mut deaths = 0usize;
+        if let Some(res) = self.mechanics.resurrect {
+            for row in 0..self.table.len() {
+                let hp = self.table.row(row).get_i64(res.health).unwrap_or(0);
+                if hp <= 0 {
+                    deaths += 1;
+                    let key = self.table.key_of(row);
+                    let max_hp = self.table.row(row).get(res.max_health).clone();
+                    let x = res.world.0 + tick_rng.unit_float(key, 101) * (res.world.2 - res.world.0);
+                    let y = res.world.1 + tick_rng.unit_float(key, 102) * (res.world.3 - res.world.1);
+                    let unit = self.table.row_mut(row);
+                    unit.set(res.health, max_hp);
+                    unit.set(res.x, Value::Float(x));
+                    unit.set(res.y, Value::Float(y));
+                }
+            }
+        }
+        timings.resurrect = phase_start.elapsed();
+
+        let report = TickReport {
+            tick: self.tick,
+            exec: exec_stats,
+            movement: movement_stats,
+            deaths,
+            population: self.table.len(),
+            timings,
+        };
+        self.history.push(report);
+        self.tick += 1;
+        Ok(report)
+    }
+
+    /// Simulate `n` ticks, returning aggregate statistics.
+    pub fn run(&mut self, n: usize) -> Result<RunSummary> {
+        let mut summary = RunSummary::default();
+        for _ in 0..n {
+            let report = self.step()?;
+            summary.ticks += 1;
+            summary.exec.merge(&report.exec);
+            summary.deaths += report.deaths;
+            summary.final_population = report.population;
+            summary.timings.accumulate(&report.timings);
+        }
+        Ok(summary)
+    }
+
+    /// Throughput report over every tick simulated so far (the quantity of
+    /// Figure 10 and the 10-ticks/s capacity check of §6.1).
+    pub fn throughput(&self) -> ThroughputReport {
+        ThroughputReport::from_timings(self.history.iter().map(|r| &r.timings))
+    }
+
+    /// Digest of the current environment (see [`replay`]).
+    pub fn digest(&self) -> StateDigest {
+        StateDigest::of_table(&self.table)
+    }
+
+    /// Count units per value of an attribute (handy for reports and tests).
+    pub fn population_by(&self, attr: AttrId) -> FxHashMap<i64, usize> {
+        let mut out = FxHashMap::default();
+        for (_, row) in self.table.iter() {
+            *out.entry(row.get_i64(attr).unwrap_or(0)).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+/// Aggregate statistics over a multi-tick run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunSummary {
+    /// Ticks simulated.
+    pub ticks: usize,
+    /// Total execution statistics.
+    pub exec: TickStats,
+    /// Total deaths (resurrections).
+    pub deaths: usize,
+    /// Population after the last tick.
+    pub final_population: usize,
+    /// Total wall-clock time per phase across the run.
+    pub timings: PhaseTimings,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_algebra::{optimize, translate};
+    use sgl_env::postprocess::PostProcessor;
+    use sgl_env::{schema::paper_schema, Schema, TupleBuilder, UpdateExpr};
+    use sgl_lang::builtins::paper_registry;
+    use sgl_lang::normalize::normalize;
+    use sgl_lang::parse_script;
+    use std::sync::Arc;
+
+    fn compile(src: &str) -> LogicalPlan {
+        let registry = paper_registry();
+        let script = parse_script(src).unwrap();
+        let normal = normalize(&script, &registry).unwrap();
+        optimize(translate(&normal), &registry).plan
+    }
+
+    fn build_sim(n: usize, mode_indexed: bool) -> (Arc<Schema>, Simulation) {
+        let schema = paper_schema().into_shared();
+        let mut table = EnvTable::new(Arc::clone(&schema));
+        let mut state = 5u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for key in 0..n {
+            let t = TupleBuilder::new(&schema)
+                .set("key", key as i64)
+                .unwrap()
+                .set("player", (key % 2) as i64)
+                .unwrap()
+                .set("posx", next() * 50.0)
+                .unwrap()
+                .set("posy", next() * 50.0)
+                .unwrap()
+                .set("health", 20i64)
+                .unwrap()
+                .build();
+            table.insert(t).unwrap();
+        }
+        let registry = paper_registry();
+        let health = schema.attr_id("health").unwrap();
+        let damage = schema.attr_id("damage").unwrap();
+        let aura = schema.attr_id("inaura").unwrap();
+        let cooldown = schema.attr_id("cooldown").unwrap();
+        let weapon = schema.attr_id("weaponused").unwrap();
+        let post = PostProcessor::new(Arc::clone(&schema))
+            .assign(
+                health,
+                UpdateExpr::add(
+                    UpdateExpr::sub(UpdateExpr::State(health), UpdateExpr::Effect(damage)),
+                    UpdateExpr::Effect(aura),
+                ),
+            )
+            .assign(
+                cooldown,
+                UpdateExpr::max(
+                    UpdateExpr::add(
+                        UpdateExpr::sub(UpdateExpr::State(cooldown), UpdateExpr::Const(Value::Int(1))),
+                        UpdateExpr::mul(UpdateExpr::Effect(weapon), UpdateExpr::Const(Value::Int(3))),
+                    ),
+                    UpdateExpr::Const(Value::Int(0)),
+                ),
+            )
+            .remove_when_le(health, 0i64);
+        let mechanics = Mechanics {
+            post,
+            movement: Some(MovementConfig {
+                x: schema.attr_id("posx").unwrap(),
+                y: schema.attr_id("posy").unwrap(),
+                dx: schema.attr_id("movevect_x").unwrap(),
+                dy: schema.attr_id("movevect_y").unwrap(),
+                step: 1.0,
+                collision_radius: 0.5,
+                world: (0.0, 0.0, 50.0, 50.0),
+            }),
+            resurrect: None,
+        };
+        let exec = if mode_indexed { ExecConfig::indexed(&schema) } else { ExecConfig::naive(&schema) };
+        let mut sim = Simulation::new(table, registry, mechanics, exec, 1234);
+        let plan = compile(
+            r#"main(u) {
+                (let c = CountEnemiesInRange(u, 10))
+                if c > 3 then
+                  perform MoveInDirection(u, u.posx - 5, u.posy);
+                else if c > 0 and u.cooldown = 0 then
+                  perform FireAt(u, getNearestEnemy(u).key);
+                else
+                  perform MoveInDirection(u, 25, 25);
+            }"#,
+        );
+        sim.add_script("battle", plan, UnitSelector::All);
+        (schema, sim)
+    }
+
+    #[test]
+    fn simulation_steps_and_collects_history() {
+        let (_schema, mut sim) = build_sim(30, true);
+        let summary = sim.run(5).unwrap();
+        assert_eq!(summary.ticks, 5);
+        assert_eq!(sim.history().len(), 5);
+        assert_eq!(sim.current_tick(), 5);
+        assert!(summary.exec.aggregate_probes > 0);
+        assert!(summary.final_population <= 30);
+        assert!(!sim.registry().aggregate_names().is_empty());
+    }
+
+    #[test]
+    fn naive_and_indexed_simulations_agree_on_integer_state() {
+        let (schema, mut naive) = build_sim(24, false);
+        let (_, mut indexed) = build_sim(24, true);
+        for _ in 0..3 {
+            naive.step().unwrap();
+            indexed.step().unwrap();
+        }
+        assert_eq!(naive.table().sorted_keys(), indexed.table().sorted_keys());
+        let health = schema.attr_id("health").unwrap();
+        let cooldown = schema.attr_id("cooldown").unwrap();
+        let posx = schema.attr_id("posx").unwrap();
+        for key in naive.table().sorted_keys() {
+            let a = naive.table().find_key_readonly(key).unwrap();
+            let b = indexed.table().find_key_readonly(key).unwrap();
+            assert_eq!(
+                naive.table().row(a).get_i64(health).unwrap(),
+                indexed.table().row(b).get_i64(health).unwrap(),
+                "health of unit {key}"
+            );
+            assert_eq!(
+                naive.table().row(a).get_i64(cooldown).unwrap(),
+                indexed.table().row(b).get_i64(cooldown).unwrap(),
+                "cooldown of unit {key}"
+            );
+            let xa = naive.table().row(a).get_f64(posx).unwrap();
+            let xb = indexed.table().row(b).get_f64(posx).unwrap();
+            assert!((xa - xb).abs() < 1e-6, "posx of unit {key}: {xa} vs {xb}");
+        }
+    }
+
+    #[test]
+    fn selectors_assign_scripts_by_attribute() {
+        let (schema, mut sim) = build_sim(10, true);
+        sim.clear_scripts();
+        let player = schema.attr_id("player").unwrap();
+        sim.add_script(
+            "p0",
+            compile("main(u) { perform MoveInDirection(u, 0, 0); }"),
+            UnitSelector::AttrEquals(player, Value::Int(0)),
+        );
+        sim.add_script(
+            "p1",
+            compile("main(u) { perform MoveInDirection(u, 50, 50); }"),
+            UnitSelector::AttrEquals(player, Value::Int(1)),
+        );
+        let report = sim.step().unwrap();
+        assert_eq!(report.exec.acting_units, 10);
+        assert_eq!(sim.scripts().len(), 2);
+        let counts = sim.population_by(player);
+        assert_eq!(counts[&0] + counts[&1], 10);
+    }
+
+    #[test]
+    fn resurrection_keeps_population_constant() {
+        // Schema with a max_health attribute for the respawn rule.
+        let mut b = Schema::builder();
+        b.key("key")
+            .const_attr("player", 0i64)
+            .const_attr("posx", 0.0)
+            .const_attr("posy", 0.0)
+            .const_attr("health", 0i64)
+            .const_attr("max_health", 20i64)
+            .const_attr("cooldown", 0i64)
+            .sum_attr("weaponused", 0i64)
+            .sum_attr("movevect_x", 0.0)
+            .sum_attr("movevect_y", 0.0)
+            .sum_attr("damage", 0i64)
+            .max_attr("inaura", 0i64);
+        let schema = b.build().unwrap().into_shared();
+        let mut table = EnvTable::new(Arc::clone(&schema));
+        for (key, player, hp) in [(0i64, 0i64, 20i64), (1, 1, 1)] {
+            let t = TupleBuilder::new(&schema)
+                .set("key", key)
+                .unwrap()
+                .set("player", player)
+                .unwrap()
+                .set("posx", key as f64)
+                .unwrap()
+                .set("health", hp)
+                .unwrap()
+                .set("max_health", 20i64)
+                .unwrap()
+                .build();
+            table.insert(t).unwrap();
+        }
+        let health = schema.attr_id("health").unwrap();
+        let damage = schema.attr_id("damage").unwrap();
+        let post = PostProcessor::new(Arc::clone(&schema)).assign(
+            health,
+            UpdateExpr::sub(UpdateExpr::State(health), UpdateExpr::Effect(damage)),
+        );
+        let mechanics = Mechanics {
+            post,
+            movement: None,
+            resurrect: Some(ResurrectConfig {
+                health,
+                max_health: schema.attr_id("max_health").unwrap(),
+                world: (0.0, 0.0, 10.0, 10.0),
+                x: schema.attr_id("posx").unwrap(),
+                y: schema.attr_id("posy").unwrap(),
+            }),
+        };
+        let mut sim =
+            Simulation::new(table, paper_registry(), mechanics, ExecConfig::indexed(&schema), 7);
+        sim.add_script(
+            "fire",
+            compile("main(u) { if u.cooldown = 0 then perform FireAt(u, getNearestEnemy(u).key); }"),
+            UnitSelector::All,
+        );
+        let mut total_deaths = 0;
+        for _ in 0..8 {
+            let report = sim.step().unwrap();
+            total_deaths += report.deaths;
+            assert_eq!(report.population, 2);
+            for (_, row) in sim.table().iter() {
+                assert!(row.get_i64(health).unwrap() > 0, "dead units must be resurrected");
+            }
+        }
+        // With a 50% hit chance and 4 damage per hit over 8 ticks, the weak
+        // unit dies at least once with overwhelming probability.
+        assert!(total_deaths >= 1);
+    }
+}

@@ -1,0 +1,307 @@
+//! Movement phase: units move along their combined movement vectors in random
+//! order, with collision detection and very simple pathfinding (§6).
+
+use rustc_hash::FxHashMap;
+
+use sgl_env::{AttrId, EffectBuffer, EnvTable, TickRandom, Value};
+use sgl_index::grid::UniformGrid;
+use sgl_index::{Point2, Rect};
+
+pub use sgl_index::grid::UniformGrid as CollisionGrid;
+
+/// Configuration of the movement phase.
+#[derive(Debug, Clone, Copy)]
+pub struct MovementConfig {
+    /// Position attributes.
+    pub x: AttrId,
+    /// Position attributes.
+    pub y: AttrId,
+    /// Movement-vector effect attributes.
+    pub dx: AttrId,
+    /// Movement-vector effect attributes.
+    pub dy: AttrId,
+    /// Maximum distance a unit moves per tick.
+    pub step: f64,
+    /// Two units may not come closer than this distance.
+    pub collision_radius: f64,
+    /// World bounds `(x_min, y_min, x_max, y_max)`; positions are clamped.
+    pub world: (f64, f64, f64, f64),
+}
+
+/// Statistics of one movement phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MovementStats {
+    /// Units that wanted to move.
+    pub movers: usize,
+    /// Units that moved along their full vector.
+    pub moved: usize,
+    /// Units that fell back to an axis-only move (simple pathfinding).
+    pub detoured: usize,
+    /// Units that could not move at all.
+    pub blocked: usize,
+}
+
+/// Simple spatial hash for the positions units have already moved to this
+/// phase (the static grid only knows pre-move positions).
+struct MovedHash {
+    cell: f64,
+    map: FxHashMap<(i64, i64), Vec<Point2>>,
+}
+
+impl MovedHash {
+    fn new(cell: f64) -> MovedHash {
+        MovedHash { cell: cell.max(1e-6), map: FxHashMap::default() }
+    }
+
+    fn cell_of(&self, p: &Point2) -> (i64, i64) {
+        ((p.x / self.cell).floor() as i64, (p.y / self.cell).floor() as i64)
+    }
+
+    fn insert(&mut self, p: Point2) {
+        let c = self.cell_of(&p);
+        self.map.entry(c).or_default().push(p);
+    }
+
+    fn any_within(&self, p: &Point2, radius: f64) -> bool {
+        let r2 = radius * radius;
+        let (cx, cy) = self.cell_of(p);
+        let reach = (radius / self.cell).ceil() as i64 + 1;
+        for dx in -reach..=reach {
+            for dy in -reach..=reach {
+                if let Some(points) = self.map.get(&(cx + dx, cy + dy)) {
+                    if points.iter().any(|q| q.dist2(p) <= r2) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Run the movement phase: apply the combined `movevect` effects to unit
+/// positions, in a deterministic pseudo-random order, skipping moves that
+/// would collide with another unit.
+pub fn run_movement(
+    table: &mut EnvTable,
+    effects: &EffectBuffer,
+    config: &MovementConfig,
+    rng: &TickRandom,
+) -> MovementStats {
+    let mut stats = MovementStats::default();
+    let n = table.len();
+    if n == 0 {
+        return stats;
+    }
+    let schema = table.schema().clone();
+    // Snapshot current positions for collision checks.
+    let positions: Vec<Point2> = (0..n)
+        .map(|i| {
+            Point2::new(
+                table.row(i).get_f64(config.x).unwrap_or(0.0),
+                table.row(i).get_f64(config.y).unwrap_or(0.0),
+            )
+        })
+        .collect();
+    let grid = UniformGrid::build(
+        &positions,
+        Point2::new(config.world.0, config.world.1),
+        Point2::new(config.world.2, config.world.3),
+        (config.collision_radius * 4.0).max(1.0),
+    );
+    let mut moved_hash = MovedHash::new((config.collision_radius * 2.0).max(1.0));
+    let mut moved_rows: Vec<bool> = vec![false; n];
+
+    // Deterministic pseudo-random processing order.
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.below(i as i64, 7_777, (i + 1) as i64) as usize;
+        order.swap(i, j);
+    }
+
+    let clamp = |p: Point2| -> Point2 {
+        Point2::new(
+            p.x.clamp(config.world.0, config.world.2),
+            p.y.clamp(config.world.1, config.world.3),
+        )
+    };
+
+    for idx in order {
+        let key = table.key_of(idx);
+        let dx = effects.get_or_default(key, config.dx).as_f64().unwrap_or(0.0);
+        let dy = effects.get_or_default(key, config.dy).as_f64().unwrap_or(0.0);
+        let norm = (dx * dx + dy * dy).sqrt();
+        if norm <= f64::EPSILON {
+            continue;
+        }
+        stats.movers += 1;
+        let scale = (config.step / norm).min(1.0);
+        let current = positions[idx];
+        // Candidate positions: full move, x-only, y-only (simple pathfinding).
+        let candidates = [
+            clamp(Point2::new(current.x + dx * scale, current.y + dy * scale)),
+            clamp(Point2::new(current.x + dx * scale, current.y)),
+            clamp(Point2::new(current.x, current.y + dy * scale)),
+        ];
+        let mut accepted = None;
+        for (ci, candidate) in candidates.iter().enumerate() {
+            // Collide against pre-move positions of units that have not moved
+            // yet, and against the post-move positions of units that have.
+            let rect = Rect::centered(candidate.x, candidate.y, config.collision_radius);
+            let mut hits = Vec::new();
+            grid.query_into(&rect, &mut hits);
+            let static_clash = hits.iter().any(|h| {
+                let h = *h as usize;
+                h != idx && !moved_rows[h] && positions[h].dist2(candidate) < config.collision_radius.powi(2)
+            });
+            let moved_clash = moved_hash.any_within(candidate, config.collision_radius);
+            if !static_clash && !moved_clash {
+                accepted = Some((ci, *candidate));
+                break;
+            }
+        }
+        match accepted {
+            Some((ci, target)) => {
+                if ci == 0 {
+                    stats.moved += 1;
+                } else {
+                    stats.detoured += 1;
+                }
+                let row = table.row_mut(idx);
+                row.set(config.x, Value::Float(target.x));
+                row.set(config.y, Value::Float(target.y));
+                moved_rows[idx] = true;
+                moved_hash.insert(target);
+            }
+            None => {
+                stats.blocked += 1;
+                moved_rows[idx] = true;
+                moved_hash.insert(current);
+            }
+        }
+    }
+    let _ = schema;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_env::{schema::paper_schema, GameRng, Schema, TupleBuilder};
+    use std::sync::Arc;
+
+    fn setup(positions: &[(f64, f64)]) -> (Arc<Schema>, EnvTable, MovementConfig) {
+        let schema = paper_schema().into_shared();
+        let mut table = EnvTable::new(Arc::clone(&schema));
+        for (i, (x, y)) in positions.iter().enumerate() {
+            let t = TupleBuilder::new(&schema)
+                .set("key", i as i64)
+                .unwrap()
+                .set("posx", *x)
+                .unwrap()
+                .set("posy", *y)
+                .unwrap()
+                .set("health", 10i64)
+                .unwrap()
+                .build();
+            table.insert(t).unwrap();
+        }
+        let config = MovementConfig {
+            x: schema.attr_id("posx").unwrap(),
+            y: schema.attr_id("posy").unwrap(),
+            dx: schema.attr_id("movevect_x").unwrap(),
+            dy: schema.attr_id("movevect_y").unwrap(),
+            step: 1.0,
+            collision_radius: 0.9,
+            world: (0.0, 0.0, 100.0, 100.0),
+        };
+        (schema, table, config)
+    }
+
+    #[test]
+    fn units_move_along_their_vectors() {
+        let (schema, mut table, config) = setup(&[(10.0, 10.0)]);
+        let mut effects = EffectBuffer::new(Arc::clone(&schema));
+        effects.apply(0, config.dx, Value::Float(3.0)).unwrap();
+        effects.apply(0, config.dy, Value::Float(4.0)).unwrap();
+        let rng = GameRng::new(1).for_tick(0);
+        let stats = run_movement(&mut table, &effects, &config, &rng);
+        assert_eq!(stats.movers, 1);
+        assert_eq!(stats.moved, 1);
+        let row = table.row(0);
+        assert!((row.get_f64(config.x).unwrap() - 10.6).abs() < 1e-9);
+        assert!((row.get_f64(config.y).unwrap() - 10.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_moves_fall_back_or_stay() {
+        // Two units side by side; the left one tries to move straight into
+        // the right one.
+        let (schema, mut table, config) = setup(&[(10.0, 10.0), (11.0, 10.0)]);
+        let mut effects = EffectBuffer::new(Arc::clone(&schema));
+        effects.apply(0, config.dx, Value::Float(1.0)).unwrap();
+        let rng = GameRng::new(3).for_tick(0);
+        let stats = run_movement(&mut table, &effects, &config, &rng);
+        assert_eq!(stats.movers, 1);
+        // The direct move collides; the x-only candidate is the same, the
+        // y-only candidate keeps position — so the unit is either detoured
+        // (no-op y move counts as detour) or blocked, but never overlapping.
+        let x0 = table.row(0).get_f64(config.x).unwrap();
+        let x1 = table.row(1).get_f64(config.x).unwrap();
+        assert!((x1 - x0).abs() >= config.collision_radius - 1e-9);
+        assert_eq!(stats.moved, 0);
+    }
+
+    #[test]
+    fn world_bounds_clamp_positions() {
+        let (schema, mut table, config) = setup(&[(0.5, 0.5)]);
+        let mut effects = EffectBuffer::new(Arc::clone(&schema));
+        effects.apply(0, config.dx, Value::Float(-10.0)).unwrap();
+        effects.apply(0, config.dy, Value::Float(-10.0)).unwrap();
+        let rng = GameRng::new(1).for_tick(5);
+        run_movement(&mut table, &effects, &config, &rng);
+        assert!(table.row(0).get_f64(config.x).unwrap() >= 0.0);
+        assert!(table.row(0).get_f64(config.y).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn no_effects_means_nobody_moves() {
+        let (schema, mut table, config) = setup(&[(5.0, 5.0), (20.0, 20.0)]);
+        let effects = EffectBuffer::new(Arc::clone(&schema));
+        let rng = GameRng::new(1).for_tick(1);
+        let stats = run_movement(&mut table, &effects, &config, &rng);
+        assert_eq!(stats, MovementStats::default());
+        assert_eq!(table.row(0).get_f64(config.x).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn dense_crowds_never_overlap_after_movement() {
+        let positions: Vec<(f64, f64)> = (0..25).map(|i| ((i % 5) as f64 * 2.0 + 10.0, (i / 5) as f64 * 2.0 + 10.0)).collect();
+        let (schema, mut table, config) = setup(&positions);
+        let mut effects = EffectBuffer::new(Arc::clone(&schema));
+        // Everyone tries to move toward the centre.
+        for i in 0..25i64 {
+            let (x, y) = positions[i as usize];
+            effects.apply(i, config.dx, Value::Float(14.0 - x)).unwrap();
+            effects.apply(i, config.dy, Value::Float(14.0 - y)).unwrap();
+        }
+        let rng = GameRng::new(9).for_tick(3);
+        run_movement(&mut table, &effects, &config, &rng);
+        for i in 0..25 {
+            for j in (i + 1)..25 {
+                let a = Point2::new(
+                    table.row(i).get_f64(config.x).unwrap(),
+                    table.row(i).get_f64(config.y).unwrap(),
+                );
+                let b = Point2::new(
+                    table.row(j).get_f64(config.x).unwrap(),
+                    table.row(j).get_f64(config.y).unwrap(),
+                );
+                assert!(
+                    a.dist2(&b).sqrt() >= config.collision_radius - 1e-9,
+                    "units {i} and {j} overlap"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! Grid pathfinding (A*) — the "AI engine" substrate of Figure 2.
+//!
+//! The paper's architecture diagram places a library of classical AI
+//! algorithms ("AI Engine (e.g. Pathfinding)") next to the discrete
+//! simulation engine, and §3.1 notes that modders resort to re-implementing
+//! pathfinding in scripts only because the engine's own implementation is not
+//! exposed to them.  The movement phase of §6 uses "very simple pathfinding
+//! rules" (axis-aligned detours, implemented in [`crate::movement`]); this
+//! module provides the real thing for games that need it: an occupancy grid
+//! ([`GridMap`]) plus a deterministic A* search ([`astar`]) and a convenience
+//! wrapper ([`next_waypoint`]) that scripts-driven movement can call through
+//! the engine, exactly as the paper recommends (open the API instead of
+//! making modders reimplement it).
+//!
+//! The implementation is deliberately classical: 8-connected grid, octile
+//! heuristic, binary-heap frontier, ties broken by cell index so that two
+//! runs with the same inputs produce the same path (determinism is a
+//! requirement of the replay harness in [`crate::replay`]).
+
+use std::collections::BinaryHeap;
+
+use sgl_index::Point2;
+
+/// A rectangular occupancy grid over the game world.
+#[derive(Debug, Clone)]
+pub struct GridMap {
+    width: usize,
+    height: usize,
+    cell: f64,
+    origin: Point2,
+    blocked: Vec<bool>,
+}
+
+/// A cell coordinate (column, row).
+pub type Cell = (i32, i32);
+
+impl GridMap {
+    /// Create an all-free grid covering `[origin, origin + (width, height) * cell]`.
+    pub fn new(width: usize, height: usize, cell: f64, origin: Point2) -> GridMap {
+        GridMap {
+            width: width.max(1),
+            height: height.max(1),
+            cell: cell.max(1e-9),
+            origin,
+            blocked: vec![false; width.max(1) * height.max(1)],
+        }
+    }
+
+    /// Create a grid covering the world rectangle with the given cell size.
+    pub fn covering(world_min: Point2, world_max: Point2, cell: f64) -> GridMap {
+        let cell = cell.max(1e-9);
+        let width = (((world_max.x - world_min.x) / cell).ceil() as usize).max(1);
+        let height = (((world_max.y - world_min.y) / cell).ceil() as usize).max(1);
+        GridMap::new(width, height, cell, world_min)
+    }
+
+    /// Grid dimensions in cells `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Cell side length in world units.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    fn index(&self, cell: Cell) -> Option<usize> {
+        let (cx, cy) = cell;
+        if cx < 0 || cy < 0 || cx as usize >= self.width || cy as usize >= self.height {
+            None
+        } else {
+            Some(cy as usize * self.width + cx as usize)
+        }
+    }
+
+    /// Is the cell inside the grid?
+    pub fn in_bounds(&self, cell: Cell) -> bool {
+        self.index(cell).is_some()
+    }
+
+    /// The cell containing a world position (clamped to the grid).
+    pub fn cell_of(&self, p: &Point2) -> Cell {
+        let cx = ((p.x - self.origin.x) / self.cell).floor() as i32;
+        let cy = ((p.y - self.origin.y) / self.cell).floor() as i32;
+        (cx.clamp(0, self.width as i32 - 1), cy.clamp(0, self.height as i32 - 1))
+    }
+
+    /// The world position at the centre of a cell.
+    pub fn center_of(&self, cell: Cell) -> Point2 {
+        Point2::new(
+            self.origin.x + (cell.0 as f64 + 0.5) * self.cell,
+            self.origin.y + (cell.1 as f64 + 0.5) * self.cell,
+        )
+    }
+
+    /// Mark a cell blocked or free.
+    pub fn set_blocked(&mut self, cell: Cell, blocked: bool) {
+        if let Some(idx) = self.index(cell) {
+            self.blocked[idx] = blocked;
+        }
+    }
+
+    /// Is the cell blocked?  Out-of-bounds cells count as blocked.
+    pub fn is_blocked(&self, cell: Cell) -> bool {
+        match self.index(cell) {
+            Some(idx) => self.blocked[idx],
+            None => true,
+        }
+    }
+
+    /// Block every cell whose centre lies within `radius` of an obstacle
+    /// position (a convenient way to rasterise buildings or impassable units).
+    pub fn block_circles(&mut self, obstacles: &[Point2], radius: f64) {
+        let r2 = radius * radius;
+        for cy in 0..self.height {
+            for cx in 0..self.width {
+                let centre = self.center_of((cx as i32, cy as i32));
+                if obstacles.iter().any(|o| o.dist2(&centre) <= r2) {
+                    self.blocked[cy * self.width + cx] = true;
+                }
+            }
+        }
+    }
+
+    /// Number of blocked cells (diagnostics).
+    pub fn blocked_count(&self) -> usize {
+        self.blocked.iter().filter(|b| **b).count()
+    }
+}
+
+/// A path through the grid plus search statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// The cells of the path, from start to goal inclusive.
+    pub cells: Vec<Cell>,
+    /// Path cost (straight steps cost 1, diagonal steps √2).
+    pub cost: f64,
+    /// Number of nodes expanded by the search.
+    pub expanded: usize,
+}
+
+impl Path {
+    /// Number of steps (edges) in the path.
+    pub fn steps(&self) -> usize {
+        self.cells.len().saturating_sub(1)
+    }
+
+    /// The path converted to world-space waypoints (cell centres).
+    pub fn waypoints(&self, map: &GridMap) -> Vec<Point2> {
+        self.cells.iter().map(|c| map.center_of(*c)).collect()
+    }
+}
+
+const SQRT2: f64 = std::f64::consts::SQRT_2;
+
+/// Octile distance — the admissible heuristic for 8-connected grids.
+fn octile(a: Cell, b: Cell) -> f64 {
+    let dx = (a.0 - b.0).abs() as f64;
+    let dy = (a.1 - b.1).abs() as f64;
+    dx.max(dy) + (SQRT2 - 1.0) * dx.min(dy)
+}
+
+#[derive(PartialEq)]
+struct Frontier {
+    f: f64,
+    index: usize,
+}
+
+impl Eq for Frontier {}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: invert the comparison so the smallest f
+        // (ties broken by cell index for determinism) is popped first.
+        other
+            .f
+            .partial_cmp(&self.f)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.index.cmp(&self.index))
+    }
+}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Find a shortest 8-connected path from `start` to `goal`, avoiding blocked
+/// cells.  Returns `None` when no path exists or either endpoint is blocked.
+pub fn astar(map: &GridMap, start: Cell, goal: Cell) -> Option<Path> {
+    if !map.in_bounds(start) || !map.in_bounds(goal) || map.is_blocked(start) || map.is_blocked(goal) {
+        return None;
+    }
+    let (width, height) = map.dims();
+    let size = width * height;
+    let to_index = |c: Cell| c.1 as usize * width + c.0 as usize;
+    let to_cell = |i: usize| ((i % width) as i32, (i / width) as i32);
+
+    let start_idx = to_index(start);
+    let goal_idx = to_index(goal);
+
+    let mut g = vec![f64::INFINITY; size];
+    let mut parent = vec![usize::MAX; size];
+    let mut closed = vec![false; size];
+    let mut heap = BinaryHeap::new();
+    g[start_idx] = 0.0;
+    heap.push(Frontier { f: octile(start, goal), index: start_idx });
+    let mut expanded = 0usize;
+
+    const NEIGHBOURS: [(i32, i32, f64); 8] = [
+        (1, 0, 1.0),
+        (-1, 0, 1.0),
+        (0, 1, 1.0),
+        (0, -1, 1.0),
+        (1, 1, SQRT2),
+        (1, -1, SQRT2),
+        (-1, 1, SQRT2),
+        (-1, -1, SQRT2),
+    ];
+
+    while let Some(Frontier { index, .. }) = heap.pop() {
+        if closed[index] {
+            continue;
+        }
+        closed[index] = true;
+        expanded += 1;
+        if index == goal_idx {
+            // Reconstruct.
+            let mut cells = Vec::new();
+            let mut cursor = index;
+            while cursor != usize::MAX {
+                cells.push(to_cell(cursor));
+                cursor = parent[cursor];
+            }
+            cells.reverse();
+            return Some(Path { cells, cost: g[goal_idx], expanded });
+        }
+        let cell = to_cell(index);
+        for (dx, dy, step) in NEIGHBOURS {
+            let next = (cell.0 + dx, cell.1 + dy);
+            if map.is_blocked(next) {
+                continue;
+            }
+            // Forbid cutting corners: a diagonal move requires both adjacent
+            // orthogonal cells to be free.
+            if dx != 0 && dy != 0 && (map.is_blocked((cell.0 + dx, cell.1)) || map.is_blocked((cell.0, cell.1 + dy))) {
+                continue;
+            }
+            let next_idx = to_index(next);
+            let tentative = g[index] + step;
+            if tentative + 1e-12 < g[next_idx] {
+                g[next_idx] = tentative;
+                parent[next_idx] = index;
+                heap.push(Frontier { f: tentative + octile(next, goal), index: next_idx });
+            }
+        }
+    }
+    None
+}
+
+/// The next world-space waypoint on the shortest path from `from` to `to`, or
+/// `None` when no path exists.  When `from` and `to` fall in the same cell the
+/// destination itself is returned.
+pub fn next_waypoint(map: &GridMap, from: &Point2, to: &Point2) -> Option<Point2> {
+    let start = map.cell_of(from);
+    let goal = map.cell_of(to);
+    if start == goal {
+        return Some(*to);
+    }
+    let path = astar(map, start, goal)?;
+    match path.cells.get(1) {
+        Some(cell) => Some(map.center_of(*cell)),
+        None => Some(*to),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a map from an ASCII picture: `#` blocked, `.` free.  Row 0 of the
+    /// picture is the *top* (highest y index is the last row).
+    fn map_of(picture: &[&str]) -> GridMap {
+        let height = picture.len();
+        let width = picture[0].len();
+        let mut map = GridMap::new(width, height, 1.0, Point2::new(0.0, 0.0));
+        for (row, line) in picture.iter().enumerate() {
+            for (col, ch) in line.chars().enumerate() {
+                if ch == '#' {
+                    map.set_blocked((col as i32, row as i32), true);
+                }
+            }
+        }
+        map
+    }
+
+    #[test]
+    fn straight_line_on_an_empty_map() {
+        let map = GridMap::new(10, 10, 1.0, Point2::new(0.0, 0.0));
+        let path = astar(&map, (0, 0), (5, 0)).unwrap();
+        assert_eq!(path.steps(), 5);
+        assert!((path.cost - 5.0).abs() < 1e-9);
+        assert_eq!(path.cells.first(), Some(&(0, 0)));
+        assert_eq!(path.cells.last(), Some(&(5, 0)));
+    }
+
+    #[test]
+    fn diagonal_path_uses_diagonal_steps() {
+        let map = GridMap::new(10, 10, 1.0, Point2::new(0.0, 0.0));
+        let path = astar(&map, (0, 0), (4, 4)).unwrap();
+        assert_eq!(path.steps(), 4);
+        assert!((path.cost - 4.0 * SQRT2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detour_around_a_wall() {
+        let map = map_of(&[
+            "..........",
+            "..........",
+            "..######..",
+            "..........",
+        ]);
+        // From below the wall to above it: the path must go around the ends.
+        let path = astar(&map, (5, 3), (5, 1)).unwrap();
+        assert!(path.cost > 2.0);
+        for cell in &path.cells {
+            assert!(!map.is_blocked(*cell), "path passes through a wall at {cell:?}");
+        }
+        // Consecutive cells are 8-connected.
+        for pair in path.cells.windows(2) {
+            let dx = (pair[1].0 - pair[0].0).abs();
+            let dy = (pair[1].1 - pair[0].1).abs();
+            assert!(dx <= 1 && dy <= 1 && (dx + dy) > 0);
+        }
+    }
+
+    #[test]
+    fn no_corner_cutting_through_diagonal_gaps() {
+        let map = map_of(&[
+            ".#",
+            "#.",
+        ]);
+        // The only "path" from (0,0) to (1,1) would cut the corner between the
+        // two blocked cells; that is not allowed.
+        assert!(astar(&map, (0, 0), (1, 1)).is_none());
+    }
+
+    #[test]
+    fn unreachable_goals_return_none() {
+        let map = map_of(&[
+            ".....",
+            ".###.",
+            ".#.#.",
+            ".###.",
+            ".....",
+        ]);
+        assert!(astar(&map, (0, 0), (2, 2)).is_none());
+        // Blocked endpoints are rejected outright.
+        assert!(astar(&map, (1, 1), (0, 0)).is_none());
+        assert!(astar(&map, (0, 0), (1, 1)).is_none());
+        // Out of bounds.
+        assert!(astar(&map, (0, 0), (99, 99)).is_none());
+    }
+
+    #[test]
+    fn start_equals_goal() {
+        let map = GridMap::new(4, 4, 1.0, Point2::new(0.0, 0.0));
+        let path = astar(&map, (2, 2), (2, 2)).unwrap();
+        assert_eq!(path.cells, vec![(2, 2)]);
+        assert_eq!(path.steps(), 0);
+        assert_eq!(path.cost, 0.0);
+    }
+
+    #[test]
+    fn astar_is_optimal_against_dijkstra_cost() {
+        // On a map with several routes the A* cost must equal the true
+        // shortest-path cost (computed here by exhaustive relaxation).
+        let map = map_of(&[
+            "..........",
+            ".########.",
+            ".#......#.",
+            ".#.####.#.",
+            "...#..#...",
+            ".###..###.",
+            "..........",
+        ]);
+        let start = (0, 6);
+        let goal = (9, 0);
+        let fast = astar(&map, start, goal).unwrap();
+
+        // Bellman-Ford style relaxation over all free cells.
+        let (w, h) = map.dims();
+        let mut dist = vec![f64::INFINITY; w * h];
+        dist[start.1 as usize * w + start.0 as usize] = 0.0;
+        for _ in 0..w * h {
+            let mut changed = false;
+            for cy in 0..h as i32 {
+                for cx in 0..w as i32 {
+                    let here = cy as usize * w + cx as usize;
+                    if dist[here].is_infinite() || map.is_blocked((cx, cy)) {
+                        continue;
+                    }
+                    for (dx, dy, step) in [
+                        (1, 0, 1.0), (-1, 0, 1.0), (0, 1, 1.0), (0, -1, 1.0),
+                        (1, 1, SQRT2), (1, -1, SQRT2), (-1, 1, SQRT2), (-1, -1, SQRT2),
+                    ] {
+                        let next = (cx + dx, cy + dy);
+                        if map.is_blocked(next) {
+                            continue;
+                        }
+                        if dx != 0 && dy != 0 && (map.is_blocked((cx + dx, cy)) || map.is_blocked((cx, cy + dy))) {
+                            continue;
+                        }
+                        let ni = next.1 as usize * w + next.0 as usize;
+                        if dist[here] + step < dist[ni] {
+                            dist[ni] = dist[here] + step;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let truth = dist[goal.1 as usize * w + goal.0 as usize];
+        assert!((fast.cost - truth).abs() < 1e-9, "A* cost {} vs true {}", fast.cost, truth);
+        assert!(fast.expanded <= w * h);
+    }
+
+    #[test]
+    fn world_space_helpers() {
+        let mut map = GridMap::covering(Point2::new(0.0, 0.0), Point2::new(20.0, 10.0), 2.0);
+        assert_eq!(map.dims(), (10, 5));
+        assert_eq!(map.cell_size(), 2.0);
+        assert_eq!(map.cell_of(&Point2::new(5.0, 5.0)), (2, 2));
+        let c = map.center_of((2, 2));
+        assert_eq!((c.x, c.y), (5.0, 5.0));
+        // Obstacle rasterisation.
+        map.block_circles(&[Point2::new(10.0, 5.0)], 2.5);
+        assert!(map.blocked_count() > 0);
+        assert!(map.is_blocked(map.cell_of(&Point2::new(10.0, 5.0))));
+
+        // next_waypoint steps around the blocked region.
+        let from = Point2::new(3.0, 5.0);
+        let to = Point2::new(17.0, 5.0);
+        let wp = next_waypoint(&map, &from, &to).unwrap();
+        assert!(!map.is_blocked(map.cell_of(&wp)));
+        assert_ne!((wp.x, wp.y), (from.x, from.y));
+        // Same-cell shortcut returns the destination itself.
+        let same = next_waypoint(&map, &Point2::new(1.0, 1.0), &Point2::new(1.5, 1.5)).unwrap();
+        assert_eq!((same.x, same.y), (1.5, 1.5));
+    }
+
+    #[test]
+    fn clamping_and_bounds() {
+        let map = GridMap::new(4, 4, 1.0, Point2::new(0.0, 0.0));
+        assert_eq!(map.cell_of(&Point2::new(-5.0, 100.0)), (0, 3));
+        assert!(map.is_blocked((-1, 0)));
+        assert!(map.is_blocked((0, 4)));
+        assert!(!map.is_blocked((3, 3)));
+        assert!(map.in_bounds((3, 3)));
+        assert!(!map.in_bounds((4, 3)));
+    }
+}

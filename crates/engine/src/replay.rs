@@ -1,0 +1,302 @@
+//! Determinism harness: state digests, tick traces and trace comparison.
+//!
+//! The central promise of the paper's optimizations is that they are *pure*
+//! optimizations: the indexed, rewritten, set-at-a-time execution produces
+//! exactly the same game state, tick for tick, as evaluating every script
+//! naively.  Because all randomness flows through the deterministic per-tick
+//! random function `Random(i)` (§4.1), two runs with the same seed must agree
+//! bit for bit on integer state and up to rounding on positions.
+//!
+//! This module turns that promise into something checkable:
+//!
+//! * [`StateDigest`] — an order-independent fingerprint of an environment
+//!   table (integer attributes exact, float attributes quantized);
+//! * [`TickTrace`] / [`TraceRecorder`] — a per-tick sequence of digests and
+//!   population counts recorded while a simulation runs;
+//! * [`compare_traces`] — locate the first tick at which two traces diverge.
+//!
+//! The integration tests use these to assert naive ≡ indexed ≡ ablated
+//! configurations, and the `replay_determinism` example demonstrates the
+//! workflow for game developers (record a trace once, replay after every
+//! engine change).
+
+use sgl_env::{EnvTable, Value};
+
+/// Quantization applied to float attributes before hashing (six decimal
+/// digits: movement arithmetic is identical across executors, but guarding
+/// against representation differences keeps the digest robust).
+const FLOAT_QUANTUM: f64 = 1e6;
+
+/// An order-independent fingerprint of an environment table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateDigest {
+    /// Combined hash of every unit's state.
+    pub hash: u64,
+    /// Number of units in the table.
+    pub population: usize,
+}
+
+impl StateDigest {
+    /// Compute the digest of a table.
+    ///
+    /// Each row is hashed independently (key, then every attribute in schema
+    /// order) and the row hashes are combined with a commutative operation,
+    /// so the digest does not depend on physical row order — the two
+    /// executors may materialise rows differently after removals.
+    pub fn of_table(table: &EnvTable) -> StateDigest {
+        let schema = table.schema();
+        let mut combined: u64 = 0;
+        for (_, row) in table.iter() {
+            let mut h = Fnv::new();
+            for (attr_idx, value) in row.values().iter().enumerate() {
+                h.write_u64(attr_idx as u64);
+                hash_value(&mut h, value);
+            }
+            let row_hash = h.finish();
+            // Commutative combine: sum of bijectively mixed row hashes.
+            combined = combined.wrapping_add(mix(row_hash));
+        }
+        let _ = schema;
+        StateDigest { hash: combined, population: table.len() }
+    }
+}
+
+fn hash_value(h: &mut Fnv, value: &Value) {
+    match value {
+        Value::Int(v) => {
+            h.write_u64(1);
+            h.write_u64(*v as u64);
+        }
+        Value::Float(v) => {
+            h.write_u64(2);
+            let q = (v * FLOAT_QUANTUM).round() as i64;
+            h.write_u64(q as u64);
+        }
+        Value::Bool(b) => {
+            h.write_u64(3);
+            h.write_u64(*b as u64);
+        }
+        Value::Str(s) => {
+            h.write_u64(4);
+            for byte in s.as_bytes() {
+                h.write_u64(*byte as u64);
+            }
+        }
+    }
+}
+
+/// Finalization mixer (splitmix64) applied to row hashes before the
+/// commutative combination, so that swapping values *between* rows changes
+/// the digest even though row order does not matter.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Minimal FNV-1a hasher (no external dependencies, stable across platforms).
+struct Fnv {
+    state: u64,
+}
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv { state: 0xCBF2_9CE4_8422_2325 }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for shift in (0..64).step_by(8) {
+            let byte = ((v >> shift) & 0xFF) as u64;
+            self.state ^= byte;
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// The recorded observation of one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickTrace {
+    /// Tick number.
+    pub tick: u64,
+    /// Digest of the environment *after* the tick.
+    pub digest: StateDigest,
+    /// Units that died (or were resurrected) during the tick.
+    pub deaths: usize,
+}
+
+/// Records a trace of a running simulation.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    entries: Vec<TickTrace>,
+}
+
+impl TraceRecorder {
+    /// Start an empty trace.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder::default()
+    }
+
+    /// Record one tick (call after `Simulation::step`).
+    pub fn record(&mut self, tick: u64, table: &EnvTable, deaths: usize) {
+        self.entries.push(TickTrace { tick, digest: StateDigest::of_table(table), deaths });
+    }
+
+    /// The recorded entries.
+    pub fn entries(&self) -> &[TickTrace] {
+        &self.entries
+    }
+
+    /// Number of recorded ticks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The result of comparing two traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceComparison {
+    /// The traces are identical (same length, same digests).
+    Identical,
+    /// The traces agree on their common prefix but have different lengths.
+    LengthMismatch {
+        /// Length of the first trace.
+        left: usize,
+        /// Length of the second trace.
+        right: usize,
+    },
+    /// The traces diverge.
+    DivergesAt {
+        /// First tick index at which the digests differ.
+        tick: u64,
+    },
+}
+
+/// Compare two traces tick by tick.
+pub fn compare_traces(a: &TraceRecorder, b: &TraceRecorder) -> TraceComparison {
+    for (ta, tb) in a.entries().iter().zip(b.entries()) {
+        if ta.digest != tb.digest || ta.deaths != tb.deaths {
+            return TraceComparison::DivergesAt { tick: ta.tick.min(tb.tick) };
+        }
+    }
+    if a.len() != b.len() {
+        return TraceComparison::LengthMismatch { left: a.len(), right: b.len() };
+    }
+    TraceComparison::Identical
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_env::schema::paper_schema;
+    use sgl_env::{EnvTable, TupleBuilder};
+    use std::sync::Arc;
+
+    fn table_with(units: &[(i64, f64, i64)]) -> EnvTable {
+        let schema = paper_schema().into_shared();
+        let mut table = EnvTable::new(Arc::clone(&schema));
+        for (key, x, hp) in units {
+            let t = TupleBuilder::new(&schema)
+                .set("key", *key)
+                .unwrap()
+                .set("posx", *x)
+                .unwrap()
+                .set("health", *hp)
+                .unwrap()
+                .build();
+            table.insert(t).unwrap();
+        }
+        table
+    }
+
+    #[test]
+    fn identical_tables_have_identical_digests() {
+        let a = table_with(&[(1, 1.0, 10), (2, 2.0, 20)]);
+        let b = table_with(&[(1, 1.0, 10), (2, 2.0, 20)]);
+        assert_eq!(StateDigest::of_table(&a), StateDigest::of_table(&b));
+    }
+
+    #[test]
+    fn digest_is_independent_of_row_order() {
+        let a = table_with(&[(1, 1.0, 10), (2, 2.0, 20)]);
+        let b = table_with(&[(2, 2.0, 20), (1, 1.0, 10)]);
+        assert_eq!(StateDigest::of_table(&a).hash, StateDigest::of_table(&b).hash);
+    }
+
+    #[test]
+    fn digest_detects_changed_values() {
+        let a = table_with(&[(1, 1.0, 10), (2, 2.0, 20)]);
+        let b = table_with(&[(1, 1.0, 10), (2, 2.0, 21)]);
+        assert_ne!(StateDigest::of_table(&a).hash, StateDigest::of_table(&b).hash);
+        // Swapping values between rows must also be detected even though row
+        // combination is commutative.
+        let c = table_with(&[(1, 2.0, 10), (2, 1.0, 20)]);
+        assert_ne!(StateDigest::of_table(&a).hash, StateDigest::of_table(&c).hash);
+    }
+
+    #[test]
+    fn digest_ignores_sub_quantum_float_noise() {
+        let a = table_with(&[(1, 1.0, 10)]);
+        let b = table_with(&[(1, 1.0 + 1e-9, 10)]);
+        assert_eq!(StateDigest::of_table(&a).hash, StateDigest::of_table(&b).hash);
+        let c = table_with(&[(1, 1.0 + 1e-3, 10)]);
+        assert_ne!(StateDigest::of_table(&a).hash, StateDigest::of_table(&c).hash);
+    }
+
+    #[test]
+    fn population_is_part_of_the_digest() {
+        let a = table_with(&[(1, 1.0, 10)]);
+        let b = table_with(&[(1, 1.0, 10), (2, 2.0, 20)]);
+        assert_ne!(StateDigest::of_table(&a), StateDigest::of_table(&b));
+        assert_eq!(StateDigest::of_table(&a).population, 1);
+        assert_eq!(StateDigest::of_table(&b).population, 2);
+    }
+
+    #[test]
+    fn trace_recording_and_comparison() {
+        let t1 = table_with(&[(1, 1.0, 10)]);
+        let t2 = table_with(&[(1, 2.0, 9)]);
+        let t2_same = table_with(&[(1, 2.0, 9)]);
+        let t2_diff = table_with(&[(1, 2.0, 8)]);
+
+        let mut a = TraceRecorder::new();
+        a.record(0, &t1, 0);
+        a.record(1, &t2, 1);
+
+        let mut b = TraceRecorder::new();
+        b.record(0, &t1, 0);
+        b.record(1, &t2_same, 1);
+        assert_eq!(compare_traces(&a, &b), TraceComparison::Identical);
+
+        let mut c = TraceRecorder::new();
+        c.record(0, &t1, 0);
+        c.record(1, &t2_diff, 1);
+        assert_eq!(compare_traces(&a, &c), TraceComparison::DivergesAt { tick: 1 });
+
+        let mut d = TraceRecorder::new();
+        d.record(0, &t1, 0);
+        assert_eq!(compare_traces(&a, &d), TraceComparison::LengthMismatch { left: 2, right: 1 });
+        assert!(!d.is_empty());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.entries()[0].tick, 0);
+    }
+
+    #[test]
+    fn death_counts_participate_in_comparison() {
+        let t = table_with(&[(1, 1.0, 10)]);
+        let mut a = TraceRecorder::new();
+        a.record(0, &t, 0);
+        let mut b = TraceRecorder::new();
+        b.record(0, &t, 2);
+        assert_eq!(compare_traces(&a, &b), TraceComparison::DivergesAt { tick: 0 });
+    }
+}

@@ -1,0 +1,187 @@
+//! The combination operator `⊕` on effect relations (paper §4.2).
+//!
+//! `⊕R` groups a multiset of effect rows by unit key and folds every effect
+//! attribute with its combination function (`sum`, `max` or `min`).  The
+//! operator is associative, commutative and idempotent on already-combined
+//! relations — the algebraic identities of Eq. (3) that the optimizer relies
+//! on.  The property-based tests at the bottom of this module check those laws
+//! on randomly generated effect relations.
+
+use std::sync::Arc;
+
+use crate::effects::{EffectBuffer, EffectRow};
+use crate::error::Result;
+use crate::schema::Schema;
+
+/// Combine a multiset of effect rows into a single buffer: the executable
+/// form of `⊕R`.
+pub fn combine_rows<I>(schema: Arc<Schema>, rows: I) -> Result<EffectBuffer>
+where
+    I: IntoIterator<Item = EffectRow>,
+{
+    let mut buf = EffectBuffer::new(schema);
+    for row in rows {
+        buf.apply_row(&row)?;
+    }
+    Ok(buf)
+}
+
+/// Combine two already-combined buffers: `⊕(E1 ⊎ E2) = ⊕(⊕E1 ⊎ ⊕E2)`.
+pub fn combine_buffers(a: &EffectBuffer, b: &EffectBuffer) -> Result<EffectBuffer> {
+    let mut out = a.clone();
+    out.merge(b)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::paper_schema;
+    use crate::value::Value;
+
+    fn schema() -> Arc<Schema> {
+        paper_schema().into_shared()
+    }
+
+    fn dmg(s: &Schema) -> usize {
+        s.attr_id("damage").unwrap()
+    }
+
+    fn aura(s: &Schema) -> usize {
+        s.attr_id("inaura").unwrap()
+    }
+
+    #[test]
+    fn combining_groups_by_key() {
+        let s = schema();
+        let rows = vec![
+            EffectRow::single(1, dmg(&s), Value::Int(3)),
+            EffectRow::single(2, dmg(&s), Value::Int(1)),
+            EffectRow::single(1, dmg(&s), Value::Int(4)),
+            EffectRow::single(1, aura(&s), Value::Int(2)),
+            EffectRow::single(1, aura(&s), Value::Int(5)),
+        ];
+        let buf = combine_rows(Arc::clone(&s), rows).unwrap();
+        assert_eq!(buf.get(1, dmg(&s)), Some(&Value::Int(7)));
+        assert_eq!(buf.get(2, dmg(&s)), Some(&Value::Int(1)));
+        assert_eq!(buf.get(1, aura(&s)), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn empty_relation_combines_to_empty_buffer() {
+        let s = schema();
+        let buf = combine_rows(s, Vec::new()).unwrap();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn combining_with_empty_is_identity() {
+        let s = schema();
+        let rows = vec![
+            EffectRow::single(1, dmg(&s), Value::Int(3)),
+            EffectRow::single(2, aura(&s), Value::Int(4)),
+        ];
+        let a = combine_rows(Arc::clone(&s), rows).unwrap();
+        let empty = EffectBuffer::new(Arc::clone(&s));
+        let combined = combine_buffers(&a, &empty).unwrap();
+        assert_eq!(combined.canonical(), a.canonical());
+    }
+
+    #[test]
+    fn idempotence_of_combination() {
+        // ⊕(⊕E) = ⊕E  (Eq. (3) with E2 = ∅)
+        let s = schema();
+        let rows = vec![
+            EffectRow::single(1, dmg(&s), Value::Int(3)),
+            EffectRow::single(1, dmg(&s), Value::Int(9)),
+            EffectRow::single(1, aura(&s), Value::Int(2)),
+        ];
+        let once = combine_rows(Arc::clone(&s), rows).unwrap();
+        let twice_rows: Vec<EffectRow> = once
+            .canonical()
+            .into_iter()
+            .map(|(k, a, v)| EffectRow::single(k, a, v))
+            .collect();
+        let twice = combine_rows(Arc::clone(&s), twice_rows).unwrap();
+        assert_eq!(once.canonical(), twice.canonical());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Generate a random effect row over the paper schema.
+        fn arb_row() -> impl Strategy<Value = EffectRow> {
+            let s = schema();
+            let effect_attrs: Vec<usize> = s.effect_attrs().collect();
+            (0i64..6, proptest::sample::select(effect_attrs), -20i64..20).prop_map(move |(key, attr, v)| {
+                EffectRow::single(key, attr, Value::Int(v))
+            })
+        }
+
+        fn combine(rows: &[EffectRow]) -> Vec<(i64, usize, Value)> {
+            combine_rows(schema(), rows.to_vec()).unwrap().canonical()
+        }
+
+        proptest! {
+            /// ⊕ is insensitive to the order of effect rows (commutativity +
+            /// associativity of sum/min/max).
+            #[test]
+            fn order_insensitive(mut rows in proptest::collection::vec(arb_row(), 0..40), seed in 0u64..1000) {
+                let original = combine(&rows);
+                // Deterministic shuffle driven by the seed.
+                let n = rows.len();
+                if n > 1 {
+                    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+                    for i in (1..n).rev() {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        let j = (state % (i as u64 + 1)) as usize;
+                        rows.swap(i, j);
+                    }
+                }
+                prop_assert_eq!(original, combine(&rows));
+            }
+
+            /// ⊕(E1 ⊎ E2) = ⊕(⊕E1 ⊎ ⊕E2): pre-combining partitions does not
+            /// change the result (Eq. (3) applied twice).
+            #[test]
+            fn pre_combining_partitions_is_equivalent(
+                rows1 in proptest::collection::vec(arb_row(), 0..25),
+                rows2 in proptest::collection::vec(arb_row(), 0..25),
+            ) {
+                let mut all = rows1.clone();
+                all.extend(rows2.clone());
+                let direct = combine(&all);
+
+                let b1 = combine_rows(schema(), rows1).unwrap();
+                let b2 = combine_rows(schema(), rows2).unwrap();
+                let staged = combine_buffers(&b1, &b2).unwrap().canonical();
+                prop_assert_eq!(direct, staged);
+            }
+
+            /// Combining a buffer with itself only changes `sum` attributes
+            /// (doubling), never `min`/`max` ones — the nonstackable semantics.
+            #[test]
+            fn nonstackable_attributes_are_idempotent(rows in proptest::collection::vec(arb_row(), 0..30)) {
+                let s = schema();
+                let once = combine_rows(Arc::clone(&s), rows.clone()).unwrap();
+                let doubled = combine_buffers(&once, &once).unwrap();
+                for (key, attr, v) in once.canonical() {
+                    let kind = s.attr(attr).kind;
+                    let dv = doubled.get(key, attr).cloned().unwrap();
+                    match kind {
+                        crate::schema::CombineKind::Max | crate::schema::CombineKind::Min => {
+                            prop_assert_eq!(dv, v);
+                        }
+                        crate::schema::CombineKind::Sum => {
+                            prop_assert_eq!(dv, v.add(&v).unwrap());
+                        }
+                        crate::schema::CombineKind::Const => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+}

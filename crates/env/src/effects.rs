@@ -1,0 +1,265 @@
+//! Effect rows and the per-tick effect buffer.
+//!
+//! An SGL action produces *effects*: sparse updates to the auxiliary (effect)
+//! attributes of one or more units.  During a tick every script contributes a
+//! multiset of effect rows; the [`EffectBuffer`] folds them together with the
+//! combination operator `⊕` (sum for stackable, min/max for nonstackable
+//! effects) keyed by the unit key, exactly as described in §2.2 and §4.2 of
+//! the paper.
+
+use std::sync::Arc;
+
+use rustc_hash::FxHashMap;
+
+use crate::error::{EnvError, Result};
+use crate::schema::{AttrId, CombineKind, Schema};
+use crate::value::Value;
+
+/// A sparse effect on a single unit: the unit key plus `(attribute, value)`
+/// pairs for effect attributes only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffectRow {
+    /// Key of the affected unit.
+    pub key: i64,
+    /// Sparse effect attribute assignments.
+    pub values: Vec<(AttrId, Value)>,
+}
+
+impl EffectRow {
+    /// Create an effect row.
+    pub fn new(key: i64, values: Vec<(AttrId, Value)>) -> EffectRow {
+        EffectRow { key, values }
+    }
+
+    /// Create an effect row with a single attribute.
+    pub fn single(key: i64, attr: AttrId, value: Value) -> EffectRow {
+        EffectRow { key, values: vec![(attr, value)] }
+    }
+}
+
+/// Fold two effect values according to the attribute's combination kind.
+pub fn combine_values(kind: CombineKind, a: &Value, b: &Value) -> Result<Value> {
+    match kind {
+        CombineKind::Const => Err(EnvError::ConstEffect("<const>".into())),
+        CombineKind::Sum => a.add(b),
+        CombineKind::Max => a.max_value(b),
+        CombineKind::Min => a.min_value(b),
+    }
+}
+
+/// Accumulates all effects of a tick, combined per `(unit key, attribute)`.
+///
+/// This is the executable form of the `⊕` operator: inserting effect rows one
+/// at a time yields the same result as materialising the full multiset and
+/// grouping by key, because `sum`, `min` and `max` are associative and
+/// commutative (see `combine::` for the property-based proofs).
+#[derive(Debug, Clone)]
+pub struct EffectBuffer {
+    schema: Arc<Schema>,
+    /// key → dense vector over *all* attributes; only effect attributes are
+    /// ever `Some`.
+    per_key: FxHashMap<i64, Vec<Option<Value>>>,
+}
+
+impl EffectBuffer {
+    /// Create an empty buffer for the given schema.
+    pub fn new(schema: Arc<Schema>) -> EffectBuffer {
+        EffectBuffer { schema, per_key: FxHashMap::default() }
+    }
+
+    /// The schema this buffer combines against.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of distinct unit keys with at least one effect.
+    pub fn len(&self) -> usize {
+        self.per_key.len()
+    }
+
+    /// True if no effects were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.per_key.is_empty()
+    }
+
+    /// Apply a single effect value, combining with any previous value.
+    pub fn apply(&mut self, key: i64, attr: AttrId, value: Value) -> Result<()> {
+        let def = self.schema.attr(attr);
+        if def.kind == CombineKind::Const {
+            return Err(EnvError::ConstEffect(def.name.clone()));
+        }
+        let slots = self
+            .per_key
+            .entry(key)
+            .or_insert_with(|| vec![None; self.schema.len()]);
+        let slot = &mut slots[attr];
+        match slot {
+            None => *slot = Some(value),
+            Some(prev) => *slot = Some(combine_values(def.kind, prev, &value)?),
+        }
+        Ok(())
+    }
+
+    /// Apply a whole effect row.
+    pub fn apply_row(&mut self, row: &EffectRow) -> Result<()> {
+        for (attr, value) in &row.values {
+            self.apply(row.key, *attr, value.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Merge another buffer into this one (the `⊕` of two partial results).
+    pub fn merge(&mut self, other: &EffectBuffer) -> Result<()> {
+        for (key, slots) in &other.per_key {
+            for (attr, value) in slots.iter().enumerate() {
+                if let Some(v) = value {
+                    self.apply(*key, attr, v.clone())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Read the combined effect for `(key, attr)`, if any was recorded.
+    pub fn get(&self, key: i64, attr: AttrId) -> Option<&Value> {
+        self.per_key.get(&key).and_then(|slots| slots[attr].as_ref())
+    }
+
+    /// Read the combined effect, falling back to the attribute's default
+    /// (the value an unaffected unit carries at the end of a tick).
+    pub fn get_or_default(&self, key: i64, attr: AttrId) -> Value {
+        self.get(key, attr).cloned().unwrap_or_else(|| self.schema.attr(attr).default.clone())
+    }
+
+    /// Iterate over `(key, attr, value)` triples of recorded effects.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, AttrId, &Value)> {
+        self.per_key.iter().flat_map(|(key, slots)| {
+            slots
+                .iter()
+                .enumerate()
+                .filter_map(move |(attr, v)| v.as_ref().map(|v| (*key, attr, v)))
+        })
+    }
+
+    /// Keys that received at least one effect, in unspecified order.
+    pub fn keys(&self) -> impl Iterator<Item = i64> + '_ {
+        self.per_key.keys().copied()
+    }
+
+    /// Clear all recorded effects, keeping allocations for reuse.
+    pub fn clear(&mut self) {
+        self.per_key.clear();
+    }
+
+    /// Canonical, order-independent snapshot used by tests to compare buffers.
+    pub fn canonical(&self) -> Vec<(i64, AttrId, Value)> {
+        let mut out: Vec<(i64, AttrId, Value)> =
+            self.iter().map(|(k, a, v)| (k, a, v.clone())).collect();
+        out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::paper_schema;
+
+    fn ids() -> (Arc<Schema>, AttrId, AttrId, AttrId) {
+        let s = paper_schema().into_shared();
+        let dmg = s.attr_id("damage").unwrap();
+        let aura = s.attr_id("inaura").unwrap();
+        let hp = s.attr_id("health").unwrap();
+        (s, dmg, aura, hp)
+    }
+
+    #[test]
+    fn stackable_effects_sum() {
+        let (s, dmg, _, _) = ids();
+        let mut buf = EffectBuffer::new(s);
+        buf.apply(7, dmg, Value::Int(3)).unwrap();
+        buf.apply(7, dmg, Value::Int(5)).unwrap();
+        assert_eq!(buf.get(7, dmg), Some(&Value::Int(8)));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn nonstackable_effects_take_max() {
+        let (s, _, aura, _) = ids();
+        let mut buf = EffectBuffer::new(s);
+        buf.apply(7, aura, Value::Int(4)).unwrap();
+        buf.apply(7, aura, Value::Int(2)).unwrap();
+        buf.apply(7, aura, Value::Int(9)).unwrap();
+        assert_eq!(buf.get(7, aura), Some(&Value::Int(9)));
+    }
+
+    #[test]
+    fn const_attributes_reject_effects() {
+        let (s, _, _, hp) = ids();
+        let mut buf = EffectBuffer::new(s);
+        assert!(matches!(buf.apply(1, hp, Value::Int(1)).unwrap_err(), EnvError::ConstEffect(_)));
+    }
+
+    #[test]
+    fn rows_and_merge() {
+        let (s, dmg, aura, _) = ids();
+        let mut a = EffectBuffer::new(Arc::clone(&s));
+        a.apply_row(&EffectRow::new(1, vec![(dmg, Value::Int(2)), (aura, Value::Int(1))])).unwrap();
+        let mut b = EffectBuffer::new(Arc::clone(&s));
+        b.apply_row(&EffectRow::single(1, dmg, Value::Int(4))).unwrap();
+        b.apply_row(&EffectRow::single(2, aura, Value::Int(6))).unwrap();
+
+        let mut merged_ab = a.clone();
+        merged_ab.merge(&b).unwrap();
+        let mut merged_ba = b.clone();
+        merged_ba.merge(&a).unwrap();
+        // ⊕ is commutative.
+        assert_eq!(merged_ab.canonical(), merged_ba.canonical());
+        assert_eq!(merged_ab.get(1, dmg), Some(&Value::Int(6)));
+        assert_eq!(merged_ab.get(2, aura), Some(&Value::Int(6)));
+    }
+
+    #[test]
+    fn get_or_default_falls_back_to_schema_default() {
+        let (s, dmg, aura, _) = ids();
+        let buf = EffectBuffer::new(s);
+        assert_eq!(buf.get_or_default(55, dmg), Value::Int(0));
+        assert_eq!(buf.get_or_default(55, aura), Value::Int(0));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn clear_retains_schema() {
+        let (s, dmg, _, _) = ids();
+        let mut buf = EffectBuffer::new(s);
+        buf.apply(1, dmg, Value::Int(1)).unwrap();
+        buf.clear();
+        assert!(buf.is_empty());
+        buf.apply(1, dmg, Value::Int(2)).unwrap();
+        assert_eq!(buf.get(1, dmg), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn iteration_yields_all_triples() {
+        let (s, dmg, aura, _) = ids();
+        let mut buf = EffectBuffer::new(s);
+        buf.apply(1, dmg, Value::Int(1)).unwrap();
+        buf.apply(2, aura, Value::Int(3)).unwrap();
+        let mut seen: Vec<(i64, AttrId)> = buf.iter().map(|(k, a, _)| (k, a)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(1, dmg), (2, aura)]);
+        let mut keys: Vec<i64> = buf.keys().collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 2]);
+    }
+
+    #[test]
+    fn float_effects_combine() {
+        let s = paper_schema().into_shared();
+        let mx = s.attr_id("movevect_x").unwrap();
+        let mut buf = EffectBuffer::new(s);
+        buf.apply(3, mx, Value::Float(1.5)).unwrap();
+        buf.apply(3, mx, Value::Float(-0.5)).unwrap();
+        assert_eq!(buf.get(3, mx), Some(&Value::Float(1.0)));
+    }
+}

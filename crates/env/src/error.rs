@@ -1,0 +1,97 @@
+//! Error types for the environment layer.
+
+use std::fmt;
+
+/// Errors raised while building schemas, mutating environment tables or
+/// applying effects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvError {
+    /// An attribute name was referenced that does not exist in the schema.
+    UnknownAttribute(String),
+    /// An attribute was defined twice in the same schema.
+    DuplicateAttribute(String),
+    /// A schema was built without a key attribute.
+    MissingKey,
+    /// The key attribute must be declared `const` and hold integers.
+    InvalidKey(String),
+    /// A tuple's arity does not match the schema width.
+    ArityMismatch {
+        /// Number of attributes the schema declares.
+        expected: usize,
+        /// Number of values the tuple carried.
+        found: usize,
+    },
+    /// A value of an unexpected runtime type was encountered.
+    TypeError(String),
+    /// An effect was applied to a `const` attribute.
+    ConstEffect(String),
+    /// Two rows with the same key were inserted where a key constraint holds.
+    DuplicateKey(i64),
+    /// A referenced key does not exist in the environment table.
+    UnknownKey(i64),
+    /// Generic arithmetic failure (division by zero, invalid conversion, ...).
+    Arithmetic(String),
+    /// A serialized snapshot could not be decoded (truncated, corrupted, or
+    /// written against a different schema).
+    Snapshot(String),
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            EnvError::DuplicateAttribute(name) => write!(f, "duplicate attribute `{name}`"),
+            EnvError::MissingKey => write!(f, "schema has no key attribute"),
+            EnvError::InvalidKey(msg) => write!(f, "invalid key attribute: {msg}"),
+            EnvError::ArityMismatch { expected, found } => {
+                write!(f, "tuple arity mismatch: expected {expected} values, found {found}")
+            }
+            EnvError::TypeError(msg) => write!(f, "type error: {msg}"),
+            EnvError::ConstEffect(name) => {
+                write!(f, "attribute `{name}` is const and cannot receive effects")
+            }
+            EnvError::DuplicateKey(k) => write!(f, "duplicate key {k}"),
+            EnvError::UnknownKey(k) => write!(f, "unknown key {k}"),
+            EnvError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            EnvError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Convenience result alias used throughout the environment layer.
+pub type Result<T> = std::result::Result<T, EnvError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let cases: Vec<(EnvError, &str)> = vec![
+            (EnvError::UnknownAttribute("hp".into()), "hp"),
+            (EnvError::DuplicateAttribute("posx".into()), "posx"),
+            (EnvError::MissingKey, "key"),
+            (EnvError::InvalidKey("not const".into()), "not const"),
+            (EnvError::ArityMismatch { expected: 3, found: 2 }, "expected 3"),
+            (EnvError::TypeError("bool + int".into()), "bool + int"),
+            (EnvError::ConstEffect("player".into()), "player"),
+            (EnvError::DuplicateKey(7), "7"),
+            (EnvError::UnknownKey(9), "9"),
+            (EnvError::Arithmetic("div by zero".into()), "div by zero"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(EnvError::MissingKey, EnvError::MissingKey);
+        assert_ne!(
+            EnvError::UnknownAttribute("a".into()),
+            EnvError::UnknownAttribute("b".into())
+        );
+    }
+}

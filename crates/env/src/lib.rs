@@ -1,0 +1,91 @@
+//! # sgl-env — the environment layer of SGL
+//!
+//! This crate implements the data model of *Scaling Games to Epic Proportions*
+//! (White et al., SIGMOD 2007):
+//!
+//! * the environment relation `E` — a multiset of unit tuples with a schema
+//!   whose attributes are tagged `const`, `sum`, `max` or `min` ([`schema`],
+//!   [`table`], [`tuple`], [`value`]);
+//! * the combination operator `⊕` that folds the per-script effect relations
+//!   of a clock tick into a single effect per unit and attribute
+//!   ([`effects`], [`combine`]);
+//! * the post-processing step that applies combined effects to unit state and
+//!   removes dead units ([`postprocess`]);
+//! * the deterministic per-tick random function `Random(i)` ([`random`]).
+//!
+//! Everything above the environment layer (the SGL language, the algebra, the
+//! executors and the discrete simulation engine) is built in the sibling
+//! crates and only talks to game state through these types.
+//!
+//! ```
+//! use sgl_env::prelude::*;
+//!
+//! let schema = sgl_env::schema::paper_schema().into_shared();
+//! let mut table = EnvTable::new(schema.clone());
+//! let knight = TupleBuilder::new(&schema)
+//!     .set("key", 1i64).unwrap()
+//!     .set("health", 30i64).unwrap()
+//!     .build();
+//! table.insert(knight).unwrap();
+//! assert_eq!(table.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod combine;
+pub mod effects;
+pub mod error;
+pub mod postprocess;
+pub mod random;
+pub mod schema;
+pub mod snapshot;
+pub mod table;
+pub mod tuple;
+pub mod value;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use crate::effects::{EffectBuffer, EffectRow};
+    pub use crate::error::{EnvError, Result};
+    pub use crate::postprocess::{PostProcessor, PostStats, UpdateExpr};
+    pub use crate::random::{GameRng, TickRandom};
+    pub use crate::schema::{AttrDef, AttrId, CombineKind, Schema, SchemaBuilder};
+    pub use crate::snapshot::{restore, schema_fingerprint, snapshot};
+    pub use crate::table::EnvTable;
+    pub use crate::tuple::{Tuple, TupleBuilder};
+    pub use crate::value::Value;
+}
+
+pub use prelude::*;
+
+/// Small helper extension used in doc examples: set an attribute and panic on
+/// failure (schemas in examples are static, so failures are programmer bugs).
+pub trait TupleBuilderExt<'a>: Sized {
+    /// Set an attribute by name, panicking on unknown attributes.
+    fn unwrap_key(self, name: &str, value: impl Into<Value>) -> Self;
+}
+
+impl<'a> TupleBuilderExt<'a> for TupleBuilder<'a> {
+    fn unwrap_key(self, name: &str, value: impl Into<Value>) -> Self {
+        self.set(name, value).expect("attribute exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_exports_compile_together() {
+        let schema = schema::paper_schema().into_shared();
+        let mut table = EnvTable::new(schema.clone());
+        let unit = TupleBuilder::new(&schema).unwrap_key("key", 9).unwrap_key("health", 12).build();
+        table.insert(unit).unwrap();
+        let mut effects = EffectBuffer::new(schema.clone());
+        effects.apply(9, schema.attr_id("damage").unwrap(), Value::Int(3)).unwrap();
+        let pp = postprocess::paper_postprocessor(&schema, 1.0, 2).unwrap();
+        pp.apply(&mut table, &effects).unwrap();
+        let hp = schema.attr_id("health").unwrap();
+        assert_eq!(table.row(0).get_i64(hp).unwrap(), 9);
+    }
+}

@@ -1,0 +1,450 @@
+//! The post-processing step that applies combined effects to unit state
+//! (Example 4.1 in the paper).
+//!
+//! After all SGL scripts of a tick have produced their effect relations and
+//! those have been folded by `⊕`, a game-mechanics query rewrites the state
+//! attributes of every unit from its old state and its combined effects, and
+//! removes dead units.  The paper expresses this as a fixed SQL query; here it
+//! is a small declarative rule language so that different games (and tests)
+//! can define their own mechanics without writing executor code.
+
+use std::sync::Arc;
+
+use crate::effects::EffectBuffer;
+use crate::error::Result;
+use crate::schema::{AttrId, Schema};
+use crate::table::EnvTable;
+use crate::value::Value;
+
+/// Expression over the *old* state and the *combined effects* of one unit.
+#[derive(Debug, Clone)]
+pub enum UpdateExpr {
+    /// Value of a state attribute before the update.
+    State(AttrId),
+    /// Combined effect value for an effect attribute (default if none).
+    Effect(AttrId),
+    /// A literal constant.
+    Const(Value),
+    /// Addition.
+    Add(Box<UpdateExpr>, Box<UpdateExpr>),
+    /// Subtraction.
+    Sub(Box<UpdateExpr>, Box<UpdateExpr>),
+    /// Multiplication.
+    Mul(Box<UpdateExpr>, Box<UpdateExpr>),
+    /// Division (errors on division by zero).
+    Div(Box<UpdateExpr>, Box<UpdateExpr>),
+    /// Pointwise minimum.
+    Min(Box<UpdateExpr>, Box<UpdateExpr>),
+    /// Pointwise maximum.
+    Max(Box<UpdateExpr>, Box<UpdateExpr>),
+    /// Clamp the first expression into `[lo, hi]`.
+    Clamp {
+        /// Expression being clamped.
+        value: Box<UpdateExpr>,
+        /// Lower bound.
+        lo: Box<UpdateExpr>,
+        /// Upper bound.
+        hi: Box<UpdateExpr>,
+    },
+}
+
+impl UpdateExpr {
+    /// Convenience: `a + b`.
+    pub fn add(a: UpdateExpr, b: UpdateExpr) -> UpdateExpr {
+        UpdateExpr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience: `a - b`.
+    pub fn sub(a: UpdateExpr, b: UpdateExpr) -> UpdateExpr {
+        UpdateExpr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience: `a * b`.
+    pub fn mul(a: UpdateExpr, b: UpdateExpr) -> UpdateExpr {
+        UpdateExpr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience: `min(a, b)`.
+    pub fn min(a: UpdateExpr, b: UpdateExpr) -> UpdateExpr {
+        UpdateExpr::Min(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience: `max(a, b)`.
+    pub fn max(a: UpdateExpr, b: UpdateExpr) -> UpdateExpr {
+        UpdateExpr::Max(Box::new(a), Box::new(b))
+    }
+
+    fn eval(&self, state: &crate::tuple::Tuple, key: i64, effects: &EffectBuffer) -> Result<Value> {
+        match self {
+            UpdateExpr::State(attr) => Ok(state.get(*attr).clone()),
+            UpdateExpr::Effect(attr) => Ok(effects.get_or_default(key, *attr)),
+            UpdateExpr::Const(v) => Ok(v.clone()),
+            UpdateExpr::Add(a, b) => a.eval(state, key, effects)?.add(&b.eval(state, key, effects)?),
+            UpdateExpr::Sub(a, b) => a.eval(state, key, effects)?.sub(&b.eval(state, key, effects)?),
+            UpdateExpr::Mul(a, b) => a.eval(state, key, effects)?.mul(&b.eval(state, key, effects)?),
+            UpdateExpr::Div(a, b) => a.eval(state, key, effects)?.div(&b.eval(state, key, effects)?),
+            UpdateExpr::Min(a, b) => {
+                a.eval(state, key, effects)?.min_value(&b.eval(state, key, effects)?)
+            }
+            UpdateExpr::Max(a, b) => {
+                a.eval(state, key, effects)?.max_value(&b.eval(state, key, effects)?)
+            }
+            UpdateExpr::Clamp { value, lo, hi } => {
+                let v = value.eval(state, key, effects)?;
+                let lo = lo.eval(state, key, effects)?;
+                let hi = hi.eval(state, key, effects)?;
+                v.max_value(&lo)?.min_value(&hi)
+            }
+        }
+    }
+}
+
+/// A single update rule: `target ← expr(old state, combined effects)`.
+#[derive(Debug, Clone)]
+pub enum UpdateRule {
+    /// Assign the value of an expression to a state attribute.
+    Assign {
+        /// State attribute receiving the value.
+        target: AttrId,
+        /// Expression over old state and combined effects.
+        expr: UpdateExpr,
+    },
+    /// Move a position attribute by the combined movement vector, normalised
+    /// to at most `step` world units per tick (Example 4.1's `norm` factor).
+    NormalizedMove {
+        /// Position attribute being moved (`posx` or `posy`).
+        target: AttrId,
+        /// Effect attribute holding the x component of the movement vector.
+        dx: AttrId,
+        /// Effect attribute holding the y component of the movement vector.
+        dy: AttrId,
+        /// True when `target` is the x axis.
+        axis_is_x: bool,
+        /// Maximum distance moved per tick.
+        step: f64,
+    },
+}
+
+/// Predicate deciding which units are removed after the update (e.g. the dead).
+#[derive(Debug, Clone)]
+pub struct RemoveRule {
+    /// State attribute inspected after updates were applied.
+    pub attr: AttrId,
+    /// Remove the unit when `attr <= threshold`.
+    pub threshold: Value,
+}
+
+/// Statistics returned by [`PostProcessor::apply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PostStats {
+    /// Units whose state changed (any rule produced a different value).
+    pub updated: usize,
+    /// Units removed by the removal rule.
+    pub removed: usize,
+}
+
+/// Applies combined effects to the environment table.
+#[derive(Debug, Clone)]
+pub struct PostProcessor {
+    schema: Arc<Schema>,
+    rules: Vec<UpdateRule>,
+    remove: Option<RemoveRule>,
+}
+
+impl PostProcessor {
+    /// Create a post-processor with no rules.
+    pub fn new(schema: Arc<Schema>) -> PostProcessor {
+        PostProcessor { schema, rules: Vec::new(), remove: None }
+    }
+
+    /// Add an assignment rule.
+    pub fn assign(mut self, target: AttrId, expr: UpdateExpr) -> PostProcessor {
+        self.rules.push(UpdateRule::Assign { target, expr });
+        self
+    }
+
+    /// Add a normalised-movement rule for one axis.
+    pub fn normalized_move(
+        mut self,
+        target: AttrId,
+        dx: AttrId,
+        dy: AttrId,
+        axis_is_x: bool,
+        step: f64,
+    ) -> PostProcessor {
+        self.rules.push(UpdateRule::NormalizedMove { target, dx, dy, axis_is_x, step });
+        self
+    }
+
+    /// Remove units whose `attr` is `<= threshold` after the update.
+    pub fn remove_when_le(mut self, attr: AttrId, threshold: impl Into<Value>) -> PostProcessor {
+        self.remove = Some(RemoveRule { attr, threshold: threshold.into() });
+        self
+    }
+
+    /// The rules, for introspection.
+    pub fn rules(&self) -> &[UpdateRule] {
+        &self.rules
+    }
+
+    /// Apply all rules to every unit, then the removal rule, then reset all
+    /// effect attributes to their defaults (ready for the next tick).
+    pub fn apply(&self, table: &mut EnvTable, effects: &EffectBuffer) -> Result<PostStats> {
+        let mut stats = PostStats::default();
+        let schema = Arc::clone(&self.schema);
+        let n = table.len();
+        // Compute all new values first (reads must see the *old* state only),
+        // then write them back: the simultaneous-update semantics of §2.2.
+        let mut new_values: Vec<Vec<(AttrId, Value)>> = Vec::with_capacity(n);
+        for idx in 0..n {
+            let row = table.row(idx);
+            let key = row.key(&schema);
+            let mut updates = Vec::with_capacity(self.rules.len());
+            for rule in &self.rules {
+                match rule {
+                    UpdateRule::Assign { target, expr } => {
+                        updates.push((*target, expr.eval(row, key, effects)?));
+                    }
+                    UpdateRule::NormalizedMove { target, dx, dy, axis_is_x, step } => {
+                        let vx = effects.get_or_default(key, *dx).as_f64()?;
+                        let vy = effects.get_or_default(key, *dy).as_f64()?;
+                        let norm = (vx * vx + vy * vy).sqrt();
+                        let old = row.get(*target).as_f64()?;
+                        let delta = if norm > f64::EPSILON {
+                            let component = if *axis_is_x { vx } else { vy };
+                            component * (step / norm).min(1.0)
+                        } else {
+                            0.0
+                        };
+                        updates.push((*target, Value::Float(old + delta)));
+                    }
+                }
+            }
+            new_values.push(updates);
+        }
+        for (idx, updates) in new_values.into_iter().enumerate() {
+            let row = table.row_mut(idx);
+            let mut changed = false;
+            for (attr, value) in updates {
+                if row.get(attr) != &value {
+                    changed = true;
+                }
+                row.set(attr, value);
+            }
+            if changed {
+                stats.updated += 1;
+            }
+        }
+        if let Some(remove) = &self.remove {
+            let attr = remove.attr;
+            let threshold = remove.threshold.clone();
+            stats.removed = table.remove_where(|row| {
+                row.get(attr)
+                    .compare(&threshold)
+                    .map(|o| o != std::cmp::Ordering::Greater)
+                    .unwrap_or(false)
+            });
+        }
+        table.reset_effects();
+        Ok(stats)
+    }
+}
+
+/// Build the exact post-processing step of Example 4.1 for the paper schema:
+/// positions move by the normalised movement vector, health loses `damage`
+/// and gains `inaura` (capped by `max_health` if present), the cooldown
+/// decreases by one and increases by `weaponused * reload`.
+pub fn paper_postprocessor(schema: &Arc<Schema>, walk_dist_per_tick: f64, reload: i64) -> Result<PostProcessor> {
+    let posx = schema.require_attr("posx")?;
+    let posy = schema.require_attr("posy")?;
+    let health = schema.require_attr("health")?;
+    let cooldown = schema.require_attr("cooldown")?;
+    let weaponused = schema.require_attr("weaponused")?;
+    let mvx = schema.require_attr("movevect_x")?;
+    let mvy = schema.require_attr("movevect_y")?;
+    let damage = schema.require_attr("damage")?;
+    let inaura = schema.require_attr("inaura")?;
+
+    let health_expr = UpdateExpr::add(
+        UpdateExpr::sub(UpdateExpr::State(health), UpdateExpr::Effect(damage)),
+        UpdateExpr::Effect(inaura),
+    );
+    // Cap healing at max_health when the schema provides it.
+    let health_expr = match schema.attr_id("max_health") {
+        Some(maxhp) => UpdateExpr::min(health_expr, UpdateExpr::State(maxhp)),
+        None => health_expr,
+    };
+    let cooldown_expr = UpdateExpr::max(
+        UpdateExpr::add(
+            UpdateExpr::sub(UpdateExpr::State(cooldown), UpdateExpr::Const(Value::Int(1))),
+            UpdateExpr::mul(UpdateExpr::Effect(weaponused), UpdateExpr::Const(Value::Int(reload))),
+        ),
+        UpdateExpr::Const(Value::Int(0)),
+    );
+
+    Ok(PostProcessor::new(Arc::clone(schema))
+        .normalized_move(posx, mvx, mvy, true, walk_dist_per_tick)
+        .normalized_move(posy, mvx, mvy, false, walk_dist_per_tick)
+        .assign(health, health_expr)
+        .assign(cooldown, cooldown_expr)
+        .remove_when_le(health, 0i64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::paper_schema;
+    use crate::tuple::TupleBuilder;
+
+    fn setup() -> (Arc<Schema>, EnvTable, EffectBuffer) {
+        let schema = paper_schema().into_shared();
+        let mut table = EnvTable::new(Arc::clone(&schema));
+        for (key, hp, x) in [(1i64, 20i64, 0.0f64), (2, 5, 10.0), (3, 8, 20.0)] {
+            let t = TupleBuilder::new(&schema)
+                .set("key", key)
+                .unwrap()
+                .set("health", hp)
+                .unwrap()
+                .set("posx", x)
+                .unwrap()
+                .set("cooldown", 2i64)
+                .unwrap()
+                .build();
+            table.insert(t).unwrap();
+        }
+        let effects = EffectBuffer::new(Arc::clone(&schema));
+        (schema, table, effects)
+    }
+
+    #[test]
+    fn damage_and_healing_update_health() {
+        let (schema, mut table, mut effects) = setup();
+        let dmg = schema.attr_id("damage").unwrap();
+        let aura = schema.attr_id("inaura").unwrap();
+        effects.apply(1, dmg, Value::Int(6)).unwrap();
+        effects.apply(1, aura, Value::Int(2)).unwrap();
+        effects.apply(2, dmg, Value::Int(9)).unwrap();
+
+        let pp = paper_postprocessor(&schema, 1.0, 3).unwrap();
+        let stats = pp.apply(&mut table, &effects).unwrap();
+
+        // Unit 2 had 5 hp and took 9 damage: removed.
+        assert_eq!(stats.removed, 1);
+        assert_eq!(table.sorted_keys(), vec![1, 3]);
+        let hp = schema.attr_id("health").unwrap();
+        let idx = table.find_key(1).unwrap();
+        assert_eq!(table.row(idx).get_i64(hp).unwrap(), 20 - 6 + 2);
+    }
+
+    #[test]
+    fn cooldown_decrements_and_reload_applies() {
+        let (schema, mut table, mut effects) = setup();
+        let weapon = schema.attr_id("weaponused").unwrap();
+        effects.apply(1, weapon, Value::Int(1)).unwrap();
+        let pp = paper_postprocessor(&schema, 1.0, 4).unwrap();
+        pp.apply(&mut table, &effects).unwrap();
+        let cd = schema.attr_id("cooldown").unwrap();
+        let shooter = table.find_key(1).unwrap();
+        let idle = table.find_key(3).unwrap();
+        assert_eq!(table.row(shooter).get_i64(cd).unwrap(), 2 - 1 + 4);
+        assert_eq!(table.row(idle).get_i64(cd).unwrap(), 1);
+    }
+
+    #[test]
+    fn cooldown_never_goes_negative() {
+        let (schema, mut table, effects) = setup();
+        let pp = paper_postprocessor(&schema, 1.0, 3).unwrap();
+        pp.apply(&mut table, &effects).unwrap();
+        pp.apply(&mut table, &effects).unwrap();
+        pp.apply(&mut table, &effects).unwrap();
+        let cd = schema.attr_id("cooldown").unwrap();
+        for (_, row) in table.iter() {
+            assert_eq!(row.get_i64(cd).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn movement_is_normalized_to_step_length() {
+        let (schema, mut table, mut effects) = setup();
+        let mvx = schema.attr_id("movevect_x").unwrap();
+        let mvy = schema.attr_id("movevect_y").unwrap();
+        // Unit 1 wants to move 30 units in x and 40 in y; the step is 5.
+        effects.apply(1, mvx, Value::Float(30.0)).unwrap();
+        effects.apply(1, mvy, Value::Float(40.0)).unwrap();
+        let pp = paper_postprocessor(&schema, 5.0, 3).unwrap();
+        pp.apply(&mut table, &effects).unwrap();
+        let posx = schema.attr_id("posx").unwrap();
+        let posy = schema.attr_id("posy").unwrap();
+        let idx = table.find_key(1).unwrap();
+        assert!((table.row(idx).get_f64(posx).unwrap() - 3.0).abs() < 1e-9);
+        assert!((table.row(idx).get_f64(posy).unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_moves_are_not_scaled_up() {
+        let (schema, mut table, mut effects) = setup();
+        let mvx = schema.attr_id("movevect_x").unwrap();
+        effects.apply(1, mvx, Value::Float(0.5)).unwrap();
+        let pp = paper_postprocessor(&schema, 5.0, 3).unwrap();
+        pp.apply(&mut table, &effects).unwrap();
+        let posx = schema.attr_id("posx").unwrap();
+        let idx = table.find_key(1).unwrap();
+        assert!((table.row(idx).get_f64(posx).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effects_are_reset_after_application() {
+        let (schema, mut table, mut effects) = setup();
+        let dmg = schema.attr_id("damage").unwrap();
+        effects.apply(1, dmg, Value::Int(1)).unwrap();
+        // Simulate the executor having written effects into the table too.
+        table.set_by_key(1, dmg, Value::Int(1)).unwrap();
+        let pp = paper_postprocessor(&schema, 1.0, 3).unwrap();
+        pp.apply(&mut table, &effects).unwrap();
+        let idx = table.find_key(1).unwrap();
+        assert_eq!(table.row(idx).get_i64(dmg).unwrap(), 0);
+    }
+
+    #[test]
+    fn no_effects_means_only_cooldown_changes() {
+        let (schema, mut table, effects) = setup();
+        let pp = paper_postprocessor(&schema, 1.0, 3).unwrap();
+        let stats = pp.apply(&mut table, &effects).unwrap();
+        assert_eq!(stats.removed, 0);
+        assert_eq!(stats.updated, 3); // cooldown 2 → 1 for everyone
+        let hp = schema.attr_id("health").unwrap();
+        assert_eq!(table.row(table.find_key_readonly(1).unwrap()).get_i64(hp).unwrap(), 20);
+    }
+
+    #[test]
+    fn clamp_expression_limits_values() {
+        let (schema, mut table, mut effects) = setup();
+        let hp = schema.attr_id("health").unwrap();
+        let aura = schema.attr_id("inaura").unwrap();
+        effects.apply(1, aura, Value::Int(100)).unwrap();
+        let pp = PostProcessor::new(Arc::clone(&schema)).assign(
+            hp,
+            UpdateExpr::Clamp {
+                value: Box::new(UpdateExpr::add(UpdateExpr::State(hp), UpdateExpr::Effect(aura))),
+                lo: Box::new(UpdateExpr::Const(Value::Int(0))),
+                hi: Box::new(UpdateExpr::Const(Value::Int(25))),
+            },
+        );
+        pp.apply(&mut table, &effects).unwrap();
+        assert_eq!(table.row(table.find_key_readonly(1).unwrap()).get_i64(hp).unwrap(), 25);
+    }
+
+    #[test]
+    fn division_rule_errors_propagate() {
+        let (schema, mut table, effects) = setup();
+        let hp = schema.attr_id("health").unwrap();
+        let pp = PostProcessor::new(Arc::clone(&schema)).assign(
+            hp,
+            UpdateExpr::Div(
+                Box::new(UpdateExpr::State(hp)),
+                Box::new(UpdateExpr::Const(Value::Int(0))),
+            ),
+        );
+        assert!(pp.apply(&mut table, &effects).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Deterministic per-tick randomness (the `ρ` function of §4.3).
+//!
+//! SGL's `Random(i)` returns the same value for the same `i` (and the same
+//! unit) within a single clock tick, but generally different values across
+//! ticks.  We implement it as a pure hash of `(seed, tick, unit key, i)` using
+//! SplitMix64, so that the naive and the indexed executor observe *exactly*
+//! the same random draws and therefore produce identical game states — the
+//! basis for the equivalence tests between the two execution strategies.
+
+/// SplitMix64 finalizer: a fast, well-mixed 64-bit hash.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Game-wide random source.  Cheap to copy; create one per game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GameRng {
+    seed: u64,
+}
+
+impl GameRng {
+    /// Create a source from a seed. The same seed reproduces the whole game.
+    pub fn new(seed: u64) -> GameRng {
+        GameRng { seed }
+    }
+
+    /// The per-tick random function handed to scripts at tick `tick`.
+    pub fn for_tick(&self, tick: u64) -> TickRandom {
+        TickRandom { state: splitmix64(self.seed ^ splitmix64(tick)) }
+    }
+}
+
+/// The random function `r(u, i)` for a single tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickRandom {
+    state: u64,
+}
+
+impl TickRandom {
+    /// Raw 64-bit draw for `(unit key, i)`.
+    #[inline]
+    pub fn raw(&self, unit_key: i64, i: i64) -> u64 {
+        splitmix64(self.state ^ splitmix64(unit_key as u64) ^ splitmix64((i as u64).rotate_left(17)))
+    }
+
+    /// The SGL-visible value: a non-negative integer.
+    #[inline]
+    pub fn value(&self, unit_key: i64, i: i64) -> i64 {
+        (self.raw(unit_key, i) >> 1) as i64
+    }
+
+    /// A float uniformly distributed in `[0, 1)`.
+    #[inline]
+    pub fn unit_float(&self, unit_key: i64, i: i64) -> f64 {
+        (self.raw(unit_key, i) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A value in `[0, bound)`; `bound` must be positive.
+    #[inline]
+    pub fn below(&self, unit_key: i64, i: i64, bound: i64) -> i64 {
+        debug_assert!(bound > 0);
+        self.value(unit_key, i).rem_euclid(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_inputs_same_value_within_a_tick() {
+        let rng = GameRng::new(1234);
+        let t = rng.for_tick(7);
+        assert_eq!(t.value(5, 1), t.value(5, 1));
+        assert_eq!(t.raw(5, 1), t.raw(5, 1));
+        assert_eq!(t.unit_float(5, 1), t.unit_float(5, 1));
+    }
+
+    #[test]
+    fn different_ticks_give_different_values() {
+        let rng = GameRng::new(1234);
+        let a = rng.for_tick(7).value(5, 1);
+        let b = rng.for_tick(8).value(5, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_units_and_indices_decorrelate() {
+        let rng = GameRng::new(99);
+        let t = rng.for_tick(0);
+        assert_ne!(t.value(1, 0), t.value(2, 0));
+        assert_ne!(t.value(1, 0), t.value(1, 1));
+    }
+
+    #[test]
+    fn values_are_non_negative() {
+        let rng = GameRng::new(42);
+        let t = rng.for_tick(3);
+        for key in 0..50 {
+            for i in 0..10 {
+                assert!(t.value(key, i) >= 0);
+                let f = t.unit_float(key, i);
+                assert!((0.0..1.0).contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn below_respects_bound_and_is_roughly_uniform() {
+        let rng = GameRng::new(7);
+        let t = rng.for_tick(11);
+        let mut counts = [0usize; 4];
+        for key in 0..4000 {
+            let v = t.below(key, 1, 4);
+            assert!((0..4).contains(&v));
+            counts[v as usize] += 1;
+        }
+        for c in counts {
+            // Each bucket should receive roughly a quarter of the draws.
+            assert!(c > 800 && c < 1200, "bucket count {c} too skewed");
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_everything() {
+        let a = GameRng::new(5).for_tick(9).value(3, 2);
+        let b = GameRng::new(5).for_tick(9).value(3, 2);
+        assert_eq!(a, b);
+        let c = GameRng::new(6).for_tick(9).value(3, 2);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,267 @@
+//! Schemas for the environment relation `E`.
+//!
+//! Following Section 4.2 of the paper, every attribute of the environment is
+//! tagged with a *combination kind*: `const` attributes describe unit state
+//! and can never be the direct subject of an effect, while `sum`, `max` and
+//! `min` attributes are *effect* (auxiliary) attributes whose per-tick values
+//! from different scripts are folded together by the combination operator `⊕`.
+
+use std::sync::Arc;
+
+use rustc_hash::FxHashMap;
+
+use crate::error::{EnvError, Result};
+use crate::value::Value;
+
+/// Index of an attribute within a schema. Resolved once at compile time so
+/// that per-tick attribute access is a plain vector index.
+pub type AttrId = usize;
+
+/// How per-tick effects on an attribute are combined (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CombineKind {
+    /// Unit state: never modified directly by a script.
+    Const,
+    /// Stackable effects: all effects of a tick accumulate (e.g. damage).
+    Sum,
+    /// Nonstackable effects keeping the largest value (e.g. healing auras).
+    Max,
+    /// Nonstackable effects keeping the smallest value (e.g. slow debuffs).
+    Min,
+}
+
+impl CombineKind {
+    /// True for the auxiliary (effect) kinds.
+    pub fn is_effect(self) -> bool {
+        !matches!(self, CombineKind::Const)
+    }
+}
+
+/// Definition of a single attribute.
+#[derive(Debug, Clone)]
+pub struct AttrDef {
+    /// Attribute name as referenced from SGL scripts (`u.name`).
+    pub name: String,
+    /// Combination kind.
+    pub kind: CombineKind,
+    /// Default value: effect attributes are reset to this at the start of each
+    /// tick; const attributes use it when a unit is spawned without a value.
+    pub default: Value,
+}
+
+/// Schema of the environment relation.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    attrs: Vec<AttrDef>,
+    by_name: FxHashMap<String, AttrId>,
+    key: AttrId,
+}
+
+impl Schema {
+    /// Start building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { attrs: Vec::new(), key: None }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if the schema has no attributes (never the case for valid schemas).
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The key attribute (always `const`, integer valued).
+    pub fn key_attr(&self) -> AttrId {
+        self.key
+    }
+
+    /// Resolve an attribute name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve an attribute name, erroring when unknown.
+    pub fn require_attr(&self, name: &str) -> Result<AttrId> {
+        self.attr_id(name).ok_or_else(|| EnvError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Definition of an attribute.
+    pub fn attr(&self, id: AttrId) -> &AttrDef {
+        &self.attrs[id]
+    }
+
+    /// All attribute definitions in declaration order.
+    pub fn attrs(&self) -> &[AttrDef] {
+        &self.attrs
+    }
+
+    /// Ids of all `const` attributes.
+    pub fn const_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.attrs.iter().enumerate().filter(|(_, a)| a.kind == CombineKind::Const).map(|(i, _)| i)
+    }
+
+    /// Ids of all effect (`sum`/`max`/`min`) attributes.
+    pub fn effect_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.attrs.iter().enumerate().filter(|(_, a)| a.kind.is_effect()).map(|(i, _)| i)
+    }
+
+    /// Default values for a fresh tuple, in attribute order.
+    pub fn default_values(&self) -> Vec<Value> {
+        self.attrs.iter().map(|a| a.default.clone()).collect()
+    }
+
+    /// Share the schema behind an `Arc`.
+    pub fn into_shared(self) -> Arc<Schema> {
+        Arc::new(self)
+    }
+}
+
+/// Builder for [`Schema`].
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    attrs: Vec<AttrDef>,
+    key: Option<AttrId>,
+}
+
+impl SchemaBuilder {
+    fn push(&mut self, name: &str, kind: CombineKind, default: Value) -> &mut Self {
+        self.attrs.push(AttrDef { name: name.to_string(), kind, default });
+        self
+    }
+
+    /// Declare the key attribute (const, integer).  Must be called exactly once.
+    pub fn key(&mut self, name: &str) -> &mut Self {
+        self.key = Some(self.attrs.len());
+        self.push(name, CombineKind::Const, Value::Int(0))
+    }
+
+    /// Declare a `const` (state) attribute.
+    pub fn const_attr(&mut self, name: &str, default: impl Into<Value>) -> &mut Self {
+        self.push(name, CombineKind::Const, default.into())
+    }
+
+    /// Declare a stackable (`sum`) effect attribute.
+    pub fn sum_attr(&mut self, name: &str, default: impl Into<Value>) -> &mut Self {
+        self.push(name, CombineKind::Sum, default.into())
+    }
+
+    /// Declare a nonstackable (`max`) effect attribute.
+    pub fn max_attr(&mut self, name: &str, default: impl Into<Value>) -> &mut Self {
+        self.push(name, CombineKind::Max, default.into())
+    }
+
+    /// Declare a nonstackable (`min`) effect attribute.
+    pub fn min_attr(&mut self, name: &str, default: impl Into<Value>) -> &mut Self {
+        self.push(name, CombineKind::Min, default.into())
+    }
+
+    /// Finish, validating name uniqueness and key constraints.
+    pub fn build(&self) -> Result<Schema> {
+        let key = self.key.ok_or(EnvError::MissingKey)?;
+        let mut by_name = FxHashMap::default();
+        for (i, attr) in self.attrs.iter().enumerate() {
+            if by_name.insert(attr.name.clone(), i).is_some() {
+                return Err(EnvError::DuplicateAttribute(attr.name.clone()));
+            }
+        }
+        let key_def = &self.attrs[key];
+        if key_def.kind != CombineKind::Const {
+            return Err(EnvError::InvalidKey(format!("`{}` must be const", key_def.name)));
+        }
+        if !matches!(key_def.default, Value::Int(_)) {
+            return Err(EnvError::InvalidKey(format!("`{}` must be integer valued", key_def.name)));
+        }
+        Ok(Schema { attrs: self.attrs.clone(), by_name, key })
+    }
+}
+
+/// Build the battle-simulation schema of Eq. (1) in the paper.  Handy for
+/// examples and tests across the workspace.
+///
+/// ```
+/// let schema = sgl_env::schema::paper_schema();
+/// assert!(schema.attr_id("damage").is_some());
+/// ```
+pub fn paper_schema() -> Schema {
+    let mut b = Schema::builder();
+    b.key("key")
+        .const_attr("player", 0i64)
+        .const_attr("posx", 0.0f64)
+        .const_attr("posy", 0.0f64)
+        .const_attr("health", 0i64)
+        .const_attr("cooldown", 0i64)
+        .sum_attr("weaponused", 0i64)
+        .sum_attr("movevect_x", 0.0f64)
+        .sum_attr("movevect_y", 0.0f64)
+        .sum_attr("damage", 0i64)
+        .max_attr("inaura", 0i64);
+    b.build().expect("paper schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_paper_schema() {
+        let s = paper_schema();
+        assert_eq!(s.len(), 11);
+        assert_eq!(s.key_attr(), 0);
+        assert_eq!(s.attr(s.attr_id("inaura").unwrap()).kind, CombineKind::Max);
+        assert_eq!(s.attr(s.attr_id("damage").unwrap()).kind, CombineKind::Sum);
+        assert_eq!(s.const_attrs().count(), 6);
+        assert_eq!(s.effect_attrs().count(), 5);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn missing_key_is_rejected() {
+        let mut b = Schema::builder();
+        b.const_attr("a", 1i64);
+        assert_eq!(b.build().unwrap_err(), EnvError::MissingKey);
+    }
+
+    #[test]
+    fn duplicate_attribute_is_rejected() {
+        let mut b = Schema::builder();
+        b.key("key").const_attr("a", 1i64).sum_attr("a", 0i64);
+        assert!(matches!(b.build().unwrap_err(), EnvError::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn non_integer_key_is_rejected() {
+        let mut b = Schema::builder();
+        b.attrs.push(AttrDef { name: "key".into(), kind: CombineKind::Const, default: Value::Float(0.0) });
+        b.key = Some(0);
+        assert!(matches!(b.build().unwrap_err(), EnvError::InvalidKey(_)));
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let s = paper_schema();
+        assert_eq!(s.attr_id("nonexistent"), None);
+        assert!(s.require_attr("nonexistent").is_err());
+        let id = s.require_attr("posx").unwrap();
+        assert_eq!(s.attr(id).name, "posx");
+    }
+
+    #[test]
+    fn default_values_match_declaration_order() {
+        let s = paper_schema();
+        let defaults = s.default_values();
+        assert_eq!(defaults.len(), s.len());
+        assert_eq!(defaults[0], Value::Int(0));
+        assert_eq!(defaults[s.attr_id("posx").unwrap()], Value::Float(0.0));
+    }
+
+    #[test]
+    fn combine_kind_classification() {
+        assert!(!CombineKind::Const.is_effect());
+        assert!(CombineKind::Sum.is_effect());
+        assert!(CombineKind::Max.is_effect());
+        assert!(CombineKind::Min.is_effect());
+    }
+}

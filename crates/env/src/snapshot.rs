@@ -1,0 +1,337 @@
+//! Binary snapshots of the environment relation.
+//!
+//! The data-driven architecture of §2 keeps "character data" in files outside
+//! the engine: scenarios are authored, saved, shipped and modded as data.
+//! This module provides the corresponding persistence substrate for the
+//! environment relation `E`: a compact, deterministic binary encoding of a
+//! table ([`snapshot`]) and its inverse ([`restore`]), plus a schema
+//! fingerprint so a snapshot written against one schema is never silently
+//! decoded against another.
+//!
+//! The format is intentionally simple (little-endian, length-prefixed,
+//! trailing FNV-1a checksum) so that saves are reproducible byte for byte —
+//! the replay harness in `sgl-engine` relies on "same seed + same snapshot ⇒
+//! same game" for its determinism checks.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{EnvError, Result};
+use crate::schema::Schema;
+use crate::table::EnvTable;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Magic number at the start of every snapshot (`"SGL\x01"`).
+const MAGIC: u32 = 0x53474C01;
+/// Current format version.
+const VERSION: u16 = 1;
+
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_BOOL: u8 = 3;
+const TAG_STR: u8 = 4;
+
+/// A stable fingerprint of a schema: attribute names, order and combination
+/// kinds (defaults are not part of the identity — they only matter when
+/// spawning new units).
+pub fn schema_fingerprint(schema: &Schema) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut write = |bytes: &[u8]| {
+        for b in bytes {
+            hash ^= *b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for attr in schema.attrs() {
+        write(attr.name.as_bytes());
+        write(&[match attr.kind {
+            crate::schema::CombineKind::Const => 0u8,
+            crate::schema::CombineKind::Sum => 1,
+            crate::schema::CombineKind::Max => 2,
+            crate::schema::CombineKind::Min => 3,
+        }]);
+    }
+    write(&(schema.len() as u64).to_le_bytes());
+    hash
+}
+
+/// Serialize a table into a self-describing snapshot.
+pub fn snapshot(table: &EnvTable) -> Bytes {
+    let schema = table.schema();
+    let mut buf = BytesMut::with_capacity(64 + table.len() * schema.len() * 9);
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(schema_fingerprint(schema));
+    buf.put_u32_le(schema.len() as u32);
+    buf.put_u64_le(table.len() as u64);
+    for (_, row) in table.iter() {
+        for value in row.values() {
+            put_value(&mut buf, value);
+        }
+    }
+    // Trailing checksum over everything written so far.
+    let checksum = fnv(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Decode a snapshot previously produced by [`snapshot`] against the same
+/// schema.  Fails when the data is truncated, corrupted, or was written
+/// against a schema with a different fingerprint.
+pub fn restore(data: &[u8], schema: &std::sync::Arc<Schema>) -> Result<EnvTable> {
+    if data.len() < 4 + 2 + 8 + 4 + 8 + 8 {
+        return Err(EnvError::Snapshot("snapshot is too short".into()));
+    }
+    let (payload, checksum_bytes) = data.split_at(data.len() - 8);
+    let stored_checksum = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+    if fnv(payload) != stored_checksum {
+        return Err(EnvError::Snapshot("checksum mismatch (corrupted snapshot)".into()));
+    }
+
+    let mut cursor = payload;
+    if cursor.get_u32_le() != MAGIC {
+        return Err(EnvError::Snapshot("bad magic number".into()));
+    }
+    let version = cursor.get_u16_le();
+    if version != VERSION {
+        return Err(EnvError::Snapshot(format!("unsupported snapshot version {version}")));
+    }
+    let fingerprint = cursor.get_u64_le();
+    if fingerprint != schema_fingerprint(schema) {
+        return Err(EnvError::Snapshot("snapshot was written against a different schema".into()));
+    }
+    let arity = cursor.get_u32_le() as usize;
+    if arity != schema.len() {
+        return Err(EnvError::Snapshot(format!(
+            "snapshot arity {arity} does not match schema arity {}",
+            schema.len()
+        )));
+    }
+    let rows = cursor.get_u64_le() as usize;
+
+    let mut table = EnvTable::new(std::sync::Arc::clone(schema));
+    for _ in 0..rows {
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(get_value(&mut cursor)?);
+        }
+        let tuple = Tuple::new(schema, values)?;
+        table.insert(tuple)?;
+    }
+    if cursor.has_remaining() {
+        return Err(EnvError::Snapshot(format!("{} trailing bytes after the last row", cursor.remaining())));
+    }
+    Ok(table)
+}
+
+fn put_value(buf: &mut BytesMut, value: &Value) {
+    match value {
+        Value::Int(v) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*v);
+        }
+        Value::Float(v) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64_le(*v);
+        }
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(*b as u8);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            let bytes = s.as_bytes();
+            buf.put_u32_le(bytes.len() as u32);
+            buf.put_slice(bytes);
+        }
+    }
+}
+
+fn get_value(cursor: &mut &[u8]) -> Result<Value> {
+    let need = |cursor: &&[u8], n: usize| -> Result<()> {
+        if cursor.remaining() < n {
+            Err(EnvError::Snapshot("unexpected end of snapshot".into()))
+        } else {
+            Ok(())
+        }
+    };
+    need(cursor, 1)?;
+    let tag = cursor.get_u8();
+    match tag {
+        TAG_INT => {
+            need(cursor, 8)?;
+            Ok(Value::Int(cursor.get_i64_le()))
+        }
+        TAG_FLOAT => {
+            need(cursor, 8)?;
+            Ok(Value::Float(cursor.get_f64_le()))
+        }
+        TAG_BOOL => {
+            need(cursor, 1)?;
+            Ok(Value::Bool(cursor.get_u8() != 0))
+        }
+        TAG_STR => {
+            need(cursor, 4)?;
+            let len = cursor.get_u32_le() as usize;
+            need(cursor, len)?;
+            let bytes = cursor[..len].to_vec();
+            cursor.advance(len);
+            let s = String::from_utf8(bytes)
+                .map_err(|_| EnvError::Snapshot("invalid UTF-8 in string value".into()))?;
+            Ok(Value::str(s))
+        }
+        other => Err(EnvError::Snapshot(format!("unknown value tag {other}"))),
+    }
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::paper_schema;
+    use crate::tuple::TupleBuilder;
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    fn sample_table(units: usize) -> EnvTable {
+        let schema = paper_schema().into_shared();
+        let mut table = EnvTable::new(Arc::clone(&schema));
+        for key in 0..units as i64 {
+            let t = TupleBuilder::new(&schema)
+                .set("key", key)
+                .unwrap()
+                .set("player", key % 2)
+                .unwrap()
+                .set("posx", key as f64 * 1.5)
+                .unwrap()
+                .set("posy", 100.0 - key as f64)
+                .unwrap()
+                .set("health", 30 - key)
+                .unwrap()
+                .set("cooldown", key % 3)
+                .unwrap()
+                .build();
+            table.insert(t).unwrap();
+        }
+        table
+    }
+
+    #[test]
+    fn round_trip_preserves_every_value() {
+        let table = sample_table(50);
+        let bytes = snapshot(&table);
+        let restored = restore(&bytes, table.schema()).unwrap();
+        assert_eq!(restored.len(), table.len());
+        assert_eq!(restored.sorted_keys(), table.sorted_keys());
+        for (idx, row) in table.iter() {
+            let key = table.key_of(idx);
+            let other = restored.find_key_readonly(key).unwrap();
+            for (attr, value) in row.values().iter().enumerate() {
+                assert!(
+                    value.loose_eq(restored.row(other).get(attr)),
+                    "attribute {attr} of unit {key} changed across the round trip"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_are_deterministic() {
+        let table = sample_table(20);
+        assert_eq!(snapshot(&table), snapshot(&table));
+    }
+
+    #[test]
+    fn empty_tables_round_trip() {
+        let schema = paper_schema().into_shared();
+        let table = EnvTable::new(Arc::clone(&schema));
+        let bytes = snapshot(&table);
+        let restored = restore(&bytes, &schema).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn string_and_bool_values_round_trip() {
+        let mut b = Schema::builder();
+        b.key("key").const_attr("name", Value::str("none")).const_attr("alive", true).sum_attr("damage", 0i64);
+        let schema = b.build().unwrap().into_shared();
+        let mut table = EnvTable::new(Arc::clone(&schema));
+        let t = TupleBuilder::new(&schema)
+            .set("key", 7i64)
+            .unwrap()
+            .set("name", Value::str("Sir Lance"))
+            .unwrap()
+            .set("alive", false)
+            .unwrap()
+            .build();
+        table.insert(t).unwrap();
+        let restored = restore(&snapshot(&table), &schema).unwrap();
+        let name = schema.attr_id("name").unwrap();
+        let alive = schema.attr_id("alive").unwrap();
+        assert_eq!(restored.row(0).get(name).as_str(), Some("Sir Lance"));
+        assert_eq!(restored.row(0).get(alive).as_bool().unwrap(), false);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let table = sample_table(10);
+        let bytes = snapshot(&table);
+        // Flip one byte in the middle of the payload.
+        let mut corrupted = bytes.to_vec();
+        let mid = corrupted.len() / 2;
+        corrupted[mid] ^= 0xFF;
+        let err = restore(&corrupted, table.schema()).unwrap_err();
+        assert!(matches!(err, EnvError::Snapshot(_)));
+        assert!(err.to_string().contains("checksum") || err.to_string().contains("snapshot"));
+    }
+
+    #[test]
+    fn truncated_snapshots_are_rejected() {
+        let table = sample_table(10);
+        let bytes = snapshot(&table);
+        for cut in [0usize, 5, 20, bytes.len() - 1] {
+            let err = restore(&bytes[..cut], table.schema());
+            assert!(err.is_err(), "truncation at {cut} bytes should fail");
+        }
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let table = sample_table(5);
+        let bytes = snapshot(&table);
+        let mut b = Schema::builder();
+        b.key("key").const_attr("posx", 0.0).sum_attr("damage", 0i64);
+        let other = b.build().unwrap().into_shared();
+        let err = restore(&bytes, &other).unwrap_err();
+        assert!(matches!(err, EnvError::Snapshot(_)));
+        assert!(err.to_string().contains("schema"));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_schemas() {
+        let a = paper_schema();
+        let b = paper_schema();
+        assert_eq!(schema_fingerprint(&a), schema_fingerprint(&b));
+        let mut builder = Schema::builder();
+        builder.key("key").const_attr("posx", 0.0).min_attr("slow", 0i64);
+        let c = builder.build().unwrap();
+        assert_ne!(schema_fingerprint(&a), schema_fingerprint(&c));
+    }
+
+    #[test]
+    fn garbage_input_fails_cleanly() {
+        let schema = paper_schema().into_shared();
+        assert!(restore(&[], &schema).is_err());
+        assert!(restore(&[0u8; 16], &schema).is_err());
+        let garbage: Vec<u8> = (0..200u8).collect();
+        assert!(restore(&garbage, &schema).is_err());
+    }
+}

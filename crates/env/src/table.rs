@@ -1,0 +1,261 @@
+//! The environment relation `E`: a multiset of unit tuples.
+
+use std::sync::Arc;
+
+use rustc_hash::FxHashMap;
+
+use crate::error::{EnvError, Result};
+use crate::schema::{AttrId, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// The environment relation.  Holds every unit/object in the game world.
+///
+/// The table keeps a key → row-index map so executors can resolve
+/// `WHERE e.key = target_key` probes in O(1); the map is rebuilt lazily after
+/// structural changes (insert/remove).
+#[derive(Debug, Clone)]
+pub struct EnvTable {
+    schema: Arc<Schema>,
+    rows: Vec<Tuple>,
+    key_index: FxHashMap<i64, usize>,
+    key_index_dirty: bool,
+}
+
+impl EnvTable {
+    /// Create an empty environment with the given schema.
+    pub fn new(schema: Arc<Schema>) -> EnvTable {
+        EnvTable { schema, rows: Vec::new(), key_index: FxHashMap::default(), key_index_dirty: false }
+    }
+
+    /// The schema of the table.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no units.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a unit, checking arity. Keys are expected to be unique; a
+    /// duplicate key is an error so that effect application stays well defined.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.len() {
+            return Err(EnvError::ArityMismatch { expected: self.schema.len(), found: tuple.arity() });
+        }
+        let key = tuple.key(&self.schema);
+        self.ensure_key_index();
+        if self.key_index.contains_key(&key) {
+            return Err(EnvError::DuplicateKey(key));
+        }
+        self.key_index.insert(key, self.rows.len());
+        self.rows.push(tuple);
+        Ok(())
+    }
+
+    /// Access a row by position.
+    pub fn row(&self, idx: usize) -> &Tuple {
+        &self.rows[idx]
+    }
+
+    /// Mutable access to a row by position.
+    pub fn row_mut(&mut self, idx: usize) -> &mut Tuple {
+        &mut self.rows[idx]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// All rows, mutably. Callers must not change keys through this.
+    pub fn rows_mut(&mut self) -> &mut [Tuple] {
+        &mut self.rows
+    }
+
+    /// Iterate over `(row_index, tuple)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Tuple)> {
+        self.rows.iter().enumerate()
+    }
+
+    /// The key of the row at `idx`.
+    pub fn key_of(&self, idx: usize) -> i64 {
+        self.rows[idx].key(&self.schema)
+    }
+
+    fn ensure_key_index(&mut self) {
+        if self.key_index_dirty {
+            self.key_index.clear();
+            for (i, row) in self.rows.iter().enumerate() {
+                self.key_index.insert(row.key(&self.schema), i);
+            }
+            self.key_index_dirty = false;
+        }
+    }
+
+    /// Find the row index holding `key`.
+    pub fn find_key(&mut self, key: i64) -> Option<usize> {
+        self.ensure_key_index();
+        self.key_index.get(&key).copied()
+    }
+
+    /// Find the row index holding `key` without requiring `&mut self`.
+    /// Falls back to a linear scan if the index is stale.
+    pub fn find_key_readonly(&self, key: i64) -> Option<usize> {
+        if !self.key_index_dirty {
+            return self.key_index.get(&key).copied();
+        }
+        self.rows.iter().position(|r| r.key(&self.schema) == key)
+    }
+
+    /// Read a whole column as `f64` (used to build per-tick indexes).
+    pub fn column_f64(&self, attr: AttrId) -> Result<Vec<f64>> {
+        self.rows.iter().map(|r| r.get(attr).as_f64()).collect()
+    }
+
+    /// Read a whole column as `i64`.
+    pub fn column_i64(&self, attr: AttrId) -> Result<Vec<i64>> {
+        self.rows.iter().map(|r| r.get(attr).as_i64()).collect()
+    }
+
+    /// Reset every effect attribute of every unit to its default.
+    /// This is the per-tick initialisation step of the processing model (§4.3).
+    pub fn reset_effects(&mut self) {
+        let schema = Arc::clone(&self.schema);
+        for row in &mut self.rows {
+            row.reset_effects(&schema);
+        }
+    }
+
+    /// Remove all rows matching the predicate. Returns the number removed.
+    pub fn remove_where<F: FnMut(&Tuple) -> bool>(&mut self, mut pred: F) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| !pred(r));
+        let removed = before - self.rows.len();
+        if removed > 0 {
+            self.key_index_dirty = true;
+        }
+        removed
+    }
+
+    /// Update a single unit's attribute by key.
+    pub fn set_by_key(&mut self, key: i64, attr: AttrId, value: Value) -> Result<()> {
+        if self.schema.attr(attr).kind == crate::schema::CombineKind::Const && attr == self.schema.key_attr() {
+            return Err(EnvError::InvalidKey("cannot overwrite the key attribute".into()));
+        }
+        let idx = self.find_key(key).ok_or(EnvError::UnknownKey(key))?;
+        self.rows[idx].set(attr, value);
+        Ok(())
+    }
+
+    /// Collect the multiset of keys (sorted) — useful in tests.
+    pub fn sorted_keys(&self) -> Vec<i64> {
+        let mut keys: Vec<i64> = self.rows.iter().map(|r| r.key(&self.schema)).collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::paper_schema;
+    use crate::tuple::TupleBuilder;
+
+    fn mk_unit(schema: &Schema, key: i64, player: i64, x: f64, y: f64, health: i64) -> Tuple {
+        TupleBuilder::new(schema)
+            .set("key", key)
+            .unwrap()
+            .set("player", player)
+            .unwrap()
+            .set("posx", x)
+            .unwrap()
+            .set("posy", y)
+            .unwrap()
+            .set("health", health)
+            .unwrap()
+            .build()
+    }
+
+    fn sample_table() -> (Arc<Schema>, EnvTable) {
+        let schema = paper_schema().into_shared();
+        let mut t = EnvTable::new(Arc::clone(&schema));
+        t.insert(mk_unit(&schema, 1, 0, 0.0, 0.0, 20)).unwrap();
+        t.insert(mk_unit(&schema, 2, 0, 3.0, 4.0, 15)).unwrap();
+        t.insert(mk_unit(&schema, 3, 1, 10.0, 10.0, 8)).unwrap();
+        (schema, t)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let (_schema, mut t) = sample_table();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.find_key(2), Some(1));
+        assert_eq!(t.find_key(99), None);
+        assert_eq!(t.find_key_readonly(3), Some(2));
+        assert_eq!(t.key_of(0), 1);
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let (schema, mut t) = sample_table();
+        let dup = mk_unit(&schema, 2, 1, 1.0, 1.0, 5);
+        assert_eq!(t.insert(dup).unwrap_err(), EnvError::DuplicateKey(2));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let (schema, mut t) = sample_table();
+        let bad = Tuple::from_values(vec![Value::Int(9)]);
+        assert!(matches!(t.insert(bad).unwrap_err(), EnvError::ArityMismatch { .. }));
+        let _ = schema;
+    }
+
+    #[test]
+    fn columns() {
+        let (schema, t) = sample_table();
+        let xs = t.column_f64(schema.attr_id("posx").unwrap()).unwrap();
+        assert_eq!(xs, vec![0.0, 3.0, 10.0]);
+        let players = t.column_i64(schema.attr_id("player").unwrap()).unwrap();
+        assert_eq!(players, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn remove_where_invalidates_key_index() {
+        let (schema, mut t) = sample_table();
+        let hp = schema.attr_id("health").unwrap();
+        let removed = t.remove_where(|r| r.get_i64(hp).unwrap() < 10);
+        assert_eq!(removed, 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.find_key(3), None);
+        assert_eq!(t.find_key(1), Some(0));
+        assert_eq!(t.sorted_keys(), vec![1, 2]);
+    }
+
+    #[test]
+    fn set_by_key_and_reset_effects() {
+        let (schema, mut t) = sample_table();
+        let dmg = schema.attr_id("damage").unwrap();
+        t.set_by_key(2, dmg, Value::Int(7)).unwrap();
+        assert_eq!(t.row(1).get_i64(dmg).unwrap(), 7);
+        t.reset_effects();
+        assert_eq!(t.row(1).get_i64(dmg).unwrap(), 0);
+        assert!(t.set_by_key(77, dmg, Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn find_key_readonly_with_stale_index_scans() {
+        let (schema, mut t) = sample_table();
+        let hp = schema.attr_id("health").unwrap();
+        t.remove_where(|r| r.get_i64(hp).unwrap() == 20); // key 1 gone, index dirty
+        assert_eq!(t.find_key_readonly(2), Some(0));
+        assert_eq!(t.find_key_readonly(1), None);
+    }
+}

@@ -1,0 +1,182 @@
+//! Row representation for the environment relation.
+
+use crate::error::{EnvError, Result};
+use crate::schema::{AttrId, Schema};
+use crate::value::Value;
+
+/// A single row (unit/object) of the environment relation.
+///
+/// Values are stored in schema attribute order; access is by pre-resolved
+/// [`AttrId`] so that per-tick evaluation does not hash attribute names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Create a tuple filled with the schema defaults.
+    pub fn defaults(schema: &Schema) -> Tuple {
+        Tuple { values: schema.default_values() }
+    }
+
+    /// Create a tuple from explicit values, checking arity against the schema.
+    pub fn new(schema: &Schema, values: Vec<Value>) -> Result<Tuple> {
+        if values.len() != schema.len() {
+            return Err(EnvError::ArityMismatch { expected: schema.len(), found: values.len() });
+        }
+        Ok(Tuple { values })
+    }
+
+    /// Create a tuple without validation (used by executors on hot paths where
+    /// the arity is known by construction).
+    pub fn from_values(values: Vec<Value>) -> Tuple {
+        Tuple { values }
+    }
+
+    /// Number of attributes stored.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Read an attribute.
+    pub fn get(&self, attr: AttrId) -> &Value {
+        &self.values[attr]
+    }
+
+    /// Write an attribute.
+    pub fn set(&mut self, attr: AttrId, value: Value) {
+        self.values[attr] = value;
+    }
+
+    /// Read an attribute as `f64`.
+    pub fn get_f64(&self, attr: AttrId) -> Result<f64> {
+        self.values[attr].as_f64()
+    }
+
+    /// Read an attribute as `i64`.
+    pub fn get_i64(&self, attr: AttrId) -> Result<i64> {
+        self.values[attr].as_i64()
+    }
+
+    /// The key of this tuple under the given schema.
+    pub fn key(&self, schema: &Schema) -> i64 {
+        self.values[schema.key_attr()].as_i64().expect("key attribute is integer valued")
+    }
+
+    /// All values in attribute order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Mutable access to all values.
+    pub fn values_mut(&mut self) -> &mut [Value] {
+        &mut self.values
+    }
+
+    /// Consume the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Reset every effect attribute to its schema default (start of a tick).
+    pub fn reset_effects(&mut self, schema: &Schema) {
+        for attr in schema.effect_attrs() {
+            self.values[attr] = schema.attr(attr).default.clone();
+        }
+    }
+}
+
+/// Convenience builder for tuples used by tests, examples and the scenario
+/// generator: set attributes by name on top of schema defaults.
+#[derive(Debug)]
+pub struct TupleBuilder<'a> {
+    schema: &'a Schema,
+    tuple: Tuple,
+}
+
+impl<'a> TupleBuilder<'a> {
+    /// Start from the schema defaults.
+    pub fn new(schema: &'a Schema) -> Self {
+        TupleBuilder { schema, tuple: Tuple::defaults(schema) }
+    }
+
+    /// Set an attribute by name.
+    pub fn set(mut self, name: &str, value: impl Into<Value>) -> Result<Self> {
+        let id = self.schema.require_attr(name)?;
+        self.tuple.set(id, value.into());
+        Ok(self)
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Tuple {
+        self.tuple
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::paper_schema;
+
+    #[test]
+    fn defaults_and_access() {
+        let schema = paper_schema();
+        let mut t = Tuple::defaults(&schema);
+        assert_eq!(t.arity(), schema.len());
+        let hp = schema.attr_id("health").unwrap();
+        t.set(hp, Value::Int(25));
+        assert_eq!(t.get(hp), &Value::Int(25));
+        assert_eq!(t.get_i64(hp).unwrap(), 25);
+        assert_eq!(t.get_f64(hp).unwrap(), 25.0);
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let schema = paper_schema();
+        assert!(Tuple::new(&schema, vec![Value::Int(1)]).is_err());
+        let ok = Tuple::new(&schema, schema.default_values());
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn key_extraction() {
+        let schema = paper_schema();
+        let t = TupleBuilder::new(&schema).set("key", 42i64).unwrap().build();
+        assert_eq!(t.key(&schema), 42);
+    }
+
+    #[test]
+    fn builder_rejects_unknown_attribute() {
+        let schema = paper_schema();
+        assert!(TupleBuilder::new(&schema).set("bogus", 1i64).is_err());
+    }
+
+    #[test]
+    fn reset_effects_restores_defaults_but_keeps_state() {
+        let schema = paper_schema();
+        let mut t = TupleBuilder::new(&schema)
+            .set("key", 1i64)
+            .unwrap()
+            .set("health", 30i64)
+            .unwrap()
+            .set("damage", 12i64)
+            .unwrap()
+            .set("inaura", 5i64)
+            .unwrap()
+            .build();
+        t.reset_effects(&schema);
+        assert_eq!(t.get_i64(schema.attr_id("health").unwrap()).unwrap(), 30);
+        assert_eq!(t.get_i64(schema.attr_id("damage").unwrap()).unwrap(), 0);
+        assert_eq!(t.get_i64(schema.attr_id("inaura").unwrap()).unwrap(), 0);
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let schema = paper_schema();
+        let t = Tuple::defaults(&schema);
+        let vals = t.clone().into_values();
+        let t2 = Tuple::from_values(vals);
+        assert_eq!(t, t2);
+        assert_eq!(t2.values().len(), schema.len());
+    }
+}

@@ -1,0 +1,148 @@
+//! Executor configuration and per-tick statistics.
+
+use sgl_env::{AttrId, Schema};
+
+/// Which execution strategy evaluates the aggregate queries of a tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Straightforward per-unit evaluation: every aggregate scans the whole
+    /// environment (`O(n)` per unit, `O(n²)` per tick) — the baseline of §6.
+    Naive,
+    /// Set-at-a-time evaluation through per-tick index structures
+    /// (`O(n log n)` per tick) — the paper's contribution.
+    Indexed,
+}
+
+/// Which attributes hold the spatial position of a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpatialAttrs {
+    /// The x position attribute.
+    pub x: AttrId,
+    /// The y position attribute.
+    pub y: AttrId,
+}
+
+impl SpatialAttrs {
+    /// Resolve the conventional `posx`/`posy` attributes from a schema.
+    pub fn from_schema(schema: &Schema) -> Option<SpatialAttrs> {
+        Some(SpatialAttrs { x: schema.attr_id("posx")?, y: schema.attr_id("posy")? })
+    }
+}
+
+/// Full executor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Naive or indexed execution.
+    pub mode: ExecMode,
+    /// Spatial attributes used by the index planner.
+    pub spatial: Option<SpatialAttrs>,
+    /// Use fractional cascading in the layered aggregate trees (§5.3.1).
+    pub cascading: bool,
+    /// Memoize the results of identical aggregate calls for the same unit
+    /// within a tick (the multi-query sharing the optimizer exposes).
+    pub share_aggregates: bool,
+    /// Use the effect-centre index for area-of-effect actions (§5.4).
+    pub aoe_index: bool,
+}
+
+impl ExecConfig {
+    /// Configuration for naive execution against a schema.
+    pub fn naive(schema: &Schema) -> ExecConfig {
+        ExecConfig {
+            mode: ExecMode::Naive,
+            spatial: SpatialAttrs::from_schema(schema),
+            cascading: false,
+            share_aggregates: false,
+            aoe_index: false,
+        }
+    }
+
+    /// Configuration for indexed execution against a schema (all paper
+    /// optimizations enabled).
+    pub fn indexed(schema: &Schema) -> ExecConfig {
+        ExecConfig {
+            mode: ExecMode::Indexed,
+            spatial: SpatialAttrs::from_schema(schema),
+            cascading: true,
+            share_aggregates: true,
+            aoe_index: true,
+        }
+    }
+}
+
+/// Counters collected during a tick — used by tests, the ablation benchmarks
+/// and the experiment harness to verify *why* one mode is faster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickStats {
+    /// Aggregate evaluations requested by scripts (call sites × acting units).
+    pub aggregate_probes: usize,
+    /// Aggregate evaluations answered by a full scan of the environment.
+    pub naive_scans: usize,
+    /// Aggregate evaluations answered from an index structure.
+    pub index_probes: usize,
+    /// Aggregate evaluations answered from the per-tick memo cache.
+    pub shared_hits: usize,
+    /// Number of index structures built this tick.
+    pub indexes_built: usize,
+    /// Effect rows emitted by actions.
+    pub effect_rows: usize,
+    /// Units that performed at least one action.
+    pub acting_units: usize,
+}
+
+impl TickStats {
+    /// Merge counters from another tick/fragment.
+    pub fn merge(&mut self, other: &TickStats) {
+        self.aggregate_probes += other.aggregate_probes;
+        self.naive_scans += other.naive_scans;
+        self.index_probes += other.index_probes;
+        self.shared_hits += other.shared_hits;
+        self.indexes_built += other.indexes_built;
+        self.effect_rows += other.effect_rows;
+        self.acting_units += other.acting_units;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_env::schema::paper_schema;
+
+    #[test]
+    fn spatial_attrs_resolve_from_paper_schema() {
+        let schema = paper_schema();
+        let s = SpatialAttrs::from_schema(&schema).unwrap();
+        assert_eq!(s.x, schema.attr_id("posx").unwrap());
+        assert_eq!(s.y, schema.attr_id("posy").unwrap());
+    }
+
+    #[test]
+    fn spatial_attrs_missing_positions() {
+        let mut b = Schema::builder();
+        b.key("key").sum_attr("damage", 0i64);
+        let schema = b.build().unwrap();
+        assert!(SpatialAttrs::from_schema(&schema).is_none());
+    }
+
+    #[test]
+    fn config_presets() {
+        let schema = paper_schema();
+        let naive = ExecConfig::naive(&schema);
+        assert_eq!(naive.mode, ExecMode::Naive);
+        assert!(!naive.share_aggregates);
+        let indexed = ExecConfig::indexed(&schema);
+        assert_eq!(indexed.mode, ExecMode::Indexed);
+        assert!(indexed.cascading && indexed.share_aggregates && indexed.aoe_index);
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = TickStats { aggregate_probes: 1, naive_scans: 2, ..TickStats::default() };
+        let b = TickStats { aggregate_probes: 10, index_probes: 5, indexes_built: 1, ..TickStats::default() };
+        a.merge(&b);
+        assert_eq!(a.aggregate_probes, 11);
+        assert_eq!(a.naive_scans, 2);
+        assert_eq!(a.index_probes, 5);
+        assert_eq!(a.indexes_built, 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for plan execution.
+
+use std::fmt;
+
+/// Errors raised while executing a tick.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Error from the language layer (term evaluation, unresolved names).
+    Lang(sgl_lang::LangError),
+    /// Error from the environment layer (arithmetic, schema).
+    Env(sgl_env::EnvError),
+    /// A plan referenced an unknown built-in.
+    UnknownBuiltin(String),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Lang(e) => write!(f, "{e}"),
+            ExecError::Env(e) => write!(f, "{e}"),
+            ExecError::UnknownBuiltin(name) => write!(f, "unknown builtin `{name}`"),
+            ExecError::Internal(msg) => write!(f, "internal executor error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<sgl_lang::LangError> for ExecError {
+    fn from(e: sgl_lang::LangError) -> Self {
+        ExecError::Lang(e)
+    }
+}
+
+impl From<sgl_env::EnvError> for ExecError {
+    fn from(e: sgl_env::EnvError) -> Self {
+        ExecError::Env(e)
+    }
+}
+
+/// Result alias for the executor.
+pub type Result<T> = std::result::Result<T, ExecError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ExecError = sgl_env::EnvError::MissingKey.into();
+        assert!(e.to_string().contains("key"));
+        let e: ExecError = sgl_lang::LangError::Unresolved("x".into()).into();
+        assert!(e.to_string().contains("x"));
+        assert!(ExecError::UnknownBuiltin("Foo".into()).to_string().contains("Foo"));
+        assert!(ExecError::Internal("bad".into()).to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,627 @@
+//! Per-tick index cache and the indexed aggregate evaluator.
+//!
+//! Mirrors the experimental setup of §6: the categorical part of each filter
+//! (player, unit type) selects partitions of a hash layer; each partition owns
+//! the spatial structure required by the aggregate's strategy (layered
+//! aggregate range tree, kD-tree, or the shared data for a sweep-line batch).
+//! All structures are built lazily on first use and discarded at the end of
+//! the tick.
+
+use rustc_hash::FxHashMap;
+
+use sgl_env::{AttrId, EnvTable, Value};
+use sgl_index::agg_tree::{AggEntry, LayeredAggTree};
+use sgl_index::kdtree::KdTree;
+use sgl_index::range_tree::RangeTree2D;
+use sgl_index::sweepline::{sweep_min_max, SweepKind};
+use sgl_index::{Point2, Rect};
+use sgl_lang::ast::Term;
+use sgl_lang::builtins::{AggSpec, SimpleAgg};
+use sgl_lang::eval::{eval_term, EvalContext, NoAggregates, ScriptValue};
+
+use crate::config::{SpatialAttrs, TickStats};
+use crate::error::{ExecError, Result};
+use crate::filter::FilterAnalysis;
+use crate::planner::{AggStrategy, PlannedAggregate};
+
+/// Encode a value as a hash-map key for the categorical partition layer.
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("i{i}"),
+        Value::Float(f) => format!("f{}", f.to_bits()),
+        Value::Bool(b) => format!("b{b}"),
+        Value::Str(s) => format!("s{s}"),
+    }
+}
+
+fn encode_values(vs: &[Value]) -> String {
+    vs.iter().map(encode_value).collect::<Vec<_>>().join("|")
+}
+
+/// Evaluate a term whose only row context is the candidate row itself
+/// (channel values, categorical attribute reads).
+fn eval_row_term(term: &Term, table: &EnvTable, row: usize, constants: &FxHashMap<String, Value>) -> Result<Value> {
+    // The term must not reference `u.*`; planner guarantees this.  We still
+    // need *some* unit in the context, so we use the row itself.
+    let schema = table.schema();
+    let tuple = table.row(row);
+    let rng = sgl_env::GameRng::new(0).for_tick(0);
+    let ctx = EvalContext::new(schema, tuple, &rng, constants);
+    let ctx = ctx.with_row(tuple);
+    let mut no_aggs = NoAggregates;
+    Ok(eval_term(term, &ctx, &mut no_aggs)?.as_scalar()?.clone())
+}
+
+/// The per-tick cache of index structures.
+pub struct IndexCache<'a> {
+    table: &'a EnvTable,
+    spatial: SpatialAttrs,
+    cascading: bool,
+    constants: &'a FxHashMap<String, Value>,
+    /// partition signature (attr ids joined) → partition value key → row ids.
+    partitions: FxHashMap<String, FxHashMap<String, Vec<u32>>>,
+    /// tree key → aggregate range tree.
+    agg_trees: FxHashMap<String, LayeredAggTree>,
+    /// tree key → (kD-tree, row ids aligned with the tree's point order).
+    kd_trees: FxHashMap<String, (KdTree, Vec<u32>)>,
+    /// tree key → (enumeration range tree, row ids).
+    enum_trees: FxHashMap<String, (RangeTree2D, Vec<u32>)>,
+    /// sweep key → per-row best (value, row id) results.
+    sweeps: FxHashMap<String, Vec<Option<(f64, u32)>>>,
+    /// Statistics.
+    pub stats: TickStats,
+}
+
+impl<'a> IndexCache<'a> {
+    /// Create an empty cache for a tick.
+    pub fn new(
+        table: &'a EnvTable,
+        spatial: SpatialAttrs,
+        cascading: bool,
+        constants: &'a FxHashMap<String, Value>,
+    ) -> IndexCache<'a> {
+        IndexCache {
+            table,
+            spatial,
+            cascading,
+            constants,
+            partitions: FxHashMap::default(),
+            agg_trees: FxHashMap::default(),
+            kd_trees: FxHashMap::default(),
+            enum_trees: FxHashMap::default(),
+            sweeps: FxHashMap::default(),
+            stats: TickStats::default(),
+        }
+    }
+
+    fn point_of(&self, row: usize) -> Result<Point2> {
+        Ok(Point2::new(
+            self.table.row(row).get_f64(self.spatial.x)?,
+            self.table.row(row).get_f64(self.spatial.y)?,
+        ))
+    }
+
+    /// Ensure the partition map for a set of categorical attributes exists;
+    /// returns its signature key.
+    fn ensure_partitions(&mut self, cat_attrs: &[AttrId]) -> Result<String> {
+        let sig = cat_attrs.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(",");
+        if !self.partitions.contains_key(&sig) {
+            let mut map: FxHashMap<String, Vec<u32>> = FxHashMap::default();
+            for (idx, row) in self.table.iter() {
+                let values: Vec<Value> = cat_attrs.iter().map(|a| row.get(*a).clone()).collect();
+                map.entry(encode_values(&values)).or_default().push(idx as u32);
+            }
+            self.partitions.insert(sig.clone(), map);
+        }
+        Ok(sig)
+    }
+
+    /// The partition keys under a signature.
+    fn partition_keys(&self, sig: &str) -> Vec<String> {
+        self.partitions.get(sig).map(|m| m.keys().cloned().collect()).unwrap_or_default()
+    }
+
+    fn partition_rows(&self, sig: &str, key: &str) -> Vec<u32> {
+        self.partitions.get(sig).and_then(|m| m.get(key)).cloned().unwrap_or_default()
+    }
+
+    /// Does a partition key satisfy the categorical constraints for a given
+    /// probing unit (whose required values have been evaluated already)?
+    fn partition_matches(key: &str, required: &[(bool, String)]) -> bool {
+        let parts: Vec<&str> = if key.is_empty() { Vec::new() } else { key.split('|').collect() };
+        for (i, (equal, value)) in required.iter().enumerate() {
+            let actual = parts.get(i).copied().unwrap_or("");
+            if *equal && actual != value {
+                return false;
+            }
+            if !*equal && actual == value {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Resolve the categorical attribute ids of an analysis (sorted by name,
+    /// matching the order of `required_values`).
+    fn cat_attr_ids(&self, analysis: &FilterAnalysis) -> Result<Vec<AttrId>> {
+        analysis
+            .cat_attr_names()
+            .iter()
+            .map(|n| {
+                self.table
+                    .schema()
+                    .attr_id(n)
+                    .ok_or_else(|| ExecError::Internal(format!("unknown categorical attribute `{n}`")))
+            })
+            .collect()
+    }
+
+    /// Evaluate the categorical constraint values for one probing unit, in the
+    /// same order as [`Self::cat_attr_ids`].
+    fn required_values(
+        analysis: &FilterAnalysis,
+        unit_ctx: &EvalContext<'_>,
+    ) -> Result<Vec<(bool, String)>> {
+        let mut no_aggs = NoAggregates;
+        let names = analysis.cat_attr_names();
+        let mut out = Vec::with_capacity(names.len());
+        for name in names {
+            // If several constraints mention the same attribute we evaluate
+            // the first (our builtins never have more than one per attribute).
+            let c = analysis
+                .cats
+                .iter()
+                .find(|c| c.attr == name)
+                .expect("attribute name came from the constraint list");
+            let v = eval_term(&c.value, unit_ctx, &mut no_aggs)?.as_scalar()?.clone();
+            out.push((c.equal, encode_value(&v)));
+        }
+        Ok(out)
+    }
+
+    /// Evaluate the rectangle of an analysis for one probing unit.  `None`
+    /// when the analysis has no spatial bounds (aggregate over the whole
+    /// world).
+    fn rect_for(analysis: &FilterAnalysis, unit_ctx: &EvalContext<'_>) -> Result<Option<Rect>> {
+        if !analysis.has_rect() {
+            return Ok(None);
+        }
+        let mut no_aggs = NoAggregates;
+        let mut get = |t: &Option<Term>| -> Result<f64> {
+            Ok(eval_term(t.as_ref().expect("has_rect checked"), unit_ctx, &mut no_aggs)?
+                .as_scalar()?
+                .as_f64()?)
+        };
+        Ok(Some(Rect::new(get(&analysis.x_lo)?, get(&analysis.x_hi)?, get(&analysis.y_lo)?, get(&analysis.y_hi)?)))
+    }
+
+    fn ensure_agg_tree(
+        &mut self,
+        tree_key: &str,
+        sig: &str,
+        part_key: &str,
+        channels: &[Term],
+    ) -> Result<()> {
+        if self.agg_trees.contains_key(tree_key) {
+            return Ok(());
+        }
+        let rows = self.partition_rows(sig, part_key);
+        let mut entries = Vec::with_capacity(rows.len());
+        for r in rows {
+            let point = self.point_of(r as usize)?;
+            let mut values = Vec::with_capacity(channels.len());
+            for c in channels {
+                values.push(eval_row_term(c, self.table, r as usize, self.constants)?.as_f64()?);
+            }
+            entries.push(AggEntry::new(point, values));
+        }
+        self.stats.indexes_built += 1;
+        self.agg_trees
+            .insert(tree_key.to_string(), LayeredAggTree::build(&entries, channels.len(), self.cascading));
+        Ok(())
+    }
+
+    fn ensure_kd_tree(&mut self, tree_key: &str, sig: &str, part_key: &str) -> Result<()> {
+        if self.kd_trees.contains_key(tree_key) {
+            return Ok(());
+        }
+        let rows = self.partition_rows(sig, part_key);
+        let mut points = Vec::with_capacity(rows.len());
+        for r in &rows {
+            points.push(self.point_of(*r as usize)?);
+        }
+        self.stats.indexes_built += 1;
+        self.kd_trees.insert(tree_key.to_string(), (KdTree::build(&points), rows));
+        Ok(())
+    }
+
+    /// Ensure an enumeration range tree over a partition (used for indexed
+    /// area-of-effect actions, §5.4).
+    pub fn ensure_enum_tree(&mut self, cat_attrs: &[AttrId], part_key: &str) -> Result<String> {
+        let sig = self.ensure_partitions(cat_attrs)?;
+        let tree_key = format!("enum:{sig}:{part_key}");
+        if !self.enum_trees.contains_key(&tree_key) {
+            let rows = self.partition_rows(&sig, part_key);
+            let mut points = Vec::with_capacity(rows.len());
+            for r in &rows {
+                points.push(self.point_of(*r as usize)?);
+            }
+            self.stats.indexes_built += 1;
+            self.enum_trees.insert(tree_key.clone(), (RangeTree2D::build(&points), rows));
+        }
+        Ok(tree_key)
+    }
+
+    /// Enumerate the row ids of a partition falling inside a rectangle.
+    pub fn enum_query(&mut self, cat_attrs: &[AttrId], part_key: &str, rect: &Rect) -> Result<Vec<u32>> {
+        let tree_key = self.ensure_enum_tree(cat_attrs, part_key)?;
+        let (tree, rows) = self.enum_trees.get(&tree_key).expect("just ensured");
+        self.stats.index_probes += 1;
+        Ok(tree.query(rect).into_iter().map(|i| rows[i as usize]).collect())
+    }
+
+    /// Partition keys for a categorical signature (building partitions first).
+    pub fn partition_keys_for(&mut self, cat_attrs: &[AttrId]) -> Result<Vec<String>> {
+        let sig = self.ensure_partitions(cat_attrs)?;
+        Ok(self.partition_keys(&sig))
+    }
+
+    /// Evaluate a planned aggregate for one probing unit through its index.
+    pub fn evaluate(
+        &mut self,
+        planned: &PlannedAggregate,
+        param_bindings: &FxHashMap<String, ScriptValue>,
+        unit_ctx: &EvalContext<'_>,
+    ) -> Result<Option<ScriptValue>> {
+        // Extend the context with parameter bindings (range etc.).
+        let mut ctx = EvalContext {
+            schema: unit_ctx.schema,
+            unit: unit_ctx.unit,
+            unit_key: unit_ctx.unit_key,
+            row: None,
+            rng: unit_ctx.rng,
+            constants: unit_ctx.constants,
+            bindings: unit_ctx.bindings.clone(),
+        };
+        for (k, v) in param_bindings {
+            ctx.bindings.insert(k.clone(), v.clone());
+        }
+        match &planned.strategy {
+            AggStrategy::Scan => Ok(None),
+            AggStrategy::DivisibleTree { channels, output_channels } => {
+                self.eval_divisible(planned, channels, output_channels, &ctx).map(Some)
+            }
+            AggStrategy::KdNearest => self.eval_nearest(planned, &ctx).map(Some),
+            AggStrategy::SweepMinMax => self.eval_sweep(planned, &ctx).map(Some),
+        }
+    }
+
+    fn eval_divisible(
+        &mut self,
+        planned: &PlannedAggregate,
+        channels: &[Term],
+        output_channels: &[Option<usize>],
+        ctx: &EvalContext<'_>,
+    ) -> Result<ScriptValue> {
+        let cat_attrs = self.cat_attr_ids(&planned.analysis)?;
+        let sig = self.ensure_partitions(&cat_attrs)?;
+        let required = Self::required_values(&planned.analysis, ctx)?;
+        let rect = Self::rect_for(&planned.analysis, ctx)?
+            .unwrap_or(Rect::new(f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY));
+        let chan_sig = format!("{:?}", channels);
+        let mut acc = sgl_index::divisible::DivAcc::identity(channels.len());
+        for part_key in self.partition_keys(&sig) {
+            if !Self::partition_matches(&part_key, &required) {
+                continue;
+            }
+            let tree_key = format!("agg:{sig}:{part_key}:{chan_sig}");
+            self.ensure_agg_tree(&tree_key, &sig, &part_key, channels)?;
+            let tree = self.agg_trees.get(&tree_key).expect("just ensured");
+            acc.merge(&tree.query(&rect));
+        }
+        self.stats.index_probes += 1;
+
+        let outputs = match &planned.def.spec {
+            AggSpec::Simple { outputs } => outputs,
+            AggSpec::ArgBest { .. } => {
+                return Err(ExecError::Internal("divisible strategy on an ArgBest aggregate".into()))
+            }
+        };
+        let mut fields = Vec::with_capacity(outputs.len());
+        for (o, chan) in outputs.iter().zip(output_channels) {
+            let value = if acc.count() == 0.0 {
+                o.default.clone()
+            } else {
+                match (o.func, chan) {
+                    (SimpleAgg::Count, _) => Value::Int(acc.count() as i64),
+                    (SimpleAgg::Sum, Some(c)) => Value::Float(acc.channel_sum(*c)),
+                    (SimpleAgg::Avg, Some(c)) => Value::Float(acc.mean(*c).unwrap_or(0.0)),
+                    (SimpleAgg::StdDev, Some(c)) => Value::Float(acc.std_dev(*c).unwrap_or(0.0)),
+                    _ => {
+                        return Err(ExecError::Internal(format!(
+                            "unsupported divisible output {:?}",
+                            o.func
+                        )))
+                    }
+                }
+            };
+            fields.push((o.name.clone(), value));
+        }
+        Ok(ScriptValue::Record(fields))
+    }
+
+    fn eval_nearest(&mut self, planned: &PlannedAggregate, ctx: &EvalContext<'_>) -> Result<ScriptValue> {
+        let cat_attrs = self.cat_attr_ids(&planned.analysis)?;
+        let sig = self.ensure_partitions(&cat_attrs)?;
+        let required = Self::required_values(&planned.analysis, ctx)?;
+        let query = Point2::new(
+            ctx.unit.get_f64(self.spatial.x).map_err(ExecError::from)?,
+            ctx.unit.get_f64(self.spatial.y).map_err(ExecError::from)?,
+        );
+        let mut best: Option<(f64, u32)> = None;
+        for part_key in self.partition_keys(&sig) {
+            if !Self::partition_matches(&part_key, &required) {
+                continue;
+            }
+            let tree_key = format!("kd:{sig}:{part_key}");
+            self.ensure_kd_tree(&tree_key, &sig, &part_key)?;
+            let (tree, rows) = self.kd_trees.get(&tree_key).expect("just ensured");
+            if let Some((local_id, d2)) = tree.nearest(&query) {
+                let row_id = rows[local_id as usize];
+                if best.map_or(true, |(bd, _)| d2 < bd) {
+                    best = Some((d2, row_id));
+                }
+            }
+        }
+        self.stats.index_probes += 1;
+        let outputs = match &planned.def.spec {
+            AggSpec::ArgBest { outputs, .. } => outputs,
+            AggSpec::Simple { .. } => {
+                return Err(ExecError::Internal("nearest strategy on a Simple aggregate".into()))
+            }
+        };
+        let mut no_aggs = NoAggregates;
+        let fields = match best {
+            Some((_, row_id)) => {
+                let row_ctx = ctx.with_row(self.table.row(row_id as usize));
+                outputs
+                    .iter()
+                    .map(|(name, term, _)| {
+                        Ok((name.clone(), eval_term(term, &row_ctx, &mut no_aggs)?.as_scalar()?.clone()))
+                    })
+                    .collect::<std::result::Result<Vec<_>, sgl_lang::LangError>>()?
+            }
+            None => outputs.iter().map(|(n, _, d)| (n.clone(), d.clone())).collect(),
+        };
+        Ok(ScriptValue::Record(fields))
+    }
+
+    fn eval_sweep(&mut self, planned: &PlannedAggregate, ctx: &EvalContext<'_>) -> Result<ScriptValue> {
+        let outputs = match &planned.def.spec {
+            AggSpec::Simple { outputs } => outputs.clone(),
+            AggSpec::ArgBest { .. } => {
+                return Err(ExecError::Internal("sweep strategy on an ArgBest aggregate".into()))
+            }
+        };
+        let rect = Self::rect_for(&planned.analysis, ctx)?
+            .ok_or_else(|| ExecError::Internal("sweep strategy requires a rectangle".into()))?;
+        let unit_x = ctx.unit.get_f64(self.spatial.x).map_err(ExecError::from)?;
+        let unit_y = ctx.unit.get_f64(self.spatial.y).map_err(ExecError::from)?;
+        let rx = ((rect.x_max - rect.x_min) / 2.0).abs();
+        let ry = ((rect.y_max - rect.y_min) / 2.0).abs();
+        // The sweep assumes the rectangle is centred on the unit (true for
+        // the `u.pos ± range` filters); otherwise fall back to scanning.
+        if (rect.x_min + rx - unit_x).abs() > 1e-9 || (rect.y_min + ry - unit_y).abs() > 1e-9 {
+            return Err(ExecError::Internal("sweep rectangle is not centred on the unit".into()));
+        }
+        let cat_attrs = self.cat_attr_ids(&planned.analysis)?;
+        let sig = self.ensure_partitions(&cat_attrs)?;
+        let required = Self::required_values(&planned.analysis, ctx)?;
+        let my_row = self
+            .table
+            .find_key_readonly(ctx.unit_key)
+            .ok_or_else(|| ExecError::Internal("probing unit not present in the environment".into()))?;
+
+        let mut fields = Vec::with_capacity(outputs.len());
+        for o in &outputs {
+            let minimize = o.func == SimpleAgg::Min;
+            let kind = if minimize { SweepKind::Min } else { SweepKind::Max };
+            // The extent is reconstructed from per-unit floating point bounds
+            // (`u.posx ± range`), so it can differ in the last bits between
+            // units of the same type; quantise it for the cache key so one
+            // sweep serves the whole batch.
+            let sweep_key = format!(
+                "sweep:{sig}:{:?}:{:.6}:{:.6}:{}:{:?}",
+                required, rx, ry, minimize, o.value
+            );
+            if !self.sweeps.contains_key(&sweep_key) {
+                // Data points: all rows in matching partitions; queries: every
+                // row of the table (every unit of this type will probe).
+                let mut data_points = Vec::new();
+                let mut data_values = Vec::new();
+                let mut data_rows: Vec<u32> = Vec::new();
+                for part_key in self.partition_keys(&sig) {
+                    if !Self::partition_matches(&part_key, &required) {
+                        continue;
+                    }
+                    for r in self.partition_rows(&sig, &part_key) {
+                        data_points.push(self.point_of(r as usize)?);
+                        data_values
+                            .push(eval_row_term(&o.value, self.table, r as usize, self.constants)?.as_f64()?);
+                        data_rows.push(r);
+                    }
+                }
+                let queries: Vec<Point2> = (0..self.table.len())
+                    .map(|r| self.point_of(r))
+                    .collect::<Result<Vec<_>>>()?;
+                let raw = sweep_min_max(&data_points, &data_values, &queries, rx, ry, kind);
+                let remapped: Vec<Option<(f64, u32)>> = raw
+                    .into_iter()
+                    .map(|r| r.map(|(v, local)| (v, data_rows[local as usize])))
+                    .collect();
+                self.stats.indexes_built += 1;
+                self.sweeps.insert(sweep_key.clone(), remapped);
+            }
+            self.stats.index_probes += 1;
+            let result = self.sweeps.get(&sweep_key).expect("just built")[my_row];
+            let value = match result {
+                Some((v, _)) => Value::Float(v),
+                None => o.default.clone(),
+            };
+            fields.push((o.name.clone(), value));
+        }
+        Ok(ScriptValue::Record(fields))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin_eval::{bind_params, eval_aggregate_scan};
+    use crate::planner::plan_aggregate;
+    use sgl_env::{schema::paper_schema, GameRng, Schema, TupleBuilder};
+    use sgl_lang::builtins::paper_registry;
+    use std::sync::Arc;
+
+    fn make_table(n: usize) -> (Arc<Schema>, EnvTable) {
+        let schema = paper_schema().into_shared();
+        let mut table = EnvTable::new(Arc::clone(&schema));
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for key in 0..n {
+            let t = TupleBuilder::new(&schema)
+                .set("key", key as i64)
+                .unwrap()
+                .set("player", (key % 2) as i64)
+                .unwrap()
+                .set("posx", next() * 60.0)
+                .unwrap()
+                .set("posy", next() * 60.0)
+                .unwrap()
+                .set("health", 5 + (key % 20) as i64)
+                .unwrap()
+                .build();
+            table.insert(t).unwrap();
+        }
+        (schema, table)
+    }
+
+    #[test]
+    fn indexed_aggregates_agree_with_scans() {
+        let (schema, table) = make_table(120);
+        let registry = paper_registry();
+        let spatial = SpatialAttrs::from_schema(&schema).unwrap();
+        let constants = registry.constants().clone();
+        let rng = GameRng::new(7).for_tick(3);
+
+        for agg_name in ["CountEnemiesInRange", "CentroidOfEnemyUnits", "getNearestEnemy"] {
+            let def = registry.aggregate(agg_name).unwrap();
+            let planned = plan_aggregate(def, &schema, Some(spatial));
+            assert_ne!(planned.strategy, AggStrategy::Scan, "{agg_name} should be indexable");
+            let mut cache = IndexCache::new(&table, spatial, true, &constants);
+            for row in 0..table.len() {
+                let unit = table.row(row).clone();
+                let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+                let args: Vec<ScriptValue> = if def.params.len() == 2 {
+                    vec![ScriptValue::scalar(0i64), ScriptValue::scalar(15.0)]
+                } else {
+                    vec![ScriptValue::scalar(0i64)]
+                };
+                let bindings = bind_params(&def.name, &def.params, &args).unwrap();
+                let fast = cache.evaluate(&planned, &bindings, &ctx).unwrap().unwrap();
+                let slow = eval_aggregate_scan(def, &bindings, &ctx, &table).unwrap();
+                match agg_name {
+                    "CountEnemiesInRange" => {
+                        assert_eq!(fast.as_scalar().unwrap(), slow.as_scalar().unwrap(), "row {row}");
+                    }
+                    "CentroidOfEnemyUnits" => {
+                        for field in ["x", "y"] {
+                            let f = fast.field(field).unwrap().as_f64().unwrap();
+                            let s = slow.field(field).unwrap().as_f64().unwrap();
+                            assert!((f - s).abs() < 1e-9, "row {row} field {field}: {f} vs {s}");
+                        }
+                    }
+                    "getNearestEnemy" => {
+                        // Distances must agree even if ties pick different keys.
+                        let fk = fast.field("key").unwrap().as_i64().unwrap();
+                        let sk = slow.field("key").unwrap().as_i64().unwrap();
+                        let dist = |key: i64| {
+                            let idx = table.find_key_readonly(key).unwrap();
+                            let p = table.row(idx);
+                            let dx = p.get_f64(spatial.x).unwrap() - unit.get_f64(spatial.x).unwrap();
+                            let dy = p.get_f64(spatial.y).unwrap() - unit.get_f64(spatial.y).unwrap();
+                            dx * dx + dy * dy
+                        };
+                        assert!((dist(fk) - dist(sk)).abs() < 1e-9, "row {row}");
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            // Indexes are reused across probes.
+            assert!(cache.stats.indexes_built <= 4, "{agg_name} built {}", cache.stats.indexes_built);
+            assert_eq!(cache.stats.index_probes, table.len());
+        }
+    }
+
+    #[test]
+    fn sweep_min_aggregate_agrees_with_scan() {
+        use sgl_env::Value;
+        use sgl_lang::ast::{Cond, Term};
+        use sgl_lang::builtins::{enemy_filter, rect_range_filter, AggOutput, AggregateDef};
+
+        let (schema, table) = make_table(80);
+        let registry = paper_registry();
+        let spatial = SpatialAttrs::from_schema(&schema).unwrap();
+        let constants = registry.constants().clone();
+        let rng = GameRng::new(7).for_tick(3);
+        let def = AggregateDef {
+            name: "WeakestEnemyHealth".into(),
+            params: vec!["u".into(), "range".into()],
+            filter: Cond::and(rect_range_filter(Term::name("range")), enemy_filter()),
+            spec: AggSpec::Simple {
+                outputs: vec![AggOutput {
+                    name: "value".into(),
+                    func: SimpleAgg::Min,
+                    value: Term::row("health"),
+                    default: Value::Float(-1.0),
+                }],
+            },
+        };
+        let planned = plan_aggregate(&def, &schema, Some(spatial));
+        assert_eq!(planned.strategy, AggStrategy::SweepMinMax);
+        let mut cache = IndexCache::new(&table, spatial, true, &constants);
+        for row in 0..table.len() {
+            let unit = table.row(row).clone();
+            let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+            let args = vec![ScriptValue::scalar(0i64), ScriptValue::scalar(10.0)];
+            let bindings = bind_params(&def.name, &def.params, &args).unwrap();
+            let fast = cache.evaluate(&planned, &bindings, &ctx).unwrap().unwrap();
+            let slow = eval_aggregate_scan(&def, &bindings, &ctx, &table).unwrap();
+            assert_eq!(
+                fast.field("value").unwrap().as_f64().unwrap(),
+                slow.field("value").unwrap().as_f64().unwrap(),
+                "row {row}"
+            );
+        }
+        // One sweep per (player value) — two sweeps for the whole batch.
+        assert!(cache.stats.indexes_built <= 2);
+    }
+
+    #[test]
+    fn enum_queries_return_rows_in_rect() {
+        let (schema, table) = make_table(50);
+        let registry = paper_registry();
+        let spatial = SpatialAttrs::from_schema(&schema).unwrap();
+        let constants = registry.constants().clone();
+        let mut cache = IndexCache::new(&table, spatial, true, &constants);
+        let player_attr = schema.attr_id("player").unwrap();
+        let keys = cache.partition_keys_for(&[player_attr]).unwrap();
+        assert_eq!(keys.len(), 2);
+        let rect = Rect::new(0.0, 60.0, 0.0, 60.0);
+        let total: usize = keys.iter().map(|k| cache.enum_query(&[player_attr], k, &rect).unwrap().len()).sum();
+        assert_eq!(total, 50);
+    }
+}

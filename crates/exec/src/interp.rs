@@ -1,0 +1,505 @@
+//! Set-at-a-time interpretation of logical plans and action application.
+//!
+//! Both executors interpret the *same* optimized plan and share the same
+//! semantics; they differ only in how `ExtendAgg` nodes and action clauses
+//! are answered:
+//!
+//! * the **naive** backend scans the environment for every aggregate probe and
+//!   for every action clause (`O(n)` per unit, `O(n²)` per tick);
+//! * the **indexed** backend answers aggregates from the per-tick
+//!   [`IndexCache`] and resolves targeted/area action clauses through key
+//!   look-ups and enumeration indexes (§5.3/§5.4).
+
+use rustc_hash::FxHashMap;
+
+use sgl_env::{EffectBuffer, EnvTable, TickRandom, Value};
+use sgl_lang::ast::{AggCall, Term};
+use sgl_lang::builtins::{ActionDef, Registry};
+use sgl_lang::eval::{eval_cond, eval_term, EvalContext, NoAggregates, ScriptValue};
+use sgl_algebra::LogicalPlan;
+
+use crate::builtin_eval::{bind_params, eval_aggregate_scan, eval_call_args};
+use crate::config::{ExecConfig, ExecMode, TickStats};
+use crate::error::{ExecError, Result};
+use crate::filter::analyze_filter;
+use crate::indexes::IndexCache;
+use crate::planner::{plan_aggregate, PlannedAggregate};
+
+/// One script to run in a tick: its optimized plan plus the acting units
+/// (row indices into the environment) that execute it.
+#[derive(Debug, Clone)]
+pub struct ScriptRun<'p> {
+    /// The optimized logical plan of the script.
+    pub plan: &'p LogicalPlan,
+    /// Row indices of the units running this script.
+    pub acting_rows: Vec<u32>,
+}
+
+/// Execute one clock tick: run every script over its acting units and return
+/// the combined effect relation plus execution statistics.
+pub fn execute_tick(
+    table: &EnvTable,
+    registry: &Registry,
+    runs: &[ScriptRun<'_>],
+    rng: &TickRandom,
+    config: &ExecConfig,
+) -> Result<(EffectBuffer, TickStats)> {
+    let schema = table.schema().clone();
+    let mut effects = EffectBuffer::new(schema.clone());
+    let mut stats = TickStats::default();
+    let constants = registry.constants().clone();
+
+    // Plan every aggregate once (index selection is per-definition).
+    let mut planned: FxHashMap<String, PlannedAggregate> = FxHashMap::default();
+    for name in registry.aggregate_names() {
+        let def = registry.aggregate(name).expect("name listed");
+        planned.insert(name.to_string(), plan_aggregate(def, &schema, config.spatial));
+    }
+
+    let mut cache = config
+        .spatial
+        .filter(|_| config.mode == ExecMode::Indexed)
+        .map(|spatial| IndexCache::new(table, spatial, config.cascading, &constants));
+    // Memo of aggregate results per (call site rendering, unit row).
+    let mut memo: FxHashMap<(String, u32), ScriptValue> = FxHashMap::default();
+
+    for run in runs {
+        let mut interp = Interp {
+            table,
+            registry,
+            config,
+            rng,
+            constants: &constants,
+            planned: &planned,
+            cache: cache.as_mut(),
+            memo: &mut memo,
+            effects: &mut effects,
+            stats: &mut stats,
+        };
+        interp.run_effects(run.plan, &run.acting_rows, &vec![FxHashMap::default(); run.acting_rows.len()])?;
+    }
+    if let Some(cache) = cache {
+        stats.merge(&cache.stats);
+    }
+    stats.effect_rows = effects.len();
+    Ok((effects, stats))
+}
+
+struct Interp<'a, 'p> {
+    table: &'a EnvTable,
+    registry: &'a Registry,
+    config: &'a ExecConfig,
+    rng: &'a TickRandom,
+    constants: &'a FxHashMap<String, Value>,
+    planned: &'a FxHashMap<String, PlannedAggregate>,
+    cache: Option<&'p mut IndexCache<'a>>,
+    memo: &'p mut FxHashMap<(String, u32), ScriptValue>,
+    effects: &'p mut EffectBuffer,
+    stats: &'p mut TickStats,
+}
+
+type Bindings = FxHashMap<String, ScriptValue>;
+
+impl<'a, 'p> Interp<'a, 'p> {
+    fn ctx_for(&self, row: u32, bindings: &Bindings) -> EvalContext<'a> {
+        let schema = self.table.schema();
+        let unit = self.table.row(row as usize);
+        let mut ctx = EvalContext::new(schema, unit, self.rng, self.constants);
+        ctx.bindings = bindings.clone();
+        ctx
+    }
+
+    /// Evaluate a relation-producing node: returns the surviving rows and
+    /// their extended-column bindings.
+    fn eval_rel(
+        &mut self,
+        plan: &LogicalPlan,
+        acting: &[u32],
+        binds: &[Bindings],
+    ) -> Result<(Vec<u32>, Vec<Bindings>)> {
+        match plan {
+            LogicalPlan::Scan => Ok((acting.to_vec(), binds.to_vec())),
+            LogicalPlan::Select { input, predicate } => {
+                let (rows, bs) = self.eval_rel(input, acting, binds)?;
+                let mut out_rows = Vec::with_capacity(rows.len());
+                let mut out_binds = Vec::with_capacity(rows.len());
+                let mut no_aggs = NoAggregates;
+                for (row, b) in rows.into_iter().zip(bs) {
+                    let ctx = self.ctx_for(row, &b);
+                    if eval_cond(predicate, &ctx, &mut no_aggs)? {
+                        out_rows.push(row);
+                        out_binds.push(b);
+                    }
+                }
+                Ok((out_rows, out_binds))
+            }
+            LogicalPlan::ExtendExpr { input, name, term } => {
+                let (rows, mut bs) = self.eval_rel(input, acting, binds)?;
+                let mut no_aggs = NoAggregates;
+                for (row, b) in rows.iter().zip(bs.iter_mut()) {
+                    let ctx = self.ctx_for(*row, b);
+                    let v = eval_term(term, &ctx, &mut no_aggs)?;
+                    b.insert(name.clone(), v);
+                }
+                Ok((rows, bs))
+            }
+            LogicalPlan::ExtendAgg { input, name, call } => {
+                let (rows, mut bs) = self.eval_rel(input, acting, binds)?;
+                for (row, b) in rows.iter().zip(bs.iter_mut()) {
+                    let v = self.eval_aggregate(call, *row, b)?;
+                    b.insert(name.clone(), v);
+                }
+                Ok((rows, bs))
+            }
+            other => Err(ExecError::Internal(format!("{other:?} is not a relation-producing node"))),
+        }
+    }
+
+    /// Run an effect-producing node.
+    fn run_effects(&mut self, plan: &LogicalPlan, acting: &[u32], binds: &[Bindings]) -> Result<()> {
+        match plan {
+            LogicalPlan::Empty => Ok(()),
+            LogicalPlan::CombineWithEnv { input } => self.run_effects(input, acting, binds),
+            LogicalPlan::Combine { inputs } => {
+                for input in inputs {
+                    self.run_effects(input, acting, binds)?;
+                }
+                Ok(())
+            }
+            LogicalPlan::Apply { input, action, args } => {
+                let (rows, bs) = self.eval_rel(input, acting, binds)?;
+                let def = self
+                    .registry
+                    .action(action)
+                    .ok_or_else(|| ExecError::UnknownBuiltin(action.clone()))?
+                    .clone();
+                self.stats.acting_units += rows.len();
+                for (row, b) in rows.iter().zip(bs.iter()) {
+                    self.apply_action(&def, args, *row, b)?;
+                }
+                Ok(())
+            }
+            // A bare relation node at the effect level produces no effects
+            // (can appear for scripts that only compute).
+            _ => Ok(()),
+        }
+    }
+
+    /// Evaluate one aggregate call for one unit.
+    fn eval_aggregate(&mut self, call: &AggCall, row: u32, bindings: &Bindings) -> Result<ScriptValue> {
+        self.stats.aggregate_probes += 1;
+        let memo_key = if self.config.share_aggregates {
+            // Aggregates whose arguments depend on let-bound columns cannot be
+            // keyed on the call alone; include the rendered argument values.
+            let ctx = self.ctx_for(row, bindings);
+            let args = eval_call_args(&call.args, &ctx)?;
+            Some((format!("{}::{:?}", call.name, args), row))
+        } else {
+            None
+        };
+        if let Some(key) = &memo_key {
+            if let Some(v) = self.memo.get(key) {
+                self.stats.shared_hits += 1;
+                return Ok(v.clone());
+            }
+        }
+        let def = self
+            .registry
+            .aggregate(&call.name)
+            .ok_or_else(|| ExecError::UnknownBuiltin(call.name.clone()))?;
+        let ctx = self.ctx_for(row, bindings);
+        let args = eval_call_args(&call.args, &ctx)?;
+        let params = bind_params(&def.name, &def.params, &args)?;
+
+        let result = if self.config.mode == ExecMode::Indexed {
+            let planned = self.planned.get(&call.name).expect("all registry aggregates planned");
+            let via_index = match self.cache.as_mut() {
+                Some(cache) => cache.evaluate(planned, &params, &ctx)?,
+                None => None,
+            };
+            match via_index {
+                Some(v) => v,
+                None => {
+                    self.stats.naive_scans += 1;
+                    eval_aggregate_scan(def, &params, &ctx, self.table)?
+                }
+            }
+        } else {
+            self.stats.naive_scans += 1;
+            eval_aggregate_scan(def, &params, &ctx, self.table)?
+        };
+        if let Some(key) = memo_key {
+            self.memo.insert(key, result.clone());
+        }
+        Ok(result)
+    }
+
+    /// Apply a built-in action for one acting unit.
+    fn apply_action(&mut self, def: &ActionDef, args: &[Term], row: u32, bindings: &Bindings) -> Result<()> {
+        let ctx = self.ctx_for(row, bindings);
+        let arg_values = eval_call_args(args, &ctx)?;
+        let params = bind_params(&def.name, &def.params, &arg_values)?;
+        let mut full_ctx = self.ctx_for(row, bindings);
+        for (k, v) in &params {
+            full_ctx.bindings.insert(k.clone(), v.clone());
+        }
+        let schema = self.table.schema();
+        let mut no_aggs = NoAggregates;
+
+        for clause in &def.clauses {
+            // Determine the affected rows.
+            let candidates: Vec<u32> = if self.config.mode == ExecMode::Indexed {
+                let analysis = analyze_filter(&clause.filter, schema, self.config.spatial);
+                if let Some(key_term) = &analysis.key_eq {
+                    // Targeted effect: O(1) key look-up.
+                    let key = eval_term(key_term, &full_ctx, &mut no_aggs)?.as_scalar()?.as_i64()?;
+                    match self.table.find_key_readonly(key) {
+                        Some(idx) => vec![idx as u32],
+                        None => Vec::new(),
+                    }
+                } else if self.config.aoe_index && analysis.has_rect() && analysis.conjunctive {
+                    // Area-of-effect: enumerate candidates through the spatial
+                    // index of every partition (§5.4-style processing).
+                    let mut no_aggs2 = NoAggregates;
+                    let lo_x = eval_term(analysis.x_lo.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
+                        .as_scalar()?
+                        .as_f64()?;
+                    let hi_x = eval_term(analysis.x_hi.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
+                        .as_scalar()?
+                        .as_f64()?;
+                    let lo_y = eval_term(analysis.y_lo.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
+                        .as_scalar()?
+                        .as_f64()?;
+                    let hi_y = eval_term(analysis.y_hi.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
+                        .as_scalar()?
+                        .as_f64()?;
+                    let rect = sgl_index::Rect::new(lo_x, hi_x, lo_y, hi_y);
+                    match self.cache.as_mut() {
+                        Some(cache) => {
+                            let keys = cache.partition_keys_for(&[])?;
+                            let mut rows = Vec::new();
+                            for k in keys {
+                                rows.extend(cache.enum_query(&[], &k, &rect)?);
+                            }
+                            rows
+                        }
+                        None => (0..self.table.len() as u32).collect(),
+                    }
+                } else {
+                    (0..self.table.len() as u32).collect()
+                }
+            } else {
+                (0..self.table.len() as u32).collect()
+            };
+
+            for target in candidates {
+                let target_row = self.table.row(target as usize);
+                let row_ctx = full_ctx.with_row(target_row);
+                if !eval_cond(&clause.filter, &row_ctx, &mut no_aggs)? {
+                    continue;
+                }
+                let target_key = target_row.key(schema);
+                for (attr_name, term) in &clause.effects {
+                    let attr = schema
+                        .attr_id(attr_name)
+                        .ok_or_else(|| ExecError::Internal(format!("unknown effect attribute `{attr_name}`")))?;
+                    let value = eval_term(term, &row_ctx, &mut no_aggs)?.as_scalar()?.clone();
+                    self.effects.apply(target_key, attr, value).map_err(ExecError::from)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_algebra::{optimize, translate};
+    use sgl_env::{schema::paper_schema, GameRng, Schema, TupleBuilder};
+    use sgl_lang::builtins::paper_registry;
+    use sgl_lang::normalize::normalize;
+    use sgl_lang::parse_script;
+    use std::sync::Arc;
+
+    fn make_table(n: usize, spread: f64) -> (Arc<Schema>, EnvTable) {
+        let schema = paper_schema().into_shared();
+        let mut table = EnvTable::new(Arc::clone(&schema));
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for key in 0..n {
+            let t = TupleBuilder::new(&schema)
+                .set("key", key as i64)
+                .unwrap()
+                .set("player", (key % 2) as i64)
+                .unwrap()
+                .set("posx", next() * spread)
+                .unwrap()
+                .set("posy", next() * spread)
+                .unwrap()
+                .set("health", 20i64)
+                .unwrap()
+                .build();
+            table.insert(t).unwrap();
+        }
+        (schema, table)
+    }
+
+    fn compile(src: &str, registry: &Registry) -> LogicalPlan {
+        let script = parse_script(src).unwrap();
+        let normal = normalize(&script, registry).unwrap();
+        optimize(translate(&normal), registry).plan
+    }
+
+    const SCRIPT: &str = r#"
+        main(u) {
+          (let c = CountEnemiesInRange(u, 12))
+          if c > 3 then
+            perform MoveInDirection(u, u.posx - 5, u.posy - 5);
+          else if c > 0 and u.cooldown = 0 then
+            perform FireAt(u, getNearestEnemy(u).key);
+        }
+    "#;
+
+    fn run_mode(mode_config: ExecConfig, table: &EnvTable, registry: &Registry, plan: &LogicalPlan) -> (EffectBuffer, TickStats) {
+        let rng = GameRng::new(42).for_tick(1);
+        let acting: Vec<u32> = (0..table.len() as u32).collect();
+        let runs = vec![ScriptRun { plan, acting_rows: acting }];
+        execute_tick(table, registry, &runs, &rng, &mode_config).unwrap()
+    }
+
+    #[test]
+    fn naive_and_indexed_execution_produce_the_same_effects() {
+        let registry = paper_registry();
+        let (schema, table) = make_table(60, 40.0);
+        let plan = compile(SCRIPT, &registry);
+        let (naive, naive_stats) = run_mode(ExecConfig::naive(&schema), &table, &registry, &plan);
+        let (indexed, indexed_stats) = run_mode(ExecConfig::indexed(&schema), &table, &registry, &plan);
+
+        // Same units affected, same integer effects; float effects equal up to
+        // summation order.
+        let a = naive.canonical();
+        let b = indexed.canonical();
+        assert_eq!(a.len(), b.len());
+        for ((ka, aa, va), (kb, ab, vb)) in a.iter().zip(b.iter()) {
+            assert_eq!((ka, aa), (kb, ab));
+            let fa = va.as_f64().unwrap();
+            let fb = vb.as_f64().unwrap();
+            assert!((fa - fb).abs() < 1e-9, "key {ka} attr {aa}: {fa} vs {fb}");
+        }
+        // The naive run answered every aggregate by scanning; the indexed one
+        // answered (almost) everything through indexes or the memo.
+        assert!(naive_stats.naive_scans > 0);
+        assert_eq!(indexed_stats.naive_scans, 0);
+        assert!(indexed_stats.index_probes > 0 || indexed_stats.shared_hits > 0);
+    }
+
+    #[test]
+    fn heal_area_of_effect_reaches_allies_in_range_only() {
+        let registry = paper_registry();
+        let schema = paper_schema().into_shared();
+        let mut table = EnvTable::new(Arc::clone(&schema));
+        // Healer (key 0, player 0) at origin; ally in range (key 1); ally far
+        // away (key 2); enemy in range (key 3).
+        for (key, player, x) in [(0i64, 0i64, 0.0), (1, 0, 3.0), (2, 0, 50.0), (3, 1, 2.0)] {
+            let t = TupleBuilder::new(&schema)
+                .set("key", key)
+                .unwrap()
+                .set("player", player)
+                .unwrap()
+                .set("posx", x)
+                .unwrap()
+                .set("posy", 0.0)
+                .unwrap()
+                .set("health", 10i64)
+                .unwrap()
+                .build();
+            table.insert(t).unwrap();
+        }
+        let plan = compile("main(u) { perform Heal(u); }", &registry);
+        for config in [ExecConfig::naive(&schema), ExecConfig::indexed(&schema)] {
+            let rng = GameRng::new(1).for_tick(0);
+            let runs = vec![ScriptRun { plan: &plan, acting_rows: vec![0] }];
+            let (effects, _) = execute_tick(&table, &registry, &runs, &rng, &config).unwrap();
+            let aura = schema.attr_id("inaura").unwrap();
+            assert!(effects.get(0, aura).is_some(), "healer heals itself (ally in range)");
+            assert!(effects.get(1, aura).is_some());
+            assert_eq!(effects.get(2, aura), None, "ally out of range");
+            assert_eq!(effects.get(3, aura), None, "enemies are not healed");
+        }
+    }
+
+    #[test]
+    fn fire_at_damages_target_and_marks_shooter() {
+        let registry = paper_registry();
+        let schema = paper_schema().into_shared();
+        let mut table = EnvTable::new(Arc::clone(&schema));
+        for (key, player, x) in [(0i64, 0i64, 0.0), (1, 1, 4.0)] {
+            let t = TupleBuilder::new(&schema)
+                .set("key", key)
+                .unwrap()
+                .set("player", player)
+                .unwrap()
+                .set("posx", x)
+                .unwrap()
+                .set("posy", 0.0)
+                .unwrap()
+                .set("health", 10i64)
+                .unwrap()
+                .build();
+            table.insert(t).unwrap();
+        }
+        let plan = compile("main(u) { if u.cooldown = 0 then perform FireAt(u, getNearestEnemy(u).key); }", &registry);
+        let config = ExecConfig::indexed(&schema);
+        let rng = GameRng::new(5).for_tick(2);
+        let runs = vec![ScriptRun { plan: &plan, acting_rows: vec![0] }];
+        let (effects, stats) = execute_tick(&table, &registry, &runs, &rng, &config).unwrap();
+        let weapon = schema.attr_id("weaponused").unwrap();
+        let damage = schema.attr_id("damage").unwrap();
+        assert_eq!(effects.get(0, weapon), Some(&Value::Int(1)));
+        // The damage roll is (6 - 2) * (Random(1) mod 2) — either 0 or 4, but
+        // always recorded for the target.
+        let dmg = effects.get(1, damage).unwrap().as_i64().unwrap();
+        assert!(dmg == 0 || dmg == 4);
+        assert_eq!(stats.acting_units, 1);
+    }
+
+    #[test]
+    fn empty_plan_and_unknown_action_errors() {
+        let registry = paper_registry();
+        let (schema, table) = make_table(4, 10.0);
+        let plan = LogicalPlan::CombineWithEnv { input: Box::new(LogicalPlan::Empty) };
+        let rng = GameRng::new(1).for_tick(0);
+        let runs = vec![ScriptRun { plan: &plan, acting_rows: vec![0, 1, 2, 3] }];
+        let (effects, stats) =
+            execute_tick(&table, &registry, &runs, &rng, &ExecConfig::naive(&schema)).unwrap();
+        assert!(effects.is_empty());
+        assert_eq!(stats.aggregate_probes, 0);
+
+        let bad = LogicalPlan::Scan.apply("Teleport", vec![]);
+        let runs = vec![ScriptRun { plan: &bad, acting_rows: vec![0] }];
+        let err = execute_tick(&table, &registry, &runs, &rng, &ExecConfig::naive(&schema));
+        assert!(matches!(err, Err(ExecError::UnknownBuiltin(_))));
+    }
+
+    #[test]
+    fn shared_aggregates_reduce_probes() {
+        let registry = paper_registry();
+        let (schema, table) = make_table(40, 30.0);
+        // A script whose two branches both need the same count → the memo
+        // answers the duplicated ExtendAgg nodes.
+        let plan = compile(
+            r#"main(u) {
+                (let c = CountEnemiesInRange(u, 9))
+                if c > 2 then perform MoveInDirection(u, 0, 0);
+                else perform MoveInDirection(u, u.posx, u.posy);
+            }"#,
+            &registry,
+        );
+        let (_, stats) = run_mode(ExecConfig::indexed(&schema), &table, &registry, &plan);
+        assert!(stats.shared_hits > 0, "duplicated branch aggregates should hit the memo: {stats:?}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # sgl-exec — naive and indexed execution of SGL plans
+//!
+//! The physical layer of *Scaling Games to Epic Proportions*: both executors
+//! interpret the optimized logical plans of `sgl-algebra` set-at-a-time, but
+//! the **naive** executor answers every aggregate probe and action clause by
+//! scanning the environment (`O(n²)` per tick — the baseline of §6), while
+//! the **indexed** executor builds the per-tick index structures of
+//! `sgl-index` (layered aggregate range trees, kD-trees, sweep-lines behind a
+//! categorical hash layer) and answers each probe in `O(log n)`.
+//!
+//! Main entry point: [`execute_tick`].
+
+#![warn(missing_docs)]
+
+pub mod builtin_eval;
+pub mod config;
+pub mod error;
+pub mod filter;
+pub mod indexes;
+pub mod interp;
+pub mod planner;
+
+pub use config::{ExecConfig, ExecMode, SpatialAttrs, TickStats};
+pub use error::{ExecError, Result};
+pub use filter::{analyze_filter, FilterAnalysis};
+pub use indexes::IndexCache;
+pub use interp::{execute_tick, ScriptRun};
+pub use planner::{plan_aggregate, AggStrategy, PlannedAggregate};

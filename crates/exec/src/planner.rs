@@ -1,0 +1,275 @@
+//! Index selection for aggregate calls (the physical side of §5.3).
+//!
+//! For every aggregate definition the planner inspects the filter analysis
+//! and the aggregate functions and picks one of four strategies:
+//!
+//! | strategy | used when | structure |
+//! |---|---|---|
+//! | `DivisibleTree` | all outputs divisible, exact conjunctive filter | layered aggregate range tree per categorical partition |
+//! | `SweepMinMax` | MIN/MAX outputs over a full rectangle | sweep-line + segment tree (constant range size per batch) |
+//! | `KdNearest` | argmin of squared distance | kD-tree per categorical partition |
+//! | `Scan` | anything else | per-unit scan (identical to the naive executor) |
+
+use sgl_env::Schema;
+use sgl_lang::ast::Term;
+use sgl_lang::builtins::{AggSpec, AggregateDef, SimpleAgg};
+
+use crate::config::SpatialAttrs;
+use crate::filter::{analyze_filter, FilterAnalysis};
+
+/// The physical strategy chosen for an aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggStrategy {
+    /// Prefix-aggregate layered range tree (Figure 8).
+    DivisibleTree {
+        /// The distinct channel value terms (over `e.*`) the tree carries.
+        channels: Vec<Term>,
+        /// For each output: `(output index into def outputs, channel index or
+        /// None for COUNT)`.
+        output_channels: Vec<Option<usize>>,
+    },
+    /// Sweep-line MIN/MAX (Figure 9); one sweep per output.
+    SweepMinMax,
+    /// kD-tree nearest neighbour (§5.3.2).
+    KdNearest,
+    /// Fall back to scanning the environment for each probing unit.
+    Scan,
+}
+
+/// A planned aggregate: definition + filter analysis + strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedAggregate {
+    /// The aggregate definition.
+    pub def: AggregateDef,
+    /// Analysis of its filter.
+    pub analysis: FilterAnalysis,
+    /// Chosen strategy.
+    pub strategy: AggStrategy,
+}
+
+fn term_references_unit(term: &Term) -> bool {
+    match term {
+        Term::Var(sgl_lang::ast::VarRef::Unit(_)) => true,
+        Term::Var(_) | Term::Const(_) => false,
+        Term::Random(t) | Term::Neg(t) | Term::Abs(t) | Term::Sqrt(t) | Term::Field(t, _) => {
+            term_references_unit(t)
+        }
+        Term::Bin { left, right, .. } => term_references_unit(left) || term_references_unit(right),
+        Term::Tuple(items) => items.iter().any(term_references_unit),
+        Term::Agg(call) => call.args.iter().any(term_references_unit),
+    }
+}
+
+fn is_squared_distance(term: &Term, schema: &Schema, spatial: SpatialAttrs) -> bool {
+    // Structural check against (e.x - u.x)² + (e.y - u.y)² in either order.
+    let x = schema.attr(spatial.x).name.clone();
+    let y = schema.attr(spatial.y).name.clone();
+    let sq = |attr: &str| {
+        let d = Term::bin(sgl_lang::ast::BinOp::Sub, Term::row(attr), Term::unit(attr));
+        Term::bin(sgl_lang::ast::BinOp::Mul, d.clone(), d)
+    };
+    let a = Term::bin(sgl_lang::ast::BinOp::Add, sq(&x), sq(&y));
+    let b = Term::bin(sgl_lang::ast::BinOp::Add, sq(&y), sq(&x));
+    *term == a || *term == b
+}
+
+/// Plan a single aggregate definition.
+pub fn plan_aggregate(def: &AggregateDef, schema: &Schema, spatial: Option<SpatialAttrs>) -> PlannedAggregate {
+    let analysis = analyze_filter(&def.filter, schema, spatial);
+    let strategy = choose_strategy(def, &analysis, schema, spatial);
+    PlannedAggregate { def: def.clone(), analysis, strategy }
+}
+
+fn choose_strategy(
+    def: &AggregateDef,
+    analysis: &FilterAnalysis,
+    schema: &Schema,
+    spatial: Option<SpatialAttrs>,
+) -> AggStrategy {
+    if !analysis.is_exact() || analysis.key_eq.is_some() || spatial.is_none() {
+        return AggStrategy::Scan;
+    }
+    let spatial = spatial.expect("checked above");
+    match &def.spec {
+        AggSpec::Simple { outputs } => {
+            let all_divisible = outputs.iter().all(|o| o.func.is_divisible());
+            // A shared index is only possible when the per-row value does not
+            // depend on the probing unit (COUNT ignores its value term).
+            let values_ok = outputs
+                .iter()
+                .all(|o| o.func == SimpleAgg::Count || !term_references_unit(&o.value));
+            if all_divisible && values_ok {
+                // Collect distinct channel terms.
+                let mut channels: Vec<Term> = Vec::new();
+                let mut output_channels = Vec::with_capacity(outputs.len());
+                for o in outputs {
+                    if o.func == SimpleAgg::Count {
+                        output_channels.push(None);
+                        continue;
+                    }
+                    let pos = channels.iter().position(|c| *c == o.value).unwrap_or_else(|| {
+                        channels.push(o.value.clone());
+                        channels.len() - 1
+                    });
+                    output_channels.push(Some(pos));
+                }
+                return AggStrategy::DivisibleTree { channels, output_channels };
+            }
+            let all_minmax = outputs
+                .iter()
+                .all(|o| matches!(o.func, SimpleAgg::Min | SimpleAgg::Max) && !term_references_unit(&o.value));
+            if all_minmax && analysis.has_rect() {
+                return AggStrategy::SweepMinMax;
+            }
+            AggStrategy::Scan
+        }
+        AggSpec::ArgBest { minimize, rank, outputs } => {
+            let outputs_ok = outputs.iter().all(|(_, t, _)| !term_references_unit(t));
+            if *minimize && outputs_ok && is_squared_distance(rank, schema, spatial) {
+                AggStrategy::KdNearest
+            } else {
+                AggStrategy::Scan
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_env::schema::paper_schema;
+    use sgl_env::Value;
+    use sgl_lang::ast::{CmpOp, Cond};
+    use sgl_lang::builtins::{enemy_filter, paper_registry, rect_range_filter, AggOutput};
+
+    fn spatial(schema: &Schema) -> Option<SpatialAttrs> {
+        SpatialAttrs::from_schema(schema)
+    }
+
+    #[test]
+    fn count_and_centroid_use_the_divisible_tree() {
+        let schema = paper_schema();
+        let registry = paper_registry();
+        let count = plan_aggregate(registry.aggregate("CountEnemiesInRange").unwrap(), &schema, spatial(&schema));
+        match count.strategy {
+            AggStrategy::DivisibleTree { channels, output_channels } => {
+                assert!(channels.is_empty());
+                assert_eq!(output_channels, vec![None]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let centroid =
+            plan_aggregate(registry.aggregate("CentroidOfEnemyUnits").unwrap(), &schema, spatial(&schema));
+        match centroid.strategy {
+            AggStrategy::DivisibleTree { channels, output_channels } => {
+                assert_eq!(channels.len(), 2);
+                assert_eq!(output_channels, vec![Some(0), Some(1)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nearest_enemy_uses_the_kd_tree() {
+        let schema = paper_schema();
+        let registry = paper_registry();
+        let plan = plan_aggregate(registry.aggregate("getNearestEnemy").unwrap(), &schema, spatial(&schema));
+        assert_eq!(plan.strategy, AggStrategy::KdNearest);
+    }
+
+    #[test]
+    fn min_aggregate_over_a_rect_uses_the_sweep_line() {
+        let schema = paper_schema();
+        let def = AggregateDef {
+            name: "WeakestEnemyHealth".into(),
+            params: vec!["u".into(), "range".into()],
+            filter: Cond::and(rect_range_filter(Term::name("range")), enemy_filter()),
+            spec: AggSpec::Simple {
+                outputs: vec![AggOutput {
+                    name: "value".into(),
+                    func: SimpleAgg::Min,
+                    value: Term::row("health"),
+                    default: Value::Float(f64::INFINITY),
+                }],
+            },
+        };
+        let plan = plan_aggregate(&def, &schema, spatial(&schema));
+        assert_eq!(plan.strategy, AggStrategy::SweepMinMax);
+    }
+
+    #[test]
+    fn residual_filters_fall_back_to_scans() {
+        let schema = paper_schema();
+        let def = AggregateDef {
+            name: "CountWounded".into(),
+            params: vec!["u".into()],
+            filter: sgl_lang::parse_cond("e.health <= e.damage").unwrap(),
+            spec: AggSpec::Simple {
+                outputs: vec![AggOutput {
+                    name: "value".into(),
+                    func: SimpleAgg::Count,
+                    value: Term::int(1),
+                    default: Value::Int(0),
+                }],
+            },
+        };
+        let plan = plan_aggregate(&def, &schema, spatial(&schema));
+        assert_eq!(plan.strategy, AggStrategy::Scan);
+    }
+
+    #[test]
+    fn value_terms_referencing_the_unit_force_scans() {
+        let schema = paper_schema();
+        let def = AggregateDef {
+            name: "SumRelativeHealth".into(),
+            params: vec!["u".into(), "range".into()],
+            filter: rect_range_filter(Term::name("range")),
+            spec: AggSpec::Simple {
+                outputs: vec![AggOutput {
+                    name: "value".into(),
+                    func: SimpleAgg::Sum,
+                    value: Term::bin(sgl_lang::ast::BinOp::Sub, Term::row("health"), Term::unit("health")),
+                    default: Value::Float(0.0),
+                }],
+            },
+        };
+        let plan = plan_aggregate(&def, &schema, spatial(&schema));
+        assert_eq!(plan.strategy, AggStrategy::Scan);
+    }
+
+    #[test]
+    fn missing_spatial_attributes_force_scans() {
+        let schema = paper_schema();
+        let registry = paper_registry();
+        let plan = plan_aggregate(registry.aggregate("CountEnemiesInRange").unwrap(), &schema, None);
+        assert_eq!(plan.strategy, AggStrategy::Scan);
+    }
+
+    #[test]
+    fn key_equality_filters_force_scans() {
+        let schema = paper_schema();
+        let def = AggregateDef {
+            name: "TargetHealth".into(),
+            params: vec!["u".into(), "target".into()],
+            filter: Cond::cmp(CmpOp::Eq, Term::row("key"), Term::name("target")),
+            spec: AggSpec::Simple {
+                outputs: vec![AggOutput {
+                    name: "value".into(),
+                    func: SimpleAgg::Sum,
+                    value: Term::row("health"),
+                    default: Value::Float(0.0),
+                }],
+            },
+        };
+        let plan = plan_aggregate(&def, &schema, spatial(&schema));
+        assert_eq!(plan.strategy, AggStrategy::Scan);
+    }
+
+    #[test]
+    fn squared_distance_recognition() {
+        let schema = paper_schema();
+        let s = spatial(&schema).unwrap();
+        assert!(is_squared_distance(&sgl_lang::builtins::squared_distance(), &schema, s));
+        assert!(!is_squared_distance(&Term::int(1), &schema, s));
+    }
+}

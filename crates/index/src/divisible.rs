@@ -1,0 +1,181 @@
+//! Accumulators for divisible aggregates (Definition 5.1).
+//!
+//! An aggregate `agg` is *divisible* when `agg(A \ B)` can be computed from
+//! `agg(A)` and `agg(B)` for `B ⊆ A`.  Count, sum and all statistical moments
+//! are divisible; min and max are not.  The [`DivAcc`] accumulator carries the
+//! count, per-channel sums and per-channel sums of squares over a set of
+//! weighted points, which is enough to answer every divisible aggregate the
+//! battle simulation uses: counts, sums, averages (centroids) and standard
+//! deviations.
+
+/// Accumulator over a multiset of rows, each contributing one value per
+/// *channel* (e.g. channel 0 = x position, channel 1 = y position,
+/// channel 2 = strength).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivAcc {
+    /// Number of rows accumulated.
+    pub count: f64,
+    /// Per-channel sums.
+    pub sum: Vec<f64>,
+    /// Per-channel sums of squares (for variance / standard deviation).
+    pub sum_sq: Vec<f64>,
+}
+
+impl DivAcc {
+    /// The identity accumulator for `channels` channels.
+    pub fn identity(channels: usize) -> DivAcc {
+        DivAcc { count: 0.0, sum: vec![0.0; channels], sum_sq: vec![0.0; channels] }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.sum.len()
+    }
+
+    /// Accumulate one row with the given channel values.
+    pub fn insert(&mut self, values: &[f64]) {
+        debug_assert_eq!(values.len(), self.sum.len());
+        self.count += 1.0;
+        for (i, v) in values.iter().enumerate() {
+            self.sum[i] += v;
+            self.sum_sq[i] += v * v;
+        }
+    }
+
+    /// Merge another accumulator into this one (`agg(A ⊎ B)`).
+    pub fn merge(&mut self, other: &DivAcc) {
+        debug_assert_eq!(self.sum.len(), other.sum.len());
+        self.count += other.count;
+        for i in 0..self.sum.len() {
+            self.sum[i] += other.sum[i];
+            self.sum_sq[i] += other.sum_sq[i];
+        }
+    }
+
+    /// Subtract another accumulator (`agg(A \ B)` for `B ⊆ A`) — the operation
+    /// that makes these aggregates divisible and enables the prefix trick of
+    /// Figure 8.
+    pub fn subtract(&mut self, other: &DivAcc) {
+        debug_assert_eq!(self.sum.len(), other.sum.len());
+        self.count -= other.count;
+        for i in 0..self.sum.len() {
+            self.sum[i] -= other.sum[i];
+            self.sum_sq[i] -= other.sum_sq[i];
+        }
+    }
+
+    /// `self - other` without mutating.
+    pub fn difference(&self, other: &DivAcc) -> DivAcc {
+        let mut out = self.clone();
+        out.subtract(other);
+        out
+    }
+
+    /// The count aggregate.
+    pub fn count(&self) -> f64 {
+        self.count
+    }
+
+    /// The sum of a channel.
+    pub fn channel_sum(&self, channel: usize) -> f64 {
+        self.sum[channel]
+    }
+
+    /// The mean of a channel; `None` when no rows were accumulated.
+    pub fn mean(&self, channel: usize) -> Option<f64> {
+        if self.count > 0.0 {
+            Some(self.sum[channel] / self.count)
+        } else {
+            None
+        }
+    }
+
+    /// Population variance of a channel; `None` when no rows were accumulated.
+    pub fn variance(&self, channel: usize) -> Option<f64> {
+        if self.count > 0.0 {
+            let mean = self.sum[channel] / self.count;
+            // Guard against tiny negative values introduced by floating point
+            // cancellation when subtracting accumulators.
+            Some((self.sum_sq[channel] / self.count - mean * mean).max(0.0))
+        } else {
+            None
+        }
+    }
+
+    /// Population standard deviation of a channel.
+    pub fn std_dev(&self, channel: usize) -> Option<f64> {
+        self.variance(channel).map(f64::sqrt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc_of(rows: &[&[f64]], channels: usize) -> DivAcc {
+        let mut acc = DivAcc::identity(channels);
+        for row in rows {
+            acc.insert(row);
+        }
+        acc
+    }
+
+    #[test]
+    fn count_sum_mean() {
+        let acc = acc_of(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]], 2);
+        assert_eq!(acc.count(), 3.0);
+        assert_eq!(acc.channel_sum(0), 6.0);
+        assert_eq!(acc.channel_sum(1), 60.0);
+        assert_eq!(acc.mean(0), Some(2.0));
+        assert_eq!(acc.mean(1), Some(20.0));
+        assert_eq!(acc.channels(), 2);
+    }
+
+    #[test]
+    fn empty_accumulator_yields_none_means() {
+        let acc = DivAcc::identity(1);
+        assert_eq!(acc.count(), 0.0);
+        assert_eq!(acc.mean(0), None);
+        assert_eq!(acc.variance(0), None);
+        assert_eq!(acc.std_dev(0), None);
+    }
+
+    #[test]
+    fn variance_and_std_dev() {
+        // Values 2, 4, 4, 4, 5, 5, 7, 9 → population std dev 2.
+        let rows: Vec<Vec<f64>> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().map(|v| vec![*v]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let acc = acc_of(&refs, 1);
+        assert!((acc.std_dev(0).unwrap() - 2.0).abs() < 1e-12);
+        assert!((acc.variance(0).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_direct_accumulation() {
+        let a = acc_of(&[&[1.0], &[2.0]], 1);
+        let b = acc_of(&[&[3.0], &[4.0], &[5.0]], 1);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let direct = acc_of(&[&[1.0], &[2.0], &[3.0], &[4.0], &[5.0]], 1);
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn subtraction_recovers_the_complement() {
+        // agg(A \ B) = f(agg(A), agg(B)) — Definition 5.1.
+        let all = acc_of(&[&[1.0], &[2.0], &[3.0], &[4.0]], 1);
+        let prefix = acc_of(&[&[1.0], &[2.0]], 1);
+        let suffix = all.difference(&prefix);
+        assert_eq!(suffix.count(), 2.0);
+        assert_eq!(suffix.channel_sum(0), 7.0);
+        assert_eq!(suffix.mean(0), Some(3.5));
+    }
+
+    #[test]
+    fn variance_never_negative_after_subtraction() {
+        let all = acc_of(&[&[1e9], &[1e9 + 1.0], &[1e9 + 2.0]], 1);
+        let prefix = acc_of(&[&[1e9], &[1e9 + 1.0]], 1);
+        let diff = all.difference(&prefix);
+        assert!(diff.variance(0).unwrap() >= 0.0);
+    }
+}

@@ -1,0 +1,652 @@
+//! Dynamic one-dimensional aggregate index (maintain instead of rebuild).
+//!
+//! Section 5.3 of the paper argues that, because unit positions change every
+//! clock tick, it is usually cheaper to **rebuild** the aggregate indexes
+//! from scratch each tick than to maintain dynamic structures (it cites the
+//! survey of Chiang & Tamassia for the extra cost of dynamization).  That is
+//! an empirical claim, so this module provides the dynamic counterpart needed
+//! to measure it: a randomized balanced search tree (treap) keyed by a
+//! coordinate, whose nodes maintain subtree-level divisible accumulators and
+//! MIN/MAX summaries.  It supports point insertion, deletion and coordinate
+//! updates in `O(log n)` expected time and answers one-dimensional range
+//! aggregates (`count`, `sum`, `mean`, `min`, `max`) in `O(log n)`.
+//!
+//! The `rebuild_vs_dynamic` benchmark compares three per-tick strategies at
+//! equal query load:
+//!
+//! 1. rebuild a static index from scratch (the paper's choice);
+//! 2. update this dynamic index with only the positions that changed;
+//! 3. scan naively.
+//!
+//! The structure is one-dimensional because that is where the trade-off is
+//! sharpest (the x-sorted base level shared by all of the paper's per-tick
+//! indexes); the same conclusion transfers to the layered trees built on top.
+
+use crate::divisible::DivAcc;
+
+/// Key of an entry: the indexed coordinate plus the caller's row id.  The id
+/// breaks ties so the tree behaves like a multiset over coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Key {
+    coord: f64,
+    id: u64,
+}
+
+impl Key {
+    fn less_than(&self, other: &Key) -> bool {
+        match self.coord.partial_cmp(&other.coord) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => self.id < other.id,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: Key,
+    priority: u64,
+    /// Value carried by the entry (the aggregated channel, e.g. health).
+    value: f64,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+    /// Subtree summaries.
+    count: usize,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Node {
+    fn new(key: Key, priority: u64, value: f64) -> Box<Node> {
+        Box::new(Node {
+            key,
+            priority,
+            value,
+            left: None,
+            right: None,
+            count: 1,
+            sum: value,
+            sum_sq: value * value,
+            min: value,
+            max: value,
+        })
+    }
+
+    fn pull(&mut self) {
+        self.count = 1;
+        self.sum = self.value;
+        self.sum_sq = self.value * self.value;
+        self.min = self.value;
+        self.max = self.value;
+        for child in [self.left.as_deref(), self.right.as_deref()].into_iter().flatten() {
+            self.count += child.count;
+            self.sum += child.sum;
+            self.sum_sq += child.sum_sq;
+            self.min = self.min.min(child.min);
+            self.max = self.max.max(child.max);
+        }
+    }
+}
+
+/// Summary of a one-dimensional range query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeSummary {
+    /// Number of entries in the range.
+    pub count: usize,
+    /// Sum of the entry values.
+    pub sum: f64,
+    /// Sum of squared entry values.
+    pub sum_sq: f64,
+    /// Minimum entry value (`+inf` when the range is empty).
+    pub min: f64,
+    /// Maximum entry value (`-inf` when the range is empty).
+    pub max: f64,
+}
+
+impl RangeSummary {
+    fn empty() -> RangeSummary {
+        RangeSummary { count: 0, sum: 0.0, sum_sq: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    fn absorb(&mut self, node: &Node, whole_subtree: bool) {
+        if whole_subtree {
+            self.count += node.count;
+            self.sum += node.sum;
+            self.sum_sq += node.sum_sq;
+            self.min = self.min.min(node.min);
+            self.max = self.max.max(node.max);
+        } else {
+            self.count += 1;
+            self.sum += node.value;
+            self.sum_sq += node.value * node.value;
+            self.min = self.min.min(node.value);
+            self.max = self.max.max(node.value);
+        }
+    }
+
+    /// Mean of the entry values; `None` when the range is empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count > 0 {
+            Some(self.sum / self.count as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Population variance of the entry values; `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        if self.count > 0 {
+            let mean = self.sum / self.count as f64;
+            Some((self.sum_sq / self.count as f64 - mean * mean).max(0.0))
+        } else {
+            None
+        }
+    }
+
+    /// Convert into a single-channel [`DivAcc`] (so downstream code can treat
+    /// dynamic and rebuilt indexes uniformly).
+    pub fn to_div_acc(&self) -> DivAcc {
+        DivAcc { count: self.count as f64, sum: vec![self.sum], sum_sq: vec![self.sum_sq] }
+    }
+}
+
+/// A dynamic aggregate-maintaining treap over `(coordinate, id, value)` rows.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicAggIndex {
+    root: Option<Box<Node>>,
+    /// xorshift state for node priorities (deterministic, seedable).
+    rng_state: u64,
+}
+
+impl DynamicAggIndex {
+    /// Create an empty index with the default priority seed.
+    pub fn new() -> DynamicAggIndex {
+        DynamicAggIndex::with_seed(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Create an empty index with an explicit priority seed (tests use this to
+    /// exercise different tree shapes deterministically).
+    pub fn with_seed(seed: u64) -> DynamicAggIndex {
+        DynamicAggIndex { root: None, rng_state: seed | 1 }
+    }
+
+    /// Bulk-build from `(id, coordinate, value)` rows.
+    pub fn from_rows(rows: &[(u64, f64, f64)]) -> DynamicAggIndex {
+        let mut index = DynamicAggIndex::new();
+        for (id, coord, value) in rows {
+            index.insert(*id, *coord, *value);
+        }
+        index
+    }
+
+    fn next_priority(&mut self) -> u64 {
+        // xorshift64* — cheap, deterministic, good enough for treap balance.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Number of entries in the index.
+    pub fn len(&self) -> usize {
+        self.root.as_ref().map_or(0, |n| n.count)
+    }
+
+    /// True when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Insert an entry.  `id` must not already be present at this coordinate;
+    /// (`id`, `coord`) pairs are assumed unique (the engine guarantees this by
+    /// removing before re-inserting on movement).
+    pub fn insert(&mut self, id: u64, coord: f64, value: f64) {
+        let priority = self.next_priority();
+        let node = Node::new(Key { coord, id }, priority, value);
+        let root = self.root.take();
+        self.root = Some(Self::insert_node(root, node));
+    }
+
+    fn insert_node(tree: Option<Box<Node>>, node: Box<Node>) -> Box<Node> {
+        match tree {
+            None => node,
+            Some(mut t) => {
+                if node.priority > t.priority {
+                    let (left, right) = Self::split(Some(t), &node.key);
+                    let mut node = node;
+                    node.left = left;
+                    node.right = right;
+                    node.pull();
+                    node
+                } else {
+                    if node.key.less_than(&t.key) {
+                        let left = t.left.take();
+                        t.left = Some(Self::insert_node(left, node));
+                    } else {
+                        let right = t.right.take();
+                        t.right = Some(Self::insert_node(right, node));
+                    }
+                    t.pull();
+                    t
+                }
+            }
+        }
+    }
+
+    /// Split into (< key, >= key).
+    fn split(tree: Option<Box<Node>>, key: &Key) -> (Option<Box<Node>>, Option<Box<Node>>) {
+        match tree {
+            None => (None, None),
+            Some(mut t) => {
+                if t.key.less_than(key) {
+                    let (mid, right) = Self::split(t.right.take(), key);
+                    t.right = mid;
+                    t.pull();
+                    (Some(t), right)
+                } else {
+                    let (left, mid) = Self::split(t.left.take(), key);
+                    t.left = mid;
+                    t.pull();
+                    (left, Some(t))
+                }
+            }
+        }
+    }
+
+    /// Remove the entry with the given id and coordinate.  Returns `true`
+    /// when an entry was removed.
+    pub fn remove(&mut self, id: u64, coord: f64) -> bool {
+        let key = Key { coord, id };
+        let root = self.root.take();
+        let (new_root, removed) = Self::remove_node(root, &key);
+        self.root = new_root;
+        removed
+    }
+
+    fn remove_node(tree: Option<Box<Node>>, key: &Key) -> (Option<Box<Node>>, bool) {
+        match tree {
+            None => (None, false),
+            Some(mut t) => {
+                if t.key == *key {
+                    let merged = Self::merge(t.left.take(), t.right.take());
+                    (merged, true)
+                } else if key.less_than(&t.key) {
+                    let (left, removed) = Self::remove_node(t.left.take(), key);
+                    t.left = left;
+                    t.pull();
+                    (Some(t), removed)
+                } else {
+                    let (right, removed) = Self::remove_node(t.right.take(), key);
+                    t.right = right;
+                    t.pull();
+                    (Some(t), removed)
+                }
+            }
+        }
+    }
+
+    fn merge(left: Option<Box<Node>>, right: Option<Box<Node>>) -> Option<Box<Node>> {
+        match (left, right) {
+            (None, r) => r,
+            (l, None) => l,
+            (Some(mut l), Some(mut r)) => {
+                if l.priority > r.priority {
+                    let lr = l.right.take();
+                    l.right = Self::merge(lr, Some(r));
+                    l.pull();
+                    Some(l)
+                } else {
+                    let rl = r.left.take();
+                    r.left = Self::merge(Some(l), rl);
+                    r.pull();
+                    Some(r)
+                }
+            }
+        }
+    }
+
+    /// Move an entry to a new coordinate (the per-tick position update).
+    /// Returns `false` when the entry was not found at `old_coord`.
+    pub fn update_coord(&mut self, id: u64, old_coord: f64, new_coord: f64, value: f64) -> bool {
+        if self.remove(id, old_coord) {
+            self.insert(id, new_coord, value);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Change the value of an entry in place (e.g. health changed but the
+    /// unit did not move).  Returns `false` when the entry was not found.
+    pub fn update_value(&mut self, id: u64, coord: f64, value: f64) -> bool {
+        let key = Key { coord, id };
+        fn walk(node: &mut Option<Box<Node>>, key: &Key, value: f64) -> bool {
+            match node {
+                None => false,
+                Some(t) => {
+                    let found = if t.key == *key {
+                        t.value = value;
+                        true
+                    } else if key.less_than(&t.key) {
+                        walk(&mut t.left, key, value)
+                    } else {
+                        walk(&mut t.right, key, value)
+                    };
+                    if found {
+                        t.pull();
+                    }
+                    found
+                }
+            }
+        }
+        walk(&mut self.root, &key, value)
+    }
+
+    /// Aggregate summary of the entries whose coordinate lies in
+    /// `[lo, hi]` (inclusive, like all of the paper's range filters).
+    pub fn query(&self, lo: f64, hi: f64) -> RangeSummary {
+        let mut summary = RangeSummary::empty();
+        if lo <= hi {
+            Self::query_node(self.root.as_deref(), lo, hi, &mut summary);
+        }
+        summary
+    }
+
+    fn query_node(node: Option<&Node>, lo: f64, hi: f64, out: &mut RangeSummary) {
+        let Some(node) = node else { return };
+        if node.key.coord < lo {
+            Self::query_node(node.right.as_deref(), lo, hi, out);
+        } else if node.key.coord > hi {
+            Self::query_node(node.left.as_deref(), lo, hi, out);
+        } else {
+            // Node is inside the range: its right-left / left-right frontier
+            // subtrees need further inspection but whole inner subtrees can be
+            // absorbed wholesale.
+            out.absorb(node, false);
+            Self::absorb_ge(node.left.as_deref(), lo, out);
+            Self::absorb_le(node.right.as_deref(), hi, out);
+        }
+    }
+
+    /// Absorb every entry of `node`'s subtree with coordinate >= lo.
+    fn absorb_ge(node: Option<&Node>, lo: f64, out: &mut RangeSummary) {
+        let Some(node) = node else { return };
+        if node.key.coord >= lo {
+            out.absorb(node, false);
+            if let Some(right) = node.right.as_deref() {
+                out.absorb(right, true);
+            }
+            Self::absorb_ge(node.left.as_deref(), lo, out);
+        } else {
+            Self::absorb_ge(node.right.as_deref(), lo, out);
+        }
+    }
+
+    /// Absorb every entry of `node`'s subtree with coordinate <= hi.
+    fn absorb_le(node: Option<&Node>, hi: f64, out: &mut RangeSummary) {
+        let Some(node) = node else { return };
+        if node.key.coord <= hi {
+            out.absorb(node, false);
+            if let Some(left) = node.left.as_deref() {
+                out.absorb(left, true);
+            }
+            Self::absorb_le(node.right.as_deref(), hi, out);
+        } else {
+            Self::absorb_le(node.left.as_deref(), hi, out);
+        }
+    }
+
+    /// Depth of the tree (diagnostics / balance tests only).
+    pub fn depth(&self) -> usize {
+        fn depth(node: Option<&Node>) -> usize {
+            node.map_or(0, |n| 1 + depth(n.left.as_deref()).max(depth(n.right.as_deref())))
+        }
+        depth(self.root.as_deref())
+    }
+
+    /// Verify the treap invariants (heap order on priorities, search order on
+    /// keys, correct subtree summaries).  Used by tests and debug assertions.
+    pub fn check_invariants(&self) -> bool {
+        fn check(node: Option<&Node>) -> Option<(usize, f64, f64, f64, f64, f64)> {
+            let node = node?;
+            let mut count = 1usize;
+            let mut sum = node.value;
+            let mut sum_sq = node.value * node.value;
+            let mut min = node.value;
+            let mut max = node.value;
+            if let Some(left) = node.left.as_deref() {
+                assert!(left.priority <= node.priority);
+                assert!(left.key.less_than(&node.key));
+                let (c, s, ss, mn, mx, _) = check(Some(left)).unwrap();
+                count += c;
+                sum += s;
+                sum_sq += ss;
+                min = min.min(mn);
+                max = max.max(mx);
+            }
+            if let Some(right) = node.right.as_deref() {
+                assert!(right.priority <= node.priority);
+                assert!(node.key.less_than(&right.key));
+                let (c, s, ss, mn, mx, _) = check(Some(right)).unwrap();
+                count += c;
+                sum += s;
+                sum_sq += ss;
+                min = min.min(mn);
+                max = max.max(mx);
+            }
+            assert_eq!(node.count, count);
+            assert!((node.sum - sum).abs() < 1e-6);
+            assert!((node.sum_sq - sum_sq).abs() < 1e-3);
+            assert_eq!(node.min, min);
+            assert_eq!(node.max, max);
+            Some((count, sum, sum_sq, min, max, 0.0))
+        }
+        check(self.root.as_deref());
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    /// Reference implementation: a plain vector of rows.
+    #[derive(Default)]
+    struct Brute {
+        rows: Vec<(u64, f64, f64)>,
+    }
+
+    impl Brute {
+        fn insert(&mut self, id: u64, coord: f64, value: f64) {
+            self.rows.push((id, coord, value));
+        }
+        fn remove(&mut self, id: u64, coord: f64) -> bool {
+            let before = self.rows.len();
+            self.rows.retain(|(i, c, _)| !(*i == id && *c == coord));
+            self.rows.len() != before
+        }
+        fn query(&self, lo: f64, hi: f64) -> RangeSummary {
+            let mut s = RangeSummary::empty();
+            for (_, c, v) in &self.rows {
+                if *c >= lo && *c <= hi {
+                    s.count += 1;
+                    s.sum += v;
+                    s.sum_sq += v * v;
+                    s.min = s.min.min(*v);
+                    s.max = s.max.max(*v);
+                }
+            }
+            s
+        }
+    }
+
+    fn assert_same(a: &RangeSummary, b: &RangeSummary) {
+        assert_eq!(a.count, b.count);
+        assert!((a.sum - b.sum).abs() < 1e-6);
+        assert!((a.sum_sq - b.sum_sq).abs() < 1e-3);
+        if a.count > 0 {
+            assert_eq!(a.min, b.min);
+            assert_eq!(a.max, b.max);
+        }
+    }
+
+    #[test]
+    fn empty_index_answers_empty_summaries() {
+        let index = DynamicAggIndex::new();
+        assert!(index.is_empty());
+        assert_eq!(index.len(), 0);
+        let s = index.query(0.0, 100.0);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert!(index.check_invariants());
+    }
+
+    #[test]
+    fn insert_query_matches_brute_force() {
+        let mut state = 1u64;
+        let mut index = DynamicAggIndex::new();
+        let mut brute = Brute::default();
+        for id in 0..500u64 {
+            let coord = lcg(&mut state) * 1000.0;
+            let value = lcg(&mut state) * 50.0;
+            index.insert(id, coord, value);
+            brute.insert(id, coord, value);
+        }
+        assert_eq!(index.len(), 500);
+        assert!(index.check_invariants());
+        for _ in 0..200 {
+            let a = lcg(&mut state) * 1000.0;
+            let b = lcg(&mut state) * 1000.0;
+            let (lo, hi) = (a.min(b), a.max(b));
+            assert_same(&index.query(lo, hi), &brute.query(lo, hi));
+        }
+        // Whole-range query covers everything.
+        let all = index.query(f64::NEG_INFINITY, f64::INFINITY);
+        assert_eq!(all.count, 500);
+    }
+
+    #[test]
+    fn removal_and_update_match_brute_force() {
+        let mut state = 9u64;
+        let mut index = DynamicAggIndex::with_seed(42);
+        let mut brute = Brute::default();
+        let mut coords = Vec::new();
+        for id in 0..300u64 {
+            let coord = lcg(&mut state) * 200.0;
+            let value = (id % 13) as f64;
+            coords.push((id, coord, value));
+            index.insert(id, coord, value);
+            brute.insert(id, coord, value);
+        }
+        // Remove a third of the rows.
+        for (id, coord, _) in coords.iter().filter(|(id, _, _)| id % 3 == 0) {
+            assert!(index.remove(*id, *coord));
+            assert!(brute.remove(*id, *coord));
+        }
+        // Move another third (the per-tick position update).
+        for entry in coords.iter_mut().filter(|(id, _, _)| id % 3 == 1) {
+            let new_coord = lcg(&mut state) * 200.0;
+            assert!(index.update_coord(entry.0, entry.1, new_coord, entry.2));
+            assert!(brute.remove(entry.0, entry.1));
+            brute.insert(entry.0, new_coord, entry.2);
+            entry.1 = new_coord;
+        }
+        assert!(index.check_invariants());
+        assert_eq!(index.len(), brute.rows.len());
+        for _ in 0..100 {
+            let a = lcg(&mut state) * 200.0;
+            let b = lcg(&mut state) * 200.0;
+            let (lo, hi) = (a.min(b), a.max(b));
+            assert_same(&index.query(lo, hi), &brute.query(lo, hi));
+        }
+    }
+
+    #[test]
+    fn removing_missing_entries_is_a_noop() {
+        let mut index = DynamicAggIndex::new();
+        index.insert(1, 5.0, 10.0);
+        assert!(!index.remove(1, 6.0));
+        assert!(!index.remove(2, 5.0));
+        assert!(index.remove(1, 5.0));
+        assert!(index.is_empty());
+        assert!(!index.update_coord(1, 5.0, 7.0, 10.0));
+        assert!(!index.update_value(1, 5.0, 3.0));
+    }
+
+    #[test]
+    fn value_updates_are_reflected_in_aggregates() {
+        let mut index = DynamicAggIndex::new();
+        for id in 0..10u64 {
+            index.insert(id, id as f64, 1.0);
+        }
+        assert!(index.update_value(4, 4.0, 100.0));
+        let s = index.query(0.0, 9.0);
+        assert_eq!(s.count, 10);
+        assert_eq!(s.sum, 9.0 + 100.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.min, 1.0);
+        assert!(index.check_invariants());
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_distinguished_by_id() {
+        let mut index = DynamicAggIndex::new();
+        for id in 0..50u64 {
+            index.insert(id, 7.0, id as f64);
+        }
+        assert_eq!(index.len(), 50);
+        let s = index.query(7.0, 7.0);
+        assert_eq!(s.count, 50);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 49.0);
+        assert!(index.remove(25, 7.0));
+        assert_eq!(index.query(7.0, 7.0).count, 49);
+        assert!(index.check_invariants());
+    }
+
+    #[test]
+    fn tree_stays_balanced() {
+        // Sorted insertion order is the worst case for unbalanced BSTs; the
+        // treap's random priorities keep the expected depth logarithmic.
+        let mut index = DynamicAggIndex::new();
+        let n = 4096u64;
+        for id in 0..n {
+            index.insert(id, id as f64, 1.0);
+        }
+        let depth = index.depth();
+        assert!(depth < 64, "depth {depth} is not O(log n) for n = {n}");
+        assert!(index.check_invariants());
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut index = DynamicAggIndex::new();
+        for (i, v) in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().enumerate() {
+            index.insert(i as u64, i as f64, *v);
+        }
+        let s = index.query(0.0, 7.0);
+        assert_eq!(s.mean(), Some(5.0));
+        assert!((s.variance().unwrap() - 4.0).abs() < 1e-9);
+        let acc = s.to_div_acc();
+        assert_eq!(acc.count(), 8.0);
+        assert_eq!(acc.channel_sum(0), 40.0);
+    }
+
+    #[test]
+    fn inverted_and_degenerate_ranges() {
+        let index = DynamicAggIndex::from_rows(&[(1, 1.0, 5.0), (2, 2.0, 6.0)]);
+        assert_eq!(index.query(3.0, 1.0).count, 0);
+        assert_eq!(index.query(2.0, 2.0).count, 1);
+        assert_eq!(index.query(2.0, 2.0).sum, 6.0);
+    }
+}

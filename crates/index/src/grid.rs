@@ -1,0 +1,213 @@
+//! Uniform bucket-grid spatial index.
+//!
+//! Not described in the paper; included as an ablation baseline for the range
+//! tree (grids are what many game engines actually ship) and used by the
+//! movement phase of the simulation engine for cheap collision queries.
+
+use crate::{Point2, Rect};
+
+/// A uniform grid over a rectangular world, bucketing point ids by cell.
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    origin_x: f64,
+    origin_y: f64,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<u32>>,
+    points: Vec<Point2>,
+}
+
+impl UniformGrid {
+    /// Build a grid with cells of size `cell` covering the bounding box of
+    /// the points (plus the world extent provided, so empty areas still map
+    /// to valid cells).
+    pub fn build(points: &[Point2], world_min: Point2, world_max: Point2, cell: f64) -> UniformGrid {
+        assert!(cell > 0.0, "cell size must be positive");
+        let width = (world_max.x - world_min.x).max(cell);
+        let height = (world_max.y - world_min.y).max(cell);
+        let cols = (width / cell).ceil() as usize + 1;
+        let rows = (height / cell).ceil() as usize + 1;
+        let mut grid = UniformGrid {
+            origin_x: world_min.x,
+            origin_y: world_min.y,
+            cell,
+            cols,
+            rows,
+            buckets: vec![Vec::new(); cols * rows],
+            points: points.to_vec(),
+        };
+        for (i, p) in points.iter().enumerate() {
+            let b = grid.bucket_of(p);
+            grid.buckets[b].push(i as u32);
+        }
+        grid
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the grid holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Grid dimensions `(columns, rows)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    fn clamp_col(&self, x: f64) -> usize {
+        (((x - self.origin_x) / self.cell).floor().max(0.0) as usize).min(self.cols - 1)
+    }
+
+    fn clamp_row(&self, y: f64) -> usize {
+        (((y - self.origin_y) / self.cell).floor().max(0.0) as usize).min(self.rows - 1)
+    }
+
+    fn bucket_of(&self, p: &Point2) -> usize {
+        self.clamp_row(p.y) * self.cols + self.clamp_col(p.x)
+    }
+
+    /// Ids of all points inside the rectangle (inclusive bounds).
+    pub fn query(&self, rect: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.query_into(rect, &mut out);
+        out
+    }
+
+    /// Enumerate into an existing buffer (cleared first).
+    pub fn query_into(&self, rect: &Rect, out: &mut Vec<u32>) {
+        out.clear();
+        if self.is_empty() || rect.is_empty() {
+            return;
+        }
+        let c0 = self.clamp_col(rect.x_min);
+        let c1 = self.clamp_col(rect.x_max);
+        let r0 = self.clamp_row(rect.y_min);
+        let r1 = self.clamp_row(rect.y_max);
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                for id in &self.buckets[row * self.cols + col] {
+                    if rect.contains(&self.points[*id as usize]) {
+                        out.push(*id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Count the points inside the rectangle.
+    pub fn count(&self, rect: &Rect) -> usize {
+        let mut buf = Vec::new();
+        self.query_into(rect, &mut buf);
+        buf.len()
+    }
+
+    /// Is any point within `radius` (Euclidean) of `p`, other than `exclude`?
+    pub fn any_within(&self, p: &Point2, radius: f64, exclude: Option<u32>) -> bool {
+        let rect = Rect::centered(p.x, p.y, radius);
+        let c0 = self.clamp_col(rect.x_min);
+        let c1 = self.clamp_col(rect.x_max);
+        let r0 = self.clamp_row(rect.y_min);
+        let r1 = self.clamp_row(rect.y_max);
+        let r2 = radius * radius;
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                for id in &self.buckets[row * self.cols + col] {
+                    if Some(*id) == exclude {
+                        continue;
+                    }
+                    if self.points[*id as usize].dist2(p) <= r2 {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    fn random_points(n: usize, seed: u64, world: f64) -> Vec<Point2> {
+        let mut state = seed;
+        (0..n).map(|_| Point2::new(lcg(&mut state) * world, lcg(&mut state) * world)).collect()
+    }
+
+    fn world_grid(points: &[Point2], cell: f64) -> UniformGrid {
+        UniformGrid::build(points, Point2::new(0.0, 0.0), Point2::new(100.0, 100.0), cell)
+    }
+
+    #[test]
+    fn empty_grid() {
+        let grid = world_grid(&[], 5.0);
+        assert!(grid.is_empty());
+        assert_eq!(grid.count(&Rect::centered(50.0, 50.0, 10.0)), 0);
+        assert!(!grid.any_within(&Point2::new(0.0, 0.0), 100.0, None));
+    }
+
+    #[test]
+    fn queries_match_brute_force() {
+        let points = random_points(400, 17, 100.0);
+        let grid = world_grid(&points, 7.0);
+        assert_eq!(grid.len(), 400);
+        let mut state = 23u64;
+        for _ in 0..100 {
+            let rect =
+                Rect::centered(lcg(&mut state) * 100.0, lcg(&mut state) * 100.0, lcg(&mut state) * 20.0);
+            let mut fast = grid.query(&rect);
+            fast.sort_unstable();
+            let mut slow: Vec<u32> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| rect.contains(p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            slow.sort_unstable();
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn points_outside_the_declared_world_are_clamped_not_lost() {
+        let points = vec![Point2::new(-10.0, -10.0), Point2::new(150.0, 150.0), Point2::new(50.0, 50.0)];
+        let grid = world_grid(&points, 10.0);
+        assert_eq!(grid.count(&Rect::new(-20.0, 200.0, -20.0, 200.0)), 3);
+        assert_eq!(grid.count(&Rect::new(40.0, 60.0, 40.0, 60.0)), 1);
+    }
+
+    #[test]
+    fn any_within_respects_exclusion_and_radius() {
+        let points = vec![Point2::new(10.0, 10.0), Point2::new(11.0, 10.0)];
+        let grid = world_grid(&points, 5.0);
+        assert!(grid.any_within(&Point2::new(10.0, 10.0), 0.5, None));
+        // Excluding the only point in radius → nothing found.
+        assert!(!grid.any_within(&Point2::new(10.0, 10.0), 0.5, Some(0)));
+        // The other point is 1.0 away.
+        assert!(grid.any_within(&Point2::new(10.0, 10.0), 1.0, Some(0)));
+        assert!(!grid.any_within(&Point2::new(10.0, 10.0), 0.9, Some(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn zero_cell_size_panics() {
+        let _ = world_grid(&[], 0.0);
+    }
+
+    #[test]
+    fn dims_reflect_world_and_cell_size() {
+        let grid = world_grid(&[], 10.0);
+        let (cols, rows) = grid.dims();
+        assert!(cols >= 10 && rows >= 10);
+    }
+}

@@ -1,0 +1,249 @@
+//! kD-tree for nearest-neighbour spatial aggregates (paper §5.3.2).
+//!
+//! The paper places kD-trees below the categorical layers of the index
+//! (player × unit type), so the trees themselves never need attribute
+//! filters; an optional predicate parameter is still provided for aggregates
+//! such as "nearest enemy whose armor we can penetrate".
+
+use crate::{Point2, Rect};
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Position in the point array.
+    id: u32,
+    /// Split axis: 0 = x, 1 = y.
+    axis: u8,
+    left: i32,
+    right: i32,
+}
+
+const NO_CHILD: i32 = -1;
+
+/// A static 2-dimensional kD-tree.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: Vec<Point2>,
+    nodes: Vec<Node>,
+    root: i32,
+}
+
+impl KdTree {
+    /// Build a balanced kD-tree (median splits) over the points.
+    pub fn build(points: &[Point2]) -> KdTree {
+        let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+        let mut tree = KdTree { points: points.to_vec(), nodes: Vec::with_capacity(points.len()), root: NO_CHILD };
+        if !points.is_empty() {
+            tree.root = tree.build_node(&mut ids, 0);
+        }
+        tree
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the tree contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    fn build_node(&mut self, ids: &mut [u32], depth: usize) -> i32 {
+        if ids.is_empty() {
+            return NO_CHILD;
+        }
+        let axis = (depth % 2) as u8;
+        let mid = ids.len() / 2;
+        let points = &self.points;
+        ids.select_nth_unstable_by(mid, |a, b| {
+            let (pa, pb) = (&points[*a as usize], &points[*b as usize]);
+            let (ka, kb) = if axis == 0 { (pa.x, pb.x) } else { (pa.y, pb.y) };
+            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let id = ids[mid];
+        let node_idx = self.nodes.len() as i32;
+        self.nodes.push(Node { id, axis, left: NO_CHILD, right: NO_CHILD });
+        let (left_ids, rest) = ids.split_at_mut(mid);
+        let right_ids = &mut rest[1..];
+        let left = self.build_node(left_ids, depth + 1);
+        let right = self.build_node(right_ids, depth + 1);
+        self.nodes[node_idx as usize].left = left;
+        self.nodes[node_idx as usize].right = right;
+        node_idx
+    }
+
+    /// Nearest point to `query` (by Euclidean distance).  Returns
+    /// `(point id, squared distance)`.
+    pub fn nearest(&self, query: &Point2) -> Option<(u32, f64)> {
+        self.nearest_filtered(query, |_| true)
+    }
+
+    /// Nearest point satisfying the predicate (e.g. "not the unit itself",
+    /// "armor below my attack").
+    pub fn nearest_filtered<F: Fn(u32) -> bool>(&self, query: &Point2, accept: F) -> Option<(u32, f64)> {
+        let mut best: Option<(u32, f64)> = None;
+        self.search(self.root, query, &accept, &mut best);
+        best
+    }
+
+    fn search<F: Fn(u32) -> bool>(
+        &self,
+        node_idx: i32,
+        query: &Point2,
+        accept: &F,
+        best: &mut Option<(u32, f64)>,
+    ) {
+        if node_idx == NO_CHILD {
+            return;
+        }
+        let node = &self.nodes[node_idx as usize];
+        let p = &self.points[node.id as usize];
+        let d2 = query.dist2(p);
+        if accept(node.id) && best.map_or(true, |(_, bd)| d2 < bd) {
+            *best = Some((node.id, d2));
+        }
+        let diff = if node.axis == 0 { query.x - p.x } else { query.y - p.y };
+        let (near, far) = if diff <= 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        self.search(near, query, accept, best);
+        // Only descend into the far side if the splitting plane is closer than
+        // the best distance found so far (or nothing was found yet).
+        if best.map_or(true, |(_, bd)| diff * diff < bd) {
+            self.search(far, query, accept, best);
+        }
+    }
+
+    /// All point ids within `radius` of `query` (Euclidean).
+    pub fn within_radius(&self, query: &Point2, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        let r2 = radius * radius;
+        let rect = Rect::centered(query.x, query.y, radius);
+        self.range_search(self.root, query, r2, &rect, &mut out);
+        out
+    }
+
+    fn range_search(&self, node_idx: i32, query: &Point2, r2: f64, rect: &Rect, out: &mut Vec<u32>) {
+        if node_idx == NO_CHILD {
+            return;
+        }
+        let node = &self.nodes[node_idx as usize];
+        let p = &self.points[node.id as usize];
+        if query.dist2(p) <= r2 {
+            out.push(node.id);
+        }
+        let (coord, lo, hi) = if node.axis == 0 {
+            (p.x, rect.x_min, rect.x_max)
+        } else {
+            (p.y, rect.y_min, rect.y_max)
+        };
+        if lo <= coord {
+            self.range_search(node.left, query, r2, rect, out);
+        }
+        if coord <= hi {
+            self.range_search(node.right, query, r2, rect, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    fn random_points(n: usize, seed: u64, world: f64) -> Vec<Point2> {
+        let mut state = seed;
+        (0..n).map(|_| Point2::new(lcg(&mut state) * world, lcg(&mut state) * world)).collect()
+    }
+
+    fn brute_nearest<F: Fn(u32) -> bool>(points: &[Point2], q: &Point2, accept: F) -> Option<(u32, f64)> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| accept(*i as u32))
+            .map(|(i, p)| (i as u32, q.dist2(p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+
+    #[test]
+    fn empty_tree_has_no_neighbours() {
+        let tree = KdTree::build(&[]);
+        assert!(tree.is_empty());
+        assert_eq!(tree.nearest(&Point2::new(0.0, 0.0)), None);
+        assert!(tree.within_radius(&Point2::new(0.0, 0.0), 5.0).is_empty());
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let points = random_points(500, 77, 100.0);
+        let tree = KdTree::build(&points);
+        assert_eq!(tree.len(), 500);
+        let mut state = 5u64;
+        for _ in 0..200 {
+            let q = Point2::new(lcg(&mut state) * 100.0, lcg(&mut state) * 100.0);
+            let (fast_id, fast_d) = tree.nearest(&q).unwrap();
+            let (_slow_id, slow_d) = brute_nearest(&points, &q, |_| true).unwrap();
+            // Ties may pick different ids, but the distances must agree.
+            assert!((fast_d - slow_d).abs() < 1e-9);
+            assert!((q.dist2(&points[fast_id as usize]) - slow_d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn filtered_nearest_excludes_rejected_points() {
+        let points = random_points(200, 13, 50.0);
+        let tree = KdTree::build(&points);
+        let mut state = 17u64;
+        for qid in 0..50u32 {
+            let q = points[qid as usize];
+            // Exclude the query point itself (distance 0) — the classic
+            // "nearest other unit" query.
+            let fast = tree.nearest_filtered(&q, |id| id != qid).unwrap();
+            let slow = brute_nearest(&points, &q, |id| id != qid).unwrap();
+            assert!((fast.1 - slow.1).abs() < 1e-9);
+            assert_ne!(fast.0, qid);
+            let _ = lcg(&mut state);
+        }
+    }
+
+    #[test]
+    fn filter_rejecting_everything_returns_none() {
+        let points = random_points(32, 3, 10.0);
+        let tree = KdTree::build(&points);
+        assert_eq!(tree.nearest_filtered(&Point2::new(1.0, 1.0), |_| false), None);
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let points = random_points(300, 23, 60.0);
+        let tree = KdTree::build(&points);
+        let mut state = 8u64;
+        for _ in 0..50 {
+            let q = Point2::new(lcg(&mut state) * 60.0, lcg(&mut state) * 60.0);
+            let r = lcg(&mut state) * 15.0;
+            let mut fast = tree.within_radius(&q, r);
+            fast.sort_unstable();
+            let mut slow: Vec<u32> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| q.dist2(p) <= r * r)
+                .map(|(i, _)| i as u32)
+                .collect();
+            slow.sort_unstable();
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_the_tree() {
+        let mut points = vec![Point2::new(1.0, 1.0); 20];
+        points.push(Point2::new(5.0, 5.0));
+        let tree = KdTree::build(&points);
+        let (id, d) = tree.nearest(&Point2::new(4.9, 5.1)).unwrap();
+        assert_eq!(id, 20);
+        assert!(d < 0.1);
+        assert_eq!(tree.within_radius(&Point2::new(1.0, 1.0), 0.1).len(), 20);
+    }
+}

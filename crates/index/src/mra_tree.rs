@@ -1,0 +1,532 @@
+//! Multi-resolution aggregate (MRA) tree for progressive MIN/MAX queries.
+//!
+//! Section 5.3.1 of the paper notes that MIN/MAX aggregates over arbitrary
+//! orthogonal ranges do not fit the divisible-aggregate trick of Figure 8 and
+//! mentions two ways out: the sweep-line of Figure 9 (exact, but only for
+//! *constant*-size ranges) and a **multi-resolution aggregate tree**
+//! (Lazaridis & Mehrotra, SIGMOD 2001), which answers arbitrary ranges but
+//! "returns only approximate results, and there is no guarantee on their
+//! query performance".
+//!
+//! This module implements that alternative so the trade-off can be measured:
+//! an [`MraTree`] is a pyramid of regular grids, one per resolution level,
+//! whose cells carry count / sum / min / max of the points they cover.  A
+//! query descends the pyramid and keeps a running `[lower, upper]` bound on
+//! the answer; it may stop early once a *node budget* is exhausted (the
+//! progressive-approximation mode of the original paper) or run to the leaf
+//! level for an exact answer.
+//!
+//! The battle scripts only ever need exact answers, so the indexed executor
+//! keeps using the sweep-line; the MRA tree exists for the ablation benches
+//! and as the natural extension point for "soft" game queries (e.g. threat
+//! heat maps) where an approximate answer each tick is good enough.
+
+use crate::{Point2, Rect};
+
+/// Aggregate summary of one grid cell.
+#[derive(Debug, Clone, Copy)]
+struct CellAgg {
+    count: u32,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl CellAgg {
+    fn identity() -> CellAgg {
+        CellAgg { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    fn insert(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn merge(&mut self, other: &CellAgg) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One resolution level: a `dim × dim` grid of cell aggregates.
+#[derive(Debug, Clone)]
+struct Level {
+    dim: usize,
+    cells: Vec<CellAgg>,
+}
+
+impl Level {
+    fn new(dim: usize) -> Level {
+        Level { dim, cells: vec![CellAgg::identity(); dim * dim] }
+    }
+
+    fn cell(&self, cx: usize, cy: usize) -> &CellAgg {
+        &self.cells[cy * self.dim + cx]
+    }
+
+    fn cell_mut(&mut self, cx: usize, cy: usize) -> &mut CellAgg {
+        &mut self.cells[cy * self.dim + cx]
+    }
+}
+
+/// Which aggregate a query asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MraAgg {
+    /// Minimum of the point values in the range.
+    Min,
+    /// Maximum of the point values in the range.
+    Max,
+    /// Number of points in the range.
+    Count,
+    /// Sum of the point values in the range.
+    Sum,
+}
+
+/// Interval answer of a (possibly budget-limited) MRA query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MraBounds {
+    /// Lower bound on the exact answer.
+    pub lower: f64,
+    /// Upper bound on the exact answer.
+    pub upper: f64,
+    /// Number of tree nodes visited to produce the bounds.
+    pub nodes_visited: usize,
+    /// True when the bounds are tight (`lower == upper` or no point matched).
+    pub exact: bool,
+}
+
+impl MraBounds {
+    /// Width of the uncertainty interval (0 for exact answers).
+    pub fn uncertainty(&self) -> f64 {
+        if self.exact {
+            0.0
+        } else {
+            self.upper - self.lower
+        }
+    }
+}
+
+/// A multi-resolution aggregate tree over weighted points.
+#[derive(Debug, Clone)]
+pub struct MraTree {
+    bounds: Rect,
+    levels: Vec<Level>,
+    points: Vec<Point2>,
+    values: Vec<f64>,
+    /// points sorted into leaf cells: `leaf_start[c] .. leaf_start[c+1]` index
+    /// `leaf_ids`, giving the points of leaf cell `c`.
+    leaf_start: Vec<u32>,
+    leaf_ids: Vec<u32>,
+}
+
+impl MraTree {
+    /// Build a pyramid with `levels` levels over the points (level `l` has
+    /// `2^l × 2^l` cells).  `levels` is clamped to `[1, 12]`.
+    pub fn build(points: &[Point2], values: &[f64], levels: usize) -> MraTree {
+        assert_eq!(points.len(), values.len(), "one value per point");
+        let levels = levels.clamp(1, 12);
+        // Bounding square, inflated slightly so max-coordinate points stay in range.
+        let mut x_min = f64::INFINITY;
+        let mut x_max = f64::NEG_INFINITY;
+        let mut y_min = f64::INFINITY;
+        let mut y_max = f64::NEG_INFINITY;
+        for p in points {
+            x_min = x_min.min(p.x);
+            x_max = x_max.max(p.x);
+            y_min = y_min.min(p.y);
+            y_max = y_max.max(p.y);
+        }
+        if points.is_empty() {
+            x_min = 0.0;
+            x_max = 1.0;
+            y_min = 0.0;
+            y_max = 1.0;
+        }
+        let side = ((x_max - x_min).max(y_max - y_min)).max(1e-9) * 1.000_001;
+        let bounds = Rect::new(x_min, x_min + side, y_min, y_min + side);
+
+        let mut level_vec: Vec<Level> = (0..levels).map(|l| Level::new(1 << l)).collect();
+        let leaf_dim = 1usize << (levels - 1);
+        let cell_of = |p: &Point2, dim: usize| -> (usize, usize) {
+            let fx = ((p.x - bounds.x_min) / side * dim as f64).floor() as isize;
+            let fy = ((p.y - bounds.y_min) / side * dim as f64).floor() as isize;
+            (fx.clamp(0, dim as isize - 1) as usize, fy.clamp(0, dim as isize - 1) as usize)
+        };
+
+        // Fill every level.
+        for (p, v) in points.iter().zip(values) {
+            for level in level_vec.iter_mut() {
+                let (cx, cy) = cell_of(p, level.dim);
+                level.cell_mut(cx, cy).insert(*v);
+            }
+        }
+
+        // Bucket point ids by leaf cell (counting sort) for exact refinement.
+        let leaf_cells = leaf_dim * leaf_dim;
+        let mut counts = vec![0u32; leaf_cells + 1];
+        let leaf_index = |p: &Point2| -> usize {
+            let (cx, cy) = cell_of(p, leaf_dim);
+            cy * leaf_dim + cx
+        };
+        for p in points {
+            counts[leaf_index(p) + 1] += 1;
+        }
+        for i in 0..leaf_cells {
+            counts[i + 1] += counts[i];
+        }
+        let mut leaf_ids = vec![0u32; points.len()];
+        let mut cursor = counts.clone();
+        for (id, p) in points.iter().enumerate() {
+            let c = leaf_index(p);
+            leaf_ids[cursor[c] as usize] = id as u32;
+            cursor[c] += 1;
+        }
+
+        MraTree {
+            bounds,
+            levels: level_vec,
+            points: points.to_vec(),
+            values: values.to_vec(),
+            leaf_start: counts,
+            leaf_ids,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of pyramid levels.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    fn cell_rect(&self, level: usize, cx: usize, cy: usize) -> Rect {
+        let dim = self.levels[level].dim as f64;
+        let side = self.bounds.x_max - self.bounds.x_min;
+        let w = side / dim;
+        Rect::new(
+            self.bounds.x_min + cx as f64 * w,
+            self.bounds.x_min + (cx + 1) as f64 * w,
+            self.bounds.y_min + cy as f64 * w,
+            self.bounds.y_min + (cy + 1) as f64 * w,
+        )
+    }
+
+    fn rect_relation(cell: &Rect, query: &Rect) -> CellRelation {
+        if cell.x_min >= query.x_max
+            || cell.x_max <= query.x_min
+            || cell.y_min >= query.y_max
+            || cell.y_max <= query.y_min
+        {
+            // Note: cells are half-open in spirit; a shared edge contributes
+            // nothing because the points on it belong to the neighbour cell.
+            // Treating touching cells as partial instead would only cost a few
+            // extra node visits, never correctness, so we keep the cheap test
+            // but fall through to Partial when the query degenerates.
+            if cell.x_min > query.x_max
+                || cell.x_max < query.x_min
+                || cell.y_min > query.y_max
+                || cell.y_max < query.y_min
+            {
+                return CellRelation::Disjoint;
+            }
+            return CellRelation::Partial;
+        }
+        if cell.x_min >= query.x_min
+            && cell.x_max <= query.x_max
+            && cell.y_min >= query.y_min
+            && cell.y_max <= query.y_max
+        {
+            CellRelation::Contained
+        } else {
+            CellRelation::Partial
+        }
+    }
+
+    /// Exact aggregate over the points inside `rect` (descends to the points
+    /// of partially covered leaf cells).  Returns `None` when no point lies in
+    /// the rectangle and the aggregate is MIN or MAX.
+    pub fn query_exact(&self, rect: &Rect, agg: MraAgg) -> Option<f64> {
+        let bounds = self.query_with_budget(rect, agg, usize::MAX);
+        match agg {
+            MraAgg::Count | MraAgg::Sum => Some(bounds.lower),
+            MraAgg::Min | MraAgg::Max => {
+                if bounds.lower.is_finite() || bounds.upper.is_finite() {
+                    Some(bounds.lower)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Progressive query: visit at most `node_budget` cells, then return the
+    /// `[lower, upper]` interval guaranteed to contain the exact answer.
+    ///
+    /// With an unlimited budget the interval collapses (`exact == true`).  A
+    /// small budget gives the anytime behaviour of the original MRA-tree
+    /// paper: coarse levels answer first, finer levels shrink the interval.
+    pub fn query_with_budget(&self, rect: &Rect, agg: MraAgg, node_budget: usize) -> MraBounds {
+        let mut state = QueryState {
+            agg,
+            budget: node_budget.max(1),
+            visited: 0,
+            // Aggregate over cells fully contained in the query.
+            certain: CellAgg::identity(),
+            // Aggregate over partially covered cells that we could not refine
+            // before the budget ran out (contributes to the optimistic bound).
+            uncertain: CellAgg::identity(),
+            truncated: false,
+        };
+        if !rect.is_empty() && !self.points.is_empty() {
+            self.visit(0, 0, 0, rect, &mut state);
+        }
+        state.finish()
+    }
+
+    fn visit(&self, level: usize, cx: usize, cy: usize, rect: &Rect, state: &mut QueryState) {
+        let cell = self.levels[level].cell(cx, cy);
+        if cell.count == 0 {
+            return;
+        }
+        let cell_rect = self.cell_rect(level, cx, cy);
+        match Self::rect_relation(&cell_rect, rect) {
+            CellRelation::Disjoint => {}
+            CellRelation::Contained => {
+                state.certain.merge(cell);
+                state.visited += 1;
+            }
+            CellRelation::Partial => {
+                state.visited += 1;
+                if state.visited >= state.budget && level + 1 < self.levels.len() {
+                    // Out of budget: account for the whole cell optimistically.
+                    state.uncertain.merge(cell);
+                    state.truncated = true;
+                    return;
+                }
+                if level + 1 == self.levels.len() {
+                    // Leaf level: refine using the actual points of the cell.
+                    let dim = self.levels[level].dim;
+                    let leaf = cy * dim + cx;
+                    let start = self.leaf_start[leaf] as usize;
+                    let end = self.leaf_start[leaf + 1] as usize;
+                    for &id in &self.leaf_ids[start..end] {
+                        let p = &self.points[id as usize];
+                        if rect.contains(p) {
+                            state.certain.insert(self.values[id as usize]);
+                        }
+                    }
+                } else {
+                    for dy in 0..2usize {
+                        for dx in 0..2usize {
+                            self.visit(level + 1, cx * 2 + dx, cy * 2 + dy, rect, state);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellRelation {
+    Disjoint,
+    Contained,
+    Partial,
+}
+
+struct QueryState {
+    agg: MraAgg,
+    budget: usize,
+    visited: usize,
+    certain: CellAgg,
+    uncertain: CellAgg,
+    truncated: bool,
+}
+
+impl QueryState {
+    fn finish(self) -> MraBounds {
+        let (lower, upper) = match self.agg {
+            MraAgg::Count => {
+                let lo = self.certain.count as f64;
+                (lo, lo + self.uncertain.count as f64)
+            }
+            MraAgg::Sum => {
+                // Point values may be negative, so an unrefined cell can move
+                // the sum either way: bound with the signed extremes.
+                let lo = self.certain.sum
+                    + if self.uncertain.count > 0 { self.uncertain.min.min(0.0) * self.uncertain.count as f64 } else { 0.0 };
+                let hi = self.certain.sum
+                    + if self.uncertain.count > 0 { self.uncertain.max.max(0.0) * self.uncertain.count as f64 } else { 0.0 };
+                (lo, hi)
+            }
+            MraAgg::Min => {
+                // Certain cells give an upper bound on the minimum; uncertain
+                // cells could contribute anything down to their own minimum.
+                let certain = if self.certain.count > 0 { self.certain.min } else { f64::INFINITY };
+                let optimistic = if self.uncertain.count > 0 { self.uncertain.min } else { f64::INFINITY };
+                (certain.min(optimistic), certain)
+            }
+            MraAgg::Max => {
+                let certain = if self.certain.count > 0 { self.certain.max } else { f64::NEG_INFINITY };
+                let optimistic = if self.uncertain.count > 0 { self.uncertain.max } else { f64::NEG_INFINITY };
+                (certain, certain.max(optimistic))
+            }
+        };
+        let exact = !self.truncated;
+        MraBounds { lower, upper, nodes_visited: self.visited, exact }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    fn setup(n: usize, seed: u64, world: f64) -> (Vec<Point2>, Vec<f64>) {
+        let mut state = seed;
+        let points: Vec<Point2> =
+            (0..n).map(|_| Point2::new(lcg(&mut state) * world, lcg(&mut state) * world)).collect();
+        let values: Vec<f64> = (0..n).map(|i| ((i * 17) % 101) as f64).collect();
+        (points, values)
+    }
+
+    fn brute(points: &[Point2], values: &[f64], rect: &Rect, agg: MraAgg) -> Option<f64> {
+        let matching: Vec<f64> = points
+            .iter()
+            .zip(values)
+            .filter(|(p, _)| rect.contains(p))
+            .map(|(_, v)| *v)
+            .collect();
+        match agg {
+            MraAgg::Count => Some(matching.len() as f64),
+            MraAgg::Sum => Some(matching.iter().sum()),
+            MraAgg::Min => matching.iter().cloned().reduce(f64::min),
+            MraAgg::Max => matching.iter().cloned().reduce(f64::max),
+        }
+    }
+
+    #[test]
+    fn empty_tree_is_well_behaved() {
+        let tree = MraTree::build(&[], &[], 5);
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        let rect = Rect::new(0.0, 1.0, 0.0, 1.0);
+        assert_eq!(tree.query_exact(&rect, MraAgg::Count), Some(0.0));
+        assert_eq!(tree.query_exact(&rect, MraAgg::Min), None);
+        let b = tree.query_with_budget(&rect, MraAgg::Max, 3);
+        assert!(b.exact);
+    }
+
+    #[test]
+    fn exact_queries_match_brute_force() {
+        let (points, values) = setup(700, 19, 300.0);
+        let tree = MraTree::build(&points, &values, 7);
+        assert_eq!(tree.level_count(), 7);
+        let mut state = 7u64;
+        for _ in 0..150 {
+            let rect = Rect::centered(lcg(&mut state) * 300.0, lcg(&mut state) * 300.0, 5.0 + lcg(&mut state) * 60.0);
+            for agg in [MraAgg::Count, MraAgg::Sum, MraAgg::Min, MraAgg::Max] {
+                let fast = tree.query_exact(&rect, agg);
+                let slow = brute(&points, &values, &rect, agg);
+                match (fast, slow) {
+                    (Some(f), Some(s)) => assert!((f - s).abs() < 1e-6, "{agg:?}: {f} vs {s}"),
+                    (None, None) => {}
+                    other => panic!("mismatch for {agg:?}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_bounds_always_contain_the_exact_answer() {
+        let (points, values) = setup(500, 3, 200.0);
+        let tree = MraTree::build(&points, &values, 7);
+        let mut state = 13u64;
+        for _ in 0..100 {
+            let rect = Rect::centered(lcg(&mut state) * 200.0, lcg(&mut state) * 200.0, 10.0 + lcg(&mut state) * 50.0);
+            for agg in [MraAgg::Count, MraAgg::Min, MraAgg::Max] {
+                let exact = brute(&points, &values, &rect, agg);
+                for budget in [1usize, 4, 16, 64, 100_000] {
+                    let b = tree.query_with_budget(&rect, agg, budget);
+                    if let Some(x) = exact {
+                        assert!(
+                            b.lower <= x + 1e-9 && x <= b.upper + 1e-9,
+                            "{agg:?} budget {budget}: exact {x} outside [{}, {}]",
+                            b.lower,
+                            b.upper
+                        );
+                    }
+                    if budget == 100_000 {
+                        assert!(b.exact);
+                        assert_eq!(b.uncertainty(), 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_budgets_never_visit_fewer_nodes_than_reported() {
+        let (points, values) = setup(400, 29, 150.0);
+        let tree = MraTree::build(&points, &values, 6);
+        let rect = Rect::centered(75.0, 75.0, 40.0);
+        let coarse = tree.query_with_budget(&rect, MraAgg::Min, 2);
+        let fine = tree.query_with_budget(&rect, MraAgg::Min, 10_000);
+        assert!(coarse.nodes_visited <= fine.nodes_visited);
+        assert!(coarse.uncertainty() >= fine.uncertainty());
+        assert!(fine.exact);
+    }
+
+    #[test]
+    fn count_and_sum_exact_values() {
+        let points = vec![
+            Point2::new(1.0, 1.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(3.0, 3.0),
+            Point2::new(50.0, 50.0),
+        ];
+        let values = vec![10.0, 20.0, 30.0, 1000.0];
+        let tree = MraTree::build(&points, &values, 5);
+        let rect = Rect::new(0.0, 4.0, 0.0, 4.0);
+        assert_eq!(tree.query_exact(&rect, MraAgg::Count), Some(3.0));
+        assert_eq!(tree.query_exact(&rect, MraAgg::Sum), Some(60.0));
+        assert_eq!(tree.query_exact(&rect, MraAgg::Min), Some(10.0));
+        assert_eq!(tree.query_exact(&rect, MraAgg::Max), Some(30.0));
+    }
+
+    #[test]
+    fn level_clamping() {
+        let (points, values) = setup(32, 5, 10.0);
+        let tree = MraTree::build(&points, &values, 0);
+        assert_eq!(tree.level_count(), 1);
+        let tree = MraTree::build(&points, &values, 50);
+        assert_eq!(tree.level_count(), 12);
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let points = vec![Point2::new(5.0, 5.0); 64];
+        let values: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let tree = MraTree::build(&points, &values, 6);
+        let rect = Rect::centered(5.0, 5.0, 1.0);
+        assert_eq!(tree.query_exact(&rect, MraAgg::Count), Some(64.0));
+        assert_eq!(tree.query_exact(&rect, MraAgg::Min), Some(0.0));
+        assert_eq!(tree.query_exact(&rect, MraAgg::Max), Some(63.0));
+    }
+}

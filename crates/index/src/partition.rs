@@ -1,0 +1,167 @@
+//! Categorical partition layer (paper §5.3.1 and §6).
+//!
+//! Degenerate (categorical) range components — the player owning a unit, its
+//! type — do not need tree levels: they are replaced by a hash table with
+//! `O(1)` look-up sitting on top of the spatial indexes.  The experimental
+//! setup of §6 pushes the selection on player and unit type to the top,
+//! building one spatial index per (player, unit type) combination; this module
+//! provides that layer generically.
+
+use rustc_hash::FxHashMap;
+use std::hash::Hash;
+
+/// Group item indices by a categorical key.
+pub fn group_by_key<K, I, F>(items: I, mut key_of: F) -> FxHashMap<K, Vec<u32>>
+where
+    K: Eq + Hash,
+    I: IntoIterator,
+    F: FnMut(&I::Item) -> K,
+{
+    let mut groups: FxHashMap<K, Vec<u32>> = FxHashMap::default();
+    for (i, item) in items.into_iter().enumerate() {
+        groups.entry(key_of(&item)).or_default().push(i as u32);
+    }
+    groups
+}
+
+/// A map from categorical keys to per-group indexes (e.g. one
+/// [`crate::agg_tree::LayeredAggTree`] per player × unit type).
+#[derive(Debug, Clone)]
+pub struct PartitionedIndex<K, I> {
+    groups: FxHashMap<K, I>,
+}
+
+impl<K: Eq + Hash, I> PartitionedIndex<K, I> {
+    /// Build the layer: group item indices by key, then build one inner index
+    /// per group with the provided builder.
+    pub fn build<T, KF, BF>(items: &[T], mut key_of: KF, mut build: BF) -> PartitionedIndex<K, I>
+    where
+        KF: FnMut(&T) -> K,
+        BF: FnMut(&K, &[u32]) -> I,
+    {
+        let mut members: FxHashMap<K, Vec<u32>> = FxHashMap::default();
+        for (i, item) in items.iter().enumerate() {
+            members.entry(key_of(item)).or_default().push(i as u32);
+        }
+        let groups =
+            members.into_iter().map(|(k, ids)| {
+                let index = build(&k, &ids);
+                (k, index)
+            }).collect();
+        PartitionedIndex { groups }
+    }
+
+    /// Create from pre-built groups.
+    pub fn from_groups(groups: FxHashMap<K, I>) -> PartitionedIndex<K, I> {
+        PartitionedIndex { groups }
+    }
+
+    /// The inner index for a key, if any item had that key.
+    pub fn get(&self, key: &K) -> Option<&I> {
+        self.groups.get(key)
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no groups exist.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Iterate over `(key, index)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &I)> {
+        self.groups.iter()
+    }
+
+    /// Iterate over the indexes of every group whose key satisfies the
+    /// predicate (e.g. "all enemy players").
+    pub fn matching<'a, P>(&'a self, mut pred: P) -> impl Iterator<Item = &'a I>
+    where
+        P: FnMut(&K) -> bool + 'a,
+    {
+        self.groups.iter().filter(move |(k, _)| pred(k)).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg_tree::{AggEntry, LayeredAggTree};
+    use crate::{Point2, Rect};
+
+    #[derive(Debug, Clone, Copy)]
+    struct Unit {
+        player: i64,
+        kind: u8,
+        x: f64,
+        y: f64,
+    }
+
+    fn units() -> Vec<Unit> {
+        vec![
+            Unit { player: 0, kind: 0, x: 1.0, y: 1.0 },
+            Unit { player: 0, kind: 1, x: 2.0, y: 2.0 },
+            Unit { player: 1, kind: 0, x: 3.0, y: 3.0 },
+            Unit { player: 1, kind: 0, x: 4.0, y: 4.0 },
+            Unit { player: 1, kind: 1, x: 5.0, y: 5.0 },
+        ]
+    }
+
+    #[test]
+    fn grouping_by_key() {
+        let groups = group_by_key(units(), |u| (u.player, u.kind));
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[&(1, 0)], vec![2, 3]);
+        assert_eq!(groups[&(0, 1)], vec![1]);
+    }
+
+    #[test]
+    fn partitioned_spatial_indexes() {
+        let us = units();
+        let part = PartitionedIndex::build(
+            &us,
+            |u| (u.player, u.kind),
+            |_key, ids| {
+                let entries: Vec<AggEntry> = ids
+                    .iter()
+                    .map(|i| AggEntry::new(Point2::new(us[*i as usize].x, us[*i as usize].y), vec![]))
+                    .collect();
+                LayeredAggTree::build(&entries, 0, true)
+            },
+        );
+        assert_eq!(part.len(), 4);
+        assert!(!part.is_empty());
+        // Count of player 1 knights (kind 0) near (3.5, 3.5).
+        let tree = part.get(&(1, 0)).unwrap();
+        assert_eq!(tree.count(&Rect::centered(3.5, 3.5, 1.0)), 2);
+        assert!(part.get(&(2, 0)).is_none());
+        // "All enemy groups of player 0" — match on the player component.
+        let total: usize = part
+            .matching(|(p, _)| *p != 0)
+            .map(|t| t.count(&Rect::new(0.0, 10.0, 0.0, 10.0)))
+            .sum();
+        assert_eq!(total, 3);
+        assert_eq!(part.iter().count(), 4);
+    }
+
+    #[test]
+    fn from_groups_constructor() {
+        let mut groups = FxHashMap::default();
+        groups.insert("a", 1usize);
+        groups.insert("b", 2usize);
+        let p = PartitionedIndex::from_groups(groups);
+        assert_eq!(p.get(&"a"), Some(&1));
+        assert_eq!(p.get(&"z"), None);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let us: Vec<Unit> = Vec::new();
+        let part = PartitionedIndex::build(&us, |u| u.player, |_, _| 0usize);
+        assert!(part.is_empty());
+        assert_eq!(part.len(), 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Classical layered range tree enumerating the points of an orthogonal
+//! range query (paper §5.3.1).
+//!
+//! This structure answers "which points lie in the rectangle" in
+//! `O(log² n + k)`; it is the fallback used for non-divisible aggregates over
+//! arbitrary filters, and the "enumerate-then-aggregate" baseline of the index
+//! micro-benchmarks (against which the divisible-aggregate tree of
+//! [`crate::agg_tree`] is compared).
+
+use crate::{Point2, Rect};
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    left: u32,
+    right: u32,
+    /// Point ids of the subtree, sorted by y.
+    ids: Vec<u32>,
+    /// Matching y values (same order as `ids`).
+    ys: Vec<f64>,
+}
+
+const NO_CHILD: u32 = u32::MAX;
+
+/// Layered range tree over a fixed set of points.
+#[derive(Debug, Clone)]
+pub struct RangeTree2D {
+    points: Vec<Point2>,
+    /// x coordinates in x-sorted order.
+    xs: Vec<f64>,
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+impl RangeTree2D {
+    /// Build the tree over the given points (ids are positions in the slice).
+    pub fn build(points: &[Point2]) -> RangeTree2D {
+        let n = points.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|a, b| {
+            points[*a as usize]
+                .x
+                .partial_cmp(&points[*b as usize].x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let xs: Vec<f64> = order.iter().map(|i| points[*i as usize].x).collect();
+        let mut tree = RangeTree2D { points: points.to_vec(), xs, nodes: Vec::new(), root: NO_CHILD };
+        if n > 0 {
+            tree.root = tree.build_node(&order);
+        }
+        tree
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the tree contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    fn build_node(&mut self, order: &[u32]) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node::default());
+        if order.len() == 1 {
+            let id = order[0];
+            self.nodes[idx as usize] =
+                Node { left: NO_CHILD, right: NO_CHILD, ids: vec![id], ys: vec![self.points[id as usize].y] };
+            return idx;
+        }
+        let mid = order.len() / 2;
+        let left = self.build_node(&order[..mid]);
+        let right = self.build_node(&order[mid..]);
+        // Merge children's y-sorted lists.
+        let (lids, lys) = {
+            let l = &self.nodes[left as usize];
+            (l.ids.clone(), l.ys.clone())
+        };
+        let (rids, rys) = {
+            let r = &self.nodes[right as usize];
+            (r.ids.clone(), r.ys.clone())
+        };
+        let mut ids = Vec::with_capacity(lids.len() + rids.len());
+        let mut ys = Vec::with_capacity(lids.len() + rids.len());
+        let (mut li, mut ri) = (0usize, 0usize);
+        while li < lids.len() || ri < rids.len() {
+            let take_left = ri >= rids.len() || (li < lids.len() && lys[li] <= rys[ri]);
+            if take_left {
+                ids.push(lids[li]);
+                ys.push(lys[li]);
+                li += 1;
+            } else {
+                ids.push(rids[ri]);
+                ys.push(rys[ri]);
+                ri += 1;
+            }
+        }
+        self.nodes[idx as usize] = Node { left, right, ids, ys };
+        idx
+    }
+
+    /// Enumerate the ids of all points inside the rectangle.
+    pub fn query(&self, rect: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.query_into(rect, &mut out);
+        out
+    }
+
+    /// Enumerate into an existing buffer (cleared first).
+    pub fn query_into(&self, rect: &Rect, out: &mut Vec<u32>) {
+        out.clear();
+        if self.is_empty() || rect.is_empty() {
+            return;
+        }
+        let l = self.xs.partition_point(|v| *v < rect.x_min);
+        let r = self.xs.partition_point(|v| *v <= rect.x_max);
+        if l >= r {
+            return;
+        }
+        self.visit(self.root, 0, self.xs.len(), l, r, rect, out);
+    }
+
+    fn visit(&self, node_idx: u32, node_lo: usize, node_hi: usize, l: usize, r: usize, rect: &Rect, out: &mut Vec<u32>) {
+        if node_idx == NO_CHILD || r <= node_lo || node_hi <= l {
+            return;
+        }
+        let node = &self.nodes[node_idx as usize];
+        if l <= node_lo && node_hi <= r {
+            let lo = node.ys.partition_point(|v| *v < rect.y_min);
+            let hi = node.ys.partition_point(|v| *v <= rect.y_max);
+            out.extend_from_slice(&node.ids[lo..hi]);
+            return;
+        }
+        let mid = node_lo + (node_hi - node_lo) / 2;
+        self.visit(node.left, node_lo, mid, l, r, rect, out);
+        self.visit(node.right, mid, node_hi, l, r, rect, out);
+    }
+
+    /// Count the points in the rectangle without materialising them.
+    pub fn count(&self, rect: &Rect) -> usize {
+        if self.is_empty() || rect.is_empty() {
+            return 0;
+        }
+        let l = self.xs.partition_point(|v| *v < rect.x_min);
+        let r = self.xs.partition_point(|v| *v <= rect.x_max);
+        if l >= r {
+            return 0;
+        }
+        let mut count = 0usize;
+        self.count_visit(self.root, 0, self.xs.len(), l, r, rect, &mut count);
+        count
+    }
+
+    fn count_visit(&self, node_idx: u32, node_lo: usize, node_hi: usize, l: usize, r: usize, rect: &Rect, out: &mut usize) {
+        if node_idx == NO_CHILD || r <= node_lo || node_hi <= l {
+            return;
+        }
+        let node = &self.nodes[node_idx as usize];
+        if l <= node_lo && node_hi <= r {
+            let lo = node.ys.partition_point(|v| *v < rect.y_min);
+            let hi = node.ys.partition_point(|v| *v <= rect.y_max);
+            *out += hi - lo;
+            return;
+        }
+        let mid = node_lo + (node_hi - node_lo) / 2;
+        self.count_visit(node.left, node_lo, mid, l, r, rect, out);
+        self.count_visit(node.right, mid, node_hi, l, r, rect, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    fn random_points(n: usize, seed: u64, world: f64) -> Vec<Point2> {
+        let mut state = seed;
+        (0..n).map(|_| Point2::new(lcg(&mut state) * world, lcg(&mut state) * world)).collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = RangeTree2D::build(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.query(&Rect::centered(0.0, 0.0, 5.0)).is_empty());
+        assert_eq!(tree.count(&Rect::centered(0.0, 0.0, 5.0)), 0);
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force() {
+        let points = random_points(300, 11, 100.0);
+        let tree = RangeTree2D::build(&points);
+        assert_eq!(tree.len(), 300);
+        let mut state = 3u64;
+        for _ in 0..100 {
+            let rect =
+                Rect::centered(lcg(&mut state) * 100.0, lcg(&mut state) * 100.0, lcg(&mut state) * 25.0);
+            let mut fast = tree.query(&rect);
+            fast.sort_unstable();
+            let mut slow: Vec<u32> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| rect.contains(p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            slow.sort_unstable();
+            assert_eq!(fast, slow);
+            assert_eq!(tree.count(&rect), slow.len());
+        }
+    }
+
+    #[test]
+    fn inclusive_boundaries() {
+        let points = vec![Point2::new(1.0, 1.0), Point2::new(2.0, 2.0), Point2::new(3.0, 3.0)];
+        let tree = RangeTree2D::build(&points);
+        assert_eq!(tree.count(&Rect::new(1.0, 3.0, 1.0, 3.0)), 3);
+        assert_eq!(tree.count(&Rect::new(1.0, 2.0, 1.0, 2.0)), 2);
+        assert_eq!(tree.count(&Rect::new(2.0, 2.0, 2.0, 2.0)), 1);
+    }
+
+    #[test]
+    fn query_into_reuses_buffer() {
+        let points = random_points(50, 9, 10.0);
+        let tree = RangeTree2D::build(&points);
+        let mut buf = vec![99u32; 8];
+        tree.query_into(&Rect::new(0.0, 10.0, 0.0, 10.0), &mut buf);
+        assert_eq!(buf.len(), 50);
+    }
+
+    #[test]
+    fn duplicate_points_are_all_reported() {
+        let points = vec![Point2::new(5.0, 5.0); 10];
+        let tree = RangeTree2D::build(&points);
+        assert_eq!(tree.count(&Rect::centered(5.0, 5.0, 0.5)), 10);
+        assert_eq!(tree.query(&Rect::centered(5.0, 5.0, 0.5)).len(), 10);
+    }
+}

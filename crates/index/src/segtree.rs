@@ -1,0 +1,208 @@
+//! Min/max segment tree used by the sweep-line index (paper §5.3.1, Fig. 9).
+//!
+//! The tree is built over the x-rank of the data points.  During the sweep,
+//! points entering the active band set their leaf to their value and points
+//! leaving reset it to the identity (`+∞` for min, `−∞` for max); a range
+//! query over the x-range of a unit returns the best value (and which point
+//! produced it) in `O(log n)`.
+
+/// A segment tree computing range MIN or MAX with point updates.
+#[derive(Debug, Clone)]
+pub struct MinMaxSegTree {
+    /// Number of leaves (rounded up to a power of two internally).
+    size: usize,
+    base: usize,
+    minimize: bool,
+    /// `(value, data id)` per tree slot; identity = (±∞, u32::MAX).
+    tree: Vec<(f64, u32)>,
+}
+
+impl MinMaxSegTree {
+    /// Create a tree over `size` leaves.
+    pub fn new(size: usize, minimize: bool) -> MinMaxSegTree {
+        let base = size.next_power_of_two().max(1);
+        let identity = Self::identity_for(minimize);
+        MinMaxSegTree { size, base, minimize, tree: vec![identity; 2 * base] }
+    }
+
+    fn identity_for(minimize: bool) -> (f64, u32) {
+        if minimize {
+            (f64::INFINITY, u32::MAX)
+        } else {
+            (f64::NEG_INFINITY, u32::MAX)
+        }
+    }
+
+    /// The identity element.
+    pub fn identity(&self) -> (f64, u32) {
+        Self::identity_for(self.minimize)
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// True when the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    fn better(&self, a: (f64, u32), b: (f64, u32)) -> (f64, u32) {
+        let pick_a = if self.minimize { a.0 <= b.0 } else { a.0 >= b.0 };
+        if pick_a {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Set the leaf `pos` to `(value, id)` and percolate up.
+    pub fn update(&mut self, pos: usize, value: f64, id: u32) {
+        debug_assert!(pos < self.size);
+        let mut i = self.base + pos;
+        self.tree[i] = (value, id);
+        i /= 2;
+        while i >= 1 {
+            self.tree[i] = self.better(self.tree[2 * i], self.tree[2 * i + 1]);
+            if i == 1 {
+                break;
+            }
+            i /= 2;
+        }
+    }
+
+    /// Reset the leaf `pos` to the identity value (point leaves the sweep band).
+    pub fn clear(&mut self, pos: usize) {
+        let (v, id) = self.identity();
+        self.update(pos, v, id);
+    }
+
+    /// Best `(value, id)` over the leaf range `[lo, hi]` (inclusive); `None`
+    /// when the range is empty or only contains identity leaves.
+    pub fn query(&self, lo: usize, hi: usize) -> Option<(f64, u32)> {
+        if self.size == 0 || lo > hi || lo >= self.size {
+            return None;
+        }
+        let hi = hi.min(self.size - 1);
+        let mut best = self.identity();
+        let mut l = self.base + lo;
+        let mut r = self.base + hi + 1;
+        while l < r {
+            if l % 2 == 1 {
+                best = self.better(best, self.tree[l]);
+                l += 1;
+            }
+            if r % 2 == 1 {
+                r -= 1;
+                best = self.better(best, self.tree[r]);
+            }
+            l /= 2;
+            r /= 2;
+        }
+        if best.1 == u32::MAX {
+            None
+        } else {
+            Some(best)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_identity_behaviour() {
+        let t = MinMaxSegTree::new(0, true);
+        assert!(t.is_empty());
+        assert_eq!(t.query(0, 10), None);
+        let t = MinMaxSegTree::new(4, true);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.query(0, 3), None, "all leaves start at identity");
+    }
+
+    #[test]
+    fn min_queries() {
+        let mut t = MinMaxSegTree::new(8, true);
+        t.update(0, 5.0, 100);
+        t.update(3, 2.0, 103);
+        t.update(7, 9.0, 107);
+        assert_eq!(t.query(0, 7), Some((2.0, 103)));
+        assert_eq!(t.query(0, 2), Some((5.0, 100)));
+        assert_eq!(t.query(4, 6), None);
+        assert_eq!(t.query(7, 7), Some((9.0, 107)));
+    }
+
+    #[test]
+    fn max_queries() {
+        let mut t = MinMaxSegTree::new(5, false);
+        t.update(1, 5.0, 1);
+        t.update(2, 8.0, 2);
+        t.update(4, 3.0, 4);
+        assert_eq!(t.query(0, 4), Some((8.0, 2)));
+        assert_eq!(t.query(3, 4), Some((3.0, 4)));
+        assert_eq!(t.query(0, 0), None);
+    }
+
+    #[test]
+    fn clear_restores_identity() {
+        let mut t = MinMaxSegTree::new(4, true);
+        t.update(1, 1.0, 11);
+        t.update(2, 2.0, 12);
+        assert_eq!(t.query(0, 3), Some((1.0, 11)));
+        t.clear(1);
+        assert_eq!(t.query(0, 3), Some((2.0, 12)));
+        t.clear(2);
+        assert_eq!(t.query(0, 3), None);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_clamped() {
+        let mut t = MinMaxSegTree::new(3, true);
+        t.update(2, 4.0, 2);
+        assert_eq!(t.query(0, 100), Some((4.0, 2)));
+        assert_eq!(t.query(5, 100), None);
+        assert_eq!(t.query(2, 1), None);
+    }
+
+    #[test]
+    fn updates_overwrite_previous_values() {
+        let mut t = MinMaxSegTree::new(2, false);
+        t.update(0, 1.0, 0);
+        t.update(0, 10.0, 5);
+        assert_eq!(t.query(0, 1), Some((10.0, 5)));
+        t.update(0, 0.5, 6);
+        assert_eq!(t.query(0, 1), Some((0.5, 6)));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_operations() {
+        fn lcg(state: &mut u64) -> u64 {
+            *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *state >> 33
+        }
+        let n = 37;
+        let mut t = MinMaxSegTree::new(n, true);
+        let mut naive = vec![f64::INFINITY; n];
+        let mut state = 99u64;
+        for step in 0..2000 {
+            let pos = (lcg(&mut state) as usize) % n;
+            if step % 5 == 4 {
+                t.clear(pos);
+                naive[pos] = f64::INFINITY;
+            } else {
+                let v = (lcg(&mut state) % 1000) as f64;
+                t.update(pos, v, pos as u32);
+                naive[pos] = v;
+            }
+            let lo = (lcg(&mut state) as usize) % n;
+            let hi = lo + (lcg(&mut state) as usize) % (n - lo);
+            let expected = naive[lo..=hi].iter().cloned().fold(f64::INFINITY, f64::min);
+            match t.query(lo, hi) {
+                Some((v, _)) => assert_eq!(v, expected),
+                None => assert_eq!(expected, f64::INFINITY),
+            }
+        }
+    }
+}

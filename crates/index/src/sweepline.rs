@@ -1,0 +1,233 @@
+//! Sweep-line MIN/MAX for constant-size ranges (paper §5.3.1, Figure 9).
+//!
+//! Min and max are not divisible, so the prefix trick of the aggregate range
+//! tree does not apply.  The paper observes that in games the *size* of the
+//! range is usually constant across the querying units (all archers share the
+//! same weapon range), which enables a sweep-line algorithm: order the
+//! queries by `y`, slide a band of height `2·ry` over the data points — a
+//! point enters the band `ry` before its `y` coordinate is reached and leaves
+//! `ry` after — and keep the active points in a segment tree ordered by `x`.
+//! Each query is then a single `O(log n)` range-min/max over its `x`-range.
+//! Total cost: `O((n + q)·log n)` instead of `O(q·n)`.
+
+use crate::segtree::MinMaxSegTree;
+use crate::Point2;
+
+/// A batch min/max-in-rectangle computation over fixed-size ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepKind {
+    /// Compute the minimum value in range.
+    Min,
+    /// Compute the maximum value in range.
+    Max,
+}
+
+/// Answer, for every query point, the best `(value, data index)` among data
+/// points within the axis-aligned rectangle `|x−qx| ≤ rx ∧ |y−qy| ≤ ry`.
+///
+/// * `data` / `values` — positions and values of the data points (same length);
+/// * `queries` — positions of the querying units;
+/// * `rx`, `ry` — the constant half-extent of the range;
+/// * `kind` — min or max.
+///
+/// Returns one `Option<(value, data index)>` per query, `None` when no data
+/// point is in range.
+pub fn sweep_min_max(
+    data: &[Point2],
+    values: &[f64],
+    queries: &[Point2],
+    rx: f64,
+    ry: f64,
+    kind: SweepKind,
+) -> Vec<Option<(f64, u32)>> {
+    assert_eq!(data.len(), values.len(), "each data point needs exactly one value");
+    let mut results = vec![None; queries.len()];
+    if data.is_empty() || queries.is_empty() {
+        return results;
+    }
+    let minimize = kind == SweepKind::Min;
+
+    // Rank data points by x so each occupies one segment-tree leaf.
+    let mut x_order: Vec<u32> = (0..data.len() as u32).collect();
+    x_order.sort_by(|a, b| {
+        data[*a as usize].x.partial_cmp(&data[*b as usize].x).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let sorted_x: Vec<f64> = x_order.iter().map(|i| data[*i as usize].x).collect();
+    // rank_of[data index] = leaf position.
+    let mut rank_of = vec![0usize; data.len()];
+    for (rank, id) in x_order.iter().enumerate() {
+        rank_of[*id as usize] = rank;
+    }
+
+    // Enter events (y - ry) and exit events (y + ry), both sorted ascending.
+    let mut enter: Vec<u32> = (0..data.len() as u32).collect();
+    enter.sort_by(|a, b| {
+        (data[*a as usize].y - ry)
+            .partial_cmp(&(data[*b as usize].y - ry))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut exit: Vec<u32> = (0..data.len() as u32).collect();
+    exit.sort_by(|a, b| {
+        (data[*a as usize].y + ry)
+            .partial_cmp(&(data[*b as usize].y + ry))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    // Queries sorted by y.
+    let mut q_order: Vec<u32> = (0..queries.len() as u32).collect();
+    q_order.sort_by(|a, b| {
+        queries[*a as usize].y.partial_cmp(&queries[*b as usize].y).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut tree = MinMaxSegTree::new(data.len(), minimize);
+    let (mut ei, mut xi) = (0usize, 0usize);
+    for q_id in q_order {
+        let q = &queries[q_id as usize];
+        // Activate every data point whose band start is at or below the query.
+        while ei < enter.len() {
+            let d = enter[ei] as usize;
+            if data[d].y - ry <= q.y {
+                tree.update(rank_of[d], values[d], d as u32);
+                ei += 1;
+            } else {
+                break;
+            }
+        }
+        // Deactivate every data point whose band has ended before the query.
+        while xi < exit.len() {
+            let d = exit[xi] as usize;
+            if data[d].y + ry < q.y {
+                tree.clear(rank_of[d]);
+                xi += 1;
+            } else {
+                break;
+            }
+        }
+        // Range query over the x extent.
+        let lo = sorted_x.partition_point(|v| *v < q.x - rx);
+        let hi = sorted_x.partition_point(|v| *v <= q.x + rx);
+        if lo < hi {
+            results[q_id as usize] = tree.query(lo, hi - 1);
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    fn random_points(n: usize, seed: u64, world: f64) -> Vec<Point2> {
+        let mut state = seed;
+        (0..n).map(|_| Point2::new(lcg(&mut state) * world, lcg(&mut state) * world)).collect()
+    }
+
+    fn brute(
+        data: &[Point2],
+        values: &[f64],
+        q: &Point2,
+        rx: f64,
+        ry: f64,
+        kind: SweepKind,
+    ) -> Option<(f64, u32)> {
+        let mut best: Option<(f64, u32)> = None;
+        for (i, (p, v)) in data.iter().zip(values).enumerate() {
+            if (p.x - q.x).abs() <= rx && (p.y - q.y).abs() <= ry {
+                let better = match (best, kind) {
+                    (None, _) => true,
+                    (Some((bv, _)), SweepKind::Min) => *v < bv,
+                    (Some((bv, _)), SweepKind::Max) => *v > bv,
+                };
+                if better {
+                    best = Some((*v, i as u32));
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(sweep_min_max(&[], &[], &[Point2::new(0.0, 0.0)], 1.0, 1.0, SweepKind::Min)
+            .iter()
+            .all(Option::is_none));
+        assert!(sweep_min_max(&[Point2::new(0.0, 0.0)], &[1.0], &[], 1.0, 1.0, SweepKind::Min).is_empty());
+    }
+
+    #[test]
+    fn single_point_in_and_out_of_range() {
+        let data = vec![Point2::new(5.0, 5.0)];
+        let values = vec![7.0];
+        let queries = vec![Point2::new(5.5, 5.5), Point2::new(20.0, 20.0)];
+        let res = sweep_min_max(&data, &values, &queries, 1.0, 1.0, SweepKind::Min);
+        assert_eq!(res[0], Some((7.0, 0)));
+        assert_eq!(res[1], None);
+    }
+
+    #[test]
+    fn min_matches_brute_force_on_random_data() {
+        let data = random_points(300, 4, 80.0);
+        let values: Vec<f64> = (0..300).map(|i| ((i * 37) % 101) as f64).collect();
+        let queries = random_points(200, 9, 80.0);
+        let (rx, ry) = (7.0, 5.0);
+        let fast = sweep_min_max(&data, &values, &queries, rx, ry, SweepKind::Min);
+        for (qi, q) in queries.iter().enumerate() {
+            let slow = brute(&data, &values, q, rx, ry, SweepKind::Min);
+            match (fast[qi], slow) {
+                (Some((fv, fid)), Some((sv, _))) => {
+                    assert_eq!(fv, sv, "query {qi}");
+                    assert_eq!(values[fid as usize], fv);
+                }
+                (None, None) => {}
+                other => panic!("mismatch at query {qi}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn max_matches_brute_force_on_random_data() {
+        let data = random_points(250, 21, 60.0);
+        let values: Vec<f64> = (0..250).map(|i| ((i * 13) % 997) as f64).collect();
+        let queries = random_points(150, 22, 60.0);
+        let (rx, ry) = (4.0, 9.0);
+        let fast = sweep_min_max(&data, &values, &queries, rx, ry, SweepKind::Max);
+        for (qi, q) in queries.iter().enumerate() {
+            let slow = brute(&data, &values, q, rx, ry, SweepKind::Max);
+            assert_eq!(fast[qi].map(|r| r.0), slow.map(|r| r.0), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn inclusive_band_boundaries() {
+        // Data point exactly ry away in y and rx away in x must be included.
+        let data = vec![Point2::new(10.0, 10.0)];
+        let values = vec![3.0];
+        let queries = vec![Point2::new(12.0, 13.0)];
+        let res = sweep_min_max(&data, &values, &queries, 2.0, 3.0, SweepKind::Min);
+        assert_eq!(res[0], Some((3.0, 0)));
+    }
+
+    #[test]
+    fn queries_identical_to_data_positions() {
+        // The classic "weakest unit in range" query where queriers are also
+        // data points (health as the value).
+        let pts = random_points(100, 31, 30.0);
+        let health: Vec<f64> = (0..100).map(|i| (i % 17) as f64 + 1.0).collect();
+        let res = sweep_min_max(&pts, &health, &pts, 6.0, 6.0, SweepKind::Min);
+        for (qi, q) in pts.iter().enumerate() {
+            let slow = brute(&pts, &health, q, 6.0, 6.0, SweepKind::Min);
+            assert_eq!(res[qi].map(|r| r.0), slow.map(|r| r.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one value")]
+    fn mismatched_lengths_panic() {
+        let _ = sweep_min_max(&[Point2::new(0.0, 0.0)], &[], &[], 1.0, 1.0, SweepKind::Min);
+    }
+}

@@ -1,0 +1,236 @@
+//! Property-based cross-validation of the index structures.
+//!
+//! Every index in `sgl-index` answers some class of aggregate query that the
+//! naive executor answers by scanning; these properties assert that on
+//! arbitrary inputs (positions, values, query rectangles) every index agrees
+//! exactly with the scan.  This is the invariant that makes the paper's
+//! indexed executor a pure optimization: same answers, different cost.
+
+use proptest::prelude::*;
+
+use sgl_index::agg_tree::{AggEntry, LayeredAggTree};
+use sgl_index::dynamic_agg::DynamicAggIndex;
+use sgl_index::grid::UniformGrid;
+use sgl_index::kdtree::KdTree;
+use sgl_index::mra_tree::{MraAgg, MraTree};
+use sgl_index::quadtree::AggQuadTree;
+use sgl_index::range_tree::RangeTree2D;
+use sgl_index::{Point2, Rect};
+
+const WORLD: f64 = 256.0;
+
+/// A unit for property tests: position plus one value channel.
+#[derive(Debug, Clone)]
+struct Row {
+    x: f64,
+    y: f64,
+    value: f64,
+}
+
+fn row_strategy() -> impl Strategy<Value = Row> {
+    // Coordinates snap to a quarter-unit lattice so that boundary cases
+    // (points exactly on a query edge) are generated often.
+    (0u32..1024, 0u32..1024, -50i32..50)
+        .prop_map(|(x, y, v)| Row { x: x as f64 * 0.25, y: y as f64 * 0.25, value: v as f64 })
+}
+
+fn rows_strategy(max: usize) -> impl Strategy<Value = Vec<Row>> {
+    prop::collection::vec(row_strategy(), 0..max)
+}
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (0u32..1024, 0u32..1024, 0u32..600, 0u32..600).prop_map(|(x, y, w, h)| {
+        let x = x as f64 * 0.25;
+        let y = y as f64 * 0.25;
+        Rect::new(x, x + w as f64 * 0.25, y, y + h as f64 * 0.25)
+    })
+}
+
+fn points(rows: &[Row]) -> Vec<Point2> {
+    rows.iter().map(|r| Point2::new(r.x, r.y)).collect()
+}
+
+fn brute_ids(rows: &[Row], rect: &Rect) -> Vec<u32> {
+    rows.iter()
+        .enumerate()
+        .filter(|(_, r)| rect.contains(&Point2::new(r.x, r.y)))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The divisible-aggregate layered range tree (Figure 8) answers count and
+    /// sum exactly, with and without fractional cascading.
+    #[test]
+    fn agg_tree_matches_scan(rows in rows_strategy(200), rect in rect_strategy()) {
+        let entries: Vec<AggEntry> = rows
+            .iter()
+            .map(|r| AggEntry::new(Point2::new(r.x, r.y), vec![r.value]))
+            .collect();
+        let matching = brute_ids(&rows, &rect);
+        let expected_count = matching.len() as f64;
+        let expected_sum: f64 = matching.iter().map(|&i| rows[i as usize].value).sum();
+
+        for cascading in [false, true] {
+            let tree = LayeredAggTree::build(&entries, 1, cascading);
+            let acc = tree.query(&rect);
+            prop_assert_eq!(acc.count(), expected_count);
+            prop_assert!((acc.channel_sum(0) - expected_sum).abs() < 1e-6);
+            prop_assert_eq!(tree.count(&rect), matching.len());
+        }
+    }
+
+    /// The quadtree agrees with the scan for divisible aggregates, MIN/MAX and
+    /// enumeration.
+    #[test]
+    fn quadtree_matches_scan(rows in rows_strategy(200), rect in rect_strategy()) {
+        let entries: Vec<AggEntry> = rows
+            .iter()
+            .map(|r| AggEntry::new(Point2::new(r.x, r.y), vec![r.value]))
+            .collect();
+        let tree = AggQuadTree::build(&entries, 1, 6);
+        let matching = brute_ids(&rows, &rect);
+
+        let acc = tree.query(&rect);
+        prop_assert_eq!(acc.count() as usize, matching.len());
+        let expected_sum: f64 = matching.iter().map(|&i| rows[i as usize].value).sum();
+        prop_assert!((acc.channel_sum(0) - expected_sum).abs() < 1e-6);
+
+        prop_assert_eq!(tree.query_points(&rect), matching.clone());
+
+        let expected_min = matching.iter().map(|&i| rows[i as usize].value).fold(f64::INFINITY, f64::min);
+        let expected_max = matching.iter().map(|&i| rows[i as usize].value).fold(f64::NEG_INFINITY, f64::max);
+        match tree.min_in_rect(&rect, 0) {
+            Some(m) => prop_assert_eq!(m.value, expected_min),
+            None => prop_assert!(matching.is_empty()),
+        }
+        match tree.max_in_rect(&rect, 0) {
+            Some(m) => prop_assert_eq!(m.value, expected_max),
+            None => prop_assert!(matching.is_empty()),
+        }
+    }
+
+    /// The enumeration range tree and the uniform grid agree with the scan.
+    #[test]
+    fn range_tree_and_grid_match_scan(rows in rows_strategy(150), rect in rect_strategy()) {
+        let pts = points(&rows);
+        let expected = brute_ids(&rows, &rect);
+
+        let tree = RangeTree2D::build(&pts);
+        let mut from_tree = tree.query(&rect);
+        from_tree.sort_unstable();
+        prop_assert_eq!(&from_tree, &expected);
+        prop_assert_eq!(tree.count(&rect), expected.len());
+
+        let grid = UniformGrid::build(&pts, Point2::new(0.0, 0.0), Point2::new(WORLD, WORLD), 8.0);
+        let mut from_grid = grid.query(&rect);
+        from_grid.sort_unstable();
+        prop_assert_eq!(&from_grid, &expected);
+    }
+
+    /// The MRA tree's exact mode agrees with the scan for all four aggregate
+    /// kinds, and its budgeted bounds always bracket the exact answer.
+    #[test]
+    fn mra_tree_bounds_are_sound(rows in rows_strategy(150), rect in rect_strategy(), budget in 1usize..64) {
+        let pts = points(&rows);
+        let values: Vec<f64> = rows.iter().map(|r| r.value).collect();
+        let tree = MraTree::build(&pts, &values, 6);
+        let matching = brute_ids(&rows, &rect);
+        let exact_count = matching.len() as f64;
+        let exact_sum: f64 = matching.iter().map(|&i| values[i as usize]).sum();
+        let exact_min = matching.iter().map(|&i| values[i as usize]).reduce(f64::min);
+        let exact_max = matching.iter().map(|&i| values[i as usize]).reduce(f64::max);
+
+        prop_assert_eq!(tree.query_exact(&rect, MraAgg::Count), Some(exact_count));
+        let sum = tree.query_exact(&rect, MraAgg::Sum).unwrap();
+        prop_assert!((sum - exact_sum).abs() < 1e-6);
+        prop_assert_eq!(tree.query_exact(&rect, MraAgg::Min), exact_min);
+        prop_assert_eq!(tree.query_exact(&rect, MraAgg::Max), exact_max);
+
+        for agg in [MraAgg::Count, MraAgg::Min, MraAgg::Max] {
+            let bounds = tree.query_with_budget(&rect, agg, budget);
+            let exact = match agg {
+                MraAgg::Count => Some(exact_count),
+                MraAgg::Min => exact_min,
+                MraAgg::Max => exact_max,
+                MraAgg::Sum => unreachable!(),
+            };
+            if let Some(x) = exact {
+                prop_assert!(bounds.lower <= x + 1e-9);
+                prop_assert!(x <= bounds.upper + 1e-9);
+            }
+        }
+    }
+
+    /// The kD-tree nearest neighbour matches the scan (distance ties allowed).
+    #[test]
+    fn kdtree_nearest_matches_scan(rows in rows_strategy(120), qx in 0.0f64..WORLD, qy in 0.0f64..WORLD) {
+        let pts = points(&rows);
+        let tree = KdTree::build(&pts);
+        let query = Point2::new(qx, qy);
+        let expected = pts
+            .iter()
+            .map(|p| query.dist2(p))
+            .fold(f64::INFINITY, f64::min);
+        match tree.nearest(&query) {
+            Some((id, d2)) => {
+                prop_assert!((d2 - expected).abs() < 1e-9);
+                prop_assert!((query.dist2(&pts[id as usize]) - expected).abs() < 1e-9);
+            }
+            None => prop_assert!(pts.is_empty()),
+        }
+    }
+
+    /// The dynamic aggregate treap agrees with a scan after an arbitrary
+    /// sequence of inserts, removals and coordinate updates.
+    #[test]
+    fn dynamic_index_matches_scan(
+        rows in rows_strategy(120),
+        removals in prop::collection::vec(0usize..120, 0..40),
+        moves in prop::collection::vec((0usize..120, 0u32..1024), 0..40),
+        lo in 0.0f64..WORLD,
+        width in 0.0f64..WORLD,
+    ) {
+        let mut live: Vec<Option<(f64, f64)>> = rows.iter().map(|r| Some((r.x, r.value))).collect();
+        let mut index = DynamicAggIndex::new();
+        for (id, r) in rows.iter().enumerate() {
+            index.insert(id as u64, r.x, r.value);
+        }
+        for &victim in &removals {
+            if victim < live.len() {
+                if let Some((coord, _)) = live[victim] {
+                    prop_assert!(index.remove(victim as u64, coord));
+                    live[victim] = None;
+                }
+            }
+        }
+        for &(mover, new_x) in &moves {
+            if mover < live.len() {
+                if let Some((coord, value)) = live[mover] {
+                    let new_coord = new_x as f64 * 0.25;
+                    prop_assert!(index.update_coord(mover as u64, coord, new_coord, value));
+                    live[mover] = Some((new_coord, value));
+                }
+            }
+        }
+        prop_assert!(index.check_invariants());
+
+        let hi = lo + width;
+        let summary = index.query(lo, hi);
+        let expected: Vec<f64> = live
+            .iter()
+            .flatten()
+            .filter(|(c, _)| *c >= lo && *c <= hi)
+            .map(|(_, v)| *v)
+            .collect();
+        prop_assert_eq!(summary.count, expected.len());
+        let expected_sum: f64 = expected.iter().sum();
+        prop_assert!((summary.sum - expected_sum).abs() < 1e-6);
+        if !expected.is_empty() {
+            prop_assert_eq!(summary.min, expected.iter().cloned().fold(f64::INFINITY, f64::min));
+            prop_assert_eq!(summary.max, expected.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        }
+    }
+}

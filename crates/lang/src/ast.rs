@@ -1,0 +1,523 @@
+//! Abstract syntax of SGL (paper §4.1).
+//!
+//! An SGL script is a set of function definitions with a distinguished
+//! `main(u)` action function.  Action functions are built from `let`
+//! bindings, sequencing, conditionals and `perform` statements; terms are
+//! arithmetic over unit attributes, let variables, random numbers and
+//! aggregate-function calls; conditions are boolean combinations of term
+//! comparisons.
+
+use sgl_env::Value;
+
+/// Comparison operators usable in conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison on an ordering result.
+    pub fn holds(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// The comparison with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation (`a < b` ⇔ `!(a >= b)`).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Euclidean remainder (`mod`).
+    Mod,
+}
+
+/// A reference to a variable inside a term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum VarRef {
+    /// `u.attr` — an attribute of the current unit.
+    Unit(String),
+    /// `e.attr` — an attribute of the candidate row; only legal inside
+    /// built-in aggregate and action definitions (the SQL fragments of
+    /// Eq. (4)/(5)), never in scripts.
+    Row(String),
+    /// A bare name: a `let` variable, a function parameter or a game constant.
+    Name(String),
+}
+
+/// Terms (arithmetic expressions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// Literal constant.
+    Const(Value),
+    /// Variable reference.
+    Var(VarRef),
+    /// `Random(i)` — the deterministic per-tick random number.
+    Random(Box<Term>),
+    /// Call of an aggregate function (`CountEnemiesInRange(u, u.range)`).
+    Agg(AggCall),
+    /// Binary arithmetic.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Term>,
+        /// Right operand.
+        right: Box<Term>,
+    },
+    /// Unary negation.
+    Neg(Box<Term>),
+    /// Absolute value.
+    Abs(Box<Term>),
+    /// Square root.
+    Sqrt(Box<Term>),
+    /// Field access on a record-valued term (`getNearestEnemy(u).key`).
+    Field(Box<Term>, String),
+    /// A small tuple/point literal such as `(u.posx, u.posy)`.
+    Tuple(Vec<Term>),
+}
+
+impl Term {
+    /// Shortcut for an integer literal.
+    pub fn int(v: i64) -> Term {
+        Term::Const(Value::Int(v))
+    }
+
+    /// Shortcut for a float literal.
+    pub fn float(v: f64) -> Term {
+        Term::Const(Value::Float(v))
+    }
+
+    /// Shortcut for `u.attr`.
+    pub fn unit(attr: &str) -> Term {
+        Term::Var(VarRef::Unit(attr.to_string()))
+    }
+
+    /// Shortcut for `e.attr`.
+    pub fn row(attr: &str) -> Term {
+        Term::Var(VarRef::Row(attr.to_string()))
+    }
+
+    /// Shortcut for a bare name.
+    pub fn name(n: &str) -> Term {
+        Term::Var(VarRef::Name(n.to_string()))
+    }
+
+    /// Shortcut for a binary operation.
+    pub fn bin(op: BinOp, left: Term, right: Term) -> Term {
+        Term::Bin { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Does this term (transitively) contain an aggregate call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Term::Agg(_) => true,
+            Term::Const(_) | Term::Var(_) => false,
+            Term::Random(t) | Term::Neg(t) | Term::Abs(t) | Term::Sqrt(t) | Term::Field(t, _) => {
+                t.contains_aggregate()
+            }
+            Term::Bin { left, right, .. } => left.contains_aggregate() || right.contains_aggregate(),
+            Term::Tuple(items) => items.iter().any(Term::contains_aggregate),
+        }
+    }
+
+    /// Does this term reference the candidate row (`e.*`)?
+    pub fn references_row(&self) -> bool {
+        match self {
+            Term::Var(VarRef::Row(_)) => true,
+            Term::Const(_) | Term::Var(_) => false,
+            Term::Agg(call) => call.args.iter().any(Term::references_row),
+            Term::Random(t) | Term::Neg(t) | Term::Abs(t) | Term::Sqrt(t) | Term::Field(t, _) => {
+                t.references_row()
+            }
+            Term::Bin { left, right, .. } => left.references_row() || right.references_row(),
+            Term::Tuple(items) => items.iter().any(Term::references_row),
+        }
+    }
+
+    /// Collect the names of all referenced bare variables into `out`.
+    pub fn collect_names(&self, out: &mut Vec<String>) {
+        match self {
+            Term::Var(VarRef::Name(n)) => out.push(n.clone()),
+            Term::Const(_) | Term::Var(_) => {}
+            Term::Agg(call) => call.args.iter().for_each(|a| a.collect_names(out)),
+            Term::Random(t) | Term::Neg(t) | Term::Abs(t) | Term::Sqrt(t) | Term::Field(t, _) => {
+                t.collect_names(out)
+            }
+            Term::Bin { left, right, .. } => {
+                left.collect_names(out);
+                right.collect_names(out);
+            }
+            Term::Tuple(items) => items.iter().for_each(|i| i.collect_names(out)),
+        }
+    }
+}
+
+/// A call to an aggregate function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// Name of the aggregate function (resolved against the registry).
+    pub name: String,
+    /// Arguments; by convention the first argument is the unit `u`.
+    pub args: Vec<Term>,
+}
+
+/// Conditions (boolean expressions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// Literal truth value.
+    Lit(bool),
+    /// Comparison of two terms.
+    Cmp {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left term.
+        left: Term,
+        /// Right term.
+        right: Term,
+    },
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+}
+
+impl Cond {
+    /// Shortcut for a comparison.
+    pub fn cmp(op: CmpOp, left: Term, right: Term) -> Cond {
+        Cond::Cmp { op, left, right }
+    }
+
+    /// Conjunction helper.
+    pub fn and(a: Cond, b: Cond) -> Cond {
+        Cond::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction helper.
+    pub fn or(a: Cond, b: Cond) -> Cond {
+        Cond::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Negation helper.
+    pub fn not(c: Cond) -> Cond {
+        Cond::Not(Box::new(c))
+    }
+
+    /// Does the condition contain an aggregate call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Cond::Lit(_) => false,
+            Cond::Cmp { left, right, .. } => left.contains_aggregate() || right.contains_aggregate(),
+            Cond::And(a, b) | Cond::Or(a, b) => a.contains_aggregate() || b.contains_aggregate(),
+            Cond::Not(c) => c.contains_aggregate(),
+        }
+    }
+
+    /// Flatten a conjunctive condition into its conjuncts.  Returns `None` if
+    /// the condition contains `Or`/`Not` above the comparison level (i.e. it
+    /// is not a conjunctive query in the sense of §5.3).
+    pub fn conjuncts(&self) -> Option<Vec<&Cond>> {
+        let mut out = Vec::new();
+        fn walk<'a>(c: &'a Cond, out: &mut Vec<&'a Cond>) -> bool {
+            match c {
+                Cond::And(a, b) => walk(a, out) && walk(b, out),
+                Cond::Lit(true) => true,
+                Cond::Cmp { .. } => {
+                    out.push(c);
+                    true
+                }
+                _ => false,
+            }
+        }
+        if walk(self, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+}
+
+/// Action functions (the body of scripts).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// `(let name = term) body` — extend the current unit record.
+    Let {
+        /// Variable name introduced.
+        name: String,
+        /// Bound term.
+        term: Term,
+        /// Body in which the variable is visible.
+        body: Box<Action>,
+    },
+    /// `a1; a2; ...` — all actions are performed (their effects combine by ⊕).
+    Seq(Vec<Action>),
+    /// Conditional.
+    If {
+        /// Branch condition.
+        cond: Cond,
+        /// Action when the condition holds.
+        then: Box<Action>,
+        /// Optional action when it does not.
+        els: Option<Box<Action>>,
+    },
+    /// `perform F(args)` — invoke a built-in or user-defined action function.
+    Perform {
+        /// Function name.
+        name: String,
+        /// Arguments (the unit `u` is passed implicitly as the first one when
+        /// written in scripts, e.g. `perform FireAt(u, target)`).
+        args: Vec<Term>,
+    },
+    /// The empty action (does nothing).
+    Nop,
+}
+
+impl Action {
+    /// Count the number of `perform` statements in the action tree.
+    pub fn count_performs(&self) -> usize {
+        match self {
+            Action::Let { body, .. } => body.count_performs(),
+            Action::Seq(items) => items.iter().map(Action::count_performs).sum(),
+            Action::If { then, els, .. } => {
+                then.count_performs() + els.as_ref().map_or(0, |e| e.count_performs())
+            }
+            Action::Perform { .. } => 1,
+            Action::Nop => 0,
+        }
+    }
+
+    /// Collect every aggregate call appearing anywhere in the action.
+    pub fn collect_aggregates<'a>(&'a self, out: &mut Vec<&'a AggCall>) {
+        fn term_aggs<'a>(t: &'a Term, out: &mut Vec<&'a AggCall>) {
+            match t {
+                Term::Agg(call) => {
+                    out.push(call);
+                    call.args.iter().for_each(|a| term_aggs(a, out));
+                }
+                Term::Const(_) | Term::Var(_) => {}
+                Term::Random(t) | Term::Neg(t) | Term::Abs(t) | Term::Sqrt(t) | Term::Field(t, _) => {
+                    term_aggs(t, out)
+                }
+                Term::Bin { left, right, .. } => {
+                    term_aggs(left, out);
+                    term_aggs(right, out);
+                }
+                Term::Tuple(items) => items.iter().for_each(|i| term_aggs(i, out)),
+            }
+        }
+        fn cond_aggs<'a>(c: &'a Cond, out: &mut Vec<&'a AggCall>) {
+            match c {
+                Cond::Lit(_) => {}
+                Cond::Cmp { left, right, .. } => {
+                    term_aggs(left, out);
+                    term_aggs(right, out);
+                }
+                Cond::And(a, b) | Cond::Or(a, b) => {
+                    cond_aggs(a, out);
+                    cond_aggs(b, out);
+                }
+                Cond::Not(c) => cond_aggs(c, out),
+            }
+        }
+        match self {
+            Action::Let { term, body, .. } => {
+                term_aggs(term, out);
+                body.collect_aggregates(out);
+            }
+            Action::Seq(items) => items.iter().for_each(|a| a.collect_aggregates(out)),
+            Action::If { cond, then, els } => {
+                cond_aggs(cond, out);
+                then.collect_aggregates(out);
+                if let Some(e) = els {
+                    e.collect_aggregates(out);
+                }
+            }
+            Action::Perform { args, .. } => args.iter().for_each(|a| term_aggs(a, out)),
+            Action::Nop => {}
+        }
+    }
+}
+
+/// A user-defined action function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    /// Function name.
+    pub name: String,
+    /// Parameter names; the first is conventionally the unit `u`.
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Action,
+}
+
+/// A complete SGL script: helper functions plus `main(u)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Script {
+    /// Helper action functions defined with `function name(params) { ... }`.
+    pub functions: Vec<FunctionDef>,
+    /// The `main(u)` entry point.
+    pub main: FunctionDef,
+}
+
+impl Script {
+    /// Look up a helper function by name.
+    pub fn function(&self, name: &str) -> Option<&FunctionDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_semantics() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.holds(Equal));
+        assert!(!CmpOp::Eq.holds(Less));
+        assert!(CmpOp::Ne.holds(Greater));
+        assert!(CmpOp::Lt.holds(Less));
+        assert!(CmpOp::Le.holds(Equal));
+        assert!(CmpOp::Gt.holds(Greater));
+        assert!(CmpOp::Ge.holds(Equal));
+    }
+
+    #[test]
+    fn cmp_op_flip_and_negate() {
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.flipped(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
+        assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
+        assert_eq!(CmpOp::Ne.negated(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn aggregate_detection_in_terms_and_conditions() {
+        let agg = Term::Agg(AggCall { name: "Count".into(), args: vec![Term::unit("range")] });
+        let t = Term::bin(BinOp::Add, Term::int(1), agg.clone());
+        assert!(t.contains_aggregate());
+        assert!(!Term::unit("posx").contains_aggregate());
+        let c = Cond::cmp(CmpOp::Gt, t, Term::int(3));
+        assert!(c.contains_aggregate());
+        assert!(!Cond::Lit(true).contains_aggregate());
+    }
+
+    #[test]
+    fn row_reference_detection() {
+        assert!(Term::row("posx").references_row());
+        assert!(!Term::unit("posx").references_row());
+        let t = Term::bin(BinOp::Sub, Term::row("posx"), Term::unit("posx"));
+        assert!(t.references_row());
+    }
+
+    #[test]
+    fn conjunct_flattening() {
+        let c = Cond::and(
+            Cond::cmp(CmpOp::Ge, Term::row("posx"), Term::unit("posx")),
+            Cond::and(
+                Cond::cmp(CmpOp::Le, Term::row("posx"), Term::int(5)),
+                Cond::cmp(CmpOp::Ne, Term::row("player"), Term::unit("player")),
+            ),
+        );
+        let conjs = c.conjuncts().unwrap();
+        assert_eq!(conjs.len(), 3);
+
+        let not_cq = Cond::or(Cond::Lit(true), Cond::Lit(false));
+        assert!(not_cq.conjuncts().is_none());
+        let with_not = Cond::not(Cond::Lit(false));
+        assert!(with_not.conjuncts().is_none());
+    }
+
+    #[test]
+    fn perform_counting_and_aggregate_collection() {
+        let agg = AggCall { name: "CountEnemiesInRange".into(), args: vec![Term::unit("range")] };
+        let action = Action::Let {
+            name: "c".into(),
+            term: Term::Agg(agg.clone()),
+            body: Box::new(Action::If {
+                cond: Cond::cmp(CmpOp::Gt, Term::name("c"), Term::int(3)),
+                then: Box::new(Action::Perform { name: "Flee".into(), args: vec![] }),
+                els: Some(Box::new(Action::Seq(vec![
+                    Action::Perform { name: "FireAt".into(), args: vec![Term::name("c")] },
+                    Action::Nop,
+                ]))),
+            }),
+        };
+        assert_eq!(action.count_performs(), 2);
+        let mut aggs = Vec::new();
+        action.collect_aggregates(&mut aggs);
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(aggs[0].name, "CountEnemiesInRange");
+    }
+
+    #[test]
+    fn name_collection() {
+        let t = Term::bin(
+            BinOp::Mul,
+            Term::name("away_vector"),
+            Term::bin(BinOp::Add, Term::name("_ARROW_DAMAGE"), Term::unit("posx")),
+        );
+        let mut names = Vec::new();
+        t.collect_names(&mut names);
+        names.sort();
+        assert_eq!(names, vec!["_ARROW_DAMAGE".to_string(), "away_vector".to_string()]);
+    }
+
+    #[test]
+    fn script_function_lookup() {
+        let f = FunctionDef { name: "helper".into(), params: vec!["u".into()], body: Action::Nop };
+        let main = FunctionDef { name: "main".into(), params: vec!["u".into()], body: Action::Nop };
+        let script = Script { functions: vec![f], main };
+        assert!(script.function("helper").is_some());
+        assert!(script.function("nope").is_none());
+    }
+}

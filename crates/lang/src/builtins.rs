@@ -1,0 +1,442 @@
+//! Built-in aggregate and action functions (paper §4.3, Figures 4 and 5).
+//!
+//! The paper restricts built-ins to two SQL shapes: aggregate functions of the
+//! form of Eq. (5) (`SELECT a1(h1), ..., ak(hk) FROM E e WHERE φ(u, e, r)`) and
+//! action functions of the form of Eq. (4) (`SELECT e.K, h1 AS A1, ... FROM E e
+//! WHERE φ(u, e, r)`).  This module represents those shapes declaratively so
+//! that the optimizer and the index planner can analyse the filter `φ` and the
+//! aggregate functions, and the executors can evaluate them either naively or
+//! through indexes.
+
+use rustc_hash::FxHashMap;
+
+use sgl_env::Value;
+
+use crate::ast::{CmpOp, Cond, Term};
+
+
+/// SQL aggregate functions supported inside built-in aggregate definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimpleAgg {
+    /// `COUNT(*)` — number of matching rows.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// Population standard deviation of `expr` (a "statistical moment" in the
+    /// paper's terminology; divisible like sum and count).
+    StdDev,
+}
+
+impl SimpleAgg {
+    /// Is this aggregate divisible in the sense of Definition 5.1?
+    /// (`agg(A \ B)` computable from `agg(A)` and `agg(B)`.)
+    pub fn is_divisible(self) -> bool {
+        !matches!(self, SimpleAgg::Min | SimpleAgg::Max)
+    }
+}
+
+/// One output column of an aggregate definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggOutput {
+    /// Column name (`x`, `y`, `value`, `key`, ...).
+    pub name: String,
+    /// Aggregate function applied.
+    pub func: SimpleAgg,
+    /// Value expression over the candidate row `e.*` (and `u.*`/parameters).
+    pub value: Term,
+    /// Result when no row matches the filter.
+    pub default: Value,
+}
+
+/// The aggregate shape: either a tuple of SQL aggregates over the same filter
+/// or an *argmin/argmax* ("return attributes of the best row") aggregate such
+/// as `getNearestEnemy`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggSpec {
+    /// Plain SQL aggregates (Eq. (5)).
+    Simple {
+        /// Output columns.
+        outputs: Vec<AggOutput>,
+    },
+    /// Return expressions of the row minimising (or maximising) a rank term.
+    ArgBest {
+        /// True → argmin, false → argmax.
+        minimize: bool,
+        /// Ranking expression over `e.*` and `u.*` (e.g. squared distance).
+        rank: Term,
+        /// Output columns: `(name, expression over the best row, default)`.
+        outputs: Vec<(String, Term, Value)>,
+    },
+}
+
+/// A built-in aggregate function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateDef {
+    /// Name used in scripts.
+    pub name: String,
+    /// Parameter names; the first is always the acting unit `u`.
+    pub params: Vec<String>,
+    /// The selection `φ(u, e, r)` deciding which rows participate.
+    pub filter: Cond,
+    /// The aggregate outputs.
+    pub spec: AggSpec,
+}
+
+impl AggregateDef {
+    /// Names of the output columns in order.
+    pub fn output_names(&self) -> Vec<&str> {
+        match &self.spec {
+            AggSpec::Simple { outputs } => outputs.iter().map(|o| o.name.as_str()).collect(),
+            AggSpec::ArgBest { outputs, .. } => outputs.iter().map(|(n, _, _)| n.as_str()).collect(),
+        }
+    }
+
+    /// True when every output is a divisible aggregate (count/sum/avg/stddev).
+    pub fn is_divisible(&self) -> bool {
+        match &self.spec {
+            AggSpec::Simple { outputs } => outputs.iter().all(|o| o.func.is_divisible()),
+            AggSpec::ArgBest { .. } => false,
+        }
+    }
+}
+
+/// One effect clause of an action: a filter selecting affected rows plus the
+/// effect-attribute assignments applied to each of them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffectClause {
+    /// Which rows `e` are affected.
+    pub filter: Cond,
+    /// `(effect attribute, value expression over u.*, e.*, parameters, Random)`.
+    pub effects: Vec<(String, Term)>,
+}
+
+/// A built-in action function definition (Eq. (4), possibly with several
+/// clauses — e.g. `FireAt` damages the target *and* marks the shooter's weapon
+/// as used).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionDef {
+    /// Name used in `perform` statements.
+    pub name: String,
+    /// Parameter names; the first is always the acting unit `u`.
+    pub params: Vec<String>,
+    /// Effect clauses.
+    pub clauses: Vec<EffectClause>,
+}
+
+/// Registry of built-ins and game constants available to scripts.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    aggregates: FxHashMap<String, AggregateDef>,
+    actions: FxHashMap<String, ActionDef>,
+    constants: FxHashMap<String, Value>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register an aggregate definition, replacing any previous one.
+    pub fn register_aggregate(&mut self, def: AggregateDef) {
+        self.aggregates.insert(def.name.clone(), def);
+    }
+
+    /// Register an action definition, replacing any previous one.
+    pub fn register_action(&mut self, def: ActionDef) {
+        self.actions.insert(def.name.clone(), def);
+    }
+
+    /// Define a game constant (e.g. `_ARROW_HIT_DAMAGE`).
+    pub fn set_constant(&mut self, name: &str, value: impl Into<Value>) {
+        self.constants.insert(name.to_string(), value.into());
+    }
+
+    /// Look up an aggregate by name.
+    pub fn aggregate(&self, name: &str) -> Option<&AggregateDef> {
+        self.aggregates.get(name)
+    }
+
+    /// Look up an action by name.
+    pub fn action(&self, name: &str) -> Option<&ActionDef> {
+        self.actions.get(name)
+    }
+
+    /// Look up a constant by name.
+    pub fn constant(&self, name: &str) -> Option<&Value> {
+        self.constants.get(name)
+    }
+
+    /// All constants (used to seed evaluation contexts).
+    pub fn constants(&self) -> &FxHashMap<String, Value> {
+        &self.constants
+    }
+
+    /// Iterate over registered aggregate names (sorted, for stable output).
+    pub fn aggregate_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.aggregates.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Iterate over registered action names (sorted).
+    pub fn action_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.actions.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+/// Helper: the standard rectangular "in range" filter used throughout the
+/// paper (Figure 4): `e.posx ∈ [u.posx ± range] ∧ e.posy ∈ [u.posy ± range]`.
+pub fn rect_range_filter(range: Term) -> Cond {
+    let lo_x = Term::bin(crate::ast::BinOp::Sub, Term::unit("posx"), range.clone());
+    let hi_x = Term::bin(crate::ast::BinOp::Add, Term::unit("posx"), range.clone());
+    let lo_y = Term::bin(crate::ast::BinOp::Sub, Term::unit("posy"), range.clone());
+    let hi_y = Term::bin(crate::ast::BinOp::Add, Term::unit("posy"), range);
+    Cond::and(
+        Cond::and(
+            Cond::cmp(CmpOp::Ge, Term::row("posx"), lo_x),
+            Cond::cmp(CmpOp::Le, Term::row("posx"), hi_x),
+        ),
+        Cond::and(
+            Cond::cmp(CmpOp::Ge, Term::row("posy"), lo_y),
+            Cond::cmp(CmpOp::Le, Term::row("posy"), hi_y),
+        ),
+    )
+}
+
+/// Helper: `e.player <> u.player` (enemy rows).
+pub fn enemy_filter() -> Cond {
+    Cond::cmp(CmpOp::Ne, Term::row("player"), Term::unit("player"))
+}
+
+/// Helper: `e.player = u.player` (friendly rows).
+pub fn ally_filter() -> Cond {
+    Cond::cmp(CmpOp::Eq, Term::row("player"), Term::unit("player"))
+}
+
+/// Squared Euclidean distance between the candidate row and the current unit.
+pub fn squared_distance() -> Term {
+    use crate::ast::BinOp::*;
+    let dx = Term::bin(Sub, Term::row("posx"), Term::unit("posx"));
+    let dy = Term::bin(Sub, Term::row("posy"), Term::unit("posy"));
+    Term::bin(Add, Term::bin(Mul, dx.clone(), dx), Term::bin(Mul, dy.clone(), dy))
+}
+
+/// Build the registry containing exactly the built-ins used by the paper's
+/// example script (Figure 3) and its SQL definitions (Figures 4 and 5),
+/// against the paper schema of Eq. (1).
+///
+/// The constants mirror the `_ARROW_HIT_DAMAGE`, `_ARMOR`, `_HEAL_AURA`,
+/// `_HEALER_RANGE` and `_TIME_RELOAD` placeholders of the paper.
+pub fn paper_registry() -> Registry {
+    let mut reg = Registry::new();
+    reg.set_constant("_ARROW_HIT_DAMAGE", 6i64);
+    reg.set_constant("_ARMOR", 2i64);
+    reg.set_constant("_HEAL_AURA", 4i64);
+    reg.set_constant("_HEALER_RANGE", 8.0f64);
+    reg.set_constant("_TIME_RELOAD", 3i64);
+    reg.set_constant("_WALK_DIST_PER_TICK", 1.0f64);
+
+    // CountEnemiesInRange(u, range): Figure 4, first definition.
+    reg.register_aggregate(AggregateDef {
+        name: "CountEnemiesInRange".into(),
+        params: vec!["u".into(), "range".into()],
+        filter: Cond::and(rect_range_filter(Term::name("range")), enemy_filter()),
+        spec: AggSpec::Simple {
+            outputs: vec![AggOutput {
+                name: "value".into(),
+                func: SimpleAgg::Count,
+                value: Term::int(1),
+                default: Value::Int(0),
+            }],
+        },
+    });
+
+    // CentroidOfEnemyUnits(u, range): Figure 4, second definition.
+    reg.register_aggregate(AggregateDef {
+        name: "CentroidOfEnemyUnits".into(),
+        params: vec!["u".into(), "range".into()],
+        filter: Cond::and(rect_range_filter(Term::name("range")), enemy_filter()),
+        spec: AggSpec::Simple {
+            outputs: vec![
+                AggOutput {
+                    name: "x".into(),
+                    func: SimpleAgg::Avg,
+                    value: Term::row("posx"),
+                    default: Value::Float(0.0),
+                },
+                AggOutput {
+                    name: "y".into(),
+                    func: SimpleAgg::Avg,
+                    value: Term::row("posy"),
+                    default: Value::Float(0.0),
+                },
+            ],
+        },
+    });
+
+    // getNearestEnemy(u): nearest-neighbour spatial aggregate (§5.3.2).
+    reg.register_aggregate(AggregateDef {
+        name: "getNearestEnemy".into(),
+        params: vec!["u".into()],
+        filter: enemy_filter(),
+        spec: AggSpec::ArgBest {
+            minimize: true,
+            rank: squared_distance(),
+            outputs: vec![
+                ("key".into(), Term::row("key"), Value::Int(-1)),
+                ("posx".into(), Term::row("posx"), Value::Float(0.0)),
+                ("posy".into(), Term::row("posy"), Value::Float(0.0)),
+            ],
+        },
+    });
+
+    // FireAt(u, target_key): Figure 5, damages the target and marks the
+    // shooter's weapon as used.
+    reg.register_action(ActionDef {
+        name: "FireAt".into(),
+        params: vec!["u".into(), "target_key".into()],
+        clauses: vec![
+            EffectClause {
+                filter: Cond::cmp(CmpOp::Eq, Term::row("key"), Term::name("target_key")),
+                effects: vec![(
+                    "damage".into(),
+                    Term::bin(
+                        crate::ast::BinOp::Mul,
+                        Term::bin(
+                            crate::ast::BinOp::Sub,
+                            Term::name("_ARROW_HIT_DAMAGE"),
+                            Term::name("_ARMOR"),
+                        ),
+                        Term::bin(crate::ast::BinOp::Mod, Term::Random(Box::new(Term::int(1))), Term::int(2)),
+                    ),
+                )],
+            },
+            EffectClause {
+                filter: Cond::cmp(CmpOp::Eq, Term::row("key"), Term::unit("key")),
+                effects: vec![("weaponused".into(), Term::int(1))],
+            },
+        ],
+    });
+
+    // MoveInDirection(u, x, y): Figure 5, sets the movement vector of the
+    // acting unit towards the point (x, y).
+    reg.register_action(ActionDef {
+        name: "MoveInDirection".into(),
+        params: vec!["u".into(), "x".into(), "y".into()],
+        clauses: vec![EffectClause {
+            filter: Cond::cmp(CmpOp::Eq, Term::row("key"), Term::unit("key")),
+            effects: vec![
+                (
+                    "movevect_x".into(),
+                    Term::bin(crate::ast::BinOp::Sub, Term::name("x"), Term::row("posx")),
+                ),
+                (
+                    "movevect_y".into(),
+                    Term::bin(crate::ast::BinOp::Sub, Term::name("y"), Term::row("posy")),
+                ),
+            ],
+        }],
+    });
+
+    // Heal(u): Figure 5, a nonstackable healing aura applied to every friendly
+    // unit within the healer's range (an area-of-effect action, §5.4).  The
+    // paper's `abs(u.posx - e.posx) < _HEALER_RANGE` is expressed in the
+    // equivalent orthogonal-range form (§5.3.1 notes games use rectangles for
+    // areas of effect) so the filter analysis can index it.
+    reg.register_action(ActionDef {
+        name: "Heal".into(),
+        params: vec!["u".into()],
+        clauses: vec![EffectClause {
+            filter: Cond::and(ally_filter(), rect_range_filter(Term::name("_HEALER_RANGE"))),
+            effects: vec![("inaura".into(), Term::name("_HEAL_AURA"))],
+        }],
+    });
+
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisibility_classification() {
+        assert!(SimpleAgg::Count.is_divisible());
+        assert!(SimpleAgg::Sum.is_divisible());
+        assert!(SimpleAgg::Avg.is_divisible());
+        assert!(SimpleAgg::StdDev.is_divisible());
+        assert!(!SimpleAgg::Min.is_divisible());
+        assert!(!SimpleAgg::Max.is_divisible());
+    }
+
+    #[test]
+    fn paper_registry_contains_figure_definitions() {
+        let reg = paper_registry();
+        assert!(reg.aggregate("CountEnemiesInRange").is_some());
+        assert!(reg.aggregate("CentroidOfEnemyUnits").is_some());
+        assert!(reg.aggregate("getNearestEnemy").is_some());
+        assert!(reg.action("FireAt").is_some());
+        assert!(reg.action("MoveInDirection").is_some());
+        assert!(reg.action("Heal").is_some());
+        assert!(reg.aggregate("Nope").is_none());
+        assert!(reg.action("Nope").is_none());
+        assert_eq!(reg.aggregate_names().len(), 3);
+        assert_eq!(reg.action_names().len(), 3);
+    }
+
+    #[test]
+    fn constants_are_available() {
+        let reg = paper_registry();
+        assert_eq!(reg.constant("_ARMOR"), Some(&Value::Int(2)));
+        assert_eq!(reg.constant("_MISSING"), None);
+        assert!(reg.constants().len() >= 5);
+    }
+
+    #[test]
+    fn aggregate_metadata() {
+        let reg = paper_registry();
+        let count = reg.aggregate("CountEnemiesInRange").unwrap();
+        assert!(count.is_divisible());
+        assert_eq!(count.output_names(), vec!["value"]);
+        let centroid = reg.aggregate("CentroidOfEnemyUnits").unwrap();
+        assert!(centroid.is_divisible());
+        assert_eq!(centroid.output_names(), vec!["x", "y"]);
+        let nearest = reg.aggregate("getNearestEnemy").unwrap();
+        assert!(!nearest.is_divisible());
+        assert_eq!(nearest.output_names(), vec!["key", "posx", "posy"]);
+    }
+
+    #[test]
+    fn range_filter_is_a_conjunctive_query() {
+        let f = Cond::and(rect_range_filter(Term::name("range")), enemy_filter());
+        let conjuncts = f.conjuncts().unwrap();
+        assert_eq!(conjuncts.len(), 5);
+    }
+
+    #[test]
+    fn fire_at_has_two_clauses() {
+        let reg = paper_registry();
+        let fire = reg.action("FireAt").unwrap();
+        assert_eq!(fire.clauses.len(), 2);
+        assert_eq!(fire.params, vec!["u".to_string(), "target_key".to_string()]);
+    }
+
+    #[test]
+    fn registry_replaces_on_reregistration() {
+        let mut reg = paper_registry();
+        let original = reg.aggregate("CountEnemiesInRange").unwrap().clone();
+        let mut modified = original.clone();
+        modified.params.push("extra".into());
+        reg.register_aggregate(modified);
+        assert_eq!(reg.aggregate("CountEnemiesInRange").unwrap().params.len(), original.params.len() + 1);
+    }
+}

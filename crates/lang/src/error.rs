@@ -1,0 +1,89 @@
+//! Errors for lexing, parsing, normalisation and type checking of SGL.
+
+use std::fmt;
+
+/// Source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors produced by the SGL front end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LangError {
+    /// Unexpected character during lexing.
+    Lex {
+        /// Position of the offending character.
+        pos: Pos,
+        /// Explanation.
+        message: String,
+    },
+    /// Parse error.
+    Parse {
+        /// Position where parsing failed.
+        pos: Pos,
+        /// Explanation.
+        message: String,
+    },
+    /// Semantic / type error (unknown attribute, wrong arity, ...).
+    Semantic(String),
+    /// A name (aggregate, action, variable) could not be resolved.
+    Unresolved(String),
+    /// Errors from the environment layer bubbled up during evaluation.
+    Env(sgl_env::EnvError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            LangError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            LangError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            LangError::Unresolved(name) => write!(f, "unresolved name `{name}`"),
+            LangError::Env(e) => write!(f, "environment error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<sgl_env::EnvError> for LangError {
+    fn from(e: sgl_env::EnvError) -> Self {
+        LangError::Env(e)
+    }
+}
+
+/// Result alias for the SGL front end.
+pub type Result<T> = std::result::Result<T, LangError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_positions_and_messages() {
+        let e = LangError::Parse { pos: Pos { line: 3, col: 7 }, message: "expected `)`".into() };
+        let s = e.to_string();
+        assert!(s.contains("3:7"));
+        assert!(s.contains("expected"));
+        assert!(LangError::Unresolved("Foo".into()).to_string().contains("Foo"));
+        assert!(LangError::Semantic("bad".into()).to_string().contains("bad"));
+        assert!(LangError::Lex { pos: Pos::default(), message: "x".into() }.to_string().contains("lex"));
+    }
+
+    #[test]
+    fn env_errors_convert() {
+        let e: LangError = sgl_env::EnvError::MissingKey.into();
+        assert!(matches!(e, LangError::Env(_)));
+        assert!(e.to_string().contains("key"));
+    }
+}

@@ -1,0 +1,361 @@
+//! Lexer for SGL source text.
+
+use crate::error::{LangError, Pos, Result};
+
+/// Token kinds produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (double quoted).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind.
+    pub tok: Tok,
+    /// Position of the first character.
+    pub pos: Pos,
+}
+
+/// Tokenize SGL source text.
+///
+/// Comments run from `#` or `//` to the end of the line.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    let pos_of = |line: u32, col: u32| Pos { line, col };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start = pos_of(line, col);
+        macro_rules! advance {
+            () => {{
+                if chars[i] == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+            }};
+        }
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                advance!();
+            }
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance!();
+                }
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance!();
+                }
+            }
+            '(' => {
+                tokens.push(Token { tok: Tok::LParen, pos: start });
+                advance!();
+            }
+            ')' => {
+                tokens.push(Token { tok: Tok::RParen, pos: start });
+                advance!();
+            }
+            '{' => {
+                tokens.push(Token { tok: Tok::LBrace, pos: start });
+                advance!();
+            }
+            '}' => {
+                tokens.push(Token { tok: Tok::RBrace, pos: start });
+                advance!();
+            }
+            ',' => {
+                tokens.push(Token { tok: Tok::Comma, pos: start });
+                advance!();
+            }
+            ';' => {
+                tokens.push(Token { tok: Tok::Semi, pos: start });
+                advance!();
+            }
+            '.' => {
+                tokens.push(Token { tok: Tok::Dot, pos: start });
+                advance!();
+            }
+            '+' => {
+                tokens.push(Token { tok: Tok::Plus, pos: start });
+                advance!();
+            }
+            '-' => {
+                tokens.push(Token { tok: Tok::Minus, pos: start });
+                advance!();
+            }
+            '*' => {
+                tokens.push(Token { tok: Tok::Star, pos: start });
+                advance!();
+            }
+            '/' => {
+                tokens.push(Token { tok: Tok::Slash, pos: start });
+                advance!();
+            }
+            '=' => {
+                advance!();
+                if i < chars.len() && chars[i] == '=' {
+                    advance!();
+                }
+                tokens.push(Token { tok: Tok::Eq, pos: start });
+            }
+            '!' => {
+                advance!();
+                if i < chars.len() && chars[i] == '=' {
+                    advance!();
+                    tokens.push(Token { tok: Tok::Ne, pos: start });
+                } else {
+                    return Err(LangError::Lex { pos: start, message: "expected `=` after `!`".into() });
+                }
+            }
+            '<' => {
+                advance!();
+                if i < chars.len() && chars[i] == '=' {
+                    advance!();
+                    tokens.push(Token { tok: Tok::Le, pos: start });
+                } else if i < chars.len() && chars[i] == '>' {
+                    advance!();
+                    tokens.push(Token { tok: Tok::Ne, pos: start });
+                } else {
+                    tokens.push(Token { tok: Tok::Lt, pos: start });
+                }
+            }
+            '>' => {
+                advance!();
+                if i < chars.len() && chars[i] == '=' {
+                    advance!();
+                    tokens.push(Token { tok: Tok::Ge, pos: start });
+                } else {
+                    tokens.push(Token { tok: Tok::Gt, pos: start });
+                }
+            }
+            '"' => {
+                advance!();
+                let mut s = String::new();
+                let mut closed = false;
+                while i < chars.len() {
+                    if chars[i] == '"' {
+                        advance!();
+                        closed = true;
+                        break;
+                    }
+                    s.push(chars[i]);
+                    advance!();
+                }
+                if !closed {
+                    return Err(LangError::Lex { pos: start, message: "unterminated string literal".into() });
+                }
+                tokens.push(Token { tok: Tok::Str(s), pos: start });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    // A `.` not followed by a digit is a field access, not a decimal point.
+                    if chars[i] == '.' {
+                        if i + 1 >= chars.len() || !chars[i + 1].is_ascii_digit() {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    text.push(chars[i]);
+                    advance!();
+                }
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| LangError::Lex {
+                        pos: start,
+                        message: format!("invalid float literal `{text}`"),
+                    })?;
+                    tokens.push(Token { tok: Tok::Float(v), pos: start });
+                } else {
+                    let v: i64 = text.parse().map_err(|_| LangError::Lex {
+                        pos: start,
+                        message: format!("invalid integer literal `{text}`"),
+                    })?;
+                    tokens.push(Token { tok: Tok::Int(v), pos: start });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    advance!();
+                }
+                tokens.push(Token { tok: Tok::Ident(text), pos: start });
+            }
+            other => {
+                return Err(LangError::Lex { pos: start, message: format!("unexpected character `{other}`") });
+            }
+        }
+    }
+    tokens.push(Token { tok: Tok::Eof, pos: pos_of(line, col) });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        assert_eq!(
+            kinds("( ) { } , ; . + - * / = != < <= > >= <>"),
+            vec![
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Comma,
+                Tok::Semi,
+                Tok::Dot,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Ne,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_identifiers_and_field_access() {
+        assert_eq!(
+            kinds("42 3.5 u.posx _HEAL_AURA getNearestEnemy"),
+            vec![
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Ident("u".into()),
+                Tok::Dot,
+                Tok::Ident("posx".into()),
+                Tok::Ident("_HEAL_AURA".into()),
+                Tok::Ident("getNearestEnemy".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn number_followed_by_dot_field_is_not_a_float() {
+        // `2.key` lexes as Int(2), Dot, Ident(key) — field access on a tuple.
+        assert_eq!(kinds("2.key"), vec![Tok::Int(2), Tok::Dot, Tok::Ident("key".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 # a comment\n2 // another\n3"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Int(3), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(kinds("\"knight\""), vec![Tok::Str("knight".into()), Tok::Eof]);
+        assert!(tokenize("\"open").is_err());
+    }
+
+    #[test]
+    fn double_equals_accepted() {
+        assert_eq!(kinds("a == b"), vec![Tok::Ident("a".into()), Tok::Eq, Tok::Ident("b".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_characters_error_with_position() {
+        let err = tokenize("a $ b").unwrap_err();
+        match err {
+            LangError::Lex { pos, .. } => assert_eq!(pos, Pos { line: 1, col: 3 }),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(tokenize("!x").is_err());
+    }
+
+    #[test]
+    fn figure_three_script_lexes() {
+        let src = r#"
+            main(u) {
+              (let c = CountEnemiesInRange(u, u.range))
+              (let away_vector = (u.posx, u.posy) - CentroidOfEnemyUnits(u, u.range)) {
+                if (c > u.morale) then
+                  perform MoveInDirection(u, away_vector);
+                else if (c > 0 and u.cooldown = 0) then
+                  (let target_key = getNearestEnemy(u).key) {
+                    perform FireAt(u, target_key);
+                  }
+              }
+            }
+        "#;
+        let toks = tokenize(src).unwrap();
+        assert!(toks.len() > 50);
+        assert_eq!(toks.last().unwrap().tok, Tok::Eof);
+    }
+}

@@ -1,0 +1,83 @@
+//! # sgl-lang — the SGL scripting language
+//!
+//! SGL (Scalable Games Language, §4 of *Scaling Games to Epic Proportions*)
+//! is a purely functional scripting language for per-unit game AI.  A script
+//! computes aggregate values about the environment (`let`), branches on them
+//! (`if ... then ... else`) and issues effects through `perform` statements.
+//! Because every built-in aggregate and action is restricted to the SQL
+//! shapes of Eq. (4)/(5), whole populations of scripts can be compiled into
+//! set-at-a-time query plans by the `sgl-algebra` and `sgl-exec` crates.
+//!
+//! This crate provides the front end:
+//!
+//! * [`lexer`] / [`parser`] — concrete syntax → [`ast`];
+//! * [`normalize`] — helper-function inlining and aggregate hoisting into the
+//!   normal form assumed by the optimizer (§5.1);
+//! * [`typecheck`] — attribute, arity and scoping checks for scripts and for
+//!   built-in definitions;
+//! * [`builtins`] — declarative definitions of built-in aggregate and action
+//!   functions (Figures 4 and 5), plus game constants;
+//! * [`eval`] — the single-unit semantics `[[·]]term` / `[[·]]cond` used by the
+//!   naive executor and by built-in evaluation;
+//! * [`pretty`] — printing ASTs back to SGL source.
+//!
+//! ```
+//! use sgl_lang::parser::parse_script;
+//! use sgl_lang::normalize::normalize;
+//! use sgl_lang::builtins::paper_registry;
+//!
+//! let script = parse_script(
+//!     "main(u) { if CountEnemiesInRange(u, 5) > 3 then perform MoveInDirection(u, 0, 0); }",
+//! ).unwrap();
+//! let normal = normalize(&script, &paper_registry()).unwrap();
+//! assert!(sgl_lang::normalize::is_normal_form(&normal.body));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builtins;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod normalize;
+pub mod parser;
+pub mod pretty;
+pub mod sql;
+pub mod typecheck;
+
+pub use ast::{Action, AggCall, BinOp, CmpOp, Cond, FunctionDef, Script, Term, VarRef};
+pub use builtins::{ActionDef, AggSpec, AggregateDef, EffectClause, Registry, SimpleAgg};
+pub use error::{LangError, Result};
+pub use eval::{AggregateProvider, EvalContext, NoAggregates, ScriptValue};
+pub use normalize::{normalize, NormalScript};
+pub use parser::{parse_cond, parse_script, parse_term};
+pub use sql::{extend_registry_from_sql, parse_sql_registry, SqlItem};
+pub use typecheck::{check_registry, check_script, CheckReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_front_end_pipeline() {
+        let schema = sgl_env::schema::paper_schema();
+        let registry = builtins::paper_registry();
+        let script = parse_script(
+            r#"
+            main(u) {
+              (let c = CountEnemiesInRange(u, 12))
+              if c > 0 and u.cooldown = 0 then
+                (let target = getNearestEnemy(u).key)
+                  perform FireAt(u, target);
+            }
+            "#,
+        )
+        .unwrap();
+        let normal = normalize(&script, &registry).unwrap();
+        let report = check_script(&normal, &schema, &registry).unwrap();
+        assert_eq!(report.aggregate_calls, 2);
+        assert_eq!(report.performs, 1);
+        check_registry(&registry, &schema).unwrap();
+    }
+}

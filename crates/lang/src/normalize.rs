@@ -1,0 +1,429 @@
+//! Normalisation of SGL scripts (paper §5.1).
+//!
+//! The optimizer assumes scripts are in a *normal form* in which aggregate
+//! functions occur only as the right-hand side of `let` statements, never
+//! nested inside larger terms, conditions or `perform` arguments.  The paper
+//! notes this is without loss of generality; this module performs the
+//! rewriting:
+//!
+//! 1. user-defined helper functions are inlined into `main` (binding their
+//!    parameters with `let`s);
+//! 2. every aggregate call that is not already the entire RHS of a `let` is
+//!    hoisted into a fresh `let __aggN = ...` directly above its use.
+
+
+
+use crate::ast::{Action, AggCall, Cond, FunctionDef, Script, Term, VarRef};
+use crate::builtins::Registry;
+use crate::error::{LangError, Result};
+
+/// Maximum depth of helper-function inlining before we assume recursion.
+const MAX_INLINE_DEPTH: usize = 32;
+
+/// A normalised script: a single action tree in aggregate normal form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalScript {
+    /// Name of the unit parameter of `main` (usually `u`).
+    pub unit_param: String,
+    /// The normalised body.
+    pub body: Action,
+}
+
+/// Normalise a parsed script against a registry (needed to tell aggregate
+/// calls apart from calls to user-defined helper action functions).
+pub fn normalize(script: &Script, registry: &Registry) -> Result<NormalScript> {
+    let inlined = inline_functions(&script.main, script, registry, 0)?;
+    let mut counter = 0usize;
+    let body = hoist_action(inlined, &mut counter);
+    Ok(NormalScript { unit_param: script.main.params.first().cloned().unwrap_or_else(|| "u".into()), body })
+}
+
+/// Inline calls to user-defined helper functions.  `perform Helper(args)`
+/// becomes the helper body with its parameters bound by `let`s (the first
+/// parameter, the unit, needs no binding: the callee sees the same unit).
+fn inline_functions(
+    def: &FunctionDef,
+    script: &Script,
+    registry: &Registry,
+    depth: usize,
+) -> Result<Action> {
+    if depth > MAX_INLINE_DEPTH {
+        return Err(LangError::Semantic(format!(
+            "helper functions nest deeper than {MAX_INLINE_DEPTH} levels; recursive scripts are not supported"
+        )));
+    }
+    inline_in_action(&def.body, script, registry, depth)
+}
+
+fn inline_in_action(action: &Action, script: &Script, registry: &Registry, depth: usize) -> Result<Action> {
+    Ok(match action {
+        Action::Let { name, term, body } => Action::Let {
+            name: name.clone(),
+            term: term.clone(),
+            body: Box::new(inline_in_action(body, script, registry, depth)?),
+        },
+        Action::Seq(items) => Action::Seq(
+            items
+                .iter()
+                .map(|a| inline_in_action(a, script, registry, depth))
+                .collect::<Result<Vec<_>>>()?,
+        ),
+        Action::If { cond, then, els } => Action::If {
+            cond: cond.clone(),
+            then: Box::new(inline_in_action(then, script, registry, depth)?),
+            els: match els {
+                Some(e) => Some(Box::new(inline_in_action(e, script, registry, depth)?)),
+                None => None,
+            },
+        },
+        Action::Perform { name, args } => {
+            if registry.action(name).is_some() {
+                // A built-in action: leave as is.
+                Action::Perform { name: name.clone(), args: args.clone() }
+            } else if let Some(helper) = script.function(name) {
+                // Bind parameters (skipping the unit parameter) and inline.
+                let expected = helper.params.len();
+                if args.len() != expected {
+                    return Err(LangError::Semantic(format!(
+                        "call to `{name}` passes {} arguments but it declares {expected} parameters",
+                        args.len()
+                    )));
+                }
+                let mut body = inline_functions(helper, script, registry, depth + 1)?;
+                // Wrap in lets, innermost parameter first so that earlier
+                // parameters are visible to later bindings if ever needed.
+                for (param, arg) in helper.params.iter().zip(args.iter()).skip(1).collect::<Vec<_>>().into_iter().rev() {
+                    body = Action::Let { name: param.clone(), term: arg.clone(), body: Box::new(body) };
+                }
+                body
+            } else {
+                // Unknown name: leave it; the type checker reports it with a
+                // better message.
+                Action::Perform { name: name.clone(), args: args.clone() }
+            }
+        }
+        Action::Nop => Action::Nop,
+    })
+}
+
+/// Hoist nested aggregate calls out of terms/conditions into fresh `let`s.
+fn hoist_action(action: Action, counter: &mut usize) -> Action {
+    match action {
+        Action::Let { name, term, body } => {
+            let body = Box::new(hoist_action(*body, counter));
+            // If the RHS is exactly an aggregate call it is already in normal
+            // form; otherwise extract any nested aggregates first.
+            if matches!(term, Term::Agg(_)) {
+                return Action::Let { name, term, body };
+            }
+            let (new_term, hoisted) = hoist_term(term, counter);
+            wrap_lets(hoisted, Action::Let { name, term: new_term, body })
+        }
+        Action::Seq(items) => Action::Seq(items.into_iter().map(|a| hoist_action(a, counter)).collect()),
+        Action::If { cond, then, els } => {
+            let (new_cond, hoisted) = hoist_cond(cond, counter);
+            let inner = Action::If {
+                cond: new_cond,
+                then: Box::new(hoist_action(*then, counter)),
+                els: els.map(|e| Box::new(hoist_action(*e, counter))),
+            };
+            wrap_lets(hoisted, inner)
+        }
+        Action::Perform { name, args } => {
+            let mut all_hoisted = Vec::new();
+            let mut new_args = Vec::with_capacity(args.len());
+            for arg in args {
+                let (t, hoisted) = hoist_term(arg, counter);
+                all_hoisted.extend(hoisted);
+                new_args.push(t);
+            }
+            wrap_lets(all_hoisted, Action::Perform { name, args: new_args })
+        }
+        Action::Nop => Action::Nop,
+    }
+}
+
+fn wrap_lets(hoisted: Vec<(String, AggCall)>, inner: Action) -> Action {
+    let mut action = inner;
+    for (name, call) in hoisted.into_iter().rev() {
+        action = Action::Let { name, term: Term::Agg(call), body: Box::new(action) };
+    }
+    action
+}
+
+/// Replace nested aggregate calls in a term by fresh variables; returns the
+/// rewritten term and the extracted `(variable, call)` pairs in occurrence
+/// order.
+fn hoist_term(term: Term, counter: &mut usize) -> (Term, Vec<(String, AggCall)>) {
+    let mut hoisted = Vec::new();
+    let new_term = hoist_term_inner(term, counter, &mut hoisted);
+    (new_term, hoisted)
+}
+
+fn fresh_name(counter: &mut usize) -> String {
+    let name = format!("__agg{counter}");
+    *counter += 1;
+    name
+}
+
+fn hoist_term_inner(term: Term, counter: &mut usize, out: &mut Vec<(String, AggCall)>) -> Term {
+    match term {
+        Term::Agg(call) => {
+            // Arguments of aggregates are scalar terms over `u`; nested
+            // aggregates inside them are hoisted too (rare but legal).
+            let args = call
+                .args
+                .into_iter()
+                .map(|a| hoist_term_inner(a, counter, out))
+                .collect();
+            let name = fresh_name(counter);
+            out.push((name.clone(), AggCall { name: call.name, args }));
+            Term::Var(VarRef::Name(name))
+        }
+        Term::Const(_) | Term::Var(_) => term,
+        Term::Random(t) => Term::Random(Box::new(hoist_term_inner(*t, counter, out))),
+        Term::Neg(t) => Term::Neg(Box::new(hoist_term_inner(*t, counter, out))),
+        Term::Abs(t) => Term::Abs(Box::new(hoist_term_inner(*t, counter, out))),
+        Term::Sqrt(t) => Term::Sqrt(Box::new(hoist_term_inner(*t, counter, out))),
+        Term::Field(t, field) => Term::Field(Box::new(hoist_term_inner(*t, counter, out)), field),
+        Term::Bin { op, left, right } => Term::Bin {
+            op,
+            left: Box::new(hoist_term_inner(*left, counter, out)),
+            right: Box::new(hoist_term_inner(*right, counter, out)),
+        },
+        Term::Tuple(items) => {
+            Term::Tuple(items.into_iter().map(|i| hoist_term_inner(i, counter, out)).collect())
+        }
+    }
+}
+
+fn hoist_cond(cond: Cond, counter: &mut usize) -> (Cond, Vec<(String, AggCall)>) {
+    let mut out = Vec::new();
+    let c = hoist_cond_inner(cond, counter, &mut out);
+    (c, out)
+}
+
+fn hoist_cond_inner(cond: Cond, counter: &mut usize, out: &mut Vec<(String, AggCall)>) -> Cond {
+    match cond {
+        Cond::Lit(b) => Cond::Lit(b),
+        Cond::Cmp { op, left, right } => Cond::Cmp {
+            op,
+            left: hoist_term_inner(left, counter, out),
+            right: hoist_term_inner(right, counter, out),
+        },
+        Cond::And(a, b) => Cond::And(
+            Box::new(hoist_cond_inner(*a, counter, out)),
+            Box::new(hoist_cond_inner(*b, counter, out)),
+        ),
+        Cond::Or(a, b) => Cond::Or(
+            Box::new(hoist_cond_inner(*a, counter, out)),
+            Box::new(hoist_cond_inner(*b, counter, out)),
+        ),
+        Cond::Not(c) => Cond::Not(Box::new(hoist_cond_inner(*c, counter, out))),
+    }
+}
+
+/// Check that an action is in aggregate normal form: aggregates appear only
+/// as the entire RHS of `let` statements.
+pub fn is_normal_form(action: &Action) -> bool {
+    fn term_clean(t: &Term) -> bool {
+        !t.contains_aggregate()
+    }
+    fn cond_clean(c: &Cond) -> bool {
+        !c.contains_aggregate()
+    }
+    match action {
+        Action::Let { term, body, .. } => {
+            let rhs_ok = match term {
+                Term::Agg(call) => call.args.iter().all(term_clean),
+                other => term_clean(other),
+            };
+            rhs_ok && is_normal_form(body)
+        }
+        Action::Seq(items) => items.iter().all(is_normal_form),
+        Action::If { cond, then, els } => {
+            cond_clean(cond)
+                && is_normal_form(then)
+                && els.as_ref().map_or(true, |e| is_normal_form(e))
+        }
+        Action::Perform { args, .. } => args.iter().all(term_clean),
+        Action::Nop => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins::paper_registry;
+    use crate::parser::parse_script;
+
+    const FIGURE_3: &str = r#"
+        main(u) {
+          (let c = CountEnemiesInRange(u, u.range))
+          (let away_vector = (u.posx, u.posy) - CentroidOfEnemyUnits(u, u.range)) {
+            if (c > u.morale) then
+              perform MoveInDirection(u, away_vector);
+            else if (c > 0 and u.cooldown = 0) then
+              (let target_key = getNearestEnemy(u).key) {
+                perform FireAt(u, target_key);
+              }
+          }
+        }
+    "#;
+
+    #[test]
+    fn figure_three_normalises_to_normal_form() {
+        let script = parse_script(FIGURE_3).unwrap();
+        let reg = paper_registry();
+        assert!(!is_normal_form(&script.main.body), "figure 3 nests aggregates inside terms");
+        let normal = normalize(&script, &reg).unwrap();
+        assert!(is_normal_form(&normal.body));
+        assert_eq!(normal.unit_param, "u");
+        // All three aggregate calls survive.
+        let mut aggs = Vec::new();
+        normal.body.collect_aggregates(&mut aggs);
+        assert_eq!(aggs.len(), 3);
+        // And the same number of performs.
+        assert_eq!(normal.body.count_performs(), 2);
+    }
+
+    #[test]
+    fn aggregates_in_conditions_are_hoisted() {
+        let src = r#"
+            main(u) {
+              if CountEnemiesInRange(u, 5) > 3 then perform MoveInDirection(u, 0, 0);
+            }
+        "#;
+        let script = parse_script(src).unwrap();
+        let normal = normalize(&script, &paper_registry()).unwrap();
+        assert!(is_normal_form(&normal.body));
+        match &normal.body {
+            Action::Let { name, term, .. } => {
+                assert!(name.starts_with("__agg"));
+                assert!(matches!(term, Term::Agg(_)));
+            }
+            other => panic!("expected hoisted let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_in_perform_args_are_hoisted() {
+        let src = r#"
+            main(u) {
+              perform MoveInDirection(u, CentroidOfEnemyUnits(u, 10).x, 0);
+            }
+        "#;
+        let script = parse_script(src).unwrap();
+        let normal = normalize(&script, &paper_registry()).unwrap();
+        assert!(is_normal_form(&normal.body));
+    }
+
+    #[test]
+    fn helper_functions_are_inlined() {
+        let src = r#"
+            function Flee(u, dist) {
+              perform MoveInDirection(u, u.posx + dist, u.posy);
+            }
+            main(u) {
+              if u.health < 5 then perform Flee(u, 10);
+            }
+        "#;
+        let script = parse_script(src).unwrap();
+        let normal = normalize(&script, &paper_registry()).unwrap();
+        // The perform of Flee has been replaced by a let + MoveInDirection.
+        assert_eq!(normal.body.count_performs(), 1);
+        fn find_perform(a: &Action) -> Option<&str> {
+            match a {
+                Action::Let { body, .. } => find_perform(body),
+                Action::Seq(items) => items.iter().find_map(find_perform),
+                Action::If { then, els, .. } => {
+                    find_perform(then).or_else(|| els.as_ref().and_then(|e| find_perform(e)))
+                }
+                Action::Perform { name, .. } => Some(name),
+                Action::Nop => None,
+            }
+        }
+        assert_eq!(find_perform(&normal.body), Some("MoveInDirection"));
+    }
+
+    #[test]
+    fn wrong_arity_helper_call_is_an_error() {
+        let src = r#"
+            function Flee(u, dist) { perform MoveInDirection(u, dist, 0); }
+            main(u) { perform Flee(u); }
+        "#;
+        let script = parse_script(src).unwrap();
+        assert!(normalize(&script, &paper_registry()).is_err());
+    }
+
+    #[test]
+    fn recursive_helpers_are_rejected() {
+        let src = r#"
+            function Loop(u) { perform Loop(u); }
+            main(u) { perform Loop(u); }
+        "#;
+        let script = parse_script(src).unwrap();
+        let err = normalize(&script, &paper_registry()).unwrap_err();
+        assert!(matches!(err, LangError::Semantic(_)));
+    }
+
+    #[test]
+    fn unknown_actions_are_left_for_the_type_checker() {
+        let src = "main(u) { perform Mystery(u); }";
+        let script = parse_script(src).unwrap();
+        let normal = normalize(&script, &paper_registry()).unwrap();
+        assert_eq!(normal.body.count_performs(), 1);
+    }
+
+    #[test]
+    fn already_normal_scripts_are_unchanged_in_shape() {
+        let src = r#"
+            main(u) {
+              (let c = CountEnemiesInRange(u, 5))
+              if c > 0 then perform MoveInDirection(u, 0, 0);
+            }
+        "#;
+        let script = parse_script(src).unwrap();
+        let normal = normalize(&script, &paper_registry()).unwrap();
+        assert!(is_normal_form(&normal.body));
+        match &normal.body {
+            Action::Let { name, .. } => assert_eq!(name, "c"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fresh_names_do_not_collide() {
+        let src = r#"
+            main(u) {
+              if CountEnemiesInRange(u, 5) > CountEnemiesInRange(u, 10) then
+                perform MoveInDirection(u, 0, 0);
+            }
+        "#;
+        let script = parse_script(src).unwrap();
+        let normal = normalize(&script, &paper_registry()).unwrap();
+        assert!(is_normal_form(&normal.body));
+        // Two hoisted lets with distinct names.
+        fn collect_let_names(a: &Action, out: &mut Vec<String>) {
+            match a {
+                Action::Let { name, body, .. } => {
+                    out.push(name.clone());
+                    collect_let_names(body, out);
+                }
+                Action::Seq(items) => items.iter().for_each(|i| collect_let_names(i, out)),
+                Action::If { then, els, .. } => {
+                    collect_let_names(then, out);
+                    if let Some(e) = els {
+                        collect_let_names(e, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut names = Vec::new();
+        collect_let_names(&normal.body, &mut names);
+        let hoisted: Vec<&String> = names.iter().filter(|n| n.starts_with("__agg")).collect();
+        assert_eq!(hoisted.len(), 2);
+        assert_ne!(hoisted[0], hoisted[1]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Pretty-printing of SGL syntax trees (used by `EXPLAIN` output, error
+//! messages and the examples).
+
+use std::fmt::Write as _;
+
+use crate::ast::{Action, BinOp, CmpOp, Cond, Script, Term, VarRef};
+
+/// Render a term as SGL source.
+pub fn term_to_string(term: &Term) -> String {
+    let mut s = String::new();
+    write_term(&mut s, term);
+    s
+}
+
+/// Render a condition as SGL source.
+pub fn cond_to_string(cond: &Cond) -> String {
+    let mut s = String::new();
+    write_cond(&mut s, cond);
+    s
+}
+
+/// Render an action with indentation.
+pub fn action_to_string(action: &Action) -> String {
+    let mut s = String::new();
+    write_action(&mut s, action, 0);
+    s
+}
+
+/// Render a whole script.
+pub fn script_to_string(script: &Script) -> String {
+    let mut s = String::new();
+    for f in &script.functions {
+        let _ = writeln!(s, "function {}({}) {{", f.name, f.params.join(", "));
+        write_action(&mut s, &f.body, 1);
+        let _ = writeln!(s, "}}");
+    }
+    let _ = writeln!(s, "{}({}) {{", script.main.name, script.main.params.join(", "));
+    write_action(&mut s, &script.main.body, 1);
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "mod",
+    }
+}
+
+fn cmpop_str(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+fn write_term(out: &mut String, term: &Term) {
+    match term {
+        Term::Const(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Term::Var(VarRef::Unit(a)) => {
+            let _ = write!(out, "u.{a}");
+        }
+        Term::Var(VarRef::Row(a)) => {
+            let _ = write!(out, "e.{a}");
+        }
+        Term::Var(VarRef::Name(n)) => {
+            let _ = write!(out, "{n}");
+        }
+        Term::Random(t) => {
+            let _ = write!(out, "Random(");
+            write_term(out, t);
+            let _ = write!(out, ")");
+        }
+        Term::Agg(call) => {
+            let _ = write!(out, "{}(", call.name);
+            for (i, a) in call.args.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                write_term(out, a);
+            }
+            let _ = write!(out, ")");
+        }
+        Term::Bin { op, left, right } => {
+            let _ = write!(out, "(");
+            write_term(out, left);
+            let _ = write!(out, " {} ", binop_str(*op));
+            write_term(out, right);
+            let _ = write!(out, ")");
+        }
+        Term::Neg(t) => {
+            let _ = write!(out, "-");
+            write_term(out, t);
+        }
+        Term::Abs(t) => {
+            let _ = write!(out, "abs(");
+            write_term(out, t);
+            let _ = write!(out, ")");
+        }
+        Term::Sqrt(t) => {
+            let _ = write!(out, "sqrt(");
+            write_term(out, t);
+            let _ = write!(out, ")");
+        }
+        Term::Field(t, f) => {
+            write_term(out, t);
+            let _ = write!(out, ".{f}");
+        }
+        Term::Tuple(items) => {
+            let _ = write!(out, "(");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                write_term(out, item);
+            }
+            let _ = write!(out, ")");
+        }
+    }
+}
+
+fn write_cond(out: &mut String, cond: &Cond) {
+    match cond {
+        Cond::Lit(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Cond::Cmp { op, left, right } => {
+            write_term(out, left);
+            let _ = write!(out, " {} ", cmpop_str(*op));
+            write_term(out, right);
+        }
+        Cond::And(a, b) => {
+            let _ = write!(out, "(");
+            write_cond(out, a);
+            let _ = write!(out, " and ");
+            write_cond(out, b);
+            let _ = write!(out, ")");
+        }
+        Cond::Or(a, b) => {
+            let _ = write!(out, "(");
+            write_cond(out, a);
+            let _ = write!(out, " or ");
+            write_cond(out, b);
+            let _ = write!(out, ")");
+        }
+        Cond::Not(c) => {
+            let _ = write!(out, "not (");
+            write_cond(out, c);
+            let _ = write!(out, ")");
+        }
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_action(out: &mut String, action: &Action, level: usize) {
+    match action {
+        Action::Let { name, term, body } => {
+            indent(out, level);
+            let _ = write!(out, "(let {name} = ");
+            write_term(out, term);
+            let _ = writeln!(out, ")");
+            write_action(out, body, level);
+        }
+        Action::Seq(items) => {
+            for item in items {
+                write_action(out, item, level);
+            }
+        }
+        Action::If { cond, then, els } => {
+            indent(out, level);
+            let _ = write!(out, "if ");
+            write_cond(out, cond);
+            let _ = writeln!(out, " then");
+            write_action(out, then, level + 1);
+            if let Some(e) = els {
+                indent(out, level);
+                let _ = writeln!(out, "else");
+                write_action(out, e, level + 1);
+            }
+        }
+        Action::Perform { name, args } => {
+            indent(out, level);
+            let _ = write!(out, "perform {name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                write_term(out, a);
+            }
+            let _ = writeln!(out, ");");
+        }
+        Action::Nop => {
+            indent(out, level);
+            let _ = writeln!(out, ";");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_cond, parse_script, parse_term};
+
+    #[test]
+    fn terms_round_trip_through_the_parser() {
+        for src in [
+            "u.posx + 1",
+            "(u.posx, u.posy) - CentroidOfEnemyUnits(u, u.range)",
+            "Random(1) mod 2",
+            "abs(u.posx - 3)",
+            "sqrt(u.posx * u.posx)",
+            "getNearestEnemy(u).key",
+            "-u.posy",
+            "\"knight\"",
+        ] {
+            let t = parse_term(src).unwrap();
+            let printed = term_to_string(&t);
+            let reparsed = parse_term(&printed).unwrap();
+            assert_eq!(t, reparsed, "term `{src}` printed as `{printed}`");
+        }
+    }
+
+    #[test]
+    fn conds_round_trip_through_the_parser() {
+        for src in [
+            "u.health < 5",
+            "u.health < 5 and u.cooldown = 0",
+            "not (u.health < 5 or u.player != 1)",
+            "true",
+        ] {
+            let c = parse_cond(src).unwrap();
+            let printed = cond_to_string(&c);
+            let reparsed = parse_cond(&printed).unwrap();
+            assert_eq!(c, reparsed, "cond `{src}` printed as `{printed}`");
+        }
+    }
+
+    #[test]
+    fn scripts_round_trip_through_the_parser() {
+        let src = r#"
+            function Flee(u, dist) {
+              perform MoveInDirection(u, u.posx + dist, u.posy);
+            }
+            main(u) {
+              (let c = CountEnemiesInRange(u, u.range))
+              if c > 3 then perform Flee(u, 10);
+              else perform FireAt(u, getNearestEnemy(u).key);
+            }
+        "#;
+        let script = parse_script(src).unwrap();
+        let printed = script_to_string(&script);
+        let reparsed = parse_script(&printed).unwrap();
+        assert_eq!(script, reparsed);
+    }
+
+    #[test]
+    fn nop_prints_as_empty_statement() {
+        let script = parse_script("main(u) { }").unwrap();
+        let printed = script_to_string(&script);
+        assert!(printed.contains("main(u)"));
+        parse_script(&printed).unwrap();
+    }
+}

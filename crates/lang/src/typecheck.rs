@@ -1,0 +1,468 @@
+//! Static checks on SGL scripts and built-in definitions.
+//!
+//! The checker validates a normalised script against an environment schema
+//! and a registry of built-ins:
+//!
+//! * every `u.attr` references an existing attribute;
+//! * `e.attr` never appears in scripts (only in built-in definitions);
+//! * every bare name resolves to a `let` variable, the unit parameter, or a
+//!   registered constant;
+//! * every aggregate call and `perform` target is registered and called with
+//!   the right number of arguments;
+//! * built-in definitions themselves only reference existing attributes, and
+//!   action effects only target effect (non-`const`) attributes.
+
+use rustc_hash::FxHashMap;
+
+use sgl_env::{CombineKind, Schema};
+
+use crate::ast::{Action, AggCall, Cond, Term, VarRef};
+use crate::builtins::{ActionDef, AggSpec, AggregateDef, Registry};
+use crate::error::{LangError, Result};
+use crate::normalize::NormalScript;
+
+/// Summary of a successful script check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Number of aggregate call sites in the script.
+    pub aggregate_calls: usize,
+    /// Number of `perform` statements.
+    pub performs: usize,
+    /// Maximum `let` nesting depth.
+    pub max_depth: usize,
+}
+
+struct Checker<'a> {
+    schema: &'a Schema,
+    registry: &'a Registry,
+    report: CheckReport,
+}
+
+/// Check a normalised script. Returns statistics useful for diagnostics.
+pub fn check_script(script: &NormalScript, schema: &Schema, registry: &Registry) -> Result<CheckReport> {
+    let mut checker = Checker { schema, registry, report: CheckReport::default() };
+    let mut scope: FxHashMap<String, ()> = FxHashMap::default();
+    scope.insert(script.unit_param.clone(), ());
+    checker.action(&script.body, &mut scope, 0)?;
+    Ok(checker.report)
+}
+
+impl<'a> Checker<'a> {
+    fn action(&mut self, action: &Action, scope: &mut FxHashMap<String, ()>, depth: usize) -> Result<()> {
+        self.report.max_depth = self.report.max_depth.max(depth);
+        match action {
+            Action::Let { name, term, body } => {
+                self.term(term, scope, true)?;
+                let shadowed = scope.insert(name.clone(), ());
+                self.action(body, scope, depth + 1)?;
+                if shadowed.is_none() {
+                    scope.remove(name);
+                }
+                Ok(())
+            }
+            Action::Seq(items) => {
+                for item in items {
+                    self.action(item, scope, depth)?;
+                }
+                Ok(())
+            }
+            Action::If { cond, then, els } => {
+                self.cond(cond, scope)?;
+                self.action(then, scope, depth + 1)?;
+                if let Some(e) = els {
+                    self.action(e, scope, depth + 1)?;
+                }
+                Ok(())
+            }
+            Action::Perform { name, args } => {
+                self.report.performs += 1;
+                let def = self
+                    .registry
+                    .action(name)
+                    .ok_or_else(|| LangError::Unresolved(format!("action `{name}`")))?;
+                if args.len() != def.params.len() {
+                    return Err(LangError::Semantic(format!(
+                        "action `{name}` expects {} arguments, got {}",
+                        def.params.len(),
+                        args.len()
+                    )));
+                }
+                for arg in args {
+                    self.term(arg, scope, false)?;
+                }
+                Ok(())
+            }
+            Action::Nop => Ok(()),
+        }
+    }
+
+    fn cond(&mut self, cond: &Cond, scope: &FxHashMap<String, ()>) -> Result<()> {
+        match cond {
+            Cond::Lit(_) => Ok(()),
+            Cond::Cmp { left, right, .. } => {
+                self.term(left, scope, false)?;
+                self.term(right, scope, false)
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                self.cond(a, scope)?;
+                self.cond(b, scope)
+            }
+            Cond::Not(c) => self.cond(c, scope),
+        }
+    }
+
+    fn term(&mut self, term: &Term, scope: &FxHashMap<String, ()>, allow_aggregate: bool) -> Result<()> {
+        match term {
+            Term::Const(_) => Ok(()),
+            Term::Var(VarRef::Unit(attr)) => {
+                self.schema
+                    .attr_id(attr)
+                    .map(|_| ())
+                    .ok_or_else(|| LangError::Unresolved(format!("u.{attr}")))
+            }
+            Term::Var(VarRef::Row(attr)) => Err(LangError::Semantic(format!(
+                "`e.{attr}` may only appear inside built-in definitions, not in scripts"
+            ))),
+            Term::Var(VarRef::Name(name)) => {
+                if scope.contains_key(name) || self.registry.constant(name).is_some() {
+                    Ok(())
+                } else {
+                    Err(LangError::Unresolved(name.clone()))
+                }
+            }
+            Term::Random(t) | Term::Neg(t) | Term::Abs(t) | Term::Sqrt(t) => {
+                self.term(t, scope, false)
+            }
+            Term::Field(t, _field) => self.term(t, scope, allow_aggregate),
+            Term::Bin { left, right, .. } => {
+                self.term(left, scope, false)?;
+                self.term(right, scope, false)
+            }
+            Term::Tuple(items) => {
+                for item in items {
+                    self.term(item, scope, false)?;
+                }
+                Ok(())
+            }
+            Term::Agg(call) => {
+                if !allow_aggregate {
+                    return Err(LangError::Semantic(format!(
+                        "aggregate `{}` must be bound by a let (script not in normal form)",
+                        call.name
+                    )));
+                }
+                self.aggregate_call(call, scope)
+            }
+        }
+    }
+
+    fn aggregate_call(&mut self, call: &AggCall, scope: &FxHashMap<String, ()>) -> Result<()> {
+        self.report.aggregate_calls += 1;
+        let def = self
+            .registry
+            .aggregate(&call.name)
+            .ok_or_else(|| LangError::Unresolved(format!("aggregate `{}`", call.name)))?;
+        if call.args.len() != def.params.len() {
+            return Err(LangError::Semantic(format!(
+                "aggregate `{}` expects {} arguments, got {}",
+                call.name,
+                def.params.len(),
+                call.args.len()
+            )));
+        }
+        for arg in &call.args {
+            self.term(arg, scope, false)?;
+        }
+        Ok(())
+    }
+}
+
+/// Validate every built-in definition in a registry against a schema.
+pub fn check_registry(registry: &Registry, schema: &Schema) -> Result<()> {
+    for name in registry.aggregate_names() {
+        let def = registry.aggregate(name).expect("listed name resolves");
+        check_aggregate_def(def, schema)?;
+    }
+    for name in registry.action_names() {
+        let def = registry.action(name).expect("listed name resolves");
+        check_action_def(def, schema)?;
+    }
+    Ok(())
+}
+
+fn check_builtin_term(term: &Term, def_name: &str, params: &[String], schema: &Schema) -> Result<()> {
+    match term {
+        Term::Const(_) => Ok(()),
+        Term::Var(VarRef::Unit(attr)) | Term::Var(VarRef::Row(attr)) => schema
+            .attr_id(attr)
+            .map(|_| ())
+            .ok_or_else(|| LangError::Semantic(format!("builtin `{def_name}` references unknown attribute `{attr}`"))),
+        Term::Var(VarRef::Name(name)) => {
+            // Parameters or constants (constants are resolved at evaluation
+            // time from the same registry; we cannot see them here, so accept
+            // any `_UPPERCASE` style name).
+            if params.contains(name) || name.starts_with('_') {
+                Ok(())
+            } else {
+                Err(LangError::Semantic(format!(
+                    "builtin `{def_name}` references unknown name `{name}`"
+                )))
+            }
+        }
+        Term::Random(t) | Term::Neg(t) | Term::Abs(t) | Term::Sqrt(t) | Term::Field(t, _) => {
+            check_builtin_term(t, def_name, params, schema)
+        }
+        Term::Bin { left, right, .. } => {
+            check_builtin_term(left, def_name, params, schema)?;
+            check_builtin_term(right, def_name, params, schema)
+        }
+        Term::Tuple(items) => {
+            for item in items {
+                check_builtin_term(item, def_name, params, schema)?;
+            }
+            Ok(())
+        }
+        Term::Agg(_) => Err(LangError::Semantic(format!(
+            "builtin `{def_name}` must not call other aggregates"
+        ))),
+    }
+}
+
+fn check_builtin_cond(cond: &Cond, def_name: &str, params: &[String], schema: &Schema) -> Result<()> {
+    match cond {
+        Cond::Lit(_) => Ok(()),
+        Cond::Cmp { left, right, .. } => {
+            check_builtin_term(left, def_name, params, schema)?;
+            check_builtin_term(right, def_name, params, schema)
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            check_builtin_cond(a, def_name, params, schema)?;
+            check_builtin_cond(b, def_name, params, schema)
+        }
+        Cond::Not(c) => check_builtin_cond(c, def_name, params, schema),
+    }
+}
+
+fn check_aggregate_def(def: &AggregateDef, schema: &Schema) -> Result<()> {
+    check_builtin_cond(&def.filter, &def.name, &def.params, schema)?;
+    match &def.spec {
+        AggSpec::Simple { outputs } => {
+            if outputs.is_empty() {
+                return Err(LangError::Semantic(format!("aggregate `{}` has no outputs", def.name)));
+            }
+            for o in outputs {
+                check_builtin_term(&o.value, &def.name, &def.params, schema)?;
+            }
+        }
+        AggSpec::ArgBest { rank, outputs, .. } => {
+            if outputs.is_empty() {
+                return Err(LangError::Semantic(format!("aggregate `{}` has no outputs", def.name)));
+            }
+            check_builtin_term(rank, &def.name, &def.params, schema)?;
+            for (_, t, _) in outputs {
+                check_builtin_term(t, &def.name, &def.params, schema)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_action_def(def: &ActionDef, schema: &Schema) -> Result<()> {
+    if def.clauses.is_empty() {
+        return Err(LangError::Semantic(format!("action `{}` has no effect clauses", def.name)));
+    }
+    for clause in &def.clauses {
+        check_builtin_cond(&clause.filter, &def.name, &def.params, schema)?;
+        if clause.effects.is_empty() {
+            return Err(LangError::Semantic(format!("action `{}` has a clause with no effects", def.name)));
+        }
+        for (attr, term) in &clause.effects {
+            let id = schema.attr_id(attr).ok_or_else(|| {
+                LangError::Semantic(format!("action `{}` targets unknown attribute `{attr}`", def.name))
+            })?;
+            if schema.attr(id).kind == CombineKind::Const {
+                return Err(LangError::Semantic(format!(
+                    "action `{}` targets const attribute `{attr}`; only effect attributes can be updated",
+                    def.name
+                )));
+            }
+            check_builtin_term(term, &def.name, &def.params, schema)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+    use crate::builtins::{paper_registry, AggOutput, EffectClause, SimpleAgg};
+    use crate::normalize::normalize;
+    use crate::parser::parse_script;
+    use sgl_env::schema::paper_schema;
+    use sgl_env::Value;
+
+    fn check_src(src: &str) -> Result<CheckReport> {
+        let schema = paper_schema();
+        let registry = paper_registry();
+        let script = parse_script(src).unwrap();
+        let normal = normalize(&script, &registry)?;
+        check_script(&normal, &schema, &registry)
+    }
+
+    #[test]
+    fn figure_three_checks_with_extended_schema() {
+        // Figure 3 references u.range and u.morale which are not in the paper
+        // schema of Eq. (1); extend it the way the battle simulation does.
+        let mut b = Schema::builder();
+        b.key("key")
+            .const_attr("player", 0i64)
+            .const_attr("posx", 0.0)
+            .const_attr("posy", 0.0)
+            .const_attr("health", 0i64)
+            .const_attr("cooldown", 0i64)
+            .const_attr("range", 10.0)
+            .const_attr("morale", 5i64)
+            .sum_attr("weaponused", 0i64)
+            .sum_attr("movevect_x", 0.0)
+            .sum_attr("movevect_y", 0.0)
+            .sum_attr("damage", 0i64)
+            .max_attr("inaura", 0i64);
+        let schema = b.build().unwrap();
+        let registry = paper_registry();
+        let script = parse_script(
+            r#"
+            main(u) {
+              (let c = CountEnemiesInRange(u, u.range))
+              (let away_vector = (u.posx, u.posy) - CentroidOfEnemyUnits(u, u.range)) {
+                if (c > u.morale) then
+                  perform MoveInDirection(u, u.posx + away_vector.x, u.posy + away_vector.y);
+                else if (c > 0 and u.cooldown = 0) then
+                  (let target_key = getNearestEnemy(u).key) {
+                    perform FireAt(u, target_key);
+                  }
+              }
+            }
+        "#,
+        )
+        .unwrap();
+        let normal = normalize(&script, &registry).unwrap();
+        let report = check_script(&normal, &schema, &registry).unwrap();
+        assert_eq!(report.aggregate_calls, 3);
+        assert_eq!(report.performs, 2);
+        assert!(report.max_depth >= 2);
+    }
+
+    #[test]
+    fn unknown_unit_attribute_is_rejected() {
+        let err = check_src("main(u) { if u.mana > 3 then perform Heal(u); }").unwrap_err();
+        assert!(matches!(err, LangError::Unresolved(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_action_is_rejected() {
+        let err = check_src("main(u) { perform Teleport(u); }").unwrap_err();
+        assert!(err.to_string().contains("Teleport"));
+    }
+
+    #[test]
+    fn unknown_aggregate_is_rejected() {
+        let err = check_src("main(u) { (let x = CountDragons(u)) perform Heal(u); }").unwrap_err();
+        assert!(err.to_string().contains("CountDragons"));
+    }
+
+    #[test]
+    fn wrong_action_arity_is_rejected() {
+        let err = check_src("main(u) { perform FireAt(u); }").unwrap_err();
+        assert!(err.to_string().contains("expects 2"));
+    }
+
+    #[test]
+    fn wrong_aggregate_arity_is_rejected() {
+        let err =
+            check_src("main(u) { (let c = CountEnemiesInRange(u)) perform Heal(u); }").unwrap_err();
+        assert!(err.to_string().contains("expects 2"));
+    }
+
+    #[test]
+    fn unbound_names_are_rejected_and_let_scoping_works() {
+        assert!(check_src("main(u) { perform MoveInDirection(u, unknown, 0); }").is_err());
+        assert!(check_src("main(u) { (let a = 3) perform MoveInDirection(u, a, 0); }").is_ok());
+        // `a` is out of scope after its let body.
+        let err = check_src(
+            "main(u) { { (let a = 3) perform MoveInDirection(u, a, 0); perform MoveInDirection(u, a, 0); } }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, LangError::Unresolved(_)));
+    }
+
+    #[test]
+    fn row_references_in_scripts_are_rejected() {
+        let err = check_src("main(u) { if e.health > 0 then perform Heal(u); }").unwrap_err();
+        assert!(err.to_string().contains("e.health"));
+    }
+
+    #[test]
+    fn constants_resolve() {
+        assert!(check_src("main(u) { perform MoveInDirection(u, _HEALER_RANGE, 0); }").is_ok());
+    }
+
+    #[test]
+    fn paper_registry_validates_against_paper_schema() {
+        let schema = paper_schema();
+        check_registry(&paper_registry(), &schema).unwrap();
+    }
+
+    #[test]
+    fn action_targeting_const_attribute_is_rejected() {
+        let schema = paper_schema();
+        let mut registry = paper_registry();
+        registry.register_action(crate::builtins::ActionDef {
+            name: "Cheat".into(),
+            params: vec!["u".into()],
+            clauses: vec![EffectClause {
+                filter: Cond::cmp(CmpOp::Eq, Term::row("key"), Term::unit("key")),
+                effects: vec![("health".into(), Term::int(100))],
+            }],
+        });
+        let err = check_registry(&registry, &schema).unwrap_err();
+        assert!(err.to_string().contains("const"));
+    }
+
+    #[test]
+    fn aggregate_with_unknown_attribute_is_rejected() {
+        let schema = paper_schema();
+        let mut registry = Registry::new();
+        registry.register_aggregate(AggregateDef {
+            name: "BadAgg".into(),
+            params: vec!["u".into()],
+            filter: Cond::cmp(CmpOp::Eq, Term::row("mana"), Term::int(3)),
+            spec: AggSpec::Simple {
+                outputs: vec![AggOutput {
+                    name: "value".into(),
+                    func: SimpleAgg::Count,
+                    value: Term::int(1),
+                    default: Value::Int(0),
+                }],
+            },
+        });
+        assert!(check_registry(&registry, &schema).is_err());
+    }
+
+    #[test]
+    fn empty_outputs_or_clauses_are_rejected() {
+        let schema = paper_schema();
+        let mut registry = Registry::new();
+        registry.register_action(ActionDef { name: "Noop".into(), params: vec!["u".into()], clauses: vec![] });
+        assert!(check_registry(&registry, &schema).is_err());
+
+        let mut registry = Registry::new();
+        registry.register_aggregate(AggregateDef {
+            name: "Empty".into(),
+            params: vec!["u".into()],
+            filter: Cond::Lit(true),
+            spec: AggSpec::Simple { outputs: vec![] },
+        });
+        assert!(check_registry(&registry, &schema).is_err());
+    }
+}

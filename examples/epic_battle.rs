@@ -1,0 +1,39 @@
+//! An "epic" battle: thousands of knights, archers and healers per side,
+//! comparing naive and indexed execution on the same scenario.
+//!
+//! ```text
+//! cargo run --release --example epic_battle [units]
+//! ```
+
+use std::time::Instant;
+
+use sgl::battle::{BattleScenario, ScenarioConfig};
+use sgl::exec::ExecMode;
+
+fn main() {
+    let units: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2000);
+    let config = ScenarioConfig { units, density: 0.01, seed: 2026, ..ScenarioConfig::default() };
+    let scenario = BattleScenario::generate(config);
+    println!(
+        "battlefield: {:.0} x {:.0} world, {} units per side",
+        scenario.world_side,
+        scenario.world_side,
+        units / 2
+    );
+
+    for mode in [ExecMode::Indexed, ExecMode::Naive] {
+        // Keep the naive run short for large armies — that is the point.
+        let ticks = if mode == ExecMode::Naive && units > 1000 { 3 } else { 10 };
+        let mut sim = scenario.build_simulation(mode);
+        let start = Instant::now();
+        let summary = sim.run(ticks).expect("battle runs");
+        let per_tick = start.elapsed().as_secs_f64() / ticks as f64;
+        println!(
+            "{mode:?}: {:.3} s/tick ({:.1} ticks/s), {} aggregate probes/tick, {} deaths",
+            per_tick,
+            1.0 / per_tick,
+            summary.exec.aggregate_probes / ticks,
+            summary.deaths,
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: compile an SGL script, build a small game and run a few ticks.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use sgl::engine::{Mechanics, UnitSelector};
+use sgl::env::postprocess::paper_postprocessor;
+use sgl::env::{schema::paper_schema, EnvTable, TupleBuilder};
+use sgl::lang::builtins::paper_registry;
+use sgl::GameBuilder;
+
+const SCRIPT: &str = r#"
+main(u) {
+  (let c = CountEnemiesInRange(u, 10))
+  if c > 3 then
+    perform MoveInDirection(u, u.posx - 5, u.posy);
+  else if c > 0 and u.cooldown = 0 then
+    perform FireAt(u, getNearestEnemy(u).key);
+  else
+    perform MoveInDirection(u, 25, 25);
+}
+"#;
+
+fn main() {
+    // 1. The environment schema of Eq. (1) and the built-ins of Figures 4/5.
+    let schema = paper_schema().into_shared();
+    let registry = paper_registry();
+
+    // 2. Populate the world with two small armies.
+    let mut table = EnvTable::new(Arc::clone(&schema));
+    for key in 0..20i64 {
+        let unit = TupleBuilder::new(&schema)
+            .set("key", key)
+            .unwrap()
+            .set("player", key % 2)
+            .unwrap()
+            .set("posx", (key * 2) as f64)
+            .unwrap()
+            .set("posy", ((key * 7) % 30) as f64)
+            .unwrap()
+            .set("health", 20i64)
+            .unwrap()
+            .build();
+        table.insert(unit).unwrap();
+    }
+
+    // 3. Game mechanics: the post-processing query of Example 4.1.
+    let mechanics = Mechanics {
+        post: paper_postprocessor(&schema, 1.0, 2).expect("paper schema"),
+        movement: None,
+        resurrect: None,
+    };
+
+    // 4. Compile the script, build and run the game (indexed execution).
+    let mut sim = GameBuilder::new(Arc::clone(&schema), registry, mechanics)
+        .seed(7)
+        .script("skirmish", SCRIPT, UnitSelector::All)
+        .build(table)
+        .expect("script compiles");
+
+    for _ in 0..10 {
+        let report = sim.step().expect("tick succeeds");
+        println!(
+            "tick {:>2}: {:>2} units alive, {} aggregate probes, {} index probes",
+            report.tick, report.population, report.exec.aggregate_probes, report.exec.index_probes
+        );
+    }
+}

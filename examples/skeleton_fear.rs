@@ -1,0 +1,97 @@
+//! The motivating example from the paper's introduction: units flee when a
+//! horde of skeletons marches into view, otherwise they stand and fight.
+//! Demonstrates individual (per-unit) behaviour that classic centralized RTS
+//! AI cannot express: only the units that actually see too many skeletons run.
+//!
+//! ```text
+//! cargo run --release --example skeleton_fear
+//! ```
+
+use std::sync::Arc;
+
+use sgl::battle::{battle_mechanics, battle_registry, battle_schema, UnitKind, SKELETON_FEAR_SCRIPT};
+use sgl::engine::UnitSelector;
+use sgl::env::{EnvTable, TupleBuilder, Value};
+use sgl::GameBuilder;
+
+fn main() {
+    let schema = battle_schema().into_shared();
+    let registry = battle_registry();
+    let mut table = EnvTable::new(Arc::clone(&schema));
+
+    // A thin line of defenders (player 0, archers) facing a horde of
+    // skeletons (player 1, knights) marching from the right.
+    let mut key = 0i64;
+    let mut add = |player: i64, kind: UnitKind, x: f64, y: f64, table: &mut EnvTable| {
+        let stats = kind.stats();
+        let unit = TupleBuilder::new(&schema)
+            .set("key", key)
+            .unwrap()
+            .set("player", player)
+            .unwrap()
+            .set("unittype", kind.code())
+            .unwrap()
+            .set("posx", x)
+            .unwrap()
+            .set("posy", y)
+            .unwrap()
+            .set("health", stats.max_health)
+            .unwrap()
+            .set("max_health", stats.max_health)
+            .unwrap()
+            .set("range", stats.range)
+            .unwrap()
+            .set("sight", stats.sight)
+            .unwrap()
+            .set("morale", stats.morale)
+            .unwrap()
+            .set("armor", stats.armor)
+            .unwrap()
+            .set("strength", stats.strength)
+            .unwrap()
+            .build();
+        table.insert(unit).unwrap();
+        key += 1;
+    };
+    for i in 0..12 {
+        add(0, UnitKind::Archer, 20.0, 10.0 + 3.0 * i as f64, &mut table);
+    }
+    for i in 0..60 {
+        add(1, UnitKind::Knight, 45.0 + (i % 6) as f64 * 2.0, 8.0 + (i / 6) as f64 * 4.0, &mut table);
+    }
+
+    let mechanics = battle_mechanics(&schema, 80.0, false);
+    let unittype = schema.attr_id("unittype").unwrap();
+    let posx = schema.attr_id("posx").unwrap();
+    let mut sim = GameBuilder::new(Arc::clone(&schema), registry, mechanics)
+        .seed(3)
+        .script(
+            "defenders",
+            SKELETON_FEAR_SCRIPT,
+            UnitSelector::AttrEquals(unittype, Value::Int(UnitKind::Archer.code())),
+        )
+        .script(
+            "skeletons",
+            "main(u) { perform MoveInDirection(u, 0, u.posy); }",
+            UnitSelector::AttrEquals(unittype, Value::Int(UnitKind::Knight.code())),
+        )
+        .build(table)
+        .expect("scripts compile");
+
+    for tick in 0..30 {
+        sim.step().expect("tick succeeds");
+        if tick % 5 == 4 {
+            // Report the average x position of the defenders: it moves left
+            // (away from the horde) once the skeletons come into sight.
+            let player = schema.attr_id("player").unwrap();
+            let (mut sum, mut n) = (0.0, 0);
+            for (_, row) in sim.table().iter() {
+                if row.get_i64(player).unwrap() == 0 {
+                    sum += row.get_f64(posx).unwrap();
+                    n += 1;
+                }
+            }
+            println!("tick {:>2}: {} defenders alive, mean x = {:.1}", tick + 1, n, sum / n.max(1) as f64);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Cross-crate integration tests: the naive and the indexed executors must
+//! agree on the game they simulate (the optimization is purely a performance
+//! transformation), and the battle case study must exercise the whole stack.
+
+use sgl::battle::{BattleScenario, ScenarioConfig};
+use sgl::exec::ExecMode;
+
+fn scenario(units: usize, seed: u64) -> BattleScenario {
+    BattleScenario::generate(ScenarioConfig { units, density: 0.02, seed, ..ScenarioConfig::default() })
+}
+
+#[test]
+fn naive_and_indexed_battles_agree_on_integer_state() {
+    let scenario = scenario(60, 77);
+    let mut naive = scenario.build_simulation(ExecMode::Naive);
+    let mut indexed = scenario.build_simulation(ExecMode::Indexed);
+    let schema = scenario.schema.clone();
+    let health = schema.attr_id("health").unwrap();
+    let cooldown = schema.attr_id("cooldown").unwrap();
+    let posx = schema.attr_id("posx").unwrap();
+    let posy = schema.attr_id("posy").unwrap();
+
+    for tick in 0..4 {
+        naive.step().unwrap();
+        indexed.step().unwrap();
+        assert_eq!(naive.table().sorted_keys(), indexed.table().sorted_keys(), "tick {tick}");
+        for key in naive.table().sorted_keys() {
+            let a = naive.table().row(naive.table().find_key_readonly(key).unwrap());
+            let b = indexed.table().row(indexed.table().find_key_readonly(key).unwrap());
+            assert_eq!(a.get_i64(health).unwrap(), b.get_i64(health).unwrap(), "tick {tick} unit {key} health");
+            assert_eq!(
+                a.get_i64(cooldown).unwrap(),
+                b.get_i64(cooldown).unwrap(),
+                "tick {tick} unit {key} cooldown"
+            );
+            // Positions agree up to floating-point summation order.
+            assert!((a.get_f64(posx).unwrap() - b.get_f64(posx).unwrap()).abs() < 1e-6);
+            assert!((a.get_f64(posy).unwrap() - b.get_f64(posy).unwrap()).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn indexed_battle_does_substantially_less_aggregate_work() {
+    let scenario = scenario(120, 5);
+    let mut naive = scenario.build_simulation(ExecMode::Naive);
+    let mut indexed = scenario.build_simulation(ExecMode::Indexed);
+    let ns = naive.run(2).unwrap();
+    let is = indexed.run(2).unwrap();
+    // Same number of per-unit aggregate probes are *requested*...
+    assert_eq!(ns.exec.aggregate_probes, is.exec.aggregate_probes);
+    // ...but the naive engine answers them all by scanning, the indexed one
+    // answers none of them that way.
+    assert!(ns.exec.naive_scans > 0);
+    assert_eq!(is.exec.naive_scans, 0);
+    assert!(is.exec.index_probes + is.exec.shared_hits > 0);
+    // Index construction is shared across probes: far fewer builds than probes.
+    assert!(is.exec.indexes_built * 10 < is.exec.index_probes.max(1));
+}
+
+#[test]
+fn battles_are_deterministic_for_a_fixed_seed() {
+    let a = scenario(50, 123);
+    let b = scenario(50, 123);
+    let mut sim_a = a.build_simulation(ExecMode::Indexed);
+    let mut sim_b = b.build_simulation(ExecMode::Indexed);
+    for _ in 0..5 {
+        sim_a.step().unwrap();
+        sim_b.step().unwrap();
+    }
+    let schema = a.schema.clone();
+    let health = schema.attr_id("health").unwrap();
+    let posx = schema.attr_id("posx").unwrap();
+    assert_eq!(sim_a.table().sorted_keys(), sim_b.table().sorted_keys());
+    for key in sim_a.table().sorted_keys() {
+        let ra = sim_a.table().row(sim_a.table().find_key_readonly(key).unwrap());
+        let rb = sim_b.table().row(sim_b.table().find_key_readonly(key).unwrap());
+        assert_eq!(ra.get_i64(health).unwrap(), rb.get_i64(health).unwrap());
+        assert_eq!(ra.get_f64(posx).unwrap(), rb.get_f64(posx).unwrap());
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_battles() {
+    let mut sim_a = scenario(50, 1).build_simulation(ExecMode::Indexed);
+    let mut sim_b = scenario(50, 2).build_simulation(ExecMode::Indexed);
+    sim_a.run(3).unwrap();
+    sim_b.run(3).unwrap();
+    let posx = sim_a.table().schema().attr_id("posx").unwrap();
+    let xs_a: Vec<i64> = sim_a.table().rows().iter().map(|r| (r.get_f64(posx).unwrap() * 100.0) as i64).collect();
+    let xs_b: Vec<i64> = sim_b.table().rows().iter().map(|r| (r.get_f64(posx).unwrap() * 100.0) as i64).collect();
+    assert_ne!(xs_a, xs_b);
+}
