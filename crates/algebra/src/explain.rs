@@ -31,14 +31,24 @@ fn write_node(out: &mut String, plan: &LogicalPlan, level: usize) {
         }
         LogicalPlan::ExtendAgg { input, name, call } => {
             let args: Vec<String> = call.args.iter().map(term_to_string).collect();
-            let _ = writeln!(out, "ExtendAgg π[*, {}({}) AS {}]", call.name, args.join(", "), name);
+            let _ = writeln!(
+                out,
+                "ExtendAgg π[*, {}({}) AS {}]",
+                call.name,
+                args.join(", "),
+                name
+            );
             write_node(out, input, level + 1);
         }
         LogicalPlan::ExtendExpr { input, name, term } => {
             let _ = writeln!(out, "ExtendExpr π[*, {} AS {}]", term_to_string(term), name);
             write_node(out, input, level + 1);
         }
-        LogicalPlan::Apply { input, action, args } => {
+        LogicalPlan::Apply {
+            input,
+            action,
+            args,
+        } => {
             let args: Vec<String> = args.iter().map(term_to_string).collect();
             let _ = writeln!(out, "Apply {}⊕({})", action, args.join(", "));
             write_node(out, input, level + 1);
@@ -60,7 +70,11 @@ fn write_node(out: &mut String, plan: &LogicalPlan, level: usize) {
 pub fn stats_line(stats: &PlanStats) -> String {
     format!(
         "{} nodes, {} aggregate extensions ({} distinct), {} actions, depth {}",
-        stats.nodes, stats.aggregate_nodes, stats.distinct_aggregates, stats.apply_nodes, stats.depth
+        stats.nodes,
+        stats.aggregate_nodes,
+        stats.distinct_aggregates,
+        stats.apply_nodes,
+        stats.depth
     )
 }
 

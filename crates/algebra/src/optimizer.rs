@@ -97,7 +97,11 @@ pub fn optimize(plan: LogicalPlan, registry: &Registry) -> Optimized {
 }
 
 /// Optimize a plan with an explicit rule selection.
-pub fn optimize_with(plan: LogicalPlan, registry: &Registry, options: OptimizerOptions) -> Optimized {
+pub fn optimize_with(
+    plan: LogicalPlan,
+    registry: &Registry,
+    options: OptimizerOptions,
+) -> Optimized {
     let before = plan_stats(&plan);
     let mut current = plan;
     if options.combine_flattening {
@@ -121,7 +125,11 @@ pub fn optimize_with(plan: LogicalPlan, registry: &Registry, options: OptimizerO
         current = flatten_combines(current);
     }
     let after = plan_stats(&current);
-    Optimized { plan: current, before, after }
+    Optimized {
+        plan: current,
+        before,
+        after,
+    }
 }
 
 /// A crude per-tick cost estimate (in "aggregate row visits") used to compare
@@ -164,7 +172,15 @@ pub fn estimate_cost(plan: &LogicalPlan, n: usize, selectivity: f64) -> CostEsti
                 // selection itself reduces the flow for operators above it,
                 // which is modelled by the caller passing `flow` downward
                 // (plans grow top-down from the root, so we multiply here).
-                walk(input, flow / selectivity.max(f64::EPSILON), n_f, log_n, selectivity, naive, probe);
+                walk(
+                    input,
+                    flow / selectivity.max(f64::EPSILON),
+                    n_f,
+                    log_n,
+                    selectivity,
+                    naive,
+                    probe,
+                );
             }
             LogicalPlan::ExtendAgg { input, .. } => {
                 *naive += flow * n_f;
@@ -199,15 +215,31 @@ pub fn estimate_cost(plan: &LogicalPlan, n: usize, selectivity: f64) -> CostEsti
     // back out as we descend through selections (see Select arm).
     let selections = count_selections_on_spine(plan);
     let root_flow = n_f * selectivity.powi(selections as i32);
-    walk(plan, root_flow, n_f, log_n, selectivity, &mut naive, &mut probe_cost);
+    walk(
+        plan,
+        root_flow,
+        n_f,
+        log_n,
+        selectivity,
+        &mut naive,
+        &mut probe_cost,
+    );
     let distinct = plan_stats(plan).distinct_aggregates as f64;
     let build_cost = distinct * n_f * log_n;
-    CostEstimate { naive, indexed: build_cost + probe_cost }
+    CostEstimate {
+        naive,
+        indexed: build_cost + probe_cost,
+    }
 }
 
 fn count_selections_on_spine(plan: &LogicalPlan) -> usize {
     let own = usize::from(matches!(plan, LogicalPlan::Select { .. }));
-    own + plan.children().iter().map(|c| count_selections_on_spine(c)).max().unwrap_or(0)
+    own + plan
+        .children()
+        .iter()
+        .map(|c| count_selections_on_spine(c))
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -69,22 +69,37 @@ pub enum LogicalPlan {
 impl LogicalPlan {
     /// Wrap in a selection.
     pub fn select(self, predicate: Cond) -> LogicalPlan {
-        LogicalPlan::Select { input: Box::new(self), predicate }
+        LogicalPlan::Select {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     /// Wrap in an aggregate extension.
     pub fn extend_agg(self, name: impl Into<String>, call: AggCall) -> LogicalPlan {
-        LogicalPlan::ExtendAgg { input: Box::new(self), name: name.into(), call }
+        LogicalPlan::ExtendAgg {
+            input: Box::new(self),
+            name: name.into(),
+            call,
+        }
     }
 
     /// Wrap in an expression extension.
     pub fn extend_expr(self, name: impl Into<String>, term: Term) -> LogicalPlan {
-        LogicalPlan::ExtendExpr { input: Box::new(self), name: name.into(), term }
+        LogicalPlan::ExtendExpr {
+            input: Box::new(self),
+            name: name.into(),
+            term,
+        }
     }
 
     /// Wrap in an action application.
     pub fn apply(self, action: impl Into<String>, args: Vec<Term>) -> LogicalPlan {
-        LogicalPlan::Apply { input: Box::new(self), action: action.into(), args }
+        LogicalPlan::Apply {
+            input: Box::new(self),
+            action: action.into(),
+            args,
+        }
     }
 
     /// Number of nodes in the plan tree.
@@ -116,13 +131,21 @@ impl LogicalPlan {
     /// Count the aggregate-extension nodes in the plan.
     pub fn count_agg_nodes(&self) -> usize {
         let own = usize::from(matches!(self, LogicalPlan::ExtendAgg { .. }));
-        own + self.children().iter().map(|c| c.count_agg_nodes()).sum::<usize>()
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.count_agg_nodes())
+            .sum::<usize>()
     }
 
     /// Count the action-application nodes in the plan.
     pub fn count_apply_nodes(&self) -> usize {
         let own = usize::from(matches!(self, LogicalPlan::Apply { .. }));
-        own + self.children().iter().map(|c| c.count_apply_nodes()).sum::<usize>()
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.count_apply_nodes())
+            .sum::<usize>()
     }
 
     /// Collect every aggregate call in the plan (with duplicates).
@@ -167,7 +190,10 @@ mod tests {
     use sgl_lang::ast::CmpOp;
 
     fn sample_plan() -> LogicalPlan {
-        let count = AggCall { name: "CountEnemiesInRange".into(), args: vec![Term::unit("range")] };
+        let count = AggCall {
+            name: "CountEnemiesInRange".into(),
+            args: vec![Term::unit("range")],
+        };
         let branch1 = LogicalPlan::Scan
             .extend_agg("c", count.clone())
             .select(Cond::cmp(CmpOp::Gt, Term::name("c"), Term::int(3)))
@@ -177,7 +203,9 @@ mod tests {
             .select(Cond::cmp(CmpOp::Le, Term::name("c"), Term::int(3)))
             .apply("FireAt", vec![Term::name("target")]);
         LogicalPlan::CombineWithEnv {
-            input: Box::new(LogicalPlan::Combine { inputs: vec![branch1, branch2] }),
+            input: Box::new(LogicalPlan::Combine {
+                inputs: vec![branch1, branch2],
+            }),
         }
     }
 
@@ -194,7 +222,9 @@ mod tests {
 
     #[test]
     fn builders_nest_correctly() {
-        let plan = LogicalPlan::Scan.select(Cond::Lit(true)).extend_expr("x", Term::int(1));
+        let plan = LogicalPlan::Scan
+            .select(Cond::Lit(true))
+            .extend_expr("x", Term::int(1));
         match plan {
             LogicalPlan::ExtendExpr { input, name, .. } => {
                 assert_eq!(name, "x");

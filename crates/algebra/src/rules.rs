@@ -72,7 +72,10 @@ pub fn eliminate_dead_columns(plan: LogicalPlan) -> LogicalPlan {
             LogicalPlan::Select { input, predicate } => {
                 let mut needed = needed.clone();
                 cond_names(&predicate, &mut needed);
-                LogicalPlan::Select { input: Box::new(walk(*input, &needed)), predicate }
+                LogicalPlan::Select {
+                    input: Box::new(walk(*input, &needed)),
+                    predicate,
+                }
             }
             LogicalPlan::ExtendAgg { input, name, call } => {
                 if !needed.contains(&name) {
@@ -83,7 +86,11 @@ pub fn eliminate_dead_columns(plan: LogicalPlan) -> LogicalPlan {
                 for arg in &call.args {
                     term_names(arg, &mut needed);
                 }
-                LogicalPlan::ExtendAgg { input: Box::new(walk(*input, &needed)), name, call }
+                LogicalPlan::ExtendAgg {
+                    input: Box::new(walk(*input, &needed)),
+                    name,
+                    call,
+                }
             }
             LogicalPlan::ExtendExpr { input, name, term } => {
                 if !needed.contains(&name) {
@@ -92,21 +99,33 @@ pub fn eliminate_dead_columns(plan: LogicalPlan) -> LogicalPlan {
                 let mut needed = needed.clone();
                 needed.remove(&name);
                 term_names(&term, &mut needed);
-                LogicalPlan::ExtendExpr { input: Box::new(walk(*input, &needed)), name, term }
+                LogicalPlan::ExtendExpr {
+                    input: Box::new(walk(*input, &needed)),
+                    name,
+                    term,
+                }
             }
-            LogicalPlan::Apply { input, action, args } => {
+            LogicalPlan::Apply {
+                input,
+                action,
+                args,
+            } => {
                 let mut needed = needed.clone();
                 for arg in &args {
                     term_names(arg, &mut needed);
                 }
-                LogicalPlan::Apply { input: Box::new(walk(*input, &needed)), action, args }
+                LogicalPlan::Apply {
+                    input: Box::new(walk(*input, &needed)),
+                    action,
+                    args,
+                }
             }
             LogicalPlan::Combine { inputs } => LogicalPlan::Combine {
                 inputs: inputs.into_iter().map(|p| walk(p, needed)).collect(),
             },
-            LogicalPlan::CombineWithEnv { input } => {
-                LogicalPlan::CombineWithEnv { input: Box::new(walk(*input, needed)) }
-            }
+            LogicalPlan::CombineWithEnv { input } => LogicalPlan::CombineWithEnv {
+                input: Box::new(walk(*input, needed)),
+            },
         }
     }
     walk(plan, &FxHashSet::default())
@@ -123,39 +142,64 @@ pub fn pull_up_extensions(plan: LogicalPlan) -> LogicalPlan {
                 let mut pred_names = FxHashSet::default();
                 cond_names(&predicate, &mut pred_names);
                 match input {
-                    LogicalPlan::ExtendAgg { input: inner, name, call } if !pred_names.contains(&name) => {
+                    LogicalPlan::ExtendAgg {
+                        input: inner,
+                        name,
+                        call,
+                    } if !pred_names.contains(&name) => {
                         // σp(π∗,agg AS name(R)) = π∗,agg AS name(σp(R))
                         rewrite(LogicalPlan::ExtendAgg {
-                            input: Box::new(LogicalPlan::Select { input: inner, predicate }),
+                            input: Box::new(LogicalPlan::Select {
+                                input: inner,
+                                predicate,
+                            }),
                             name,
                             call,
                         })
                     }
-                    LogicalPlan::ExtendExpr { input: inner, name, term } if !pred_names.contains(&name) => {
-                        rewrite(LogicalPlan::ExtendExpr {
-                            input: Box::new(LogicalPlan::Select { input: inner, predicate }),
-                            name,
-                            term,
-                        })
-                    }
-                    other => LogicalPlan::Select { input: Box::new(other), predicate },
+                    LogicalPlan::ExtendExpr {
+                        input: inner,
+                        name,
+                        term,
+                    } if !pred_names.contains(&name) => rewrite(LogicalPlan::ExtendExpr {
+                        input: Box::new(LogicalPlan::Select {
+                            input: inner,
+                            predicate,
+                        }),
+                        name,
+                        term,
+                    }),
+                    other => LogicalPlan::Select {
+                        input: Box::new(other),
+                        predicate,
+                    },
                 }
             }
-            LogicalPlan::ExtendAgg { input, name, call } => {
-                LogicalPlan::ExtendAgg { input: Box::new(rewrite(*input)), name, call }
-            }
-            LogicalPlan::ExtendExpr { input, name, term } => {
-                LogicalPlan::ExtendExpr { input: Box::new(rewrite(*input)), name, term }
-            }
-            LogicalPlan::Apply { input, action, args } => {
-                LogicalPlan::Apply { input: Box::new(rewrite(*input)), action, args }
-            }
-            LogicalPlan::Combine { inputs } => {
-                LogicalPlan::Combine { inputs: inputs.into_iter().map(rewrite).collect() }
-            }
-            LogicalPlan::CombineWithEnv { input } => {
-                LogicalPlan::CombineWithEnv { input: Box::new(rewrite(*input)) }
-            }
+            LogicalPlan::ExtendAgg { input, name, call } => LogicalPlan::ExtendAgg {
+                input: Box::new(rewrite(*input)),
+                name,
+                call,
+            },
+            LogicalPlan::ExtendExpr { input, name, term } => LogicalPlan::ExtendExpr {
+                input: Box::new(rewrite(*input)),
+                name,
+                term,
+            },
+            LogicalPlan::Apply {
+                input,
+                action,
+                args,
+            } => LogicalPlan::Apply {
+                input: Box::new(rewrite(*input)),
+                action,
+                args,
+            },
+            LogicalPlan::Combine { inputs } => LogicalPlan::Combine {
+                inputs: inputs.into_iter().map(rewrite).collect(),
+            },
+            LogicalPlan::CombineWithEnv { input } => LogicalPlan::CombineWithEnv {
+                input: Box::new(rewrite(*input)),
+            },
             leaf => leaf,
         }
     }
@@ -180,21 +224,32 @@ pub fn flatten_combines(plan: LogicalPlan) -> LogicalPlan {
                 _ => LogicalPlan::Combine { inputs: flat },
             }
         }
-        LogicalPlan::Select { input, predicate } => {
-            LogicalPlan::Select { input: Box::new(flatten_combines(*input)), predicate }
-        }
-        LogicalPlan::ExtendAgg { input, name, call } => {
-            LogicalPlan::ExtendAgg { input: Box::new(flatten_combines(*input)), name, call }
-        }
-        LogicalPlan::ExtendExpr { input, name, term } => {
-            LogicalPlan::ExtendExpr { input: Box::new(flatten_combines(*input)), name, term }
-        }
-        LogicalPlan::Apply { input, action, args } => {
-            LogicalPlan::Apply { input: Box::new(flatten_combines(*input)), action, args }
-        }
-        LogicalPlan::CombineWithEnv { input } => {
-            LogicalPlan::CombineWithEnv { input: Box::new(flatten_combines(*input)) }
-        }
+        LogicalPlan::Select { input, predicate } => LogicalPlan::Select {
+            input: Box::new(flatten_combines(*input)),
+            predicate,
+        },
+        LogicalPlan::ExtendAgg { input, name, call } => LogicalPlan::ExtendAgg {
+            input: Box::new(flatten_combines(*input)),
+            name,
+            call,
+        },
+        LogicalPlan::ExtendExpr { input, name, term } => LogicalPlan::ExtendExpr {
+            input: Box::new(flatten_combines(*input)),
+            name,
+            term,
+        },
+        LogicalPlan::Apply {
+            input,
+            action,
+            args,
+        } => LogicalPlan::Apply {
+            input: Box::new(flatten_combines(*input)),
+            action,
+            args,
+        },
+        LogicalPlan::CombineWithEnv { input } => LogicalPlan::CombineWithEnv {
+            input: Box::new(flatten_combines(*input)),
+        },
         leaf => leaf,
     }
 }
@@ -262,14 +317,16 @@ fn branches_partition(inputs: &[LogicalPlan]) -> bool {
 pub fn eliminate_env_combine(plan: LogicalPlan, registry: &Registry) -> LogicalPlan {
     match plan {
         LogicalPlan::CombineWithEnv { input } => {
-            let all_actions_cover_self =
-                input.action_names().iter().all(|a| action_covers_self(registry, a));
+            let all_actions_cover_self = input
+                .action_names()
+                .iter()
+                .all(|a| action_covers_self(registry, a));
             let partitions = match input.as_ref() {
                 LogicalPlan::Combine { inputs } => branches_partition(inputs),
                 // A single branch over the whole environment trivially covers it.
-                LogicalPlan::Apply { .. } | LogicalPlan::ExtendAgg { .. } | LogicalPlan::ExtendExpr { .. } => {
-                    !plan_has_selection(&input)
-                }
+                LogicalPlan::Apply { .. }
+                | LogicalPlan::ExtendAgg { .. }
+                | LogicalPlan::ExtendExpr { .. } => !plan_has_selection(&input),
                 _ => false,
             };
             if all_actions_cover_self && partitions && input.count_apply_nodes() > 0 {
@@ -296,11 +353,17 @@ mod tests {
     use sgl_lang::builtins::paper_registry;
 
     fn count_call() -> AggCall {
-        AggCall { name: "CountEnemiesInRange".into(), args: vec![Term::int(10)] }
+        AggCall {
+            name: "CountEnemiesInRange".into(),
+            args: vec![Term::int(10)],
+        }
     }
 
     fn centroid_call() -> AggCall {
-        AggCall { name: "CentroidOfEnemyUnits".into(), args: vec![Term::int(10)] }
+        AggCall {
+            name: "CentroidOfEnemyUnits".into(),
+            args: vec![Term::int(10)],
+        }
     }
 
     #[test]
@@ -332,7 +395,10 @@ mod tests {
         // `away` depends on `mid`, but `away` itself is unused → both go.
         let plan = LogicalPlan::Scan
             .extend_agg("mid", centroid_call())
-            .extend_expr("away", Term::bin(sgl_lang::ast::BinOp::Add, Term::name("mid"), Term::int(1)))
+            .extend_expr(
+                "away",
+                Term::bin(sgl_lang::ast::BinOp::Add, Term::name("mid"), Term::int(1)),
+            )
             .apply("Heal", vec![]);
         let optimized = eliminate_dead_columns(plan);
         assert_eq!(optimized.count_agg_nodes(), 0);
@@ -385,14 +451,21 @@ mod tests {
         match optimized {
             LogicalPlan::Combine { inputs } => {
                 assert_eq!(inputs.len(), 2);
-                assert!(inputs.iter().all(|p| matches!(p, LogicalPlan::Apply { .. })));
+                assert!(inputs
+                    .iter()
+                    .all(|p| matches!(p, LogicalPlan::Apply { .. })));
             }
             other => panic!("unexpected {other:?}"),
         }
         // A combine of nothing is empty; of one thing is that thing.
-        assert_eq!(flatten_combines(LogicalPlan::Combine { inputs: vec![] }), LogicalPlan::Empty);
         assert_eq!(
-            flatten_combines(LogicalPlan::Combine { inputs: vec![LogicalPlan::Scan.apply("Heal", vec![])] }),
+            flatten_combines(LogicalPlan::Combine { inputs: vec![] }),
+            LogicalPlan::Empty
+        );
+        assert_eq!(
+            flatten_combines(LogicalPlan::Combine {
+                inputs: vec![LogicalPlan::Scan.apply("Heal", vec![])]
+            }),
             LogicalPlan::Scan.apply("Heal", vec![])
         );
     }
@@ -410,7 +483,9 @@ mod tests {
             .select(Cond::not(pred))
             .apply("FireAt", vec![Term::int(7)]);
         let plan = LogicalPlan::CombineWithEnv {
-            input: Box::new(LogicalPlan::Combine { inputs: vec![branch1, branch2] }),
+            input: Box::new(LogicalPlan::Combine {
+                inputs: vec![branch1, branch2],
+            }),
         };
         let optimized = eliminate_env_combine(plan, &registry);
         assert!(matches!(optimized, LogicalPlan::Combine { .. }));
@@ -426,7 +501,9 @@ mod tests {
             .select(Cond::cmp(CmpOp::Lt, Term::unit("health"), Term::int(2)))
             .apply("FireAt", vec![Term::int(7)]);
         let plan = LogicalPlan::CombineWithEnv {
-            input: Box::new(LogicalPlan::Combine { inputs: vec![branch1, branch2] }),
+            input: Box::new(LogicalPlan::Combine {
+                inputs: vec![branch1, branch2],
+            }),
         };
         let optimized = eliminate_env_combine(plan.clone(), &registry);
         assert_eq!(optimized, plan);
@@ -450,10 +527,15 @@ mod tests {
     fn env_combine_elimination_single_unconditional_action() {
         let registry = paper_registry();
         let plan = LogicalPlan::CombineWithEnv {
-            input: Box::new(LogicalPlan::Scan.apply("MoveInDirection", vec![Term::int(1), Term::int(1)])),
+            input: Box::new(
+                LogicalPlan::Scan.apply("MoveInDirection", vec![Term::int(1), Term::int(1)]),
+            ),
         };
         let optimized = eliminate_env_combine(plan, &registry);
-        assert_eq!(optimized, LogicalPlan::Scan.apply("MoveInDirection", vec![Term::int(1), Term::int(1)]));
+        assert_eq!(
+            optimized,
+            LogicalPlan::Scan.apply("MoveInDirection", vec![Term::int(1), Term::int(1)])
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@ use crate::plan::LogicalPlan;
 /// interpret it set-at-a-time.
 pub fn translate(script: &NormalScript) -> LogicalPlan {
     let body = translate_action(&script.body, LogicalPlan::Scan);
-    LogicalPlan::CombineWithEnv { input: Box::new(body) }
+    LogicalPlan::CombineWithEnv {
+        input: Box::new(body),
+    }
 }
 
 /// Translate an action given the plan computing its input relation.
@@ -57,11 +59,16 @@ pub fn translate_action(action: &Action, input: LogicalPlan) -> LogicalPlan {
                 None => then_plan,
                 Some(e) => {
                     let else_plan = translate_action(e, input.select(Cond::not(cond.clone())));
-                    match (matches!(then_plan, LogicalPlan::Empty), matches!(else_plan, LogicalPlan::Empty)) {
+                    match (
+                        matches!(then_plan, LogicalPlan::Empty),
+                        matches!(else_plan, LogicalPlan::Empty),
+                    ) {
                         (true, true) => LogicalPlan::Empty,
                         (true, false) => else_plan,
                         (false, true) => then_plan,
-                        (false, false) => LogicalPlan::Combine { inputs: vec![then_plan, else_plan] },
+                        (false, false) => LogicalPlan::Combine {
+                            inputs: vec![then_plan, else_plan],
+                        },
                     }
                 }
             }
@@ -86,7 +93,12 @@ mod tests {
     #[test]
     fn empty_script_translates_to_empty_effects() {
         let plan = plan_for("main(u) { }");
-        assert_eq!(plan, LogicalPlan::CombineWithEnv { input: Box::new(LogicalPlan::Empty) });
+        assert_eq!(
+            plan,
+            LogicalPlan::CombineWithEnv {
+                input: Box::new(LogicalPlan::Empty)
+            }
+        );
     }
 
     #[test]
@@ -182,7 +194,12 @@ mod tests {
         }
         // An if with two empty branches is just empty.
         let plan = plan_for("main(u) { if u.cooldown = 0 then ; else ; }");
-        assert_eq!(plan, LogicalPlan::CombineWithEnv { input: Box::new(LogicalPlan::Empty) });
+        assert_eq!(
+            plan,
+            LogicalPlan::CombineWithEnv {
+                input: Box::new(LogicalPlan::Empty)
+            }
+        );
     }
 
     #[test]

@@ -41,8 +41,12 @@ pub enum Formation {
 
 impl Formation {
     /// All formations, for sweeps and ablation benchmarks.
-    pub const ALL: [Formation; 4] =
-        [Formation::Scattered, Formation::Line, Formation::Wedge, Formation::Box];
+    pub const ALL: [Formation; 4] = [
+        Formation::Scattered,
+        Formation::Line,
+        Formation::Wedge,
+        Formation::Box,
+    ];
 
     /// Short name for reports.
     pub fn name(self) -> &'static str {
@@ -86,7 +90,10 @@ pub fn place(
     let n = army_size.max(1);
 
     match formation {
-        Formation::Scattered => (rng.gen_range(x_lo..x_hi.max(x_lo + 1e-6)), rng.gen_range(0.0..world.max(1e-6))),
+        Formation::Scattered => (
+            rng.gen_range(x_lo..x_hi.max(x_lo + 1e-6)),
+            rng.gen_range(0.0..world.max(1e-6)),
+        ),
         Formation::Line => {
             // Rank by unit kind (knights 0, archers 1, healers 2), several
             // files per rank; ranks are spaced so the whole army fits in the
@@ -104,14 +111,15 @@ pub fn place(
             // Row r holds r + 1 units; the apex points at the enemy.
             let mut row = 0usize;
             let mut first_in_row = 0usize;
-            while first_in_row + row + 1 <= slot {
+            while first_in_row + row < slot {
                 first_in_row += row + 1;
                 row += 1;
             }
             let index_in_row = slot - first_in_row;
             let spacing = 1.6;
             let x = front + toward_rear * (row as f64 + 0.5) * spacing;
-            let y = world / 2.0 + (index_in_row as f64 - row as f64 / 2.0) * spacing
+            let y = world / 2.0
+                + (index_in_row as f64 - row as f64 / 2.0) * spacing
                 + rng.gen_range(-0.2..0.2);
             (x.clamp(0.0, world), y.clamp(0.0, world))
         }
@@ -182,7 +190,10 @@ mod tests {
         // Player 0: front is at x = 40; larger x = closer to the enemy.
         let (knight_x, _) = place(Formation::Line, 0, 0, 90, UnitKind::Knight, world, &mut rng);
         let (healer_x, _) = place(Formation::Line, 0, 0, 90, UnitKind::Healer, world, &mut rng);
-        assert!(knight_x > healer_x, "knights ({knight_x}) should screen healers ({healer_x})");
+        assert!(
+            knight_x > healer_x,
+            "knights ({knight_x}) should screen healers ({healer_x})"
+        );
         // Player 1: mirrored.
         let (knight_x, _) = place(Formation::Line, 1, 0, 90, UnitKind::Knight, world, &mut rng);
         let (healer_x, _) = place(Formation::Line, 1, 0, 90, UnitKind::Healer, world, &mut rng);
@@ -195,11 +206,18 @@ mod tests {
             let n = points.len() as f64;
             let mx = points.iter().map(|(x, _)| x).sum::<f64>() / n;
             let my = points.iter().map(|(_, y)| y).sum::<f64>() / n;
-            points.iter().map(|(x, y)| ((x - mx).powi(2) + (y - my).powi(2)).sqrt()).sum::<f64>() / n
+            points
+                .iter()
+                .map(|(x, y)| ((x - mx).powi(2) + (y - my).powi(2)).sqrt())
+                .sum::<f64>()
+                / n
         };
         let scattered = spread(&positions(Formation::Scattered, 0, 150, 200.0));
         let boxed = spread(&positions(Formation::Box, 0, 150, 200.0));
-        assert!(boxed < scattered / 2.0, "box spread {boxed} vs scattered {scattered}");
+        assert!(
+            boxed < scattered / 2.0,
+            "box spread {boxed} vs scattered {scattered}"
+        );
     }
 
     #[test]
@@ -208,8 +226,24 @@ mod tests {
         let world = 100.0;
         // Slot 0 is the apex (row 0); slot 10 is in a later row, further from
         // the front for player 0 (smaller x).
-        let (apex_x, _) = place(Formation::Wedge, 0, 0, 60, UnitKind::Knight, world, &mut rng);
-        let (rear_x, _) = place(Formation::Wedge, 0, 10, 60, UnitKind::Knight, world, &mut rng);
+        let (apex_x, _) = place(
+            Formation::Wedge,
+            0,
+            0,
+            60,
+            UnitKind::Knight,
+            world,
+            &mut rng,
+        );
+        let (rear_x, _) = place(
+            Formation::Wedge,
+            0,
+            10,
+            60,
+            UnitKind::Knight,
+            world,
+            &mut rng,
+        );
         assert!(apex_x > rear_x);
     }
 

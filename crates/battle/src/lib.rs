@@ -67,9 +67,30 @@ impl UnitKind {
     /// sight range, strength, morale threshold)`.
     pub fn stats(self) -> UnitStats {
         match self {
-            UnitKind::Knight => UnitStats { max_health: 30, armor: 4, range: 2.0, sight: 20.0, strength: 8, morale: 8 },
-            UnitKind::Archer => UnitStats { max_health: 18, armor: 1, range: 12.0, sight: 24.0, strength: 5, morale: 3 },
-            UnitKind::Healer => UnitStats { max_health: 16, armor: 1, range: 8.0, sight: 24.0, strength: 3, morale: 2 },
+            UnitKind::Knight => UnitStats {
+                max_health: 30,
+                armor: 4,
+                range: 2.0,
+                sight: 20.0,
+                strength: 8,
+                morale: 8,
+            },
+            UnitKind::Archer => UnitStats {
+                max_health: 18,
+                armor: 1,
+                range: 12.0,
+                sight: 24.0,
+                strength: 5,
+                morale: 3,
+            },
+            UnitKind::Healer => UnitStats {
+                max_health: 16,
+                armor: 1,
+                range: 8.0,
+                sight: 24.0,
+                strength: 3,
+                morale: 2,
+            },
         }
     }
 }
@@ -117,13 +138,28 @@ pub fn battle_schema() -> Schema {
 }
 
 fn count_output() -> Vec<AggOutput> {
-    vec![AggOutput { name: "value".into(), func: SimpleAgg::Count, value: Term::int(1), default: Value::Int(0) }]
+    vec![AggOutput {
+        name: "value".into(),
+        func: SimpleAgg::Count,
+        value: Term::int(1),
+        default: Value::Int(0),
+    }]
 }
 
 fn centroid_outputs() -> Vec<AggOutput> {
     vec![
-        AggOutput { name: "x".into(), func: SimpleAgg::Avg, value: Term::row("posx"), default: Value::Float(0.0) },
-        AggOutput { name: "y".into(), func: SimpleAgg::Avg, value: Term::row("posy"), default: Value::Float(0.0) },
+        AggOutput {
+            name: "x".into(),
+            func: SimpleAgg::Avg,
+            value: Term::row("posx"),
+            default: Value::Float(0.0),
+        },
+        AggOutput {
+            name: "y".into(),
+            func: SimpleAgg::Avg,
+            value: Term::row("posy"),
+            default: Value::Float(0.0),
+        },
     ]
 }
 
@@ -134,7 +170,11 @@ fn hit_roll() -> Term {
         sgl_core::lang::BinOp::Div,
         Term::bin(
             sgl_core::lang::BinOp::Add,
-            Term::bin(sgl_core::lang::BinOp::Mod, Term::Random(Box::new(Term::int(1))), Term::int(20)),
+            Term::bin(
+                sgl_core::lang::BinOp::Mod,
+                Term::Random(Box::new(Term::int(1))),
+                Term::int(20),
+            ),
             Term::name("_ATK_BONUS"),
         ),
         Term::int(20),
@@ -146,7 +186,11 @@ fn damage_effect(weapon_damage: &str) -> Term {
     // weapon damage so the effect is never negative.
     Term::bin(
         sgl_core::lang::BinOp::Mul,
-        Term::bin(sgl_core::lang::BinOp::Sub, Term::name(weapon_damage), Term::row("armor")),
+        Term::bin(
+            sgl_core::lang::BinOp::Sub,
+            Term::name(weapon_damage),
+            Term::row("armor"),
+        ),
         hit_roll(),
     )
 }
@@ -174,10 +218,26 @@ pub fn battle_registry() -> Registry {
         filter,
         spec: AggSpec::Simple { outputs },
     };
-    reg.register_aggregate(simple("CountEnemiesInRange", Cond::and(rect("range"), enemy_filter()), count_output()));
-    reg.register_aggregate(simple("CountAlliesInRange", Cond::and(rect("range"), ally_filter()), count_output()));
-    reg.register_aggregate(simple("CentroidOfEnemies", Cond::and(rect("range"), enemy_filter()), centroid_outputs()));
-    reg.register_aggregate(simple("CentroidOfAllies", Cond::and(rect("range"), ally_filter()), centroid_outputs()));
+    reg.register_aggregate(simple(
+        "CountEnemiesInRange",
+        Cond::and(rect("range"), enemy_filter()),
+        count_output(),
+    ));
+    reg.register_aggregate(simple(
+        "CountAlliesInRange",
+        Cond::and(rect("range"), ally_filter()),
+        count_output(),
+    ));
+    reg.register_aggregate(simple(
+        "CentroidOfEnemies",
+        Cond::and(rect("range"), enemy_filter()),
+        centroid_outputs(),
+    ));
+    reg.register_aggregate(simple(
+        "CentroidOfAllies",
+        Cond::and(rect("range"), ally_filter()),
+        centroid_outputs(),
+    ));
     reg.register_aggregate(simple(
         "CentroidOfAllyKnights",
         Cond::and(
@@ -190,14 +250,29 @@ pub fn battle_registry() -> Registry {
         "AllySpreadInRange",
         Cond::and(rect("range"), ally_filter()),
         vec![
-            AggOutput { name: "x".into(), func: SimpleAgg::StdDev, value: Term::row("posx"), default: Value::Float(0.0) },
-            AggOutput { name: "y".into(), func: SimpleAgg::StdDev, value: Term::row("posy"), default: Value::Float(0.0) },
+            AggOutput {
+                name: "x".into(),
+                func: SimpleAgg::StdDev,
+                value: Term::row("posx"),
+                default: Value::Float(0.0),
+            },
+            AggOutput {
+                name: "y".into(),
+                func: SimpleAgg::StdDev,
+                value: Term::row("posy"),
+                default: Value::Float(0.0),
+            },
         ],
     ));
     reg.register_aggregate(simple(
         "EnemyStrengthInRange",
         Cond::and(rect("range"), enemy_filter()),
-        vec![AggOutput { name: "value".into(), func: SimpleAgg::Sum, value: Term::row("strength"), default: Value::Float(0.0) }],
+        vec![AggOutput {
+            name: "value".into(),
+            func: SimpleAgg::Sum,
+            value: Term::row("strength"),
+            default: Value::Float(0.0),
+        }],
     ));
     reg.register_aggregate(simple(
         "MissingAllyHealthInRange",
@@ -205,7 +280,11 @@ pub fn battle_registry() -> Registry {
         vec![AggOutput {
             name: "value".into(),
             func: SimpleAgg::Sum,
-            value: Term::bin(sgl_core::lang::BinOp::Sub, Term::row("max_health"), Term::row("health")),
+            value: Term::bin(
+                sgl_core::lang::BinOp::Sub,
+                Term::row("max_health"),
+                Term::row("health"),
+            ),
             default: Value::Float(0.0),
         }],
     ));
@@ -252,8 +331,22 @@ pub fn battle_registry() -> Registry {
         name: "MoveInDirection".into(),
         params: vec!["u".into(), "x".into(), "y".into()],
         clauses: vec![self_clause(vec![
-            ("movevect_x".into(), Term::bin(sgl_core::lang::BinOp::Sub, Term::name("x"), Term::row("posx"))),
-            ("movevect_y".into(), Term::bin(sgl_core::lang::BinOp::Sub, Term::name("y"), Term::row("posy"))),
+            (
+                "movevect_x".into(),
+                Term::bin(
+                    sgl_core::lang::BinOp::Sub,
+                    Term::name("x"),
+                    Term::row("posx"),
+                ),
+            ),
+            (
+                "movevect_y".into(),
+                Term::bin(
+                    sgl_core::lang::BinOp::Sub,
+                    Term::name("y"),
+                    Term::row("posy"),
+                ),
+            ),
         ])],
     });
     reg.register_action(ActionDef {
@@ -277,7 +370,10 @@ pub fn battle_registry() -> Registry {
         params: vec!["u".into()],
         clauses: vec![
             EffectClause {
-                filter: Cond::and(ally_filter(), rect_range_filter(Term::name("_HEALER_RANGE"))),
+                filter: Cond::and(
+                    ally_filter(),
+                    rect_range_filter(Term::name("_HEALER_RANGE")),
+                ),
                 effects: vec![("inaura".into(), Term::name("_HEAL_AURA"))],
             },
             self_clause(vec![("weaponused".into(), Term::int(1))]),
@@ -388,12 +484,17 @@ pub fn battle_mechanics(schema: &Arc<Schema>, world_side: f64, resurrect: bool) 
     );
     let cooldown_expr = UpdateExpr::max(
         UpdateExpr::add(
-            UpdateExpr::sub(UpdateExpr::State(cooldown), UpdateExpr::Const(Value::Int(1))),
+            UpdateExpr::sub(
+                UpdateExpr::State(cooldown),
+                UpdateExpr::Const(Value::Int(1)),
+            ),
             UpdateExpr::mul(UpdateExpr::Effect(weapon), UpdateExpr::Const(Value::Int(2))),
         ),
         UpdateExpr::Const(Value::Int(0)),
     );
-    let mut post = PostProcessor::new(Arc::clone(schema)).assign(health, health_expr).assign(cooldown, cooldown_expr);
+    let mut post = PostProcessor::new(Arc::clone(schema))
+        .assign(health, health_expr)
+        .assign(cooldown, cooldown_expr);
     if !resurrect {
         post = post.remove_when_le(health, 0i64);
     }
@@ -409,7 +510,13 @@ pub fn battle_mechanics(schema: &Arc<Schema>, world_side: f64, resurrect: bool) 
             world: (0.0, 0.0, world_side, world_side),
         }),
         resurrect: if resurrect {
-            Some(ResurrectConfig { health, max_health, world: (0.0, 0.0, world_side, world_side), x, y })
+            Some(ResurrectConfig {
+                health,
+                max_health,
+                world: (0.0, 0.0, world_side, world_side),
+                x,
+                y,
+            })
         } else {
             None
         },
@@ -435,7 +542,26 @@ mod tests {
     #[test]
     fn battle_schema_has_all_script_attributes() {
         let schema = battle_schema();
-        for attr in ["key", "player", "unittype", "posx", "posy", "health", "max_health", "cooldown", "range", "sight", "morale", "armor", "strength", "weaponused", "movevect_x", "movevect_y", "damage", "inaura"] {
+        for attr in [
+            "key",
+            "player",
+            "unittype",
+            "posx",
+            "posy",
+            "health",
+            "max_health",
+            "cooldown",
+            "range",
+            "sight",
+            "morale",
+            "armor",
+            "strength",
+            "weaponused",
+            "movevect_x",
+            "movevect_y",
+            "damage",
+            "inaura",
+        ] {
             assert!(schema.attr_id(attr).is_some(), "missing attribute {attr}");
         }
     }
@@ -461,8 +587,12 @@ mod tests {
         ] {
             let script = parse_script(src).unwrap_or_else(|e| panic!("{name}: {e}"));
             let normal = normalize(&script, &registry).unwrap_or_else(|e| panic!("{name}: {e}"));
-            let report = check_script(&normal, &schema, &registry).unwrap_or_else(|e| panic!("{name}: {e}"));
-            assert!(report.aggregate_calls >= 3, "{name} should use several aggregates");
+            let report =
+                check_script(&normal, &schema, &registry).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                report.aggregate_calls >= 3,
+                "{name} should use several aggregates"
+            );
             assert!(report.performs >= 1);
         }
     }

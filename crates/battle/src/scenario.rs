@@ -12,7 +12,10 @@ use sgl_core::exec::{ExecConfig, ExecMode};
 use sgl_core::GameBuilder;
 
 use crate::formations::{place, Formation};
-use crate::{battle_mechanics, battle_registry, battle_schema, UnitKind, ARCHER_SCRIPT, HEALER_SCRIPT, KNIGHT_SCRIPT};
+use crate::{
+    battle_mechanics, battle_registry, battle_schema, UnitKind, ARCHER_SCRIPT, HEALER_SCRIPT,
+    KNIGHT_SCRIPT,
+};
 
 /// Fraction of each unit type per player.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,7 +30,11 @@ pub struct UnitMix {
 
 impl Default for UnitMix {
     fn default() -> Self {
-        UnitMix { knights: 1.0 / 3.0, archers: 1.0 / 3.0, healers: 1.0 / 3.0 }
+        UnitMix {
+            knights: 1.0 / 3.0,
+            archers: 1.0 / 3.0,
+            healers: 1.0 / 3.0,
+        }
     }
 }
 
@@ -66,7 +73,9 @@ impl Default for ScenarioConfig {
 impl ScenarioConfig {
     /// Side length of the square world implied by the unit count and density.
     pub fn world_side(&self) -> f64 {
-        ((self.units as f64) / self.density.max(1e-6)).sqrt().max(4.0)
+        ((self.units as f64) / self.density.max(1e-6))
+            .sqrt()
+            .max(4.0)
     }
 }
 
@@ -107,7 +116,15 @@ impl BattleScenario {
                 // Deployment zones keep the armies separated at the start
                 // (player 0 left, player 1 right); the formation decides how
                 // units are arranged inside their zone.
-                let (x, y) = place(config.formation, player, i, per_player, kind, world, &mut rng);
+                let (x, y) = place(
+                    config.formation,
+                    player,
+                    i,
+                    per_player,
+                    kind,
+                    world,
+                    &mut rng,
+                );
                 let tuple = TupleBuilder::new(&schema)
                     .expect_set("key", key)
                     .expect_set("player", player)
@@ -126,7 +143,12 @@ impl BattleScenario {
                 key += 1;
             }
         }
-        BattleScenario { schema, table, world_side: world, config }
+        BattleScenario {
+            schema,
+            table,
+            world_side: world,
+            config,
+        }
     }
 
     /// Build a ready-to-run simulation for this scenario in the given
@@ -142,9 +164,21 @@ impl BattleScenario {
         GameBuilder::new(Arc::clone(&self.schema), registry, mechanics)
             .exec_config(exec)
             .seed(self.config.seed)
-            .script("knight", KNIGHT_SCRIPT, UnitSelector::AttrEquals(unittype, Value::Int(UnitKind::Knight.code())))
-            .script("archer", ARCHER_SCRIPT, UnitSelector::AttrEquals(unittype, Value::Int(UnitKind::Archer.code())))
-            .script("healer", HEALER_SCRIPT, UnitSelector::AttrEquals(unittype, Value::Int(UnitKind::Healer.code())))
+            .script(
+                "knight",
+                KNIGHT_SCRIPT,
+                UnitSelector::AttrEquals(unittype, Value::Int(UnitKind::Knight.code())),
+            )
+            .script(
+                "archer",
+                ARCHER_SCRIPT,
+                UnitSelector::AttrEquals(unittype, Value::Int(UnitKind::Archer.code())),
+            )
+            .script(
+                "healer",
+                HEALER_SCRIPT,
+                UnitSelector::AttrEquals(unittype, Value::Int(UnitKind::Healer.code())),
+            )
             .build(self.table.clone())
             .expect("battle scripts compile")
     }
@@ -185,14 +219,32 @@ impl BattleMeasurement {
 }
 
 /// Run and time a battle with the given parameters.
-pub fn run_battle(units: usize, density: f64, mode: ExecMode, ticks: usize, seed: u64) -> BattleMeasurement {
-    let config = ScenarioConfig { units, density, seed, ..ScenarioConfig::default() };
+pub fn run_battle(
+    units: usize,
+    density: f64,
+    mode: ExecMode,
+    ticks: usize,
+    seed: u64,
+) -> BattleMeasurement {
+    let config = ScenarioConfig {
+        units,
+        density,
+        seed,
+        ..ScenarioConfig::default()
+    };
     let scenario = BattleScenario::generate(config);
     let mut sim = scenario.build_simulation(mode);
     let start = Instant::now();
     let summary = sim.run(ticks).expect("battle ticks succeed");
     let elapsed = start.elapsed();
-    BattleMeasurement { units, density, mode, ticks, elapsed, summary }
+    BattleMeasurement {
+        units,
+        density,
+        mode,
+        ticks,
+        elapsed,
+        summary,
+    }
 }
 
 /// Small extension to build tuples without `unwrap` noise.
@@ -212,7 +264,11 @@ mod tests {
 
     #[test]
     fn scenario_generation_respects_counts_and_world_size() {
-        let config = ScenarioConfig { units: 120, density: 0.01, ..ScenarioConfig::default() };
+        let config = ScenarioConfig {
+            units: 120,
+            density: 0.01,
+            ..ScenarioConfig::default()
+        };
         let scenario = BattleScenario::generate(config);
         assert_eq!(scenario.table.len(), 120);
         let expected_side = (120.0f64 / 0.01).sqrt();
@@ -233,24 +289,40 @@ mod tests {
 
     #[test]
     fn battle_runs_in_both_modes_and_reaches_combat() {
-        let config = ScenarioConfig { units: 60, density: 0.02, seed: 9, ..ScenarioConfig::default() };
+        let config = ScenarioConfig {
+            units: 60,
+            density: 0.02,
+            seed: 9,
+            ..ScenarioConfig::default()
+        };
         let scenario = BattleScenario::generate(config);
         for mode in [ExecMode::Naive, ExecMode::Indexed] {
             let mut sim = scenario.build_simulation(mode);
             let summary = sim.run(10).unwrap();
             assert_eq!(summary.ticks, 10);
-            assert_eq!(summary.final_population, 60, "resurrection keeps the population constant");
+            assert_eq!(
+                summary.final_population, 60,
+                "resurrection keeps the population constant"
+            );
             assert!(summary.exec.aggregate_probes > 0);
         }
     }
 
     #[test]
     fn indexed_mode_answers_battle_aggregates_without_scans() {
-        let config = ScenarioConfig { units: 80, density: 0.02, seed: 4, ..ScenarioConfig::default() };
+        let config = ScenarioConfig {
+            units: 80,
+            density: 0.02,
+            seed: 4,
+            ..ScenarioConfig::default()
+        };
         let scenario = BattleScenario::generate(config);
         let mut sim = scenario.build_simulation(ExecMode::Indexed);
         let summary = sim.run(3).unwrap();
-        assert_eq!(summary.exec.naive_scans, 0, "every battle aggregate should be index-supported");
+        assert_eq!(
+            summary.exec.naive_scans, 0,
+            "every battle aggregate should be index-supported"
+        );
         assert!(summary.exec.index_probes > 0);
     }
 

@@ -66,7 +66,13 @@ pub struct SkeletonConfig {
 
 impl Default for SkeletonConfig {
     fn default() -> Self {
-        SkeletonConfig { defenders: 100, skeletons: 400, density: 0.01, seed: 7, resurrect: true }
+        SkeletonConfig {
+            defenders: 100,
+            skeletons: 400,
+            density: 0.01,
+            seed: 7,
+            resurrect: true,
+        }
     }
 }
 
@@ -78,7 +84,9 @@ impl SkeletonConfig {
 
     /// Side length of the square world implied by the unit count and density.
     pub fn world_side(&self) -> f64 {
-        ((self.units() as f64) / self.density.max(1e-6)).sqrt().max(4.0)
+        ((self.units() as f64) / self.density.max(1e-6))
+            .sqrt()
+            .max(4.0)
     }
 }
 
@@ -105,42 +113,38 @@ impl SkeletonScenario {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let mut key = 0i64;
 
-        let spawn = |table: &mut EnvTable,
-                         key: &mut i64,
-                         player: i64,
-                         kind: UnitKind,
-                         x: f64,
-                         y: f64| {
-            let stats = kind.stats();
-            let tuple = TupleBuilder::new(&schema)
-                .set("key", *key)
-                .expect("key")
-                .set("player", player)
-                .expect("player")
-                .set("unittype", kind.code())
-                .expect("unittype")
-                .set("posx", x.clamp(0.0, world))
-                .expect("posx")
-                .set("posy", y.clamp(0.0, world))
-                .expect("posy")
-                .set("health", stats.max_health)
-                .expect("health")
-                .set("max_health", stats.max_health)
-                .expect("max_health")
-                .set("range", stats.range)
-                .expect("range")
-                .set("sight", stats.sight)
-                .expect("sight")
-                .set("morale", stats.morale)
-                .expect("morale")
-                .set("armor", stats.armor)
-                .expect("armor")
-                .set("strength", stats.strength)
-                .expect("strength")
-                .build();
-            table.insert(tuple).expect("generated keys are unique");
-            *key += 1;
-        };
+        let spawn =
+            |table: &mut EnvTable, key: &mut i64, player: i64, kind: UnitKind, x: f64, y: f64| {
+                let stats = kind.stats();
+                let tuple = TupleBuilder::new(&schema)
+                    .set("key", *key)
+                    .expect("key")
+                    .set("player", player)
+                    .expect("player")
+                    .set("unittype", kind.code())
+                    .expect("unittype")
+                    .set("posx", x.clamp(0.0, world))
+                    .expect("posx")
+                    .set("posy", y.clamp(0.0, world))
+                    .expect("posy")
+                    .set("health", stats.max_health)
+                    .expect("health")
+                    .set("max_health", stats.max_health)
+                    .expect("max_health")
+                    .set("range", stats.range)
+                    .expect("range")
+                    .set("sight", stats.sight)
+                    .expect("sight")
+                    .set("morale", stats.morale)
+                    .expect("morale")
+                    .set("armor", stats.armor)
+                    .expect("armor")
+                    .set("strength", stats.strength)
+                    .expect("strength")
+                    .build();
+                table.insert(tuple).expect("generated keys are unique");
+                *key += 1;
+            };
 
         // Defenders: archers scattered across the left 20 % of the map.
         for _ in 0..config.defenders {
@@ -159,7 +163,12 @@ impl SkeletonScenario {
             spawn(&mut table, &mut key, 1, UnitKind::Knight, x, y);
         }
 
-        SkeletonScenario { schema, table, world_side: world, config }
+        SkeletonScenario {
+            schema,
+            table,
+            world_side: world,
+            config,
+        }
     }
 
     /// Build a ready-to-run simulation in the given execution mode.
@@ -174,8 +183,16 @@ impl SkeletonScenario {
         GameBuilder::new(Arc::clone(&self.schema), registry, mechanics)
             .exec_config(exec)
             .seed(self.config.seed)
-            .script("defender", SKELETON_FEAR_SCRIPT, UnitSelector::AttrEquals(player, Value::Int(0)))
-            .script("skeleton", MARCH_SCRIPT, UnitSelector::AttrEquals(player, Value::Int(1)))
+            .script(
+                "defender",
+                SKELETON_FEAR_SCRIPT,
+                UnitSelector::AttrEquals(player, Value::Int(0)),
+            )
+            .script(
+                "skeleton",
+                MARCH_SCRIPT,
+                UnitSelector::AttrEquals(player, Value::Int(1)),
+            )
             .build(self.table.clone())
             .expect("skeleton scripts compile")
     }
@@ -187,7 +204,11 @@ mod tests {
 
     #[test]
     fn generation_places_both_sides() {
-        let config = SkeletonConfig { defenders: 30, skeletons: 90, ..SkeletonConfig::default() };
+        let config = SkeletonConfig {
+            defenders: 30,
+            skeletons: 90,
+            ..SkeletonConfig::default()
+        };
         let scenario = SkeletonScenario::generate(config);
         assert_eq!(scenario.table.len(), 120);
         assert_eq!(config.units(), 120);
@@ -215,18 +236,32 @@ mod tests {
 
     #[test]
     fn the_march_script_compiles_and_runs() {
-        let config = SkeletonConfig { defenders: 15, skeletons: 45, density: 0.02, ..SkeletonConfig::default() };
+        let config = SkeletonConfig {
+            defenders: 15,
+            skeletons: 45,
+            density: 0.02,
+            ..SkeletonConfig::default()
+        };
         let scenario = SkeletonScenario::generate(config);
         let mut sim = scenario.build_simulation(ExecMode::Indexed);
         let summary = sim.run(5).unwrap();
         assert_eq!(summary.ticks, 5);
-        assert_eq!(summary.final_population, 60, "resurrection keeps the population constant");
+        assert_eq!(
+            summary.final_population, 60,
+            "resurrection keeps the population constant"
+        );
         assert!(summary.exec.aggregate_probes > 0);
     }
 
     #[test]
     fn the_horde_advances_on_the_defenders() {
-        let config = SkeletonConfig { defenders: 20, skeletons: 60, density: 0.05, seed: 3, ..SkeletonConfig::default() };
+        let config = SkeletonConfig {
+            defenders: 20,
+            skeletons: 60,
+            density: 0.05,
+            seed: 3,
+            ..SkeletonConfig::default()
+        };
         let scenario = SkeletonScenario::generate(config);
         let player = scenario.schema.attr_id("player").unwrap();
         let posx = scenario.schema.attr_id("posx").unwrap();
@@ -253,7 +288,13 @@ mod tests {
 
     #[test]
     fn naive_and_indexed_agree_on_the_motivating_example() {
-        let config = SkeletonConfig { defenders: 12, skeletons: 36, density: 0.03, seed: 11, ..SkeletonConfig::default() };
+        let config = SkeletonConfig {
+            defenders: 12,
+            skeletons: 36,
+            density: 0.03,
+            seed: 11,
+            ..SkeletonConfig::default()
+        };
         let scenario = SkeletonScenario::generate(config);
         let mut naive = scenario.build_simulation(ExecMode::Naive);
         let mut indexed = scenario.build_simulation(ExecMode::Indexed);
@@ -261,6 +302,10 @@ mod tests {
             naive.step().unwrap();
             indexed.step().unwrap();
         }
-        assert_eq!(naive.digest(), indexed.digest(), "the indexed executor must be a pure optimization");
+        assert_eq!(
+            naive.digest(),
+            indexed.digest(),
+            "the indexed executor must be a pure optimization"
+        );
     }
 }

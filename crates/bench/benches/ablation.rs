@@ -11,15 +11,37 @@ use sgl_exec::{ExecConfig, ExecMode};
 fn ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_500_units");
     group.sample_size(10);
-    let scenario =
-        BattleScenario::generate(ScenarioConfig { units: 500, density: 0.01, seed: 42, ..Default::default() });
+    let scenario = BattleScenario::generate(ScenarioConfig {
+        units: 500,
+        density: 0.01,
+        seed: 42,
+        ..Default::default()
+    });
     let schema = scenario.schema.clone();
 
     let configs = [
         ("indexed_full", ExecConfig::indexed(&schema)),
-        ("no_fractional_cascading", ExecConfig { cascading: false, ..ExecConfig::indexed(&schema) }),
-        ("no_aggregate_sharing", ExecConfig { share_aggregates: false, ..ExecConfig::indexed(&schema) }),
-        ("no_aoe_index", ExecConfig { aoe_index: false, ..ExecConfig::indexed(&schema) }),
+        (
+            "no_fractional_cascading",
+            ExecConfig {
+                cascading: false,
+                ..ExecConfig::indexed(&schema)
+            },
+        ),
+        (
+            "no_aggregate_sharing",
+            ExecConfig {
+                share_aggregates: false,
+                ..ExecConfig::indexed(&schema)
+            },
+        ),
+        (
+            "no_aoe_index",
+            ExecConfig {
+                aoe_index: false,
+                ..ExecConfig::indexed(&schema)
+            },
+        ),
         ("naive_baseline", ExecConfig::naive(&schema)),
     ];
     for (name, config) in configs {

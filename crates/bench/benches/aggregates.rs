@@ -12,7 +12,9 @@ use sgl_index::{Point2, Rect};
 fn points(n: usize, world: f64, seed: u64) -> Vec<Point2> {
     let mut state = seed;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64) / ((1u64 << 53) as f64)
     };
     // Clustered positions (combat formations): points around a few hotspots.
@@ -20,7 +22,10 @@ fn points(n: usize, world: f64, seed: u64) -> Vec<Point2> {
         .map(|i| {
             let cx = ((i % 4) as f64 + 0.5) * world / 4.0;
             let cy = ((i % 3) as f64 + 0.5) * world / 3.0;
-            Point2::new(cx + (next() - 0.5) * world / 6.0, cy + (next() - 0.5) * world / 6.0)
+            Point2::new(
+                cx + (next() - 0.5) * world / 6.0,
+                cy + (next() - 0.5) * world / 6.0,
+            )
         })
         .collect()
 }
@@ -32,7 +37,10 @@ fn divisible_vs_enumerate(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[1000usize, 4000, 16000] {
         let pts = points(n, 400.0, 7);
-        let entries: Vec<AggEntry> = pts.iter().map(|p| AggEntry::new(*p, vec![p.x, p.y])).collect();
+        let entries: Vec<AggEntry> = pts
+            .iter()
+            .map(|p| AggEntry::new(*p, vec![p.x, p.y]))
+            .collect();
         let range = 40.0;
         group.bench_with_input(BenchmarkId::new("agg_tree_cascading", n), &n, |b, _| {
             let tree = LayeredAggTree::build(&entries, 2, true);

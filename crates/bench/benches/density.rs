@@ -11,13 +11,21 @@ fn density(c: &mut Criterion) {
     group.sample_size(10);
     for &density in &[0.005f64, 0.01, 0.02, 0.04, 0.08] {
         let label = format!("{:.1}%", density * 100.0);
-        let scenario =
-            BattleScenario::generate(ScenarioConfig { units: 500, density, seed: 42, ..Default::default() });
+        let scenario = BattleScenario::generate(ScenarioConfig {
+            units: 500,
+            density,
+            seed: 42,
+            ..Default::default()
+        });
         for mode in [ExecMode::Indexed, ExecMode::Naive] {
-            group.bench_with_input(BenchmarkId::new(format!("{mode:?}"), &label), &density, |b, _| {
-                let mut sim = scenario.build_simulation(mode);
-                b.iter(|| sim.step().unwrap());
-            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), &label),
+                &density,
+                |b, _| {
+                    let mut sim = scenario.build_simulation(mode);
+                    b.iter(|| sim.step().unwrap());
+                },
+            );
         }
     }
     group.finish();

@@ -14,8 +14,12 @@ fn fig10(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_time_per_tick");
     group.sample_size(10);
     for &units in &[250usize, 500, 1000, 2000] {
-        let scenario =
-            BattleScenario::generate(ScenarioConfig { units, density: 0.01, seed: 42, ..Default::default() });
+        let scenario = BattleScenario::generate(ScenarioConfig {
+            units,
+            density: 0.01,
+            seed: 42,
+            ..Default::default()
+        });
         group.bench_with_input(BenchmarkId::new("indexed", units), &units, |b, _| {
             let mut sim = scenario.build_simulation(ExecMode::Indexed);
             b.iter(|| sim.step().unwrap());

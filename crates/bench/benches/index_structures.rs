@@ -27,14 +27,19 @@ use sgl_index::{Point2, Rect};
 fn clustered_points(n: usize, world: f64, seed: u64) -> Vec<Point2> {
     let mut state = seed;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64) / ((1u64 << 53) as f64)
     };
     (0..n)
         .map(|i| {
             let cx = ((i % 4) as f64 + 0.5) * world / 4.0;
             let cy = ((i % 3) as f64 + 0.5) * world / 3.0;
-            Point2::new(cx + (next() - 0.5) * world / 6.0, cy + (next() - 0.5) * world / 6.0)
+            Point2::new(
+                cx + (next() - 0.5) * world / 6.0,
+                cy + (next() - 0.5) * world / 6.0,
+            )
         })
         .collect()
 }
@@ -46,7 +51,10 @@ fn divisible_structures(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[1000usize, 4000, 16000] {
         let pts = clustered_points(n, 400.0, 3);
-        let entries: Vec<AggEntry> = pts.iter().map(|p| AggEntry::new(*p, vec![p.x, p.y])).collect();
+        let entries: Vec<AggEntry> = pts
+            .iter()
+            .map(|p| AggEntry::new(*p, vec![p.x, p.y]))
+            .collect();
         let range = 40.0;
         group.bench_with_input(BenchmarkId::new("agg_tree_fig8", n), &n, |b, _| {
             b.iter(|| {
@@ -74,7 +82,9 @@ fn divisible_structures(c: &mut Criterion) {
                 let tree = MraTree::build(&pts, &values, 8);
                 let mut total = 0.0;
                 for p in &pts {
-                    total += tree.query_exact(&Rect::centered(p.x, p.y, range), MraAgg::Count).unwrap_or(0.0);
+                    total += tree
+                        .query_exact(&Rect::centered(p.x, p.y, range), MraAgg::Count)
+                        .unwrap_or(0.0);
                 }
                 total
             });
@@ -104,7 +114,10 @@ fn min_structures(c: &mut Criterion) {
                 let tree = AggQuadTree::build(&entries, 1, 12);
                 let mut out = Vec::with_capacity(pts.len());
                 for p in &pts {
-                    out.push(tree.min_in_rect(&Rect::centered(p.x, p.y, rx), 0).map(|m| m.value));
+                    out.push(
+                        tree.min_in_rect(&Rect::centered(p.x, p.y, rx), 0)
+                            .map(|m| m.value),
+                    );
                 }
                 out
             });

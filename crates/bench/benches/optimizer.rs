@@ -13,15 +13,25 @@ fn compile_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimizer");
     group.bench_function("compile_battle_scripts_optimized", |b| {
         b.iter(|| {
-            for (name, src) in [("knight", KNIGHT_SCRIPT), ("archer", ARCHER_SCRIPT), ("healer", HEALER_SCRIPT)] {
-                compile_script_with(name, src, &schema, &registry, OptimizerOptions::default()).unwrap();
+            for (name, src) in [
+                ("knight", KNIGHT_SCRIPT),
+                ("archer", ARCHER_SCRIPT),
+                ("healer", HEALER_SCRIPT),
+            ] {
+                compile_script_with(name, src, &schema, &registry, OptimizerOptions::default())
+                    .unwrap();
             }
         });
     });
     group.bench_function("compile_battle_scripts_unoptimized", |b| {
         b.iter(|| {
-            for (name, src) in [("knight", KNIGHT_SCRIPT), ("archer", ARCHER_SCRIPT), ("healer", HEALER_SCRIPT)] {
-                compile_script_with(name, src, &schema, &registry, OptimizerOptions::none()).unwrap();
+            for (name, src) in [
+                ("knight", KNIGHT_SCRIPT),
+                ("archer", ARCHER_SCRIPT),
+                ("healer", HEALER_SCRIPT),
+            ] {
+                compile_script_with(name, src, &schema, &registry, OptimizerOptions::none())
+                    .unwrap();
             }
         });
     });
@@ -30,9 +40,14 @@ fn compile_time(c: &mut Criterion) {
         b.iter(|| {
             let mut total_before = 0;
             let mut total_after = 0;
-            for (name, src) in [("knight", KNIGHT_SCRIPT), ("archer", ARCHER_SCRIPT), ("healer", HEALER_SCRIPT)] {
+            for (name, src) in [
+                ("knight", KNIGHT_SCRIPT),
+                ("archer", ARCHER_SCRIPT),
+                ("healer", HEALER_SCRIPT),
+            ] {
                 let compiled =
-                    compile_script_with(name, src, &schema, &registry, OptimizerOptions::default()).unwrap();
+                    compile_script_with(name, src, &schema, &registry, OptimizerOptions::default())
+                        .unwrap();
                 total_before += compiled.optimized.before.aggregate_nodes;
                 total_after += compiled.optimized.after.aggregate_nodes;
             }

@@ -1,144 +1,221 @@
-//! Ablation: rebuild-per-tick vs. dynamically maintained indexes.
+//! Ablation: rebuild-per-tick vs. dynamically maintained indexes, measured
+//! through **full engine ticks** (decision + action + post-processing +
+//! movement + resurrection + index maintenance) rather than structures in
+//! isolation.
 //!
 //! Section 5.3 argues that for volatile data (unit positions change every
 //! tick) it is cheaper to rebuild the per-tick indexes from scratch than to
-//! maintain dynamic structures.  This bench measures that claim on the
-//! x-sorted base level every per-tick index shares: each simulated "tick"
-//! moves a fraction of the units, then answers one range-count/sum probe per
-//! unit.
+//! maintain dynamic structures.  With the cross-tick `IndexManager` the
+//! engine can run the same battle under every maintenance policy, so the
+//! claim is measured where it matters — end-to-end tick latency:
 //!
-//! * `rebuild` — build a fresh [`LayeredAggTree`] each tick (paper's choice);
-//! * `dynamic` — keep a [`DynamicAggIndex`] and apply only the position
-//!   updates of the units that moved;
-//! * `naive` — no index at all (scan per probe).
+//! * `rebuild` — `MaintenancePolicy::RebuildEachTick` (the paper's choice);
+//! * `incremental` — maintained `DynamicAggGrid`s patched with per-unit
+//!   deltas after each tick;
+//! * `adaptive` — per-partition choice between the two by update ratio.
 //!
-//! The crossover depends on the fraction of units that move per tick, so the
-//! bench sweeps 10 % and 100 % movement at a fixed unit count.
+//! The policies must agree on the simulated battle (state digests are
+//! compared before anything is timed); they differ only in where the index
+//! time goes.  A smaller microbenchmark over the 1-D dynamic treap is kept
+//! at the end for continuity with the structure-level measurements.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use sgl_battle::{BattleScenario, ScenarioConfig};
+use sgl_core::engine::Simulation;
+use sgl_exec::{ExecConfig, ExecMode, MaintenancePolicy};
 use sgl_index::agg_tree::{AggEntry, LayeredAggTree};
 use sgl_index::dynamic_agg::DynamicAggIndex;
 use sgl_index::{Point2, Rect};
 
-struct Workload {
-    /// Position (x) and value per unit, mutated tick by tick.
-    xs: Vec<f64>,
-    values: Vec<f64>,
-    /// Precomputed per-tick displacements for the moving subset.
-    movers: Vec<Vec<(usize, f64)>>,
-    range: f64,
+fn policies() -> [(&'static str, MaintenancePolicy); 3] {
+    [
+        ("rebuild", MaintenancePolicy::RebuildEachTick),
+        ("incremental", MaintenancePolicy::Incremental),
+        ("adaptive", MaintenancePolicy::adaptive()),
+    ]
 }
 
-fn workload(n: usize, move_fraction: f64, ticks: usize, seed: u64) -> Workload {
-    let mut state = seed;
-    let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        ((state >> 11) as f64) / ((1u64 << 53) as f64)
-    };
-    let world = 1000.0;
-    let mut xs = Vec::with_capacity(n);
-    for _ in 0..n {
-        xs.push(next() * world);
-    }
-    let values: Vec<f64> = (0..n).map(|i| ((i * 13) % 101) as f64).collect();
-    let mut movers = Vec::with_capacity(ticks);
-    for _ in 0..ticks {
-        let mut tick_moves = Vec::new();
-        for i in 0..n {
-            if next() < move_fraction {
-                tick_moves.push((i, (next() - 0.5) * 4.0));
-            }
-        }
-        movers.push(tick_moves);
-    }
-    Workload { xs, values, movers, range: 25.0 }
+fn simulation_under(scenario: &BattleScenario, policy: MaintenancePolicy) -> Simulation {
+    let mut sim = scenario.build_simulation(ExecMode::Indexed);
+    sim.set_exec_config(ExecConfig::indexed(&scenario.schema).with_policy(policy));
+    sim
 }
 
-fn run_rebuild(w: &Workload) -> f64 {
-    let mut xs = w.xs.clone();
-    let mut total = 0.0;
-    for moves in &w.movers {
-        for (i, dx) in moves {
-            xs[*i] += dx;
-        }
-        let entries: Vec<AggEntry> =
-            xs.iter().zip(&w.values).map(|(x, v)| AggEntry::new(Point2::new(*x, 0.0), vec![*v])).collect();
-        let tree = LayeredAggTree::build(&entries, 1, true);
-        for x in &xs {
-            let acc = tree.query(&Rect::new(x - w.range, x + w.range, -1.0, 1.0));
-            total += acc.count() + acc.channel_sum(0);
-        }
-    }
-    total
-}
-
-fn run_dynamic(w: &Workload) -> f64 {
-    let mut xs = w.xs.clone();
-    let mut index = DynamicAggIndex::new();
-    for (i, (x, v)) in xs.iter().zip(&w.values).enumerate() {
-        index.insert(i as u64, *x, *v);
-    }
-    let mut total = 0.0;
-    for moves in &w.movers {
-        for (i, dx) in moves {
-            let old = xs[*i];
-            xs[*i] += dx;
-            index.update_coord(*i as u64, old, xs[*i], w.values[*i]);
-        }
-        for x in &xs {
-            let s = index.query(x - w.range, x + w.range);
-            total += s.count as f64 + s.sum;
-        }
-    }
-    total
-}
-
-fn run_naive(w: &Workload) -> f64 {
-    let mut xs = w.xs.clone();
-    let mut total = 0.0;
-    for moves in &w.movers {
-        for (i, dx) in moves {
-            xs[*i] += dx;
-        }
-        for x in &xs {
-            let lo = x - w.range;
-            let hi = x + w.range;
-            let mut count = 0.0;
-            let mut sum = 0.0;
-            for (other, v) in xs.iter().zip(&w.values) {
-                if *other >= lo && *other <= hi {
-                    count += 1.0;
-                    sum += v;
-                }
-            }
-            total += count + sum;
-        }
-    }
-    total
-}
-
-fn rebuild_vs_dynamic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rebuild_vs_dynamic");
+/// Full engine ticks under each maintenance policy, at two unit counts.
+fn engine_ticks_per_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rebuild_vs_dynamic_engine");
     group.sample_size(10);
-    let n = 4000usize;
-    let ticks = 3usize;
-    for &(label, fraction) in &[("move10pct", 0.1), ("move100pct", 1.0)] {
-        let w = workload(n, fraction, ticks, 17);
-        // The three strategies must agree (up to float summation order)
-        // before we time them.
-        let reference = run_rebuild(&w);
-        let tolerance = reference.abs() * 1e-9 + 1e-6;
-        assert!((reference - run_dynamic(&w)).abs() < tolerance);
-        assert!((reference - run_naive(&w)).abs() < tolerance);
-        group.bench_with_input(BenchmarkId::new("rebuild", label), &w, |b, w| b.iter(|| run_rebuild(w)));
-        group.bench_with_input(BenchmarkId::new("dynamic", label), &w, |b, w| b.iter(|| run_dynamic(w)));
-        if n <= 4000 {
-            group.bench_with_input(BenchmarkId::new("naive", label), &w, |b, w| b.iter(|| run_naive(w)));
+    for &units in &[300usize, 900] {
+        let scenario = BattleScenario::generate(ScenarioConfig {
+            units,
+            density: 0.02,
+            seed: 17,
+            ..ScenarioConfig::default()
+        });
+        // The three policies must simulate the same battle before we time
+        // them: compare state digests over a short prefix.
+        let mut reference = simulation_under(&scenario, MaintenancePolicy::RebuildEachTick);
+        let reference_digests: Vec<_> = (0..5)
+            .map(|_| {
+                reference.step().expect("reference tick");
+                reference.digest()
+            })
+            .collect();
+        for (name, policy) in policies() {
+            let mut check = simulation_under(&scenario, policy);
+            for (tick, expected) in reference_digests.iter().enumerate() {
+                check.step().expect("check tick");
+                assert_eq!(check.digest(), *expected, "{name} diverged at tick {tick}");
+            }
+        }
+
+        for (name, policy) in policies() {
+            group.bench_with_input(BenchmarkId::new(name, units), &units, |b, _| {
+                let mut sim = simulation_under(&scenario, policy);
+                // Warm the maintained structures so the measurement reflects
+                // steady-state maintenance, not the initial build.
+                sim.step().expect("warmup tick");
+                b.iter(|| sim.step().expect("bench tick"));
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, rebuild_vs_dynamic);
+/// Where the time goes: per-policy exec vs. maintenance phase split after a
+/// fixed number of ticks (printed, not timed — the interesting quantity is
+/// the ratio).
+fn phase_split_report(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rebuild_vs_dynamic_phase_split");
+    group.sample_size(10);
+    let scenario = BattleScenario::generate(ScenarioConfig {
+        units: 500,
+        density: 0.02,
+        seed: 23,
+        ..ScenarioConfig::default()
+    });
+    for (name, policy) in policies() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = simulation_under(&scenario, policy);
+                sim.run(5).expect("run");
+                let summary_timings = sim
+                    .history()
+                    .iter()
+                    .fold(std::time::Duration::ZERO, |acc, r| {
+                        acc + r.timings.exec + r.timings.maintain
+                    });
+                summary_timings
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The original structure-level microbenchmark (1-D base level): rebuild a
+/// layered tree vs. patch the dynamic treap vs. scan, at 10 % / 100 %
+/// movement per tick.
+fn structure_microbench(c: &mut Criterion) {
+    struct Workload {
+        xs: Vec<f64>,
+        values: Vec<f64>,
+        movers: Vec<Vec<(usize, f64)>>,
+        range: f64,
+    }
+
+    fn workload(n: usize, move_fraction: f64, ticks: usize, seed: u64) -> Workload {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let world = 1000.0;
+        let xs: Vec<f64> = (0..n).map(|_| next() * world).collect();
+        let values: Vec<f64> = (0..n).map(|i| ((i * 13) % 101) as f64).collect();
+        let mut movers = Vec::with_capacity(ticks);
+        for _ in 0..ticks {
+            let mut tick_moves = Vec::new();
+            for i in 0..n {
+                if next() < move_fraction {
+                    tick_moves.push((i, (next() - 0.5) * 4.0));
+                }
+            }
+            movers.push(tick_moves);
+        }
+        Workload {
+            xs,
+            values,
+            movers,
+            range: 25.0,
+        }
+    }
+
+    fn run_rebuild(w: &Workload) -> f64 {
+        let mut xs = w.xs.clone();
+        let mut total = 0.0;
+        for moves in &w.movers {
+            for (i, dx) in moves {
+                xs[*i] += dx;
+            }
+            let entries: Vec<AggEntry> = xs
+                .iter()
+                .zip(&w.values)
+                .map(|(x, v)| AggEntry::new(Point2::new(*x, 0.0), vec![*v]))
+                .collect();
+            let tree = LayeredAggTree::build(&entries, 1, true);
+            for x in &xs {
+                let acc = tree.query(&Rect::new(x - w.range, x + w.range, -1.0, 1.0));
+                total += acc.count() + acc.channel_sum(0);
+            }
+        }
+        total
+    }
+
+    fn run_dynamic(w: &Workload) -> f64 {
+        let mut xs = w.xs.clone();
+        let mut index = DynamicAggIndex::new();
+        for (i, (x, v)) in xs.iter().zip(&w.values).enumerate() {
+            index.insert(i as u64, *x, *v);
+        }
+        let mut total = 0.0;
+        for moves in &w.movers {
+            for (i, dx) in moves {
+                let old = xs[*i];
+                xs[*i] += dx;
+                index.update_coord(*i as u64, old, xs[*i], w.values[*i]);
+            }
+            for x in &xs {
+                let s = index.query(x - w.range, x + w.range);
+                total += s.count as f64 + s.sum;
+            }
+        }
+        total
+    }
+
+    let mut group = c.benchmark_group("rebuild_vs_dynamic_structure");
+    group.sample_size(10);
+    for &(label, fraction) in &[("move10pct", 0.1), ("move100pct", 1.0)] {
+        let w = workload(4000, fraction, 3, 17);
+        let reference = run_rebuild(&w);
+        let tolerance = reference.abs() * 1e-9 + 1e-6;
+        assert!((reference - run_dynamic(&w)).abs() < tolerance);
+        group.bench_with_input(BenchmarkId::new("rebuild", label), &w, |b, w| {
+            b.iter(|| run_rebuild(w))
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic", label), &w, |b, w| {
+            b.iter(|| run_dynamic(w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    engine_ticks_per_policy,
+    phase_split_report,
+    structure_microbench
+);
 criterion_main!(benches);

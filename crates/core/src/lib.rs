@@ -97,7 +97,11 @@ pub fn compile_script_with(
     let check = check_script(&normal, schema, registry)?;
     let plan = sgl_algebra::translate(&normal);
     let optimized = optimize_with(plan, registry, options);
-    Ok(CompiledScript { name: name.to_string(), optimized, check })
+    Ok(CompiledScript {
+        name: name.to_string(),
+        optimized,
+        check,
+    })
 }
 
 /// Builder assembling a ready-to-run [`Simulation`].
@@ -146,7 +150,8 @@ impl GameBuilder {
 
     /// Register a script (SGL source) for the units chosen by the selector.
     pub fn script(mut self, name: &str, source: &str, selector: UnitSelector) -> GameBuilder {
-        self.scripts.push((name.to_string(), source.to_string(), selector));
+        self.scripts
+            .push((name.to_string(), source.to_string(), selector));
         self
     }
 
@@ -156,7 +161,8 @@ impl GameBuilder {
         check_registry(&self.registry, &self.schema)?;
         let mut compiled = Vec::with_capacity(self.scripts.len());
         for (name, source, selector) in &self.scripts {
-            let script = compile_script_with(name, source, &self.schema, &self.registry, self.optimizer)?;
+            let script =
+                compile_script_with(name, source, &self.schema, &self.registry, self.optimizer)?;
             compiled.push((script, selector.clone()));
         }
         let mut sim = Simulation::new(table, self.registry, self.mechanics, self.exec, self.seed);
@@ -198,9 +204,16 @@ mod tests {
     fn compile_errors_surface() {
         let schema = paper_schema();
         let registry = paper_registry();
-        assert!(compile_script("bad", "main(u) { perform Unknown(u); }", &schema, &registry).is_err());
-        assert!(compile_script("bad", "main(u) { if u.mana > 2 then perform Heal(u); }", &schema, &registry)
-            .is_err());
+        assert!(
+            compile_script("bad", "main(u) { perform Unknown(u); }", &schema, &registry).is_err()
+        );
+        assert!(compile_script(
+            "bad",
+            "main(u) { if u.mana > 2 then perform Heal(u); }",
+            &schema,
+            &registry
+        )
+        .is_err());
         assert!(compile_script("bad", "main(u) { ", &schema, &registry).is_err());
     }
 

@@ -13,7 +13,12 @@
 //!    ([`movement`]);
 //! 4. an optional **resurrection rule** respawns dead units at random
 //!    positions (the rule §6 adds to keep the battle from ending during
-//!    measurements), or removes them when resurrection is disabled.
+//!    measurements), or removes them when resurrection is disabled;
+//! 5. an **index maintenance** step hands the mutated environment (and the
+//!    tick's effect relation) back to the cross-tick
+//!    [`sgl_exec::IndexManager`], so maintained index structures absorb the
+//!    tick's positional and value updates before the next tick probes them
+//!    (a no-op under the rebuild-each-tick policy).
 
 //!
 //! Supporting modules: [`metrics`] (per-phase timings, throughput/capacity
@@ -33,7 +38,10 @@ use rustc_hash::FxHashMap;
 
 use sgl_algebra::LogicalPlan;
 use sgl_env::{AttrId, EnvTable, GameRng, PostProcessor, Value};
-use sgl_exec::{execute_tick, ExecConfig, ScriptRun, TickStats};
+use sgl_exec::{
+    execute_tick_planned, plan_registry, ExecConfig, IndexManager, MaintStats, PlannedAggregate,
+    ScriptRun, TickStats,
+};
 use sgl_lang::Registry;
 
 pub use metrics::{PhaseTimings, RollingStats, ThroughputReport};
@@ -166,6 +174,14 @@ pub struct Simulation {
     scripts: Vec<RegisteredScript>,
     mechanics: Mechanics,
     exec_config: ExecConfig,
+    /// Cross-tick owner of the aggregate index structures; persists across
+    /// [`Simulation::step`] calls so maintained policies can patch instead
+    /// of rebuild.
+    index_manager: IndexManager,
+    /// Aggregate plans and registry constants, cached across ticks (they
+    /// depend only on the registry, schema and execution configuration).
+    planned: FxHashMap<String, PlannedAggregate>,
+    constants: FxHashMap<String, Value>,
     rng: GameRng,
     tick: u64,
     history: Vec<TickReport>,
@@ -180,11 +196,16 @@ impl Simulation {
         exec_config: ExecConfig,
         seed: u64,
     ) -> Simulation {
+        let planned = plan_registry(&registry, &table, &exec_config);
+        let constants = registry.constants().clone();
         Simulation {
             table,
             registry,
             scripts: Vec::new(),
             mechanics,
+            index_manager: IndexManager::new(&exec_config),
+            planned,
+            constants,
             exec_config,
             rng: GameRng::new(seed),
             tick: 0,
@@ -194,8 +215,17 @@ impl Simulation {
 
     /// Register a script.  Scripts are matched in registration order, so more
     /// specific selectors should be registered before catch-alls.
-    pub fn add_script(&mut self, name: impl Into<String>, plan: LogicalPlan, selector: UnitSelector) {
-        self.scripts.push(RegisteredScript { name: name.into(), plan, selector });
+    pub fn add_script(
+        &mut self,
+        name: impl Into<String>,
+        plan: LogicalPlan,
+        selector: UnitSelector,
+    ) {
+        self.scripts.push(RegisteredScript {
+            name: name.into(),
+            plan,
+            selector,
+        });
     }
 
     /// Remove all registered scripts.
@@ -209,8 +239,16 @@ impl Simulation {
     }
 
     /// Mutable access to the environment (scenario editing between ticks).
+    /// Invalidates any cross-tick maintained index state, which is rebuilt
+    /// on the next tick.
     pub fn table_mut(&mut self) -> &mut EnvTable {
+        self.index_manager.invalidate();
         &mut self.table
+    }
+
+    /// The cross-tick index manager (policy and maintenance statistics).
+    pub fn index_manager(&self) -> &IndexManager {
+        &self.index_manager
     }
 
     /// The registered scripts.
@@ -233,8 +271,11 @@ impl Simulation {
         &self.history
     }
 
-    /// Change the execution configuration (e.g. switch naive ↔ indexed).
+    /// Change the execution configuration (e.g. switch naive ↔ indexed, or
+    /// change the maintenance policy).  Resets the index manager.
     pub fn set_exec_config(&mut self, config: ExecConfig) {
+        self.index_manager = IndexManager::new(&config);
+        self.planned = plan_registry(&self.registry, &self.table, &config);
         self.exec_config = config;
     }
 
@@ -247,19 +288,32 @@ impl Simulation {
         let mut runs: Vec<ScriptRun<'_>> = Vec::with_capacity(self.scripts.len());
         for script in &self.scripts {
             let mut rows = Vec::new();
-            for row in 0..self.table.len() {
-                if !assigned[row] && script.selector.matches(&self.table, row) {
-                    assigned[row] = true;
+            for (row, taken) in assigned.iter_mut().enumerate() {
+                if !*taken && script.selector.matches(&self.table, row) {
+                    *taken = true;
                     rows.push(row as u32);
                 }
             }
-            runs.push(ScriptRun { plan: &script.plan, acting_rows: rows });
+            runs.push(ScriptRun {
+                plan: &script.plan,
+                acting_rows: rows,
+            });
         }
 
-        // Decision + action phases (including per-tick index building).
+        // Decision + action phases (including per-tick index building and,
+        // on the first tick of a maintained policy, the initial structure
+        // build).
         let phase_start = Instant::now();
-        let (effects, exec_stats) =
-            execute_tick(&self.table, &self.registry, &runs, &tick_rng, &self.exec_config)?;
+        let (effects, mut exec_stats) = execute_tick_planned(
+            &self.table,
+            &self.registry,
+            &runs,
+            &tick_rng,
+            &self.exec_config,
+            &mut self.index_manager,
+            &self.planned,
+            &self.constants,
+        )?;
         timings.exec = phase_start.elapsed();
 
         // Post-processing: apply non-positional effects.
@@ -285,8 +339,10 @@ impl Simulation {
                     deaths += 1;
                     let key = self.table.key_of(row);
                     let max_hp = self.table.row(row).get(res.max_health).clone();
-                    let x = res.world.0 + tick_rng.unit_float(key, 101) * (res.world.2 - res.world.0);
-                    let y = res.world.1 + tick_rng.unit_float(key, 102) * (res.world.3 - res.world.1);
+                    let x =
+                        res.world.0 + tick_rng.unit_float(key, 101) * (res.world.2 - res.world.0);
+                    let y =
+                        res.world.1 + tick_rng.unit_float(key, 102) * (res.world.3 - res.world.1);
                     let unit = self.table.row_mut(row);
                     unit.set(res.health, max_hp);
                     unit.set(res.x, Value::Float(x));
@@ -295,6 +351,18 @@ impl Simulation {
             }
         }
         timings.resurrect = phase_start.elapsed();
+
+        // Index maintenance: hand the post-tick environment (and the effect
+        // relation, for accounting) back to the manager so maintained
+        // structures absorb this tick's positional and value updates before
+        // the next tick probes them.
+        if self.index_manager.policy().is_dynamic() {
+            let phase_start = Instant::now();
+            let maint = self.maintain_indexes(&effects)?;
+            exec_stats.index_delta_ops += maint.delta_ops;
+            exec_stats.partition_rebuilds += maint.partition_rebuilds;
+            timings.maintain = phase_start.elapsed();
+        }
 
         let report = TickReport {
             tick: self.tick,
@@ -307,6 +375,20 @@ impl Simulation {
         self.history.push(report);
         self.tick += 1;
         Ok(report)
+    }
+
+    /// Synchronize maintained index structures with the freshly mutated
+    /// environment (no-op under `RebuildEachTick`).
+    fn maintain_indexes(&mut self, effects: &sgl_env::EffectBuffer) -> Result<MaintStats> {
+        if !self.index_manager.policy().is_dynamic() {
+            return Ok(MaintStats::default());
+        }
+        Ok(self.index_manager.end_tick_with_effects(
+            &self.table,
+            effects,
+            &self.planned,
+            &self.constants,
+        )?)
     }
 
     /// Simulate `n` ticks, returning aggregate statistics.
@@ -382,7 +464,9 @@ mod tests {
         let mut table = EnvTable::new(Arc::clone(&schema));
         let mut state = 5u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         for key in 0..n {
@@ -418,8 +502,14 @@ mod tests {
                 cooldown,
                 UpdateExpr::max(
                     UpdateExpr::add(
-                        UpdateExpr::sub(UpdateExpr::State(cooldown), UpdateExpr::Const(Value::Int(1))),
-                        UpdateExpr::mul(UpdateExpr::Effect(weapon), UpdateExpr::Const(Value::Int(3))),
+                        UpdateExpr::sub(
+                            UpdateExpr::State(cooldown),
+                            UpdateExpr::Const(Value::Int(1)),
+                        ),
+                        UpdateExpr::mul(
+                            UpdateExpr::Effect(weapon),
+                            UpdateExpr::Const(Value::Int(3)),
+                        ),
                     ),
                     UpdateExpr::Const(Value::Int(0)),
                 ),
@@ -438,7 +528,11 @@ mod tests {
             }),
             resurrect: None,
         };
-        let exec = if mode_indexed { ExecConfig::indexed(&schema) } else { ExecConfig::naive(&schema) };
+        let exec = if mode_indexed {
+            ExecConfig::indexed(&schema)
+        } else {
+            ExecConfig::naive(&schema)
+        };
         let mut sim = Simulation::new(table, registry, mechanics, exec, 1234);
         let plan = compile(
             r#"main(u) {
@@ -496,6 +590,69 @@ mod tests {
             let xb = indexed.table().row(b).get_f64(posx).unwrap();
             assert!((xa - xb).abs() < 1e-6, "posx of unit {key}: {xa} vs {xb}");
         }
+    }
+
+    #[test]
+    fn maintenance_policies_agree_with_rebuild_across_ticks() {
+        use sgl_exec::MaintenancePolicy;
+        let (_, mut rebuild) = build_sim(28, true);
+        let reference: Vec<crate::replay::StateDigest> = (0..6)
+            .map(|_| {
+                rebuild.step().unwrap();
+                rebuild.digest()
+            })
+            .collect();
+        for policy in [
+            MaintenancePolicy::Incremental,
+            MaintenancePolicy::adaptive(),
+        ] {
+            let (schema, mut sim) = build_sim(28, true);
+            sim.set_exec_config(ExecConfig::indexed(&schema).with_policy(policy));
+            for (tick, expected) in reference.iter().enumerate() {
+                let report = sim.step().unwrap();
+                assert_eq!(
+                    sim.digest(),
+                    *expected,
+                    "policy {policy:?} diverged at tick {tick}"
+                );
+                assert_eq!(report.exec.naive_scans, 0, "{policy:?}");
+            }
+            // The maintained policies actually maintained something.
+            let total_deltas: usize = sim
+                .history()
+                .iter()
+                .map(|r| r.exec.index_delta_ops + r.exec.partition_rebuilds)
+                .sum();
+            assert!(
+                total_deltas > 0,
+                "{policy:?} never touched maintained state"
+            );
+            assert!(sim.index_manager().policy().is_dynamic());
+            assert!(
+                sim.index_manager().maintained_aggregates() > 0,
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn maintenance_timings_are_recorded_for_dynamic_policies() {
+        use sgl_exec::MaintenancePolicy;
+        let (schema, mut sim) = build_sim(20, true);
+        sim.set_exec_config(
+            ExecConfig::indexed(&schema).with_policy(MaintenancePolicy::Incremental),
+        );
+        sim.run(3).unwrap();
+        // The maintain phase ran (its duration is part of every report); the
+        // rebuild policy leaves it at zero.
+        let (_, mut plain) = build_sim(20, true);
+        plain.run(3).unwrap();
+        for report in plain.history() {
+            assert_eq!(report.timings.maintain, std::time::Duration::ZERO);
+            assert_eq!(report.exec.index_delta_ops, 0);
+        }
+        let maintained_rows: usize = sim.index_manager().last_maint.rows_scanned;
+        assert!(maintained_rows > 0);
     }
 
     #[test]
@@ -570,11 +727,18 @@ mod tests {
                 y: schema.attr_id("posy").unwrap(),
             }),
         };
-        let mut sim =
-            Simulation::new(table, paper_registry(), mechanics, ExecConfig::indexed(&schema), 7);
+        let mut sim = Simulation::new(
+            table,
+            paper_registry(),
+            mechanics,
+            ExecConfig::indexed(&schema),
+            7,
+        );
         sim.add_script(
             "fire",
-            compile("main(u) { if u.cooldown = 0 then perform FireAt(u, getNearestEnemy(u).key); }"),
+            compile(
+                "main(u) { if u.cooldown = 0 then perform FireAt(u, getNearestEnemy(u).key); }",
+            ),
             UnitSelector::All,
         );
         let mut total_deaths = 0;
@@ -583,7 +747,10 @@ mod tests {
             total_deaths += report.deaths;
             assert_eq!(report.population, 2);
             for (_, row) in sim.table().iter() {
-                assert!(row.get_i64(health).unwrap() > 0, "dead units must be resurrected");
+                assert!(
+                    row.get_i64(health).unwrap() > 0,
+                    "dead units must be resurrected"
+                );
             }
         }
         // With a 50% hit chance and 4 damage per hit over 8 ticks, the weak

@@ -27,12 +27,16 @@ pub struct PhaseTimings {
     pub movement: Duration,
     /// Resurrection rule.
     pub resurrect: Duration,
+    /// Cross-tick index maintenance (diff + delta application / partition
+    /// rebuilds) performed after the mutation phases; zero under the
+    /// rebuild-each-tick policy.
+    pub maintain: Duration,
 }
 
 impl PhaseTimings {
     /// Total duration of the tick.
     pub fn total(&self) -> Duration {
-        self.exec + self.post + self.movement + self.resurrect
+        self.exec + self.post + self.movement + self.resurrect + self.maintain
     }
 
     /// Accumulate another tick's timings (used by run summaries).
@@ -41,6 +45,7 @@ impl PhaseTimings {
         self.post += other.post;
         self.movement += other.movement;
         self.resurrect += other.resurrect;
+        self.maintain += other.maintain;
     }
 
     /// Fraction of the tick spent inside the executor (decision + indexes).
@@ -68,7 +73,13 @@ pub struct RollingStats {
 impl RollingStats {
     /// An empty accumulator.
     pub fn new() -> RollingStats {
-        RollingStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RollingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add one sample.
@@ -142,7 +153,9 @@ pub struct ThroughputReport {
 
 impl ThroughputReport {
     /// Build a report from a sequence of per-tick timings.
-    pub fn from_timings<'a>(timings: impl IntoIterator<Item = &'a PhaseTimings>) -> ThroughputReport {
+    pub fn from_timings<'a>(
+        timings: impl IntoIterator<Item = &'a PhaseTimings>,
+    ) -> ThroughputReport {
         let mut total = Duration::ZERO;
         let mut worst = Duration::ZERO;
         let mut ticks = 0usize;
@@ -152,12 +165,30 @@ impl ThroughputReport {
             worst = worst.max(tick);
             ticks += 1;
         }
-        let mean_tick = if ticks > 0 { total / ticks as u32 } else { Duration::ZERO };
+        let mean_tick = if ticks > 0 {
+            total / ticks as u32
+        } else {
+            Duration::ZERO
+        };
         let secs = total.as_secs_f64();
-        let ticks_per_second = if secs > 0.0 { ticks as f64 / secs } else { f64::INFINITY };
-        let seconds_per_500_ticks =
-            if ticks > 0 { mean_tick.as_secs_f64() * 500.0 } else { 0.0 };
-        ThroughputReport { ticks, total, mean_tick, worst_tick: worst, ticks_per_second, seconds_per_500_ticks }
+        let ticks_per_second = if secs > 0.0 {
+            ticks as f64 / secs
+        } else {
+            f64::INFINITY
+        };
+        let seconds_per_500_ticks = if ticks > 0 {
+            mean_tick.as_secs_f64() * 500.0
+        } else {
+            0.0
+        };
+        ThroughputReport {
+            ticks,
+            total,
+            mean_tick,
+            worst_tick: worst,
+            ticks_per_second,
+            seconds_per_500_ticks,
+        }
     }
 
     /// The paper's capacity criterion: can the engine sustain at least
@@ -177,6 +208,7 @@ mod tests {
             post: Duration::from_millis(post_ms),
             movement: Duration::from_millis(movement_ms),
             resurrect: Duration::from_millis(resurrect_ms),
+            maintain: Duration::ZERO,
         }
     }
 
@@ -195,6 +227,11 @@ mod tests {
         total.accumulate(&timing(20, 2, 4, 6));
         assert_eq!(total.exec, Duration::from_millis(30));
         assert_eq!(total.total(), Duration::from_millis(48));
+        let mut with_maintenance = timing(10, 0, 0, 0);
+        with_maintenance.maintain = Duration::from_millis(5);
+        total.accumulate(&with_maintenance);
+        assert_eq!(total.maintain, Duration::from_millis(5));
+        assert_eq!(total.total(), Duration::from_millis(63));
     }
 
     #[test]

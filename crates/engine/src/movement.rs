@@ -50,11 +50,17 @@ struct MovedHash {
 
 impl MovedHash {
     fn new(cell: f64) -> MovedHash {
-        MovedHash { cell: cell.max(1e-6), map: FxHashMap::default() }
+        MovedHash {
+            cell: cell.max(1e-6),
+            map: FxHashMap::default(),
+        }
     }
 
     fn cell_of(&self, p: &Point2) -> (i64, i64) {
-        ((p.x / self.cell).floor() as i64, (p.y / self.cell).floor() as i64)
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+        )
     }
 
     fn insert(&mut self, p: Point2) {
@@ -128,8 +134,14 @@ pub fn run_movement(
 
     for idx in order {
         let key = table.key_of(idx);
-        let dx = effects.get_or_default(key, config.dx).as_f64().unwrap_or(0.0);
-        let dy = effects.get_or_default(key, config.dy).as_f64().unwrap_or(0.0);
+        let dx = effects
+            .get_or_default(key, config.dx)
+            .as_f64()
+            .unwrap_or(0.0);
+        let dy = effects
+            .get_or_default(key, config.dy)
+            .as_f64()
+            .unwrap_or(0.0);
         let norm = (dx * dx + dy * dy).sqrt();
         if norm <= f64::EPSILON {
             continue;
@@ -152,7 +164,9 @@ pub fn run_movement(
             grid.query_into(&rect, &mut hits);
             let static_clash = hits.iter().any(|h| {
                 let h = *h as usize;
-                h != idx && !moved_rows[h] && positions[h].dist2(candidate) < config.collision_radius.powi(2)
+                h != idx
+                    && !moved_rows[h]
+                    && positions[h].dist2(candidate) < config.collision_radius.powi(2)
             });
             let moved_clash = moved_hash.any_within(candidate, config.collision_radius);
             if !static_clash && !moved_clash {
@@ -276,7 +290,9 @@ mod tests {
 
     #[test]
     fn dense_crowds_never_overlap_after_movement() {
-        let positions: Vec<(f64, f64)> = (0..25).map(|i| ((i % 5) as f64 * 2.0 + 10.0, (i / 5) as f64 * 2.0 + 10.0)).collect();
+        let positions: Vec<(f64, f64)> = (0..25)
+            .map(|i| ((i % 5) as f64 * 2.0 + 10.0, (i / 5) as f64 * 2.0 + 10.0))
+            .collect();
         let (schema, mut table, config) = setup(&positions);
         let mut effects = EffectBuffer::new(Arc::clone(&schema));
         // Everyone tries to move toward the centre.

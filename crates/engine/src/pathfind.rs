@@ -82,7 +82,10 @@ impl GridMap {
     pub fn cell_of(&self, p: &Point2) -> Cell {
         let cx = ((p.x - self.origin.x) / self.cell).floor() as i32;
         let cy = ((p.y - self.origin.y) / self.cell).floor() as i32;
-        (cx.clamp(0, self.width as i32 - 1), cy.clamp(0, self.height as i32 - 1))
+        (
+            cx.clamp(0, self.width as i32 - 1),
+            cy.clamp(0, self.height as i32 - 1),
+        )
     }
 
     /// The world position at the centre of a cell.
@@ -189,7 +192,11 @@ impl PartialOrd for Frontier {
 /// Find a shortest 8-connected path from `start` to `goal`, avoiding blocked
 /// cells.  Returns `None` when no path exists or either endpoint is blocked.
 pub fn astar(map: &GridMap, start: Cell, goal: Cell) -> Option<Path> {
-    if !map.in_bounds(start) || !map.in_bounds(goal) || map.is_blocked(start) || map.is_blocked(goal) {
+    if !map.in_bounds(start)
+        || !map.in_bounds(goal)
+        || map.is_blocked(start)
+        || map.is_blocked(goal)
+    {
         return None;
     }
     let (width, height) = map.dims();
@@ -205,7 +212,10 @@ pub fn astar(map: &GridMap, start: Cell, goal: Cell) -> Option<Path> {
     let mut closed = vec![false; size];
     let mut heap = BinaryHeap::new();
     g[start_idx] = 0.0;
-    heap.push(Frontier { f: octile(start, goal), index: start_idx });
+    heap.push(Frontier {
+        f: octile(start, goal),
+        index: start_idx,
+    });
     let mut expanded = 0usize;
 
     const NEIGHBOURS: [(i32, i32, f64); 8] = [
@@ -234,7 +244,11 @@ pub fn astar(map: &GridMap, start: Cell, goal: Cell) -> Option<Path> {
                 cursor = parent[cursor];
             }
             cells.reverse();
-            return Some(Path { cells, cost: g[goal_idx], expanded });
+            return Some(Path {
+                cells,
+                cost: g[goal_idx],
+                expanded,
+            });
         }
         let cell = to_cell(index);
         for (dx, dy, step) in NEIGHBOURS {
@@ -244,7 +258,10 @@ pub fn astar(map: &GridMap, start: Cell, goal: Cell) -> Option<Path> {
             }
             // Forbid cutting corners: a diagonal move requires both adjacent
             // orthogonal cells to be free.
-            if dx != 0 && dy != 0 && (map.is_blocked((cell.0 + dx, cell.1)) || map.is_blocked((cell.0, cell.1 + dy))) {
+            if dx != 0
+                && dy != 0
+                && (map.is_blocked((cell.0 + dx, cell.1)) || map.is_blocked((cell.0, cell.1 + dy)))
+            {
                 continue;
             }
             let next_idx = to_index(next);
@@ -252,7 +269,10 @@ pub fn astar(map: &GridMap, start: Cell, goal: Cell) -> Option<Path> {
             if tentative + 1e-12 < g[next_idx] {
                 g[next_idx] = tentative;
                 parent[next_idx] = index;
-                heap.push(Frontier { f: tentative + octile(next, goal), index: next_idx });
+                heap.push(Frontier {
+                    f: tentative + octile(next, goal),
+                    index: next_idx,
+                });
             }
         }
     }
@@ -315,17 +335,15 @@ mod tests {
 
     #[test]
     fn detour_around_a_wall() {
-        let map = map_of(&[
-            "..........",
-            "..........",
-            "..######..",
-            "..........",
-        ]);
+        let map = map_of(&["..........", "..........", "..######..", ".........."]);
         // From below the wall to above it: the path must go around the ends.
         let path = astar(&map, (5, 3), (5, 1)).unwrap();
         assert!(path.cost > 2.0);
         for cell in &path.cells {
-            assert!(!map.is_blocked(*cell), "path passes through a wall at {cell:?}");
+            assert!(
+                !map.is_blocked(*cell),
+                "path passes through a wall at {cell:?}"
+            );
         }
         // Consecutive cells are 8-connected.
         for pair in path.cells.windows(2) {
@@ -337,10 +355,7 @@ mod tests {
 
     #[test]
     fn no_corner_cutting_through_diagonal_gaps() {
-        let map = map_of(&[
-            ".#",
-            "#.",
-        ]);
+        let map = map_of(&[".#", "#."]);
         // The only "path" from (0,0) to (1,1) would cut the corner between the
         // two blocked cells; that is not allowed.
         assert!(astar(&map, (0, 0), (1, 1)).is_none());
@@ -348,13 +363,7 @@ mod tests {
 
     #[test]
     fn unreachable_goals_return_none() {
-        let map = map_of(&[
-            ".....",
-            ".###.",
-            ".#.#.",
-            ".###.",
-            ".....",
-        ]);
+        let map = map_of(&[".....", ".###.", ".#.#.", ".###.", "....."]);
         assert!(astar(&map, (0, 0), (2, 2)).is_none());
         // Blocked endpoints are rejected outright.
         assert!(astar(&map, (1, 1), (0, 0)).is_none());
@@ -402,14 +411,23 @@ mod tests {
                         continue;
                     }
                     for (dx, dy, step) in [
-                        (1, 0, 1.0), (-1, 0, 1.0), (0, 1, 1.0), (0, -1, 1.0),
-                        (1, 1, SQRT2), (1, -1, SQRT2), (-1, 1, SQRT2), (-1, -1, SQRT2),
+                        (1, 0, 1.0),
+                        (-1, 0, 1.0),
+                        (0, 1, 1.0),
+                        (0, -1, 1.0),
+                        (1, 1, SQRT2),
+                        (1, -1, SQRT2),
+                        (-1, 1, SQRT2),
+                        (-1, -1, SQRT2),
                     ] {
                         let next = (cx + dx, cy + dy);
                         if map.is_blocked(next) {
                             continue;
                         }
-                        if dx != 0 && dy != 0 && (map.is_blocked((cx + dx, cy)) || map.is_blocked((cx, cy + dy))) {
+                        if dx != 0
+                            && dy != 0
+                            && (map.is_blocked((cx + dx, cy)) || map.is_blocked((cx, cy + dy)))
+                        {
                             continue;
                         }
                         let ni = next.1 as usize * w + next.0 as usize;
@@ -425,7 +443,12 @@ mod tests {
             }
         }
         let truth = dist[goal.1 as usize * w + goal.0 as usize];
-        assert!((fast.cost - truth).abs() < 1e-9, "A* cost {} vs true {}", fast.cost, truth);
+        assert!(
+            (fast.cost - truth).abs() < 1e-9,
+            "A* cost {} vs true {}",
+            fast.cost,
+            truth
+        );
         assert!(fast.expanded <= w * h);
     }
 

@@ -57,7 +57,10 @@ impl StateDigest {
             combined = combined.wrapping_add(mix(row_hash));
         }
         let _ = schema;
-        StateDigest { hash: combined, population: table.len() }
+        StateDigest {
+            hash: combined,
+            population: table.len(),
+        }
     }
 }
 
@@ -102,12 +105,14 @@ struct Fnv {
 
 impl Fnv {
     fn new() -> Fnv {
-        Fnv { state: 0xCBF2_9CE4_8422_2325 }
+        Fnv {
+            state: 0xCBF2_9CE4_8422_2325,
+        }
     }
 
     fn write_u64(&mut self, v: u64) {
         for shift in (0..64).step_by(8) {
-            let byte = ((v >> shift) & 0xFF) as u64;
+            let byte = (v >> shift) & 0xFF;
             self.state ^= byte;
             self.state = self.state.wrapping_mul(0x0000_0100_0000_01B3);
         }
@@ -143,7 +148,11 @@ impl TraceRecorder {
 
     /// Record one tick (call after `Simulation::step`).
     pub fn record(&mut self, tick: u64, table: &EnvTable, deaths: usize) {
-        self.entries.push(TickTrace { tick, digest: StateDigest::of_table(table), deaths });
+        self.entries.push(TickTrace {
+            tick,
+            digest: StateDigest::of_table(table),
+            deaths,
+        });
     }
 
     /// The recorded entries.
@@ -185,11 +194,16 @@ pub enum TraceComparison {
 pub fn compare_traces(a: &TraceRecorder, b: &TraceRecorder) -> TraceComparison {
     for (ta, tb) in a.entries().iter().zip(b.entries()) {
         if ta.digest != tb.digest || ta.deaths != tb.deaths {
-            return TraceComparison::DivergesAt { tick: ta.tick.min(tb.tick) };
+            return TraceComparison::DivergesAt {
+                tick: ta.tick.min(tb.tick),
+            };
         }
     }
     if a.len() != b.len() {
-        return TraceComparison::LengthMismatch { left: a.len(), right: b.len() };
+        return TraceComparison::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        };
     }
     TraceComparison::Identical
 }
@@ -229,27 +243,42 @@ mod tests {
     fn digest_is_independent_of_row_order() {
         let a = table_with(&[(1, 1.0, 10), (2, 2.0, 20)]);
         let b = table_with(&[(2, 2.0, 20), (1, 1.0, 10)]);
-        assert_eq!(StateDigest::of_table(&a).hash, StateDigest::of_table(&b).hash);
+        assert_eq!(
+            StateDigest::of_table(&a).hash,
+            StateDigest::of_table(&b).hash
+        );
     }
 
     #[test]
     fn digest_detects_changed_values() {
         let a = table_with(&[(1, 1.0, 10), (2, 2.0, 20)]);
         let b = table_with(&[(1, 1.0, 10), (2, 2.0, 21)]);
-        assert_ne!(StateDigest::of_table(&a).hash, StateDigest::of_table(&b).hash);
+        assert_ne!(
+            StateDigest::of_table(&a).hash,
+            StateDigest::of_table(&b).hash
+        );
         // Swapping values between rows must also be detected even though row
         // combination is commutative.
         let c = table_with(&[(1, 2.0, 10), (2, 1.0, 20)]);
-        assert_ne!(StateDigest::of_table(&a).hash, StateDigest::of_table(&c).hash);
+        assert_ne!(
+            StateDigest::of_table(&a).hash,
+            StateDigest::of_table(&c).hash
+        );
     }
 
     #[test]
     fn digest_ignores_sub_quantum_float_noise() {
         let a = table_with(&[(1, 1.0, 10)]);
         let b = table_with(&[(1, 1.0 + 1e-9, 10)]);
-        assert_eq!(StateDigest::of_table(&a).hash, StateDigest::of_table(&b).hash);
+        assert_eq!(
+            StateDigest::of_table(&a).hash,
+            StateDigest::of_table(&b).hash
+        );
         let c = table_with(&[(1, 1.0 + 1e-3, 10)]);
-        assert_ne!(StateDigest::of_table(&a).hash, StateDigest::of_table(&c).hash);
+        assert_ne!(
+            StateDigest::of_table(&a).hash,
+            StateDigest::of_table(&c).hash
+        );
     }
 
     #[test]
@@ -280,11 +309,17 @@ mod tests {
         let mut c = TraceRecorder::new();
         c.record(0, &t1, 0);
         c.record(1, &t2_diff, 1);
-        assert_eq!(compare_traces(&a, &c), TraceComparison::DivergesAt { tick: 1 });
+        assert_eq!(
+            compare_traces(&a, &c),
+            TraceComparison::DivergesAt { tick: 1 }
+        );
 
         let mut d = TraceRecorder::new();
         d.record(0, &t1, 0);
-        assert_eq!(compare_traces(&a, &d), TraceComparison::LengthMismatch { left: 2, right: 1 });
+        assert_eq!(
+            compare_traces(&a, &d),
+            TraceComparison::LengthMismatch { left: 2, right: 1 }
+        );
         assert!(!d.is_empty());
         assert_eq!(d.len(), 1);
         assert_eq!(d.entries()[0].tick, 0);
@@ -297,6 +332,9 @@ mod tests {
         a.record(0, &t, 0);
         let mut b = TraceRecorder::new();
         b.record(0, &t, 2);
-        assert_eq!(compare_traces(&a, &b), TraceComparison::DivergesAt { tick: 0 });
+        assert_eq!(
+            compare_traces(&a, &b),
+            TraceComparison::DivergesAt { tick: 0 }
+        );
     }
 }

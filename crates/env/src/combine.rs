@@ -107,50 +107,75 @@ mod tests {
     }
 
     mod properties {
+        //! Randomized law checks (formerly proptest-based; rewritten as
+        //! deterministic seeded sweeps because the build environment cannot
+        //! fetch the proptest crate).
         use super::*;
-        use proptest::prelude::*;
+
+        /// Deterministic pseudo-random stream (splitmix64).
+        struct Rng(u64);
+
+        impl Rng {
+            fn next(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            }
+
+            fn below(&mut self, n: u64) -> u64 {
+                self.next() % n.max(1)
+            }
+        }
 
         /// Generate a random effect row over the paper schema.
-        fn arb_row() -> impl Strategy<Value = EffectRow> {
-            let s = schema();
-            let effect_attrs: Vec<usize> = s.effect_attrs().collect();
-            (0i64..6, proptest::sample::select(effect_attrs), -20i64..20).prop_map(move |(key, attr, v)| {
-                EffectRow::single(key, attr, Value::Int(v))
-            })
+        fn random_row(rng: &mut Rng, effect_attrs: &[usize]) -> EffectRow {
+            let key = rng.below(6) as i64;
+            let attr = effect_attrs[rng.below(effect_attrs.len() as u64) as usize];
+            let v = rng.below(40) as i64 - 20;
+            EffectRow::single(key, attr, Value::Int(v))
+        }
+
+        fn random_rows(rng: &mut Rng, max: u64, effect_attrs: &[usize]) -> Vec<EffectRow> {
+            (0..rng.below(max))
+                .map(|_| random_row(rng, effect_attrs))
+                .collect()
         }
 
         fn combine(rows: &[EffectRow]) -> Vec<(i64, usize, Value)> {
             combine_rows(schema(), rows.to_vec()).unwrap().canonical()
         }
 
-        proptest! {
-            /// ⊕ is insensitive to the order of effect rows (commutativity +
-            /// associativity of sum/min/max).
-            #[test]
-            fn order_insensitive(mut rows in proptest::collection::vec(arb_row(), 0..40), seed in 0u64..1000) {
+        /// ⊕ is insensitive to the order of effect rows (commutativity +
+        /// associativity of sum/min/max).
+        #[test]
+        fn order_insensitive() {
+            let s = schema();
+            let effect_attrs: Vec<usize> = s.effect_attrs().collect();
+            for case in 0..64u64 {
+                let mut rng = Rng(case.wrapping_mul(0x517C_C1B7_2722_0A95));
+                let mut rows = random_rows(&mut rng, 40, &effect_attrs);
                 let original = combine(&rows);
-                // Deterministic shuffle driven by the seed.
-                let n = rows.len();
-                if n > 1 {
-                    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
-                    for i in (1..n).rev() {
-                        state ^= state << 13;
-                        state ^= state >> 7;
-                        state ^= state << 17;
-                        let j = (state % (i as u64 + 1)) as usize;
-                        rows.swap(i, j);
-                    }
+                // Fisher–Yates shuffle driven by the same stream.
+                for i in (1..rows.len()).rev() {
+                    let j = rng.below(i as u64 + 1) as usize;
+                    rows.swap(i, j);
                 }
-                prop_assert_eq!(original, combine(&rows));
+                assert_eq!(original, combine(&rows), "case {case}");
             }
+        }
 
-            /// ⊕(E1 ⊎ E2) = ⊕(⊕E1 ⊎ ⊕E2): pre-combining partitions does not
-            /// change the result (Eq. (3) applied twice).
-            #[test]
-            fn pre_combining_partitions_is_equivalent(
-                rows1 in proptest::collection::vec(arb_row(), 0..25),
-                rows2 in proptest::collection::vec(arb_row(), 0..25),
-            ) {
+        /// ⊕(E1 ⊎ E2) = ⊕(⊕E1 ⊎ ⊕E2): pre-combining partitions does not
+        /// change the result (Eq. (3) applied twice).
+        #[test]
+        fn pre_combining_partitions_is_equivalent() {
+            let s = schema();
+            let effect_attrs: Vec<usize> = s.effect_attrs().collect();
+            for case in 0..64u64 {
+                let mut rng = Rng(case.wrapping_mul(0xA076_1D64_78BD_642F));
+                let rows1 = random_rows(&mut rng, 25, &effect_attrs);
+                let rows2 = random_rows(&mut rng, 25, &effect_attrs);
                 let mut all = rows1.clone();
                 all.extend(rows2.clone());
                 let direct = combine(&all);
@@ -158,25 +183,30 @@ mod tests {
                 let b1 = combine_rows(schema(), rows1).unwrap();
                 let b2 = combine_rows(schema(), rows2).unwrap();
                 let staged = combine_buffers(&b1, &b2).unwrap().canonical();
-                prop_assert_eq!(direct, staged);
+                assert_eq!(direct, staged, "case {case}");
             }
+        }
 
-            /// Combining a buffer with itself only changes `sum` attributes
-            /// (doubling), never `min`/`max` ones — the nonstackable semantics.
-            #[test]
-            fn nonstackable_attributes_are_idempotent(rows in proptest::collection::vec(arb_row(), 0..30)) {
-                let s = schema();
-                let once = combine_rows(Arc::clone(&s), rows.clone()).unwrap();
+        /// Combining a buffer with itself only changes `sum` attributes
+        /// (doubling), never `min`/`max` ones — the nonstackable semantics.
+        #[test]
+        fn nonstackable_attributes_are_idempotent() {
+            let s = schema();
+            let effect_attrs: Vec<usize> = s.effect_attrs().collect();
+            for case in 0..64u64 {
+                let mut rng = Rng(case.wrapping_mul(0xE703_7ED1_A0B4_28DB));
+                let rows = random_rows(&mut rng, 30, &effect_attrs);
+                let once = combine_rows(Arc::clone(&s), rows).unwrap();
                 let doubled = combine_buffers(&once, &once).unwrap();
                 for (key, attr, v) in once.canonical() {
                     let kind = s.attr(attr).kind;
                     let dv = doubled.get(key, attr).cloned().unwrap();
                     match kind {
                         crate::schema::CombineKind::Max | crate::schema::CombineKind::Min => {
-                            prop_assert_eq!(dv, v);
+                            assert_eq!(dv, v, "case {case}");
                         }
                         crate::schema::CombineKind::Sum => {
-                            prop_assert_eq!(dv, v.add(&v).unwrap());
+                            assert_eq!(dv, v.add(&v).unwrap(), "case {case}");
                         }
                         crate::schema::CombineKind::Const => unreachable!(),
                     }

@@ -33,7 +33,10 @@ impl EffectRow {
 
     /// Create an effect row with a single attribute.
     pub fn single(key: i64, attr: AttrId, value: Value) -> EffectRow {
-        EffectRow { key, values: vec![(attr, value)] }
+        EffectRow {
+            key,
+            values: vec![(attr, value)],
+        }
     }
 }
 
@@ -64,7 +67,10 @@ pub struct EffectBuffer {
 impl EffectBuffer {
     /// Create an empty buffer for the given schema.
     pub fn new(schema: Arc<Schema>) -> EffectBuffer {
-        EffectBuffer { schema, per_key: FxHashMap::default() }
+        EffectBuffer {
+            schema,
+            per_key: FxHashMap::default(),
+        }
     }
 
     /// The schema this buffer combines against.
@@ -122,13 +128,17 @@ impl EffectBuffer {
 
     /// Read the combined effect for `(key, attr)`, if any was recorded.
     pub fn get(&self, key: i64, attr: AttrId) -> Option<&Value> {
-        self.per_key.get(&key).and_then(|slots| slots[attr].as_ref())
+        self.per_key
+            .get(&key)
+            .and_then(|slots| slots[attr].as_ref())
     }
 
     /// Read the combined effect, falling back to the attribute's default
     /// (the value an unaffected unit carries at the end of a tick).
     pub fn get_or_default(&self, key: i64, attr: AttrId) -> Value {
-        self.get(key, attr).cloned().unwrap_or_else(|| self.schema.attr(attr).default.clone())
+        self.get(key, attr)
+            .cloned()
+            .unwrap_or_else(|| self.schema.attr(attr).default.clone())
     }
 
     /// Iterate over `(key, attr, value)` triples of recorded effects.
@@ -155,7 +165,7 @@ impl EffectBuffer {
     pub fn canonical(&self) -> Vec<(i64, AttrId, Value)> {
         let mut out: Vec<(i64, AttrId, Value)> =
             self.iter().map(|(k, a, v)| (k, a, v.clone())).collect();
-        out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        out.sort_by_key(|a| (a.0, a.1));
         out
     }
 }
@@ -197,17 +207,26 @@ mod tests {
     fn const_attributes_reject_effects() {
         let (s, _, _, hp) = ids();
         let mut buf = EffectBuffer::new(s);
-        assert!(matches!(buf.apply(1, hp, Value::Int(1)).unwrap_err(), EnvError::ConstEffect(_)));
+        assert!(matches!(
+            buf.apply(1, hp, Value::Int(1)).unwrap_err(),
+            EnvError::ConstEffect(_)
+        ));
     }
 
     #[test]
     fn rows_and_merge() {
         let (s, dmg, aura, _) = ids();
         let mut a = EffectBuffer::new(Arc::clone(&s));
-        a.apply_row(&EffectRow::new(1, vec![(dmg, Value::Int(2)), (aura, Value::Int(1))])).unwrap();
+        a.apply_row(&EffectRow::new(
+            1,
+            vec![(dmg, Value::Int(2)), (aura, Value::Int(1))],
+        ))
+        .unwrap();
         let mut b = EffectBuffer::new(Arc::clone(&s));
-        b.apply_row(&EffectRow::single(1, dmg, Value::Int(4))).unwrap();
-        b.apply_row(&EffectRow::single(2, aura, Value::Int(6))).unwrap();
+        b.apply_row(&EffectRow::single(1, dmg, Value::Int(4)))
+            .unwrap();
+        b.apply_row(&EffectRow::single(2, aura, Value::Int(6)))
+            .unwrap();
 
         let mut merged_ab = a.clone();
         merged_ab.merge(&b).unwrap();

@@ -44,7 +44,10 @@ impl fmt::Display for EnvError {
             EnvError::MissingKey => write!(f, "schema has no key attribute"),
             EnvError::InvalidKey(msg) => write!(f, "invalid key attribute: {msg}"),
             EnvError::ArityMismatch { expected, found } => {
-                write!(f, "tuple arity mismatch: expected {expected} values, found {found}")
+                write!(
+                    f,
+                    "tuple arity mismatch: expected {expected} values, found {found}"
+                )
             }
             EnvError::TypeError(msg) => write!(f, "type error: {msg}"),
             EnvError::ConstEffect(name) => {
@@ -74,7 +77,13 @@ mod tests {
             (EnvError::DuplicateAttribute("posx".into()), "posx"),
             (EnvError::MissingKey, "key"),
             (EnvError::InvalidKey("not const".into()), "not const"),
-            (EnvError::ArityMismatch { expected: 3, found: 2 }, "expected 3"),
+            (
+                EnvError::ArityMismatch {
+                    expected: 3,
+                    found: 2,
+                },
+                "expected 3",
+            ),
             (EnvError::TypeError("bool + int".into()), "bool + int"),
             (EnvError::ConstEffect("player".into()), "player"),
             (EnvError::DuplicateKey(7), "7"),
@@ -82,7 +91,10 @@ mod tests {
             (EnvError::Arithmetic("div by zero".into()), "div by zero"),
         ];
         for (err, needle) in cases {
-            assert!(err.to_string().contains(needle), "{err} should mention {needle}");
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
         }
     }
 

@@ -79,10 +79,15 @@ mod tests {
     fn prelude_exports_compile_together() {
         let schema = schema::paper_schema().into_shared();
         let mut table = EnvTable::new(schema.clone());
-        let unit = TupleBuilder::new(&schema).unwrap_key("key", 9).unwrap_key("health", 12).build();
+        let unit = TupleBuilder::new(&schema)
+            .unwrap_key("key", 9)
+            .unwrap_key("health", 12)
+            .build();
         table.insert(unit).unwrap();
         let mut effects = EffectBuffer::new(schema.clone());
-        effects.apply(9, schema.attr_id("damage").unwrap(), Value::Int(3)).unwrap();
+        effects
+            .apply(9, schema.attr_id("damage").unwrap(), Value::Int(3))
+            .unwrap();
         let pp = postprocess::paper_postprocessor(&schema, 1.0, 2).unwrap();
         pp.apply(&mut table, &effects).unwrap();
         let hp = schema.attr_id("health").unwrap();

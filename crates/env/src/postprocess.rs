@@ -50,16 +50,19 @@ pub enum UpdateExpr {
 
 impl UpdateExpr {
     /// Convenience: `a + b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: UpdateExpr, b: UpdateExpr) -> UpdateExpr {
         UpdateExpr::Add(Box::new(a), Box::new(b))
     }
 
     /// Convenience: `a - b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: UpdateExpr, b: UpdateExpr) -> UpdateExpr {
         UpdateExpr::Sub(Box::new(a), Box::new(b))
     }
 
     /// Convenience: `a * b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: UpdateExpr, b: UpdateExpr) -> UpdateExpr {
         UpdateExpr::Mul(Box::new(a), Box::new(b))
     }
@@ -79,16 +82,24 @@ impl UpdateExpr {
             UpdateExpr::State(attr) => Ok(state.get(*attr).clone()),
             UpdateExpr::Effect(attr) => Ok(effects.get_or_default(key, *attr)),
             UpdateExpr::Const(v) => Ok(v.clone()),
-            UpdateExpr::Add(a, b) => a.eval(state, key, effects)?.add(&b.eval(state, key, effects)?),
-            UpdateExpr::Sub(a, b) => a.eval(state, key, effects)?.sub(&b.eval(state, key, effects)?),
-            UpdateExpr::Mul(a, b) => a.eval(state, key, effects)?.mul(&b.eval(state, key, effects)?),
-            UpdateExpr::Div(a, b) => a.eval(state, key, effects)?.div(&b.eval(state, key, effects)?),
-            UpdateExpr::Min(a, b) => {
-                a.eval(state, key, effects)?.min_value(&b.eval(state, key, effects)?)
-            }
-            UpdateExpr::Max(a, b) => {
-                a.eval(state, key, effects)?.max_value(&b.eval(state, key, effects)?)
-            }
+            UpdateExpr::Add(a, b) => a
+                .eval(state, key, effects)?
+                .add(&b.eval(state, key, effects)?),
+            UpdateExpr::Sub(a, b) => a
+                .eval(state, key, effects)?
+                .sub(&b.eval(state, key, effects)?),
+            UpdateExpr::Mul(a, b) => a
+                .eval(state, key, effects)?
+                .mul(&b.eval(state, key, effects)?),
+            UpdateExpr::Div(a, b) => a
+                .eval(state, key, effects)?
+                .div(&b.eval(state, key, effects)?),
+            UpdateExpr::Min(a, b) => a
+                .eval(state, key, effects)?
+                .min_value(&b.eval(state, key, effects)?),
+            UpdateExpr::Max(a, b) => a
+                .eval(state, key, effects)?
+                .max_value(&b.eval(state, key, effects)?),
             UpdateExpr::Clamp { value, lo, hi } => {
                 let v = value.eval(state, key, effects)?;
                 let lo = lo.eval(state, key, effects)?;
@@ -154,7 +165,11 @@ pub struct PostProcessor {
 impl PostProcessor {
     /// Create a post-processor with no rules.
     pub fn new(schema: Arc<Schema>) -> PostProcessor {
-        PostProcessor { schema, rules: Vec::new(), remove: None }
+        PostProcessor {
+            schema,
+            rules: Vec::new(),
+            remove: None,
+        }
     }
 
     /// Add an assignment rule.
@@ -172,13 +187,22 @@ impl PostProcessor {
         axis_is_x: bool,
         step: f64,
     ) -> PostProcessor {
-        self.rules.push(UpdateRule::NormalizedMove { target, dx, dy, axis_is_x, step });
+        self.rules.push(UpdateRule::NormalizedMove {
+            target,
+            dx,
+            dy,
+            axis_is_x,
+            step,
+        });
         self
     }
 
     /// Remove units whose `attr` is `<= threshold` after the update.
     pub fn remove_when_le(mut self, attr: AttrId, threshold: impl Into<Value>) -> PostProcessor {
-        self.remove = Some(RemoveRule { attr, threshold: threshold.into() });
+        self.remove = Some(RemoveRule {
+            attr,
+            threshold: threshold.into(),
+        });
         self
     }
 
@@ -205,7 +229,13 @@ impl PostProcessor {
                     UpdateRule::Assign { target, expr } => {
                         updates.push((*target, expr.eval(row, key, effects)?));
                     }
-                    UpdateRule::NormalizedMove { target, dx, dy, axis_is_x, step } => {
+                    UpdateRule::NormalizedMove {
+                        target,
+                        dx,
+                        dy,
+                        axis_is_x,
+                        step,
+                    } => {
                         let vx = effects.get_or_default(key, *dx).as_f64()?;
                         let vy = effects.get_or_default(key, *dy).as_f64()?;
                         let norm = (vx * vx + vy * vy).sqrt();
@@ -254,7 +284,11 @@ impl PostProcessor {
 /// positions move by the normalised movement vector, health loses `damage`
 /// and gains `inaura` (capped by `max_health` if present), the cooldown
 /// decreases by one and increases by `weaponused * reload`.
-pub fn paper_postprocessor(schema: &Arc<Schema>, walk_dist_per_tick: f64, reload: i64) -> Result<PostProcessor> {
+pub fn paper_postprocessor(
+    schema: &Arc<Schema>,
+    walk_dist_per_tick: f64,
+    reload: i64,
+) -> Result<PostProcessor> {
     let posx = schema.require_attr("posx")?;
     let posy = schema.require_attr("posy")?;
     let health = schema.require_attr("health")?;
@@ -276,8 +310,14 @@ pub fn paper_postprocessor(schema: &Arc<Schema>, walk_dist_per_tick: f64, reload
     };
     let cooldown_expr = UpdateExpr::max(
         UpdateExpr::add(
-            UpdateExpr::sub(UpdateExpr::State(cooldown), UpdateExpr::Const(Value::Int(1))),
-            UpdateExpr::mul(UpdateExpr::Effect(weaponused), UpdateExpr::Const(Value::Int(reload))),
+            UpdateExpr::sub(
+                UpdateExpr::State(cooldown),
+                UpdateExpr::Const(Value::Int(1)),
+            ),
+            UpdateExpr::mul(
+                UpdateExpr::Effect(weaponused),
+                UpdateExpr::Const(Value::Int(reload)),
+            ),
         ),
         UpdateExpr::Const(Value::Int(0)),
     );
@@ -413,7 +453,13 @@ mod tests {
         assert_eq!(stats.removed, 0);
         assert_eq!(stats.updated, 3); // cooldown 2 → 1 for everyone
         let hp = schema.attr_id("health").unwrap();
-        assert_eq!(table.row(table.find_key_readonly(1).unwrap()).get_i64(hp).unwrap(), 20);
+        assert_eq!(
+            table
+                .row(table.find_key_readonly(1).unwrap())
+                .get_i64(hp)
+                .unwrap(),
+            20
+        );
     }
 
     #[test]
@@ -425,13 +471,22 @@ mod tests {
         let pp = PostProcessor::new(Arc::clone(&schema)).assign(
             hp,
             UpdateExpr::Clamp {
-                value: Box::new(UpdateExpr::add(UpdateExpr::State(hp), UpdateExpr::Effect(aura))),
+                value: Box::new(UpdateExpr::add(
+                    UpdateExpr::State(hp),
+                    UpdateExpr::Effect(aura),
+                )),
                 lo: Box::new(UpdateExpr::Const(Value::Int(0))),
                 hi: Box::new(UpdateExpr::Const(Value::Int(25))),
             },
         );
         pp.apply(&mut table, &effects).unwrap();
-        assert_eq!(table.row(table.find_key_readonly(1).unwrap()).get_i64(hp).unwrap(), 25);
+        assert_eq!(
+            table
+                .row(table.find_key_readonly(1).unwrap())
+                .get_i64(hp)
+                .unwrap(),
+            25
+        );
     }
 
     #[test]

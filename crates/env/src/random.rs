@@ -30,7 +30,9 @@ impl GameRng {
 
     /// The per-tick random function handed to scripts at tick `tick`.
     pub fn for_tick(&self, tick: u64) -> TickRandom {
-        TickRandom { state: splitmix64(self.seed ^ splitmix64(tick)) }
+        TickRandom {
+            state: splitmix64(self.seed ^ splitmix64(tick)),
+        }
     }
 }
 
@@ -44,7 +46,9 @@ impl TickRandom {
     /// Raw 64-bit draw for `(unit key, i)`.
     #[inline]
     pub fn raw(&self, unit_key: i64, i: i64) -> u64 {
-        splitmix64(self.state ^ splitmix64(unit_key as u64) ^ splitmix64((i as u64).rotate_left(17)))
+        splitmix64(
+            self.state ^ splitmix64(unit_key as u64) ^ splitmix64((i as u64).rotate_left(17)),
+        )
     }
 
     /// The SGL-visible value: a non-negative integer.

@@ -60,7 +60,10 @@ pub struct Schema {
 impl Schema {
     /// Start building a schema.
     pub fn builder() -> SchemaBuilder {
-        SchemaBuilder { attrs: Vec::new(), key: None }
+        SchemaBuilder {
+            attrs: Vec::new(),
+            key: None,
+        }
     }
 
     /// Number of attributes.
@@ -85,7 +88,8 @@ impl Schema {
 
     /// Resolve an attribute name, erroring when unknown.
     pub fn require_attr(&self, name: &str) -> Result<AttrId> {
-        self.attr_id(name).ok_or_else(|| EnvError::UnknownAttribute(name.to_string()))
+        self.attr_id(name)
+            .ok_or_else(|| EnvError::UnknownAttribute(name.to_string()))
     }
 
     /// Definition of an attribute.
@@ -100,12 +104,20 @@ impl Schema {
 
     /// Ids of all `const` attributes.
     pub fn const_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
-        self.attrs.iter().enumerate().filter(|(_, a)| a.kind == CombineKind::Const).map(|(i, _)| i)
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == CombineKind::Const)
+            .map(|(i, _)| i)
     }
 
     /// Ids of all effect (`sum`/`max`/`min`) attributes.
     pub fn effect_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
-        self.attrs.iter().enumerate().filter(|(_, a)| a.kind.is_effect()).map(|(i, _)| i)
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind.is_effect())
+            .map(|(i, _)| i)
     }
 
     /// Default values for a fresh tuple, in attribute order.
@@ -128,7 +140,11 @@ pub struct SchemaBuilder {
 
 impl SchemaBuilder {
     fn push(&mut self, name: &str, kind: CombineKind, default: Value) -> &mut Self {
-        self.attrs.push(AttrDef { name: name.to_string(), kind, default });
+        self.attrs.push(AttrDef {
+            name: name.to_string(),
+            kind,
+            default,
+        });
         self
     }
 
@@ -169,12 +185,22 @@ impl SchemaBuilder {
         }
         let key_def = &self.attrs[key];
         if key_def.kind != CombineKind::Const {
-            return Err(EnvError::InvalidKey(format!("`{}` must be const", key_def.name)));
+            return Err(EnvError::InvalidKey(format!(
+                "`{}` must be const",
+                key_def.name
+            )));
         }
         if !matches!(key_def.default, Value::Int(_)) {
-            return Err(EnvError::InvalidKey(format!("`{}` must be integer valued", key_def.name)));
+            return Err(EnvError::InvalidKey(format!(
+                "`{}` must be integer valued",
+                key_def.name
+            )));
         }
-        Ok(Schema { attrs: self.attrs.clone(), by_name, key })
+        Ok(Schema {
+            attrs: self.attrs.clone(),
+            by_name,
+            key,
+        })
     }
 }
 
@@ -228,13 +254,20 @@ mod tests {
     fn duplicate_attribute_is_rejected() {
         let mut b = Schema::builder();
         b.key("key").const_attr("a", 1i64).sum_attr("a", 0i64);
-        assert!(matches!(b.build().unwrap_err(), EnvError::DuplicateAttribute(_)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            EnvError::DuplicateAttribute(_)
+        ));
     }
 
     #[test]
     fn non_integer_key_is_rejected() {
         let mut b = Schema::builder();
-        b.attrs.push(AttrDef { name: "key".into(), kind: CombineKind::Const, default: Value::Float(0.0) });
+        b.attrs.push(AttrDef {
+            name: "key".into(),
+            kind: CombineKind::Const,
+            default: Value::Float(0.0),
+        });
         b.key = Some(0);
         assert!(matches!(b.build().unwrap_err(), EnvError::InvalidKey(_)));
     }

@@ -85,7 +85,9 @@ pub fn restore(data: &[u8], schema: &std::sync::Arc<Schema>) -> Result<EnvTable>
     let (payload, checksum_bytes) = data.split_at(data.len() - 8);
     let stored_checksum = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
     if fnv(payload) != stored_checksum {
-        return Err(EnvError::Snapshot("checksum mismatch (corrupted snapshot)".into()));
+        return Err(EnvError::Snapshot(
+            "checksum mismatch (corrupted snapshot)".into(),
+        ));
     }
 
     let mut cursor = payload;
@@ -94,11 +96,15 @@ pub fn restore(data: &[u8], schema: &std::sync::Arc<Schema>) -> Result<EnvTable>
     }
     let version = cursor.get_u16_le();
     if version != VERSION {
-        return Err(EnvError::Snapshot(format!("unsupported snapshot version {version}")));
+        return Err(EnvError::Snapshot(format!(
+            "unsupported snapshot version {version}"
+        )));
     }
     let fingerprint = cursor.get_u64_le();
     if fingerprint != schema_fingerprint(schema) {
-        return Err(EnvError::Snapshot("snapshot was written against a different schema".into()));
+        return Err(EnvError::Snapshot(
+            "snapshot was written against a different schema".into(),
+        ));
     }
     let arity = cursor.get_u32_le() as usize;
     if arity != schema.len() {
@@ -119,7 +125,10 @@ pub fn restore(data: &[u8], schema: &std::sync::Arc<Schema>) -> Result<EnvTable>
         table.insert(tuple)?;
     }
     if cursor.has_remaining() {
-        return Err(EnvError::Snapshot(format!("{} trailing bytes after the last row", cursor.remaining())));
+        return Err(EnvError::Snapshot(format!(
+            "{} trailing bytes after the last row",
+            cursor.remaining()
+        )));
     }
     Ok(table)
 }
@@ -261,7 +270,10 @@ mod tests {
     #[test]
     fn string_and_bool_values_round_trip() {
         let mut b = Schema::builder();
-        b.key("key").const_attr("name", Value::str("none")).const_attr("alive", true).sum_attr("damage", 0i64);
+        b.key("key")
+            .const_attr("name", Value::str("none"))
+            .const_attr("alive", true)
+            .sum_attr("damage", 0i64);
         let schema = b.build().unwrap().into_shared();
         let mut table = EnvTable::new(Arc::clone(&schema));
         let t = TupleBuilder::new(&schema)
@@ -277,7 +289,7 @@ mod tests {
         let name = schema.attr_id("name").unwrap();
         let alive = schema.attr_id("alive").unwrap();
         assert_eq!(restored.row(0).get(name).as_str(), Some("Sir Lance"));
-        assert_eq!(restored.row(0).get(alive).as_bool().unwrap(), false);
+        assert!(!restored.row(0).get(alive).as_bool().unwrap());
     }
 
     #[test]
@@ -308,7 +320,9 @@ mod tests {
         let table = sample_table(5);
         let bytes = snapshot(&table);
         let mut b = Schema::builder();
-        b.key("key").const_attr("posx", 0.0).sum_attr("damage", 0i64);
+        b.key("key")
+            .const_attr("posx", 0.0)
+            .sum_attr("damage", 0i64);
         let other = b.build().unwrap().into_shared();
         let err = restore(&bytes, &other).unwrap_err();
         assert!(matches!(err, EnvError::Snapshot(_)));
@@ -321,7 +335,10 @@ mod tests {
         let b = paper_schema();
         assert_eq!(schema_fingerprint(&a), schema_fingerprint(&b));
         let mut builder = Schema::builder();
-        builder.key("key").const_attr("posx", 0.0).min_attr("slow", 0i64);
+        builder
+            .key("key")
+            .const_attr("posx", 0.0)
+            .min_attr("slow", 0i64);
         let c = builder.build().unwrap();
         assert_ne!(schema_fingerprint(&a), schema_fingerprint(&c));
     }

@@ -25,7 +25,12 @@ pub struct EnvTable {
 impl EnvTable {
     /// Create an empty environment with the given schema.
     pub fn new(schema: Arc<Schema>) -> EnvTable {
-        EnvTable { schema, rows: Vec::new(), key_index: FxHashMap::default(), key_index_dirty: false }
+        EnvTable {
+            schema,
+            rows: Vec::new(),
+            key_index: FxHashMap::default(),
+            key_index_dirty: false,
+        }
     }
 
     /// The schema of the table.
@@ -47,7 +52,10 @@ impl EnvTable {
     /// duplicate key is an error so that effect application stays well defined.
     pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
         if tuple.arity() != self.schema.len() {
-            return Err(EnvError::ArityMismatch { expected: self.schema.len(), found: tuple.arity() });
+            return Err(EnvError::ArityMismatch {
+                expected: self.schema.len(),
+                found: tuple.arity(),
+            });
         }
         let key = tuple.key(&self.schema);
         self.ensure_key_index();
@@ -146,8 +154,12 @@ impl EnvTable {
 
     /// Update a single unit's attribute by key.
     pub fn set_by_key(&mut self, key: i64, attr: AttrId, value: Value) -> Result<()> {
-        if self.schema.attr(attr).kind == crate::schema::CombineKind::Const && attr == self.schema.key_attr() {
-            return Err(EnvError::InvalidKey("cannot overwrite the key attribute".into()));
+        if self.schema.attr(attr).kind == crate::schema::CombineKind::Const
+            && attr == self.schema.key_attr()
+        {
+            return Err(EnvError::InvalidKey(
+                "cannot overwrite the key attribute".into(),
+            ));
         }
         let idx = self.find_key(key).ok_or(EnvError::UnknownKey(key))?;
         self.rows[idx].set(attr, value);
@@ -214,7 +226,10 @@ mod tests {
     fn arity_mismatch_rejected() {
         let (schema, mut t) = sample_table();
         let bad = Tuple::from_values(vec![Value::Int(9)]);
-        assert!(matches!(t.insert(bad).unwrap_err(), EnvError::ArityMismatch { .. }));
+        assert!(matches!(
+            t.insert(bad).unwrap_err(),
+            EnvError::ArityMismatch { .. }
+        ));
         let _ = schema;
     }
 

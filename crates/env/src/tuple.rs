@@ -16,13 +16,18 @@ pub struct Tuple {
 impl Tuple {
     /// Create a tuple filled with the schema defaults.
     pub fn defaults(schema: &Schema) -> Tuple {
-        Tuple { values: schema.default_values() }
+        Tuple {
+            values: schema.default_values(),
+        }
     }
 
     /// Create a tuple from explicit values, checking arity against the schema.
     pub fn new(schema: &Schema, values: Vec<Value>) -> Result<Tuple> {
         if values.len() != schema.len() {
-            return Err(EnvError::ArityMismatch { expected: schema.len(), found: values.len() });
+            return Err(EnvError::ArityMismatch {
+                expected: schema.len(),
+                found: values.len(),
+            });
         }
         Ok(Tuple { values })
     }
@@ -60,7 +65,9 @@ impl Tuple {
 
     /// The key of this tuple under the given schema.
     pub fn key(&self, schema: &Schema) -> i64 {
-        self.values[schema.key_attr()].as_i64().expect("key attribute is integer valued")
+        self.values[schema.key_attr()]
+            .as_i64()
+            .expect("key attribute is integer valued")
     }
 
     /// All values in attribute order.
@@ -97,7 +104,10 @@ pub struct TupleBuilder<'a> {
 impl<'a> TupleBuilder<'a> {
     /// Start from the schema defaults.
     pub fn new(schema: &'a Schema) -> Self {
-        TupleBuilder { schema, tuple: Tuple::defaults(schema) }
+        TupleBuilder {
+            schema,
+            tuple: Tuple::defaults(schema),
+        }
     }
 
     /// Set an attribute by name.
@@ -141,7 +151,10 @@ mod tests {
     #[test]
     fn key_extraction() {
         let schema = paper_schema();
-        let t = TupleBuilder::new(&schema).set("key", 42i64).unwrap().build();
+        let t = TupleBuilder::new(&schema)
+            .set("key", 42i64)
+            .unwrap()
+            .build();
         assert_eq!(t.key(&schema), 42);
     }
 

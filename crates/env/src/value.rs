@@ -40,7 +40,9 @@ impl Value {
             Value::Int(i) => Ok(*i as f64),
             Value::Float(f) => Ok(*f),
             Value::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
-            Value::Str(s) => Err(EnvError::TypeError(format!("cannot read `{s}` as a number"))),
+            Value::Str(s) => Err(EnvError::TypeError(format!(
+                "cannot read `{s}` as a number"
+            ))),
         }
     }
 
@@ -50,7 +52,9 @@ impl Value {
             Value::Int(i) => Ok(*i),
             Value::Float(f) => Ok(*f as i64),
             Value::Bool(b) => Ok(i64::from(*b)),
-            Value::Str(s) => Err(EnvError::TypeError(format!("cannot read `{s}` as an integer"))),
+            Value::Str(s) => Err(EnvError::TypeError(format!(
+                "cannot read `{s}` as an integer"
+            ))),
         }
     }
 
@@ -60,7 +64,9 @@ impl Value {
             Value::Bool(b) => Ok(*b),
             Value::Int(i) => Ok(*i != 0),
             Value::Float(f) => Ok(*f != 0.0),
-            Value::Str(s) => Err(EnvError::TypeError(format!("cannot read `{s}` as a boolean"))),
+            Value::Str(s) => Err(EnvError::TypeError(format!(
+                "cannot read `{s}` as a boolean"
+            ))),
         }
     }
 
@@ -74,10 +80,14 @@ impl Value {
 
     fn numeric_pair(&self, other: &Value, op: &str) -> Result<(f64, f64)> {
         if !self.is_numeric() && !matches!(self, Value::Bool(_)) {
-            return Err(EnvError::TypeError(format!("left operand of `{op}` is not numeric")));
+            return Err(EnvError::TypeError(format!(
+                "left operand of `{op}` is not numeric"
+            )));
         }
         if !other.is_numeric() && !matches!(other, Value::Bool(_)) {
-            return Err(EnvError::TypeError(format!("right operand of `{op}` is not numeric")));
+            return Err(EnvError::TypeError(format!(
+                "right operand of `{op}` is not numeric"
+            )));
         }
         Ok((self.as_f64()?, other.as_f64()?))
     }
@@ -152,12 +162,20 @@ impl Value {
 
     /// Pointwise minimum of two values (numeric comparison).
     pub fn min_value(&self, other: &Value) -> Result<Value> {
-        Ok(if self.compare(other)? == Ordering::Greater { other.clone() } else { self.clone() })
+        Ok(if self.compare(other)? == Ordering::Greater {
+            other.clone()
+        } else {
+            self.clone()
+        })
     }
 
     /// Pointwise maximum of two values (numeric comparison).
     pub fn max_value(&self, other: &Value) -> Result<Value> {
-        Ok(if self.compare(other)? == Ordering::Less { other.clone() } else { self.clone() })
+        Ok(if self.compare(other)? == Ordering::Less {
+            other.clone()
+        } else {
+            self.clone()
+        })
     }
 
     /// Total comparison between values.  Numbers compare numerically, strings
@@ -165,9 +183,9 @@ impl Value {
     pub fn compare(&self, other: &Value) -> Result<Ordering> {
         match (self, other) {
             (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
-            (Value::Str(_), _) | (_, Value::Str(_)) => {
-                Err(EnvError::TypeError("cannot compare a string with a number".into()))
-            }
+            (Value::Str(_), _) | (_, Value::Str(_)) => Err(EnvError::TypeError(
+                "cannot compare a string with a number".into(),
+            )),
             _ => {
                 let a = self.as_f64()?;
                 let b = other.as_f64()?;
@@ -292,10 +310,19 @@ mod tests {
 
     #[test]
     fn comparisons_cross_numeric_types() {
-        assert_eq!(Value::Int(3).compare(&Value::Float(3.0)).unwrap(), Ordering::Equal);
-        assert_eq!(Value::Int(2).compare(&Value::Float(3.5)).unwrap(), Ordering::Less);
+        assert_eq!(
+            Value::Int(3).compare(&Value::Float(3.0)).unwrap(),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(3.5)).unwrap(),
+            Ordering::Less
+        );
         assert!(Value::str("a").compare(&Value::Int(1)).is_err());
-        assert_eq!(Value::str("a").compare(&Value::str("b")).unwrap(), Ordering::Less);
+        assert_eq!(
+            Value::str("a").compare(&Value::str("b")).unwrap(),
+            Ordering::Less
+        );
     }
 
     #[test]

@@ -75,7 +75,13 @@ struct OutputAcc {
 
 impl OutputAcc {
     fn new() -> OutputAcc {
-        OutputAcc { count: 0.0, sum: 0.0, sum_sq: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OutputAcc {
+            count: 0.0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     fn push(&mut self, v: f64) {
@@ -138,7 +144,9 @@ pub fn eval_aggregate_scan(
                     if o.func == SimpleAgg::Count {
                         acc.push(1.0);
                     } else {
-                        let v = eval_term(&o.value, &row_ctx, &mut no_aggs)?.as_scalar()?.as_f64()?;
+                        let v = eval_term(&o.value, &row_ctx, &mut no_aggs)?
+                            .as_scalar()?
+                            .as_f64()?;
                         acc.push(v);
                     }
                 }
@@ -150,14 +158,20 @@ pub fn eval_aggregate_scan(
                 .collect();
             Ok(ScriptValue::Record(fields))
         }
-        AggSpec::ArgBest { minimize, rank, outputs } => {
+        AggSpec::ArgBest {
+            minimize,
+            rank,
+            outputs,
+        } => {
             let mut best: Option<(f64, usize)> = None;
             for (idx, row) in table.iter() {
                 let row_ctx = base.with_row(row);
                 if !eval_cond(&def.filter, &row_ctx, &mut no_aggs)? {
                     continue;
                 }
-                let r = eval_term(rank, &row_ctx, &mut no_aggs)?.as_scalar()?.as_f64()?;
+                let r = eval_term(rank, &row_ctx, &mut no_aggs)?
+                    .as_scalar()?
+                    .as_f64()?;
                 let better = match best {
                     None => true,
                     Some((b, _)) => {
@@ -180,12 +194,17 @@ pub fn eval_aggregate_scan(
                         .map(|(name, term, _)| {
                             Ok((
                                 name.clone(),
-                                eval_term(term, &row_ctx, &mut no_aggs)?.as_scalar()?.clone(),
+                                eval_term(term, &row_ctx, &mut no_aggs)?
+                                    .as_scalar()?
+                                    .clone(),
                             ))
                         })
                         .collect::<std::result::Result<Vec<_>, sgl_lang::LangError>>()?
                 }
-                None => outputs.iter().map(|(name, _, default)| (name.clone(), default.clone())).collect(),
+                None => outputs
+                    .iter()
+                    .map(|(name, _, default)| (name.clone(), default.clone()))
+                    .collect(),
             };
             Ok(ScriptValue::Record(fields))
         }
@@ -250,11 +269,17 @@ mod tests {
         let unit = table.row(0).clone();
         let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
         let def = registry.aggregate("CountEnemiesInRange").unwrap();
-        let call = AggCall { name: def.name.clone(), args: vec![Term::name("u"), parse_term("5").unwrap()] };
+        let call = AggCall {
+            name: def.name.clone(),
+            args: vec![Term::name("u"), parse_term("5").unwrap()],
+        };
         let result = eval_call_scan(def, &call, &ctx, &table).unwrap();
         assert_eq!(result.as_scalar().unwrap(), &Value::Int(1));
         // With range 12 both enemies are visible.
-        let call = AggCall { name: def.name.clone(), args: vec![Term::name("u"), parse_term("12").unwrap()] };
+        let call = AggCall {
+            name: def.name.clone(),
+            args: vec![Term::name("u"), parse_term("12").unwrap()],
+        };
         let result = eval_call_scan(def, &call, &ctx, &table).unwrap();
         assert_eq!(result.as_scalar().unwrap(), &Value::Int(2));
     }
@@ -268,7 +293,10 @@ mod tests {
         let unit = table.row(0).clone();
         let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
         let def = registry.aggregate("CentroidOfEnemyUnits").unwrap();
-        let call = AggCall { name: def.name.clone(), args: vec![Term::name("u"), parse_term("20").unwrap()] };
+        let call = AggCall {
+            name: def.name.clone(),
+            args: vec![Term::name("u"), parse_term("20").unwrap()],
+        };
         let result = eval_call_scan(def, &call, &ctx, &table).unwrap();
         assert_eq!(result.field("x").unwrap(), &Value::Float(6.5));
         assert_eq!(result.field("y").unwrap(), &Value::Float(6.5));
@@ -283,7 +311,10 @@ mod tests {
         let unit = table.row(0).clone();
         let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
         let def = registry.aggregate("CountEnemiesInRange").unwrap();
-        let call = AggCall { name: def.name.clone(), args: vec![Term::name("u"), parse_term("0.5").unwrap()] };
+        let call = AggCall {
+            name: def.name.clone(),
+            args: vec![Term::name("u"), parse_term("0.5").unwrap()],
+        };
         let result = eval_call_scan(def, &call, &ctx, &table).unwrap();
         assert_eq!(result.as_scalar().unwrap(), &Value::Int(0));
     }
@@ -297,7 +328,10 @@ mod tests {
         let unit = table.row(0).clone(); // (0, 0), player 0
         let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
         let def = registry.aggregate("getNearestEnemy").unwrap();
-        let call = AggCall { name: def.name.clone(), args: vec![Term::name("u")] };
+        let call = AggCall {
+            name: def.name.clone(),
+            args: vec![Term::name("u")],
+        };
         let result = eval_call_scan(def, &call, &ctx, &table).unwrap();
         assert_eq!(result.field("key").unwrap(), &Value::Int(3));
         assert_eq!(result.field("posx").unwrap(), &Value::Float(3.0));
@@ -310,14 +344,21 @@ mod tests {
             &["u".into(), "x".into(), "y".into()],
             &[
                 ScriptValue::scalar(1i64),
-                ScriptValue::record(vec![("x".into(), Value::Float(3.0)), ("y".into(), Value::Float(4.0))]),
+                ScriptValue::record(vec![
+                    ("x".into(), Value::Float(3.0)),
+                    ("y".into(), Value::Float(4.0)),
+                ]),
             ],
         )
         .unwrap();
         assert_eq!(bindings["x"], ScriptValue::Scalar(Value::Float(3.0)));
         assert_eq!(bindings["y"], ScriptValue::Scalar(Value::Float(4.0)));
 
-        let err = bind_params("FireAt", &["u".into(), "target".into()], &[ScriptValue::scalar(1i64)]);
+        let err = bind_params(
+            "FireAt",
+            &["u".into(), "target".into()],
+            &[ScriptValue::scalar(1i64)],
+        );
         assert!(err.is_err());
     }
 

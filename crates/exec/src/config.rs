@@ -13,6 +13,51 @@ pub enum ExecMode {
     Indexed,
 }
 
+/// How aggregate index structures are kept in sync with the environment
+/// across clock ticks (the §5.3 / §6.4 design axis this engine makes
+/// pluggable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaintenancePolicy {
+    /// Discard every structure at end of tick and rebuild lazily on first
+    /// use in the next tick — the paper's choice for volatile attributes.
+    RebuildEachTick,
+    /// Keep dynamically maintained structures alive across ticks and apply
+    /// only the per-unit deltas (movement, spawns, deaths, value changes)
+    /// observed after each tick's post-processing.
+    Incremental,
+    /// Decide per partition each tick: partitions whose update ratio exceeds
+    /// `rebuild_ratio` are rebuilt from scratch, the rest are maintained
+    /// incrementally.
+    Adaptive {
+        /// Fraction of changed rows (0.0–1.0) above which a partition is
+        /// rebuilt instead of patched.
+        rebuild_ratio: f64,
+    },
+}
+
+impl MaintenancePolicy {
+    /// Default adaptive policy (rebuild a partition when more than 40 % of
+    /// its rows changed).
+    pub fn adaptive() -> MaintenancePolicy {
+        MaintenancePolicy::Adaptive { rebuild_ratio: 0.4 }
+    }
+
+    /// True for the policies that keep maintained structures across ticks.
+    pub fn is_dynamic(&self) -> bool {
+        !matches!(self, MaintenancePolicy::RebuildEachTick)
+    }
+}
+
+/// Which structure backs the per-tick (rebuilt) divisible-aggregate indexes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildBackend {
+    /// Layered aggregate range tree (Figure 8) — the paper's structure.
+    LayeredTree,
+    /// Bucket PR quadtree with per-node summaries (ablation alternative that
+    /// also answers exact MIN/MAX).
+    QuadTree,
+}
+
 /// Which attributes hold the spatial position of a unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpatialAttrs {
@@ -25,12 +70,15 @@ pub struct SpatialAttrs {
 impl SpatialAttrs {
     /// Resolve the conventional `posx`/`posy` attributes from a schema.
     pub fn from_schema(schema: &Schema) -> Option<SpatialAttrs> {
-        Some(SpatialAttrs { x: schema.attr_id("posx")?, y: schema.attr_id("posy")? })
+        Some(SpatialAttrs {
+            x: schema.attr_id("posx")?,
+            y: schema.attr_id("posy")?,
+        })
     }
 }
 
 /// Full executor configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecConfig {
     /// Naive or indexed execution.
     pub mode: ExecMode,
@@ -43,6 +91,10 @@ pub struct ExecConfig {
     pub share_aggregates: bool,
     /// Use the effect-centre index for area-of-effect actions (§5.4).
     pub aoe_index: bool,
+    /// How index structures are maintained across ticks.
+    pub policy: MaintenancePolicy,
+    /// Structure backing rebuilt divisible indexes.
+    pub backend: RebuildBackend,
 }
 
 impl ExecConfig {
@@ -54,6 +106,8 @@ impl ExecConfig {
             cascading: false,
             share_aggregates: false,
             aoe_index: false,
+            policy: MaintenancePolicy::RebuildEachTick,
+            backend: RebuildBackend::LayeredTree,
         }
     }
 
@@ -66,7 +120,21 @@ impl ExecConfig {
             cascading: true,
             share_aggregates: true,
             aoe_index: true,
+            policy: MaintenancePolicy::RebuildEachTick,
+            backend: RebuildBackend::LayeredTree,
         }
+    }
+
+    /// Set the cross-tick maintenance policy.
+    pub fn with_policy(mut self, policy: MaintenancePolicy) -> ExecConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the structure backing rebuilt divisible indexes.
+    pub fn with_backend(mut self, backend: RebuildBackend) -> ExecConfig {
+        self.backend = backend;
+        self
     }
 }
 
@@ -88,6 +156,13 @@ pub struct TickStats {
     pub effect_rows: usize,
     /// Units that performed at least one action.
     pub acting_units: usize,
+    /// Incremental delta operations applied to maintained index structures.
+    pub index_delta_ops: usize,
+    /// Maintained partitions rebuilt from scratch (adaptive policy or
+    /// invalidation).
+    pub partition_rebuilds: usize,
+    /// Aggregate evaluations answered by a cross-tick maintained structure.
+    pub maintained_probes: usize,
 }
 
 impl TickStats {
@@ -100,6 +175,9 @@ impl TickStats {
         self.indexes_built += other.indexes_built;
         self.effect_rows += other.effect_rows;
         self.acting_units += other.acting_units;
+        self.index_delta_ops += other.index_delta_ops;
+        self.partition_rebuilds += other.partition_rebuilds;
+        self.maintained_probes += other.maintained_probes;
     }
 }
 
@@ -133,12 +211,29 @@ mod tests {
         let indexed = ExecConfig::indexed(&schema);
         assert_eq!(indexed.mode, ExecMode::Indexed);
         assert!(indexed.cascading && indexed.share_aggregates && indexed.aoe_index);
+        assert_eq!(indexed.policy, MaintenancePolicy::RebuildEachTick);
+        assert_eq!(indexed.backend, RebuildBackend::LayeredTree);
+        let incremental = indexed.with_policy(MaintenancePolicy::Incremental);
+        assert!(incremental.policy.is_dynamic());
+        assert!(MaintenancePolicy::adaptive().is_dynamic());
+        assert!(!MaintenancePolicy::RebuildEachTick.is_dynamic());
+        let quad = indexed.with_backend(RebuildBackend::QuadTree);
+        assert_eq!(quad.backend, RebuildBackend::QuadTree);
     }
 
     #[test]
     fn stats_merge_adds_counters() {
-        let mut a = TickStats { aggregate_probes: 1, naive_scans: 2, ..TickStats::default() };
-        let b = TickStats { aggregate_probes: 10, index_probes: 5, indexes_built: 1, ..TickStats::default() };
+        let mut a = TickStats {
+            aggregate_probes: 1,
+            naive_scans: 2,
+            ..TickStats::default()
+        };
+        let b = TickStats {
+            aggregate_probes: 10,
+            index_probes: 5,
+            indexes_built: 1,
+            ..TickStats::default()
+        };
         a.merge(&b);
         assert_eq!(a.aggregate_probes, 11);
         assert_eq!(a.naive_scans, 2);

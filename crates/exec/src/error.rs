@@ -53,7 +53,11 @@ mod tests {
         assert!(e.to_string().contains("key"));
         let e: ExecError = sgl_lang::LangError::Unresolved("x".into()).into();
         assert!(e.to_string().contains("x"));
-        assert!(ExecError::UnknownBuiltin("Foo".into()).to_string().contains("Foo"));
-        assert!(ExecError::Internal("bad".into()).to_string().contains("bad"));
+        assert!(ExecError::UnknownBuiltin("Foo".into())
+            .to_string()
+            .contains("Foo"));
+        assert!(ExecError::Internal("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 }

@@ -71,7 +71,7 @@ impl FilterAnalysis {
     }
 }
 
-fn is_row_attr<'a>(term: &'a Term) -> Option<&'a str> {
+fn is_row_attr(term: &Term) -> Option<&str> {
     match term {
         Term::Var(VarRef::Row(a)) => Some(a.as_str()),
         _ => None,
@@ -79,8 +79,15 @@ fn is_row_attr<'a>(term: &'a Term) -> Option<&'a str> {
 }
 
 /// Analyse a filter against the schema and the spatial attribute mapping.
-pub fn analyze_filter(filter: &Cond, schema: &Schema, spatial: Option<SpatialAttrs>) -> FilterAnalysis {
-    let mut analysis = FilterAnalysis { conjunctive: true, ..FilterAnalysis::default() };
+pub fn analyze_filter(
+    filter: &Cond,
+    schema: &Schema,
+    spatial: Option<SpatialAttrs>,
+) -> FilterAnalysis {
+    let mut analysis = FilterAnalysis {
+        conjunctive: true,
+        ..FilterAnalysis::default()
+    };
     let conjuncts = match filter.conjuncts() {
         Some(c) => c,
         None => {
@@ -118,8 +125,16 @@ pub fn analyze_filter(filter: &Cond, schema: &Schema, spatial: Option<SpatialAtt
             CmpOp::Ge if is_y => analysis.y_lo = Some(value),
             CmpOp::Le if is_y => analysis.y_hi = Some(value),
             CmpOp::Eq if attr == key_name => analysis.key_eq = Some(value),
-            CmpOp::Eq => analysis.cats.push(CatConstraint { attr: attr.to_string(), equal: true, value }),
-            CmpOp::Ne => analysis.cats.push(CatConstraint { attr: attr.to_string(), equal: false, value }),
+            CmpOp::Eq => analysis.cats.push(CatConstraint {
+                attr: attr.to_string(),
+                equal: true,
+                value,
+            }),
+            CmpOp::Ne => analysis.cats.push(CatConstraint {
+                attr: attr.to_string(),
+                equal: false,
+                value,
+            }),
             _ => analysis.residual.push(conjunct.clone()),
         }
     }

@@ -1,46 +1,132 @@
-//! Per-tick index cache and the indexed aggregate evaluator.
+//! The cross-tick index subsystem: a persistent [`IndexManager`] applying a
+//! [`MaintenancePolicy`], plus the per-tick [`TickIndexes`] probe cache.
 //!
 //! Mirrors the experimental setup of §6: the categorical part of each filter
-//! (player, unit type) selects partitions of a hash layer; each partition owns
-//! the spatial structure required by the aggregate's strategy (layered
-//! aggregate range tree, kD-tree, or the shared data for a sweep-line batch).
-//! All structures are built lazily on first use and discarded at the end of
-//! the tick.
+//! (player, unit type) selects partitions of a hash layer; each partition
+//! owns the structure required by the aggregate's strategy.  Unlike the
+//! paper's engine — which hardcodes rebuild-per-tick — the structures behind
+//! the hash layer are pluggable ([`sgl_index::traits`]) and their lifetime
+//! is governed by the configured policy:
+//!
+//! * **`RebuildEachTick`** — structures are built lazily on first use and
+//!   discarded at end of tick (the paper's choice, §5.3);
+//! * **`Incremental`** — maintained [`DynamicAggGrid`]s live inside the
+//!   [`IndexManager`] across ticks; after each tick's post-processing and
+//!   movement the engine hands the environment back and the manager applies
+//!   only the per-unit deltas (diffed against its mirror of the last
+//!   indexed state — the effect relation alone cannot describe collision
+//!   -resolved movement);
+//! * **`Adaptive`** — per partition, whichever of the two is predicted
+//!   cheaper by the observed update ratio.
+//!
+//! Partition keys are `u64` fingerprints of the categorical `Value` vector
+//! (no per-probe string building — the former `encode_values` hot path).
 
 use rustc_hash::FxHashMap;
+use std::hash::Hasher;
 
 use sgl_env::{AttrId, EnvTable, Value};
-use sgl_index::agg_tree::{AggEntry, LayeredAggTree};
+use sgl_index::grid::DynamicAggGrid;
 use sgl_index::kdtree::KdTree;
 use sgl_index::range_tree::RangeTree2D;
 use sgl_index::sweepline::{sweep_min_max, SweepKind};
+use sgl_index::traits::{build_agg_index, AggIndex, AggStructureKind, IndexDelta, IndexRow};
 use sgl_index::{Point2, Rect};
 use sgl_lang::ast::Term;
 use sgl_lang::builtins::{AggSpec, SimpleAgg};
 use sgl_lang::eval::{eval_term, EvalContext, NoAggregates, ScriptValue};
 
-use crate::config::{SpatialAttrs, TickStats};
+use crate::config::{ExecConfig, MaintenancePolicy, SpatialAttrs, TickStats};
 use crate::error::{ExecError, Result};
 use crate::filter::FilterAnalysis;
 use crate::planner::{AggStrategy, PlannedAggregate};
 
-/// Encode a value as a hash-map key for the categorical partition layer.
-fn encode_value(v: &Value) -> String {
+// ---------------------------------------------------------------------------
+// Value fingerprints (the categorical hash layer's key type)
+// ---------------------------------------------------------------------------
+
+fn hash_value(h: &mut rustc_hash::FxHasher, v: &Value) {
     match v {
-        Value::Int(i) => format!("i{i}"),
-        Value::Float(f) => format!("f{}", f.to_bits()),
-        Value::Bool(b) => format!("b{b}"),
-        Value::Str(s) => format!("s{s}"),
+        Value::Int(i) => {
+            h.write_u8(1);
+            h.write_u64(*i as u64);
+        }
+        Value::Float(f) => {
+            h.write_u8(2);
+            h.write_u64(f.to_bits());
+        }
+        Value::Bool(b) => {
+            h.write_u8(3);
+            h.write_u8(*b as u8);
+        }
+        Value::Str(s) => {
+            h.write_u8(4);
+            // Length-delimit: FxHasher zero-pads the trailing partial word,
+            // so "a" and "a\0" would otherwise hash identically — and the
+            // fingerprint IS the partition map key.
+            h.write_usize(s.len());
+            h.write(s.as_bytes());
+        }
     }
 }
 
-fn encode_values(vs: &[Value]) -> String {
-    vs.iter().map(encode_value).collect::<Vec<_>>().join("|")
+/// Fingerprint of a categorical value vector — the partition key.
+pub fn fingerprint_values(vs: &[Value]) -> u64 {
+    let mut h = rustc_hash::FxHasher::default();
+    for v in vs {
+        hash_value(&mut h, v);
+    }
+    h.finish()
+}
+
+/// Strict (type- and bit-sensitive) value equality, matching the semantics
+/// of the fingerprint: two values compare equal iff they fingerprint equal.
+fn same_value(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Str(x), Value::Str(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn fingerprint_attrs(attrs: &[AttrId]) -> u64 {
+    let mut h = rustc_hash::FxHasher::default();
+    for a in attrs {
+        h.write_usize(*a);
+    }
+    h.finish()
+}
+
+fn fingerprint_terms(terms: &[Term]) -> u64 {
+    let mut h = rustc_hash::FxHasher::default();
+    h.write(format!("{terms:?}").as_bytes());
+    h.finish()
+}
+
+/// A categorical constraint evaluated for one probing unit: required (or
+/// forbidden) value per partition attribute, in `cat_attr_ids` order.
+type RequiredValues = Vec<(bool, Value)>;
+
+fn partition_matches(partition_values: &[Value], required: &RequiredValues) -> bool {
+    for (i, (equal, value)) in required.iter().enumerate() {
+        let actual = &partition_values[i];
+        if *equal != same_value(actual, value) {
+            return false;
+        }
+    }
+    true
 }
 
 /// Evaluate a term whose only row context is the candidate row itself
 /// (channel values, categorical attribute reads).
-fn eval_row_term(term: &Term, table: &EnvTable, row: usize, constants: &FxHashMap<String, Value>) -> Result<Value> {
+fn eval_row_term(
+    term: &Term,
+    table: &EnvTable,
+    row: usize,
+    constants: &FxHashMap<String, Value>,
+) -> Result<Value> {
     // The term must not reference `u.*`; planner guarantees this.  We still
     // need *some* unit in the context, so we use the row itself.
     let schema = table.schema();
@@ -52,48 +138,361 @@ fn eval_row_term(term: &Term, table: &EnvTable, row: usize, constants: &FxHashMa
     Ok(eval_term(term, &ctx, &mut no_aggs)?.as_scalar()?.clone())
 }
 
-/// The per-tick cache of index structures.
-pub struct IndexCache<'a> {
+// ---------------------------------------------------------------------------
+// The persistent manager
+// ---------------------------------------------------------------------------
+
+/// Counters of one maintenance pass (surfaced per tick by the engine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintStats {
+    /// Incremental delta operations applied to maintained structures.
+    pub delta_ops: usize,
+    /// Maintained partitions rebuilt from scratch.
+    pub partition_rebuilds: usize,
+    /// Rows diffed against the mirror.
+    pub rows_scanned: usize,
+    /// Unit keys touched by the tick's combined effect relation (a hint for
+    /// correlating effect volume with delta volume; correctness never
+    /// depends on it because movement mutates positions outside the effect
+    /// relation).
+    pub effect_hints: usize,
+}
+
+impl MaintStats {
+    /// Accumulate another pass.
+    pub fn accumulate(&mut self, other: &MaintStats) {
+        self.delta_ops += other.delta_ops;
+        self.partition_rebuilds += other.partition_rebuilds;
+        self.rows_scanned += other.rows_scanned;
+        self.effect_hints += other.effect_hints;
+    }
+}
+
+/// The maintained state of one aggregate definition: one [`DynamicAggGrid`]
+/// per categorical partition plus a mirror of the last indexed row states.
+struct DynAggState {
+    cat_attrs: Vec<AttrId>,
+    channels: Vec<Term>,
+    grids: FxHashMap<u64, DynamicAggGrid>,
+    partition_values: FxHashMap<u64, Vec<Value>>,
+    /// unit key → (partition fp, point, channel values) as last indexed.
+    mirror: FxHashMap<i64, (u64, Point2, Vec<f64>)>,
+}
+
+/// The cross-tick owner of aggregate index structures.
+///
+/// Under `RebuildEachTick` the manager is stateless (structures live only in
+/// the per-tick [`TickIndexes`]).  Under the dynamic policies it owns the
+/// maintained structures, a mirror of the last indexed environment, and the
+/// diff/patch machinery that keeps them in sync: [`IndexManager::end_tick`]
+/// is called by the engine after post-processing, movement and resurrection
+/// have mutated the environment.
+pub struct IndexManager {
+    policy: MaintenancePolicy,
+    spatial: Option<SpatialAttrs>,
+    dynamic: FxHashMap<String, DynAggState>,
+    synced: bool,
+    /// Counters of the most recent maintenance pass.
+    pub last_maint: MaintStats,
+}
+
+impl IndexManager {
+    /// Create a manager for a configuration.
+    pub fn new(config: &ExecConfig) -> IndexManager {
+        IndexManager {
+            policy: config.policy,
+            spatial: config.spatial,
+            dynamic: FxHashMap::default(),
+            synced: false,
+            last_maint: MaintStats::default(),
+        }
+    }
+
+    /// The configured maintenance policy.
+    pub fn policy(&self) -> MaintenancePolicy {
+        self.policy
+    }
+
+    /// Number of maintained aggregate states (0 under `RebuildEachTick`).
+    pub fn maintained_aggregates(&self) -> usize {
+        self.dynamic.len()
+    }
+
+    /// Drop all maintained state (e.g. after out-of-band environment edits);
+    /// the next tick rebuilds from scratch.
+    pub fn invalidate(&mut self) {
+        self.dynamic.clear();
+        self.synced = false;
+    }
+
+    /// Synchronize the maintained structures with the environment.  Called
+    /// by the engine after the mutation phases of each tick (and lazily
+    /// before execution when the state is stale).  `effect_keys` — the unit
+    /// keys touched by the tick's combined effect relation — is a hint used
+    /// for accounting; correctness comes from diffing against the mirror,
+    /// because movement resolves collisions outside the effect relation.
+    pub fn end_tick(
+        &mut self,
+        table: &EnvTable,
+        planned: &FxHashMap<String, PlannedAggregate>,
+        constants: &FxHashMap<String, Value>,
+    ) -> Result<MaintStats> {
+        if !self.policy.is_dynamic() {
+            return Ok(MaintStats::default());
+        }
+        let mut stats = MaintStats::default();
+        let Some(spatial) = self.spatial else {
+            return Ok(MaintStats::default());
+        };
+        // Drop states for aggregates that disappeared from the registry.
+        self.dynamic
+            .retain(|name, _| planned.get(name).is_some_and(|p| p.is_indexed()));
+        for (name, plan) in planned {
+            if !plan.is_indexed() {
+                continue;
+            }
+            let state = self
+                .dynamic
+                .entry(name.clone())
+                .or_insert_with(|| DynAggState {
+                    cat_attrs: Vec::new(),
+                    channels: plan.channel_terms(),
+                    grids: FxHashMap::default(),
+                    partition_values: FxHashMap::default(),
+                    mirror: FxHashMap::default(),
+                });
+            state.cat_attrs = resolve_cat_attrs(&plan.analysis, table)?;
+            sync_state(state, table, spatial, constants, self.policy, &mut stats)?;
+        }
+        self.synced = true;
+        self.last_maint = stats;
+        Ok(stats)
+    }
+
+    /// [`IndexManager::end_tick`] plus accounting of the tick's effect
+    /// relation — the engine's hand-back entry point after post-processing,
+    /// movement and resurrection.
+    pub fn end_tick_with_effects(
+        &mut self,
+        table: &EnvTable,
+        effects: &sgl_env::EffectBuffer,
+        planned: &FxHashMap<String, PlannedAggregate>,
+        constants: &FxHashMap<String, Value>,
+    ) -> Result<MaintStats> {
+        let mut stats = self.end_tick(table, planned, constants)?;
+        stats.effect_hints = effects.len();
+        self.last_maint = stats;
+        Ok(stats)
+    }
+
+    /// Ensure the maintained state is usable before a tick executes; no-op
+    /// when [`IndexManager::end_tick`] already synced it.
+    pub fn prepare(
+        &mut self,
+        table: &EnvTable,
+        planned: &FxHashMap<String, PlannedAggregate>,
+        constants: &FxHashMap<String, Value>,
+    ) -> Result<MaintStats> {
+        if !self.policy.is_dynamic() || self.synced {
+            return Ok(MaintStats::default());
+        }
+        self.end_tick(table, planned, constants)
+    }
+
+    fn state(&self, name: &str) -> Option<&DynAggState> {
+        self.dynamic.get(name)
+    }
+}
+
+fn resolve_cat_attrs(analysis: &FilterAnalysis, table: &EnvTable) -> Result<Vec<AttrId>> {
+    analysis
+        .cat_attr_names()
+        .iter()
+        .map(|n| {
+            table
+                .schema()
+                .attr_id(n)
+                .ok_or_else(|| ExecError::Internal(format!("unknown categorical attribute `{n}`")))
+        })
+        .collect()
+}
+
+/// Diff one aggregate's mirror against the environment and patch (or
+/// rebuild) its per-partition grids.
+fn sync_state(
+    state: &mut DynAggState,
+    table: &EnvTable,
+    spatial: SpatialAttrs,
+    constants: &FxHashMap<String, Value>,
+    policy: MaintenancePolicy,
+    stats: &mut MaintStats,
+) -> Result<()> {
+    let schema = table.schema();
+    let channels = state.channels.len();
+    let mut new_mirror: FxHashMap<i64, (u64, Point2, Vec<f64>)> =
+        FxHashMap::with_capacity_and_hasher(table.len(), Default::default());
+    let mut deltas: FxHashMap<u64, Vec<IndexDelta>> = FxHashMap::default();
+    let mut part_sizes: FxHashMap<u64, usize> = FxHashMap::default();
+
+    for (row_idx, row) in table.iter() {
+        let key = row.key(schema);
+        let values: Vec<Value> = state
+            .cat_attrs
+            .iter()
+            .map(|a| row.get(*a).clone())
+            .collect();
+        let part = fingerprint_values(&values);
+        state.partition_values.entry(part).or_insert(values);
+        let point = Point2::new(row.get_f64(spatial.x)?, row.get_f64(spatial.y)?);
+        let mut chan_values = Vec::with_capacity(channels);
+        for c in &state.channels {
+            chan_values.push(eval_row_term(c, table, row_idx, constants)?.as_f64()?);
+        }
+        *part_sizes.entry(part).or_insert(0) += 1;
+        let id = key as u64;
+        match state.mirror.remove(&key) {
+            None => deltas.entry(part).or_default().push(IndexDelta::Insert {
+                row: IndexRow::new(id, point, chan_values.clone()),
+            }),
+            Some((old_part, old_point, old_values)) => {
+                if old_part != part {
+                    deltas
+                        .entry(old_part)
+                        .or_default()
+                        .push(IndexDelta::Remove {
+                            id,
+                            point: old_point,
+                        });
+                    deltas.entry(part).or_default().push(IndexDelta::Insert {
+                        row: IndexRow::new(id, point, chan_values.clone()),
+                    });
+                } else if old_point != point || old_values != chan_values {
+                    deltas.entry(part).or_default().push(IndexDelta::Update {
+                        id,
+                        old_point,
+                        row: IndexRow::new(id, point, chan_values.clone()),
+                    });
+                }
+            }
+        }
+        new_mirror.insert(key, (part, point, chan_values));
+    }
+    // Whatever is left in the old mirror vanished from the environment.
+    for (key, (part, point, _)) in state.mirror.drain() {
+        deltas.entry(part).or_default().push(IndexDelta::Remove {
+            id: key as u64,
+            point,
+        });
+    }
+    stats.rows_scanned += table.len();
+
+    let rebuild_ratio = match policy {
+        MaintenancePolicy::Adaptive { rebuild_ratio } => rebuild_ratio,
+        _ => f64::INFINITY,
+    };
+    for (part, part_deltas) in deltas {
+        let size = part_sizes.get(&part).copied().unwrap_or(0);
+        if size == 0 {
+            // Partition emptied out entirely.
+            state.grids.remove(&part);
+            state.partition_values.remove(&part);
+            continue;
+        }
+        let grid = state
+            .grids
+            .entry(part)
+            .or_insert_with(|| DynamicAggGrid::new(0.0, channels));
+        let ratio = part_deltas.len() as f64 / size as f64;
+        if AggIndex::is_empty(grid) || ratio > rebuild_ratio {
+            // Rebuild this partition from the new mirror.
+            let rows: Vec<IndexRow> = new_mirror
+                .iter()
+                .filter(|(_, (p, _, _))| *p == part)
+                .map(|(key, (_, point, values))| IndexRow::new(*key as u64, *point, values.clone()))
+                .collect();
+            grid.rebuild(&rows);
+            stats.partition_rebuilds += 1;
+        } else {
+            for delta in &part_deltas {
+                grid.apply_delta(delta);
+            }
+            stats.delta_ops += part_deltas.len();
+        }
+    }
+    state.mirror = new_mirror;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Per-tick probe cache
+// ---------------------------------------------------------------------------
+
+/// A categorical partition of the environment.
+struct Partition {
+    values: Vec<Value>,
+    rows: Vec<u32>,
+}
+
+/// The per-tick cache of index structures (the rebuild side of the policy
+/// spectrum), layered over the persistent [`IndexManager`] (the maintained
+/// side).  Structures are built lazily on first use and discarded when the
+/// tick's `TickIndexes` is dropped.
+pub struct TickIndexes<'a> {
+    manager: &'a IndexManager,
     table: &'a EnvTable,
     spatial: SpatialAttrs,
-    cascading: bool,
+    config: &'a ExecConfig,
     constants: &'a FxHashMap<String, Value>,
-    /// partition signature (attr ids joined) → partition value key → row ids.
-    partitions: FxHashMap<String, FxHashMap<String, Vec<u32>>>,
-    /// tree key → aggregate range tree.
-    agg_trees: FxHashMap<String, LayeredAggTree>,
-    /// tree key → (kD-tree, row ids aligned with the tree's point order).
-    kd_trees: FxHashMap<String, (KdTree, Vec<u32>)>,
-    /// tree key → (enumeration range tree, row ids).
-    enum_trees: FxHashMap<String, (RangeTree2D, Vec<u32>)>,
-    /// sweep key → per-row best (value, row id) results.
-    sweeps: FxHashMap<String, Vec<Option<(f64, u32)>>>,
+    /// partition signature fp → (attr ids, partition fp → partition).
+    partitions: FxHashMap<u64, FxHashMap<u64, Partition>>,
+    /// (sig fp, partition fp, channel fp) → aggregate structure.
+    agg_structs: FxHashMap<(u64, u64, u64), Box<dyn AggIndex + Send>>,
+    /// (sig fp, partition fp) → (kD-tree, row ids in tree order).
+    kd_trees: FxHashMap<(u64, u64), (KdTree, Vec<u32>)>,
+    /// (sig fp, partition fp) → (enumeration range tree, row ids).
+    enum_trees: FxHashMap<(u64, u64), (RangeTree2D, Vec<u32>)>,
+    /// sweep fingerprint → per-row best (value, row id) results.
+    sweeps: FxHashMap<u64, Vec<Option<(f64, u32)>>>,
     /// Statistics.
     pub stats: TickStats,
 }
 
-impl<'a> IndexCache<'a> {
-    /// Create an empty cache for a tick.
-    pub fn new(
+impl IndexManager {
+    /// Open the per-tick probe cache, syncing maintained state first when it
+    /// is stale (first tick, or after [`IndexManager::invalidate`]).
+    pub fn begin_tick<'a>(
+        &'a mut self,
         table: &'a EnvTable,
-        spatial: SpatialAttrs,
-        cascading: bool,
+        config: &'a ExecConfig,
+        planned: &FxHashMap<String, PlannedAggregate>,
         constants: &'a FxHashMap<String, Value>,
-    ) -> IndexCache<'a> {
-        IndexCache {
+    ) -> Result<Option<TickIndexes<'a>>> {
+        let Some(spatial) = config.spatial else {
+            return Ok(None);
+        };
+        let maint = self.prepare(table, planned, constants)?;
+        let stats = TickStats {
+            index_delta_ops: maint.delta_ops,
+            partition_rebuilds: maint.partition_rebuilds,
+            ..TickStats::default()
+        };
+        Ok(Some(TickIndexes {
+            manager: self,
             table,
             spatial,
-            cascading,
+            config,
             constants,
             partitions: FxHashMap::default(),
-            agg_trees: FxHashMap::default(),
+            agg_structs: FxHashMap::default(),
             kd_trees: FxHashMap::default(),
             enum_trees: FxHashMap::default(),
             sweeps: FxHashMap::default(),
-            stats: TickStats::default(),
-        }
+            stats,
+        }))
     }
+}
 
+impl<'a> TickIndexes<'a> {
     fn point_of(&self, row: usize) -> Result<Point2> {
         Ok(Point2::new(
             self.table.row(row).get_f64(self.spatial.x)?,
@@ -102,66 +501,66 @@ impl<'a> IndexCache<'a> {
     }
 
     /// Ensure the partition map for a set of categorical attributes exists;
-    /// returns its signature key.
-    fn ensure_partitions(&mut self, cat_attrs: &[AttrId]) -> Result<String> {
-        let sig = cat_attrs.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(",");
+    /// returns its signature fingerprint.
+    fn ensure_partitions(&mut self, cat_attrs: &[AttrId]) -> Result<u64> {
+        let sig = fingerprint_attrs(cat_attrs);
         if !self.partitions.contains_key(&sig) {
-            let mut map: FxHashMap<String, Vec<u32>> = FxHashMap::default();
+            let mut map: FxHashMap<u64, Partition> = FxHashMap::default();
             for (idx, row) in self.table.iter() {
                 let values: Vec<Value> = cat_attrs.iter().map(|a| row.get(*a).clone()).collect();
-                map.entry(encode_values(&values)).or_default().push(idx as u32);
+                let fp = fingerprint_values(&values);
+                map.entry(fp)
+                    .or_insert_with(|| Partition {
+                        values,
+                        rows: Vec::new(),
+                    })
+                    .rows
+                    .push(idx as u32);
             }
-            self.partitions.insert(sig.clone(), map);
+            self.partitions.insert(sig, map);
         }
         Ok(sig)
     }
 
-    /// The partition keys under a signature.
-    fn partition_keys(&self, sig: &str) -> Vec<String> {
-        self.partitions.get(sig).map(|m| m.keys().cloned().collect()).unwrap_or_default()
+    /// Partition fingerprints under a signature, with deterministic order.
+    fn partition_fps(&self, sig: u64) -> Vec<u64> {
+        let mut fps: Vec<u64> = self
+            .partitions
+            .get(&sig)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default();
+        fps.sort_unstable();
+        fps
     }
 
-    fn partition_rows(&self, sig: &str, key: &str) -> Vec<u32> {
-        self.partitions.get(sig).and_then(|m| m.get(key)).cloned().unwrap_or_default()
+    fn partition_rows(&self, sig: u64, fp: u64) -> Vec<u32> {
+        self.partitions
+            .get(&sig)
+            .and_then(|m| m.get(&fp))
+            .map(|p| p.rows.clone())
+            .unwrap_or_default()
     }
 
-    /// Does a partition key satisfy the categorical constraints for a given
-    /// probing unit (whose required values have been evaluated already)?
-    fn partition_matches(key: &str, required: &[(bool, String)]) -> bool {
-        let parts: Vec<&str> = if key.is_empty() { Vec::new() } else { key.split('|').collect() };
-        for (i, (equal, value)) in required.iter().enumerate() {
-            let actual = parts.get(i).copied().unwrap_or("");
-            if *equal && actual != value {
-                return false;
-            }
-            if !*equal && actual == value {
-                return false;
-            }
-        }
-        true
+    fn partition_values(&self, sig: u64, fp: u64) -> Vec<Value> {
+        self.partitions
+            .get(&sig)
+            .and_then(|m| m.get(&fp))
+            .map(|p| p.values.clone())
+            .unwrap_or_default()
     }
 
     /// Resolve the categorical attribute ids of an analysis (sorted by name,
     /// matching the order of `required_values`).
     fn cat_attr_ids(&self, analysis: &FilterAnalysis) -> Result<Vec<AttrId>> {
-        analysis
-            .cat_attr_names()
-            .iter()
-            .map(|n| {
-                self.table
-                    .schema()
-                    .attr_id(n)
-                    .ok_or_else(|| ExecError::Internal(format!("unknown categorical attribute `{n}`")))
-            })
-            .collect()
+        resolve_cat_attrs(analysis, self.table)
     }
 
-    /// Evaluate the categorical constraint values for one probing unit, in the
-    /// same order as [`Self::cat_attr_ids`].
+    /// Evaluate the categorical constraint values for one probing unit, in
+    /// the same order as [`Self::cat_attr_ids`].
     fn required_values(
         analysis: &FilterAnalysis,
         unit_ctx: &EvalContext<'_>,
-    ) -> Result<Vec<(bool, String)>> {
+    ) -> Result<RequiredValues> {
         let mut no_aggs = NoAggregates;
         let names = analysis.cat_attr_names();
         let mut out = Vec::with_capacity(names.len());
@@ -173,8 +572,10 @@ impl<'a> IndexCache<'a> {
                 .iter()
                 .find(|c| c.attr == name)
                 .expect("attribute name came from the constraint list");
-            let v = eval_term(&c.value, unit_ctx, &mut no_aggs)?.as_scalar()?.clone();
-            out.push((c.equal, encode_value(&v)));
+            let v = eval_term(&c.value, unit_ctx, &mut no_aggs)?
+                .as_scalar()?
+                .clone();
+            out.push((c.equal, v));
         }
         Ok(out)
     }
@@ -188,82 +589,131 @@ impl<'a> IndexCache<'a> {
         }
         let mut no_aggs = NoAggregates;
         let mut get = |t: &Option<Term>| -> Result<f64> {
-            Ok(eval_term(t.as_ref().expect("has_rect checked"), unit_ctx, &mut no_aggs)?
-                .as_scalar()?
-                .as_f64()?)
+            Ok(eval_term(
+                t.as_ref().expect("has_rect checked"),
+                unit_ctx,
+                &mut no_aggs,
+            )?
+            .as_scalar()?
+            .as_f64()?)
         };
-        Ok(Some(Rect::new(get(&analysis.x_lo)?, get(&analysis.x_hi)?, get(&analysis.y_lo)?, get(&analysis.y_hi)?)))
+        Ok(Some(Rect::new(
+            get(&analysis.x_lo)?,
+            get(&analysis.x_hi)?,
+            get(&analysis.y_lo)?,
+            get(&analysis.y_hi)?,
+        )))
     }
 
-    fn ensure_agg_tree(
-        &mut self,
-        tree_key: &str,
-        sig: &str,
-        part_key: &str,
-        channels: &[Term],
-    ) -> Result<()> {
-        if self.agg_trees.contains_key(tree_key) {
-            return Ok(());
+    /// The maintained state for an aggregate, when the policy keeps one.
+    fn maintained(&self, name: &str) -> Option<&'a DynAggState> {
+        if self.config.policy.is_dynamic() {
+            self.manager.state(name)
+        } else {
+            None
         }
-        let rows = self.partition_rows(sig, part_key);
-        let mut entries = Vec::with_capacity(rows.len());
+    }
+
+    /// Iterate the maintained grids of partitions matching the constraints,
+    /// in deterministic (sorted fingerprint) order.
+    fn matching_grids(
+        state: &'a DynAggState,
+        required: &RequiredValues,
+    ) -> Vec<&'a DynamicAggGrid> {
+        let mut fps: Vec<u64> = state.grids.keys().copied().collect();
+        fps.sort_unstable();
+        fps.into_iter()
+            .filter(|fp| {
+                state
+                    .partition_values
+                    .get(fp)
+                    .is_some_and(|values| partition_matches(values, required))
+            })
+            .filter_map(|fp| state.grids.get(&fp))
+            .collect()
+    }
+
+    fn ensure_agg_struct(
+        &mut self,
+        kind: AggStructureKind,
+        sig: u64,
+        part_fp: u64,
+        channels: &[Term],
+    ) -> Result<(u64, u64, u64)> {
+        let key = (sig, part_fp, fingerprint_terms(channels));
+        if self.agg_structs.contains_key(&key) {
+            return Ok(key);
+        }
+        let rows = self.partition_rows(sig, part_fp);
+        let mut index_rows = Vec::with_capacity(rows.len());
         for r in rows {
             let point = self.point_of(r as usize)?;
             let mut values = Vec::with_capacity(channels.len());
             for c in channels {
                 values.push(eval_row_term(c, self.table, r as usize, self.constants)?.as_f64()?);
             }
-            entries.push(AggEntry::new(point, values));
+            index_rows.push(IndexRow::new(r as u64, point, values));
         }
         self.stats.indexes_built += 1;
-        self.agg_trees
-            .insert(tree_key.to_string(), LayeredAggTree::build(&entries, channels.len(), self.cascading));
-        Ok(())
+        self.agg_structs
+            .insert(key, build_agg_index(kind, channels.len(), &index_rows));
+        Ok(key)
     }
 
-    fn ensure_kd_tree(&mut self, tree_key: &str, sig: &str, part_key: &str) -> Result<()> {
-        if self.kd_trees.contains_key(tree_key) {
+    fn ensure_kd_tree(&mut self, sig: u64, part_fp: u64) -> Result<()> {
+        if self.kd_trees.contains_key(&(sig, part_fp)) {
             return Ok(());
         }
-        let rows = self.partition_rows(sig, part_key);
+        let rows = self.partition_rows(sig, part_fp);
         let mut points = Vec::with_capacity(rows.len());
         for r in &rows {
             points.push(self.point_of(*r as usize)?);
         }
         self.stats.indexes_built += 1;
-        self.kd_trees.insert(tree_key.to_string(), (KdTree::build(&points), rows));
+        self.kd_trees
+            .insert((sig, part_fp), (KdTree::build(&points), rows));
         Ok(())
     }
 
     /// Ensure an enumeration range tree over a partition (used for indexed
     /// area-of-effect actions, §5.4).
-    pub fn ensure_enum_tree(&mut self, cat_attrs: &[AttrId], part_key: &str) -> Result<String> {
+    pub fn ensure_enum_tree(&mut self, cat_attrs: &[AttrId], part_fp: u64) -> Result<(u64, u64)> {
         let sig = self.ensure_partitions(cat_attrs)?;
-        let tree_key = format!("enum:{sig}:{part_key}");
-        if !self.enum_trees.contains_key(&tree_key) {
-            let rows = self.partition_rows(&sig, part_key);
+        if !self.enum_trees.contains_key(&(sig, part_fp)) {
+            let rows = self.partition_rows(sig, part_fp);
             let mut points = Vec::with_capacity(rows.len());
             for r in &rows {
                 points.push(self.point_of(*r as usize)?);
             }
             self.stats.indexes_built += 1;
-            self.enum_trees.insert(tree_key.clone(), (RangeTree2D::build(&points), rows));
+            self.enum_trees
+                .insert((sig, part_fp), (RangeTree2D::build(&points), rows));
         }
-        Ok(tree_key)
+        Ok((sig, part_fp))
     }
 
     /// Enumerate the row ids of a partition falling inside a rectangle.
-    pub fn enum_query(&mut self, cat_attrs: &[AttrId], part_key: &str, rect: &Rect) -> Result<Vec<u32>> {
-        let tree_key = self.ensure_enum_tree(cat_attrs, part_key)?;
-        let (tree, rows) = self.enum_trees.get(&tree_key).expect("just ensured");
+    pub fn enum_query(
+        &mut self,
+        cat_attrs: &[AttrId],
+        part_fp: u64,
+        rect: &Rect,
+    ) -> Result<Vec<u32>> {
+        let key = self.ensure_enum_tree(cat_attrs, part_fp)?;
+        let (tree, rows) = self.enum_trees.get(&key).expect("just ensured");
         self.stats.index_probes += 1;
-        Ok(tree.query(rect).into_iter().map(|i| rows[i as usize]).collect())
+        Ok(tree
+            .query(rect)
+            .into_iter()
+            .map(|i| rows[i as usize])
+            .collect())
     }
 
-    /// Partition keys for a categorical signature (building partitions first).
-    pub fn partition_keys_for(&mut self, cat_attrs: &[AttrId]) -> Result<Vec<String>> {
+    /// Partition fingerprints for a categorical signature (building the
+    /// partition map first).
+    pub fn partition_fps_for(&mut self, cat_attrs: &[AttrId]) -> Result<Vec<u64>> {
         let sig = self.ensure_partitions(cat_attrs)?;
-        Ok(self.partition_keys(&sig))
+        Ok(self.partition_fps(sig))
     }
 
     /// Evaluate a planned aggregate for one probing unit through its index.
@@ -288,11 +738,14 @@ impl<'a> IndexCache<'a> {
         }
         match &planned.strategy {
             AggStrategy::Scan => Ok(None),
-            AggStrategy::DivisibleTree { channels, output_channels } => {
-                self.eval_divisible(planned, channels, output_channels, &ctx).map(Some)
-            }
+            AggStrategy::DivisibleTree {
+                channels,
+                output_channels,
+            } => self
+                .eval_divisible(planned, channels, output_channels, &ctx)
+                .map(Some),
             AggStrategy::KdNearest => self.eval_nearest(planned, &ctx).map(Some),
-            AggStrategy::SweepMinMax => self.eval_sweep(planned, &ctx).map(Some),
+            AggStrategy::SweepMinMax => self.eval_min_max(planned, &ctx).map(Some),
         }
     }
 
@@ -303,28 +756,43 @@ impl<'a> IndexCache<'a> {
         output_channels: &[Option<usize>],
         ctx: &EvalContext<'_>,
     ) -> Result<ScriptValue> {
-        let cat_attrs = self.cat_attr_ids(&planned.analysis)?;
-        let sig = self.ensure_partitions(&cat_attrs)?;
         let required = Self::required_values(&planned.analysis, ctx)?;
-        let rect = Self::rect_for(&planned.analysis, ctx)?
-            .unwrap_or(Rect::new(f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY));
-        let chan_sig = format!("{:?}", channels);
+        let rect = Self::rect_for(&planned.analysis, ctx)?.unwrap_or(Rect::new(
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+        ));
         let mut acc = sgl_index::divisible::DivAcc::identity(channels.len());
-        for part_key in self.partition_keys(&sig) {
-            if !Self::partition_matches(&part_key, &required) {
-                continue;
+
+        if let Some(state) = self.maintained(&planned.def.name) {
+            for grid in Self::matching_grids(state, &required) {
+                acc.merge(&grid.probe_rect(&rect));
             }
-            let tree_key = format!("agg:{sig}:{part_key}:{chan_sig}");
-            self.ensure_agg_tree(&tree_key, &sig, &part_key, channels)?;
-            let tree = self.agg_trees.get(&tree_key).expect("just ensured");
-            acc.merge(&tree.query(&rect));
+            self.stats.maintained_probes += 1;
+        } else {
+            let kind = planned.structure(self.config).ok_or_else(|| {
+                ExecError::Internal("divisible strategy without a structure".into())
+            })?;
+            let cat_attrs = self.cat_attr_ids(&planned.analysis)?;
+            let sig = self.ensure_partitions(&cat_attrs)?;
+            for part_fp in self.partition_fps(sig) {
+                if !partition_matches(&self.partition_values(sig, part_fp), &required) {
+                    continue;
+                }
+                let key = self.ensure_agg_struct(kind, sig, part_fp, channels)?;
+                let index = self.agg_structs.get(&key).expect("just ensured");
+                acc.merge(&index.probe_rect(&rect));
+            }
         }
         self.stats.index_probes += 1;
 
         let outputs = match &planned.def.spec {
             AggSpec::Simple { outputs } => outputs,
             AggSpec::ArgBest { .. } => {
-                return Err(ExecError::Internal("divisible strategy on an ArgBest aggregate".into()))
+                return Err(ExecError::Internal(
+                    "divisible strategy on an ArgBest aggregate".into(),
+                ))
             }
         };
         let mut fields = Vec::with_capacity(outputs.len());
@@ -350,26 +818,43 @@ impl<'a> IndexCache<'a> {
         Ok(ScriptValue::Record(fields))
     }
 
-    fn eval_nearest(&mut self, planned: &PlannedAggregate, ctx: &EvalContext<'_>) -> Result<ScriptValue> {
-        let cat_attrs = self.cat_attr_ids(&planned.analysis)?;
-        let sig = self.ensure_partitions(&cat_attrs)?;
+    fn eval_nearest(
+        &mut self,
+        planned: &PlannedAggregate,
+        ctx: &EvalContext<'_>,
+    ) -> Result<ScriptValue> {
         let required = Self::required_values(&planned.analysis, ctx)?;
         let query = Point2::new(
             ctx.unit.get_f64(self.spatial.x).map_err(ExecError::from)?,
             ctx.unit.get_f64(self.spatial.y).map_err(ExecError::from)?,
         );
-        let mut best: Option<(f64, u32)> = None;
-        for part_key in self.partition_keys(&sig) {
-            if !Self::partition_matches(&part_key, &required) {
-                continue;
+        // Best candidate as (squared distance, unit key).
+        let mut best: Option<(f64, i64)> = None;
+
+        if let Some(state) = self.maintained(&planned.def.name) {
+            use sgl_index::traits::SpatialIndex;
+            for grid in Self::matching_grids(state, &required) {
+                if let Some((id, d2)) = grid.probe_nearest(&query) {
+                    if best.is_none_or(|(bd, _)| d2 < bd) {
+                        best = Some((d2, id as i64));
+                    }
+                }
             }
-            let tree_key = format!("kd:{sig}:{part_key}");
-            self.ensure_kd_tree(&tree_key, &sig, &part_key)?;
-            let (tree, rows) = self.kd_trees.get(&tree_key).expect("just ensured");
-            if let Some((local_id, d2)) = tree.nearest(&query) {
-                let row_id = rows[local_id as usize];
-                if best.map_or(true, |(bd, _)| d2 < bd) {
-                    best = Some((d2, row_id));
+            self.stats.maintained_probes += 1;
+        } else {
+            let cat_attrs = self.cat_attr_ids(&planned.analysis)?;
+            let sig = self.ensure_partitions(&cat_attrs)?;
+            for part_fp in self.partition_fps(sig) {
+                if !partition_matches(&self.partition_values(sig, part_fp), &required) {
+                    continue;
+                }
+                self.ensure_kd_tree(sig, part_fp)?;
+                let (tree, rows) = self.kd_trees.get(&(sig, part_fp)).expect("just ensured");
+                if let Some((local_id, d2)) = tree.nearest(&query) {
+                    if best.is_none_or(|(bd, _)| d2 < bd) {
+                        let row = rows[local_id as usize] as usize;
+                        best = Some((d2, self.table.row(row).key(self.table.schema())));
+                    }
                 }
             }
         }
@@ -377,77 +862,149 @@ impl<'a> IndexCache<'a> {
         let outputs = match &planned.def.spec {
             AggSpec::ArgBest { outputs, .. } => outputs,
             AggSpec::Simple { .. } => {
-                return Err(ExecError::Internal("nearest strategy on a Simple aggregate".into()))
+                return Err(ExecError::Internal(
+                    "nearest strategy on a Simple aggregate".into(),
+                ))
             }
         };
         let mut no_aggs = NoAggregates;
         let fields = match best {
-            Some((_, row_id)) => {
-                let row_ctx = ctx.with_row(self.table.row(row_id as usize));
+            Some((_, key)) => {
+                let row = self.table.find_key_readonly(key).ok_or_else(|| {
+                    ExecError::Internal("nearest hit vanished from the table".into())
+                })?;
+                let row_ctx = ctx.with_row(self.table.row(row));
                 outputs
                     .iter()
                     .map(|(name, term, _)| {
-                        Ok((name.clone(), eval_term(term, &row_ctx, &mut no_aggs)?.as_scalar()?.clone()))
+                        Ok((
+                            name.clone(),
+                            eval_term(term, &row_ctx, &mut no_aggs)?
+                                .as_scalar()?
+                                .clone(),
+                        ))
                     })
                     .collect::<std::result::Result<Vec<_>, sgl_lang::LangError>>()?
             }
-            None => outputs.iter().map(|(n, _, d)| (n.clone(), d.clone())).collect(),
+            None => outputs
+                .iter()
+                .map(|(n, _, d)| (n.clone(), d.clone()))
+                .collect(),
         };
         Ok(ScriptValue::Record(fields))
     }
 
-    fn eval_sweep(&mut self, planned: &PlannedAggregate, ctx: &EvalContext<'_>) -> Result<ScriptValue> {
+    /// MIN/MAX aggregates: maintained grids answer them directly; under a
+    /// rebuild policy the sweep-line batch of Figure 9 answers them when the
+    /// probe rectangle is centred on the unit (the `u.pos ± range` pattern),
+    /// and a per-partition quadtree answers the remaining shapes.
+    fn eval_min_max(
+        &mut self,
+        planned: &PlannedAggregate,
+        ctx: &EvalContext<'_>,
+    ) -> Result<ScriptValue> {
         let outputs = match &planned.def.spec {
             AggSpec::Simple { outputs } => outputs.clone(),
             AggSpec::ArgBest { .. } => {
-                return Err(ExecError::Internal("sweep strategy on an ArgBest aggregate".into()))
+                return Err(ExecError::Internal(
+                    "min/max strategy on an ArgBest aggregate".into(),
+                ))
             }
         };
         let rect = Self::rect_for(&planned.analysis, ctx)?
-            .ok_or_else(|| ExecError::Internal("sweep strategy requires a rectangle".into()))?;
+            .ok_or_else(|| ExecError::Internal("min/max strategy requires a rectangle".into()))?;
+        let required = Self::required_values(&planned.analysis, ctx)?;
+
+        if let Some(state) = self.maintained(&planned.def.name) {
+            let grids = Self::matching_grids(state, &required);
+            let mut fields = Vec::with_capacity(outputs.len());
+            for (channel, o) in outputs.iter().enumerate() {
+                let minimize = o.func == SimpleAgg::Min;
+                let mut best: Option<f64> = None;
+                for grid in &grids {
+                    if let Some(e) = grid.probe_extremum(&rect, channel, minimize) {
+                        best = Some(match best {
+                            None => e.value,
+                            Some(b) => {
+                                if minimize {
+                                    b.min(e.value)
+                                } else {
+                                    b.max(e.value)
+                                }
+                            }
+                        });
+                    }
+                }
+                let value = match best {
+                    Some(v) => Value::Float(v),
+                    None => o.default.clone(),
+                };
+                fields.push((o.name.clone(), value));
+            }
+            self.stats.maintained_probes += 1;
+            self.stats.index_probes += 1;
+            return Ok(ScriptValue::Record(fields));
+        }
+
         let unit_x = ctx.unit.get_f64(self.spatial.x).map_err(ExecError::from)?;
         let unit_y = ctx.unit.get_f64(self.spatial.y).map_err(ExecError::from)?;
         let rx = ((rect.x_max - rect.x_min) / 2.0).abs();
         let ry = ((rect.y_max - rect.y_min) / 2.0).abs();
-        // The sweep assumes the rectangle is centred on the unit (true for
-        // the `u.pos ± range` filters); otherwise fall back to scanning.
-        if (rect.x_min + rx - unit_x).abs() > 1e-9 || (rect.y_min + ry - unit_y).abs() > 1e-9 {
-            return Err(ExecError::Internal("sweep rectangle is not centred on the unit".into()));
+        // The sweep batch assumes the rectangle is centred on the unit (true
+        // for the `u.pos ± range` filters); otherwise probe per-partition
+        // quadtrees instead.
+        let centred =
+            (rect.x_min + rx - unit_x).abs() <= 1e-9 && (rect.y_min + ry - unit_y).abs() <= 1e-9;
+        if !centred {
+            return self.eval_min_max_quadtree(planned, &outputs, &rect, &required);
         }
         let cat_attrs = self.cat_attr_ids(&planned.analysis)?;
         let sig = self.ensure_partitions(&cat_attrs)?;
-        let required = Self::required_values(&planned.analysis, ctx)?;
-        let my_row = self
-            .table
-            .find_key_readonly(ctx.unit_key)
-            .ok_or_else(|| ExecError::Internal("probing unit not present in the environment".into()))?;
+        let my_row = self.table.find_key_readonly(ctx.unit_key).ok_or_else(|| {
+            ExecError::Internal("probing unit not present in the environment".into())
+        })?;
 
         let mut fields = Vec::with_capacity(outputs.len());
         for o in &outputs {
             let minimize = o.func == SimpleAgg::Min;
-            let kind = if minimize { SweepKind::Min } else { SweepKind::Max };
+            let kind = if minimize {
+                SweepKind::Min
+            } else {
+                SweepKind::Max
+            };
             // The extent is reconstructed from per-unit floating point bounds
             // (`u.posx ± range`), so it can differ in the last bits between
             // units of the same type; quantise it for the cache key so one
             // sweep serves the whole batch.
-            let sweep_key = format!(
-                "sweep:{sig}:{:?}:{:.6}:{:.6}:{}:{:?}",
-                required, rx, ry, minimize, o.value
-            );
-            if !self.sweeps.contains_key(&sweep_key) {
+            let sweep_fp = {
+                let mut h = rustc_hash::FxHasher::default();
+                h.write_u64(sig);
+                for (equal, v) in &required {
+                    h.write_u8(*equal as u8);
+                    hash_value(&mut h, v);
+                }
+                h.write_u64(((rx * 1e6).round() as i64) as u64);
+                h.write_u64(((ry * 1e6).round() as i64) as u64);
+                h.write_u8(minimize as u8);
+                h.write(format!("{:?}", o.value).as_bytes());
+                h.finish()
+            };
+            if !self.sweeps.contains_key(&sweep_fp) {
                 // Data points: all rows in matching partitions; queries: every
                 // row of the table (every unit of this type will probe).
                 let mut data_points = Vec::new();
                 let mut data_values = Vec::new();
                 let mut data_rows: Vec<u32> = Vec::new();
-                for part_key in self.partition_keys(&sig) {
-                    if !Self::partition_matches(&part_key, &required) {
+                for part_fp in self.partition_fps(sig) {
+                    if !partition_matches(&self.partition_values(sig, part_fp), &required) {
                         continue;
                     }
-                    for r in self.partition_rows(&sig, &part_key) {
+                    for r in self.partition_rows(sig, part_fp) {
                         data_points.push(self.point_of(r as usize)?);
-                        data_values
-                            .push(eval_row_term(&o.value, self.table, r as usize, self.constants)?.as_f64()?);
+                        data_values.push(
+                            eval_row_term(&o.value, self.table, r as usize, self.constants)?
+                                .as_f64()?,
+                        );
                         data_rows.push(r);
                     }
                 }
@@ -460,10 +1017,10 @@ impl<'a> IndexCache<'a> {
                     .map(|r| r.map(|(v, local)| (v, data_rows[local as usize])))
                     .collect();
                 self.stats.indexes_built += 1;
-                self.sweeps.insert(sweep_key.clone(), remapped);
+                self.sweeps.insert(sweep_fp, remapped);
             }
             self.stats.index_probes += 1;
-            let result = self.sweeps.get(&sweep_key).expect("just built")[my_row];
+            let result = self.sweeps.get(&sweep_fp).expect("just built")[my_row];
             let value = match result {
                 Some((v, _)) => Value::Float(v),
                 None => o.default.clone(),
@@ -472,12 +1029,65 @@ impl<'a> IndexCache<'a> {
         }
         Ok(ScriptValue::Record(fields))
     }
+
+    /// Quadtree path for MIN/MAX probes the sweep batch cannot serve.
+    fn eval_min_max_quadtree(
+        &mut self,
+        planned: &PlannedAggregate,
+        outputs: &[sgl_lang::builtins::AggOutput],
+        rect: &Rect,
+        required: &RequiredValues,
+    ) -> Result<ScriptValue> {
+        let channels = planned.channel_terms();
+        let kind = AggStructureKind::QuadTree { bucket: 8 };
+        let cat_attrs = self.cat_attr_ids(&planned.analysis)?;
+        let sig = self.ensure_partitions(&cat_attrs)?;
+        let mut best: Vec<Option<f64>> = vec![None; outputs.len()];
+        for part_fp in self.partition_fps(sig) {
+            if !partition_matches(&self.partition_values(sig, part_fp), required) {
+                continue;
+            }
+            let key = self.ensure_agg_struct(kind, sig, part_fp, &channels)?;
+            let index = self.agg_structs.get(&key).expect("just ensured");
+            for (channel, o) in outputs.iter().enumerate() {
+                let minimize = o.func == SimpleAgg::Min;
+                if let Some(e) = index.probe_extremum(rect, channel, minimize) {
+                    best[channel] = Some(match best[channel] {
+                        None => e.value,
+                        Some(b) => {
+                            if minimize {
+                                b.min(e.value)
+                            } else {
+                                b.max(e.value)
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        self.stats.index_probes += 1;
+        let fields = outputs
+            .iter()
+            .zip(&best)
+            .map(|(o, b)| {
+                (
+                    o.name.clone(),
+                    match b {
+                        Some(v) => Value::Float(*v),
+                        None => o.default.clone(),
+                    },
+                )
+            })
+            .collect();
+        Ok(ScriptValue::Record(fields))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builtin_eval::{bind_params, eval_aggregate_scan};
+    use crate::config::RebuildBackend;
     use crate::planner::plan_aggregate;
     use sgl_env::{schema::paper_schema, GameRng, Schema, TupleBuilder};
     use sgl_lang::builtins::paper_registry;
@@ -488,7 +1098,9 @@ mod tests {
         let mut table = EnvTable::new(Arc::clone(&schema));
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         for key in 0..n {
@@ -509,72 +1121,117 @@ mod tests {
         (schema, table)
     }
 
+    fn configs(schema: &Schema) -> Vec<(&'static str, ExecConfig)> {
+        let base = ExecConfig::indexed(schema);
+        vec![
+            ("rebuild/layered", base),
+            (
+                "rebuild/quadtree",
+                base.with_backend(RebuildBackend::QuadTree),
+            ),
+            (
+                "incremental",
+                base.with_policy(MaintenancePolicy::Incremental),
+            ),
+            ("adaptive", base.with_policy(MaintenancePolicy::adaptive())),
+        ]
+    }
+
     #[test]
-    fn indexed_aggregates_agree_with_scans() {
+    fn indexed_aggregates_agree_with_scans_under_every_policy() {
         let (schema, table) = make_table(120);
         let registry = paper_registry();
-        let spatial = SpatialAttrs::from_schema(&schema).unwrap();
         let constants = registry.constants().clone();
         let rng = GameRng::new(7).for_tick(3);
 
-        for agg_name in ["CountEnemiesInRange", "CentroidOfEnemyUnits", "getNearestEnemy"] {
-            let def = registry.aggregate(agg_name).unwrap();
-            let planned = plan_aggregate(def, &schema, Some(spatial));
-            assert_ne!(planned.strategy, AggStrategy::Scan, "{agg_name} should be indexable");
-            let mut cache = IndexCache::new(&table, spatial, true, &constants);
-            for row in 0..table.len() {
-                let unit = table.row(row).clone();
-                let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
-                let args: Vec<ScriptValue> = if def.params.len() == 2 {
-                    vec![ScriptValue::scalar(0i64), ScriptValue::scalar(15.0)]
-                } else {
-                    vec![ScriptValue::scalar(0i64)]
-                };
-                let bindings = bind_params(&def.name, &def.params, &args).unwrap();
-                let fast = cache.evaluate(&planned, &bindings, &ctx).unwrap().unwrap();
-                let slow = eval_aggregate_scan(def, &bindings, &ctx, &table).unwrap();
-                match agg_name {
-                    "CountEnemiesInRange" => {
-                        assert_eq!(fast.as_scalar().unwrap(), slow.as_scalar().unwrap(), "row {row}");
-                    }
-                    "CentroidOfEnemyUnits" => {
-                        for field in ["x", "y"] {
-                            let f = fast.field(field).unwrap().as_f64().unwrap();
-                            let s = slow.field(field).unwrap().as_f64().unwrap();
-                            assert!((f - s).abs() < 1e-9, "row {row} field {field}: {f} vs {s}");
+        for (label, config) in configs(&schema) {
+            let planned_map = crate::interp::plan_registry(&registry, &table, &config);
+            let mut manager = IndexManager::new(&config);
+            for agg_name in [
+                "CountEnemiesInRange",
+                "CentroidOfEnemyUnits",
+                "getNearestEnemy",
+            ] {
+                let def = registry.aggregate(agg_name).unwrap();
+                let planned = plan_aggregate(def, &schema, config.spatial);
+                assert_ne!(
+                    planned.strategy,
+                    AggStrategy::Scan,
+                    "{agg_name} should be indexable"
+                );
+                let mut cache = manager
+                    .begin_tick(&table, &config, &planned_map, &constants)
+                    .unwrap()
+                    .unwrap();
+                for row in 0..table.len() {
+                    let unit = table.row(row).clone();
+                    let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+                    let args: Vec<ScriptValue> = if def.params.len() == 2 {
+                        vec![ScriptValue::scalar(0i64), ScriptValue::scalar(15.0)]
+                    } else {
+                        vec![ScriptValue::scalar(0i64)]
+                    };
+                    let bindings = bind_params(&def.name, &def.params, &args).unwrap();
+                    let fast = cache.evaluate(&planned, &bindings, &ctx).unwrap().unwrap();
+                    let slow = eval_aggregate_scan(def, &bindings, &ctx, &table).unwrap();
+                    match agg_name {
+                        "CountEnemiesInRange" => {
+                            assert_eq!(
+                                fast.as_scalar().unwrap(),
+                                slow.as_scalar().unwrap(),
+                                "{label} row {row}"
+                            );
                         }
+                        "CentroidOfEnemyUnits" => {
+                            for field in ["x", "y"] {
+                                let f = fast.field(field).unwrap().as_f64().unwrap();
+                                let s = slow.field(field).unwrap().as_f64().unwrap();
+                                assert!(
+                                    (f - s).abs() < 1e-9,
+                                    "{label} row {row} field {field}: {f} vs {s}"
+                                );
+                            }
+                        }
+                        "getNearestEnemy" => {
+                            // Distances must agree even if ties pick different keys.
+                            let fk = fast.field("key").unwrap().as_i64().unwrap();
+                            let sk = slow.field("key").unwrap().as_i64().unwrap();
+                            let spatial = config.spatial.unwrap();
+                            let dist = |key: i64| {
+                                let idx = table.find_key_readonly(key).unwrap();
+                                let p = table.row(idx);
+                                let dx = p.get_f64(spatial.x).unwrap()
+                                    - unit.get_f64(spatial.x).unwrap();
+                                let dy = p.get_f64(spatial.y).unwrap()
+                                    - unit.get_f64(spatial.y).unwrap();
+                                dx * dx + dy * dy
+                            };
+                            assert!((dist(fk) - dist(sk)).abs() < 1e-9, "{label} row {row}");
+                        }
+                        _ => unreachable!(),
                     }
-                    "getNearestEnemy" => {
-                        // Distances must agree even if ties pick different keys.
-                        let fk = fast.field("key").unwrap().as_i64().unwrap();
-                        let sk = slow.field("key").unwrap().as_i64().unwrap();
-                        let dist = |key: i64| {
-                            let idx = table.find_key_readonly(key).unwrap();
-                            let p = table.row(idx);
-                            let dx = p.get_f64(spatial.x).unwrap() - unit.get_f64(spatial.x).unwrap();
-                            let dy = p.get_f64(spatial.y).unwrap() - unit.get_f64(spatial.y).unwrap();
-                            dx * dx + dy * dy
-                        };
-                        assert!((dist(fk) - dist(sk)).abs() < 1e-9, "row {row}");
-                    }
-                    _ => unreachable!(),
+                }
+                // Indexes are reused across probes.
+                assert!(
+                    cache.stats.indexes_built <= 4,
+                    "{label}: {agg_name} built {}",
+                    cache.stats.indexes_built
+                );
+                assert_eq!(cache.stats.index_probes, table.len(), "{label}");
+                if config.policy.is_dynamic() {
+                    assert_eq!(cache.stats.maintained_probes, table.len(), "{label}");
                 }
             }
-            // Indexes are reused across probes.
-            assert!(cache.stats.indexes_built <= 4, "{agg_name} built {}", cache.stats.indexes_built);
-            assert_eq!(cache.stats.index_probes, table.len());
         }
     }
 
     #[test]
     fn sweep_min_aggregate_agrees_with_scan() {
-        use sgl_env::Value;
         use sgl_lang::ast::{Cond, Term};
         use sgl_lang::builtins::{enemy_filter, rect_range_filter, AggOutput, AggregateDef};
 
         let (schema, table) = make_table(80);
         let registry = paper_registry();
-        let spatial = SpatialAttrs::from_schema(&schema).unwrap();
         let constants = registry.constants().clone();
         let rng = GameRng::new(7).for_tick(3);
         let def = AggregateDef {
@@ -590,38 +1247,187 @@ mod tests {
                 }],
             },
         };
-        let planned = plan_aggregate(&def, &schema, Some(spatial));
-        assert_eq!(planned.strategy, AggStrategy::SweepMinMax);
-        let mut cache = IndexCache::new(&table, spatial, true, &constants);
-        for row in 0..table.len() {
-            let unit = table.row(row).clone();
-            let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
-            let args = vec![ScriptValue::scalar(0i64), ScriptValue::scalar(10.0)];
-            let bindings = bind_params(&def.name, &def.params, &args).unwrap();
-            let fast = cache.evaluate(&planned, &bindings, &ctx).unwrap().unwrap();
-            let slow = eval_aggregate_scan(&def, &bindings, &ctx, &table).unwrap();
-            assert_eq!(
-                fast.field("value").unwrap().as_f64().unwrap(),
-                slow.field("value").unwrap().as_f64().unwrap(),
-                "row {row}"
-            );
+        for (label, config) in configs(&schema) {
+            let planned = plan_aggregate(&def, &schema, config.spatial);
+            assert_eq!(planned.strategy, AggStrategy::SweepMinMax);
+            // The custom aggregate is not in the registry; register its plan
+            // directly for the maintenance pass.
+            let mut planned_map: FxHashMap<String, PlannedAggregate> = FxHashMap::default();
+            planned_map.insert(def.name.clone(), planned.clone());
+            let mut manager = IndexManager::new(&config);
+            let mut cache = manager
+                .begin_tick(&table, &config, &planned_map, &constants)
+                .unwrap()
+                .unwrap();
+            for row in 0..table.len() {
+                let unit = table.row(row).clone();
+                let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+                let args = vec![ScriptValue::scalar(0i64), ScriptValue::scalar(10.0)];
+                let bindings = bind_params(&def.name, &def.params, &args).unwrap();
+                let fast = cache.evaluate(&planned, &bindings, &ctx).unwrap().unwrap();
+                let slow = eval_aggregate_scan(&def, &bindings, &ctx, &table).unwrap();
+                assert_eq!(
+                    fast.field("value").unwrap().as_f64().unwrap(),
+                    slow.field("value").unwrap().as_f64().unwrap(),
+                    "{label} row {row}"
+                );
+            }
+            // One sweep per player value under the rebuild policy — two
+            // structures for the whole batch; maintained grids need none.
+            assert!(cache.stats.indexes_built <= 2, "{label}");
         }
-        // One sweep per (player value) — two sweeps for the whole batch.
-        assert!(cache.stats.indexes_built <= 2);
     }
 
     #[test]
     fn enum_queries_return_rows_in_rect() {
         let (schema, table) = make_table(50);
         let registry = paper_registry();
-        let spatial = SpatialAttrs::from_schema(&schema).unwrap();
         let constants = registry.constants().clone();
-        let mut cache = IndexCache::new(&table, spatial, true, &constants);
+        let config = ExecConfig::indexed(&schema);
+        let planned_map: FxHashMap<String, PlannedAggregate> = FxHashMap::default();
+        let mut manager = IndexManager::new(&config);
+        let mut cache = manager
+            .begin_tick(&table, &config, &planned_map, &constants)
+            .unwrap()
+            .unwrap();
         let player_attr = schema.attr_id("player").unwrap();
-        let keys = cache.partition_keys_for(&[player_attr]).unwrap();
-        assert_eq!(keys.len(), 2);
+        let fps = cache.partition_fps_for(&[player_attr]).unwrap();
+        assert_eq!(fps.len(), 2);
         let rect = Rect::new(0.0, 60.0, 0.0, 60.0);
-        let total: usize = keys.iter().map(|k| cache.enum_query(&[player_attr], k, &rect).unwrap().len()).sum();
+        let total: usize = fps
+            .iter()
+            .map(|fp| cache.enum_query(&[player_attr], *fp, &rect).unwrap().len())
+            .sum();
         assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn incremental_maintenance_applies_deltas_not_rebuilds() {
+        let (schema, mut table) = make_table(100);
+        let registry = paper_registry();
+        let constants = registry.constants().clone();
+        let config = ExecConfig::indexed(&schema).with_policy(MaintenancePolicy::Incremental);
+        let planned_map = crate::interp::plan_registry(&registry, &table, &config);
+        let mut manager = IndexManager::new(&config);
+
+        // First sync builds every partition from scratch.
+        let first = manager.end_tick(&table, &planned_map, &constants).unwrap();
+        assert!(first.partition_rebuilds > 0);
+        assert_eq!(first.delta_ops, 0);
+        assert!(manager.maintained_aggregates() > 0);
+
+        // Move a handful of units; the next sync must patch, not rebuild.
+        let posx = schema.attr_id("posx").unwrap();
+        for row in 0..10 {
+            let new_x = table.row(row).get_f64(posx).unwrap() + 3.0;
+            table.row_mut(row).set(posx, Value::Float(new_x));
+        }
+        let second = manager.end_tick(&table, &planned_map, &constants).unwrap();
+        assert_eq!(
+            second.partition_rebuilds, 0,
+            "incremental must never rebuild"
+        );
+        assert!(second.delta_ops > 0);
+
+        // And the maintained probes agree with a scan afterwards.
+        let rng = GameRng::new(1).for_tick(1);
+        let def = registry.aggregate("CountEnemiesInRange").unwrap();
+        let planned = plan_aggregate(def, &schema, config.spatial);
+        let mut cache = manager
+            .begin_tick(&table, &config, &planned_map, &constants)
+            .unwrap()
+            .unwrap();
+        for row in 0..table.len() {
+            let unit = table.row(row).clone();
+            let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+            let args = vec![ScriptValue::scalar(0i64), ScriptValue::scalar(12.0)];
+            let bindings = bind_params(&def.name, &def.params, &args).unwrap();
+            let fast = cache.evaluate(&planned, &bindings, &ctx).unwrap().unwrap();
+            let slow = eval_aggregate_scan(def, &bindings, &ctx, &table).unwrap();
+            assert_eq!(
+                fast.as_scalar().unwrap(),
+                slow.as_scalar().unwrap(),
+                "row {row}"
+            );
+        }
+        assert_eq!(
+            cache.stats.indexes_built, 0,
+            "maintained grids serve every probe"
+        );
+    }
+
+    #[test]
+    fn adaptive_maintenance_rebuilds_hot_partitions() {
+        let (schema, mut table) = make_table(60);
+        let registry = paper_registry();
+        let constants = registry.constants().clone();
+        let config = ExecConfig::indexed(&schema)
+            .with_policy(MaintenancePolicy::Adaptive { rebuild_ratio: 0.3 });
+        let planned_map = crate::interp::plan_registry(&registry, &table, &config);
+        let mut manager = IndexManager::new(&config);
+        manager.end_tick(&table, &planned_map, &constants).unwrap();
+
+        // Move nearly every unit: the update ratio exceeds the threshold and
+        // partitions are rebuilt wholesale.
+        let posx = schema.attr_id("posx").unwrap();
+        for row in 0..table.len() {
+            let new_x = table.row(row).get_f64(posx).unwrap() * 0.5 + 1.0;
+            table.row_mut(row).set(posx, Value::Float(new_x));
+        }
+        let heavy = manager.end_tick(&table, &planned_map, &constants).unwrap();
+        assert!(heavy.partition_rebuilds > 0);
+        assert_eq!(heavy.delta_ops, 0);
+
+        // Move two units: now the ratio is below the threshold and the
+        // partitions are patched.
+        for row in 0..2 {
+            let new_x = table.row(row).get_f64(posx).unwrap() + 0.5;
+            table.row_mut(row).set(posx, Value::Float(new_x));
+        }
+        let light = manager.end_tick(&table, &planned_map, &constants).unwrap();
+        assert_eq!(light.partition_rebuilds, 0);
+        assert!(light.delta_ops > 0);
+    }
+
+    #[test]
+    fn invalidation_forces_a_full_rebuild() {
+        let (schema, table) = make_table(30);
+        let registry = paper_registry();
+        let constants = registry.constants().clone();
+        let config = ExecConfig::indexed(&schema).with_policy(MaintenancePolicy::Incremental);
+        let planned_map = crate::interp::plan_registry(&registry, &table, &config);
+        let mut manager = IndexManager::new(&config);
+        manager.end_tick(&table, &planned_map, &constants).unwrap();
+        assert!(manager.maintained_aggregates() > 0);
+        manager.invalidate();
+        assert_eq!(manager.maintained_aggregates(), 0);
+        let again = manager.prepare(&table, &planned_map, &constants).unwrap();
+        assert!(again.partition_rebuilds > 0);
+    }
+
+    #[test]
+    fn value_fingerprints_are_strict() {
+        assert_eq!(
+            fingerprint_values(&[Value::Int(1), Value::str("a")]),
+            fingerprint_values(&[Value::Int(1), Value::str("a")])
+        );
+        assert_ne!(
+            fingerprint_values(&[Value::Int(1)]),
+            fingerprint_values(&[Value::Float(1.0)])
+        );
+        assert_ne!(
+            fingerprint_values(&[Value::Int(1)]),
+            fingerprint_values(&[Value::Int(2)])
+        );
+        assert!(same_value(&Value::Float(2.5), &Value::Float(2.5)));
+        assert!(!same_value(&Value::Int(1), &Value::Float(1.0)));
+        assert!(partition_matches(
+            &[Value::Int(0)],
+            &vec![(true, Value::Int(0))]
+        ));
+        assert!(!partition_matches(
+            &[Value::Int(0)],
+            &vec![(false, Value::Int(0))]
+        ));
     }
 }

@@ -12,17 +12,17 @@
 
 use rustc_hash::FxHashMap;
 
+use sgl_algebra::LogicalPlan;
 use sgl_env::{EffectBuffer, EnvTable, TickRandom, Value};
 use sgl_lang::ast::{AggCall, Term};
 use sgl_lang::builtins::{ActionDef, Registry};
 use sgl_lang::eval::{eval_cond, eval_term, EvalContext, NoAggregates, ScriptValue};
-use sgl_algebra::LogicalPlan;
 
 use crate::builtin_eval::{bind_params, eval_aggregate_scan, eval_call_args};
 use crate::config::{ExecConfig, ExecMode, TickStats};
 use crate::error::{ExecError, Result};
 use crate::filter::analyze_filter;
-use crate::indexes::IndexCache;
+use crate::indexes::{IndexManager, TickIndexes};
 use crate::planner::{plan_aggregate, PlannedAggregate};
 
 /// One script to run in a tick: its optimized plan plus the acting units
@@ -35,8 +35,10 @@ pub struct ScriptRun<'p> {
     pub acting_rows: Vec<u32>,
 }
 
-/// Execute one clock tick: run every script over its acting units and return
-/// the combined effect relation plus execution statistics.
+/// Execute one clock tick with a throwaway [`IndexManager`] (every index is
+/// rebuilt, regardless of the configured policy — callers that want
+/// cross-tick maintenance keep a manager alive and use
+/// [`execute_tick_with`], as `sgl_engine::Simulation` does).
 pub fn execute_tick(
     table: &EnvTable,
     registry: &Registry,
@@ -44,22 +46,70 @@ pub fn execute_tick(
     rng: &TickRandom,
     config: &ExecConfig,
 ) -> Result<(EffectBuffer, TickStats)> {
-    let schema = table.schema().clone();
-    let mut effects = EffectBuffer::new(schema.clone());
-    let mut stats = TickStats::default();
-    let constants = registry.constants().clone();
+    let mut manager = IndexManager::new(config);
+    execute_tick_with(table, registry, runs, rng, config, &mut manager)
+}
 
-    // Plan every aggregate once (index selection is per-definition).
+/// Plan every registry aggregate once (index selection is per-definition).
+pub fn plan_registry(
+    registry: &Registry,
+    table: &EnvTable,
+    config: &ExecConfig,
+) -> FxHashMap<String, PlannedAggregate> {
+    let schema = table.schema();
     let mut planned: FxHashMap<String, PlannedAggregate> = FxHashMap::default();
     for name in registry.aggregate_names() {
         let def = registry.aggregate(name).expect("name listed");
-        planned.insert(name.to_string(), plan_aggregate(def, &schema, config.spatial));
+        planned.insert(
+            name.to_string(),
+            plan_aggregate(def, schema, config.spatial),
+        );
     }
+    planned
+}
 
-    let mut cache = config
-        .spatial
-        .filter(|_| config.mode == ExecMode::Indexed)
-        .map(|spatial| IndexCache::new(table, spatial, config.cascading, &constants));
+/// Execute one clock tick: run every script over its acting units and return
+/// the combined effect relation plus execution statistics.  Index structures
+/// come from `manager` according to its maintenance policy.
+pub fn execute_tick_with(
+    table: &EnvTable,
+    registry: &Registry,
+    runs: &[ScriptRun<'_>],
+    rng: &TickRandom,
+    config: &ExecConfig,
+    manager: &mut IndexManager,
+) -> Result<(EffectBuffer, TickStats)> {
+    let planned = plan_registry(registry, table, config);
+    let constants = registry.constants().clone();
+    execute_tick_planned(
+        table, registry, runs, rng, config, manager, &planned, &constants,
+    )
+}
+
+/// [`execute_tick_with`] with the aggregate plans and constants supplied by
+/// the caller — the engine caches both across ticks (they depend only on
+/// the registry, schema and configuration) instead of re-deriving them
+/// every tick.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_tick_planned(
+    table: &EnvTable,
+    registry: &Registry,
+    runs: &[ScriptRun<'_>],
+    rng: &TickRandom,
+    config: &ExecConfig,
+    manager: &mut IndexManager,
+    planned: &FxHashMap<String, PlannedAggregate>,
+    constants: &FxHashMap<String, Value>,
+) -> Result<(EffectBuffer, TickStats)> {
+    let schema = table.schema().clone();
+    let mut effects = EffectBuffer::new(schema.clone());
+    let mut stats = TickStats::default();
+
+    let mut cache = if config.mode == ExecMode::Indexed {
+        manager.begin_tick(table, config, planned, constants)?
+    } else {
+        None
+    };
     // Memo of aggregate results per (call site rendering, unit row).
     let mut memo: FxHashMap<(String, u32), ScriptValue> = FxHashMap::default();
 
@@ -69,14 +119,18 @@ pub fn execute_tick(
             registry,
             config,
             rng,
-            constants: &constants,
-            planned: &planned,
+            constants,
+            planned,
             cache: cache.as_mut(),
             memo: &mut memo,
             effects: &mut effects,
             stats: &mut stats,
         };
-        interp.run_effects(run.plan, &run.acting_rows, &vec![FxHashMap::default(); run.acting_rows.len()])?;
+        interp.run_effects(
+            run.plan,
+            &run.acting_rows,
+            &vec![FxHashMap::default(); run.acting_rows.len()],
+        )?;
     }
     if let Some(cache) = cache {
         stats.merge(&cache.stats);
@@ -92,7 +146,7 @@ struct Interp<'a, 'p> {
     rng: &'a TickRandom,
     constants: &'a FxHashMap<String, Value>,
     planned: &'a FxHashMap<String, PlannedAggregate>,
-    cache: Option<&'p mut IndexCache<'a>>,
+    cache: Option<&'p mut TickIndexes<'a>>,
     memo: &'p mut FxHashMap<(String, u32), ScriptValue>,
     effects: &'p mut EffectBuffer,
     stats: &'p mut TickStats,
@@ -151,12 +205,19 @@ impl<'a, 'p> Interp<'a, 'p> {
                 }
                 Ok((rows, bs))
             }
-            other => Err(ExecError::Internal(format!("{other:?} is not a relation-producing node"))),
+            other => Err(ExecError::Internal(format!(
+                "{other:?} is not a relation-producing node"
+            ))),
         }
     }
 
     /// Run an effect-producing node.
-    fn run_effects(&mut self, plan: &LogicalPlan, acting: &[u32], binds: &[Bindings]) -> Result<()> {
+    fn run_effects(
+        &mut self,
+        plan: &LogicalPlan,
+        acting: &[u32],
+        binds: &[Bindings],
+    ) -> Result<()> {
         match plan {
             LogicalPlan::Empty => Ok(()),
             LogicalPlan::CombineWithEnv { input } => self.run_effects(input, acting, binds),
@@ -166,7 +227,11 @@ impl<'a, 'p> Interp<'a, 'p> {
                 }
                 Ok(())
             }
-            LogicalPlan::Apply { input, action, args } => {
+            LogicalPlan::Apply {
+                input,
+                action,
+                args,
+            } => {
                 let (rows, bs) = self.eval_rel(input, acting, binds)?;
                 let def = self
                     .registry
@@ -186,7 +251,12 @@ impl<'a, 'p> Interp<'a, 'p> {
     }
 
     /// Evaluate one aggregate call for one unit.
-    fn eval_aggregate(&mut self, call: &AggCall, row: u32, bindings: &Bindings) -> Result<ScriptValue> {
+    fn eval_aggregate(
+        &mut self,
+        call: &AggCall,
+        row: u32,
+        bindings: &Bindings,
+    ) -> Result<ScriptValue> {
         self.stats.aggregate_probes += 1;
         let memo_key = if self.config.share_aggregates {
             // Aggregates whose arguments depend on let-bound columns cannot be
@@ -212,7 +282,10 @@ impl<'a, 'p> Interp<'a, 'p> {
         let params = bind_params(&def.name, &def.params, &args)?;
 
         let result = if self.config.mode == ExecMode::Indexed {
-            let planned = self.planned.get(&call.name).expect("all registry aggregates planned");
+            let planned = self
+                .planned
+                .get(&call.name)
+                .expect("all registry aggregates planned");
             let via_index = match self.cache.as_mut() {
                 Some(cache) => cache.evaluate(planned, &params, &ctx)?,
                 None => None,
@@ -235,7 +308,13 @@ impl<'a, 'p> Interp<'a, 'p> {
     }
 
     /// Apply a built-in action for one acting unit.
-    fn apply_action(&mut self, def: &ActionDef, args: &[Term], row: u32, bindings: &Bindings) -> Result<()> {
+    fn apply_action(
+        &mut self,
+        def: &ActionDef,
+        args: &[Term],
+        row: u32,
+        bindings: &Bindings,
+    ) -> Result<()> {
         let ctx = self.ctx_for(row, bindings);
         let arg_values = eval_call_args(args, &ctx)?;
         let params = bind_params(&def.name, &def.params, &arg_values)?;
@@ -252,7 +331,9 @@ impl<'a, 'p> Interp<'a, 'p> {
                 let analysis = analyze_filter(&clause.filter, schema, self.config.spatial);
                 if let Some(key_term) = &analysis.key_eq {
                     // Targeted effect: O(1) key look-up.
-                    let key = eval_term(key_term, &full_ctx, &mut no_aggs)?.as_scalar()?.as_i64()?;
+                    let key = eval_term(key_term, &full_ctx, &mut no_aggs)?
+                        .as_scalar()?
+                        .as_i64()?;
                     match self.table.find_key_readonly(key) {
                         Some(idx) => vec![idx as u32],
                         None => Vec::new(),
@@ -261,25 +342,29 @@ impl<'a, 'p> Interp<'a, 'p> {
                     // Area-of-effect: enumerate candidates through the spatial
                     // index of every partition (§5.4-style processing).
                     let mut no_aggs2 = NoAggregates;
-                    let lo_x = eval_term(analysis.x_lo.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
-                        .as_scalar()?
-                        .as_f64()?;
-                    let hi_x = eval_term(analysis.x_hi.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
-                        .as_scalar()?
-                        .as_f64()?;
-                    let lo_y = eval_term(analysis.y_lo.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
-                        .as_scalar()?
-                        .as_f64()?;
-                    let hi_y = eval_term(analysis.y_hi.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
-                        .as_scalar()?
-                        .as_f64()?;
+                    let lo_x =
+                        eval_term(analysis.x_lo.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
+                            .as_scalar()?
+                            .as_f64()?;
+                    let hi_x =
+                        eval_term(analysis.x_hi.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
+                            .as_scalar()?
+                            .as_f64()?;
+                    let lo_y =
+                        eval_term(analysis.y_lo.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
+                            .as_scalar()?
+                            .as_f64()?;
+                    let hi_y =
+                        eval_term(analysis.y_hi.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
+                            .as_scalar()?
+                            .as_f64()?;
                     let rect = sgl_index::Rect::new(lo_x, hi_x, lo_y, hi_y);
                     match self.cache.as_mut() {
                         Some(cache) => {
-                            let keys = cache.partition_keys_for(&[])?;
+                            let fps = cache.partition_fps_for(&[])?;
                             let mut rows = Vec::new();
-                            for k in keys {
-                                rows.extend(cache.enum_query(&[], &k, &rect)?);
+                            for fp in fps {
+                                rows.extend(cache.enum_query(&[], fp, &rect)?);
                             }
                             rows
                         }
@@ -300,11 +385,15 @@ impl<'a, 'p> Interp<'a, 'p> {
                 }
                 let target_key = target_row.key(schema);
                 for (attr_name, term) in &clause.effects {
-                    let attr = schema
-                        .attr_id(attr_name)
-                        .ok_or_else(|| ExecError::Internal(format!("unknown effect attribute `{attr_name}`")))?;
-                    let value = eval_term(term, &row_ctx, &mut no_aggs)?.as_scalar()?.clone();
-                    self.effects.apply(target_key, attr, value).map_err(ExecError::from)?;
+                    let attr = schema.attr_id(attr_name).ok_or_else(|| {
+                        ExecError::Internal(format!("unknown effect attribute `{attr_name}`"))
+                    })?;
+                    let value = eval_term(term, &row_ctx, &mut no_aggs)?
+                        .as_scalar()?
+                        .clone();
+                    self.effects
+                        .apply(target_key, attr, value)
+                        .map_err(ExecError::from)?;
                 }
             }
         }
@@ -327,7 +416,9 @@ mod tests {
         let mut table = EnvTable::new(Arc::clone(&schema));
         let mut state = 99u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         for key in 0..n {
@@ -364,10 +455,18 @@ mod tests {
         }
     "#;
 
-    fn run_mode(mode_config: ExecConfig, table: &EnvTable, registry: &Registry, plan: &LogicalPlan) -> (EffectBuffer, TickStats) {
+    fn run_mode(
+        mode_config: ExecConfig,
+        table: &EnvTable,
+        registry: &Registry,
+        plan: &LogicalPlan,
+    ) -> (EffectBuffer, TickStats) {
         let rng = GameRng::new(42).for_tick(1);
         let acting: Vec<u32> = (0..table.len() as u32).collect();
-        let runs = vec![ScriptRun { plan, acting_rows: acting }];
+        let runs = vec![ScriptRun {
+            plan,
+            acting_rows: acting,
+        }];
         execute_tick(table, registry, &runs, &rng, &mode_config).unwrap()
     }
 
@@ -377,7 +476,8 @@ mod tests {
         let (schema, table) = make_table(60, 40.0);
         let plan = compile(SCRIPT, &registry);
         let (naive, naive_stats) = run_mode(ExecConfig::naive(&schema), &table, &registry, &plan);
-        let (indexed, indexed_stats) = run_mode(ExecConfig::indexed(&schema), &table, &registry, &plan);
+        let (indexed, indexed_stats) =
+            run_mode(ExecConfig::indexed(&schema), &table, &registry, &plan);
 
         // Same units affected, same integer effects; float effects equal up to
         // summation order.
@@ -422,10 +522,16 @@ mod tests {
         let plan = compile("main(u) { perform Heal(u); }", &registry);
         for config in [ExecConfig::naive(&schema), ExecConfig::indexed(&schema)] {
             let rng = GameRng::new(1).for_tick(0);
-            let runs = vec![ScriptRun { plan: &plan, acting_rows: vec![0] }];
+            let runs = vec![ScriptRun {
+                plan: &plan,
+                acting_rows: vec![0],
+            }];
             let (effects, _) = execute_tick(&table, &registry, &runs, &rng, &config).unwrap();
             let aura = schema.attr_id("inaura").unwrap();
-            assert!(effects.get(0, aura).is_some(), "healer heals itself (ally in range)");
+            assert!(
+                effects.get(0, aura).is_some(),
+                "healer heals itself (ally in range)"
+            );
             assert!(effects.get(1, aura).is_some());
             assert_eq!(effects.get(2, aura), None, "ally out of range");
             assert_eq!(effects.get(3, aura), None, "enemies are not healed");
@@ -452,10 +558,16 @@ mod tests {
                 .build();
             table.insert(t).unwrap();
         }
-        let plan = compile("main(u) { if u.cooldown = 0 then perform FireAt(u, getNearestEnemy(u).key); }", &registry);
+        let plan = compile(
+            "main(u) { if u.cooldown = 0 then perform FireAt(u, getNearestEnemy(u).key); }",
+            &registry,
+        );
         let config = ExecConfig::indexed(&schema);
         let rng = GameRng::new(5).for_tick(2);
-        let runs = vec![ScriptRun { plan: &plan, acting_rows: vec![0] }];
+        let runs = vec![ScriptRun {
+            plan: &plan,
+            acting_rows: vec![0],
+        }];
         let (effects, stats) = execute_tick(&table, &registry, &runs, &rng, &config).unwrap();
         let weapon = schema.attr_id("weaponused").unwrap();
         let damage = schema.attr_id("damage").unwrap();
@@ -471,16 +583,24 @@ mod tests {
     fn empty_plan_and_unknown_action_errors() {
         let registry = paper_registry();
         let (schema, table) = make_table(4, 10.0);
-        let plan = LogicalPlan::CombineWithEnv { input: Box::new(LogicalPlan::Empty) };
+        let plan = LogicalPlan::CombineWithEnv {
+            input: Box::new(LogicalPlan::Empty),
+        };
         let rng = GameRng::new(1).for_tick(0);
-        let runs = vec![ScriptRun { plan: &plan, acting_rows: vec![0, 1, 2, 3] }];
+        let runs = vec![ScriptRun {
+            plan: &plan,
+            acting_rows: vec![0, 1, 2, 3],
+        }];
         let (effects, stats) =
             execute_tick(&table, &registry, &runs, &rng, &ExecConfig::naive(&schema)).unwrap();
         assert!(effects.is_empty());
         assert_eq!(stats.aggregate_probes, 0);
 
         let bad = LogicalPlan::Scan.apply("Teleport", vec![]);
-        let runs = vec![ScriptRun { plan: &bad, acting_rows: vec![0] }];
+        let runs = vec![ScriptRun {
+            plan: &bad,
+            acting_rows: vec![0],
+        }];
         let err = execute_tick(&table, &registry, &runs, &rng, &ExecConfig::naive(&schema));
         assert!(matches!(err, Err(ExecError::UnknownBuiltin(_))));
     }
@@ -500,6 +620,9 @@ mod tests {
             &registry,
         );
         let (_, stats) = run_mode(ExecConfig::indexed(&schema), &table, &registry, &plan);
-        assert!(stats.shared_hits > 0, "duplicated branch aggregates should hit the memo: {stats:?}");
+        assert!(
+            stats.shared_hits > 0,
+            "duplicated branch aggregates should hit the memo: {stats:?}"
+        );
     }
 }

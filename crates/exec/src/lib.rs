@@ -4,11 +4,15 @@
 //! interpret the optimized logical plans of `sgl-algebra` set-at-a-time, but
 //! the **naive** executor answers every aggregate probe and action clause by
 //! scanning the environment (`O(n²)` per tick — the baseline of §6), while
-//! the **indexed** executor builds the per-tick index structures of
-//! `sgl-index` (layered aggregate range trees, kD-trees, sweep-lines behind a
-//! categorical hash layer) and answers each probe in `O(log n)`.
+//! the **indexed** executor answers each probe in `O(log n)` from the index
+//! structures of `sgl-index` (layered aggregate range trees, quadtrees,
+//! kD-trees, sweep-lines and maintained grids behind a categorical hash
+//! layer).  Whether those structures are rebuilt per tick or maintained
+//! across ticks is decided by the [`MaintenancePolicy`] carried in
+//! [`ExecConfig`] and enforced by the cross-tick [`IndexManager`].
 //!
-//! Main entry point: [`execute_tick`].
+//! Main entry points: [`execute_tick`] (throwaway manager) and
+//! [`execute_tick_with`] (caller-owned manager, used by the engine).
 
 #![warn(missing_docs)]
 
@@ -20,9 +24,11 @@ pub mod indexes;
 pub mod interp;
 pub mod planner;
 
-pub use config::{ExecConfig, ExecMode, SpatialAttrs, TickStats};
+pub use config::{
+    ExecConfig, ExecMode, MaintenancePolicy, RebuildBackend, SpatialAttrs, TickStats,
+};
 pub use error::{ExecError, Result};
 pub use filter::{analyze_filter, FilterAnalysis};
-pub use indexes::IndexCache;
-pub use interp::{execute_tick, ScriptRun};
+pub use indexes::{fingerprint_values, IndexManager, MaintStats, TickIndexes};
+pub use interp::{execute_tick, execute_tick_planned, execute_tick_with, plan_registry, ScriptRun};
 pub use planner::{plan_aggregate, AggStrategy, PlannedAggregate};

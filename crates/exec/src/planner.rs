@@ -11,10 +11,11 @@
 //! | `Scan` | anything else | per-unit scan (identical to the naive executor) |
 
 use sgl_env::Schema;
+use sgl_index::traits::AggStructureKind;
 use sgl_lang::ast::Term;
 use sgl_lang::builtins::{AggSpec, AggregateDef, SimpleAgg};
 
-use crate::config::SpatialAttrs;
+use crate::config::{ExecConfig, RebuildBackend, SpatialAttrs};
 use crate::filter::{analyze_filter, FilterAnalysis};
 
 /// The physical strategy chosen for an aggregate.
@@ -47,6 +48,59 @@ pub struct PlannedAggregate {
     pub strategy: AggStrategy,
 }
 
+impl PlannedAggregate {
+    /// Select the concrete structure backing this aggregate under the given
+    /// executor configuration — the physical half of the plan, separated
+    /// from the strategy so one logical plan runs under every
+    /// [`crate::config::MaintenancePolicy`] / [`RebuildBackend`] combination:
+    ///
+    /// * dynamic policies route every indexable aggregate to the maintained
+    ///   [`AggStructureKind::DynamicGrid`];
+    /// * rebuild policies pick the configured per-tick structure for
+    ///   divisible aggregates, and a quadtree for MIN/MAX aggregates whose
+    ///   probe rectangle is not centred on the unit (where the sweep-line
+    ///   batch of Figure 9 does not apply);
+    /// * `KdNearest` and `Scan` return `None` (kD-trees and scans are not
+    ///   aggregate-accumulator structures).
+    pub fn structure(&self, config: &ExecConfig) -> Option<AggStructureKind> {
+        match &self.strategy {
+            AggStrategy::Scan | AggStrategy::KdNearest => None,
+            AggStrategy::DivisibleTree { .. } | AggStrategy::SweepMinMax
+                if config.policy.is_dynamic() =>
+            {
+                Some(AggStructureKind::DynamicGrid { cell: 0.0 })
+            }
+            AggStrategy::DivisibleTree { .. } => Some(match config.backend {
+                RebuildBackend::LayeredTree => AggStructureKind::LayeredTree {
+                    cascading: config.cascading,
+                },
+                RebuildBackend::QuadTree => AggStructureKind::QuadTree { bucket: 8 },
+            }),
+            // Fallback structure for sweep-ineligible probes.
+            AggStrategy::SweepMinMax => Some(AggStructureKind::QuadTree { bucket: 8 }),
+        }
+    }
+
+    /// The channel value terms the backing structure carries: the distinct
+    /// divisible channels, one channel per MIN/MAX output, or none for
+    /// nearest-neighbour / scan strategies.
+    pub fn channel_terms(&self) -> Vec<Term> {
+        match &self.strategy {
+            AggStrategy::DivisibleTree { channels, .. } => channels.clone(),
+            AggStrategy::SweepMinMax => match &self.def.spec {
+                AggSpec::Simple { outputs } => outputs.iter().map(|o| o.value.clone()).collect(),
+                AggSpec::ArgBest { .. } => Vec::new(),
+            },
+            AggStrategy::KdNearest | AggStrategy::Scan => Vec::new(),
+        }
+    }
+
+    /// Whether the strategy is answered from an index at all.
+    pub fn is_indexed(&self) -> bool {
+        self.strategy != AggStrategy::Scan
+    }
+}
+
 fn term_references_unit(term: &Term) -> bool {
     match term {
         Term::Var(sgl_lang::ast::VarRef::Unit(_)) => true,
@@ -58,6 +112,27 @@ fn term_references_unit(term: &Term) -> bool {
         Term::Tuple(items) => items.iter().any(term_references_unit),
         Term::Agg(call) => call.args.iter().any(term_references_unit),
     }
+}
+
+/// Index structures evaluate per-row value terms once at build time with a
+/// fixed RNG context, so `Random(...)` inside a value term would diverge
+/// from the per-probe naive evaluation — such terms must stay on the scan
+/// path.
+fn term_contains_random(term: &Term) -> bool {
+    match term {
+        Term::Random(_) => true,
+        Term::Var(_) | Term::Const(_) => false,
+        Term::Neg(t) | Term::Abs(t) | Term::Sqrt(t) | Term::Field(t, _) => term_contains_random(t),
+        Term::Bin { left, right, .. } => term_contains_random(left) || term_contains_random(right),
+        Term::Tuple(items) => items.iter().any(term_contains_random),
+        Term::Agg(call) => call.args.iter().any(term_contains_random),
+    }
+}
+
+/// A value term may be carried as an index channel only when it is stable
+/// per row: independent of the probing unit and of the per-tick RNG.
+fn indexable_value_term(term: &Term) -> bool {
+    !term_references_unit(term) && !term_contains_random(term)
 }
 
 fn is_squared_distance(term: &Term, schema: &Schema, spatial: SpatialAttrs) -> bool {
@@ -74,10 +149,18 @@ fn is_squared_distance(term: &Term, schema: &Schema, spatial: SpatialAttrs) -> b
 }
 
 /// Plan a single aggregate definition.
-pub fn plan_aggregate(def: &AggregateDef, schema: &Schema, spatial: Option<SpatialAttrs>) -> PlannedAggregate {
+pub fn plan_aggregate(
+    def: &AggregateDef,
+    schema: &Schema,
+    spatial: Option<SpatialAttrs>,
+) -> PlannedAggregate {
     let analysis = analyze_filter(&def.filter, schema, spatial);
     let strategy = choose_strategy(def, &analysis, schema, spatial);
-    PlannedAggregate { def: def.clone(), analysis, strategy }
+    PlannedAggregate {
+        def: def.clone(),
+        analysis,
+        strategy,
+    }
 }
 
 fn choose_strategy(
@@ -97,7 +180,7 @@ fn choose_strategy(
             // depend on the probing unit (COUNT ignores its value term).
             let values_ok = outputs
                 .iter()
-                .all(|o| o.func == SimpleAgg::Count || !term_references_unit(&o.value));
+                .all(|o| o.func == SimpleAgg::Count || indexable_value_term(&o.value));
             if all_divisible && values_ok {
                 // Collect distinct channel terms.
                 let mut channels: Vec<Term> = Vec::new();
@@ -107,25 +190,45 @@ fn choose_strategy(
                         output_channels.push(None);
                         continue;
                     }
-                    let pos = channels.iter().position(|c| *c == o.value).unwrap_or_else(|| {
-                        channels.push(o.value.clone());
-                        channels.len() - 1
-                    });
+                    let pos = channels
+                        .iter()
+                        .position(|c| *c == o.value)
+                        .unwrap_or_else(|| {
+                            channels.push(o.value.clone());
+                            channels.len() - 1
+                        });
                     output_channels.push(Some(pos));
                 }
-                return AggStrategy::DivisibleTree { channels, output_channels };
+                return AggStrategy::DivisibleTree {
+                    channels,
+                    output_channels,
+                };
             }
-            let all_minmax = outputs
-                .iter()
-                .all(|o| matches!(o.func, SimpleAgg::Min | SimpleAgg::Max) && !term_references_unit(&o.value));
+            let all_minmax = outputs.iter().all(|o| {
+                matches!(o.func, SimpleAgg::Min | SimpleAgg::Max) && indexable_value_term(&o.value)
+            });
             if all_minmax && analysis.has_rect() {
                 return AggStrategy::SweepMinMax;
             }
             AggStrategy::Scan
         }
-        AggSpec::ArgBest { minimize, rank, outputs } => {
-            let outputs_ok = outputs.iter().all(|(_, t, _)| !term_references_unit(t));
-            if *minimize && outputs_ok && is_squared_distance(rank, schema, spatial) {
+        AggSpec::ArgBest {
+            minimize,
+            rank,
+            outputs,
+        } => {
+            let outputs_ok = outputs
+                .iter()
+                .all(|(_, t, _)| !term_references_unit(t) && !term_contains_random(t));
+            // The nearest-neighbour structures answer the *unbounded*
+            // nearest probe; a spatial bound in the filter would need the
+            // nearest-inside-a-rectangle query, which they do not answer —
+            // fall back to scanning rather than silently ignoring it.
+            if *minimize
+                && outputs_ok
+                && !analysis.has_rect()
+                && is_squared_distance(rank, schema, spatial)
+            {
                 AggStrategy::KdNearest
             } else {
                 AggStrategy::Scan
@@ -150,18 +253,31 @@ mod tests {
     fn count_and_centroid_use_the_divisible_tree() {
         let schema = paper_schema();
         let registry = paper_registry();
-        let count = plan_aggregate(registry.aggregate("CountEnemiesInRange").unwrap(), &schema, spatial(&schema));
+        let count = plan_aggregate(
+            registry.aggregate("CountEnemiesInRange").unwrap(),
+            &schema,
+            spatial(&schema),
+        );
         match count.strategy {
-            AggStrategy::DivisibleTree { channels, output_channels } => {
+            AggStrategy::DivisibleTree {
+                channels,
+                output_channels,
+            } => {
                 assert!(channels.is_empty());
                 assert_eq!(output_channels, vec![None]);
             }
             other => panic!("unexpected {other:?}"),
         }
-        let centroid =
-            plan_aggregate(registry.aggregate("CentroidOfEnemyUnits").unwrap(), &schema, spatial(&schema));
+        let centroid = plan_aggregate(
+            registry.aggregate("CentroidOfEnemyUnits").unwrap(),
+            &schema,
+            spatial(&schema),
+        );
         match centroid.strategy {
-            AggStrategy::DivisibleTree { channels, output_channels } => {
+            AggStrategy::DivisibleTree {
+                channels,
+                output_channels,
+            } => {
                 assert_eq!(channels.len(), 2);
                 assert_eq!(output_channels, vec![Some(0), Some(1)]);
             }
@@ -173,7 +289,11 @@ mod tests {
     fn nearest_enemy_uses_the_kd_tree() {
         let schema = paper_schema();
         let registry = paper_registry();
-        let plan = plan_aggregate(registry.aggregate("getNearestEnemy").unwrap(), &schema, spatial(&schema));
+        let plan = plan_aggregate(
+            registry.aggregate("getNearestEnemy").unwrap(),
+            &schema,
+            spatial(&schema),
+        );
         assert_eq!(plan.strategy, AggStrategy::KdNearest);
     }
 
@@ -228,7 +348,11 @@ mod tests {
                 outputs: vec![AggOutput {
                     name: "value".into(),
                     func: SimpleAgg::Sum,
-                    value: Term::bin(sgl_lang::ast::BinOp::Sub, Term::row("health"), Term::unit("health")),
+                    value: Term::bin(
+                        sgl_lang::ast::BinOp::Sub,
+                        Term::row("health"),
+                        Term::unit("health"),
+                    ),
                     default: Value::Float(0.0),
                 }],
             },
@@ -241,7 +365,11 @@ mod tests {
     fn missing_spatial_attributes_force_scans() {
         let schema = paper_schema();
         let registry = paper_registry();
-        let plan = plan_aggregate(registry.aggregate("CountEnemiesInRange").unwrap(), &schema, None);
+        let plan = plan_aggregate(
+            registry.aggregate("CountEnemiesInRange").unwrap(),
+            &schema,
+            None,
+        );
         assert_eq!(plan.strategy, AggStrategy::Scan);
     }
 
@@ -266,10 +394,103 @@ mod tests {
     }
 
     #[test]
+    fn structure_selection_follows_policy_and_backend() {
+        use crate::config::ExecConfig;
+        use sgl_index::traits::AggStructureKind;
+        let schema = paper_schema();
+        let registry = paper_registry();
+        let count = plan_aggregate(
+            registry.aggregate("CountEnemiesInRange").unwrap(),
+            &schema,
+            spatial(&schema),
+        );
+        let nearest = plan_aggregate(
+            registry.aggregate("getNearestEnemy").unwrap(),
+            &schema,
+            spatial(&schema),
+        );
+
+        let rebuild = ExecConfig::indexed(&schema);
+        assert_eq!(
+            count.structure(&rebuild),
+            Some(AggStructureKind::LayeredTree { cascading: true })
+        );
+        let quad = rebuild.with_backend(crate::config::RebuildBackend::QuadTree);
+        assert_eq!(
+            count.structure(&quad),
+            Some(AggStructureKind::QuadTree { bucket: 8 })
+        );
+        let incremental = rebuild.with_policy(crate::config::MaintenancePolicy::Incremental);
+        assert_eq!(
+            count.structure(&incremental),
+            Some(AggStructureKind::DynamicGrid { cell: 0.0 })
+        );
+        assert_eq!(nearest.structure(&rebuild), None);
+        assert!(count.is_indexed());
+        assert!(count.channel_terms().is_empty());
+
+        let centroid = plan_aggregate(
+            registry.aggregate("CentroidOfEnemyUnits").unwrap(),
+            &schema,
+            spatial(&schema),
+        );
+        assert_eq!(centroid.channel_terms().len(), 2);
+    }
+
+    #[test]
+    fn random_value_terms_force_scans() {
+        let schema = paper_schema();
+        let def = AggregateDef {
+            name: "SumRandomDamage".into(),
+            params: vec!["u".into(), "range".into()],
+            filter: rect_range_filter(Term::name("range")),
+            spec: AggSpec::Simple {
+                outputs: vec![AggOutput {
+                    name: "value".into(),
+                    func: SimpleAgg::Sum,
+                    value: Term::bin(
+                        sgl_lang::ast::BinOp::Mul,
+                        Term::row("damage"),
+                        Term::Random(Box::new(Term::int(1))),
+                    ),
+                    default: Value::Float(0.0),
+                }],
+            },
+        };
+        let plan = plan_aggregate(&def, &schema, spatial(&schema));
+        assert_eq!(plan.strategy, AggStrategy::Scan);
+    }
+
+    #[test]
+    fn range_limited_nearest_forces_scans() {
+        let schema = paper_schema();
+        let registry = paper_registry();
+        let base = registry.aggregate("getNearestEnemy").unwrap();
+        let mut def = base.clone();
+        def.filter = Cond::and(rect_range_filter(Term::name("range")), def.filter.clone());
+        def.params.push("range".into());
+        let plan = plan_aggregate(&def, &schema, spatial(&schema));
+        assert_eq!(
+            plan.strategy,
+            AggStrategy::Scan,
+            "the kD path answers unbounded nearest only"
+        );
+        // The unmodified builtin still plans onto the kD-tree.
+        assert_eq!(
+            plan_aggregate(base, &schema, spatial(&schema)).strategy,
+            AggStrategy::KdNearest
+        );
+    }
+
+    #[test]
     fn squared_distance_recognition() {
         let schema = paper_schema();
         let s = spatial(&schema).unwrap();
-        assert!(is_squared_distance(&sgl_lang::builtins::squared_distance(), &schema, s));
+        assert!(is_squared_distance(
+            &sgl_lang::builtins::squared_distance(),
+            &schema,
+            s
+        ));
         assert!(!is_squared_distance(&Term::int(1), &schema, s));
     }
 }

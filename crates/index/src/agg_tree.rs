@@ -86,7 +86,13 @@ impl LayeredAggTree {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let xs: Vec<f64> = order.iter().map(|i| entries[*i as usize].point.x).collect();
-        let mut tree = LayeredAggTree { channels, cascading, xs, nodes: Vec::new(), root: NO_CHILD };
+        let mut tree = LayeredAggTree {
+            channels,
+            cascading,
+            xs,
+            nodes: Vec::new(),
+            root: NO_CHILD,
+        };
         if n > 0 {
             tree.nodes.reserve(2 * n);
             let root = tree.build_node(&order, entries);
@@ -160,15 +166,18 @@ impl LayeredAggTree {
         // merged order, which we obtain by merging (y, entry) pairs.  Children
         // only expose ys, so we re-derive values from prefix differences: the
         // i-th entry of a child contributes prefix[i+1] - prefix[i].
-        let (lys, rys) = (&self.nodes[left as usize].ys, &self.nodes[right as usize].ys);
+        let (lys, rys) = (
+            &self.nodes[left as usize].ys,
+            &self.nodes[right as usize].ys,
+        );
         let len = lys.len() + rys.len();
         let mut ys = Vec::with_capacity(len);
         let mut pre_count = Vec::with_capacity(len + 1);
         let mut pre_sum = Vec::with_capacity((len + 1) * channels);
         let mut pre_sumsq = Vec::with_capacity((len + 1) * channels);
         pre_count.push(0.0);
-        pre_sum.extend(std::iter::repeat(0.0).take(channels));
-        pre_sumsq.extend(std::iter::repeat(0.0).take(channels));
+        pre_sum.extend(std::iter::repeat_n(0.0, channels));
+        pre_sumsq.extend(std::iter::repeat_n(0.0, channels));
 
         let lnode = &self.nodes[left as usize];
         let rnode = &self.nodes[right as usize];
@@ -192,10 +201,24 @@ impl LayeredAggTree {
         while li < lys.len() || ri < rys.len() {
             let take_left = ri >= rys.len() || (li < lys.len() && lys[li] <= rys[ri]);
             if take_left {
-                push_from(lnode, li, &mut ys, &mut pre_count, &mut pre_sum, &mut pre_sumsq);
+                push_from(
+                    lnode,
+                    li,
+                    &mut ys,
+                    &mut pre_count,
+                    &mut pre_sum,
+                    &mut pre_sumsq,
+                );
                 li += 1;
             } else {
-                push_from(rnode, ri, &mut ys, &mut pre_count, &mut pre_sum, &mut pre_sumsq);
+                push_from(
+                    rnode,
+                    ri,
+                    &mut ys,
+                    &mut pre_count,
+                    &mut pre_sum,
+                    &mut pre_sumsq,
+                );
                 ri += 1;
             }
         }
@@ -262,7 +285,8 @@ impl LayeredAggTree {
         }
         acc.count += node.pre_count[hi] - node.pre_count[lo];
         for c in 0..self.channels {
-            acc.sum[c] += node.pre_sum[hi * self.channels + c] - node.pre_sum[lo * self.channels + c];
+            acc.sum[c] +=
+                node.pre_sum[hi * self.channels + c] - node.pre_sum[lo * self.channels + c];
             acc.sum_sq[c] +=
                 node.pre_sumsq[hi * self.channels + c] - node.pre_sumsq[lo * self.channels + c];
         }
@@ -308,7 +332,10 @@ impl LayeredAggTree {
             let (lo, hi) = if self.cascading {
                 (ylo, yhi)
             } else {
-                (lower_bound(&node.ys, rect.y_min), upper_bound(&node.ys, rect.y_max))
+                (
+                    lower_bound(&node.ys, rect.y_min),
+                    upper_bound(&node.ys, rect.y_max),
+                )
             };
             self.acc_from_prefix(node, lo, hi, acc);
             return;
@@ -337,7 +364,9 @@ mod tests {
 
     /// Deterministic pseudo-random generator for test data.
     fn lcg(state: &mut u64) -> f64 {
-        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*state >> 11) as f64) / ((1u64 << 53) as f64)
     }
 
@@ -364,9 +393,19 @@ mod tests {
     }
 
     fn assert_acc_eq(a: &DivAcc, b: &DivAcc) {
-        assert!((a.count - b.count).abs() < 1e-9, "count {} vs {}", a.count, b.count);
+        assert!(
+            (a.count - b.count).abs() < 1e-9,
+            "count {} vs {}",
+            a.count,
+            b.count
+        );
         for c in 0..a.channels() {
-            assert!((a.sum[c] - b.sum[c]).abs() < 1e-6, "sum[{c}] {} vs {}", a.sum[c], b.sum[c]);
+            assert!(
+                (a.sum[c] - b.sum[c]).abs() < 1e-6,
+                "sum[{c}] {} vs {}",
+                a.sum[c],
+                b.sum[c]
+            );
             assert!(
                 (a.sum_sq[c] - b.sum_sq[c]).abs() < 1e-3,
                 "sumsq[{c}] {} vs {}",
@@ -424,7 +463,11 @@ mod tests {
         let cascaded = LayeredAggTree::build(&entries, 3, true);
         let mut state = 1u64;
         for _ in 0..100 {
-            let rect = Rect::centered(lcg(&mut state) * 50.0, lcg(&mut state) * 50.0, lcg(&mut state) * 20.0);
+            let rect = Rect::centered(
+                lcg(&mut state) * 50.0,
+                lcg(&mut state) * 50.0,
+                lcg(&mut state) * 20.0,
+            );
             assert_acc_eq(&plain.query(&rect), &cascaded.query(&rect));
         }
     }
@@ -452,7 +495,12 @@ mod tests {
     fn whole_plane_query_aggregates_everything() {
         let entries = random_entries(123, 5, 10.0);
         let tree = LayeredAggTree::build(&entries, 3, true);
-        let rect = Rect::new(f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY);
+        let rect = Rect::new(
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+        );
         let acc = tree.query(&rect);
         assert_eq!(acc.count() as usize, 123);
         let total: f64 = entries.iter().map(|e| e.values[2]).sum();
@@ -480,13 +528,17 @@ mod tests {
         let entries = random_entries(64, 3, 20.0);
         let tree = LayeredAggTree::build(&entries, 3, true);
         assert_eq!(tree.query(&Rect::new(5.0, 4.0, 0.0, 20.0)).count(), 0.0);
-        assert_eq!(tree.query(&Rect::new(100.0, 200.0, 100.0, 200.0)).count(), 0.0);
+        assert_eq!(
+            tree.query(&Rect::new(100.0, 200.0, 100.0, 200.0)).count(),
+            0.0
+        );
     }
 
     #[test]
     fn zero_channel_trees_count_only() {
-        let entries: Vec<AggEntry> =
-            (0..20).map(|i| AggEntry::new(Point2::new(i as f64, i as f64), vec![])).collect();
+        let entries: Vec<AggEntry> = (0..20)
+            .map(|i| AggEntry::new(Point2::new(i as f64, i as f64), vec![]))
+            .collect();
         let tree = LayeredAggTree::build(&entries, 0, true);
         assert_eq!(tree.count(&Rect::new(0.0, 9.0, 0.0, 9.0)), 10);
     }

@@ -24,7 +24,11 @@ pub struct DivAcc {
 impl DivAcc {
     /// The identity accumulator for `channels` channels.
     pub fn identity(channels: usize) -> DivAcc {
-        DivAcc { count: 0.0, sum: vec![0.0; channels], sum_sq: vec![0.0; channels] }
+        DivAcc {
+            count: 0.0,
+            sum: vec![0.0; channels],
+            sum_sq: vec![0.0; channels],
+        }
     }
 
     /// Number of channels.
@@ -143,7 +147,10 @@ mod tests {
     #[test]
     fn variance_and_std_dev() {
         // Values 2, 4, 4, 4, 5, 5, 7, 9 → population std dev 2.
-        let rows: Vec<Vec<f64>> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().map(|v| vec![*v]).collect();
+        let rows: Vec<Vec<f64>> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .iter()
+            .map(|v| vec![*v])
+            .collect();
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let acc = acc_of(&refs, 1);
         assert!((acc.std_dev(0).unwrap() - 2.0).abs() < 1e-12);

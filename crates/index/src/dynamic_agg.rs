@@ -80,7 +80,10 @@ impl Node {
         self.sum_sq = self.value * self.value;
         self.min = self.value;
         self.max = self.value;
-        for child in [self.left.as_deref(), self.right.as_deref()].into_iter().flatten() {
+        for child in [self.left.as_deref(), self.right.as_deref()]
+            .into_iter()
+            .flatten()
+        {
             self.count += child.count;
             self.sum += child.sum;
             self.sum_sq += child.sum_sq;
@@ -107,7 +110,13 @@ pub struct RangeSummary {
 
 impl RangeSummary {
     fn empty() -> RangeSummary {
-        RangeSummary { count: 0, sum: 0.0, sum_sq: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RangeSummary {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     fn absorb(&mut self, node: &Node, whole_subtree: bool) {
@@ -148,7 +157,11 @@ impl RangeSummary {
     /// Convert into a single-channel [`DivAcc`] (so downstream code can treat
     /// dynamic and rebuilt indexes uniformly).
     pub fn to_div_acc(&self) -> DivAcc {
-        DivAcc { count: self.count as f64, sum: vec![self.sum], sum_sq: vec![self.sum_sq] }
+        DivAcc {
+            count: self.count as f64,
+            sum: vec![self.sum],
+            sum_sq: vec![self.sum_sq],
+        }
     }
 }
 
@@ -169,7 +182,10 @@ impl DynamicAggIndex {
     /// Create an empty index with an explicit priority seed (tests use this to
     /// exercise different tree shapes deterministically).
     pub fn with_seed(seed: u64) -> DynamicAggIndex {
-        DynamicAggIndex { root: None, rng_state: seed | 1 }
+        DynamicAggIndex {
+            root: None,
+            rng_state: seed | 1,
+        }
     }
 
     /// Bulk-build from `(id, coordinate, value)` rows.
@@ -403,7 +419,9 @@ impl DynamicAggIndex {
     /// Depth of the tree (diagnostics / balance tests only).
     pub fn depth(&self) -> usize {
         fn depth(node: Option<&Node>) -> usize {
-            node.map_or(0, |n| 1 + depth(n.left.as_deref()).max(depth(n.right.as_deref())))
+            node.map_or(0, |n| {
+                1 + depth(n.left.as_deref()).max(depth(n.right.as_deref()))
+            })
         }
         depth(self.root.as_deref())
     }
@@ -455,7 +473,9 @@ mod tests {
     use super::*;
 
     fn lcg(state: &mut u64) -> f64 {
-        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*state >> 11) as f64) / ((1u64 << 53) as f64)
     }
 

@@ -31,7 +31,11 @@ impl KdTree {
     /// Build a balanced kD-tree (median splits) over the points.
     pub fn build(points: &[Point2]) -> KdTree {
         let mut ids: Vec<u32> = (0..points.len() as u32).collect();
-        let mut tree = KdTree { points: points.to_vec(), nodes: Vec::with_capacity(points.len()), root: NO_CHILD };
+        let mut tree = KdTree {
+            points: points.to_vec(),
+            nodes: Vec::with_capacity(points.len()),
+            root: NO_CHILD,
+        };
         if !points.is_empty() {
             tree.root = tree.build_node(&mut ids, 0);
         }
@@ -57,12 +61,21 @@ impl KdTree {
         let points = &self.points;
         ids.select_nth_unstable_by(mid, |a, b| {
             let (pa, pb) = (&points[*a as usize], &points[*b as usize]);
-            let (ka, kb) = if axis == 0 { (pa.x, pb.x) } else { (pa.y, pb.y) };
+            let (ka, kb) = if axis == 0 {
+                (pa.x, pb.x)
+            } else {
+                (pa.y, pb.y)
+            };
             ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
         });
         let id = ids[mid];
         let node_idx = self.nodes.len() as i32;
-        self.nodes.push(Node { id, axis, left: NO_CHILD, right: NO_CHILD });
+        self.nodes.push(Node {
+            id,
+            axis,
+            left: NO_CHILD,
+            right: NO_CHILD,
+        });
         let (left_ids, rest) = ids.split_at_mut(mid);
         let right_ids = &mut rest[1..];
         let left = self.build_node(left_ids, depth + 1);
@@ -80,7 +93,11 @@ impl KdTree {
 
     /// Nearest point satisfying the predicate (e.g. "not the unit itself",
     /// "armor below my attack").
-    pub fn nearest_filtered<F: Fn(u32) -> bool>(&self, query: &Point2, accept: F) -> Option<(u32, f64)> {
+    pub fn nearest_filtered<F: Fn(u32) -> bool>(
+        &self,
+        query: &Point2,
+        accept: F,
+    ) -> Option<(u32, f64)> {
         let mut best: Option<(u32, f64)> = None;
         self.search(self.root, query, &accept, &mut best);
         best
@@ -99,15 +116,23 @@ impl KdTree {
         let node = &self.nodes[node_idx as usize];
         let p = &self.points[node.id as usize];
         let d2 = query.dist2(p);
-        if accept(node.id) && best.map_or(true, |(_, bd)| d2 < bd) {
+        if accept(node.id) && best.is_none_or(|(_, bd)| d2 < bd) {
             *best = Some((node.id, d2));
         }
-        let diff = if node.axis == 0 { query.x - p.x } else { query.y - p.y };
-        let (near, far) = if diff <= 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let diff = if node.axis == 0 {
+            query.x - p.x
+        } else {
+            query.y - p.y
+        };
+        let (near, far) = if diff <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
         self.search(near, query, accept, best);
         // Only descend into the far side if the splitting plane is closer than
         // the best distance found so far (or nothing was found yet).
-        if best.map_or(true, |(_, bd)| diff * diff < bd) {
+        if best.is_none_or(|(_, bd)| diff * diff < bd) {
             self.search(far, query, accept, best);
         }
     }
@@ -121,7 +146,14 @@ impl KdTree {
         out
     }
 
-    fn range_search(&self, node_idx: i32, query: &Point2, r2: f64, rect: &Rect, out: &mut Vec<u32>) {
+    fn range_search(
+        &self,
+        node_idx: i32,
+        query: &Point2,
+        r2: f64,
+        rect: &Rect,
+        out: &mut Vec<u32>,
+    ) {
         if node_idx == NO_CHILD {
             return;
         }
@@ -149,16 +181,24 @@ mod tests {
     use super::*;
 
     fn lcg(state: &mut u64) -> f64 {
-        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*state >> 11) as f64) / ((1u64 << 53) as f64)
     }
 
     fn random_points(n: usize, seed: u64, world: f64) -> Vec<Point2> {
         let mut state = seed;
-        (0..n).map(|_| Point2::new(lcg(&mut state) * world, lcg(&mut state) * world)).collect()
+        (0..n)
+            .map(|_| Point2::new(lcg(&mut state) * world, lcg(&mut state) * world))
+            .collect()
     }
 
-    fn brute_nearest<F: Fn(u32) -> bool>(points: &[Point2], q: &Point2, accept: F) -> Option<(u32, f64)> {
+    fn brute_nearest<F: Fn(u32) -> bool>(
+        points: &[Point2],
+        q: &Point2,
+        accept: F,
+    ) -> Option<(u32, f64)> {
         points
             .iter()
             .enumerate()
@@ -212,7 +252,10 @@ mod tests {
     fn filter_rejecting_everything_returns_none() {
         let points = random_points(32, 3, 10.0);
         let tree = KdTree::build(&points);
-        assert_eq!(tree.nearest_filtered(&Point2::new(1.0, 1.0), |_| false), None);
+        assert_eq!(
+            tree.nearest_filtered(&Point2::new(1.0, 1.0), |_| false),
+            None
+        );
     }
 
     #[test]

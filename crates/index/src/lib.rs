@@ -29,6 +29,14 @@
 //! * [`dynamic_agg`] — a dynamic (maintained, not rebuilt) aggregate index
 //!   used to measure the paper's "rebuild beats dynamic maintenance" claim.
 
+//!
+//! All structures are additionally reachable through the common trait layer
+//! of [`traits`] ([`traits::AggIndex`] / [`traits::SpatialIndex`]), which is
+//! what the executor's cross-tick `IndexManager` programs against:
+//! rebuild-per-tick structures and dynamically maintained ones (the
+//! [`grid`] module's [`grid::DynamicAggGrid`]) answer the same probes
+//! behind one interface.
+
 #![warn(missing_docs)]
 
 pub mod agg_tree;
@@ -42,6 +50,7 @@ pub mod quadtree;
 pub mod range_tree;
 pub mod segtree;
 pub mod sweepline;
+pub mod traits;
 
 /// A point in the plane (unit position).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -83,13 +92,23 @@ pub struct Rect {
 impl Rect {
     /// Construct a rectangle from inclusive bounds.
     pub fn new(x_min: f64, x_max: f64, y_min: f64, y_max: f64) -> Rect {
-        Rect { x_min, x_max, y_min, y_max }
+        Rect {
+            x_min,
+            x_max,
+            y_min,
+            y_max,
+        }
     }
 
     /// The square of side `2·range` centred on `(x, y)` — the paper's
     /// standard "in range" region.
     pub fn centered(x: f64, y: f64, range: f64) -> Rect {
-        Rect { x_min: x - range, x_max: x + range, y_min: y - range, y_max: y + range }
+        Rect {
+            x_min: x - range,
+            x_max: x + range,
+            y_min: y - range,
+            y_max: y + range,
+        }
     }
 
     /// Does the rectangle contain the point (inclusive)?

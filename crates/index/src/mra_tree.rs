@@ -34,7 +34,12 @@ struct CellAgg {
 
 impl CellAgg {
     fn identity() -> CellAgg {
-        CellAgg { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        CellAgg {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     fn insert(&mut self, value: f64) {
@@ -61,7 +66,10 @@ struct Level {
 
 impl Level {
     fn new(dim: usize) -> Level {
-        Level { dim, cells: vec![CellAgg::identity(); dim * dim] }
+        Level {
+            dim,
+            cells: vec![CellAgg::identity(); dim * dim],
+        }
     }
 
     fn cell(&self, cx: usize, cy: usize) -> &CellAgg {
@@ -154,7 +162,10 @@ impl MraTree {
         let cell_of = |p: &Point2, dim: usize| -> (usize, usize) {
             let fx = ((p.x - bounds.x_min) / side * dim as f64).floor() as isize;
             let fy = ((p.y - bounds.y_min) / side * dim as f64).floor() as isize;
-            (fx.clamp(0, dim as isize - 1) as usize, fy.clamp(0, dim as isize - 1) as usize)
+            (
+                fx.clamp(0, dim as isize - 1) as usize,
+                fy.clamp(0, dim as isize - 1) as usize,
+            )
         };
 
         // Fill every level.
@@ -366,26 +377,55 @@ impl QueryState {
                 // Point values may be negative, so an unrefined cell can move
                 // the sum either way: bound with the signed extremes.
                 let lo = self.certain.sum
-                    + if self.uncertain.count > 0 { self.uncertain.min.min(0.0) * self.uncertain.count as f64 } else { 0.0 };
+                    + if self.uncertain.count > 0 {
+                        self.uncertain.min.min(0.0) * self.uncertain.count as f64
+                    } else {
+                        0.0
+                    };
                 let hi = self.certain.sum
-                    + if self.uncertain.count > 0 { self.uncertain.max.max(0.0) * self.uncertain.count as f64 } else { 0.0 };
+                    + if self.uncertain.count > 0 {
+                        self.uncertain.max.max(0.0) * self.uncertain.count as f64
+                    } else {
+                        0.0
+                    };
                 (lo, hi)
             }
             MraAgg::Min => {
                 // Certain cells give an upper bound on the minimum; uncertain
                 // cells could contribute anything down to their own minimum.
-                let certain = if self.certain.count > 0 { self.certain.min } else { f64::INFINITY };
-                let optimistic = if self.uncertain.count > 0 { self.uncertain.min } else { f64::INFINITY };
+                let certain = if self.certain.count > 0 {
+                    self.certain.min
+                } else {
+                    f64::INFINITY
+                };
+                let optimistic = if self.uncertain.count > 0 {
+                    self.uncertain.min
+                } else {
+                    f64::INFINITY
+                };
                 (certain.min(optimistic), certain)
             }
             MraAgg::Max => {
-                let certain = if self.certain.count > 0 { self.certain.max } else { f64::NEG_INFINITY };
-                let optimistic = if self.uncertain.count > 0 { self.uncertain.max } else { f64::NEG_INFINITY };
+                let certain = if self.certain.count > 0 {
+                    self.certain.max
+                } else {
+                    f64::NEG_INFINITY
+                };
+                let optimistic = if self.uncertain.count > 0 {
+                    self.uncertain.max
+                } else {
+                    f64::NEG_INFINITY
+                };
                 (certain, certain.max(optimistic))
             }
         };
         let exact = !self.truncated;
-        MraBounds { lower, upper, nodes_visited: self.visited, exact }
+        MraBounds {
+            lower,
+            upper,
+            nodes_visited: self.visited,
+            exact,
+        }
     }
 }
 
@@ -394,14 +434,17 @@ mod tests {
     use super::*;
 
     fn lcg(state: &mut u64) -> f64 {
-        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*state >> 11) as f64) / ((1u64 << 53) as f64)
     }
 
     fn setup(n: usize, seed: u64, world: f64) -> (Vec<Point2>, Vec<f64>) {
         let mut state = seed;
-        let points: Vec<Point2> =
-            (0..n).map(|_| Point2::new(lcg(&mut state) * world, lcg(&mut state) * world)).collect();
+        let points: Vec<Point2> = (0..n)
+            .map(|_| Point2::new(lcg(&mut state) * world, lcg(&mut state) * world))
+            .collect();
         let values: Vec<f64> = (0..n).map(|i| ((i * 17) % 101) as f64).collect();
         (points, values)
     }
@@ -440,7 +483,11 @@ mod tests {
         assert_eq!(tree.level_count(), 7);
         let mut state = 7u64;
         for _ in 0..150 {
-            let rect = Rect::centered(lcg(&mut state) * 300.0, lcg(&mut state) * 300.0, 5.0 + lcg(&mut state) * 60.0);
+            let rect = Rect::centered(
+                lcg(&mut state) * 300.0,
+                lcg(&mut state) * 300.0,
+                5.0 + lcg(&mut state) * 60.0,
+            );
             for agg in [MraAgg::Count, MraAgg::Sum, MraAgg::Min, MraAgg::Max] {
                 let fast = tree.query_exact(&rect, agg);
                 let slow = brute(&points, &values, &rect, agg);
@@ -459,7 +506,11 @@ mod tests {
         let tree = MraTree::build(&points, &values, 7);
         let mut state = 13u64;
         for _ in 0..100 {
-            let rect = Rect::centered(lcg(&mut state) * 200.0, lcg(&mut state) * 200.0, 10.0 + lcg(&mut state) * 50.0);
+            let rect = Rect::centered(
+                lcg(&mut state) * 200.0,
+                lcg(&mut state) * 200.0,
+                10.0 + lcg(&mut state) * 50.0,
+            );
             for agg in [MraAgg::Count, MraAgg::Min, MraAgg::Max] {
                 let exact = brute(&points, &values, &rect, agg);
                 for budget in [1usize, 4, 16, 64, 100_000] {

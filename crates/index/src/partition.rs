@@ -43,11 +43,13 @@ impl<K: Eq + Hash, I> PartitionedIndex<K, I> {
         for (i, item) in items.iter().enumerate() {
             members.entry(key_of(item)).or_default().push(i as u32);
         }
-        let groups =
-            members.into_iter().map(|(k, ids)| {
+        let groups = members
+            .into_iter()
+            .map(|(k, ids)| {
                 let index = build(&k, &ids);
                 (k, index)
-            }).collect();
+            })
+            .collect();
         PartitionedIndex { groups }
     }
 
@@ -82,7 +84,10 @@ impl<K: Eq + Hash, I> PartitionedIndex<K, I> {
     where
         P: FnMut(&K) -> bool + 'a,
     {
-        self.groups.iter().filter(move |(k, _)| pred(k)).map(|(_, v)| v)
+        self.groups
+            .iter()
+            .filter(move |(k, _)| pred(k))
+            .map(|(_, v)| v)
     }
 }
 
@@ -102,11 +107,36 @@ mod tests {
 
     fn units() -> Vec<Unit> {
         vec![
-            Unit { player: 0, kind: 0, x: 1.0, y: 1.0 },
-            Unit { player: 0, kind: 1, x: 2.0, y: 2.0 },
-            Unit { player: 1, kind: 0, x: 3.0, y: 3.0 },
-            Unit { player: 1, kind: 0, x: 4.0, y: 4.0 },
-            Unit { player: 1, kind: 1, x: 5.0, y: 5.0 },
+            Unit {
+                player: 0,
+                kind: 0,
+                x: 1.0,
+                y: 1.0,
+            },
+            Unit {
+                player: 0,
+                kind: 1,
+                x: 2.0,
+                y: 2.0,
+            },
+            Unit {
+                player: 1,
+                kind: 0,
+                x: 3.0,
+                y: 3.0,
+            },
+            Unit {
+                player: 1,
+                kind: 0,
+                x: 4.0,
+                y: 4.0,
+            },
+            Unit {
+                player: 1,
+                kind: 1,
+                x: 5.0,
+                y: 5.0,
+            },
         ]
     }
 
@@ -127,7 +157,9 @@ mod tests {
             |_key, ids| {
                 let entries: Vec<AggEntry> = ids
                     .iter()
-                    .map(|i| AggEntry::new(Point2::new(us[*i as usize].x, us[*i as usize].y), vec![]))
+                    .map(|i| {
+                        AggEntry::new(Point2::new(us[*i as usize].x, us[*i as usize].y), vec![])
+                    })
                     .collect();
                 LayeredAggTree::build(&entries, 0, true)
             },

@@ -53,7 +53,6 @@ impl Summary {
             }
         }
     }
-
 }
 
 #[derive(Debug, Clone)]
@@ -239,10 +238,18 @@ impl AggQuadTree {
 
     fn node_rect_relation(node: &Node, rect: &Rect) -> Relation {
         let b = &node.bounds;
-        if b.x_min > rect.x_max || b.x_max < rect.x_min || b.y_min > rect.y_max || b.y_max < rect.y_min {
+        if b.x_min > rect.x_max
+            || b.x_max < rect.x_min
+            || b.y_min > rect.y_max
+            || b.y_max < rect.y_min
+        {
             return Relation::Disjoint;
         }
-        if b.x_min >= rect.x_min && b.x_max <= rect.x_max && b.y_min >= rect.y_min && b.y_max <= rect.y_max {
+        if b.x_min >= rect.x_min
+            && b.x_max <= rect.x_max
+            && b.y_min >= rect.y_min
+            && b.y_max <= rect.y_max
+        {
             return Relation::Contained;
         }
         Relation::Partial
@@ -332,7 +339,11 @@ impl AggQuadTree {
             return;
         }
         // Prune: the whole subtree cannot improve on the current best.
-        let bound = if minimize { node.summary.min[channel] } else { node.summary.max[channel] };
+        let bound = if minimize {
+            node.summary.min[channel]
+        } else {
+            node.summary.max[channel]
+        };
         if !Self::improves(best, bound, minimize) {
             return;
         }
@@ -345,8 +356,12 @@ impl AggQuadTree {
             Relation::Partial => {
                 for &id in &node.points {
                     let e = &self.entries[id as usize];
-                    if rect.contains(&e.point) && Self::improves(best, e.values[channel], minimize) {
-                        *best = Some(Extremum { value: e.values[channel], id });
+                    if rect.contains(&e.point) && Self::improves(best, e.values[channel], minimize)
+                    {
+                        *best = Some(Extremum {
+                            value: e.values[channel],
+                            id,
+                        });
                     }
                 }
                 for &child in &node.children {
@@ -359,9 +374,19 @@ impl AggQuadTree {
     }
 
     /// Descend into a fully contained subtree looking for the extreme value.
-    fn extremum_descend(&self, node_idx: u32, channel: usize, minimize: bool, best: &mut Option<Extremum>) {
+    fn extremum_descend(
+        &self,
+        node_idx: u32,
+        channel: usize,
+        minimize: bool,
+        best: &mut Option<Extremum>,
+    ) {
         let node = &self.nodes[node_idx as usize];
-        let bound = if minimize { node.summary.min[channel] } else { node.summary.max[channel] };
+        let bound = if minimize {
+            node.summary.min[channel]
+        } else {
+            node.summary.max[channel]
+        };
         if !Self::improves(best, bound, minimize) {
             return;
         }
@@ -434,7 +459,9 @@ mod tests {
     use super::*;
 
     fn lcg(state: &mut u64) -> f64 {
-        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*state >> 11) as f64) / ((1u64 << 53) as f64)
     }
 
@@ -445,7 +472,10 @@ mod tests {
             .map(|i| {
                 let cx = ((i % 5) as f64 + 0.5) * world / 5.0;
                 let cy = ((i % 3) as f64 + 0.5) * world / 3.0;
-                let p = Point2::new(cx + (lcg(&mut state) - 0.5) * world / 8.0, cy + (lcg(&mut state) - 0.5) * world / 8.0);
+                let p = Point2::new(
+                    cx + (lcg(&mut state) - 0.5) * world / 8.0,
+                    cy + (lcg(&mut state) - 0.5) * world / 8.0,
+                );
                 AggEntry::new(p, vec![(i % 37) as f64, lcg(&mut state) * 10.0])
             })
             .collect()
@@ -469,7 +499,9 @@ mod tests {
         let acc = tree.query(&Rect::new(0.0, 10.0, 0.0, 10.0));
         assert_eq!(acc.count(), 0.0);
         assert_eq!(tree.min_in_rect(&Rect::new(0.0, 10.0, 0.0, 10.0), 0), None);
-        assert!(tree.query_points(&Rect::new(0.0, 10.0, 0.0, 10.0)).is_empty());
+        assert!(tree
+            .query_points(&Rect::new(0.0, 10.0, 0.0, 10.0))
+            .is_empty());
     }
 
     #[test]
@@ -519,8 +551,14 @@ mod tests {
                 assert_eq!(fast_min, None);
                 assert_eq!(fast_max, None);
             } else {
-                let slow_min = matching.iter().map(|e| e.values[0]).fold(f64::INFINITY, f64::min);
-                let slow_max = matching.iter().map(|e| e.values[0]).fold(f64::NEG_INFINITY, f64::max);
+                let slow_min = matching
+                    .iter()
+                    .map(|e| e.values[0])
+                    .fold(f64::INFINITY, f64::min);
+                let slow_max = matching
+                    .iter()
+                    .map(|e| e.values[0])
+                    .fold(f64::NEG_INFINITY, f64::max);
                 assert_eq!(fast_min.unwrap().value, slow_min);
                 assert_eq!(fast_max.unwrap().value, slow_max);
                 // The returned id must attain the value and lie in the rect.
@@ -537,7 +575,11 @@ mod tests {
         let tree = AggQuadTree::build(&es, 2, 4);
         let mut state = 31u64;
         for _ in 0..100 {
-            let rect = Rect::centered(lcg(&mut state) * 100.0, lcg(&mut state) * 100.0, lcg(&mut state) * 25.0);
+            let rect = Rect::centered(
+                lcg(&mut state) * 100.0,
+                lcg(&mut state) * 100.0,
+                lcg(&mut state) * 25.0,
+            );
             let fast = tree.query_points(&rect);
             let slow: Vec<u32> = es
                 .iter()
@@ -553,13 +595,25 @@ mod tests {
     fn duplicate_positions_do_not_blow_up_depth() {
         // 500 units standing on the same tile: MAX_DEPTH keeps the structure
         // shallow and queries stay correct.
-        let mut es: Vec<AggEntry> = (0..500).map(|i| AggEntry::new(Point2::new(7.0, 7.0), vec![i as f64])).collect();
+        let mut es: Vec<AggEntry> = (0..500)
+            .map(|i| AggEntry::new(Point2::new(7.0, 7.0), vec![i as f64]))
+            .collect();
         es.push(AggEntry::new(Point2::new(90.0, 90.0), vec![1000.0]));
         let tree = AggQuadTree::build(&es, 1, 4);
         assert_eq!(tree.count(&Rect::centered(7.0, 7.0, 0.5)), 500);
         assert_eq!(tree.count(&Rect::new(0.0, 100.0, 0.0, 100.0)), 501);
-        assert_eq!(tree.min_in_rect(&Rect::centered(7.0, 7.0, 0.5), 0).unwrap().value, 0.0);
-        assert_eq!(tree.max_in_rect(&Rect::centered(7.0, 7.0, 0.5), 0).unwrap().value, 499.0);
+        assert_eq!(
+            tree.min_in_rect(&Rect::centered(7.0, 7.0, 0.5), 0)
+                .unwrap()
+                .value,
+            0.0
+        );
+        assert_eq!(
+            tree.max_in_rect(&Rect::centered(7.0, 7.0, 0.5), 0)
+                .unwrap()
+                .value,
+            499.0
+        );
     }
 
     #[test]
@@ -589,7 +643,11 @@ mod tests {
         let es = entries(2000, 77, 500.0);
         let tree = AggQuadTree::build(&es, 2, 8);
         // A bucket quadtree over n points has O(n) nodes; allow generous slack.
-        assert!(tree.node_count() < 4 * es.len(), "node_count = {}", tree.node_count());
+        assert!(
+            tree.node_count() < 4 * es.len(),
+            "node_count = {}",
+            tree.node_count()
+        );
         assert_eq!(tree.channels(), 2);
     }
 }

@@ -43,7 +43,12 @@ impl RangeTree2D {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let xs: Vec<f64> = order.iter().map(|i| points[*i as usize].x).collect();
-        let mut tree = RangeTree2D { points: points.to_vec(), xs, nodes: Vec::new(), root: NO_CHILD };
+        let mut tree = RangeTree2D {
+            points: points.to_vec(),
+            xs,
+            nodes: Vec::new(),
+            root: NO_CHILD,
+        };
         if n > 0 {
             tree.root = tree.build_node(&order);
         }
@@ -65,8 +70,12 @@ impl RangeTree2D {
         self.nodes.push(Node::default());
         if order.len() == 1 {
             let id = order[0];
-            self.nodes[idx as usize] =
-                Node { left: NO_CHILD, right: NO_CHILD, ids: vec![id], ys: vec![self.points[id as usize].y] };
+            self.nodes[idx as usize] = Node {
+                left: NO_CHILD,
+                right: NO_CHILD,
+                ids: vec![id],
+                ys: vec![self.points[id as usize].y],
+            };
             return idx;
         }
         let mid = order.len() / 2;
@@ -96,7 +105,12 @@ impl RangeTree2D {
                 ri += 1;
             }
         }
-        self.nodes[idx as usize] = Node { left, right, ids, ys };
+        self.nodes[idx as usize] = Node {
+            left,
+            right,
+            ids,
+            ys,
+        };
         idx
     }
 
@@ -121,7 +135,17 @@ impl RangeTree2D {
         self.visit(self.root, 0, self.xs.len(), l, r, rect, out);
     }
 
-    fn visit(&self, node_idx: u32, node_lo: usize, node_hi: usize, l: usize, r: usize, rect: &Rect, out: &mut Vec<u32>) {
+    #[allow(clippy::too_many_arguments)]
+    fn visit(
+        &self,
+        node_idx: u32,
+        node_lo: usize,
+        node_hi: usize,
+        l: usize,
+        r: usize,
+        rect: &Rect,
+        out: &mut Vec<u32>,
+    ) {
         if node_idx == NO_CHILD || r <= node_lo || node_hi <= l {
             return;
         }
@@ -152,7 +176,17 @@ impl RangeTree2D {
         count
     }
 
-    fn count_visit(&self, node_idx: u32, node_lo: usize, node_hi: usize, l: usize, r: usize, rect: &Rect, out: &mut usize) {
+    #[allow(clippy::too_many_arguments)]
+    fn count_visit(
+        &self,
+        node_idx: u32,
+        node_lo: usize,
+        node_hi: usize,
+        l: usize,
+        r: usize,
+        rect: &Rect,
+        out: &mut usize,
+    ) {
         if node_idx == NO_CHILD || r <= node_lo || node_hi <= l {
             return;
         }
@@ -174,13 +208,17 @@ mod tests {
     use super::*;
 
     fn lcg(state: &mut u64) -> f64 {
-        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*state >> 11) as f64) / ((1u64 << 53) as f64)
     }
 
     fn random_points(n: usize, seed: u64, world: f64) -> Vec<Point2> {
         let mut state = seed;
-        (0..n).map(|_| Point2::new(lcg(&mut state) * world, lcg(&mut state) * world)).collect()
+        (0..n)
+            .map(|_| Point2::new(lcg(&mut state) * world, lcg(&mut state) * world))
+            .collect()
     }
 
     #[test]
@@ -198,8 +236,11 @@ mod tests {
         assert_eq!(tree.len(), 300);
         let mut state = 3u64;
         for _ in 0..100 {
-            let rect =
-                Rect::centered(lcg(&mut state) * 100.0, lcg(&mut state) * 100.0, lcg(&mut state) * 25.0);
+            let rect = Rect::centered(
+                lcg(&mut state) * 100.0,
+                lcg(&mut state) * 100.0,
+                lcg(&mut state) * 25.0,
+            );
             let mut fast = tree.query(&rect);
             fast.sort_unstable();
             let mut slow: Vec<u32> = points
@@ -216,7 +257,11 @@ mod tests {
 
     #[test]
     fn inclusive_boundaries() {
-        let points = vec![Point2::new(1.0, 1.0), Point2::new(2.0, 2.0), Point2::new(3.0, 3.0)];
+        let points = vec![
+            Point2::new(1.0, 1.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(3.0, 3.0),
+        ];
         let tree = RangeTree2D::build(&points);
         assert_eq!(tree.count(&Rect::new(1.0, 3.0, 1.0, 3.0)), 3);
         assert_eq!(tree.count(&Rect::new(1.0, 2.0, 1.0, 2.0)), 2);

@@ -22,7 +22,12 @@ impl MinMaxSegTree {
     pub fn new(size: usize, minimize: bool) -> MinMaxSegTree {
         let base = size.next_power_of_two().max(1);
         let identity = Self::identity_for(minimize);
-        MinMaxSegTree { size, base, minimize, tree: vec![identity; 2 * base] }
+        MinMaxSegTree {
+            size,
+            base,
+            minimize,
+            tree: vec![identity; 2 * base],
+        }
     }
 
     fn identity_for(minimize: bool) -> (f64, u32) {
@@ -49,7 +54,11 @@ impl MinMaxSegTree {
     }
 
     fn better(&self, a: (f64, u32), b: (f64, u32)) -> (f64, u32) {
-        let pick_a = if self.minimize { a.0 <= b.0 } else { a.0 >= b.0 };
+        let pick_a = if self.minimize {
+            a.0 <= b.0
+        } else {
+            a.0 >= b.0
+        };
         if pick_a {
             a
         } else {
@@ -179,7 +188,9 @@ mod tests {
     #[test]
     fn matches_brute_force_on_random_operations() {
         fn lcg(state: &mut u64) -> u64 {
-            *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *state >> 33
         }
         let n = 37;

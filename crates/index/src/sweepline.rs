@@ -40,7 +40,11 @@ pub fn sweep_min_max(
     ry: f64,
     kind: SweepKind,
 ) -> Vec<Option<(f64, u32)>> {
-    assert_eq!(data.len(), values.len(), "each data point needs exactly one value");
+    assert_eq!(
+        data.len(),
+        values.len(),
+        "each data point needs exactly one value"
+    );
     let mut results = vec![None; queries.len()];
     if data.is_empty() || queries.is_empty() {
         return results;
@@ -50,7 +54,10 @@ pub fn sweep_min_max(
     // Rank data points by x so each occupies one segment-tree leaf.
     let mut x_order: Vec<u32> = (0..data.len() as u32).collect();
     x_order.sort_by(|a, b| {
-        data[*a as usize].x.partial_cmp(&data[*b as usize].x).unwrap_or(std::cmp::Ordering::Equal)
+        data[*a as usize]
+            .x
+            .partial_cmp(&data[*b as usize].x)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let sorted_x: Vec<f64> = x_order.iter().map(|i| data[*i as usize].x).collect();
     // rank_of[data index] = leaf position.
@@ -76,7 +83,10 @@ pub fn sweep_min_max(
     // Queries sorted by y.
     let mut q_order: Vec<u32> = (0..queries.len() as u32).collect();
     q_order.sort_by(|a, b| {
-        queries[*a as usize].y.partial_cmp(&queries[*b as usize].y).unwrap_or(std::cmp::Ordering::Equal)
+        queries[*a as usize]
+            .y
+            .partial_cmp(&queries[*b as usize].y)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
 
     let mut tree = MinMaxSegTree::new(data.len(), minimize);
@@ -118,13 +128,17 @@ mod tests {
     use super::*;
 
     fn lcg(state: &mut u64) -> f64 {
-        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*state >> 11) as f64) / ((1u64 << 53) as f64)
     }
 
     fn random_points(n: usize, seed: u64, world: f64) -> Vec<Point2> {
         let mut state = seed;
-        (0..n).map(|_| Point2::new(lcg(&mut state) * world, lcg(&mut state) * world)).collect()
+        (0..n)
+            .map(|_| Point2::new(lcg(&mut state) * world, lcg(&mut state) * world))
+            .collect()
     }
 
     fn brute(
@@ -153,10 +167,20 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        assert!(sweep_min_max(&[], &[], &[Point2::new(0.0, 0.0)], 1.0, 1.0, SweepKind::Min)
-            .iter()
-            .all(Option::is_none));
-        assert!(sweep_min_max(&[Point2::new(0.0, 0.0)], &[1.0], &[], 1.0, 1.0, SweepKind::Min).is_empty());
+        assert!(
+            sweep_min_max(&[], &[], &[Point2::new(0.0, 0.0)], 1.0, 1.0, SweepKind::Min)
+                .iter()
+                .all(Option::is_none)
+        );
+        assert!(sweep_min_max(
+            &[Point2::new(0.0, 0.0)],
+            &[1.0],
+            &[],
+            1.0,
+            1.0,
+            SweepKind::Min
+        )
+        .is_empty());
     }
 
     #[test]

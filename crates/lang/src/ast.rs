@@ -153,7 +153,11 @@ impl Term {
 
     /// Shortcut for a binary operation.
     pub fn bin(op: BinOp, left: Term, right: Term) -> Term {
-        Term::Bin { op, left: Box::new(left), right: Box::new(right) }
+        Term::Bin {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Does this term (transitively) contain an aggregate call?
@@ -164,7 +168,9 @@ impl Term {
             Term::Random(t) | Term::Neg(t) | Term::Abs(t) | Term::Sqrt(t) | Term::Field(t, _) => {
                 t.contains_aggregate()
             }
-            Term::Bin { left, right, .. } => left.contains_aggregate() || right.contains_aggregate(),
+            Term::Bin { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
             Term::Tuple(items) => items.iter().any(Term::contains_aggregate),
         }
     }
@@ -249,6 +255,7 @@ impl Cond {
     }
 
     /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(c: Cond) -> Cond {
         Cond::Not(Box::new(c))
     }
@@ -257,7 +264,9 @@ impl Cond {
     pub fn contains_aggregate(&self) -> bool {
         match self {
             Cond::Lit(_) => false,
-            Cond::Cmp { left, right, .. } => left.contains_aggregate() || right.contains_aggregate(),
+            Cond::Cmp { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
             Cond::And(a, b) | Cond::Or(a, b) => a.contains_aggregate() || b.contains_aggregate(),
             Cond::Not(c) => c.contains_aggregate(),
         }
@@ -345,9 +354,11 @@ impl Action {
                     call.args.iter().for_each(|a| term_aggs(a, out));
                 }
                 Term::Const(_) | Term::Var(_) => {}
-                Term::Random(t) | Term::Neg(t) | Term::Abs(t) | Term::Sqrt(t) | Term::Field(t, _) => {
-                    term_aggs(t, out)
-                }
+                Term::Random(t)
+                | Term::Neg(t)
+                | Term::Abs(t)
+                | Term::Sqrt(t)
+                | Term::Field(t, _) => term_aggs(t, out),
                 Term::Bin { left, right, .. } => {
                     term_aggs(left, out);
                     term_aggs(right, out);
@@ -442,7 +453,10 @@ mod tests {
 
     #[test]
     fn aggregate_detection_in_terms_and_conditions() {
-        let agg = Term::Agg(AggCall { name: "Count".into(), args: vec![Term::unit("range")] });
+        let agg = Term::Agg(AggCall {
+            name: "Count".into(),
+            args: vec![Term::unit("range")],
+        });
         let t = Term::bin(BinOp::Add, Term::int(1), agg.clone());
         assert!(t.contains_aggregate());
         assert!(!Term::unit("posx").contains_aggregate());
@@ -479,15 +493,24 @@ mod tests {
 
     #[test]
     fn perform_counting_and_aggregate_collection() {
-        let agg = AggCall { name: "CountEnemiesInRange".into(), args: vec![Term::unit("range")] };
+        let agg = AggCall {
+            name: "CountEnemiesInRange".into(),
+            args: vec![Term::unit("range")],
+        };
         let action = Action::Let {
             name: "c".into(),
             term: Term::Agg(agg.clone()),
             body: Box::new(Action::If {
                 cond: Cond::cmp(CmpOp::Gt, Term::name("c"), Term::int(3)),
-                then: Box::new(Action::Perform { name: "Flee".into(), args: vec![] }),
+                then: Box::new(Action::Perform {
+                    name: "Flee".into(),
+                    args: vec![],
+                }),
                 els: Some(Box::new(Action::Seq(vec![
-                    Action::Perform { name: "FireAt".into(), args: vec![Term::name("c")] },
+                    Action::Perform {
+                        name: "FireAt".into(),
+                        args: vec![Term::name("c")],
+                    },
                     Action::Nop,
                 ]))),
             }),
@@ -509,14 +532,28 @@ mod tests {
         let mut names = Vec::new();
         t.collect_names(&mut names);
         names.sort();
-        assert_eq!(names, vec!["_ARROW_DAMAGE".to_string(), "away_vector".to_string()]);
+        assert_eq!(
+            names,
+            vec!["_ARROW_DAMAGE".to_string(), "away_vector".to_string()]
+        );
     }
 
     #[test]
     fn script_function_lookup() {
-        let f = FunctionDef { name: "helper".into(), params: vec!["u".into()], body: Action::Nop };
-        let main = FunctionDef { name: "main".into(), params: vec!["u".into()], body: Action::Nop };
-        let script = Script { functions: vec![f], main };
+        let f = FunctionDef {
+            name: "helper".into(),
+            params: vec!["u".into()],
+            body: Action::Nop,
+        };
+        let main = FunctionDef {
+            name: "main".into(),
+            params: vec!["u".into()],
+            body: Action::Nop,
+        };
+        let script = Script {
+            functions: vec![f],
+            main,
+        };
         assert!(script.function("helper").is_some());
         assert!(script.function("nope").is_none());
     }

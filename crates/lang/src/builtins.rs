@@ -14,7 +14,6 @@ use sgl_env::Value;
 
 use crate::ast::{CmpOp, Cond, Term};
 
-
 /// SQL aggregate functions supported inside built-in aggregate definitions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SimpleAgg {
@@ -93,7 +92,9 @@ impl AggregateDef {
     pub fn output_names(&self) -> Vec<&str> {
         match &self.spec {
             AggSpec::Simple { outputs } => outputs.iter().map(|o| o.name.as_str()).collect(),
-            AggSpec::ArgBest { outputs, .. } => outputs.iter().map(|(n, _, _)| n.as_str()).collect(),
+            AggSpec::ArgBest { outputs, .. } => {
+                outputs.iter().map(|(n, _, _)| n.as_str()).collect()
+            }
         }
     }
 
@@ -227,7 +228,11 @@ pub fn squared_distance() -> Term {
     use crate::ast::BinOp::*;
     let dx = Term::bin(Sub, Term::row("posx"), Term::unit("posx"));
     let dy = Term::bin(Sub, Term::row("posy"), Term::unit("posy"));
-    Term::bin(Add, Term::bin(Mul, dx.clone(), dx), Term::bin(Mul, dy.clone(), dy))
+    Term::bin(
+        Add,
+        Term::bin(Mul, dx.clone(), dx),
+        Term::bin(Mul, dy.clone(), dy),
+    )
 }
 
 /// Build the registry containing exactly the built-ins used by the paper's
@@ -316,7 +321,11 @@ pub fn paper_registry() -> Registry {
                             Term::name("_ARROW_HIT_DAMAGE"),
                             Term::name("_ARMOR"),
                         ),
-                        Term::bin(crate::ast::BinOp::Mod, Term::Random(Box::new(Term::int(1))), Term::int(2)),
+                        Term::bin(
+                            crate::ast::BinOp::Mod,
+                            Term::Random(Box::new(Term::int(1))),
+                            Term::int(2),
+                        ),
                     ),
                 )],
             },
@@ -356,7 +365,10 @@ pub fn paper_registry() -> Registry {
         name: "Heal".into(),
         params: vec!["u".into()],
         clauses: vec![EffectClause {
-            filter: Cond::and(ally_filter(), rect_range_filter(Term::name("_HEALER_RANGE"))),
+            filter: Cond::and(
+                ally_filter(),
+                rect_range_filter(Term::name("_HEALER_RANGE")),
+            ),
             effects: vec![("inaura".into(), Term::name("_HEAL_AURA"))],
         }],
     });
@@ -437,6 +449,9 @@ mod tests {
         let mut modified = original.clone();
         modified.params.push("extra".into());
         reg.register_aggregate(modified);
-        assert_eq!(reg.aggregate("CountEnemiesInRange").unwrap().params.len(), original.params.len() + 1);
+        assert_eq!(
+            reg.aggregate("CountEnemiesInRange").unwrap().params.len(),
+            original.params.len() + 1
+        );
     }
 }

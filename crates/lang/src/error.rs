@@ -71,13 +71,25 @@ mod tests {
 
     #[test]
     fn display_contains_positions_and_messages() {
-        let e = LangError::Parse { pos: Pos { line: 3, col: 7 }, message: "expected `)`".into() };
+        let e = LangError::Parse {
+            pos: Pos { line: 3, col: 7 },
+            message: "expected `)`".into(),
+        };
         let s = e.to_string();
         assert!(s.contains("3:7"));
         assert!(s.contains("expected"));
-        assert!(LangError::Unresolved("Foo".into()).to_string().contains("Foo"));
-        assert!(LangError::Semantic("bad".into()).to_string().contains("bad"));
-        assert!(LangError::Lex { pos: Pos::default(), message: "x".into() }.to_string().contains("lex"));
+        assert!(LangError::Unresolved("Foo".into())
+            .to_string()
+            .contains("Foo"));
+        assert!(LangError::Semantic("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(LangError::Lex {
+            pos: Pos::default(),
+            message: "x".into()
+        }
+        .to_string()
+        .contains("lex"));
     }
 
     #[test]

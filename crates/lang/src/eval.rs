@@ -41,9 +41,9 @@ impl ScriptValue {
         match self {
             ScriptValue::Scalar(v) => Ok(v),
             ScriptValue::Record(fields) if fields.len() == 1 => Ok(&fields[0].1),
-            ScriptValue::Record(_) => {
-                Err(LangError::Semantic("expected a scalar but found a record value".into()))
-            }
+            ScriptValue::Record(_) => Err(LangError::Semantic(
+                "expected a scalar but found a record value".into(),
+            )),
         }
     }
 
@@ -55,9 +55,9 @@ impl ScriptValue {
                 .find(|(n, _)| n == name)
                 .map(|(_, v)| v)
                 .ok_or_else(|| LangError::Semantic(format!("record has no field `{name}`"))),
-            ScriptValue::Scalar(_) => {
-                Err(LangError::Semantic(format!("cannot access field `{name}` of a scalar value")))
-            }
+            ScriptValue::Scalar(_) => Err(LangError::Semantic(format!(
+                "cannot access field `{name}` of a scalar value"
+            ))),
         }
     }
 
@@ -95,7 +95,9 @@ impl ScriptValue {
         };
         let placeholder = |v: &ScriptValue| -> Option<Vec<String>> {
             match v {
-                ScriptValue::Record(fields) => Some(fields.iter().map(|(n, _)| n.clone()).collect()),
+                ScriptValue::Record(fields) => {
+                    Some(fields.iter().map(|(n, _)| n.clone()).collect())
+                }
                 _ => None,
             }
         };
@@ -189,7 +191,15 @@ impl<'a> EvalContext<'a> {
         constants: &'a FxHashMap<String, Value>,
     ) -> EvalContext<'a> {
         let unit_key = unit.key(schema);
-        EvalContext { schema, unit, unit_key, row: None, rng, constants, bindings: FxHashMap::default() }
+        EvalContext {
+            schema,
+            unit,
+            unit_key,
+            row: None,
+            rng,
+            constants,
+            bindings: FxHashMap::default(),
+        }
     }
 
     /// Derive a context that additionally exposes a candidate row `e`.
@@ -231,7 +241,9 @@ pub fn eval_term(
         }
         Term::Var(VarRef::Row(attr)) => {
             let row = ctx.row.ok_or_else(|| {
-                LangError::Semantic(format!("`e.{attr}` referenced outside a built-in definition"))
+                LangError::Semantic(format!(
+                    "`e.{attr}` referenced outside a built-in definition"
+                ))
             })?;
             let id = ctx.attr(attr)?;
             Ok(ScriptValue::Scalar(row.get(id).clone()))
@@ -247,7 +259,9 @@ pub fn eval_term(
         }
         Term::Random(seed) => {
             let i = eval_term(seed, ctx, aggs)?.as_scalar()?.as_i64()?;
-            Ok(ScriptValue::Scalar(Value::Int(ctx.rng.value(ctx.unit_key, i))))
+            Ok(ScriptValue::Scalar(Value::Int(
+                ctx.rng.value(ctx.unit_key, i),
+            )))
         }
         Term::Agg(call) => aggs.evaluate(call, ctx),
         Term::Bin { op, left, right } => {
@@ -267,8 +281,12 @@ pub fn eval_term(
                 )),
             }
         }
-        Term::Abs(t) => Ok(ScriptValue::Scalar(eval_term(t, ctx, aggs)?.as_scalar()?.abs()?)),
-        Term::Sqrt(t) => Ok(ScriptValue::Scalar(eval_term(t, ctx, aggs)?.as_scalar()?.sqrt()?)),
+        Term::Abs(t) => Ok(ScriptValue::Scalar(
+            eval_term(t, ctx, aggs)?.as_scalar()?.abs()?,
+        )),
+        Term::Sqrt(t) => Ok(ScriptValue::Scalar(
+            eval_term(t, ctx, aggs)?.as_scalar()?.sqrt()?,
+        )),
         Term::Field(t, field) => {
             let v = eval_term(t, ctx, aggs)?;
             Ok(ScriptValue::Scalar(v.field(field)?.clone()))
@@ -378,7 +396,12 @@ mod tests {
         let mut aggs = NoAggregates;
         assert!(eval_term(&parse_term("e.posx").unwrap(), &ctx, &mut aggs).is_err());
 
-        let other = TupleBuilder::new(&schema).set("key", 9i64).unwrap().set("posx", 8.0).unwrap().build();
+        let other = TupleBuilder::new(&schema)
+            .set("key", 9i64)
+            .unwrap()
+            .set("posx", 8.0)
+            .unwrap()
+            .build();
         let ctx2 = ctx.with_row(&other);
         let v = eval_term(&parse_term("e.posx - u.posx").unwrap(), &ctx2, &mut aggs).unwrap();
         assert_eq!(v, ScriptValue::Scalar(Value::Float(5.0)));
@@ -420,7 +443,10 @@ mod tests {
 
     #[test]
     fn record_component_mismatch_is_an_error() {
-        let a = ScriptValue::record(vec![("x".into(), Value::Int(1)), ("y".into(), Value::Int(2))]);
+        let a = ScriptValue::record(vec![
+            ("x".into(), Value::Int(1)),
+            ("y".into(), Value::Int(2)),
+        ]);
         let b = ScriptValue::record(vec![("x".into(), Value::Int(1))]);
         assert!(ScriptValue::zip_binop(BinOp::Add, &a, &b).is_err());
     }
@@ -429,7 +455,10 @@ mod tests {
     fn field_access_on_aggregate_results() {
         let (schema, unit, rng, constants) = fixture();
         let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
-        let record = ScriptValue::record(vec![("key".into(), Value::Int(42)), ("posx".into(), Value::Float(0.0))]);
+        let record = ScriptValue::record(vec![
+            ("key".into(), Value::Int(42)),
+            ("posx".into(), Value::Float(0.0)),
+        ]);
         let mut aggs = FixedAgg(record);
         let t = parse_term("getNearestEnemy(u).key").unwrap();
         let v = eval_term(&t, &ctx, &mut aggs).unwrap();
@@ -444,10 +473,20 @@ mod tests {
         let (schema, unit, rng, constants) = fixture();
         let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
         let mut aggs = NoAggregates;
-        assert!(eval_cond(&parse_cond("u.health = 20 and u.cooldown = 0").unwrap(), &ctx, &mut aggs).unwrap());
+        assert!(eval_cond(
+            &parse_cond("u.health = 20 and u.cooldown = 0").unwrap(),
+            &ctx,
+            &mut aggs
+        )
+        .unwrap());
         assert!(eval_cond(&parse_cond("u.health != 3").unwrap(), &ctx, &mut aggs).unwrap());
         assert!(!eval_cond(&parse_cond("u.health < 3").unwrap(), &ctx, &mut aggs).unwrap());
-        assert!(eval_cond(&parse_cond("u.health < 3 or true").unwrap(), &ctx, &mut aggs).unwrap());
+        assert!(eval_cond(
+            &parse_cond("u.health < 3 or true").unwrap(),
+            &ctx,
+            &mut aggs
+        )
+        .unwrap());
         assert!(eval_cond(&parse_cond("not (u.health < 3)").unwrap(), &ctx, &mut aggs).unwrap());
     }
 
@@ -464,7 +503,10 @@ mod tests {
     fn scalar_record_coercions() {
         let single = ScriptValue::record(vec![("value".into(), Value::Int(3))]);
         assert_eq!(single.as_scalar().unwrap(), &Value::Int(3));
-        let multi = ScriptValue::record(vec![("x".into(), Value::Int(1)), ("y".into(), Value::Int(2))]);
+        let multi = ScriptValue::record(vec![
+            ("x".into(), Value::Int(1)),
+            ("y".into(), Value::Int(2)),
+        ]);
         assert!(multi.as_scalar().is_err());
         assert_eq!(multi.components().len(), 2);
         assert!(ScriptValue::scalar(1i64).field("x").is_err());
@@ -485,7 +527,11 @@ mod tests {
             ("2 = 2", true),
             ("2 != 2", false),
         ] {
-            assert_eq!(eval_cond(&parse_cond(src).unwrap(), &ctx, &mut aggs).unwrap(), expected, "{src}");
+            assert_eq!(
+                eval_cond(&parse_cond(src).unwrap(), &ctx, &mut aggs).unwrap(),
+                expected,
+                "{src}"
+            );
         }
         let _ = CmpOp::Eq;
     }

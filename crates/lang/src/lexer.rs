@@ -101,47 +101,80 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 }
             }
             '(' => {
-                tokens.push(Token { tok: Tok::LParen, pos: start });
+                tokens.push(Token {
+                    tok: Tok::LParen,
+                    pos: start,
+                });
                 advance!();
             }
             ')' => {
-                tokens.push(Token { tok: Tok::RParen, pos: start });
+                tokens.push(Token {
+                    tok: Tok::RParen,
+                    pos: start,
+                });
                 advance!();
             }
             '{' => {
-                tokens.push(Token { tok: Tok::LBrace, pos: start });
+                tokens.push(Token {
+                    tok: Tok::LBrace,
+                    pos: start,
+                });
                 advance!();
             }
             '}' => {
-                tokens.push(Token { tok: Tok::RBrace, pos: start });
+                tokens.push(Token {
+                    tok: Tok::RBrace,
+                    pos: start,
+                });
                 advance!();
             }
             ',' => {
-                tokens.push(Token { tok: Tok::Comma, pos: start });
+                tokens.push(Token {
+                    tok: Tok::Comma,
+                    pos: start,
+                });
                 advance!();
             }
             ';' => {
-                tokens.push(Token { tok: Tok::Semi, pos: start });
+                tokens.push(Token {
+                    tok: Tok::Semi,
+                    pos: start,
+                });
                 advance!();
             }
             '.' => {
-                tokens.push(Token { tok: Tok::Dot, pos: start });
+                tokens.push(Token {
+                    tok: Tok::Dot,
+                    pos: start,
+                });
                 advance!();
             }
             '+' => {
-                tokens.push(Token { tok: Tok::Plus, pos: start });
+                tokens.push(Token {
+                    tok: Tok::Plus,
+                    pos: start,
+                });
                 advance!();
             }
             '-' => {
-                tokens.push(Token { tok: Tok::Minus, pos: start });
+                tokens.push(Token {
+                    tok: Tok::Minus,
+                    pos: start,
+                });
                 advance!();
             }
             '*' => {
-                tokens.push(Token { tok: Tok::Star, pos: start });
+                tokens.push(Token {
+                    tok: Tok::Star,
+                    pos: start,
+                });
                 advance!();
             }
             '/' => {
-                tokens.push(Token { tok: Tok::Slash, pos: start });
+                tokens.push(Token {
+                    tok: Tok::Slash,
+                    pos: start,
+                });
                 advance!();
             }
             '=' => {
@@ -149,36 +182,60 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 if i < chars.len() && chars[i] == '=' {
                     advance!();
                 }
-                tokens.push(Token { tok: Tok::Eq, pos: start });
+                tokens.push(Token {
+                    tok: Tok::Eq,
+                    pos: start,
+                });
             }
             '!' => {
                 advance!();
                 if i < chars.len() && chars[i] == '=' {
                     advance!();
-                    tokens.push(Token { tok: Tok::Ne, pos: start });
+                    tokens.push(Token {
+                        tok: Tok::Ne,
+                        pos: start,
+                    });
                 } else {
-                    return Err(LangError::Lex { pos: start, message: "expected `=` after `!`".into() });
+                    return Err(LangError::Lex {
+                        pos: start,
+                        message: "expected `=` after `!`".into(),
+                    });
                 }
             }
             '<' => {
                 advance!();
                 if i < chars.len() && chars[i] == '=' {
                     advance!();
-                    tokens.push(Token { tok: Tok::Le, pos: start });
+                    tokens.push(Token {
+                        tok: Tok::Le,
+                        pos: start,
+                    });
                 } else if i < chars.len() && chars[i] == '>' {
                     advance!();
-                    tokens.push(Token { tok: Tok::Ne, pos: start });
+                    tokens.push(Token {
+                        tok: Tok::Ne,
+                        pos: start,
+                    });
                 } else {
-                    tokens.push(Token { tok: Tok::Lt, pos: start });
+                    tokens.push(Token {
+                        tok: Tok::Lt,
+                        pos: start,
+                    });
                 }
             }
             '>' => {
                 advance!();
                 if i < chars.len() && chars[i] == '=' {
                     advance!();
-                    tokens.push(Token { tok: Tok::Ge, pos: start });
+                    tokens.push(Token {
+                        tok: Tok::Ge,
+                        pos: start,
+                    });
                 } else {
-                    tokens.push(Token { tok: Tok::Gt, pos: start });
+                    tokens.push(Token {
+                        tok: Tok::Gt,
+                        pos: start,
+                    });
                 }
             }
             '"' => {
@@ -195,9 +252,15 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                     advance!();
                 }
                 if !closed {
-                    return Err(LangError::Lex { pos: start, message: "unterminated string literal".into() });
+                    return Err(LangError::Lex {
+                        pos: start,
+                        message: "unterminated string literal".into(),
+                    });
                 }
-                tokens.push(Token { tok: Tok::Str(s), pos: start });
+                tokens.push(Token {
+                    tok: Tok::Str(s),
+                    pos: start,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut text = String::new();
@@ -218,13 +281,19 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                         pos: start,
                         message: format!("invalid float literal `{text}`"),
                     })?;
-                    tokens.push(Token { tok: Tok::Float(v), pos: start });
+                    tokens.push(Token {
+                        tok: Tok::Float(v),
+                        pos: start,
+                    });
                 } else {
                     let v: i64 = text.parse().map_err(|_| LangError::Lex {
                         pos: start,
                         message: format!("invalid integer literal `{text}`"),
                     })?;
-                    tokens.push(Token { tok: Tok::Int(v), pos: start });
+                    tokens.push(Token {
+                        tok: Tok::Int(v),
+                        pos: start,
+                    });
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -233,14 +302,23 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                     text.push(chars[i]);
                     advance!();
                 }
-                tokens.push(Token { tok: Tok::Ident(text), pos: start });
+                tokens.push(Token {
+                    tok: Tok::Ident(text),
+                    pos: start,
+                });
             }
             other => {
-                return Err(LangError::Lex { pos: start, message: format!("unexpected character `{other}`") });
+                return Err(LangError::Lex {
+                    pos: start,
+                    message: format!("unexpected character `{other}`"),
+                });
             }
         }
     }
-    tokens.push(Token { tok: Tok::Eof, pos: pos_of(line, col) });
+    tokens.push(Token {
+        tok: Tok::Eof,
+        pos: pos_of(line, col),
+    });
     Ok(tokens)
 }
 
@@ -300,7 +378,10 @@ mod tests {
     #[test]
     fn number_followed_by_dot_field_is_not_a_float() {
         // `2.key` lexes as Int(2), Dot, Ident(key) — field access on a tuple.
-        assert_eq!(kinds("2.key"), vec![Tok::Int(2), Tok::Dot, Tok::Ident("key".into()), Tok::Eof]);
+        assert_eq!(
+            kinds("2.key"),
+            vec![Tok::Int(2), Tok::Dot, Tok::Ident("key".into()), Tok::Eof]
+        );
     }
 
     #[test]
@@ -313,13 +394,24 @@ mod tests {
 
     #[test]
     fn string_literals() {
-        assert_eq!(kinds("\"knight\""), vec![Tok::Str("knight".into()), Tok::Eof]);
+        assert_eq!(
+            kinds("\"knight\""),
+            vec![Tok::Str("knight".into()), Tok::Eof]
+        );
         assert!(tokenize("\"open").is_err());
     }
 
     #[test]
     fn double_equals_accepted() {
-        assert_eq!(kinds("a == b"), vec![Tok::Ident("a".into()), Tok::Eq, Tok::Ident("b".into()), Tok::Eof]);
+        assert_eq!(
+            kinds("a == b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Eq,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]

@@ -11,8 +11,6 @@
 //! 2. every aggregate call that is not already the entire RHS of a `let` is
 //!    hoisted into a fresh `let __aggN = ...` directly above its use.
 
-
-
 use crate::ast::{Action, AggCall, Cond, FunctionDef, Script, Term, VarRef};
 use crate::builtins::Registry;
 use crate::error::{LangError, Result};
@@ -35,7 +33,15 @@ pub fn normalize(script: &Script, registry: &Registry) -> Result<NormalScript> {
     let inlined = inline_functions(&script.main, script, registry, 0)?;
     let mut counter = 0usize;
     let body = hoist_action(inlined, &mut counter);
-    Ok(NormalScript { unit_param: script.main.params.first().cloned().unwrap_or_else(|| "u".into()), body })
+    Ok(NormalScript {
+        unit_param: script
+            .main
+            .params
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "u".into()),
+        body,
+    })
 }
 
 /// Inline calls to user-defined helper functions.  `perform Helper(args)`
@@ -55,7 +61,12 @@ fn inline_functions(
     inline_in_action(&def.body, script, registry, depth)
 }
 
-fn inline_in_action(action: &Action, script: &Script, registry: &Registry, depth: usize) -> Result<Action> {
+fn inline_in_action(
+    action: &Action,
+    script: &Script,
+    registry: &Registry,
+    depth: usize,
+) -> Result<Action> {
     Ok(match action {
         Action::Let { name, term, body } => Action::Let {
             name: name.clone(),
@@ -79,7 +90,10 @@ fn inline_in_action(action: &Action, script: &Script, registry: &Registry, depth
         Action::Perform { name, args } => {
             if registry.action(name).is_some() {
                 // A built-in action: leave as is.
-                Action::Perform { name: name.clone(), args: args.clone() }
+                Action::Perform {
+                    name: name.clone(),
+                    args: args.clone(),
+                }
             } else if let Some(helper) = script.function(name) {
                 // Bind parameters (skipping the unit parameter) and inline.
                 let expected = helper.params.len();
@@ -92,14 +106,29 @@ fn inline_in_action(action: &Action, script: &Script, registry: &Registry, depth
                 let mut body = inline_functions(helper, script, registry, depth + 1)?;
                 // Wrap in lets, innermost parameter first so that earlier
                 // parameters are visible to later bindings if ever needed.
-                for (param, arg) in helper.params.iter().zip(args.iter()).skip(1).collect::<Vec<_>>().into_iter().rev() {
-                    body = Action::Let { name: param.clone(), term: arg.clone(), body: Box::new(body) };
+                for (param, arg) in helper
+                    .params
+                    .iter()
+                    .zip(args.iter())
+                    .skip(1)
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                {
+                    body = Action::Let {
+                        name: param.clone(),
+                        term: arg.clone(),
+                        body: Box::new(body),
+                    };
                 }
                 body
             } else {
                 // Unknown name: leave it; the type checker reports it with a
                 // better message.
-                Action::Perform { name: name.clone(), args: args.clone() }
+                Action::Perform {
+                    name: name.clone(),
+                    args: args.clone(),
+                }
             }
         }
         Action::Nop => Action::Nop,
@@ -117,9 +146,21 @@ fn hoist_action(action: Action, counter: &mut usize) -> Action {
                 return Action::Let { name, term, body };
             }
             let (new_term, hoisted) = hoist_term(term, counter);
-            wrap_lets(hoisted, Action::Let { name, term: new_term, body })
+            wrap_lets(
+                hoisted,
+                Action::Let {
+                    name,
+                    term: new_term,
+                    body,
+                },
+            )
         }
-        Action::Seq(items) => Action::Seq(items.into_iter().map(|a| hoist_action(a, counter)).collect()),
+        Action::Seq(items) => Action::Seq(
+            items
+                .into_iter()
+                .map(|a| hoist_action(a, counter))
+                .collect(),
+        ),
         Action::If { cond, then, els } => {
             let (new_cond, hoisted) = hoist_cond(cond, counter);
             let inner = Action::If {
@@ -137,7 +178,13 @@ fn hoist_action(action: Action, counter: &mut usize) -> Action {
                 all_hoisted.extend(hoisted);
                 new_args.push(t);
             }
-            wrap_lets(all_hoisted, Action::Perform { name, args: new_args })
+            wrap_lets(
+                all_hoisted,
+                Action::Perform {
+                    name,
+                    args: new_args,
+                },
+            )
         }
         Action::Nop => Action::Nop,
     }
@@ -146,7 +193,11 @@ fn hoist_action(action: Action, counter: &mut usize) -> Action {
 fn wrap_lets(hoisted: Vec<(String, AggCall)>, inner: Action) -> Action {
     let mut action = inner;
     for (name, call) in hoisted.into_iter().rev() {
-        action = Action::Let { name, term: Term::Agg(call), body: Box::new(action) };
+        action = Action::Let {
+            name,
+            term: Term::Agg(call),
+            body: Box::new(action),
+        };
     }
     action
 }
@@ -177,7 +228,13 @@ fn hoist_term_inner(term: Term, counter: &mut usize, out: &mut Vec<(String, AggC
                 .map(|a| hoist_term_inner(a, counter, out))
                 .collect();
             let name = fresh_name(counter);
-            out.push((name.clone(), AggCall { name: call.name, args }));
+            out.push((
+                name.clone(),
+                AggCall {
+                    name: call.name,
+                    args,
+                },
+            ));
             Term::Var(VarRef::Name(name))
         }
         Term::Const(_) | Term::Var(_) => term,
@@ -191,9 +248,12 @@ fn hoist_term_inner(term: Term, counter: &mut usize, out: &mut Vec<(String, AggC
             left: Box::new(hoist_term_inner(*left, counter, out)),
             right: Box::new(hoist_term_inner(*right, counter, out)),
         },
-        Term::Tuple(items) => {
-            Term::Tuple(items.into_iter().map(|i| hoist_term_inner(i, counter, out)).collect())
-        }
+        Term::Tuple(items) => Term::Tuple(
+            items
+                .into_iter()
+                .map(|i| hoist_term_inner(i, counter, out))
+                .collect(),
+        ),
     }
 }
 
@@ -244,7 +304,7 @@ pub fn is_normal_form(action: &Action) -> bool {
         Action::If { cond, then, els } => {
             cond_clean(cond)
                 && is_normal_form(then)
-                && els.as_ref().map_or(true, |e| is_normal_form(e))
+                && els.as_ref().is_none_or(|e| is_normal_form(e))
         }
         Action::Perform { args, .. } => args.iter().all(term_clean),
         Action::Nop => true,
@@ -275,7 +335,10 @@ mod tests {
     fn figure_three_normalises_to_normal_form() {
         let script = parse_script(FIGURE_3).unwrap();
         let reg = paper_registry();
-        assert!(!is_normal_form(&script.main.body), "figure 3 nests aggregates inside terms");
+        assert!(
+            !is_normal_form(&script.main.body),
+            "figure 3 nests aggregates inside terms"
+        );
         let normal = normalize(&script, &reg).unwrap();
         assert!(is_normal_form(&normal.body));
         assert_eq!(normal.unit_param, "u");

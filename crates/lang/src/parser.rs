@@ -14,14 +14,22 @@ use crate::lexer::{tokenize, Tok, Token};
 /// Parse a complete SGL script.
 pub fn parse_script(src: &str) -> Result<Script> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0, unit_param: "u".to_string() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        unit_param: "u".to_string(),
+    };
     p.script()
 }
 
 /// Parse a single term (used by tests and by programmatic builders).
 pub fn parse_term(src: &str) -> Result<Term> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0, unit_param: "u".to_string() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        unit_param: "u".to_string(),
+    };
     let t = p.term()?;
     p.expect_eof()?;
     Ok(t)
@@ -30,7 +38,11 @@ pub fn parse_term(src: &str) -> Result<Term> {
 /// Parse a single condition.
 pub fn parse_cond(src: &str) -> Result<Cond> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0, unit_param: "u".to_string() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        unit_param: "u".to_string(),
+    };
     let c = p.cond()?;
     p.expect_eof()?;
     Ok(c)
@@ -65,7 +77,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T> {
-        Err(LangError::Parse { pos: self.peek_pos(), message: message.into() })
+        Err(LangError::Parse {
+            pos: self.peek_pos(),
+            message: message.into(),
+        })
     }
 
     fn expect(&mut self, tok: Tok) -> Result<()> {
@@ -101,8 +116,18 @@ impl Parser {
     fn is_keyword(name: &str) -> bool {
         matches!(
             name,
-            "let" | "if" | "then" | "else" | "perform" | "function" | "and" | "or" | "not" | "true"
-                | "false" | "mod"
+            "let"
+                | "if"
+                | "then"
+                | "else"
+                | "perform"
+                | "function"
+                | "and"
+                | "or"
+                | "not"
+                | "true"
+                | "false"
+                | "mod"
         )
     }
 
@@ -126,7 +151,9 @@ impl Parser {
                     }
                     main = Some(def);
                 }
-                other => return self.err(format!("expected `function` or `main`, found {other:?}")),
+                other => {
+                    return self.err(format!("expected `function` or `main`, found {other:?}"))
+                }
             }
         }
         let main = main.ok_or(LangError::Semantic("script has no main(u) function".into()))?;
@@ -201,7 +228,11 @@ impl Parser {
                 let term = self.term()?;
                 self.expect(Tok::RParen)?;
                 let body = self.statement()?;
-                Ok(Action::Let { name, term, body: Box::new(body) })
+                Ok(Action::Let {
+                    name,
+                    term,
+                    body: Box::new(body),
+                })
             }
             Tok::Ident(name) if name == "if" => {
                 self.bump();
@@ -220,7 +251,11 @@ impl Parser {
                     }
                     _ => None,
                 };
-                Ok(Action::If { cond, then: Box::new(then), els })
+                Ok(Action::If {
+                    cond,
+                    then: Box::new(then),
+                    els,
+                })
             }
             Tok::Ident(name) if name == "perform" => {
                 self.bump();
@@ -531,7 +566,11 @@ mod tests {
     fn terms_parse_with_precedence() {
         let t = parse_term("1 + 2 * 3").unwrap();
         match t {
-            Term::Bin { op: BinOp::Add, right, .. } => {
+            Term::Bin {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Term::Bin { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -555,7 +594,10 @@ mod tests {
         assert!(matches!(parse_term("Random(1)").unwrap(), Term::Random(_)));
         assert!(matches!(parse_term("abs(u.posx)").unwrap(), Term::Abs(_)));
         assert!(matches!(parse_term("sqrt(2)").unwrap(), Term::Sqrt(_)));
-        assert!(matches!(parse_term("Random(1) mod 2").unwrap(), Term::Bin { op: BinOp::Mod, .. }));
+        assert!(matches!(
+            parse_term("Random(1) mod 2").unwrap(),
+            Term::Bin { op: BinOp::Mod, .. }
+        ));
         assert!(parse_term("Random(1, 2)").is_err());
         assert!(parse_term("abs(1, 2)").is_err());
         assert!(parse_term("sqrt()").is_err());
@@ -578,7 +620,10 @@ mod tests {
     #[test]
     fn negative_numbers() {
         assert!(matches!(parse_term("-5").unwrap(), Term::Neg(_)));
-        assert!(matches!(parse_term("3 - -2").unwrap(), Term::Bin { op: BinOp::Sub, .. }));
+        assert!(matches!(
+            parse_term("3 - -2").unwrap(),
+            Term::Bin { op: BinOp::Sub, .. }
+        ));
     }
 
     #[test]
@@ -597,7 +642,10 @@ mod tests {
     fn string_literals_in_terms() {
         let c = parse_cond("u.unittype = \"knight\"").unwrap();
         match c {
-            Cond::Cmp { right: Term::Const(v), .. } => assert_eq!(v.as_str(), Some("knight")),
+            Cond::Cmp {
+                right: Term::Const(v),
+                ..
+            } => assert_eq!(v.as_str(), Some("knight")),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -614,7 +662,10 @@ mod tests {
         "#;
         let script = parse_script(src).unwrap();
         assert_eq!(script.functions.len(), 1);
-        assert_eq!(script.functions[0].params, vec!["u".to_string(), "dist".to_string()]);
+        assert_eq!(
+            script.functions[0].params,
+            vec!["u".to_string(), "dist".to_string()]
+        );
         assert!(script.function("Flee").is_some());
     }
 

@@ -34,7 +34,12 @@ pub fn script_to_string(script: &Script) -> String {
         write_action(&mut s, &f.body, 1);
         let _ = writeln!(s, "}}");
     }
-    let _ = writeln!(s, "{}({}) {{", script.main.name, script.main.params.join(", "));
+    let _ = writeln!(
+        s,
+        "{}({}) {{",
+        script.main.name,
+        script.main.params.join(", ")
+    );
     write_action(&mut s, &script.main.body, 1);
     let _ = writeln!(s, "}}");
     s

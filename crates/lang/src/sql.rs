@@ -102,7 +102,9 @@ pub fn parse_sql_function(src: &str) -> Result<SqlItem> {
     let items = parse_sql_items(src)?;
     match items.len() {
         1 => Ok(items.into_iter().next().unwrap()),
-        n => Err(LangError::Semantic(format!("expected exactly one definition, found {n}"))),
+        n => Err(LangError::Semantic(format!(
+            "expected exactly one definition, found {n}"
+        ))),
     }
 }
 
@@ -121,7 +123,12 @@ struct SqlParser {
 
 impl SqlParser {
     fn new(tokens: Vec<Token>) -> SqlParser {
-        SqlParser { tokens, pos: 0, unit_param: "u".into(), row_alias: "e".into() }
+        SqlParser {
+            tokens,
+            pos: 0,
+            unit_param: "u".into(),
+            row_alias: "e".into(),
+        }
     }
 
     fn peek(&self) -> &Tok {
@@ -141,7 +148,10 @@ impl SqlParser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T> {
-        Err(LangError::Parse { pos: self.peek_pos(), message: message.into() })
+        Err(LangError::Parse {
+            pos: self.peek_pos(),
+            message: message.into(),
+        })
     }
 
     fn expect(&mut self, tok: Tok) -> Result<()> {
@@ -204,7 +214,9 @@ impl SqlParser {
                     items.push(self.function_decl()?);
                 }
                 other => {
-                    return self.err(format!("expected `function` or `constant`, found {other:?}"))
+                    return self.err(format!(
+                        "expected `function` or `constant`, found {other:?}"
+                    ))
                 }
             }
         }
@@ -310,7 +322,11 @@ impl SqlParser {
                 self.row_alias = alias;
             }
         }
-        let filter = if self.eat_keyword("where") { self.cond()? } else { Cond::Lit(true) };
+        let filter = if self.eat_keyword("where") {
+            self.cond()?
+        } else {
+            Cond::Lit(true)
+        };
         let order = if self.eat_keyword("order") {
             self.expect_keyword("by")?;
             let rank = self.term()?;
@@ -329,7 +345,11 @@ impl SqlParser {
         } else {
             None
         };
-        Ok(Select { items, filter, order })
+        Ok(Select {
+            items,
+            filter,
+            order,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -347,19 +367,36 @@ impl SqlParser {
                     };
                     self.expect(Tok::RParen)?;
                     let (alias, default) = self.item_suffix()?;
-                    return Ok(SelectItem::Aggregate { func, value, alias, default });
+                    return Ok(SelectItem::Aggregate {
+                        func,
+                        value,
+                        alias,
+                        default,
+                    });
                 }
             }
         }
         let expr = self.term()?;
         let (alias, default) = self.item_suffix()?;
-        Ok(SelectItem::Plain { expr, alias, default })
+        Ok(SelectItem::Plain {
+            expr,
+            alias,
+            default,
+        })
     }
 
     /// Optional `AS alias` and `DEFAULT literal` suffixes of a select item.
     fn item_suffix(&mut self) -> Result<(Option<String>, Option<Value>)> {
-        let alias = if self.eat_keyword("as") { Some(self.ident()?) } else { None };
-        let default = if self.eat_keyword("default") { Some(self.literal()?) } else { None };
+        let alias = if self.eat_keyword("as") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let default = if self.eat_keyword("default") {
+            Some(self.literal()?)
+        } else {
+            None
+        };
         Ok((alias, default))
     }
 
@@ -519,7 +556,8 @@ impl SqlParser {
                     if name == self.unit_param {
                         return Ok(Term::Var(VarRef::Unit(field)));
                     }
-                    if name.eq_ignore_ascii_case(&self.row_alias) || name.eq_ignore_ascii_case("e") {
+                    if name.eq_ignore_ascii_case(&self.row_alias) || name.eq_ignore_ascii_case("e")
+                    {
                         return Ok(Term::Var(VarRef::Row(field)));
                     }
                     return Err(LangError::Semantic(format!(
@@ -543,7 +581,9 @@ impl SqlParser {
             }
             "sqrt" => {
                 if args.len() != 1 {
-                    return Err(LangError::Semantic("sqrt takes exactly one argument".into()));
+                    return Err(LangError::Semantic(
+                        "sqrt takes exactly one argument".into(),
+                    ));
                 }
                 Ok(Term::Sqrt(Box::new(args.pop().unwrap())))
             }
@@ -554,7 +594,9 @@ impl SqlParser {
                 match args.len() {
                     1 => Ok(Term::Random(Box::new(args.pop().unwrap()))),
                     2 => Ok(Term::Random(Box::new(args.pop().unwrap()))),
-                    n => Err(LangError::Semantic(format!("Random takes 1 or 2 arguments, found {n}"))),
+                    n => Err(LangError::Semantic(format!(
+                        "Random takes 1 or 2 arguments, found {n}"
+                    ))),
                 }
             }
             "nonsql_max" => {
@@ -563,11 +605,17 @@ impl SqlParser {
                 // "the larger of the current value and X"; the effect
                 // extraction in `classify` special-cases it.
                 if args.len() != 2 {
-                    return Err(LangError::Semantic("nonsql_max takes exactly two arguments".into()));
+                    return Err(LangError::Semantic(
+                        "nonsql_max takes exactly two arguments".into(),
+                    ));
                 }
                 let second = args.pop().unwrap();
                 let first = args.pop().unwrap();
-                Ok(Term::Tuple(vec![Term::Var(VarRef::Name("nonsql_max".into())), first, second]))
+                Ok(Term::Tuple(vec![
+                    Term::Var(VarRef::Name("nonsql_max".into())),
+                    first,
+                    second,
+                ]))
             }
             other => Err(LangError::Semantic(format!(
                 "unsupported function `{other}` inside a built-in definition"
@@ -579,8 +627,10 @@ impl SqlParser {
 
     fn classify(&self, name: String, params: Vec<String>, selects: Vec<Select>) -> Result<SqlItem> {
         let first = &selects[0];
-        let has_sql_aggregate =
-            first.items.iter().any(|item| matches!(item, SelectItem::Aggregate { .. }));
+        let has_sql_aggregate = first
+            .items
+            .iter()
+            .any(|item| matches!(item, SelectItem::Aggregate { .. }));
 
         if has_sql_aggregate || first.order.is_some() {
             if selects.len() != 1 {
@@ -600,7 +650,11 @@ impl SqlParser {
             for select in selects {
                 clauses.push(self.build_effect_clause(&name, select)?);
             }
-            Ok(SqlItem::Action(ActionDef { name, params, clauses }))
+            Ok(SqlItem::Action(ActionDef {
+                name,
+                params,
+                clauses,
+            }))
         }
     }
 
@@ -615,7 +669,12 @@ impl SqlParser {
         let mut outputs = Vec::with_capacity(items.len());
         for (i, item) in items.into_iter().enumerate() {
             match item {
-                SelectItem::Aggregate { func, value, alias, default } => {
+                SelectItem::Aggregate {
+                    func,
+                    value,
+                    alias,
+                    default,
+                } => {
                     let name = alias.unwrap_or_else(|| {
                         if single {
                             "value".to_string()
@@ -627,7 +686,12 @@ impl SqlParser {
                         SimpleAgg::Count => Value::Int(0),
                         _ => Value::Float(0.0),
                     });
-                    outputs.push(AggOutput { name, func, value, default });
+                    outputs.push(AggOutput {
+                        name,
+                        func,
+                        value,
+                        default,
+                    });
                 }
                 SelectItem::Plain { .. } => {
                     return Err(LangError::Semantic(format!(
@@ -637,7 +701,12 @@ impl SqlParser {
                 }
             }
         }
-        Ok(AggregateDef { name, params, filter, spec: AggSpec::Simple { outputs } })
+        Ok(AggregateDef {
+            name,
+            params,
+            filter,
+            spec: AggSpec::Simple { outputs },
+        })
     }
 
     fn build_argbest(
@@ -652,7 +721,11 @@ impl SqlParser {
         let mut outputs = Vec::with_capacity(items.len());
         for (i, item) in items.into_iter().enumerate() {
             match item {
-                SelectItem::Plain { expr, alias, default } => {
+                SelectItem::Plain {
+                    expr,
+                    alias,
+                    default,
+                } => {
                     let out_name = alias.unwrap_or(match &expr {
                         Term::Var(VarRef::Row(attr)) => attr.clone(),
                         _ => format!("col{i}"),
@@ -671,15 +744,30 @@ impl SqlParser {
                 }
             }
         }
-        Ok(AggregateDef { name, params, filter, spec: AggSpec::ArgBest { minimize, rank, outputs } })
+        Ok(AggregateDef {
+            name,
+            params,
+            filter,
+            spec: AggSpec::ArgBest {
+                minimize,
+                rank,
+                outputs,
+            },
+        })
     }
 
     fn build_effect_clause(&self, fn_name: &str, select: Select) -> Result<EffectClause> {
         let mut effects = Vec::new();
         for (i, item) in select.items.into_iter().enumerate() {
             let (expr, alias) = match item {
-                SelectItem::Plain { expr, alias, default: None } => (expr, alias),
-                SelectItem::Plain { default: Some(_), .. } => {
+                SelectItem::Plain {
+                    expr,
+                    alias,
+                    default: None,
+                } => (expr, alias),
+                SelectItem::Plain {
+                    default: Some(_), ..
+                } => {
                     return Err(LangError::Semantic(format!(
                         "`{fn_name}`: DEFAULT is only meaningful for aggregate outputs"
                     )));
@@ -708,7 +796,10 @@ impl SqlParser {
                 "action `{fn_name}` has a clause with no effect columns"
             )));
         }
-        Ok(EffectClause { filter: select.filter, effects })
+        Ok(EffectClause {
+            filter: select.filter,
+            effects,
+        })
     }
 }
 
@@ -761,8 +852,24 @@ fn simple_agg_of(name: &str) -> Option<SimpleAgg> {
 fn is_sql_keyword(name: &str) -> bool {
     matches!(
         name.to_ascii_lowercase().as_str(),
-        "select" | "from" | "where" | "and" | "or" | "not" | "as" | "order" | "by" | "asc" | "desc"
-            | "limit" | "union" | "default" | "returns" | "function" | "constant" | "group"
+        "select"
+            | "from"
+            | "where"
+            | "and"
+            | "or"
+            | "not"
+            | "as"
+            | "order"
+            | "by"
+            | "asc"
+            | "desc"
+            | "limit"
+            | "union"
+            | "default"
+            | "returns"
+            | "function"
+            | "constant"
+            | "group"
     )
 }
 
@@ -775,8 +882,17 @@ struct Select {
 
 #[derive(Debug, Clone)]
 enum SelectItem {
-    Aggregate { func: SimpleAgg, value: Term, alias: Option<String>, default: Option<Value> },
-    Plain { expr: Term, alias: Option<String>, default: Option<Value> },
+    Aggregate {
+        func: SimpleAgg,
+        value: Term,
+        alias: Option<String>,
+        default: Option<Value>,
+    },
+    Plain {
+        expr: Term,
+        alias: Option<String>,
+        default: Option<Value>,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -786,7 +902,11 @@ enum SelectItem {
 /// Render an aggregate definition in the style of Figure 4.
 pub fn aggregate_to_sql(def: &AggregateDef) -> String {
     let mut out = String::new();
-    out.push_str(&format!("function {}({}) returns\n", def.name, def.params.join(", ")));
+    out.push_str(&format!(
+        "function {}({}) returns\n",
+        def.name,
+        def.params.join(", ")
+    ));
     match &def.spec {
         AggSpec::Simple { outputs } => {
             let items: Vec<String> = outputs
@@ -803,11 +923,20 @@ pub fn aggregate_to_sql(def: &AggregateDef) -> String {
             out.push_str("  FROM E e\n");
             out.push_str(&format!("  WHERE {};", cond_to_sql(&def.filter)));
         }
-        AggSpec::ArgBest { minimize, rank, outputs } => {
+        AggSpec::ArgBest {
+            minimize,
+            rank,
+            outputs,
+        } => {
             let items: Vec<String> = outputs
                 .iter()
                 .map(|(name, expr, default)| {
-                    format!("{} AS {} DEFAULT {}", term_to_sql(expr), name, value_to_sql(default))
+                    format!(
+                        "{} AS {} DEFAULT {}",
+                        term_to_sql(expr),
+                        name,
+                        value_to_sql(default)
+                    )
                 })
                 .collect();
             out.push_str(&format!("  SELECT {}\n", items.join(", ")));
@@ -827,7 +956,11 @@ pub fn aggregate_to_sql(def: &AggregateDef) -> String {
 /// pass-through columns are implied by Eq. (4)).
 pub fn action_to_sql(def: &ActionDef) -> String {
     let mut out = String::new();
-    out.push_str(&format!("function {}({}) returns\n", def.name, def.params.join(", ")));
+    out.push_str(&format!(
+        "function {}({}) returns\n",
+        def.name,
+        def.params.join(", ")
+    ));
     let clauses: Vec<String> = def
         .clauses
         .iter()
@@ -837,7 +970,11 @@ pub fn action_to_sql(def: &ActionDef) -> String {
                 .iter()
                 .map(|(attr, effect)| format!("e.{attr} + {} AS {attr}", term_to_sql(effect)))
                 .collect();
-            format!("  SELECT e.key, {}\n  FROM E e\n  WHERE {}", items.join(", "), cond_to_sql(&clause.filter))
+            format!(
+                "  SELECT e.key, {}\n  FROM E e\n  WHERE {}",
+                items.join(", "),
+                cond_to_sql(&clause.filter)
+            )
         })
         .collect();
     out.push_str(&clauses.join("\n  UNION\n"));
@@ -893,7 +1030,11 @@ fn term_to_sql(t: &Term) -> String {
             if items.len() == 3 {
                 if let Term::Var(VarRef::Name(marker)) = &items[0] {
                     if marker == "nonsql_max" {
-                        return format!("nonsql_max({}, {})", term_to_sql(&items[1]), term_to_sql(&items[2]));
+                        return format!(
+                            "nonsql_max({}, {})",
+                            term_to_sql(&items[1]),
+                            term_to_sql(&items[2])
+                        );
                     }
                 }
             }
@@ -1028,7 +1169,9 @@ mod tests {
             "#,
         )
         .unwrap();
-        let SqlItem::Aggregate(def) = item else { panic!("expected an aggregate") };
+        let SqlItem::Aggregate(def) = item else {
+            panic!("expected an aggregate")
+        };
         assert_eq!(def.name, "CountEnemiesInRange");
         assert_eq!(def.params, vec!["u".to_string(), "range".to_string()]);
         assert!(def.is_divisible());
@@ -1047,7 +1190,9 @@ mod tests {
             "#,
         )
         .unwrap();
-        let SqlItem::Aggregate(def) = item else { panic!("expected an aggregate") };
+        let SqlItem::Aggregate(def) = item else {
+            panic!("expected an aggregate")
+        };
         assert_eq!(def.output_names(), vec!["x", "y"]);
         assert!(def.is_divisible());
         match def.spec {
@@ -1072,10 +1217,14 @@ mod tests {
             "#,
         )
         .unwrap();
-        let SqlItem::Aggregate(def) = item else { panic!("expected an aggregate") };
+        let SqlItem::Aggregate(def) = item else {
+            panic!("expected an aggregate")
+        };
         assert!(!def.is_divisible());
         match &def.spec {
-            AggSpec::ArgBest { minimize, outputs, .. } => {
+            AggSpec::ArgBest {
+                minimize, outputs, ..
+            } => {
                 assert!(*minimize);
                 assert_eq!(outputs.len(), 3);
                 assert_eq!(outputs[0].0, "key");
@@ -1092,7 +1241,9 @@ mod tests {
             "function StrongestEnemy(u) returns SELECT e.key FROM E e WHERE e.player <> u.player ORDER BY e.health DESC LIMIT 1;",
         )
         .unwrap();
-        let SqlItem::Aggregate(def) = item else { panic!("expected an aggregate") };
+        let SqlItem::Aggregate(def) = item else {
+            panic!("expected an aggregate")
+        };
         match def.spec {
             AggSpec::ArgBest { minimize, .. } => assert!(!minimize),
             other => panic!("unexpected spec {other:?}"),
@@ -1112,7 +1263,9 @@ mod tests {
             "#,
         )
         .unwrap();
-        let SqlItem::Action(def) = item else { panic!("expected an action") };
+        let SqlItem::Action(def) = item else {
+            panic!("expected an action")
+        };
         assert_eq!(def.clauses.len(), 1);
         let clause = &def.clauses[0];
         assert_eq!(clause.effects.len(), 1);
@@ -1135,10 +1288,15 @@ mod tests {
             "#,
         )
         .unwrap();
-        let SqlItem::Action(def) = item else { panic!("expected an action") };
+        let SqlItem::Action(def) = item else {
+            panic!("expected an action")
+        };
         assert_eq!(def.clauses.len(), 2);
         assert_eq!(def.clauses[0].effects[0].0, "damage");
-        assert!(matches!(def.clauses[0].effects[0].1, Term::Bin { op: BinOp::Mul, .. }));
+        assert!(matches!(
+            def.clauses[0].effects[0].1,
+            Term::Bin { op: BinOp::Mul, .. }
+        ));
         assert_eq!(def.clauses[1].effects[0].0, "weaponused");
         assert_eq!(def.clauses[1].effects[0].1, Term::int(1));
     }
@@ -1154,7 +1312,9 @@ mod tests {
             "#,
         )
         .unwrap();
-        let SqlItem::Action(def) = item else { panic!("expected an action") };
+        let SqlItem::Action(def) = item else {
+            panic!("expected an action")
+        };
         assert_eq!(def.clauses[0].effects.len(), 1);
         assert_eq!(def.clauses[0].effects[0].0, "damage");
     }
@@ -1168,9 +1328,15 @@ mod tests {
         let add_flipped = Term::bin(BinOp::Add, Term::int(5), Term::row("damage"));
         assert_eq!(extract_effect("damage", &add_flipped), Some(Term::int(5)));
         let sub = Term::bin(BinOp::Sub, Term::row("damage"), Term::int(5));
-        assert_eq!(extract_effect("damage", &sub), Some(Term::Neg(Box::new(Term::int(5)))));
+        assert_eq!(
+            extract_effect("damage", &sub),
+            Some(Term::Neg(Box::new(Term::int(5))))
+        );
         let unrelated = Term::bin(BinOp::Sub, Term::name("x"), Term::row("posx"));
-        assert_eq!(extract_effect("movevect_x", &unrelated), Some(unrelated.clone()));
+        assert_eq!(
+            extract_effect("movevect_x", &unrelated),
+            Some(unrelated.clone())
+        );
     }
 
     #[test]
@@ -1178,10 +1344,23 @@ mod tests {
         let schema = paper_schema();
         let registry = paper_registry_from_sql();
         check_registry(&registry, &schema).unwrap();
-        assert_eq!(registry.aggregate_names(), paper_registry().aggregate_names());
+        assert_eq!(
+            registry.aggregate_names(),
+            paper_registry().aggregate_names()
+        );
         assert_eq!(registry.action_names(), paper_registry().action_names());
-        for name in ["_ARROW_HIT_DAMAGE", "_ARMOR", "_HEAL_AURA", "_HEALER_RANGE", "_TIME_RELOAD"] {
-            assert_eq!(registry.constant(name), paper_registry().constant(name), "constant {name}");
+        for name in [
+            "_ARROW_HIT_DAMAGE",
+            "_ARMOR",
+            "_HEAL_AURA",
+            "_HEALER_RANGE",
+            "_TIME_RELOAD",
+        ] {
+            assert_eq!(
+                registry.constant(name),
+                paper_registry().constant(name),
+                "constant {name}"
+            );
         }
     }
 
@@ -1189,7 +1368,11 @@ mod tests {
     fn sql_and_rust_registries_agree_on_structure() {
         let from_sql = paper_registry_from_sql();
         let from_rust = paper_registry();
-        for name in ["CountEnemiesInRange", "CentroidOfEnemyUnits", "getNearestEnemy"] {
+        for name in [
+            "CountEnemiesInRange",
+            "CentroidOfEnemyUnits",
+            "getNearestEnemy",
+        ] {
             let a = from_sql.aggregate(name).unwrap();
             let b = from_rust.aggregate(name).unwrap();
             assert_eq!(a.params, b.params, "{name} params");
@@ -1221,7 +1404,9 @@ mod tests {
             let def = registry.aggregate(name).unwrap();
             let sql = aggregate_to_sql(def);
             let reparsed = parse_sql_function(&sql).unwrap();
-            let SqlItem::Aggregate(def2) = reparsed else { panic!("expected aggregate") };
+            let SqlItem::Aggregate(def2) = reparsed else {
+                panic!("expected aggregate")
+            };
             assert_eq!(def2.name, def.name);
             assert_eq!(def2.params, def.params);
             assert_eq!(def2.output_names(), def.output_names());
@@ -1231,7 +1416,9 @@ mod tests {
             let def = registry.action(name).unwrap();
             let sql = action_to_sql(def);
             let reparsed = parse_sql_function(&sql).unwrap();
-            let SqlItem::Action(def2) = reparsed else { panic!("expected action") };
+            let SqlItem::Action(def2) = reparsed else {
+                panic!("expected action")
+            };
             assert_eq!(def2.name, def.name);
             assert_eq!(def2.clauses.len(), def.clauses.len());
         }
@@ -1249,7 +1436,10 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert_eq!(registry.constant("_ARROW_HIT_DAMAGE"), Some(&Value::Int(12)));
+        assert_eq!(
+            registry.constant("_ARROW_HIT_DAMAGE"),
+            Some(&Value::Int(12))
+        );
         let def = registry.aggregate("CountEnemiesInRange").unwrap();
         assert_eq!(def.filter.conjuncts().unwrap().len(), 1);
         // Untouched definitions survive.
@@ -1277,9 +1467,14 @@ mod tests {
         // Action with no effects at all.
         assert!(parse_sql_items("function F(u) returns SELECT e.key FROM E e;").is_err());
         // Unknown scalar function.
-        assert!(parse_sql_items("function F(u) returns SELECT Median(e.health) FROM E e;").is_err());
+        assert!(
+            parse_sql_items("function F(u) returns SELECT Median(e.health) FROM E e;").is_err()
+        );
         // Unknown alias.
-        assert!(parse_sql_items("function F(u) returns SELECT Count(*) FROM E e WHERE x.key = 1;").is_err());
+        assert!(
+            parse_sql_items("function F(u) returns SELECT Count(*) FROM E e WHERE x.key = 1;")
+                .is_err()
+        );
         // Garbage at the top level.
         assert!(parse_sql_items("select 1;").is_err());
         // Two definitions passed to the single-definition entry point.
@@ -1300,7 +1495,9 @@ mod tests {
             "#,
         )
         .unwrap();
-        let SqlItem::Aggregate(def) = item else { panic!("expected aggregate") };
+        let SqlItem::Aggregate(def) = item else {
+            panic!("expected aggregate")
+        };
         // Not a conjunctive query (contains OR / NOT): conjuncts() refuses.
         assert!(def.filter.conjuncts().is_none());
     }
@@ -1316,7 +1513,9 @@ mod tests {
             "#,
         )
         .unwrap();
-        let SqlItem::Action(def) = item else { panic!("expected action") };
+        let SqlItem::Action(def) = item else {
+            panic!("expected action")
+        };
         let effect = &def.clauses[0].effects[0].1;
         assert!(matches!(effect, Term::Abs(_)));
     }

@@ -39,8 +39,16 @@ struct Checker<'a> {
 }
 
 /// Check a normalised script. Returns statistics useful for diagnostics.
-pub fn check_script(script: &NormalScript, schema: &Schema, registry: &Registry) -> Result<CheckReport> {
-    let mut checker = Checker { schema, registry, report: CheckReport::default() };
+pub fn check_script(
+    script: &NormalScript,
+    schema: &Schema,
+    registry: &Registry,
+) -> Result<CheckReport> {
+    let mut checker = Checker {
+        schema,
+        registry,
+        report: CheckReport::default(),
+    };
     let mut scope: FxHashMap<String, ()> = FxHashMap::default();
     scope.insert(script.unit_param.clone(), ());
     checker.action(&script.body, &mut scope, 0)?;
@@ -48,7 +56,12 @@ pub fn check_script(script: &NormalScript, schema: &Schema, registry: &Registry)
 }
 
 impl<'a> Checker<'a> {
-    fn action(&mut self, action: &Action, scope: &mut FxHashMap<String, ()>, depth: usize) -> Result<()> {
+    fn action(
+        &mut self,
+        action: &Action,
+        scope: &mut FxHashMap<String, ()>,
+        depth: usize,
+    ) -> Result<()> {
         self.report.max_depth = self.report.max_depth.max(depth);
         match action {
             Action::Let { name, term, body } => {
@@ -111,15 +124,19 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn term(&mut self, term: &Term, scope: &FxHashMap<String, ()>, allow_aggregate: bool) -> Result<()> {
+    fn term(
+        &mut self,
+        term: &Term,
+        scope: &FxHashMap<String, ()>,
+        allow_aggregate: bool,
+    ) -> Result<()> {
         match term {
             Term::Const(_) => Ok(()),
-            Term::Var(VarRef::Unit(attr)) => {
-                self.schema
-                    .attr_id(attr)
-                    .map(|_| ())
-                    .ok_or_else(|| LangError::Unresolved(format!("u.{attr}")))
-            }
+            Term::Var(VarRef::Unit(attr)) => self
+                .schema
+                .attr_id(attr)
+                .map(|_| ())
+                .ok_or_else(|| LangError::Unresolved(format!("u.{attr}"))),
             Term::Var(VarRef::Row(attr)) => Err(LangError::Semantic(format!(
                 "`e.{attr}` may only appear inside built-in definitions, not in scripts"
             ))),
@@ -190,13 +207,21 @@ pub fn check_registry(registry: &Registry, schema: &Schema) -> Result<()> {
     Ok(())
 }
 
-fn check_builtin_term(term: &Term, def_name: &str, params: &[String], schema: &Schema) -> Result<()> {
+fn check_builtin_term(
+    term: &Term,
+    def_name: &str,
+    params: &[String],
+    schema: &Schema,
+) -> Result<()> {
     match term {
         Term::Const(_) => Ok(()),
-        Term::Var(VarRef::Unit(attr)) | Term::Var(VarRef::Row(attr)) => schema
-            .attr_id(attr)
-            .map(|_| ())
-            .ok_or_else(|| LangError::Semantic(format!("builtin `{def_name}` references unknown attribute `{attr}`"))),
+        Term::Var(VarRef::Unit(attr)) | Term::Var(VarRef::Row(attr)) => {
+            schema.attr_id(attr).map(|_| ()).ok_or_else(|| {
+                LangError::Semantic(format!(
+                    "builtin `{def_name}` references unknown attribute `{attr}`"
+                ))
+            })
+        }
         Term::Var(VarRef::Name(name)) => {
             // Parameters or constants (constants are resolved at evaluation
             // time from the same registry; we cannot see them here, so accept
@@ -228,7 +253,12 @@ fn check_builtin_term(term: &Term, def_name: &str, params: &[String], schema: &S
     }
 }
 
-fn check_builtin_cond(cond: &Cond, def_name: &str, params: &[String], schema: &Schema) -> Result<()> {
+fn check_builtin_cond(
+    cond: &Cond,
+    def_name: &str,
+    params: &[String],
+    schema: &Schema,
+) -> Result<()> {
     match cond {
         Cond::Lit(_) => Ok(()),
         Cond::Cmp { left, right, .. } => {
@@ -248,7 +278,10 @@ fn check_aggregate_def(def: &AggregateDef, schema: &Schema) -> Result<()> {
     match &def.spec {
         AggSpec::Simple { outputs } => {
             if outputs.is_empty() {
-                return Err(LangError::Semantic(format!("aggregate `{}` has no outputs", def.name)));
+                return Err(LangError::Semantic(format!(
+                    "aggregate `{}` has no outputs",
+                    def.name
+                )));
             }
             for o in outputs {
                 check_builtin_term(&o.value, &def.name, &def.params, schema)?;
@@ -256,7 +289,10 @@ fn check_aggregate_def(def: &AggregateDef, schema: &Schema) -> Result<()> {
         }
         AggSpec::ArgBest { rank, outputs, .. } => {
             if outputs.is_empty() {
-                return Err(LangError::Semantic(format!("aggregate `{}` has no outputs", def.name)));
+                return Err(LangError::Semantic(format!(
+                    "aggregate `{}` has no outputs",
+                    def.name
+                )));
             }
             check_builtin_term(rank, &def.name, &def.params, schema)?;
             for (_, t, _) in outputs {
@@ -269,16 +305,25 @@ fn check_aggregate_def(def: &AggregateDef, schema: &Schema) -> Result<()> {
 
 fn check_action_def(def: &ActionDef, schema: &Schema) -> Result<()> {
     if def.clauses.is_empty() {
-        return Err(LangError::Semantic(format!("action `{}` has no effect clauses", def.name)));
+        return Err(LangError::Semantic(format!(
+            "action `{}` has no effect clauses",
+            def.name
+        )));
     }
     for clause in &def.clauses {
         check_builtin_cond(&clause.filter, &def.name, &def.params, schema)?;
         if clause.effects.is_empty() {
-            return Err(LangError::Semantic(format!("action `{}` has a clause with no effects", def.name)));
+            return Err(LangError::Semantic(format!(
+                "action `{}` has a clause with no effects",
+                def.name
+            )));
         }
         for (attr, term) in &clause.effects {
             let id = schema.attr_id(attr).ok_or_else(|| {
-                LangError::Semantic(format!("action `{}` targets unknown attribute `{attr}`", def.name))
+                LangError::Semantic(format!(
+                    "action `{}` targets unknown attribute `{attr}`",
+                    def.name
+                ))
             })?;
             if schema.attr(id).kind == CombineKind::Const {
                 return Err(LangError::Semantic(format!(
@@ -453,7 +498,11 @@ mod tests {
     fn empty_outputs_or_clauses_are_rejected() {
         let schema = paper_schema();
         let mut registry = Registry::new();
-        registry.register_action(ActionDef { name: "Noop".into(), params: vec!["u".into()], clauses: vec![] });
+        registry.register_action(ActionDef {
+            name: "Noop".into(),
+            params: vec!["u".into()],
+            clauses: vec![],
+        });
         assert!(check_registry(&registry, &schema).is_err());
 
         let mut registry = Registry::new();

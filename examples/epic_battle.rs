@@ -11,8 +11,16 @@ use sgl::battle::{BattleScenario, ScenarioConfig};
 use sgl::exec::ExecMode;
 
 fn main() {
-    let units: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2000);
-    let config = ScenarioConfig { units, density: 0.01, seed: 2026, ..ScenarioConfig::default() };
+    let units: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2000);
+    let config = ScenarioConfig {
+        units,
+        density: 0.01,
+        seed: 2026,
+        ..ScenarioConfig::default()
+    };
     let scenario = BattleScenario::generate(config);
     println!(
         "battlefield: {:.0} x {:.0} world, {} units per side",
@@ -23,7 +31,11 @@ fn main() {
 
     for mode in [ExecMode::Indexed, ExecMode::Naive] {
         // Keep the naive run short for large armies — that is the point.
-        let ticks = if mode == ExecMode::Naive && units > 1000 { 3 } else { 10 };
+        let ticks = if mode == ExecMode::Naive && units > 1000 {
+            3
+        } else {
+            10
+        };
         let mut sim = scenario.build_simulation(mode);
         let start = Instant::now();
         let summary = sim.run(ticks).expect("battle runs");

@@ -5,7 +5,9 @@
 //! cargo run --example explain_plan
 //! ```
 
-use sgl::algebra::{estimate_cost, explain, optimize_with, plan_stats, translate, OptimizerOptions};
+use sgl::algebra::{
+    estimate_cost, explain, optimize_with, plan_stats, translate, OptimizerOptions,
+};
 use sgl::lang::builtins::paper_registry;
 use sgl::lang::{normalize, parse_script};
 
@@ -32,7 +34,10 @@ fn main() {
     println!("=== unoptimized plan (Figure 6a) ===");
     println!("{}", explain(&plan));
     let before = plan_stats(&plan);
-    println!("stats: {} aggregate extensions, {} distinct\n", before.aggregate_nodes, before.distinct_aggregates);
+    println!(
+        "stats: {} aggregate extensions, {} distinct\n",
+        before.aggregate_nodes, before.distinct_aggregates
+    );
 
     let optimized = optimize_with(plan.clone(), &registry, OptimizerOptions::default());
     println!("=== optimized plan (Figure 6d analogue) ===");

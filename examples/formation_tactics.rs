@@ -14,7 +14,11 @@ fn main() {
     let config = ScenarioConfig {
         units: 240,
         density: 0.02,
-        mix: UnitMix { knights: 0.5, archers: 0.5, healers: 0.0 },
+        mix: UnitMix {
+            knights: 0.5,
+            archers: 0.5,
+            healers: 0.0,
+        },
         seed: 11,
         resurrect: false,
         formation: Formation::Line,
@@ -54,6 +58,13 @@ fn main() {
         // Player 1 attacks from the right, so "behind" means archers have a
         // smaller x than knights.
         let behind = if e > k { a <= k + 1.0 } else { a >= k - 1.0 };
-        println!("{:>4} | {:>12.1} | {:>12.1} | {:>13.1} | {}", tick + 1, k, a, e, behind);
+        println!(
+            "{:>4} | {:>12.1} | {:>12.1} | {:>13.1} | {}",
+            tick + 1,
+            k,
+            a,
+            e,
+            behind
+        );
     }
 }

@@ -59,12 +59,23 @@ main(u) {
 fn main() {
     // 1. The base game: the paper's definitions, parsed from SQL text.
     let mut registry = paper_registry_from_sql();
-    println!("base game: {} aggregates, {} actions", registry.aggregate_names().len(), registry.action_names().len());
+    println!(
+        "base game: {} aggregates, {} actions",
+        registry.aggregate_names().len(),
+        registry.action_names().len()
+    );
 
     // 2. The mod layers two more definitions on top.
     extend_registry_from_sql(&mut registry, MOD_SQL).expect("mod definitions parse");
-    println!("with mod : {} aggregates, {} actions", registry.aggregate_names().len(), registry.action_names().len());
-    println!("\nround-tripped definition of the modded aggregate:\n{}\n", aggregate_to_sql(registry.aggregate("CountWoundedAllies").unwrap()));
+    println!(
+        "with mod : {} aggregates, {} actions",
+        registry.aggregate_names().len(),
+        registry.action_names().len()
+    );
+    println!(
+        "\nround-tripped definition of the modded aggregate:\n{}\n",
+        aggregate_to_sql(registry.aggregate("CountWoundedAllies").unwrap())
+    );
 
     // 3. A small world: two ragged bands close to each other.
     let schema = paper_schema().into_shared();

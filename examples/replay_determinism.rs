@@ -75,6 +75,12 @@ fn main() {
     let restored = restore(&bytes, indexed_sim.table().schema()).expect("snapshot restores");
     let before = indexed_sim.digest();
     let after = StateDigest::of_table(&restored);
-    assert_eq!(before, after, "snapshot round trip must preserve the digest");
-    println!("snapshot: {} bytes, digest preserved across save/restore ✓", bytes.len());
+    assert_eq!(
+        before, after,
+        "snapshot round trip must preserve the digest"
+    );
+    println!(
+        "snapshot: {} bytes, digest preserved across save/restore ✓",
+        bytes.len()
+    );
 }

@@ -9,7 +9,9 @@
 
 use std::sync::Arc;
 
-use sgl::battle::{battle_mechanics, battle_registry, battle_schema, UnitKind, SKELETON_FEAR_SCRIPT};
+use sgl::battle::{
+    battle_mechanics, battle_registry, battle_schema, UnitKind, SKELETON_FEAR_SCRIPT,
+};
 use sgl::engine::UnitSelector;
 use sgl::env::{EnvTable, TupleBuilder, Value};
 use sgl::GameBuilder;
@@ -57,7 +59,13 @@ fn main() {
         add(0, UnitKind::Archer, 20.0, 10.0 + 3.0 * i as f64, &mut table);
     }
     for i in 0..60 {
-        add(1, UnitKind::Knight, 45.0 + (i % 6) as f64 * 2.0, 8.0 + (i / 6) as f64 * 4.0, &mut table);
+        add(
+            1,
+            UnitKind::Knight,
+            45.0 + (i % 6) as f64 * 2.0,
+            8.0 + (i / 6) as f64 * 4.0,
+            &mut table,
+        );
     }
 
     let mechanics = battle_mechanics(&schema, 80.0, false);
@@ -91,7 +99,12 @@ fn main() {
                     n += 1;
                 }
             }
-            println!("tick {:>2}: {} defenders alive, mean x = {:.1}", tick + 1, n, sum / n.max(1) as f64);
+            println!(
+                "tick {:>2}: {} defenders alive, mean x = {:.1}",
+                tick + 1,
+                n,
+                sum / n.max(1) as f64
+            );
         }
     }
 }

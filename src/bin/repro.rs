@@ -16,9 +16,15 @@ use sgl::exec::ExecMode;
 
 fn fig10(quick: bool) {
     println!("== Figure 10: total time per 500 ticks vs. number of units (density 1%) ==");
-    println!("{:>8} {:>16} {:>16} {:>9}", "units", "naive (s/500t)", "indexed (s/500t)", "speedup");
-    let sizes: &[usize] =
-        if quick { &[250, 500, 1000, 2000] } else { &[250, 500, 1000, 2000, 4000, 7000, 10000, 14000] };
+    println!(
+        "{:>8} {:>16} {:>16} {:>9}",
+        "units", "naive (s/500t)", "indexed (s/500t)", "speedup"
+    );
+    let sizes: &[usize] = if quick {
+        &[250, 500, 1000, 2000]
+    } else {
+        &[250, 500, 1000, 2000, 4000, 7000, 10000, 14000]
+    };
     for &units in sizes {
         // Scale the measured tick count down as n grows so the sweep finishes
         // in reasonable time; the per-tick cost is what matters.
@@ -38,7 +44,10 @@ fn fig10(quick: bool) {
 
 fn density() {
     println!("== Density experiment: 500 units, density 0.5%-8% ==");
-    println!("{:>9} {:>16} {:>16}", "density", "naive (s/500t)", "indexed (s/500t)");
+    println!(
+        "{:>9} {:>16} {:>16}",
+        "density", "naive (s/500t)", "indexed (s/500t)"
+    );
     for density in [0.005, 0.01, 0.02, 0.04, 0.08] {
         let naive = run_battle(500, density, ExecMode::Naive, 5, 42);
         let indexed = run_battle(500, density, ExecMode::Indexed, 5, 42);
@@ -56,7 +65,11 @@ fn capacity() {
     for mode in [ExecMode::Naive, ExecMode::Indexed] {
         let mut supported = 0usize;
         for &units in &[250usize, 500, 1000, 2000, 4000, 8000, 12000, 16000] {
-            let ticks = if mode == ExecMode::Naive && units > 2000 { 2 } else { 3 };
+            let ticks = if mode == ExecMode::Naive && units > 2000 {
+                2
+            } else {
+                3
+            };
             let m = run_battle(units, 0.01, mode, ticks, 42);
             if m.ticks_per_second() >= 10.0 {
                 supported = units;

@@ -22,4 +22,6 @@ pub use sgl_core::env;
 pub use sgl_core::exec;
 pub use sgl_core::index;
 pub use sgl_core::lang;
-pub use sgl_core::{compile_script, compile_script_with, CompileError, CompiledScript, GameBuilder};
+pub use sgl_core::{
+    compile_script, compile_script_with, CompileError, CompiledScript, GameBuilder,
+};

@@ -41,7 +41,13 @@ fn naive_and_indexed_traces_are_identical_for_every_formation() {
 
 #[test]
 fn the_skeleton_horde_scenario_is_mode_independent() {
-    let config = SkeletonConfig { defenders: 20, skeletons: 60, density: 0.03, seed: 13, ..SkeletonConfig::default() };
+    let config = SkeletonConfig {
+        defenders: 20,
+        skeletons: 60,
+        density: 0.03,
+        seed: 13,
+        ..SkeletonConfig::default()
+    };
     let scenario = SkeletonScenario::generate(config);
     let mut naive = scenario.build_simulation(ExecMode::Naive);
     let mut indexed = scenario.build_simulation(ExecMode::Indexed);
@@ -54,7 +60,13 @@ fn the_skeleton_horde_scenario_is_mode_independent() {
 
 #[test]
 fn reruns_with_the_same_seed_reproduce_the_same_trace() {
-    let config = ScenarioConfig { units: 60, density: 0.02, seed: 8, formation: Formation::Wedge, ..ScenarioConfig::default() };
+    let config = ScenarioConfig {
+        units: 60,
+        density: 0.02,
+        seed: 8,
+        formation: Formation::Wedge,
+        ..ScenarioConfig::default()
+    };
     let a = record(&BattleScenario::generate(config), ExecMode::Indexed, 6);
     let b = record(&BattleScenario::generate(config), ExecMode::Indexed, 6);
     assert_eq!(compare_traces(&a, &b), TraceComparison::Identical);
@@ -66,7 +78,13 @@ fn reruns_with_the_same_seed_reproduce_the_same_trace() {
 
 #[test]
 fn snapshots_preserve_mid_battle_state_exactly() {
-    let config = ScenarioConfig { units: 70, density: 0.02, seed: 21, formation: Formation::Box, ..ScenarioConfig::default() };
+    let config = ScenarioConfig {
+        units: 70,
+        density: 0.02,
+        seed: 21,
+        formation: Formation::Box,
+        ..ScenarioConfig::default()
+    };
     let scenario = BattleScenario::generate(config);
     let mut sim = scenario.build_simulation(ExecMode::Indexed);
     sim.run(4).unwrap();
@@ -82,7 +100,12 @@ fn snapshots_preserve_mid_battle_state_exactly() {
 
 #[test]
 fn timing_metrics_are_collected_for_every_tick() {
-    let config = ScenarioConfig { units: 50, density: 0.02, seed: 5, ..ScenarioConfig::default() };
+    let config = ScenarioConfig {
+        units: 50,
+        density: 0.02,
+        seed: 5,
+        ..ScenarioConfig::default()
+    };
     let scenario = BattleScenario::generate(config);
     let mut sim = scenario.build_simulation(ExecMode::Indexed);
     let summary = sim.run(4).unwrap();

@@ -6,7 +6,12 @@ use sgl::battle::{BattleScenario, ScenarioConfig};
 use sgl::exec::ExecMode;
 
 fn scenario(units: usize, seed: u64) -> BattleScenario {
-    BattleScenario::generate(ScenarioConfig { units, density: 0.02, seed, ..ScenarioConfig::default() })
+    BattleScenario::generate(ScenarioConfig {
+        units,
+        density: 0.02,
+        seed,
+        ..ScenarioConfig::default()
+    })
 }
 
 #[test]
@@ -23,11 +28,23 @@ fn naive_and_indexed_battles_agree_on_integer_state() {
     for tick in 0..4 {
         naive.step().unwrap();
         indexed.step().unwrap();
-        assert_eq!(naive.table().sorted_keys(), indexed.table().sorted_keys(), "tick {tick}");
+        assert_eq!(
+            naive.table().sorted_keys(),
+            indexed.table().sorted_keys(),
+            "tick {tick}"
+        );
         for key in naive.table().sorted_keys() {
-            let a = naive.table().row(naive.table().find_key_readonly(key).unwrap());
-            let b = indexed.table().row(indexed.table().find_key_readonly(key).unwrap());
-            assert_eq!(a.get_i64(health).unwrap(), b.get_i64(health).unwrap(), "tick {tick} unit {key} health");
+            let a = naive
+                .table()
+                .row(naive.table().find_key_readonly(key).unwrap());
+            let b = indexed
+                .table()
+                .row(indexed.table().find_key_readonly(key).unwrap());
+            assert_eq!(
+                a.get_i64(health).unwrap(),
+                b.get_i64(health).unwrap(),
+                "tick {tick} unit {key} health"
+            );
             assert_eq!(
                 a.get_i64(cooldown).unwrap(),
                 b.get_i64(cooldown).unwrap(),
@@ -73,8 +90,12 @@ fn battles_are_deterministic_for_a_fixed_seed() {
     let posx = schema.attr_id("posx").unwrap();
     assert_eq!(sim_a.table().sorted_keys(), sim_b.table().sorted_keys());
     for key in sim_a.table().sorted_keys() {
-        let ra = sim_a.table().row(sim_a.table().find_key_readonly(key).unwrap());
-        let rb = sim_b.table().row(sim_b.table().find_key_readonly(key).unwrap());
+        let ra = sim_a
+            .table()
+            .row(sim_a.table().find_key_readonly(key).unwrap());
+        let rb = sim_b
+            .table()
+            .row(sim_b.table().find_key_readonly(key).unwrap());
         assert_eq!(ra.get_i64(health).unwrap(), rb.get_i64(health).unwrap());
         assert_eq!(ra.get_f64(posx).unwrap(), rb.get_f64(posx).unwrap());
     }
@@ -87,7 +108,143 @@ fn different_seeds_produce_different_battles() {
     sim_a.run(3).unwrap();
     sim_b.run(3).unwrap();
     let posx = sim_a.table().schema().attr_id("posx").unwrap();
-    let xs_a: Vec<i64> = sim_a.table().rows().iter().map(|r| (r.get_f64(posx).unwrap() * 100.0) as i64).collect();
-    let xs_b: Vec<i64> = sim_b.table().rows().iter().map(|r| (r.get_f64(posx).unwrap() * 100.0) as i64).collect();
+    let xs_a: Vec<i64> = sim_a
+        .table()
+        .rows()
+        .iter()
+        .map(|r| (r.get_f64(posx).unwrap() * 100.0) as i64)
+        .collect();
+    let xs_b: Vec<i64> = sim_b
+        .table()
+        .rows()
+        .iter()
+        .map(|r| (r.get_f64(posx).unwrap() * 100.0) as i64)
+        .collect();
     assert_ne!(xs_a, xs_b);
+}
+
+/// The ISSUE-1 equivalence suite: naive, rebuild-indexed and
+/// incrementally-maintained executors must produce identical effect
+/// relations and state digests on seeded battle scenarios across long runs.
+mod backend_equivalence {
+    use sgl::battle::{BattleScenario, ScenarioConfig};
+    use sgl::engine::replay::StateDigest;
+    use sgl::exec::{ExecConfig, MaintenancePolicy, RebuildBackend};
+
+    const TICKS: usize = 50;
+
+    fn digests_for(scenario: &BattleScenario, config: ExecConfig, label: &str) -> Vec<StateDigest> {
+        let mut sim = scenario.build_simulation(sgl::exec::ExecMode::Indexed);
+        sim.set_exec_config(config);
+        (0..TICKS)
+            .map(|tick| {
+                sim.step()
+                    .unwrap_or_else(|e| panic!("{label} tick {tick}: {e}"));
+                sim.digest()
+            })
+            .collect()
+    }
+
+    fn check_scenario(units: usize, seed: u64) {
+        let scenario = BattleScenario::generate(ScenarioConfig {
+            units,
+            density: 0.02,
+            seed,
+            ..ScenarioConfig::default()
+        });
+        let schema = scenario.schema.clone();
+        let naive = digests_for(&scenario, ExecConfig::naive(&schema), "naive");
+        let rebuild = digests_for(&scenario, ExecConfig::indexed(&schema), "rebuild");
+        let quadtree = digests_for(
+            &scenario,
+            ExecConfig::indexed(&schema).with_backend(RebuildBackend::QuadTree),
+            "rebuild/quadtree",
+        );
+        let incremental = digests_for(
+            &scenario,
+            ExecConfig::indexed(&schema).with_policy(MaintenancePolicy::Incremental),
+            "incremental",
+        );
+        let adaptive = digests_for(
+            &scenario,
+            ExecConfig::indexed(&schema).with_policy(MaintenancePolicy::adaptive()),
+            "adaptive",
+        );
+        for tick in 0..TICKS {
+            assert_eq!(
+                naive[tick], rebuild[tick],
+                "seed {seed}: naive vs rebuild at tick {tick}"
+            );
+            assert_eq!(
+                naive[tick], quadtree[tick],
+                "seed {seed}: naive vs quadtree at tick {tick}"
+            );
+            assert_eq!(
+                naive[tick], incremental[tick],
+                "seed {seed}: naive vs incremental at tick {tick}"
+            );
+            assert_eq!(
+                naive[tick], adaptive[tick],
+                "seed {seed}: naive vs adaptive at tick {tick}"
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_one_agrees_across_backends() {
+        check_scenario(60, 101);
+    }
+
+    #[test]
+    fn scenario_two_agrees_across_backends() {
+        check_scenario(90, 2024);
+    }
+
+    #[test]
+    fn scenario_three_agrees_across_backends() {
+        check_scenario(120, 777);
+    }
+
+    /// The per-tick effect relations themselves (not just the resulting
+    /// state) must be identical across backends.
+    #[test]
+    fn effect_relations_are_identical_across_backends() {
+        use sgl::engine::Simulation;
+        let scenario = BattleScenario::generate(ScenarioConfig {
+            units: 50,
+            density: 0.02,
+            seed: 7,
+            ..ScenarioConfig::default()
+        });
+        let schema = scenario.schema.clone();
+        let make = |config: ExecConfig| -> Simulation {
+            let mut sim = scenario.build_simulation(sgl::exec::ExecMode::Indexed);
+            sim.set_exec_config(config);
+            sim
+        };
+        let mut sims = [
+            ("naive", make(ExecConfig::naive(&schema))),
+            ("rebuild", make(ExecConfig::indexed(&schema))),
+            (
+                "incremental",
+                make(ExecConfig::indexed(&schema).with_policy(MaintenancePolicy::Incremental)),
+            ),
+        ];
+        for tick in 0..20 {
+            let mut reference: Option<(usize, StateDigest)> = None;
+            for (label, sim) in sims.iter_mut() {
+                let report = sim.step().unwrap();
+                let current = (report.exec.effect_rows, sim.digest());
+                match &reference {
+                    None => reference = Some(current),
+                    Some(expected) => {
+                        assert_eq!(
+                            *expected, current,
+                            "{label} diverged from naive at tick {tick} (effect rows + digest)"
+                        );
+                    }
+                }
+            }
+        }
+    }
 }

@@ -31,9 +31,17 @@ fn figure_three_compiles_and_optimization_shrinks_the_plan() {
     let schema = paper_schema();
     let registry = paper_registry();
     let optimized = compile_script("fig3", FIGURE_3, &schema, &registry).unwrap();
-    let unoptimized =
-        compile_script_with("fig3", FIGURE_3, &schema, &registry, OptimizerOptions::none()).unwrap();
-    assert!(optimized.optimized.after.aggregate_nodes < unoptimized.optimized.after.aggregate_nodes);
+    let unoptimized = compile_script_with(
+        "fig3",
+        FIGURE_3,
+        &schema,
+        &registry,
+        OptimizerOptions::none(),
+    )
+    .unwrap();
+    assert!(
+        optimized.optimized.after.aggregate_nodes < unoptimized.optimized.after.aggregate_nodes
+    );
     assert_eq!(optimized.optimized.after.distinct_aggregates, 3);
     assert_eq!(optimized.check.aggregate_calls, 3);
     assert_eq!(optimized.check.performs, 2);
@@ -62,9 +70,16 @@ fn figure_three_runs_and_units_react_to_enemies() {
         table.insert(t).unwrap();
     };
     insert(0, 0, 20.0, 20.0);
-    for (i, (dx, dy)) in [(4.0, 0.0), (4.0, 2.0), (4.0, -2.0), (5.0, 1.0), (5.0, -1.0), (6.0, 0.0)]
-        .iter()
-        .enumerate()
+    for (i, (dx, dy)) in [
+        (4.0, 0.0),
+        (4.0, 2.0),
+        (4.0, -2.0),
+        (5.0, 1.0),
+        (5.0, -1.0),
+        (6.0, 0.0),
+    ]
+    .iter()
+    .enumerate()
     {
         insert(i as i64 + 1, 1, 20.0 + dx, 20.0 + dy);
     }
@@ -85,7 +100,10 @@ fn figure_three_runs_and_units_react_to_enemies() {
     let x = sim.table().row(idx).get_f64(posx).unwrap();
     // The enemies are all to the right (larger x), so fleeing means moving to
     // smaller x; the post-processing step caps the move at 2 world units.
-    assert!(x < 20.0, "unit should flee away from the enemy centroid, got x = {x}");
+    assert!(
+        x < 20.0,
+        "unit should flee away from the enemy centroid, got x = {x}"
+    );
     assert!(x >= 18.0 - 1e-9);
 }
 
@@ -101,7 +119,9 @@ fn battle_scripts_compile_against_the_battle_registry() {
         let compiled = compile_script(name, source, &schema, &registry).unwrap();
         assert!(compiled.check.aggregate_calls >= 4, "{name}");
         // Optimization never *adds* aggregate work.
-        assert!(compiled.optimized.after.aggregate_nodes <= compiled.optimized.before.aggregate_nodes);
+        assert!(
+            compiled.optimized.after.aggregate_nodes <= compiled.optimized.before.aggregate_nodes
+        );
     }
 }
 
@@ -109,9 +129,25 @@ fn battle_scripts_compile_against_the_battle_registry() {
 fn compile_rejects_unknown_builtins_and_attributes() {
     let schema = paper_schema();
     let registry = paper_registry();
-    assert!(compile_script("bad", "main(u) { perform CastFireball(u); }", &schema, &registry).is_err());
-    assert!(compile_script("bad", "main(u) { if u.mana > 1 then perform Heal(u); }", &schema, &registry)
-        .is_err());
-    assert!(compile_script("bad", "main(u) { (let x = Count(u)) perform Heal(u); }", &schema, &registry)
-        .is_err());
+    assert!(compile_script(
+        "bad",
+        "main(u) { perform CastFireball(u); }",
+        &schema,
+        &registry
+    )
+    .is_err());
+    assert!(compile_script(
+        "bad",
+        "main(u) { if u.mana > 1 then perform Heal(u); }",
+        &schema,
+        &registry
+    )
+    .is_err());
+    assert!(compile_script(
+        "bad",
+        "main(u) { (let x = Count(u)) perform Heal(u); }",
+        &schema,
+        &registry
+    )
+    .is_err());
 }

@@ -115,5 +115,8 @@ fn sql_mods_change_behaviour_in_the_expected_direction() {
     check_registry(&modded, &paper_schema()).unwrap();
     let stock = run_figure3(&schema, paper_registry_from_sql(), 8);
     let buffed = run_figure3(&schema, modded, 8);
-    assert_ne!(stock, buffed, "doubling arrow damage must change the game state");
+    assert_ne!(
+        stock, buffed,
+        "doubling arrow damage must change the game state"
+    );
 }

@@ -1,0 +1,261 @@
+//! Vendored subset of the `criterion` benchmark harness.
+//!
+//! Provides the API surface the `sgl-bench` suite uses — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros and [`black_box`] —
+//! with a deliberately simple measurement model: each benchmark closure is
+//! warmed up once and then timed `sample_size` times, and the mean / min /
+//! max per-iteration wall-clock times are printed to stdout.  There is no
+//! statistical analysis, plotting or HTML report; benches exist in this
+//! workspace to be runnable and comparable, not publication-grade.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// work.  Re-exported name-compatible with `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Times one benchmark: the closure passed to `iter` is warmed up once and
+/// then run `samples` times.
+pub struct Bencher {
+    samples: usize,
+    /// Mean/min/max per-iteration time of the last `iter` call.
+    result: Option<(Duration, Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Measure a closure.  The closure's return value is black-boxed so the
+    /// computation cannot be optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+            max = max.max(elapsed);
+        }
+        self.result = Some((total / self.samples as u32, min, max));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Ignored; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((mean, min, max)) => println!(
+                "{full:<60} time: [{} {} {}]",
+                fmt_duration(min),
+                fmt_duration(mean),
+                fmt_duration(max)
+            ),
+            None => println!("{full:<60} (no measurement)"),
+        }
+    }
+
+    /// Benchmark a closure under a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Apply command-line configuration.  Supports the one flag the harness
+    /// cares about: a positional substring filter (as `cargo bench -- foo`),
+    /// and ignores criterion's own flags (`--bench`, `--save-baseline`, ...).
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--bench" || arg == "--test" {
+                continue;
+            }
+            if arg.starts_with("--") {
+                // Flags with a value: skip the value when not `--flag=value`.
+                if !arg.contains('=') {
+                    let _ = args.next();
+                }
+                continue;
+            }
+            self.filter = Some(arg);
+        }
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a closure outside of any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.run(id.to_string(), f);
+        self
+    }
+}
+
+/// Define a benchmark group function, compatible with
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the benchmark `main`, compatible with `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test_group");
+        group.sample_size(3);
+        let mut ran = 0usize;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(2u64 + 2)
+            })
+        });
+        // 1 warmup + 3 samples.
+        assert_eq!(ran, 4);
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, n| {
+            b.iter(|| black_box(*n * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

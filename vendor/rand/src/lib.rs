@@ -1,0 +1,187 @@
+//! Vendored subset of the `rand` crate: [`rngs::SmallRng`] (xoshiro256++),
+//! the [`Rng`] / [`SeedableRng`] traits, and `gen_range` over half-open
+//! ranges of the primitive types this workspace samples.  Deterministic for
+//! a fixed seed, which is all the scenario generators need.
+
+use std::ops::Range;
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Seed type.
+    type Seed;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` seed (expanded with splitmix64).
+    fn from_u64_seed(state: u64) -> Self;
+
+    /// `rand`-compatible name for [`SeedableRng::from_u64_seed`].
+    fn seed_from_u64(state: u64) -> Self {
+        Self::from_u64_seed(state)
+    }
+}
+
+/// Types that can be sampled uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Sample uniformly from `[low, high)`.
+    fn sample(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+/// The core generator interface: a stream of `u64`s.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing random-value methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample uniformly from the half-open range `[start, end)`.
+    ///
+    /// Panics when the range is empty, like the real crate.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "cannot sample empty range");
+        T::sample(self, range.start, range.end)
+    }
+
+    /// A uniformly random `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut dyn RngCore, low: f64, high: f64) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for i64 {
+    fn sample(rng: &mut dyn RngCore, low: i64, high: i64) -> i64 {
+        let span = (high - low) as u64;
+        low + (rng.next_u64() % span) as i64
+    }
+}
+
+impl SampleUniform for usize {
+    fn sample(rng: &mut dyn RngCore, low: usize, high: usize) -> usize {
+        let span = (high - low) as u64;
+        low + (rng.next_u64() % span) as usize
+    }
+}
+
+/// Namespaced generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast generator (xoshiro256++), seedable from a `u64`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> SmallRng {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            if s == [0, 0, 0, 0] {
+                s = [1, 2, 3, 4];
+            }
+            SmallRng { s }
+        }
+
+        fn from_u64_seed(seed: u64) -> SmallRng {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0..1.0), b.gen_range(0.0..1.0));
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<f64> = (0..10).map(|_| a.gen_range(0.0..1.0)).collect();
+        let ys: Vec<f64> = (0..10).map(|_| c.gen_range(0.0..1.0)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-3.0..5.0);
+            assert!((-3.0..5.0).contains(&f));
+            let i = rng.gen_range(-3i64..5);
+            assert!((-3..5).contains(&i));
+            let u = rng.gen_range(2usize..9);
+            assert!((2..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = rng.gen_range(1.0..1.0);
+    }
+}
