@@ -4,14 +4,14 @@
 //!
 //! * [`plan`] — a bag algebra over extended environment relations with the
 //!   combination operator `⊕` ([`plan::LogicalPlan`]);
-//! * [`translate`] — the compositional translation from normalised SGL
+//! * [`mod@translate`] — the compositional translation from normalised SGL
 //!   scripts to plans (`[[f1; f2]]⊕`, `[[if φ then f]]⊕`, `[[let]]⊕`, Eq. (6));
 //! * [`rules`] — the rewrite rules of Figure 7 / Example 5.1: dead-column
 //!   elimination, extension pull-up past selections, `⊕` flattening and
 //!   elimination of the final `⊕ E`;
 //! * [`optimizer`] — the rule driver, plan statistics and a simple cost model
 //!   comparing naive and index-based evaluation;
-//! * [`explain`] — Figure-6-style rendering of plans.
+//! * [`mod@explain`] — Figure-6-style rendering of plans.
 //!
 //! The physical counterpart (per-aggregate index selection and set-at-a-time
 //! evaluation) lives in `sgl-exec`.

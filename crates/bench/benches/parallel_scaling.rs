@@ -1,0 +1,86 @@
+//! Tick-throughput scaling of the sharded parallel executor.
+//!
+//! The decision/action phases of a tick are embarrassingly parallel under
+//! the state-effect pattern (every unit reads the same immutable
+//! environment; effects are ⊕-combined), so the executor fans acting units
+//! out over worker threads.  This bench sweeps 1/2/4/8 threads over full
+//! engine ticks of the §6 battle at two scales — the headline configuration
+//! is the 10 000-unit battle, where 4 threads should deliver well over the
+//! 1.5× tick-throughput bar — after first asserting that every thread count
+//! simulates bit-identically the same battle (the knob is *purely*
+//! performance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sgl_battle::{BattleScenario, ScenarioConfig};
+use sgl_core::engine::Simulation;
+use sgl_exec::{ExecConfig, ExecMode, Parallelism};
+
+fn thread_counts() -> [usize; 4] {
+    [1, 2, 4, 8]
+}
+
+fn parallelism_for(threads: usize) -> Parallelism {
+    if threads <= 1 {
+        Parallelism::Off
+    } else {
+        Parallelism::Threads(threads)
+    }
+}
+
+fn simulation_with(scenario: &BattleScenario, threads: usize) -> Simulation {
+    let mut sim = scenario.build_simulation(ExecMode::Indexed);
+    sim.set_exec_config(
+        ExecConfig::indexed(&scenario.schema).with_parallelism(parallelism_for(threads)),
+    );
+    sim
+}
+
+fn tick_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    for &units in &[1_000usize, 10_000] {
+        let scenario = BattleScenario::generate(ScenarioConfig {
+            units,
+            density: 0.01,
+            seed: 97,
+            ..ScenarioConfig::default()
+        });
+        // Determinism gate: every thread count must simulate the same battle
+        // before anything is timed.
+        let mut reference = simulation_with(&scenario, 1);
+        let reference_digests: Vec<_> = (0..3)
+            .map(|_| {
+                reference.step().expect("reference tick");
+                reference.digest()
+            })
+            .collect();
+        for &threads in &thread_counts()[1..] {
+            let mut check = simulation_with(&scenario, threads);
+            for (tick, expected) in reference_digests.iter().enumerate() {
+                check.step().expect("check tick");
+                assert_eq!(
+                    check.digest(),
+                    *expected,
+                    "{threads} threads diverged at tick {tick}"
+                );
+            }
+        }
+
+        for &threads in &thread_counts() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{threads}-threads"), units),
+                &threads,
+                |b, &threads| {
+                    let mut sim = simulation_with(&scenario, threads);
+                    sim.step().expect("warmup tick");
+                    b.iter(|| sim.step().expect("bench tick"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tick_throughput);
+criterion_main!(benches);

@@ -39,8 +39,8 @@ use rustc_hash::FxHashMap;
 use sgl_algebra::LogicalPlan;
 use sgl_env::{AttrId, EnvTable, GameRng, PostProcessor, Value};
 use sgl_exec::{
-    execute_tick_planned, plan_registry, ExecConfig, IndexManager, MaintStats, PlannedAggregate,
-    ScriptRun, TickStats,
+    execute_tick_planned, plan_registry, ExecConfig, IndexManager, MaintStats, Parallelism,
+    PlannedAggregate, ScriptRun, TickStats,
 };
 use sgl_lang::Registry;
 
@@ -277,6 +277,19 @@ impl Simulation {
         self.index_manager = IndexManager::new(&config);
         self.planned = plan_registry(&self.registry, &self.table, &config);
         self.exec_config = config;
+    }
+
+    /// Change only the worker-thread count of the decision/action phases.
+    /// Purely a performance knob — the simulated game (and its state
+    /// digests) is identical at any setting — so unlike
+    /// [`Simulation::set_exec_config`] this keeps maintained index state.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.exec_config.parallelism = parallelism;
+    }
+
+    /// The current execution configuration.
+    pub fn exec_config(&self) -> &ExecConfig {
+        &self.exec_config
     }
 
     /// Simulate one clock tick.
@@ -653,6 +666,30 @@ mod tests {
         }
         let maintained_rows: usize = sim.index_manager().last_maint.rows_scanned;
         assert!(maintained_rows > 0);
+    }
+
+    #[test]
+    fn parallel_simulation_reproduces_serial_digests() {
+        let (_, mut serial) = build_sim(30, true);
+        let reference: Vec<crate::replay::StateDigest> = (0..5)
+            .map(|_| {
+                serial.step().unwrap();
+                serial.digest()
+            })
+            .collect();
+        for threads in [2usize, 4] {
+            let (_, mut sim) = build_sim(30, true);
+            sim.set_parallelism(Parallelism::Threads(threads));
+            assert_eq!(sim.exec_config().parallelism, Parallelism::Threads(threads));
+            for (tick, expected) in reference.iter().enumerate() {
+                sim.step().unwrap();
+                assert_eq!(
+                    sim.digest(),
+                    *expected,
+                    "{threads} threads diverged at tick {tick}"
+                );
+            }
+        }
     }
 
     #[test]

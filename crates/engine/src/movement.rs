@@ -147,8 +147,19 @@ pub fn run_movement(
             continue;
         }
         stats.movers += 1;
-        let scale = (config.step / norm).min(1.0);
         let current = positions[idx];
+        // A NaN or infinite movement vector would pass the `norm` guard above
+        // (NaN fails `<=`; infinities exceed it) and write non-finite
+        // positions into the table, permanently poisoning the collision grid
+        // and every state digest after this tick.  Such movers stay put and
+        // count as blocked.
+        if !dx.is_finite() || !dy.is_finite() {
+            stats.blocked += 1;
+            moved_rows[idx] = true;
+            moved_hash.insert(current);
+            continue;
+        }
+        let scale = (config.step / norm).min(1.0);
         // Candidate positions: full move, x-only, y-only (simple pathfinding).
         let candidates = [
             clamp(Point2::new(current.x + dx * scale, current.y + dy * scale)),
@@ -157,6 +168,11 @@ pub fn run_movement(
         ];
         let mut accepted = None;
         for (ci, candidate) in candidates.iter().enumerate() {
+            // Never write a non-finite position (a NaN current position can
+            // leak through `clamp`, which keeps NaN).
+            if !candidate.x.is_finite() || !candidate.y.is_finite() {
+                continue;
+            }
             // Collide against pre-move positions of units that have not moved
             // yet, and against the post-move positions of units that have.
             let rect = Rect::centered(candidate.x, candidate.y, config.collision_radius);
@@ -286,6 +302,38 @@ mod tests {
         let stats = run_movement(&mut table, &effects, &config, &rng);
         assert_eq!(stats, MovementStats::default());
         assert_eq!(table.row(0).get_f64(config.x).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn non_finite_vectors_block_instead_of_poisoning_positions() {
+        for (dx, dy) in [
+            (f64::NAN, 0.0),
+            (0.0, f64::NAN),
+            (f64::NAN, f64::NAN),
+            (f64::INFINITY, 0.0),
+            (f64::NEG_INFINITY, f64::INFINITY),
+            (1.0, f64::NEG_INFINITY),
+        ] {
+            let (schema, mut table, config) = setup(&[(10.0, 10.0), (20.0, 20.0)]);
+            let mut effects = EffectBuffer::new(Arc::clone(&schema));
+            effects.apply(0, config.dx, Value::Float(dx)).unwrap();
+            effects.apply(0, config.dy, Value::Float(dy)).unwrap();
+            // A healthy mover in the same phase still moves.
+            effects.apply(1, config.dx, Value::Float(1.0)).unwrap();
+            let rng = GameRng::new(4).for_tick(0);
+            let stats = run_movement(&mut table, &effects, &config, &rng);
+            assert_eq!(stats.movers, 2, "vector ({dx}, {dy})");
+            assert_eq!(stats.blocked, 1, "vector ({dx}, {dy})");
+            assert_eq!(stats.moved, 1, "vector ({dx}, {dy})");
+            // The poisoned unit stayed exactly where it was, finite.
+            let x = table.row(0).get_f64(config.x).unwrap();
+            let y = table.row(0).get_f64(config.y).unwrap();
+            assert_eq!((x, y), (10.0, 10.0), "vector ({dx}, {dy})");
+            assert!(
+                table.row(1).get_f64(config.x).unwrap().is_finite(),
+                "vector ({dx}, {dy})"
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! * the environment relation `E` — a multiset of unit tuples with a schema
 //!   whose attributes are tagged `const`, `sum`, `max` or `min` ([`schema`],
-//!   [`table`], [`tuple`], [`value`]);
+//!   [`table`], [`mod@tuple`], [`value`]);
 //! * the combination operator `⊕` that folds the per-script effect relations
 //!   of a clock tick into a single effect per unit and attribute
 //!   ([`effects`], [`combine`]);

@@ -63,10 +63,18 @@ impl TickRandom {
         (self.raw(unit_key, i) >> 11) as f64 / (1u64 << 53) as f64
     }
 
-    /// A value in `[0, bound)`; `bound` must be positive.
+    /// A value in `[0, bound)` for positive `bound`.
+    ///
+    /// A non-positive `bound` yields `0`: scripts can compute bounds at run
+    /// time (`Random(i) mod n` with `n` read from the environment), so the
+    /// degenerate case must be total rather than a release-build
+    /// divide-by-zero panic inside `rem_euclid` — the same discipline as
+    /// `Value::rem`, which rejects zero divisors instead of dividing.
     #[inline]
     pub fn below(&self, unit_key: i64, i: i64, bound: i64) -> i64 {
-        debug_assert!(bound > 0);
+        if bound <= 0 {
+            return 0;
+        }
         self.value(unit_key, i).rem_euclid(bound)
     }
 }
@@ -127,6 +135,17 @@ mod tests {
             // Each bucket should receive roughly a quarter of the draws.
             assert!(c > 800 && c < 1200, "bucket count {c} too skewed");
         }
+    }
+
+    #[test]
+    fn below_is_total_for_non_positive_bounds() {
+        let t = GameRng::new(3).for_tick(2);
+        // Regression: these were a raw divide-by-zero (or rem_euclid panic)
+        // in release builds, where the old debug_assert compiled away.
+        assert_eq!(t.below(1, 1, 0), 0);
+        assert_eq!(t.below(1, 1, -5), 0);
+        assert_eq!(t.below(1, 1, i64::MIN), 0);
+        assert_eq!(t.below(1, 1, 1), 0);
     }
 
     #[test]

@@ -58,6 +58,64 @@ pub enum RebuildBackend {
     QuadTree,
 }
 
+/// How many worker threads execute the decision/action phases of a tick.
+///
+/// The state-effect pattern makes per-unit action evaluation within a tick
+/// order-independent ([`sgl_env::TickRandom`] is a pure hash of
+/// `(seed, tick, unit key, i)` and effect combination is order-insensitive),
+/// so acting units can be fanned out over shards without changing the
+/// simulated game: the parallel executor produces the same `StateDigest` as
+/// the serial one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Serial execution on the calling thread (the default).
+    Off,
+    /// A fixed number of worker threads (clamped to at least 1).
+    Threads(usize),
+    /// One worker per available hardware thread, capped at 8.
+    Auto,
+}
+
+impl Parallelism {
+    /// Number of shards to use for `work_items` acting units: the configured
+    /// thread count, never more than the number of items (and at least 1).
+    pub fn resolve(self, work_items: usize) -> usize {
+        let threads = match self {
+            Parallelism::Off => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+        };
+        threads.min(work_items.max(1))
+    }
+
+    /// Parse the `SGL_PARALLELISM` environment variable (`off`, `auto`, or a
+    /// thread count).  Used by the [`ExecConfig`] presets so test matrices
+    /// can exercise the parallel executor without touching call sites;
+    /// explicit [`ExecConfig::with_parallelism`] always wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unparsable value: the variable exists so CI can prove
+    /// the knob is behaviour-neutral, and a typo silently falling back to
+    /// serial execution would turn that proof into a no-op.
+    pub fn from_env() -> Option<Parallelism> {
+        let raw = std::env::var("SGL_PARALLELISM").ok()?;
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "" | "off" | "0" | "1" => Some(Parallelism::Off),
+            "auto" => Some(Parallelism::Auto),
+            n => match n.parse::<usize>() {
+                Ok(threads) => Some(Parallelism::Threads(threads)),
+                Err(_) => {
+                    panic!("SGL_PARALLELISM must be `off`, `auto` or a thread count, got `{raw}`")
+                }
+            },
+        }
+    }
+}
+
 /// Which attributes hold the spatial position of a unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpatialAttrs {
@@ -95,6 +153,8 @@ pub struct ExecConfig {
     pub policy: MaintenancePolicy,
     /// Structure backing rebuilt divisible indexes.
     pub backend: RebuildBackend,
+    /// Worker threads for the decision/action phases of a tick.
+    pub parallelism: Parallelism,
 }
 
 impl ExecConfig {
@@ -108,6 +168,7 @@ impl ExecConfig {
             aoe_index: false,
             policy: MaintenancePolicy::RebuildEachTick,
             backend: RebuildBackend::LayeredTree,
+            parallelism: Parallelism::from_env().unwrap_or(Parallelism::Off),
         }
     }
 
@@ -122,6 +183,7 @@ impl ExecConfig {
             aoe_index: true,
             policy: MaintenancePolicy::RebuildEachTick,
             backend: RebuildBackend::LayeredTree,
+            parallelism: Parallelism::from_env().unwrap_or(Parallelism::Off),
         }
     }
 
@@ -134,6 +196,12 @@ impl ExecConfig {
     /// Set the structure backing rebuilt divisible indexes.
     pub fn with_backend(mut self, backend: RebuildBackend) -> ExecConfig {
         self.backend = backend;
+        self
+    }
+
+    /// Set the worker-thread count for tick execution.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> ExecConfig {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -219,6 +287,21 @@ mod tests {
         assert!(!MaintenancePolicy::RebuildEachTick.is_dynamic());
         let quad = indexed.with_backend(RebuildBackend::QuadTree);
         assert_eq!(quad.backend, RebuildBackend::QuadTree);
+    }
+
+    #[test]
+    fn parallelism_resolves_to_shard_counts() {
+        assert_eq!(Parallelism::Off.resolve(100), 1);
+        assert_eq!(Parallelism::Threads(4).resolve(100), 4);
+        assert_eq!(Parallelism::Threads(0).resolve(100), 1);
+        // Never more shards than acting units (and at least one).
+        assert_eq!(Parallelism::Threads(8).resolve(3), 3);
+        assert_eq!(Parallelism::Threads(4).resolve(0), 1);
+        let auto = Parallelism::Auto.resolve(1_000_000);
+        assert!((1..=8).contains(&auto));
+        let schema = paper_schema();
+        let config = ExecConfig::indexed(&schema).with_parallelism(Parallelism::Threads(2));
+        assert_eq!(config.parallelism, Parallelism::Threads(2));
     }
 
     #[test]

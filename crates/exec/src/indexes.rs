@@ -45,7 +45,7 @@ use crate::planner::{AggStrategy, PlannedAggregate};
 // Value fingerprints (the categorical hash layer's key type)
 // ---------------------------------------------------------------------------
 
-fn hash_value(h: &mut rustc_hash::FxHasher, v: &Value) {
+pub(crate) fn hash_value(h: &mut rustc_hash::FxHasher, v: &Value) {
     match v {
         Value::Int(i) => {
             h.write_u8(1);
@@ -458,24 +458,24 @@ pub struct TickIndexes<'a> {
 }
 
 impl IndexManager {
-    /// Open the per-tick probe cache, syncing maintained state first when it
-    /// is stale (first tick, or after [`IndexManager::invalidate`]).
-    pub fn begin_tick<'a>(
-        &'a mut self,
+    /// Open a per-tick probe cache through a shared borrow — the executor's
+    /// entry point, where several shards may probe one manager concurrently.
+    /// Maintained state must already be in sync ([`IndexManager::prepare`] /
+    /// [`IndexManager::end_tick`]); this never mutates the manager.
+    pub fn tick_view<'a>(
+        &'a self,
         table: &'a EnvTable,
         config: &'a ExecConfig,
-        planned: &FxHashMap<String, PlannedAggregate>,
         constants: &'a FxHashMap<String, Value>,
     ) -> Result<Option<TickIndexes<'a>>> {
         let Some(spatial) = config.spatial else {
             return Ok(None);
         };
-        let maint = self.prepare(table, planned, constants)?;
-        let stats = TickStats {
-            index_delta_ops: maint.delta_ops,
-            partition_rebuilds: maint.partition_rebuilds,
-            ..TickStats::default()
-        };
+        if self.policy.is_dynamic() && !self.synced {
+            return Err(ExecError::Internal(
+                "tick_view on an unsynced manager (call prepare/end_tick first)".into(),
+            ));
+        }
         Ok(Some(TickIndexes {
             manager: self,
             table,
@@ -487,7 +487,7 @@ impl IndexManager {
             kd_trees: FxHashMap::default(),
             enum_trees: FxHashMap::default(),
             sweeps: FxHashMap::default(),
-            stats,
+            stats: TickStats::default(),
         }))
     }
 }
@@ -1093,6 +1093,22 @@ mod tests {
     use sgl_lang::builtins::paper_registry;
     use std::sync::Arc;
 
+    /// The production tick-open sequence (what `execute_tick_planned`
+    /// does): sync maintained state, then open the shared-borrow cache.
+    fn open_tick<'a>(
+        manager: &'a mut IndexManager,
+        table: &'a EnvTable,
+        config: &'a ExecConfig,
+        planned: &FxHashMap<String, PlannedAggregate>,
+        constants: &'a FxHashMap<String, Value>,
+    ) -> TickIndexes<'a> {
+        manager.prepare(table, planned, constants).unwrap();
+        manager
+            .tick_view(table, config, constants)
+            .unwrap()
+            .unwrap()
+    }
+
     fn make_table(n: usize) -> (Arc<Schema>, EnvTable) {
         let schema = paper_schema().into_shared();
         let mut table = EnvTable::new(Arc::clone(&schema));
@@ -1159,10 +1175,7 @@ mod tests {
                     AggStrategy::Scan,
                     "{agg_name} should be indexable"
                 );
-                let mut cache = manager
-                    .begin_tick(&table, &config, &planned_map, &constants)
-                    .unwrap()
-                    .unwrap();
+                let mut cache = open_tick(&mut manager, &table, &config, &planned_map, &constants);
                 for row in 0..table.len() {
                     let unit = table.row(row).clone();
                     let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
@@ -1255,10 +1268,7 @@ mod tests {
             let mut planned_map: FxHashMap<String, PlannedAggregate> = FxHashMap::default();
             planned_map.insert(def.name.clone(), planned.clone());
             let mut manager = IndexManager::new(&config);
-            let mut cache = manager
-                .begin_tick(&table, &config, &planned_map, &constants)
-                .unwrap()
-                .unwrap();
+            let mut cache = open_tick(&mut manager, &table, &config, &planned_map, &constants);
             for row in 0..table.len() {
                 let unit = table.row(row).clone();
                 let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
@@ -1286,10 +1296,7 @@ mod tests {
         let config = ExecConfig::indexed(&schema);
         let planned_map: FxHashMap<String, PlannedAggregate> = FxHashMap::default();
         let mut manager = IndexManager::new(&config);
-        let mut cache = manager
-            .begin_tick(&table, &config, &planned_map, &constants)
-            .unwrap()
-            .unwrap();
+        let mut cache = open_tick(&mut manager, &table, &config, &planned_map, &constants);
         let player_attr = schema.attr_id("player").unwrap();
         let fps = cache.partition_fps_for(&[player_attr]).unwrap();
         assert_eq!(fps.len(), 2);
@@ -1333,10 +1340,7 @@ mod tests {
         let rng = GameRng::new(1).for_tick(1);
         let def = registry.aggregate("CountEnemiesInRange").unwrap();
         let planned = plan_aggregate(def, &schema, config.spatial);
-        let mut cache = manager
-            .begin_tick(&table, &config, &planned_map, &constants)
-            .unwrap()
-            .unwrap();
+        let mut cache = open_tick(&mut manager, &table, &config, &planned_map, &constants);
         for row in 0..table.len() {
             let unit = table.row(row).clone();
             let ctx = EvalContext::new(&schema, &unit, &rng, &constants);

@@ -7,13 +7,28 @@
 //! * the **naive** backend scans the environment for every aggregate probe and
 //!   for every action clause (`O(n)` per unit, `O(n²)` per tick);
 //! * the **indexed** backend answers aggregates from the per-tick
-//!   [`IndexCache`] and resolves targeted/area action clauses through key
-//!   look-ups and enumeration indexes (§5.3/§5.4).
+//!   [`TickIndexes`] cache and resolves targeted/area action clauses through
+//!   key look-ups and enumeration indexes (§5.3/§5.4).
+//!
+//! Either backend can fan the acting units out over worker threads
+//! ([`crate::config::Parallelism`]).  The state-effect pattern makes this a
+//! pure performance knob: within a tick every unit reads the same immutable
+//! environment and the per-tick random function is a pure hash of
+//! `(seed, tick, unit key, i)`, so each shard emits exactly the effects its
+//! units would emit serially.  Shards record those effects in *ordered
+//! per-run logs*; replaying them run-major (run 0 across all shards, then
+//! run 1, ...) reproduces the serial executor's exact sequence of `⊕` fold
+//! steps, so the combined effect relation (and hence the state digest) is
+//! bit-identical to serial execution — even for float-sum attributes, where
+//! IEEE addition is commutative but not associative and any regrouping or
+//! reordering of the partial sums could change the last bits.
+
+use std::hash::Hasher;
 
 use rustc_hash::FxHashMap;
 
 use sgl_algebra::LogicalPlan;
-use sgl_env::{EffectBuffer, EnvTable, TickRandom, Value};
+use sgl_env::{AttrId, EffectBuffer, EnvTable, TickRandom, Value};
 use sgl_lang::ast::{AggCall, Term};
 use sgl_lang::builtins::{ActionDef, Registry};
 use sgl_lang::eval::{eval_cond, eval_term, EvalContext, NoAggregates, ScriptValue};
@@ -22,7 +37,7 @@ use crate::builtin_eval::{bind_params, eval_aggregate_scan, eval_call_args};
 use crate::config::{ExecConfig, ExecMode, TickStats};
 use crate::error::{ExecError, Result};
 use crate::filter::analyze_filter;
-use crate::indexes::{IndexManager, TickIndexes};
+use crate::indexes::{hash_value, IndexManager, TickIndexes};
 use crate::planner::{plan_aggregate, PlannedAggregate};
 
 /// One script to run in a tick: its optimized plan plus the acting units
@@ -101,30 +116,165 @@ pub fn execute_tick_planned(
     planned: &FxHashMap<String, PlannedAggregate>,
     constants: &FxHashMap<String, Value>,
 ) -> Result<(EffectBuffer, TickStats)> {
-    let schema = table.schema().clone();
-    let mut effects = EffectBuffer::new(schema.clone());
-    let mut stats = TickStats::default();
+    let total_acting: usize = runs.iter().map(|r| r.acting_rows.len()).sum();
+    let shards = config.parallelism.resolve(total_acting);
 
-    let mut cache = if config.mode == ExecMode::Indexed {
-        manager.begin_tick(table, config, planned, constants)?
+    // Sync cross-tick maintained structures once, through the only mutable
+    // borrow of the tick; the fan-out below probes the manager read-only.
+    let maint = if config.mode == ExecMode::Indexed {
+        manager.prepare(table, planned, constants)?
     } else {
-        None
+        crate::indexes::MaintStats::default()
     };
-    // Memo of aggregate results per (call site rendering, unit row).
-    let mut memo: FxHashMap<(String, u32), ScriptValue> = FxHashMap::default();
+    let shared = TickShared {
+        table,
+        registry,
+        config,
+        rng,
+        constants,
+        planned,
+    };
+    let manager_view = (config.mode == ExecMode::Indexed).then_some(&*manager);
 
+    let mut stats = TickStats {
+        index_delta_ops: maint.delta_ops,
+        partition_rebuilds: maint.partition_rebuilds,
+        ..TickStats::default()
+    };
+
+    if shards <= 1 {
+        // Serial: fold every emission straight into the tick's buffer (no
+        // logging detour for the default configuration).
+        let (sink, shard_stats) = run_shard(&shared, manager_view, runs, true)?;
+        let EffectSink::Direct(effects) = sink else {
+            unreachable!("direct shard returns a direct sink");
+        };
+        stats.merge(&shard_stats);
+        stats.effect_rows = effects.len();
+        return Ok((effects, stats));
+    }
+
+    let shard_runs = shard_runs(runs, shards);
+    let shared_ref = &shared;
+    let shard_results: Vec<(EffectSink, TickStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shard_runs
+            .iter()
+            .map(|shard| scope.spawn(move || run_shard(shared_ref, manager_view, shard, false)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| match handle.join() {
+                Ok(result) => result,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect::<Result<Vec<_>>>()
+    })?;
+
+    // Replay the shards' per-run effect logs in the serial executor's order
+    // — run-major (run 0 across all shards, then run 1, ...), each shard
+    // holding a contiguous segment of its run's acting rows — so this
+    // applies the exact `⊕` fold sequence of serial execution.
+    let mut effects = EffectBuffer::new(table.schema().clone());
+    let mut run_logs: Vec<Vec<EffectLog>> = Vec::with_capacity(shards);
+    for (sink, shard_stats) in shard_results {
+        let EffectSink::Logs(logs) = sink else {
+            unreachable!("parallel shards return logs");
+        };
+        run_logs.push(logs);
+        stats.merge(&shard_stats);
+    }
+    for run_idx in 0..runs.len() {
+        for logs in run_logs.iter_mut() {
+            for (key, attr, value) in std::mem::take(&mut logs[run_idx]) {
+                effects.apply(key, attr, value).map_err(ExecError::from)?;
+            }
+        }
+    }
+    stats.effect_rows = effects.len();
+    Ok((effects, stats))
+}
+
+/// Effects emitted for one run by one shard, in emission order — the unit of
+/// the deterministic run-major replay above.
+type EffectLog = Vec<(i64, AttrId, Value)>;
+
+/// Where a shard's effects go: the single-shard (serial) path folds into the
+/// tick's `EffectBuffer` directly; parallel shards log per run so the main
+/// thread can replay the serial fold order.
+enum EffectSink {
+    /// Fold each emission immediately (exactly the pre-parallelism path).
+    Direct(EffectBuffer),
+    /// One ordered log per run, replayed run-major across shards.
+    Logs(Vec<EffectLog>),
+}
+
+impl EffectSink {
+    fn emit(&mut self, key: i64, attr: AttrId, value: Value) -> Result<()> {
+        match self {
+            EffectSink::Direct(buffer) => buffer.apply(key, attr, value).map_err(ExecError::from),
+            EffectSink::Logs(logs) => {
+                logs.last_mut()
+                    .expect("run log opened")
+                    .push((key, attr, value));
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Split every run's acting rows into `shards` contiguous chunks: shard `s`
+/// executes the `s`-th segment of the serial iteration order of each run.
+fn shard_runs<'p>(runs: &[ScriptRun<'p>], shards: usize) -> Vec<Vec<ScriptRun<'p>>> {
+    (0..shards)
+        .map(|s| {
+            runs.iter()
+                .map(|run| {
+                    let rows = &run.acting_rows;
+                    let base = rows.len() / shards;
+                    let rem = rows.len() % shards;
+                    let start = s * base + s.min(rem);
+                    let end = start + base + usize::from(s < rem);
+                    ScriptRun {
+                        plan: run.plan,
+                        acting_rows: rows[start..end].to_vec(),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Execute one shard's slice of the tick: every run over the shard's acting
+/// rows, with shard-private effects, statistics, memo and probe cache.
+/// `direct` selects the [`EffectSink`] flavour (single-shard fold vs
+/// per-run logs for the parallel replay).
+fn run_shard<'a>(
+    shared: &TickShared<'a>,
+    manager: Option<&'a IndexManager>,
+    runs: &[ScriptRun<'_>],
+    direct: bool,
+) -> Result<(EffectSink, TickStats)> {
+    let cache = match manager {
+        Some(manager) => manager.tick_view(shared.table, shared.config, shared.constants)?,
+        None => None,
+    };
+    let mut state = ShardState {
+        cache,
+        memo: FxHashMap::default(),
+        effects: if direct {
+            EffectSink::Direct(EffectBuffer::new(shared.table.schema().clone()))
+        } else {
+            EffectSink::Logs(Vec::with_capacity(runs.len()))
+        },
+        stats: TickStats::default(),
+    };
     for run in runs {
+        if let EffectSink::Logs(logs) = &mut state.effects {
+            logs.push(EffectLog::new());
+        }
         let mut interp = Interp {
-            table,
-            registry,
-            config,
-            rng,
-            constants,
-            planned,
-            cache: cache.as_mut(),
-            memo: &mut memo,
-            effects: &mut effects,
-            stats: &mut stats,
+            shared,
+            state: &mut state,
         };
         interp.run_effects(
             run.plan,
@@ -132,33 +282,78 @@ pub fn execute_tick_planned(
             &vec![FxHashMap::default(); run.acting_rows.len()],
         )?;
     }
-    if let Some(cache) = cache {
-        stats.merge(&cache.stats);
+    if let Some(cache) = state.cache.take() {
+        state.stats.merge(&cache.stats);
     }
-    stats.effect_rows = effects.len();
-    Ok((effects, stats))
+    Ok((state.effects, state.stats))
 }
 
-struct Interp<'a, 'p> {
+/// Read-only state shared by every shard of a tick.  All fields are borrows
+/// of `Sync` data: the parallel executor hands one `&TickShared` to each
+/// worker thread.
+struct TickShared<'a> {
     table: &'a EnvTable,
     registry: &'a Registry,
     config: &'a ExecConfig,
     rng: &'a TickRandom,
     constants: &'a FxHashMap<String, Value>,
     planned: &'a FxHashMap<String, PlannedAggregate>,
-    cache: Option<&'p mut TickIndexes<'a>>,
-    memo: &'p mut FxHashMap<(String, u32), ScriptValue>,
-    effects: &'p mut EffectBuffer,
-    stats: &'p mut TickStats,
+}
+
+/// Mutable state owned by one shard: its effect sink and statistics, the
+/// aggregate-sharing memo (keyed per unit row, so sharding never splits a
+/// unit's probes) and, in indexed mode, its per-tick probe cache.
+struct ShardState<'a> {
+    cache: Option<TickIndexes<'a>>,
+    /// Memo of aggregate results per (call fingerprint, unit row).
+    memo: FxHashMap<(u64, u32), ScriptValue>,
+    effects: EffectSink,
+    stats: TickStats,
+}
+
+/// Fingerprint of one aggregate probe for the sharing memo: the call name
+/// plus the rendered argument values, every component length-delimited and
+/// type-tagged so the *encoding* is injective before it is hashed to 64
+/// bits — the same discipline (and the same residual 2⁻⁶⁴-per-pair collision
+/// odds) as the partition-key fingerprints of `indexes.rs`.  Replaces the
+/// former per-probe `format!("{name}::{args:?}")` string key.
+fn fingerprint_call(name: &str, args: &[ScriptValue]) -> u64 {
+    let mut h = rustc_hash::FxHasher::default();
+    h.write_usize(name.len());
+    h.write(name.as_bytes());
+    for arg in args {
+        match arg {
+            ScriptValue::Scalar(v) => {
+                h.write_u8(0);
+                hash_value(&mut h, v);
+            }
+            ScriptValue::Record(fields) => {
+                h.write_u8(1);
+                h.write_usize(fields.len());
+                for (field, v) in fields {
+                    h.write_usize(field.len());
+                    h.write(field.as_bytes());
+                    hash_value(&mut h, v);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+struct Interp<'a, 'p> {
+    shared: &'p TickShared<'a>,
+    state: &'p mut ShardState<'a>,
 }
 
 type Bindings = FxHashMap<String, ScriptValue>;
 
 impl<'a, 'p> Interp<'a, 'p> {
     fn ctx_for(&self, row: u32, bindings: &Bindings) -> EvalContext<'a> {
-        let schema = self.table.schema();
-        let unit = self.table.row(row as usize);
-        let mut ctx = EvalContext::new(schema, unit, self.rng, self.constants);
+        let shared = self.shared;
+        let schema = shared.table.schema();
+        let unit = shared.table.row(row as usize);
+        let mut ctx = EvalContext::new(schema, unit, shared.rng, shared.constants);
         ctx.bindings = bindings.clone();
         ctx
     }
@@ -234,11 +429,12 @@ impl<'a, 'p> Interp<'a, 'p> {
             } => {
                 let (rows, bs) = self.eval_rel(input, acting, binds)?;
                 let def = self
+                    .shared
                     .registry
                     .action(action)
                     .ok_or_else(|| ExecError::UnknownBuiltin(action.clone()))?
                     .clone();
-                self.stats.acting_units += rows.len();
+                self.state.stats.acting_units += rows.len();
                 for (row, b) in rows.iter().zip(bs.iter()) {
                     self.apply_action(&def, args, *row, b)?;
                 }
@@ -257,52 +453,53 @@ impl<'a, 'p> Interp<'a, 'p> {
         row: u32,
         bindings: &Bindings,
     ) -> Result<ScriptValue> {
-        self.stats.aggregate_probes += 1;
-        let memo_key = if self.config.share_aggregates {
-            // Aggregates whose arguments depend on let-bound columns cannot be
-            // keyed on the call alone; include the rendered argument values.
-            let ctx = self.ctx_for(row, bindings);
-            let args = eval_call_args(&call.args, &ctx)?;
-            Some((format!("{}::{:?}", call.name, args), row))
-        } else {
-            None
-        };
+        self.state.stats.aggregate_probes += 1;
+        let ctx = self.ctx_for(row, bindings);
+        let args = eval_call_args(&call.args, &ctx)?;
+        // Aggregates whose arguments depend on let-bound columns cannot be
+        // keyed on the call alone; the fingerprint covers the rendered
+        // argument values.
+        let memo_key = self
+            .shared
+            .config
+            .share_aggregates
+            .then(|| (fingerprint_call(&call.name, &args), row));
         if let Some(key) = &memo_key {
-            if let Some(v) = self.memo.get(key) {
-                self.stats.shared_hits += 1;
+            if let Some(v) = self.state.memo.get(key) {
+                self.state.stats.shared_hits += 1;
                 return Ok(v.clone());
             }
         }
         let def = self
+            .shared
             .registry
             .aggregate(&call.name)
             .ok_or_else(|| ExecError::UnknownBuiltin(call.name.clone()))?;
-        let ctx = self.ctx_for(row, bindings);
-        let args = eval_call_args(&call.args, &ctx)?;
         let params = bind_params(&def.name, &def.params, &args)?;
 
-        let result = if self.config.mode == ExecMode::Indexed {
+        let result = if self.shared.config.mode == ExecMode::Indexed {
             let planned = self
+                .shared
                 .planned
                 .get(&call.name)
                 .expect("all registry aggregates planned");
-            let via_index = match self.cache.as_mut() {
+            let via_index = match self.state.cache.as_mut() {
                 Some(cache) => cache.evaluate(planned, &params, &ctx)?,
                 None => None,
             };
             match via_index {
                 Some(v) => v,
                 None => {
-                    self.stats.naive_scans += 1;
-                    eval_aggregate_scan(def, &params, &ctx, self.table)?
+                    self.state.stats.naive_scans += 1;
+                    eval_aggregate_scan(def, &params, &ctx, self.shared.table)?
                 }
             }
         } else {
-            self.stats.naive_scans += 1;
-            eval_aggregate_scan(def, &params, &ctx, self.table)?
+            self.state.stats.naive_scans += 1;
+            eval_aggregate_scan(def, &params, &ctx, self.shared.table)?
         };
         if let Some(key) = memo_key {
-            self.memo.insert(key, result.clone());
+            self.state.memo.insert(key, result.clone());
         }
         Ok(result)
     }
@@ -322,23 +519,24 @@ impl<'a, 'p> Interp<'a, 'p> {
         for (k, v) in &params {
             full_ctx.bindings.insert(k.clone(), v.clone());
         }
-        let schema = self.table.schema();
+        let config = self.shared.config;
+        let schema = self.shared.table.schema();
         let mut no_aggs = NoAggregates;
 
         for clause in &def.clauses {
             // Determine the affected rows.
-            let candidates: Vec<u32> = if self.config.mode == ExecMode::Indexed {
-                let analysis = analyze_filter(&clause.filter, schema, self.config.spatial);
+            let candidates: Vec<u32> = if config.mode == ExecMode::Indexed {
+                let analysis = analyze_filter(&clause.filter, schema, config.spatial);
                 if let Some(key_term) = &analysis.key_eq {
                     // Targeted effect: O(1) key look-up.
                     let key = eval_term(key_term, &full_ctx, &mut no_aggs)?
                         .as_scalar()?
                         .as_i64()?;
-                    match self.table.find_key_readonly(key) {
+                    match self.shared.table.find_key_readonly(key) {
                         Some(idx) => vec![idx as u32],
                         None => Vec::new(),
                     }
-                } else if self.config.aoe_index && analysis.has_rect() && analysis.conjunctive {
+                } else if config.aoe_index && analysis.has_rect() && analysis.conjunctive {
                     // Area-of-effect: enumerate candidates through the spatial
                     // index of every partition (§5.4-style processing).
                     let mut no_aggs2 = NoAggregates;
@@ -359,7 +557,7 @@ impl<'a, 'p> Interp<'a, 'p> {
                             .as_scalar()?
                             .as_f64()?;
                     let rect = sgl_index::Rect::new(lo_x, hi_x, lo_y, hi_y);
-                    match self.cache.as_mut() {
+                    match self.state.cache.as_mut() {
                         Some(cache) => {
                             let fps = cache.partition_fps_for(&[])?;
                             let mut rows = Vec::new();
@@ -368,17 +566,17 @@ impl<'a, 'p> Interp<'a, 'p> {
                             }
                             rows
                         }
-                        None => (0..self.table.len() as u32).collect(),
+                        None => (0..self.shared.table.len() as u32).collect(),
                     }
                 } else {
-                    (0..self.table.len() as u32).collect()
+                    (0..self.shared.table.len() as u32).collect()
                 }
             } else {
-                (0..self.table.len() as u32).collect()
+                (0..self.shared.table.len() as u32).collect()
             };
 
             for target in candidates {
-                let target_row = self.table.row(target as usize);
+                let target_row = self.shared.table.row(target as usize);
                 let row_ctx = full_ctx.with_row(target_row);
                 if !eval_cond(&clause.filter, &row_ctx, &mut no_aggs)? {
                     continue;
@@ -391,9 +589,7 @@ impl<'a, 'p> Interp<'a, 'p> {
                     let value = eval_term(term, &row_ctx, &mut no_aggs)?
                         .as_scalar()?
                         .clone();
-                    self.effects
-                        .apply(target_key, attr, value)
-                        .map_err(ExecError::from)?;
+                    self.state.effects.emit(target_key, attr, value)?;
                 }
             }
         }
@@ -603,6 +799,253 @@ mod tests {
         }];
         let err = execute_tick(&table, &registry, &runs, &rng, &ExecConfig::naive(&schema));
         assert!(matches!(err, Err(ExecError::UnknownBuiltin(_))));
+    }
+
+    /// The Send/Sync audit behind the parallel executor: everything a worker
+    /// thread borrows must be `Sync`, everything it owns must be `Send`.
+    #[test]
+    fn tick_state_is_thread_safe() {
+        fn assert_sync<T: Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_sync::<EnvTable>();
+        assert_sync::<Registry>();
+        assert_sync::<IndexManager>();
+        assert_sync::<TickRandom>();
+        assert_sync::<ExecConfig>();
+        assert_sync::<FxHashMap<String, PlannedAggregate>>();
+        assert_sync::<TickShared<'static>>();
+        assert_send::<TickIndexes<'static>>();
+        assert_send::<EvalContext<'static>>();
+        assert_send::<EffectBuffer>();
+        assert_send::<ShardState<'static>>();
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_exactly() {
+        use crate::config::Parallelism;
+        let registry = paper_registry();
+        let (schema, table) = make_table(97, 40.0);
+        let plan = compile(SCRIPT, &registry);
+        let (serial, serial_stats) =
+            run_mode(ExecConfig::indexed(&schema), &table, &registry, &plan);
+        for threads in [2usize, 3, 4, 16] {
+            let config =
+                ExecConfig::indexed(&schema).with_parallelism(Parallelism::Threads(threads));
+            let (parallel, parallel_stats) = run_mode(config, &table, &registry, &plan);
+            // Bit-identical combined effects, not just "close".
+            assert_eq!(
+                serial.canonical(),
+                parallel.canonical(),
+                "{threads} threads diverged from serial"
+            );
+            // The work counters that do not depend on shard-local caching
+            // must agree; probes answered per shard still never fall back to
+            // scans.
+            assert_eq!(
+                serial_stats.aggregate_probes,
+                parallel_stats.aggregate_probes
+            );
+            assert_eq!(serial_stats.acting_units, parallel_stats.acting_units);
+            assert_eq!(serial_stats.effect_rows, parallel_stats.effect_rows);
+            assert_eq!(parallel_stats.naive_scans, 0);
+        }
+        // Naive mode shards the same way.
+        let (naive, _) = run_mode(ExecConfig::naive(&schema), &table, &registry, &plan);
+        let naive_parallel = ExecConfig::naive(&schema).with_parallelism(Parallelism::Threads(4));
+        let (naive4, _) = run_mode(naive_parallel, &table, &registry, &plan);
+        assert_eq!(naive.canonical(), naive4.canonical());
+    }
+
+    /// Float sums are commutative but not associative: merging per-shard
+    /// *pre-combined* buffers would regroup `((a+b)+c)` into `(a+(b+c))` and
+    /// change the last bits.  The shard-order log replay must reproduce the
+    /// serial fold exactly even when units in different shards contribute
+    /// float-sum effects to the same (unit, attribute).
+    #[test]
+    fn cross_shard_float_sums_reproduce_the_serial_fold_bitwise() {
+        use crate::config::Parallelism;
+        use sgl_lang::ast::{CmpOp, Cond};
+        use sgl_lang::builtins::EffectClause;
+
+        let mut registry = paper_registry();
+        // Push(u, target): add the acting unit's posx to the *target's*
+        // movement vector — a float-sum effect on a shared target.
+        registry.register_action(sgl_lang::builtins::ActionDef {
+            name: "Push".into(),
+            params: vec!["u".into(), "target".into()],
+            clauses: vec![EffectClause {
+                filter: Cond::cmp(CmpOp::Eq, Term::row("key"), Term::name("target")),
+                effects: vec![("movevect_x".into(), Term::unit("posx"))],
+            }],
+        });
+        let schema = paper_schema().into_shared();
+        let mut table = EnvTable::new(Arc::clone(&schema));
+        // posx values chosen so the fold order is observable: serial
+        // ((1e16 + 1) + 1) = 1e16, while the regrouped (1e16 + (1 + 1))
+        // would be 1.0000000000000002e16.
+        for (key, posx) in [(0i64, 1e16), (1, 1.0), (2, 1.0)] {
+            let t = TupleBuilder::new(&schema)
+                .set("key", key)
+                .unwrap()
+                .set("posx", posx)
+                .unwrap()
+                .set("health", 10i64)
+                .unwrap()
+                .build();
+            table.insert(t).unwrap();
+        }
+        let plan = compile("main(u) { perform Push(u, 0); }", &registry);
+        let run = |threads: usize| -> Value {
+            let config = match threads {
+                0 | 1 => ExecConfig::naive(&schema),
+                n => ExecConfig::naive(&schema).with_parallelism(Parallelism::Threads(n)),
+            };
+            let rng = GameRng::new(1).for_tick(0);
+            let runs = vec![ScriptRun {
+                plan: &plan,
+                acting_rows: vec![0, 1, 2],
+            }];
+            let (effects, _) = execute_tick(&table, &registry, &runs, &rng, &config).unwrap();
+            effects
+                .get(0, schema.attr_id("movevect_x").unwrap())
+                .unwrap()
+                .clone()
+        };
+        let serial = run(1);
+        assert_eq!(serial, Value::Float(1e16), "serial fold is left-to-right");
+        for threads in [2usize, 3] {
+            assert_eq!(
+                run(threads),
+                serial,
+                "{threads} threads regrouped the float sum"
+            );
+        }
+    }
+
+    /// Serial emission order is *run-major* (all of run 0's rows, then all
+    /// of run 1's).  The parallel replay must interleave the shards' logs
+    /// per run — replaying whole shards back-to-back would fold effects from
+    /// different runs in the wrong order.
+    #[test]
+    fn cross_run_float_sums_reproduce_the_serial_fold_bitwise() {
+        use crate::config::Parallelism;
+        use sgl_lang::ast::{CmpOp, Cond};
+        use sgl_lang::builtins::EffectClause;
+
+        let mut registry = paper_registry();
+        registry.register_action(sgl_lang::builtins::ActionDef {
+            name: "Push".into(),
+            params: vec!["u".into(), "target".into()],
+            clauses: vec![EffectClause {
+                filter: Cond::cmp(CmpOp::Eq, Term::row("key"), Term::name("target")),
+                effects: vec![("movevect_x".into(), Term::unit("posx"))],
+            }],
+        });
+        let schema = paper_schema().into_shared();
+        let mut table = EnvTable::new(Arc::clone(&schema));
+        // Run 0 contributes +1e16 (row 0) and +1.0 (row 1); run 1
+        // contributes -1e16 (row 2).  Serial (run-major) order folds
+        // ((1e16 + 1) - 1e16) = 0.0; a shard-major replay at 2 threads
+        // would fold ((1e16 - 1e16) + 1) = 1.0.
+        for (key, posx) in [(0i64, 1e16), (1, 1.0), (2, -1e16)] {
+            let t = TupleBuilder::new(&schema)
+                .set("key", key)
+                .unwrap()
+                .set("posx", posx)
+                .unwrap()
+                .set("health", 10i64)
+                .unwrap()
+                .build();
+            table.insert(t).unwrap();
+        }
+        let plan = compile("main(u) { perform Push(u, 0); }", &registry);
+        let run = |threads: usize| -> Value {
+            let config = match threads {
+                0 | 1 => ExecConfig::naive(&schema),
+                n => ExecConfig::naive(&schema).with_parallelism(Parallelism::Threads(n)),
+            };
+            let rng = GameRng::new(1).for_tick(0);
+            let runs = vec![
+                ScriptRun {
+                    plan: &plan,
+                    acting_rows: vec![0, 1],
+                },
+                ScriptRun {
+                    plan: &plan,
+                    acting_rows: vec![2],
+                },
+            ];
+            let (effects, _) = execute_tick(&table, &registry, &runs, &rng, &config).unwrap();
+            effects
+                .get(0, schema.attr_id("movevect_x").unwrap())
+                .unwrap()
+                .clone()
+        };
+        let serial = run(1);
+        assert_eq!(serial, Value::Float(0.0), "serial fold is run-major");
+        for threads in [2usize, 3] {
+            assert_eq!(run(threads), serial, "{threads} threads reordered runs");
+        }
+    }
+
+    #[test]
+    fn sharding_splits_rows_contiguously_and_exhaustively() {
+        let plan = LogicalPlan::Scan;
+        let runs = vec![
+            ScriptRun {
+                plan: &plan,
+                acting_rows: (0..10).collect(),
+            },
+            ScriptRun {
+                plan: &plan,
+                acting_rows: vec![100, 101, 102],
+            },
+        ];
+        let shards = shard_runs(&runs, 4);
+        assert_eq!(shards.len(), 4);
+        // Concatenating the shards reproduces each run's serial order.
+        for run_idx in 0..runs.len() {
+            let glued: Vec<u32> = shards
+                .iter()
+                .flat_map(|s| s[run_idx].acting_rows.iter().copied())
+                .collect();
+            assert_eq!(glued, runs[run_idx].acting_rows);
+        }
+        // Each run is balanced to within one row across the shards.
+        for run_idx in 0..runs.len() {
+            let sizes: Vec<usize> = shards
+                .iter()
+                .map(|s| s[run_idx].acting_rows.len())
+                .collect();
+            assert_eq!(sizes.iter().sum::<usize>(), runs[run_idx].acting_rows.len());
+            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(hi - lo <= 1, "{sizes:?}");
+        }
+    }
+
+    #[test]
+    fn call_fingerprints_are_length_delimited() {
+        let a = fingerprint_call("Count", &[ScriptValue::scalar(1i64)]);
+        assert_eq!(a, fingerprint_call("Count", &[ScriptValue::scalar(1i64)]));
+        assert_ne!(a, fingerprint_call("Count", &[ScriptValue::scalar(2i64)]));
+        assert_ne!(a, fingerprint_call("Count", &[ScriptValue::scalar(1.0)]));
+        assert_ne!(a, fingerprint_call("Coun", &[ScriptValue::scalar(1i64)]));
+        // Record boundaries are delimited: {ab}{c} differs from {a}{bc}.
+        let r1 = fingerprint_call(
+            "f",
+            &[ScriptValue::record(vec![
+                ("ab".into(), Value::Int(1)),
+                ("c".into(), Value::Int(2)),
+            ])],
+        );
+        let r2 = fingerprint_call(
+            "f",
+            &[ScriptValue::record(vec![
+                ("a".into(), Value::Int(1)),
+                ("bc".into(), Value::Int(2)),
+            ])],
+        );
+        assert_ne!(r1, r2);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod interp;
 pub mod planner;
 
 pub use config::{
-    ExecConfig, ExecMode, MaintenancePolicy, RebuildBackend, SpatialAttrs, TickStats,
+    ExecConfig, ExecMode, MaintenancePolicy, Parallelism, RebuildBackend, SpatialAttrs, TickStats,
 };
 pub use error::{ExecError, Result};
 pub use filter::{analyze_filter, FilterAnalysis};

@@ -78,12 +78,12 @@ impl LayeredAggTree {
     pub fn build(entries: &[AggEntry], channels: usize, cascading: bool) -> LayeredAggTree {
         let n = entries.len();
         let mut order: Vec<u32> = (0..n as u32).collect();
+        // nan_last_cmp: a NaN coordinate (of either sign) must not panic the
+        // sort or produce an inconsistent order (`unwrap_or(Equal)` is not a
+        // total order), and must sort *after* every ordinary number so the
+        // `lower_bound`/`upper_bound` searches stay monotonic.
         order.sort_by(|a, b| {
-            entries[*a as usize]
-                .point
-                .x
-                .partial_cmp(&entries[*b as usize].point.x)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            crate::nan_last_cmp(entries[*a as usize].point.x, entries[*b as usize].point.x)
         });
         let xs: Vec<f64> = order.iter().map(|i| entries[*i as usize].point.x).collect();
         let mut tree = LayeredAggTree {
@@ -199,7 +199,13 @@ impl LayeredAggTree {
             }
         };
         while li < lys.len() || ri < rys.len() {
-            let take_left = ri >= rys.len() || (li < lys.len() && lys[li] <= rys[ri]);
+            // nan_last_cmp keeps the merged list sorted even under NaN ys of
+            // either sign; the naive `<=` stalls on NaN and interleaves
+            // finite values out of order, after which the prefix binary
+            // searches skip them.
+            let take_left = ri >= rys.len()
+                || (li < lys.len()
+                    && crate::nan_last_cmp(lys[li], rys[ri]) != std::cmp::Ordering::Greater);
             if take_left {
                 push_from(
                     lnode,

@@ -33,11 +33,24 @@ struct Key {
 }
 
 impl Key {
+    /// Equality under the same total order as [`Key::less_than`] — the
+    /// derived `PartialEq` compares coordinates with IEEE `==`, under which a
+    /// NaN-keyed entry could never be found again for removal or update.
+    fn same_as(&self, other: &Key) -> bool {
+        crate::nan_last_cmp(self.coord, other.coord) == std::cmp::Ordering::Equal
+            && self.id == other.id
+    }
+
     fn less_than(&self, other: &Key) -> bool {
-        match self.coord.partial_cmp(&other.coord) {
-            Some(std::cmp::Ordering::Less) => true,
-            Some(std::cmp::Ordering::Greater) => false,
-            _ => self.id < other.id,
+        // nan_last_cmp: with the old partial_cmp fallback a NaN coordinate
+        // compared "equal" to every coordinate, which is not transitive and
+        // silently corrupts the treap's search invariant.  NaNs of either
+        // sign order after every ordinary number, so the query pruning below
+        // (which treats NaN as "beyond hi") agrees with the tree shape.
+        match crate::nan_last_cmp(self.coord, other.coord) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.id < other.id,
         }
     }
 }
@@ -287,7 +300,7 @@ impl DynamicAggIndex {
         match tree {
             None => (None, false),
             Some(mut t) => {
-                if t.key == *key {
+                if t.key.same_as(key) {
                     let merged = Self::merge(t.left.take(), t.right.take());
                     (merged, true)
                 } else if key.less_than(&t.key) {
@@ -344,7 +357,7 @@ impl DynamicAggIndex {
             match node {
                 None => false,
                 Some(t) => {
-                    let found = if t.key == *key {
+                    let found = if t.key.same_as(key) {
                         t.value = value;
                         true
                     } else if key.less_than(&t.key) {
@@ -374,9 +387,13 @@ impl DynamicAggIndex {
 
     fn query_node(node: Option<&Node>, lo: f64, hi: f64, out: &mut RangeSummary) {
         let Some(node) = node else { return };
+        // A NaN key never matches `[lo, hi]`; in the `nan_last_cmp` tree
+        // order it sits above every ordinary number, so treat it like
+        // `coord > hi` (without the guard, both IEEE comparisons are false
+        // and the NaN node would be absorbed as if it were in range).
         if node.key.coord < lo {
             Self::query_node(node.right.as_deref(), lo, hi, out);
-        } else if node.key.coord > hi {
+        } else if node.key.coord.is_nan() || node.key.coord > hi {
             Self::query_node(node.left.as_deref(), lo, hi, out);
         } else {
             // Node is inside the range: its right-left / left-right frontier

@@ -357,6 +357,14 @@ impl DynamicAggGrid {
 
     fn insert_row(&mut self, row: IndexRow) {
         debug_assert_eq!(row.values.len(), self.channels);
+        // Quarantine non-finite positions: a NaN coordinate casts to cell 0,
+        // where it would match any rectangle covering that cell (the
+        // reference filter `|dx| ≤ r ∧ |dy| ≤ r` never matches NaN).  The row
+        // stays in the authoritative id map so deltas can still find it.
+        if !row.point.x.is_finite() || !row.point.y.is_finite() {
+            self.rows.insert(row.id, (row.point, row.values));
+            return;
+        }
         let key = self.cell_of(&row.point);
         self.grow_bounds(key);
         self.rows.insert(row.id, (row.point, row.values.clone()));
@@ -373,6 +381,10 @@ impl DynamicAggGrid {
         let Some((point, _)) = self.rows.remove(&id) else {
             return false;
         };
+        if !point.x.is_finite() || !point.y.is_finite() {
+            // Quarantined row: it was never placed in a cell.
+            return true;
+        }
         let key = self.cell_of(&point);
         let channels = self.channels;
         if let Some(cell) = self.cells.get_mut(&key) {

@@ -66,7 +66,10 @@ impl KdTree {
             } else {
                 (pa.y, pb.y)
             };
-            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+            // nan_last_cmp: NaN coordinates need a consistent ordering — the
+            // `unwrap_or(Equal)` fallback was not transitive and could build
+            // a tree whose invariants don't hold.
+            crate::nan_last_cmp(ka, kb)
         });
         let id = ids[mid];
         let node_idx = self.nodes.len() as i32;
@@ -116,7 +119,10 @@ impl KdTree {
         let node = &self.nodes[node_idx as usize];
         let p = &self.points[node.id as usize];
         let d2 = query.dist2(p);
-        if accept(node.id) && best.is_none_or(|(_, bd)| d2 < bd) {
+        // A NaN distance (NaN point coordinates) must never become the best
+        // candidate: once stored it would win every subsequent `d2 < bd`
+        // comparison and shadow all finite neighbours.
+        if accept(node.id) && !d2.is_nan() && best.is_none_or(|(_, bd)| d2 < bd) {
             *best = Some((node.id, d2));
         }
         let diff = if node.axis == 0 {
@@ -131,8 +137,10 @@ impl KdTree {
         };
         self.search(near, query, accept, best);
         // Only descend into the far side if the splitting plane is closer than
-        // the best distance found so far (or nothing was found yet).
-        if best.is_none_or(|(_, bd)| diff * diff < bd) {
+        // the best distance found so far (or nothing was found yet).  A NaN
+        // splitting coordinate carries no pruning information: descend both
+        // sides rather than hide finite points below it.
+        if diff.is_nan() || best.is_none_or(|(_, bd)| diff * diff < bd) {
             self.search(far, query, accept, best);
         }
     }
@@ -167,10 +175,12 @@ impl KdTree {
         } else {
             (p.y, rect.y_min, rect.y_max)
         };
-        if lo <= coord {
+        // A NaN splitting coordinate fails both comparisons; descend both
+        // sides so finite points below it stay reachable.
+        if coord.is_nan() || lo <= coord {
             self.range_search(node.left, query, r2, rect, out);
         }
-        if coord <= hi {
+        if coord.is_nan() || coord <= hi {
             self.range_search(node.right, query, r2, rect, out);
         }
     }
@@ -204,7 +214,7 @@ mod tests {
             .enumerate()
             .filter(|(i, _)| accept(*i as u32))
             .map(|(i, p)| (i as u32, q.dist2(p)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     #[test]

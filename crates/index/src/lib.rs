@@ -52,6 +52,23 @@ pub mod segtree;
 pub mod sweepline;
 pub mod traits;
 
+/// Total order on `f64` placing every NaN — of either sign — after all
+/// ordinary numbers.
+///
+/// `f64::total_cmp` alone is not enough for the index structures: it sorts
+/// negative NaN *before* `-inf`, while the query-time binary searches and
+/// IEEE comparisons all assume that never-matching NaN entries sit at the
+/// *end* of a sorted run (`v < bound` and `v <= bound` must be monotonic
+/// false-suffix predicates).
+pub fn nan_last_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("neither operand is NaN"),
+    }
+}
+
 /// A point in the plane (unit position).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point2 {

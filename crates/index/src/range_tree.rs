@@ -36,12 +36,11 @@ impl RangeTree2D {
     pub fn build(points: &[Point2]) -> RangeTree2D {
         let n = points.len();
         let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_by(|a, b| {
-            points[*a as usize]
-                .x
-                .partial_cmp(&points[*b as usize].x)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // nan_last_cmp: keep a consistent order under NaN coordinates of
+        // either sign (the `unwrap_or(Equal)` fallback was not a total
+        // order, and total_cmp would sort negative NaN *first*, breaking the
+        // partition_point searches).
+        order.sort_by(|a, b| crate::nan_last_cmp(points[*a as usize].x, points[*b as usize].x));
         let xs: Vec<f64> = order.iter().map(|i| points[*i as usize].x).collect();
         let mut tree = RangeTree2D {
             points: points.to_vec(),
@@ -94,7 +93,12 @@ impl RangeTree2D {
         let mut ys = Vec::with_capacity(lids.len() + rids.len());
         let (mut li, mut ri) = (0usize, 0usize);
         while li < lids.len() || ri < rids.len() {
-            let take_left = ri >= rids.len() || (li < lids.len() && lys[li] <= rys[ri]);
+            // nan_last_cmp keeps the merged list sorted even under NaN ys of
+            // either sign (the naive `<=` stalls on NaN and breaks the
+            // binary searches below).
+            let take_left = ri >= rids.len()
+                || (li < lids.len()
+                    && crate::nan_last_cmp(lys[li], rys[ri]) != std::cmp::Ordering::Greater);
             if take_left {
                 ids.push(lids[li]);
                 ys.push(lys[li]);

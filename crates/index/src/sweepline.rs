@@ -51,48 +51,49 @@ pub fn sweep_min_max(
     }
     let minimize = kind == SweepKind::Min;
 
-    // Rank data points by x so each occupies one segment-tree leaf.
-    let mut x_order: Vec<u32> = (0..data.len() as u32).collect();
-    x_order.sort_by(|a, b| {
-        data[*a as usize]
-            .x
-            .partial_cmp(&data[*b as usize].x)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // A data point with a NaN coordinate (of either sign) satisfies no band
+    // test (`|dx| ≤ rx ∧ |dy| ≤ ry` is false under NaN), so exclude it from
+    // the event lists outright — inside them it would break the sorted-run
+    // invariants the sweep and its binary searches rely on.
+    let live: Vec<u32> = (0..data.len() as u32)
+        .filter(|i| {
+            let p = &data[*i as usize];
+            !p.x.is_nan() && !p.y.is_nan()
+        })
+        .collect();
+
+    // Rank live data points by x so each occupies one segment-tree leaf.
+    let mut x_order = live.clone();
+    x_order.sort_by(|a, b| crate::nan_last_cmp(data[*a as usize].x, data[*b as usize].x));
     let sorted_x: Vec<f64> = x_order.iter().map(|i| data[*i as usize].x).collect();
-    // rank_of[data index] = leaf position.
+    // rank_of[data index] = leaf position (only assigned for live points,
+    // which are the only ones the event lists can activate).
     let mut rank_of = vec![0usize; data.len()];
     for (rank, id) in x_order.iter().enumerate() {
         rank_of[*id as usize] = rank;
     }
 
     // Enter events (y - ry) and exit events (y + ry), both sorted ascending.
-    let mut enter: Vec<u32> = (0..data.len() as u32).collect();
-    enter.sort_by(|a, b| {
-        (data[*a as usize].y - ry)
-            .partial_cmp(&(data[*b as usize].y - ry))
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    let mut exit: Vec<u32> = (0..data.len() as u32).collect();
-    exit.sort_by(|a, b| {
-        (data[*a as usize].y + ry)
-            .partial_cmp(&(data[*b as usize].y + ry))
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    let mut enter = live.clone();
+    enter.sort_by(|a, b| crate::nan_last_cmp(data[*a as usize].y - ry, data[*b as usize].y - ry));
+    let mut exit = live;
+    exit.sort_by(|a, b| crate::nan_last_cmp(data[*a as usize].y + ry, data[*b as usize].y + ry));
 
     // Queries sorted by y.
     let mut q_order: Vec<u32> = (0..queries.len() as u32).collect();
-    q_order.sort_by(|a, b| {
-        queries[*a as usize]
-            .y
-            .partial_cmp(&queries[*b as usize].y)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    q_order.sort_by(|a, b| crate::nan_last_cmp(queries[*a as usize].y, queries[*b as usize].y));
 
     let mut tree = MinMaxSegTree::new(data.len(), minimize);
     let (mut ei, mut xi) = (0usize, 0usize);
     for q_id in q_order {
         let q = &queries[q_id as usize];
+        // `|dx| ≤ rx ∧ |dy| ≤ ry` is false for every data point when a query
+        // coordinate is NaN; skip before touching the band state (the band
+        // comparisons below would neither activate nor deactivate anything,
+        // leaving a stale active set to answer this query).
+        if q.x.is_nan() || q.y.is_nan() {
+            continue;
+        }
         // Activate every data point whose band start is at or below the query.
         while ei < enter.len() {
             let d = enter[ei] as usize;

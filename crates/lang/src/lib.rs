@@ -11,7 +11,7 @@
 //! This crate provides the front end:
 //!
 //! * [`lexer`] / [`parser`] — concrete syntax → [`ast`];
-//! * [`normalize`] — helper-function inlining and aggregate hoisting into the
+//! * [`mod@normalize`] — helper-function inlining and aggregate hoisting into the
 //!   normal form assumed by the optimizer (§5.1);
 //! * [`typecheck`] — attribute, arity and scoping checks for scripts and for
 //!   built-in definitions;

@@ -1,5 +1,6 @@
 //! An "epic" battle: thousands of knights, archers and healers per side,
-//! comparing naive and indexed execution on the same scenario.
+//! comparing naive and indexed execution on the same scenario, then
+//! sweeping the parallel executor's thread counts on the indexed engine.
 //!
 //! ```text
 //! cargo run --release --example epic_battle [units]
@@ -8,7 +9,7 @@
 use std::time::Instant;
 
 use sgl::battle::{BattleScenario, ScenarioConfig};
-use sgl::exec::ExecMode;
+use sgl::exec::{ExecConfig, ExecMode, Parallelism};
 
 fn main() {
     let units: usize = std::env::args()
@@ -46,6 +47,29 @@ fn main() {
             1.0 / per_tick,
             summary.exec.aggregate_probes / ticks,
             summary.deaths,
+        );
+    }
+
+    // Parallel tick execution: a pure performance knob — every thread count
+    // fights bit-for-bit the same battle (compare the digests below).
+    println!("\nparallel scaling (indexed engine):");
+    for threads in [1usize, 2, 4, 8] {
+        let parallelism = if threads == 1 {
+            Parallelism::Off
+        } else {
+            Parallelism::Threads(threads)
+        };
+        let mut sim = scenario.build_simulation(ExecMode::Indexed);
+        sim.set_exec_config(ExecConfig::indexed(&scenario.schema).with_parallelism(parallelism));
+        let ticks = 10;
+        let start = Instant::now();
+        sim.run(ticks).expect("battle runs");
+        let per_tick = start.elapsed().as_secs_f64() / ticks as f64;
+        println!(
+            "  {threads} thread(s): {:.3} s/tick ({:.1} ticks/s), digest {:016x}",
+            per_tick,
+            1.0 / per_tick,
+            sim.digest().hash,
         );
     }
 }

@@ -205,6 +205,78 @@ mod backend_equivalence {
         check_scenario(120, 777);
     }
 
+    /// The ISSUE-2 parallel-equivalence suite: the sharded executor must be
+    /// a pure performance knob — at 2 and 4 worker threads every maintenance
+    /// policy (and the naive baseline) produces **bit-identical**
+    /// `StateDigest`s to serial execution, tick for tick, on the same seeded
+    /// battles the backend suite uses.
+    mod parallel {
+        use super::*;
+        use sgl::exec::Parallelism;
+
+        fn check_parallel_scenario(units: usize, seed: u64) {
+            let scenario = BattleScenario::generate(ScenarioConfig {
+                units,
+                density: 0.02,
+                seed,
+                ..ScenarioConfig::default()
+            });
+            let schema = scenario.schema.clone();
+            let configs: Vec<(&'static str, ExecConfig)> = vec![
+                ("naive", ExecConfig::naive(&schema)),
+                ("rebuild", ExecConfig::indexed(&schema)),
+                (
+                    "rebuild/quadtree",
+                    ExecConfig::indexed(&schema).with_backend(RebuildBackend::QuadTree),
+                ),
+                (
+                    "incremental",
+                    ExecConfig::indexed(&schema).with_policy(MaintenancePolicy::Incremental),
+                ),
+                (
+                    "adaptive",
+                    ExecConfig::indexed(&schema).with_policy(MaintenancePolicy::adaptive()),
+                ),
+            ];
+            for (label, config) in configs {
+                let serial = digests_for(
+                    &scenario,
+                    config.with_parallelism(Parallelism::Off),
+                    &format!("{label}/serial"),
+                );
+                for threads in [2usize, 4] {
+                    let parallel = digests_for(
+                        &scenario,
+                        config.with_parallelism(Parallelism::Threads(threads)),
+                        &format!("{label}/{threads}-threads"),
+                    );
+                    for tick in 0..TICKS {
+                        assert_eq!(
+                            serial[tick], parallel[tick],
+                            "seed {seed}: {label} at {threads} threads diverged from serial \
+                             at tick {tick}"
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn scenario_one_parallel_matches_serial() {
+            check_parallel_scenario(60, 101);
+        }
+
+        #[test]
+        fn scenario_two_parallel_matches_serial() {
+            check_parallel_scenario(90, 2024);
+        }
+
+        #[test]
+        fn scenario_three_parallel_matches_serial() {
+            check_parallel_scenario(120, 777);
+        }
+    }
+
     /// The per-tick effect relations themselves (not just the resulting
     /// state) must be identical across backends.
     #[test]
