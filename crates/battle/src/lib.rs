@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod formations;
+pub mod presets;
 pub mod scenario;
 pub mod skeletons;
 
@@ -26,6 +27,7 @@ use sgl_core::lang::builtins::{
 };
 
 pub use formations::Formation;
+pub use presets::{PresetScenario, HOLD_SCRIPT};
 pub use scenario::{BattleScenario, ScenarioConfig, UnitMix};
 pub use skeletons::{SkeletonConfig, SkeletonScenario, MARCH_SCRIPT};
 

@@ -154,12 +154,15 @@ impl BattleScenario {
     /// Build a ready-to-run simulation for this scenario in the given
     /// execution mode, registering the knight/archer/healer scripts.
     pub fn build_simulation(&self, mode: ExecMode) -> Simulation {
+        self.build_with_config(ExecConfig::for_mode(mode, &self.schema))
+    }
+
+    /// Build a simulation under an explicit executor configuration (the
+    /// conformance and golden-digest suites sweep the full policy × backend
+    /// × parallelism lattice).
+    pub fn build_with_config(&self, exec: ExecConfig) -> Simulation {
         let registry = battle_registry();
         let mechanics = battle_mechanics(&self.schema, self.world_side, self.config.resurrect);
-        let exec = match mode {
-            ExecMode::Naive => ExecConfig::naive(&self.schema),
-            ExecMode::Indexed => ExecConfig::indexed(&self.schema),
-        };
         let unittype = self.schema.attr_id("unittype").expect("battle schema");
         GameBuilder::new(Arc::clone(&self.schema), registry, mechanics)
             .exec_config(exec)

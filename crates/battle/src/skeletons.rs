@@ -173,12 +173,15 @@ impl SkeletonScenario {
 
     /// Build a ready-to-run simulation in the given execution mode.
     pub fn build_simulation(&self, mode: ExecMode) -> Simulation {
+        self.build_with_config(ExecConfig::for_mode(mode, &self.schema))
+    }
+
+    /// Build a simulation under an explicit executor configuration (the
+    /// conformance and golden-digest suites sweep the full policy × backend
+    /// × parallelism lattice).
+    pub fn build_with_config(&self, exec: ExecConfig) -> Simulation {
         let registry = battle_registry();
         let mechanics = battle_mechanics(&self.schema, self.world_side, self.config.resurrect);
-        let exec = match mode {
-            ExecMode::Naive => ExecConfig::naive(&self.schema),
-            ExecMode::Indexed => ExecConfig::indexed(&self.schema),
-        };
         let player = self.schema.attr_id("player").expect("battle schema");
         GameBuilder::new(Arc::clone(&self.schema), registry, mechanics)
             .exec_config(exec)

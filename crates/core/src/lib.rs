@@ -39,6 +39,10 @@ pub struct CompiledScript {
     pub name: String,
     /// Result of the optimizer (plan + before/after statistics).
     pub optimized: Optimized,
+    /// The normalized script the plan was translated from — kept so the
+    /// simulation can also run it under the differential
+    /// `sgl_exec::ExecMode::Oracle` (tree-walking reference interpreter).
+    pub normal: sgl_lang::normalize::NormalScript,
     /// Type-check report (aggregate call sites, performs, nesting depth).
     pub check: CheckReport,
 }
@@ -100,6 +104,7 @@ pub fn compile_script_with(
     Ok(CompiledScript {
         name: name.to_string(),
         optimized,
+        normal,
         check,
     })
 }
@@ -167,7 +172,14 @@ impl GameBuilder {
         }
         let mut sim = Simulation::new(table, self.registry, self.mechanics, self.exec, self.seed);
         for (script, selector) in compiled {
-            sim.add_script(script.name.clone(), script.optimized.plan, selector);
+            // Keep the normalized AST alongside the plan so the simulation
+            // can switch into the differential oracle mode.
+            sim.add_script_with_source(
+                script.name.clone(),
+                script.optimized.plan,
+                script.normal,
+                selector,
+            );
         }
         Ok(sim)
     }

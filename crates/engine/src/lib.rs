@@ -39,9 +39,10 @@ use rustc_hash::FxHashMap;
 use sgl_algebra::LogicalPlan;
 use sgl_env::{AttrId, EnvTable, GameRng, PostProcessor, Value};
 use sgl_exec::{
-    execute_tick_planned, plan_registry, ExecConfig, IndexManager, MaintStats, Parallelism,
-    PlannedAggregate, ScriptRun, TickStats,
+    execute_tick_oracle, execute_tick_planned, plan_registry, ExecConfig, ExecMode, IndexManager,
+    MaintStats, OracleRun, Parallelism, PlannedAggregate, ScriptRun, TickStats,
 };
+use sgl_lang::normalize::NormalScript;
 use sgl_lang::Registry;
 
 pub use metrics::{PhaseTimings, RollingStats, ThroughputReport};
@@ -120,6 +121,11 @@ pub struct RegisteredScript {
     pub name: String,
     /// The optimized plan.
     pub plan: LogicalPlan,
+    /// The normalized script AST the plan was compiled from, when the caller
+    /// kept it (scripts registered through `GameBuilder` always carry it).
+    /// Required to run under [`ExecMode::Oracle`], which interprets the AST
+    /// directly instead of the plan.
+    pub normal: Option<NormalScript>,
     /// Which units run it.
     pub selector: UnitSelector,
 }
@@ -224,6 +230,25 @@ impl Simulation {
         self.scripts.push(RegisteredScript {
             name: name.into(),
             plan,
+            normal: None,
+            selector,
+        });
+    }
+
+    /// Register a script together with the normalized AST it was compiled
+    /// from, enabling the differential [`ExecMode::Oracle`] for this
+    /// simulation.  `GameBuilder` uses this for every compiled script.
+    pub fn add_script_with_source(
+        &mut self,
+        name: impl Into<String>,
+        plan: LogicalPlan,
+        normal: NormalScript,
+        selector: UnitSelector,
+    ) {
+        self.scripts.push(RegisteredScript {
+            name: name.into(),
+            plan,
+            normal: Some(normal),
             selector,
         });
     }
@@ -298,7 +323,7 @@ impl Simulation {
         let tick_rng = self.rng.for_tick(self.tick);
         // Assign acting units to scripts.
         let mut assigned: Vec<bool> = vec![false; self.table.len()];
-        let mut runs: Vec<ScriptRun<'_>> = Vec::with_capacity(self.scripts.len());
+        let mut acting: Vec<Vec<u32>> = Vec::with_capacity(self.scripts.len());
         for script in &self.scripts {
             let mut rows = Vec::new();
             for (row, taken) in assigned.iter_mut().enumerate() {
@@ -307,26 +332,52 @@ impl Simulation {
                     rows.push(row as u32);
                 }
             }
-            runs.push(ScriptRun {
-                plan: &script.plan,
-                acting_rows: rows,
-            });
+            acting.push(rows);
         }
 
         // Decision + action phases (including per-tick index building and,
         // on the first tick of a maintained policy, the initial structure
-        // build).
+        // build).  The oracle mode bypasses the plan executors entirely and
+        // interprets the registered scripts' normalized ASTs.
         let phase_start = Instant::now();
-        let (effects, mut exec_stats) = execute_tick_planned(
-            &self.table,
-            &self.registry,
-            &runs,
-            &tick_rng,
-            &self.exec_config,
-            &mut self.index_manager,
-            &self.planned,
-            &self.constants,
-        )?;
+        let (effects, mut exec_stats) = if self.exec_config.mode == ExecMode::Oracle {
+            let mut runs: Vec<OracleRun<'_>> = Vec::with_capacity(self.scripts.len());
+            for (script, rows) in self.scripts.iter().zip(acting) {
+                let normal = script.normal.as_ref().ok_or_else(|| {
+                    EngineError::Config(format!(
+                        "script `{}` was registered without its normalized AST; \
+                         the oracle interpreter needs the source — register it \
+                         through GameBuilder or Simulation::add_script_with_source",
+                        script.name
+                    ))
+                })?;
+                runs.push(OracleRun {
+                    script: normal,
+                    acting_rows: rows,
+                });
+            }
+            execute_tick_oracle(&self.table, &self.registry, &runs, &tick_rng)?
+        } else {
+            let runs: Vec<ScriptRun<'_>> = self
+                .scripts
+                .iter()
+                .zip(acting)
+                .map(|(script, rows)| ScriptRun {
+                    plan: &script.plan,
+                    acting_rows: rows,
+                })
+                .collect();
+            execute_tick_planned(
+                &self.table,
+                &self.registry,
+                &runs,
+                &tick_rng,
+                &self.exec_config,
+                &mut self.index_manager,
+                &self.planned,
+                &self.constants,
+            )?
+        };
         timings.exec = phase_start.elapsed();
 
         // Post-processing: apply non-positional effects.
@@ -690,6 +741,67 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn oracle_mode_reproduces_plan_execution_digests() {
+        use sgl_exec::ExecMode;
+        // Register the battle script with its normalized AST so the oracle
+        // can interpret it, then check tick-for-tick digest equality against
+        // naive and indexed plan execution.
+        let registry = paper_registry();
+        let src = r#"main(u) {
+            (let c = CountEnemiesInRange(u, 10))
+            if c > 3 then
+              perform MoveInDirection(u, u.posx - 5, u.posy);
+            else if c > 0 and u.cooldown = 0 then
+              perform FireAt(u, getNearestEnemy(u).key);
+            else
+              perform MoveInDirection(u, 25, 25);
+        }"#;
+        let script = parse_script(src).unwrap();
+        let normal = normalize(&script, &registry).unwrap();
+        let plan = optimize(translate(&normal), &registry).plan;
+
+        let build = |mode: ExecMode| {
+            let (schema, mut sim) = build_sim(26, true);
+            sim.clear_scripts();
+            sim.add_script_with_source("battle", plan.clone(), normal.clone(), UnitSelector::All);
+            sim.set_exec_config(ExecConfig::for_mode(mode, &schema));
+            sim
+        };
+        let mut oracle = build(ExecMode::Oracle);
+        let mut naive = build(ExecMode::Naive);
+        let mut indexed = build(ExecMode::Indexed);
+        for tick in 0..5 {
+            let report = oracle.step().unwrap();
+            naive.step().unwrap();
+            indexed.step().unwrap();
+            assert_eq!(
+                oracle.digest(),
+                naive.digest(),
+                "oracle vs naive, tick {tick}"
+            );
+            assert_eq!(
+                oracle.digest(),
+                indexed.digest(),
+                "oracle vs indexed, tick {tick}"
+            );
+            // The oracle never touches an index and never shares results.
+            assert_eq!(report.exec.index_probes, 0);
+            assert_eq!(report.exec.shared_hits, 0);
+            assert_eq!(report.exec.naive_scans, report.exec.aggregate_probes);
+        }
+    }
+
+    #[test]
+    fn oracle_mode_requires_script_sources() {
+        let (schema, mut sim) = build_sim(8, true);
+        // build_sim registers through add_script (plan only) — the oracle
+        // must refuse rather than silently falling back to the plan.
+        sim.set_exec_config(ExecConfig::oracle(&schema));
+        let err = sim.step().unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)), "{err}");
     }
 
     #[test]

@@ -163,7 +163,13 @@ pub fn eval_aggregate_scan(
             rank,
             outputs,
         } => {
-            let mut best: Option<(f64, usize)> = None;
+            // Reference tie-break: among rows with an equal rank the row
+            // with the **smallest key** wins.  The indexed strategies
+            // (kD-trees, maintained grids) reproduce exactly this rule, so
+            // argmin over duplicated positions is deterministic across every
+            // executor configuration.
+            let mut best: Option<(f64, i64, usize)> = None;
+            let schema = unit_ctx.schema;
             for (idx, row) in table.iter() {
                 let row_ctx = base.with_row(row);
                 if !eval_cond(&def.filter, &row_ctx, &mut no_aggs)? {
@@ -172,22 +178,20 @@ pub fn eval_aggregate_scan(
                 let r = eval_term(rank, &row_ctx, &mut no_aggs)?
                     .as_scalar()?
                     .as_f64()?;
+                let key = row.key(schema);
                 let better = match best {
                     None => true,
-                    Some((b, _)) => {
-                        if *minimize {
-                            r < b
-                        } else {
-                            r > b
-                        }
+                    Some((b, bkey, _)) => {
+                        let strictly = if *minimize { r < b } else { r > b };
+                        strictly || (r == b && key < bkey)
                     }
                 };
                 if better {
-                    best = Some((r, idx));
+                    best = Some((r, key, idx));
                 }
             }
             let fields = match best {
-                Some((_, idx)) => {
+                Some((_, _, idx)) => {
                     let row_ctx = base.with_row(table.row(idx));
                     outputs
                         .iter()
@@ -335,6 +339,43 @@ mod tests {
         let result = eval_call_scan(def, &call, &ctx, &table).unwrap();
         assert_eq!(result.field("key").unwrap(), &Value::Int(3));
         assert_eq!(result.field("posx").unwrap(), &Value::Float(3.0));
+    }
+
+    /// Regression (conformance seed 3): two candidate rows at the same
+    /// position tie on squared distance; the scan must pick the smallest
+    /// key, the rule every indexed strategy reproduces.
+    #[test]
+    fn argbest_rank_ties_resolve_to_the_smallest_key() {
+        let schema = paper_schema().into_shared();
+        let mut table = EnvTable::new(Arc::clone(&schema));
+        // Keys inserted out of order; rows 9 and 4 share one position.
+        for (key, player, x) in [(9i64, 1i64, 5.0), (4, 1, 5.0), (7, 0, 0.0)] {
+            let t = TupleBuilder::new(&schema)
+                .set("key", key)
+                .unwrap()
+                .set("player", player)
+                .unwrap()
+                .set("posx", x)
+                .unwrap()
+                .set("posy", 0.0)
+                .unwrap()
+                .set("health", 10i64)
+                .unwrap()
+                .build();
+            table.insert(t).unwrap();
+        }
+        let registry = paper_registry();
+        let rng = GameRng::new(1).for_tick(0);
+        let constants = registry.constants().clone();
+        let unit = table.row(2).clone(); // key 7, player 0 at the origin
+        let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+        let def = registry.aggregate("getNearestEnemy").unwrap();
+        let call = AggCall {
+            name: def.name.clone(),
+            args: vec![Term::name("u")],
+        };
+        let result = eval_call_scan(def, &call, &ctx, &table).unwrap();
+        assert_eq!(result.field("key").unwrap(), &Value::Int(4));
     }
 
     #[test]

@@ -11,6 +11,12 @@ pub enum ExecMode {
     /// Set-at-a-time evaluation through per-tick index structures
     /// (`O(n log n)` per tick) — the paper's contribution.
     Indexed,
+    /// The reference interpreter of the conformance suite: tree-walking
+    /// evaluation of the *normalized script AST* itself — no planner, no
+    /// optimizer, no indexes, no aggregate sharing, strictly serial (see
+    /// [`crate::oracle`]).  Deliberately the simplest possible execution so
+    /// every other configuration can be differentially tested against it.
+    Oracle,
 }
 
 /// How aggregate index structures are kept in sync with the environment
@@ -187,6 +193,34 @@ impl ExecConfig {
         }
     }
 
+    /// Configuration for the oracle interpreter (see [`crate::oracle`]):
+    /// tree-walking AST evaluation with every optimization switched off.
+    /// Always serial — the `SGL_PARALLELISM` default is deliberately ignored
+    /// so the oracle stays the one configuration with no knobs at all.
+    pub fn oracle(schema: &Schema) -> ExecConfig {
+        ExecConfig {
+            mode: ExecMode::Oracle,
+            spatial: SpatialAttrs::from_schema(schema),
+            cascading: false,
+            share_aggregates: false,
+            aoe_index: false,
+            policy: MaintenancePolicy::RebuildEachTick,
+            backend: RebuildBackend::LayeredTree,
+            parallelism: Parallelism::Off,
+        }
+    }
+
+    /// The preset configuration for an execution mode — the single mapping
+    /// every scenario builder uses, so adding a mode means adding one arm
+    /// here instead of one per call site.
+    pub fn for_mode(mode: ExecMode, schema: &Schema) -> ExecConfig {
+        match mode {
+            ExecMode::Naive => ExecConfig::naive(schema),
+            ExecMode::Indexed => ExecConfig::indexed(schema),
+            ExecMode::Oracle => ExecConfig::oracle(schema),
+        }
+    }
+
     /// Set the cross-tick maintenance policy.
     pub fn with_policy(mut self, policy: MaintenancePolicy) -> ExecConfig {
         self.policy = policy;
@@ -287,6 +321,11 @@ mod tests {
         assert!(!MaintenancePolicy::RebuildEachTick.is_dynamic());
         let quad = indexed.with_backend(RebuildBackend::QuadTree);
         assert_eq!(quad.backend, RebuildBackend::QuadTree);
+        let oracle = ExecConfig::oracle(&schema);
+        assert_eq!(oracle.mode, ExecMode::Oracle);
+        assert!(!oracle.cascading && !oracle.share_aggregates && !oracle.aoe_index);
+        // The oracle is serial even when SGL_PARALLELISM asks for threads.
+        assert_eq!(oracle.parallelism, Parallelism::Off);
     }
 
     #[test]

@@ -664,7 +664,14 @@ impl<'a> TickIndexes<'a> {
         if self.kd_trees.contains_key(&(sig, part_fp)) {
             return Ok(());
         }
-        let rows = self.partition_rows(sig, part_fp);
+        let mut rows = self.partition_rows(sig, part_fp);
+        // Local ids in ascending key order: the kD-tree breaks exact
+        // distance ties toward the smallest local id, which this ordering
+        // turns into the reference "smallest key wins" rule.  Cached keys:
+        // this runs per partition per rebuild, and the row fetch is not
+        // free enough to repeat O(n log n) times.
+        let schema = self.table.schema();
+        rows.sort_by_cached_key(|r| self.table.row(*r as usize).key(schema));
         let mut points = Vec::with_capacity(rows.len());
         for r in &rows {
             points.push(self.point_of(*r as usize)?);
@@ -828,16 +835,23 @@ impl<'a> TickIndexes<'a> {
             ctx.unit.get_f64(self.spatial.x).map_err(ExecError::from)?,
             ctx.unit.get_f64(self.spatial.y).map_err(ExecError::from)?,
         );
-        // Best candidate as (squared distance, unit key).
+        // Best candidate as (squared distance, unit key).  Across
+        // partitions/grids, exact ties prefer the smaller key — the same
+        // rule the structures apply internally and the scan reference uses,
+        // so argmin over duplicated positions never depends on which
+        // partition is probed first.
         let mut best: Option<(f64, i64)> = None;
+        let offer = |best: &mut Option<(f64, i64)>, d2: f64, key: i64| {
+            if best.is_none_or(|(bd, bkey)| d2 < bd || (d2 == bd && key < bkey)) {
+                *best = Some((d2, key));
+            }
+        };
 
         if let Some(state) = self.maintained(&planned.def.name) {
             use sgl_index::traits::SpatialIndex;
             for grid in Self::matching_grids(state, &required) {
                 if let Some((id, d2)) = grid.probe_nearest(&query) {
-                    if best.is_none_or(|(bd, _)| d2 < bd) {
-                        best = Some((d2, id as i64));
-                    }
+                    offer(&mut best, d2, id as i64);
                 }
             }
             self.stats.maintained_probes += 1;
@@ -851,10 +865,9 @@ impl<'a> TickIndexes<'a> {
                 self.ensure_kd_tree(sig, part_fp)?;
                 let (tree, rows) = self.kd_trees.get(&(sig, part_fp)).expect("just ensured");
                 if let Some((local_id, d2)) = tree.nearest(&query) {
-                    if best.is_none_or(|(bd, _)| d2 < bd) {
-                        let row = rows[local_id as usize] as usize;
-                        best = Some((d2, self.table.row(row).key(self.table.schema())));
-                    }
+                    let row = rows[local_id as usize] as usize;
+                    let key = self.table.row(row).key(self.table.schema());
+                    offer(&mut best, d2, key);
                 }
             }
         }

@@ -22,6 +22,7 @@ pub mod error;
 pub mod filter;
 pub mod indexes;
 pub mod interp;
+pub mod oracle;
 pub mod planner;
 
 pub use config::{
@@ -31,4 +32,5 @@ pub use error::{ExecError, Result};
 pub use filter::{analyze_filter, FilterAnalysis};
 pub use indexes::{fingerprint_values, IndexManager, MaintStats, TickIndexes};
 pub use interp::{execute_tick, execute_tick_planned, execute_tick_with, plan_registry, ScriptRun};
+pub use oracle::{execute_tick_oracle, OracleRun};
 pub use planner::{plan_aggregate, AggStrategy, PlannedAggregate};

@@ -400,6 +400,24 @@ impl DynamicAggGrid {
         }
     }
 
+    /// Full scan over the authoritative row set — the fallback when the
+    /// ring walk would probe more empty cell coordinates than a scan costs.
+    /// Matches the ring search exactly: quarantined (non-finite) rows never
+    /// win, and exact distance ties resolve to the smallest id.
+    fn brute_nearest(&self, query: &Point2) -> Option<(u64, f64)> {
+        let mut best: Option<(u64, f64)> = None;
+        for (&id, (point, _)) in &self.rows {
+            if !point.x.is_finite() || !point.y.is_finite() {
+                continue;
+            }
+            let d2 = query.dist2(point);
+            if best.is_none_or(|(bid, bd)| d2 < bd || (d2 == bd && id < bid)) {
+                best = Some((id, d2));
+            }
+        }
+        best
+    }
+
     /// Visit every cell overlapping `rect`; the callback receives the cell
     /// and whether the cell square is fully contained in the rectangle.
     /// Chooses between a coordinate sweep and a full cell-map scan by
@@ -466,8 +484,18 @@ impl AggIndex for DynamicAggGrid {
                 hi.x = hi.x.max(r.point.x);
                 hi.y = hi.y.max(r.point.y);
             }
-            let side = (hi.x - lo.x).max(hi.y - lo.y).max(1e-6);
-            self.cell = (side / (rows.len() as f64).sqrt()).max(1e-6);
+            let side = (hi.x - lo.x).max(hi.y - lo.y);
+            // A degenerate bounding box (single row, or every row stacked on
+            // one point) must not produce a microscopic cell: rows that
+            // later drift apart under incremental maintenance would land
+            // millions of cells away, and every ring search would crawl
+            // through the gap.  (Found by the conformance suite: a
+            // one-knight partition whose knight then marched across the map.)
+            self.cell = if side > 1e-9 {
+                (side / (rows.len() as f64).sqrt()).max(1e-6)
+            } else {
+                1.0
+            };
         }
         for row in rows {
             self.insert_row(row.clone());
@@ -584,23 +612,41 @@ impl SpatialIndex for DynamicAggGrid {
             .max()
             .unwrap_or(0);
         let mut best: Option<(u64, f64)> = None;
+        // Exact distance ties resolve to the smallest id — the same rule as
+        // `KdTree::nearest`, so every nearest-neighbour structure agrees
+        // with the scan-based reference semantics on duplicated positions.
         let consider = |cell: &DynCell, best: &mut Option<(u64, f64)>| {
             for row in &cell.rows {
                 let d2 = query.dist2(&row.point);
-                if best.is_none_or(|(_, bd)| d2 < bd) {
+                if best.is_none_or(|(bid, bd)| d2 < bd || (d2 == bd && row.id < bid)) {
                     *best = Some((row.id, d2));
                 }
             }
         };
+        // The ring walk probes cell *coordinates*, most of which are empty
+        // when the occupancy is sparse relative to the bounds (e.g. two
+        // clusters far apart, or bounds left loose by removals).  Cap the
+        // wasted lookups at a small multiple of the occupied-cell count and
+        // fall back to brute force over the rows beyond that — O(rows),
+        // which is exactly what the walk was trying to beat, so the probe
+        // is never *worse* than a scan by more than a constant factor.
+        let mut lookup_budget = 4 * self.cells.len() + 64;
         for ring in 0..=max_ring {
             // Any point in a cell at Chebyshev cell-distance `ring` is at
-            // least `(ring - 1) * cell` away from the query point.
+            // least `(ring - 1) * cell` away from the query point.  Strict
+            // `<`: a later-ring point at *exactly* the best distance may
+            // still win the smaller-id tie-break.
             if let Some((_, bd)) = best {
                 let reach = (ring - 1).max(0) as f64 * self.cell;
-                if bd <= reach * reach {
+                if bd < reach * reach {
                     break;
                 }
             }
+            let perimeter = if ring == 0 { 1 } else { 8 * ring as usize };
+            if perimeter > lookup_budget {
+                return self.brute_nearest(query);
+            }
+            lookup_budget -= perimeter;
             if ring == 0 {
                 if let Some(cell) = self.cells.get(&qc) {
                     consider(cell, &mut best);
@@ -664,6 +710,35 @@ mod dynamic_tests {
             }
         }
         acc
+    }
+
+    /// Regression (conformance seed 3, stacked layout): exactly duplicated
+    /// positions tie on distance; the winner must be the smallest id under
+    /// every insertion order and ring-search path, matching the scan-based
+    /// reference semantics.
+    #[test]
+    fn nearest_ties_resolve_to_the_smallest_id() {
+        let stacked = Point2::new(21.057808, 34.255306);
+        // Ids deliberately inserted out of order.
+        let rows = vec![
+            IndexRow::new(46, stacked, vec![]),
+            IndexRow::new(44, stacked, vec![]),
+            IndexRow::new(42, Point2::new(23.018062, 24.096183), vec![]),
+        ];
+        let mut grid = DynamicAggGrid::new(0.0, 0);
+        grid.rebuild(&rows);
+        let q = Point2::new(29.412077, 34.638682);
+        let (id, _) = grid.probe_nearest(&q).unwrap();
+        assert_eq!(id, 44, "tie must go to the smallest id");
+        // Mirror tie across cells: equidistant points in different cells.
+        let rows = vec![
+            IndexRow::new(9, Point2::new(10.0, 0.0), vec![]),
+            IndexRow::new(3, Point2::new(-10.0, 0.0), vec![]),
+        ];
+        let mut grid = DynamicAggGrid::new(4.0, 0);
+        grid.rebuild(&rows);
+        let (id, _) = grid.probe_nearest(&Point2::new(0.0, 0.0)).unwrap();
+        assert_eq!(id, 3);
     }
 
     #[test]

@@ -90,12 +90,19 @@ impl KdTree {
 
     /// Nearest point to `query` (by Euclidean distance).  Returns
     /// `(point id, squared distance)`.
+    ///
+    /// Exact distance ties resolve to the **smallest point id** — callers
+    /// that need reference semantics (argmin ties go to the first candidate
+    /// in a canonical order) get them by handing `build` the points in that
+    /// order.  Without the rule, duplicate positions would make the winner
+    /// depend on tree shape, which the conformance suite observes as a
+    /// divergence from the scan-based oracle.
     pub fn nearest(&self, query: &Point2) -> Option<(u32, f64)> {
         self.nearest_filtered(query, |_| true)
     }
 
     /// Nearest point satisfying the predicate (e.g. "not the unit itself",
-    /// "armor below my attack").
+    /// "armor below my attack").  Ties resolve as in [`KdTree::nearest`].
     pub fn nearest_filtered<F: Fn(u32) -> bool>(
         &self,
         query: &Point2,
@@ -121,8 +128,12 @@ impl KdTree {
         let d2 = query.dist2(p);
         // A NaN distance (NaN point coordinates) must never become the best
         // candidate: once stored it would win every subsequent `d2 < bd`
-        // comparison and shadow all finite neighbours.
-        if accept(node.id) && !d2.is_nan() && best.is_none_or(|(_, bd)| d2 < bd) {
+        // comparison and shadow all finite neighbours.  Exact ties prefer
+        // the smaller id (see `nearest`).
+        if accept(node.id)
+            && !d2.is_nan()
+            && best.is_none_or(|(bid, bd)| d2 < bd || (d2 == bd && node.id < bid))
+        {
             *best = Some((node.id, d2));
         }
         let diff = if node.axis == 0 {
@@ -136,11 +147,13 @@ impl KdTree {
             (node.right, node.left)
         };
         self.search(near, query, accept, best);
-        // Only descend into the far side if the splitting plane is closer than
-        // the best distance found so far (or nothing was found yet).  A NaN
-        // splitting coordinate carries no pruning information: descend both
-        // sides rather than hide finite points below it.
-        if diff.is_nan() || best.is_none_or(|(_, bd)| diff * diff < bd) {
+        // Only descend into the far side if the splitting plane is at most
+        // the best distance found so far (or nothing was found yet).  `<=`
+        // rather than `<`: a far-side point at *exactly* the best distance
+        // may still win the smaller-id tie-break.  A NaN splitting
+        // coordinate carries no pruning information: descend both sides
+        // rather than hide finite points below it.
+        if diff.is_nan() || best.is_none_or(|(_, bd)| diff * diff <= bd) {
             self.search(far, query, accept, best);
         }
     }
@@ -287,6 +300,39 @@ mod tests {
             slow.sort_unstable();
             assert_eq!(fast, slow);
         }
+    }
+
+    /// Regression (conformance seed 3, stacked layout): two points at the
+    /// *same* position are equidistant from every query; the winner must be
+    /// the smallest id, as the scan-based reference semantics produce, not
+    /// whatever the tree shape happens to visit first.
+    #[test]
+    fn exact_distance_ties_resolve_to_the_smallest_id() {
+        // Many duplicates in shuffled insertion order, plus a decoy.
+        let stacked = Point2::new(21.057808, 34.255306);
+        let points = vec![
+            Point2::new(40.0, 40.0), // id 0: decoy, further away
+            stacked,                 // id 1
+            stacked,                 // id 2
+            stacked,                 // id 3
+        ];
+        let tree = KdTree::build(&points);
+        let q = Point2::new(29.412077, 34.638682);
+        let (id, _) = tree.nearest(&q).unwrap();
+        assert_eq!(id, 1, "tie must go to the smallest id");
+        // Filtered variant too (the "not myself" query).
+        let (id, _) = tree.nearest_filtered(&q, |i| i != 1).unwrap();
+        assert_eq!(id, 2);
+        // Symmetric tie across a split plane: two points mirrored around the
+        // query — equal distance, smallest id wins regardless of side.
+        let mirrored = vec![
+            Point2::new(10.0, 0.0),
+            Point2::new(-10.0, 0.0),
+            Point2::new(0.0, 25.0),
+        ];
+        let tree = KdTree::build(&mirrored);
+        let (id, _) = tree.nearest(&Point2::new(0.0, 0.0)).unwrap();
+        assert_eq!(id, 0);
     }
 
     #[test]

@@ -171,6 +171,36 @@ fn indent(out: &mut String, level: usize) {
     }
 }
 
+/// Does a branch need explicit `{ }` when printed in statement position?
+///
+/// * a `Seq` always does: the parser reads statements one at a time, so an
+///   unbraced two-statement branch would leak its tail into the enclosing
+///   sequence (and out of a `let`'s scope);
+/// * when an `else` follows, any branch that can *end* in an else-less `if`
+///   (an `if` or a `let` chain) must be braced, or the dangling `else` would
+///   re-attach to the inner `if` on re-parse.
+fn branch_needs_braces(action: &Action, else_follows: bool) -> bool {
+    match action {
+        Action::Seq(_) => true,
+        Action::Perform { .. } | Action::Nop => false,
+        Action::If { .. } | Action::Let { .. } => else_follows,
+    }
+}
+
+/// Print a branch/body statement, brace-wrapping it when leaving it bare
+/// would re-parse differently (see [`branch_needs_braces`]).
+fn write_branch(out: &mut String, action: &Action, level: usize, else_follows: bool) {
+    if branch_needs_braces(action, else_follows) {
+        indent(out, level);
+        let _ = writeln!(out, "{{");
+        write_action(out, action, level + 1);
+        indent(out, level);
+        let _ = writeln!(out, "}}");
+    } else {
+        write_action(out, action, level);
+    }
+}
+
 fn write_action(out: &mut String, action: &Action, level: usize) {
     match action {
         Action::Let { name, term, body } => {
@@ -178,7 +208,7 @@ fn write_action(out: &mut String, action: &Action, level: usize) {
             let _ = write!(out, "(let {name} = ");
             write_term(out, term);
             let _ = writeln!(out, ")");
-            write_action(out, body, level);
+            write_branch(out, body, level, false);
         }
         Action::Seq(items) => {
             for item in items {
@@ -190,11 +220,11 @@ fn write_action(out: &mut String, action: &Action, level: usize) {
             let _ = write!(out, "if ");
             write_cond(out, cond);
             let _ = writeln!(out, " then");
-            write_action(out, then, level + 1);
+            write_branch(out, then, level + 1, els.is_some());
             if let Some(e) = els {
                 indent(out, level);
                 let _ = writeln!(out, "else");
-                write_action(out, e, level + 1);
+                write_branch(out, e, level + 1, false);
             }
         }
         Action::Perform { name, args } => {
@@ -270,6 +300,96 @@ mod tests {
         let printed = script_to_string(&script);
         let reparsed = parse_script(&printed).unwrap();
         assert_eq!(script, reparsed);
+    }
+
+    /// Regression (found by the sgl-testkit conformance generator): a
+    /// multi-statement branch must print with braces — bare, its tail would
+    /// leak into the enclosing sequence on re-parse.
+    #[test]
+    fn seq_branches_round_trip_with_braces() {
+        let src = r#"
+            main(u) {
+              (let n = getNearestEnemy(u))
+              if u.health > 3 then {
+                perform FireAt(u, n.key);
+                perform MoveInDirection(u, u.posx, u.posy);
+              }
+              else
+                perform MoveInDirection(u, 0, 0);
+            }
+        "#;
+        let script = parse_script(src).unwrap();
+        assert_eq!(script.main.body.count_performs(), 3);
+        let printed = script_to_string(&script);
+        let reparsed = parse_script(&printed).unwrap();
+        assert_eq!(script, reparsed, "printed as:\n{printed}");
+    }
+
+    /// Regression (same sweep): a `let` whose body is a sequence must brace
+    /// the body, or the re-parse moves the tail out of the variable's scope.
+    #[test]
+    fn let_with_seq_body_round_trips() {
+        let src = r#"
+            main(u) {
+              (let n = getNearestEnemy(u)) {
+                perform FireAt(u, n.key);
+                perform FireAt(u, n.key);
+              }
+            }
+        "#;
+        let script = parse_script(src).unwrap();
+        let printed = script_to_string(&script);
+        let reparsed = parse_script(&printed).unwrap();
+        assert_eq!(script, reparsed, "printed as:\n{printed}");
+    }
+
+    /// Regression (same sweep): dangling else.  A then-branch ending in an
+    /// else-less `if` (possibly under a `let`) must be braced when the outer
+    /// `if` has an `else`, or the `else` re-attaches to the inner `if`.
+    #[test]
+    fn dangling_else_round_trips() {
+        use crate::ast::{Action, CmpOp, Cond, Term};
+        for inner in [
+            Action::If {
+                cond: Cond::cmp(CmpOp::Gt, Term::unit("health"), Term::int(5)),
+                then: Box::new(Action::Perform {
+                    name: "Heal".into(),
+                    args: vec![Term::name("u")],
+                }),
+                els: None,
+            },
+            Action::Let {
+                name: "x".into(),
+                term: Term::int(1),
+                body: Box::new(Action::If {
+                    cond: Cond::cmp(CmpOp::Gt, Term::name("x"), Term::int(0)),
+                    then: Box::new(Action::Perform {
+                        name: "Heal".into(),
+                        args: vec![Term::name("u")],
+                    }),
+                    els: None,
+                }),
+            },
+        ] {
+            let script = Script {
+                functions: vec![],
+                main: crate::ast::FunctionDef {
+                    name: "main".into(),
+                    params: vec!["u".into()],
+                    body: Action::If {
+                        cond: Cond::cmp(CmpOp::Eq, Term::unit("cooldown"), Term::int(0)),
+                        then: Box::new(inner),
+                        els: Some(Box::new(Action::Perform {
+                            name: "Heal".into(),
+                            args: vec![Term::name("u")],
+                        })),
+                    },
+                },
+            };
+            let printed = script_to_string(&script);
+            let reparsed = parse_script(&printed).unwrap();
+            assert_eq!(script, reparsed, "printed as:\n{printed}");
+        }
     }
 
     #[test]

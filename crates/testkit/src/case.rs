@@ -1,0 +1,144 @@
+//! One differential conformance case: a generated script over a generated
+//! world, runnable under any executor configuration.
+
+use sgl_battle::{battle_mechanics, battle_registry};
+use sgl_core::engine::{Simulation, StateDigest, UnitSelector};
+use sgl_core::env::EnvTable;
+use sgl_core::exec::ExecConfig;
+use sgl_core::GameBuilder;
+
+use crate::script_gen::{generate_script, script_source, ScriptGenConfig};
+use crate::world_gen::{generate_world, GeneratedWorld, WorldLayout, WorldSpec};
+use crate::TestRng;
+
+/// A `(script, world, seed)` triple of the conformance sweep.  Everything is
+/// derived from `seed`, so a failing case reproduces from the seed alone.
+#[derive(Debug, Clone)]
+pub struct ConformanceCase {
+    /// The driving seed.
+    pub seed: u64,
+    /// Pretty-printed SGL source of the generated script (the harness
+    /// re-enters through the parser on every build).
+    pub script_source: String,
+    /// The generated world.
+    pub world: GeneratedWorld,
+    /// Ticks to simulate and compare.
+    pub ticks: usize,
+    /// Whether dead units respawn.
+    pub resurrect: bool,
+}
+
+impl ConformanceCase {
+    /// Generate the case for a seed with the default size profile (worlds of
+    /// 3–80 units, 4–6 ticks — sized for the tier-1 budget; the generators
+    /// themselves support up to 2000 units for larger sweeps).
+    pub fn generate(seed: u64) -> ConformanceCase {
+        ConformanceCase::generate_sized(seed, 3, 80)
+    }
+
+    /// Generate the case for a seed with an explicit world-size range.
+    pub fn generate_sized(seed: u64, min_units: usize, max_units: usize) -> ConformanceCase {
+        let mut rng = TestRng::new(seed ^ 0xCA5E);
+        let script = generate_script(seed, ScriptGenConfig::default());
+        let layout = *rng.pick(&WorldLayout::ALL);
+        let units = rng.in_range(min_units.max(1), max_units.max(min_units.max(1)));
+        let world = generate_world(WorldSpec {
+            seed: seed.wrapping_mul(0x9E37_79B9).wrapping_add(17),
+            units,
+            layout,
+            wounded: rng.chance(1, 3),
+            single_player: rng.chance(1, 12),
+        });
+        ConformanceCase {
+            seed,
+            script_source: script_source(&script),
+            world,
+            ticks: rng.in_range(4, 6),
+            resurrect: rng.chance(2, 3),
+        }
+    }
+
+    /// Build a simulation of this case under the given configuration.
+    pub fn build(&self, config: ExecConfig) -> Simulation {
+        self.build_on(self.world.table.clone(), config)
+    }
+
+    /// Build a simulation over an explicit environment (used by the shrinker
+    /// to re-run the case on reduced worlds).  The table must use the battle
+    /// schema.
+    pub fn build_on(&self, table: EnvTable, config: ExecConfig) -> Simulation {
+        let registry = battle_registry();
+        let mechanics = battle_mechanics(&self.world.schema, self.world.world_side, self.resurrect);
+        GameBuilder::new(self.world.schema.clone(), registry, mechanics)
+            .exec_config(config)
+            .seed(self.seed)
+            .script("generated", &self.script_source, UnitSelector::All)
+            .build(table)
+            .expect("generated scripts compile")
+    }
+
+    /// Per-tick digests of this case under a configuration.
+    pub fn digests(&self, config: ExecConfig) -> Vec<StateDigest> {
+        self.digests_on(self.world.table.clone(), config)
+    }
+
+    /// Per-tick digests over an explicit starting environment.
+    pub fn digests_on(&self, table: EnvTable, config: ExecConfig) -> Vec<StateDigest> {
+        let mut sim = self.build_on(table, config);
+        (0..self.ticks)
+            .map(|tick| {
+                sim.step().unwrap_or_else(|e| {
+                    panic!(
+                        "seed {} tick {tick}: execution failed under {config:?}: {e}\n\
+                         script:\n{}",
+                        self.seed, self.script_source
+                    )
+                });
+                sim.digest()
+            })
+            .collect()
+    }
+
+    /// One-line description for progress output and reproducer dumps.
+    pub fn describe(&self) -> String {
+        format!(
+            "seed {} · {} units · {} layout · {} ticks · resurrect {}",
+            self.seed,
+            self.world.table.len(),
+            self.world.spec.layout.name(),
+            self.ticks,
+            self.resurrect
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_build_and_run_under_oracle_and_indexed() {
+        for seed in 0..4 {
+            let case = ConformanceCase::generate_sized(seed, 3, 24);
+            let oracle = case.digests(ExecConfig::oracle(&case.world.schema));
+            let indexed = case.digests(ExecConfig::indexed(&case.world.schema));
+            assert_eq!(oracle.len(), case.ticks);
+            assert_eq!(
+                oracle,
+                indexed,
+                "{}\nscript:\n{}",
+                case.describe(),
+                case.script_source
+            );
+        }
+    }
+
+    #[test]
+    fn case_generation_is_deterministic() {
+        let a = ConformanceCase::generate(3);
+        let b = ConformanceCase::generate(3);
+        assert_eq!(a.script_source, b.script_source);
+        assert_eq!(a.world.spec, b.world.spec);
+        assert_eq!(a.ticks, b.ticks);
+    }
+}

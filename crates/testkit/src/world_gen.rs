@@ -1,0 +1,309 @@
+//! Seeded generation of initial environments with adversarial layouts.
+//!
+//! Index structures earn their keep on benign uniform worlds; they *break*
+//! on the degenerate ones — every point on one line (kD-tree splits
+//! collapse), exactly duplicated positions (tie-breaking in sorts and
+//! sweeps), coordinates far from the origin (float cancellation in
+//! sum-of-squares accumulators).  The world generator therefore samples
+//! layouts rather than just positions.
+
+use std::sync::Arc;
+
+use sgl_battle::{battle_schema, UnitKind};
+use sgl_core::env::{EnvTable, Schema, TupleBuilder};
+
+use crate::TestRng;
+
+/// Spatial arrangement of a generated world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorldLayout {
+    /// Uniform random positions over the whole world (the §6 setup).
+    Uniform,
+    /// A few dense clusters (formation-like hot spots).
+    Clustered,
+    /// Every unit exactly on one line — degenerate for spatial splits.
+    Collinear,
+    /// Units stacked on a handful of *exactly* duplicated positions.
+    Stacked,
+    /// Extreme-but-finite coordinates: a large world with units pressed
+    /// into its corners and edges.
+    Extreme,
+}
+
+impl WorldLayout {
+    /// All layouts, for sweeps.
+    pub const ALL: [WorldLayout; 5] = [
+        WorldLayout::Uniform,
+        WorldLayout::Clustered,
+        WorldLayout::Collinear,
+        WorldLayout::Stacked,
+        WorldLayout::Extreme,
+    ];
+
+    /// Short name for reproducer dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorldLayout::Uniform => "uniform",
+            WorldLayout::Clustered => "clustered",
+            WorldLayout::Collinear => "collinear",
+            WorldLayout::Stacked => "stacked",
+            WorldLayout::Extreme => "extreme",
+        }
+    }
+}
+
+/// Parameters of one generated world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldSpec {
+    /// Placement seed.
+    pub seed: u64,
+    /// Unit count (the generator supports 1..=2000).
+    pub units: usize,
+    /// Spatial arrangement.
+    pub layout: WorldLayout,
+    /// Start some units below full health.
+    pub wounded: bool,
+    /// Degenerate single-player world (every enemy aggregate is empty).
+    pub single_player: bool,
+}
+
+/// A generated initial environment over the battle schema.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorld {
+    /// Shared battle schema.
+    pub schema: Arc<Schema>,
+    /// The initial environment.
+    pub table: EnvTable,
+    /// World side length (movement clamps to `[0, side]²`).
+    pub world_side: f64,
+    /// The spec this world was generated from.
+    pub spec: WorldSpec,
+}
+
+/// Generate a world from its spec (a pure function of the spec).
+pub fn generate_world(spec: WorldSpec) -> GeneratedWorld {
+    let units = spec.units.clamp(1, 2000);
+    let mut rng = TestRng::new(spec.seed ^ 0x0B0D_1E50);
+    let schema = battle_schema().into_shared();
+    let mut table = EnvTable::new(Arc::clone(&schema));
+
+    let side: f64 = match spec.layout {
+        WorldLayout::Extreme => 2000.0,
+        WorldLayout::Stacked => 48.0,
+        _ => ((units as f64) / 0.01).sqrt().max(24.0),
+    };
+
+    // Pre-computed anchors for the layouts that need them.
+    let cluster_centres: Vec<(f64, f64)> = (0..(1 + units / 20))
+        .map(|_| (rng.float_in(0.1, 0.9) * side, rng.float_in(0.1, 0.9) * side))
+        .collect();
+    let posts: Vec<(f64, f64)> = (0..(1 + units / 8).min(12))
+        .map(|_| (rng.float_in(0.1, 0.9) * side, rng.float_in(0.1, 0.9) * side))
+        .collect();
+    // Collinear worlds draw one of three line orientations.
+    let line_kind = rng.below(3);
+    let line_offset = rng.float_in(0.25, 0.75) * side;
+
+    for i in 0..units {
+        let (x, y) = match spec.layout {
+            WorldLayout::Uniform => (rng.float_in(0.0, side), rng.float_in(0.0, side)),
+            WorldLayout::Clustered => {
+                let (cx, cy) = *rng.pick(&cluster_centres);
+                // Triangular noise ≈ gaussian cluster.
+                let dx = rng.float_in(-3.0, 3.0) + rng.float_in(-3.0, 3.0);
+                let dy = rng.float_in(-3.0, 3.0) + rng.float_in(-3.0, 3.0);
+                ((cx + dx).clamp(0.0, side), (cy + dy).clamp(0.0, side))
+            }
+            WorldLayout::Collinear => {
+                let t = rng.float_in(0.0, side);
+                match line_kind {
+                    0 => (t, line_offset), // horizontal
+                    1 => (line_offset, t), // vertical
+                    _ => (t, t),           // diagonal
+                }
+            }
+            WorldLayout::Stacked => *rng.pick(&posts),
+            WorldLayout::Extreme => {
+                // Units pressed onto corners and edges of a large world.
+                match rng.below(4) {
+                    0 => {
+                        let cx = if rng.chance(1, 2) { 0.25 } else { side - 0.25 };
+                        let cy = if rng.chance(1, 2) { 0.25 } else { side - 0.25 };
+                        (
+                            cx + rng.float_in(-0.25, 0.25),
+                            cy + rng.float_in(-0.25, 0.25),
+                        )
+                    }
+                    1 => (rng.float_in(0.0, side), side - rng.float_in(0.0, 0.5)),
+                    2 => (side - rng.float_in(0.0, 0.5), rng.float_in(0.0, side)),
+                    _ => (rng.float_in(0.0, side), rng.float_in(0.0, side)),
+                }
+            }
+        };
+
+        let player = if spec.single_player {
+            0
+        } else {
+            (i % 2) as i64
+        };
+        let kind = match rng.below(6) {
+            0..=2 => UnitKind::Knight,
+            3 | 4 => UnitKind::Archer,
+            _ => UnitKind::Healer,
+        };
+        let stats = kind.stats();
+        let health = if spec.wounded && rng.chance(1, 2) {
+            1 + (rng.below(stats.max_health as usize) as i64)
+        } else {
+            stats.max_health
+        };
+        let tuple = TupleBuilder::new(&schema)
+            .set("key", i as i64)
+            .expect("key")
+            .set("player", player)
+            .expect("player")
+            .set("unittype", kind.code())
+            .expect("unittype")
+            .set("posx", x)
+            .expect("posx")
+            .set("posy", y)
+            .expect("posy")
+            .set("health", health)
+            .expect("health")
+            .set("max_health", stats.max_health)
+            .expect("max_health")
+            .set("range", stats.range)
+            .expect("range")
+            .set("sight", stats.sight)
+            .expect("sight")
+            .set("morale", stats.morale)
+            .expect("morale")
+            .set("armor", stats.armor)
+            .expect("armor")
+            .set("strength", stats.strength)
+            .expect("strength")
+            .build();
+        table.insert(tuple).expect("generated keys are unique");
+    }
+
+    GeneratedWorld {
+        schema,
+        table,
+        world_side: side,
+        spec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(layout: WorldLayout, units: usize) -> WorldSpec {
+        WorldSpec {
+            seed: 5,
+            units,
+            layout,
+            wounded: false,
+            single_player: false,
+        }
+    }
+
+    #[test]
+    fn all_layouts_generate_in_bounds() {
+        for layout in WorldLayout::ALL {
+            let world = generate_world(spec(layout, 60));
+            assert_eq!(world.table.len(), 60, "{}", layout.name());
+            let posx = world.schema.attr_id("posx").unwrap();
+            let posy = world.schema.attr_id("posy").unwrap();
+            for (_, row) in world.table.iter() {
+                let x = row.get_f64(posx).unwrap();
+                let y = row.get_f64(posy).unwrap();
+                assert!(x.is_finite() && y.is_finite());
+                assert!(
+                    (0.0..=world.world_side).contains(&x),
+                    "{}: x={x}",
+                    layout.name()
+                );
+                assert!(
+                    (0.0..=world.world_side).contains(&y),
+                    "{}: y={y}",
+                    layout.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_layouts_are_actually_degenerate() {
+        let world = generate_world(spec(WorldLayout::Collinear, 40));
+        let posx = world.schema.attr_id("posx").unwrap();
+        let posy = world.schema.attr_id("posy").unwrap();
+        let points: Vec<(f64, f64)> = world
+            .table
+            .iter()
+            .map(|(_, r)| (r.get_f64(posx).unwrap(), r.get_f64(posy).unwrap()))
+            .collect();
+        // All points satisfy a single linear relation.
+        let (x0, y0) = points[0];
+        let (x1, y1) = points
+            .iter()
+            .copied()
+            .find(|(x, y)| (x - x0).abs() > 1e-9 || (y - y0).abs() > 1e-9)
+            .unwrap();
+        for (x, y) in &points {
+            let cross = (x1 - x0) * (y - y0) - (y1 - y0) * (x - x0);
+            assert!(cross.abs() < 1e-6, "({x}, {y}) off the line");
+        }
+
+        let stacked = generate_world(spec(WorldLayout::Stacked, 50));
+        let mut distinct: Vec<(u64, u64)> = stacked
+            .table
+            .iter()
+            .map(|(_, r)| {
+                (
+                    r.get_f64(posx).unwrap().to_bits(),
+                    r.get_f64(posy).unwrap().to_bits(),
+                )
+            })
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(
+            distinct.len() < 15,
+            "stacked layout should duplicate positions exactly ({} distinct)",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn extreme_layout_is_large_and_cornered() {
+        let world = generate_world(spec(WorldLayout::Extreme, 80));
+        assert!(world.world_side >= 1000.0);
+    }
+
+    #[test]
+    fn unit_count_is_clamped_and_single_player_respected() {
+        let world = generate_world(WorldSpec {
+            seed: 1,
+            units: 0,
+            layout: WorldLayout::Uniform,
+            wounded: true,
+            single_player: true,
+        });
+        assert_eq!(world.table.len(), 1);
+        let player = world.schema.attr_id("player").unwrap();
+        for (_, row) in world.table.iter() {
+            assert_eq!(row.get_i64(player).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_world(spec(WorldLayout::Clustered, 30));
+        let b = generate_world(spec(WorldLayout::Clustered, 30));
+        let posx = a.schema.attr_id("posx").unwrap();
+        for ((_, ra), (_, rb)) in a.table.iter().zip(b.table.iter()) {
+            assert_eq!(ra.get_f64(posx).unwrap(), rb.get_f64(posx).unwrap());
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Golden-digest snapshots: per-scenario `StateDigest` sequences (first 20
+//! ticks) for every battle scenario, checked into `tests/golden/`.
+//!
+//! The conformance suite (`tests/conformance.rs`) proves every executor
+//! configuration *agrees*; this suite pins what they agree *on*, so a
+//! refactor cannot silently change game outcomes while staying internally
+//! consistent.  Each scenario's digests are recorded once (from the oracle
+//! interpreter, the reference semantics) and every configuration of the
+//! lattice must reproduce them bit for bit.
+//!
+//! To regenerate after an *intentional* semantics change:
+//!
+//! ```text
+//! SGL_BLESS=1 cargo test --test golden_digests
+//! ```
+//!
+//! and commit the rewritten files together with the change that explains
+//! them.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use sgl::battle::{
+    BattleScenario, PresetScenario, ScenarioConfig, SkeletonConfig, SkeletonScenario,
+};
+use sgl::engine::{Simulation, StateDigest};
+use sgl::exec::ExecConfig;
+use sgl_testkit::config_lattice;
+
+/// Ticks recorded per scenario.
+const TICKS: usize = 20;
+
+/// One corpus entry: a stable name and a builder accepting any executor
+/// configuration.
+struct GoldenScenario {
+    name: &'static str,
+    build: Box<dyn Fn(ExecConfig) -> Simulation>,
+    schema: std::sync::Arc<sgl::env::Schema>,
+}
+
+/// The golden corpus: the two generated scenario families the repo started
+/// with, plus the four hand-authored presets.
+fn corpus() -> Vec<GoldenScenario> {
+    let mut scenarios = Vec::new();
+
+    let battle = BattleScenario::generate(ScenarioConfig {
+        units: 48,
+        ..ScenarioConfig::default()
+    });
+    let schema = battle.schema.clone();
+    scenarios.push(GoldenScenario {
+        name: "battle-scattered",
+        schema,
+        build: Box::new(move |config| battle.build_with_config(config)),
+    });
+
+    let horde = SkeletonScenario::generate(SkeletonConfig {
+        defenders: 14,
+        skeletons: 28,
+        ..SkeletonConfig::default()
+    });
+    let schema = horde.schema.clone();
+    scenarios.push(GoldenScenario {
+        name: "skeleton-horde",
+        schema,
+        build: Box::new(move |config| horde.build_with_config(config)),
+    });
+
+    for preset in PresetScenario::all() {
+        let schema = preset.schema.clone();
+        scenarios.push(GoldenScenario {
+            name: preset.name,
+            schema,
+            build: Box::new(move |config| preset.build_with_config(config)),
+        });
+    }
+    scenarios
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.digests"))
+}
+
+fn digests_of(scenario: &GoldenScenario, config: ExecConfig) -> Vec<StateDigest> {
+    let mut sim = (scenario.build)(config);
+    (0..TICKS)
+        .map(|tick| {
+            sim.step()
+                .unwrap_or_else(|e| panic!("{}: tick {tick} failed: {e}", scenario.name));
+            sim.digest()
+        })
+        .collect()
+}
+
+fn render(digests: &[StateDigest]) -> String {
+    let mut out = String::from("# tick  hash              population\n");
+    for (tick, d) in digests.iter().enumerate() {
+        let _ = writeln!(out, "{tick:4}  {:016x}  {}", d.hash, d.population);
+    }
+    out
+}
+
+fn parse(content: &str, name: &str) -> Vec<StateDigest> {
+    content
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .map(|line| {
+            let mut fields = line.split_whitespace();
+            let _tick = fields.next();
+            let hash = u64::from_str_radix(fields.next().expect("hash field"), 16)
+                .unwrap_or_else(|e| panic!("{name}: malformed golden hash: {e}"));
+            let population: usize = fields
+                .next()
+                .expect("population field")
+                .parse()
+                .unwrap_or_else(|e| panic!("{name}: malformed golden population: {e}"));
+            StateDigest { hash, population }
+        })
+        .collect()
+}
+
+fn blessing() -> bool {
+    std::env::var("SGL_BLESS").is_ok_and(|v| v == "1")
+}
+
+/// Load the golden digests for a scenario, or (re)write them from the oracle
+/// reference when `SGL_BLESS=1`.
+fn golden_digests(scenario: &GoldenScenario) -> Vec<StateDigest> {
+    let path = golden_path(scenario.name);
+    if blessing() {
+        let reference = digests_of(scenario, ExecConfig::oracle(&scenario.schema));
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create tests/golden");
+        std::fs::write(&path, render(&reference)).expect("write golden file");
+        return reference;
+    }
+    let content = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: no golden file at {} ({e}).\n\
+             Generate it with: SGL_BLESS=1 cargo test --test golden_digests",
+            scenario.name,
+            path.display()
+        )
+    });
+    let digests = parse(&content, scenario.name);
+    assert_eq!(
+        digests.len(),
+        TICKS,
+        "{}: golden file has the wrong tick count — re-bless with SGL_BLESS=1",
+        scenario.name
+    );
+    digests
+}
+
+fn assert_matches(name: &str, label: &str, golden: &[StateDigest], got: &[StateDigest]) {
+    if let Some(tick) = golden.iter().zip(got).position(|(a, b)| a != b) {
+        panic!(
+            "{name} under {label}: digest diverged from the golden sequence at tick {tick}\n\
+             golden: {:016x} pop {}\n\
+             got:    {:016x} pop {}\n\
+             If this change of game outcome is intentional, re-bless with\n\
+             SGL_BLESS=1 cargo test --test golden_digests",
+            golden[tick].hash, golden[tick].population, got[tick].hash, got[tick].population,
+        );
+    }
+}
+
+/// The oracle interpreter reproduces every checked-in sequence (this is also
+/// the path `SGL_BLESS=1` regenerates from).
+#[test]
+fn scenarios_match_their_golden_digests() {
+    for scenario in corpus() {
+        let golden = golden_digests(&scenario);
+        let oracle = digests_of(&scenario, ExecConfig::oracle(&scenario.schema));
+        assert_matches(scenario.name, "oracle", &golden, &oracle);
+    }
+}
+
+/// Every configuration of the lattice reproduces the golden sequences —
+/// authored scenarios get the same cross-configuration guarantee as the
+/// generated conformance corpus.
+#[test]
+fn golden_digests_hold_across_the_full_lattice() {
+    for scenario in corpus() {
+        let golden = golden_digests(&scenario);
+        for (label, config) in config_lattice(&scenario.schema) {
+            let got = digests_of(&scenario, config);
+            assert_matches(scenario.name, &label, &golden, &got);
+        }
+    }
+}
+
+/// The corpus itself is stable: names are unique (they are file names) and
+/// every golden file on disk corresponds to a scenario.
+#[test]
+fn corpus_names_are_unique_and_files_accounted_for() {
+    let scenarios = corpus();
+    let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+    names.sort_unstable();
+    let mut deduped = names.clone();
+    deduped.dedup();
+    assert_eq!(names, deduped, "duplicate scenario names");
+    if let Ok(dir) = std::fs::read_dir(golden_path("x").parent().expect("golden dir")) {
+        for entry in dir.flatten() {
+            let file = entry.file_name().to_string_lossy().into_owned();
+            if let Some(stem) = file.strip_suffix(".digests") {
+                assert!(
+                    names.contains(&stem),
+                    "stale golden file {file}: no scenario named `{stem}`"
+                );
+            }
+        }
+    }
+}
