@@ -11,20 +11,29 @@
 //!   elimination of the final `⊕ E`;
 //! * [`optimizer`] — the rule driver, plan statistics and a simple cost model
 //!   comparing naive and index-based evaluation;
-//! * [`mod@explain`] — Figure-6-style rendering of plans.
+//! * [`mod@explain`] — Figure-6-style rendering of plans, optionally
+//!   annotated with the physical choices of the cost-based planner;
+//! * [`mod@cost`] — the physical cost model pricing scan / layered-tree /
+//!   quadtree / maintained-grid / sweep / kD alternatives per aggregate call
+//!   site from runtime statistics.
 //!
 //! The physical counterpart (per-aggregate index selection and set-at-a-time
 //! evaluation) lives in `sgl-exec`.
 
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod explain;
 pub mod optimizer;
 pub mod plan;
 pub mod rules;
 pub mod translate;
 
-pub use explain::{explain, explain_optimized};
+pub use cost::{
+    best_alternative, price_alternatives, CallSiteInputs, CostConstants, CostedAlternative,
+    MaintenanceChoice, PhysicalBackend, StrategyClass,
+};
+pub use explain::{explain, explain_optimized, explain_with_costs, CostAnnotation};
 pub use optimizer::{
     estimate_cost, optimize, optimize_with, plan_stats, CostEstimate, Optimized, OptimizerOptions,
     PlanStats,

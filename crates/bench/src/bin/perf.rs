@@ -1,0 +1,102 @@
+//! Deterministic perf runner behind the CI perf job.
+//!
+//! Runs the engine-level perf suite (fixed seeds, wall-clock per-phase
+//! timings via the engine's `PhaseTimings` — no criterion sampling), writes
+//! the machine-readable summary as `BENCH_4.json`, and — when a baseline is
+//! given — fails with exit code 1 if any tracked scenario's anchor-relative
+//! throughput regressed more than the tolerance (default 25 %).
+//!
+//! ```text
+//! perf [--out PATH] [--baseline PATH] [--max-regression FRACTION] [--calibrate]
+//! ```
+
+use std::process::ExitCode;
+
+use sgl_bench::{
+    calibrate_cost_constants, compare_reports, constants_summary, parse_report, report_to_json,
+    run_perf_suite,
+};
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_4.json");
+    let mut baseline_path: Option<String> = None;
+    let mut max_regression = 0.25f64;
+    let mut calibrate = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            "--max-regression" => {
+                max_regression = args
+                    .next()
+                    .expect("--max-regression needs a fraction")
+                    .parse()
+                    .expect("--max-regression must be a number in (0, 1)");
+            }
+            "--calibrate" => calibrate = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: perf [--out PATH] [--baseline PATH] \
+                     [--max-regression FRACTION] [--calibrate]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if calibrate {
+        println!("cost-model constants measured on this machine (µs):");
+        print!("{}", constants_summary(&calibrate_cost_constants()));
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!("running perf suite...");
+    let report = run_perf_suite();
+    for (name, r) in &report.scenarios {
+        eprintln!(
+            "  {name}: {:.1} ticks/s (relative {:.3}), exec {:.0}µs/tick, maintain {:.0}µs/tick",
+            r.ticks_per_sec, r.relative, r.phase_us.exec, r.phase_us.maintain
+        );
+    }
+    let json = report_to_json(&report);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match parse_report(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("failed to parse baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let violations = compare_reports(&report, &baseline, max_regression);
+        if violations.is_empty() {
+            eprintln!(
+                "perf gate passed: {} tracked scenarios within {:.0}% of baseline",
+                baseline.tracked.len(),
+                max_regression * 100.0
+            );
+        } else {
+            eprintln!("perf gate FAILED:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -32,15 +32,18 @@ pub mod movement;
 pub mod pathfind;
 pub mod replay;
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use rustc_hash::FxHashMap;
 
-use sgl_algebra::LogicalPlan;
+use sgl_algebra::cost::CostConstants;
+use sgl_algebra::{explain_with_costs, CostAnnotation, LogicalPlan};
 use sgl_env::{AttrId, EnvTable, GameRng, PostProcessor, Value};
 use sgl_exec::{
-    execute_tick_oracle, execute_tick_planned, plan_registry, ExecConfig, ExecMode, IndexManager,
-    MaintStats, OracleRun, Parallelism, PlannedAggregate, ScriptRun, TickStats,
+    choose_physical, execute_tick_oracle, execute_tick_planned, plan_registry, strategy_class,
+    ExecConfig, ExecMode, IndexManager, MaintStats, MaintenancePolicy, OracleRun, Parallelism,
+    PlannedAggregate, PlannerMode, RuntimeStats, ScriptRun, TickObservations, TickStats,
 };
 use sgl_lang::normalize::NormalScript;
 use sgl_lang::Registry;
@@ -188,6 +191,13 @@ pub struct Simulation {
     /// depend only on the registry, schema and execution configuration).
     planned: FxHashMap<String, PlannedAggregate>,
     constants: FxHashMap<String, Value>,
+    /// Cross-tick runtime statistics (cardinality, update rate, per-call-
+    /// site selectivity and served backends) — the feedback loop of the
+    /// cost-based planner, and the source of the `explain` runtime
+    /// annotations.
+    runtime_stats: RuntimeStats,
+    /// Calibration constants of the cost model.
+    cost_constants: CostConstants,
     rng: GameRng,
     tick: u64,
     history: Vec<TickReport>,
@@ -212,6 +222,8 @@ impl Simulation {
             index_manager: IndexManager::new(&exec_config),
             planned,
             constants,
+            runtime_stats: RuntimeStats::default(),
+            cost_constants: CostConstants::default(),
             exec_config,
             rng: GameRng::new(seed),
             tick: 0,
@@ -317,10 +329,178 @@ impl Simulation {
         &self.exec_config
     }
 
+    /// The cross-tick runtime statistics feeding the cost-based planner.
+    pub fn runtime_stats(&self) -> &RuntimeStats {
+        &self.runtime_stats
+    }
+
+    /// Replace the cost-model calibration constants (e.g. with a fresh
+    /// `sgl_bench::calibrate_cost_constants` measurement).
+    pub fn set_cost_constants(&mut self, constants: CostConstants) {
+        self.cost_constants = constants;
+    }
+
+    /// The current physical choice of every aggregate call site, sorted by
+    /// name: `(call name, backend label, maintenance label)`.  Under the
+    /// heuristic planner the labels are derived from the configuration.
+    pub fn physical_choices(&self) -> Vec<(String, String, String)> {
+        let mut out: Vec<(String, String, String)> = self
+            .planned
+            .iter()
+            .map(|(name, plan)| {
+                let (chosen, maintenance) = self.choice_labels(plan);
+                (name.clone(), chosen, maintenance)
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Backend / maintenance labels of one plan (cost-based choice when
+    /// installed, otherwise the heuristic mapping).
+    fn choice_labels(&self, plan: &PlannedAggregate) -> (String, String) {
+        if let Some(choice) = &plan.choice {
+            return (
+                choice.backend.label().to_string(),
+                choice.maintenance.label().to_string(),
+            );
+        }
+        let policy_label = match self.exec_config.policy {
+            MaintenancePolicy::RebuildEachTick => "per-tick",
+            MaintenancePolicy::Incremental => "incremental",
+            MaintenancePolicy::Adaptive { .. } => "adaptive",
+        };
+        use sgl_exec::AggStrategy;
+        let backend = match (&plan.strategy, self.exec_config.mode) {
+            (AggStrategy::Scan, _) | (_, ExecMode::Naive | ExecMode::Oracle) => "scan",
+            (_, _) if self.exec_config.policy.is_dynamic() => "grid",
+            (AggStrategy::DivisibleTree { .. }, _) => match self.exec_config.backend {
+                sgl_exec::RebuildBackend::LayeredTree => "layered-tree",
+                sgl_exec::RebuildBackend::QuadTree => "quadtree",
+            },
+            (AggStrategy::SweepMinMax, _) => "sweep",
+            (AggStrategy::KdNearest, _) => "kd-tree",
+        };
+        let maintenance = if backend == "scan" {
+            "per-tick"
+        } else {
+            policy_label
+        };
+        (backend.to_string(), maintenance.to_string())
+    }
+
+    /// The [`CostAnnotation`] of every aggregate call site: the planned
+    /// physical choice (with the cost model's priced alternatives under the
+    /// cost-based planner) plus the backends that *actually served* probes
+    /// at runtime.
+    pub fn cost_annotations(&self) -> FxHashMap<String, CostAnnotation> {
+        let mut out = FxHashMap::default();
+        for (name, plan) in &self.planned {
+            let strategy = match &plan.strategy {
+                sgl_exec::AggStrategy::DivisibleTree { .. } => "divisible-tree",
+                sgl_exec::AggStrategy::SweepMinMax => "sweep-min-max",
+                sgl_exec::AggStrategy::KdNearest => "kd-nearest",
+                sgl_exec::AggStrategy::Scan => "scan",
+            };
+            let (chosen, maintenance) = self.choice_labels(plan);
+            let (est_us, mut alternatives) = match &plan.choice {
+                Some(choice) => (
+                    Some(choice.est_us),
+                    choice
+                        .alternatives
+                        .iter()
+                        .map(|alt| {
+                            let label = match alt.backend {
+                                sgl_algebra::PhysicalBackend::MaintainedGrid => {
+                                    format!("grid-{}", alt.maintenance.label())
+                                }
+                                other => other.label().to_string(),
+                            };
+                            (label, alt.total_us())
+                        })
+                        .collect(),
+                ),
+                None => (None, Vec::new()),
+            };
+            alternatives.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            let executed = self
+                .runtime_stats
+                .calls
+                .get(name)
+                .map(|site| {
+                    site.served_labels()
+                        .into_iter()
+                        .map(|(label, n)| (label.to_string(), n))
+                        .collect()
+                })
+                .unwrap_or_default();
+            out.insert(
+                name.clone(),
+                CostAnnotation {
+                    strategy: strategy.to_string(),
+                    chosen,
+                    maintenance,
+                    est_us,
+                    alternatives,
+                    executed,
+                },
+            );
+        }
+        out
+    }
+
+    /// EXPLAIN report of every registered script: the optimized operator
+    /// tree with a `↳ physical:` line per aggregate call site showing the
+    /// planned backend and maintenance, the priced alternatives (cost-based
+    /// planner) and the backends that actually served the call site at
+    /// runtime.
+    pub fn explain(&self) -> String {
+        let annotations = self.cost_annotations();
+        let mut out = String::new();
+        for script in &self.scripts {
+            let _ = writeln!(out, "script `{}`:", script.name);
+            out.push_str(&explain_with_costs(&script.plan, &annotations));
+        }
+        out
+    }
+
     /// Simulate one clock tick.
     pub fn step(&mut self) -> Result<TickReport> {
         let mut timings = PhaseTimings::default();
         let tick_rng = self.rng.for_tick(self.tick);
+
+        // Cost-based planning: re-price every physical alternative at the
+        // adaptivity-window boundary (and immediately after a configuration
+        // change left the call sites unpriced).  Decisions only ever change
+        // here, at a tick boundary, so each tick runs under one consistent
+        // physical plan.
+        let mut planner_recosts = 0usize;
+        let mut plan_switches = 0usize;
+        if let PlannerMode::CostBased(window) = self.exec_config.planner {
+            if self.exec_config.mode == ExecMode::Indexed {
+                let unpriced = self
+                    .planned
+                    .values()
+                    .any(|p| p.choice.is_none() && strategy_class(&p.strategy).is_some());
+                if self.tick.is_multiple_of(u64::from(window.ticks)) || unpriced {
+                    let before = self.maintained_profile();
+                    plan_switches = choose_physical(
+                        &mut self.planned,
+                        &self.runtime_stats,
+                        &self.cost_constants,
+                        self.table.len(),
+                        self.exec_config.cascading,
+                    );
+                    planner_recosts = 1;
+                    // Only switches that change which call sites are
+                    // maintained (or how) need a re-sync; swaps between
+                    // per-tick backends leave the maintained state valid.
+                    if plan_switches > 0 && before != self.maintained_profile() {
+                        self.index_manager.mark_stale();
+                    }
+                }
+            }
+        }
         // Assign acting units to scripts.
         let mut assigned: Vec<bool> = vec![false; self.table.len()];
         let mut acting: Vec<Vec<u32>> = Vec::with_capacity(self.scripts.len());
@@ -340,7 +520,7 @@ impl Simulation {
         // build).  The oracle mode bypasses the plan executors entirely and
         // interprets the registered scripts' normalized ASTs.
         let phase_start = Instant::now();
-        let (effects, mut exec_stats) = if self.exec_config.mode == ExecMode::Oracle {
+        let (effects, mut exec_stats, obs) = if self.exec_config.mode == ExecMode::Oracle {
             let mut runs: Vec<OracleRun<'_>> = Vec::with_capacity(self.scripts.len());
             for (script, rows) in self.scripts.iter().zip(acting) {
                 let normal = script.normal.as_ref().ok_or_else(|| {
@@ -356,7 +536,9 @@ impl Simulation {
                     acting_rows: rows,
                 });
             }
-            execute_tick_oracle(&self.table, &self.registry, &runs, &tick_rng)?
+            let (effects, stats) =
+                execute_tick_oracle(&self.table, &self.registry, &runs, &tick_rng)?;
+            (effects, stats, TickObservations::default())
         } else {
             let runs: Vec<ScriptRun<'_>> = self
                 .scripts
@@ -419,14 +601,51 @@ impl Simulation {
         // Index maintenance: hand the post-tick environment (and the effect
         // relation, for accounting) back to the manager so maintained
         // structures absorb this tick's positional and value updates before
-        // the next tick probes them.
-        if self.index_manager.policy().is_dynamic() {
+        // the next tick probes them.  Which call sites are maintained is
+        // decided per plan (globally by the policy, or per call site by the
+        // cost-based planner's choices).
+        let wants_maintenance = self
+            .planned
+            .values()
+            .any(|p| self.index_manager.plan_is_maintained(p));
+        if wants_maintenance {
             let phase_start = Instant::now();
             let maint = self.maintain_indexes(&effects)?;
             exec_stats.index_delta_ops += maint.delta_ops;
             exec_stats.partition_rebuilds += maint.partition_rebuilds;
             timings.maintain = phase_start.elapsed();
+        } else {
+            // The mutation phases ran without a maintenance pass; whatever
+            // maintained state exists (none, or about to be dropped) no
+            // longer mirrors the environment.
+            self.index_manager.mark_stale();
         }
+
+        // Statistics feedback: fold what this tick observed (probe volume,
+        // selectivity, served backends, movement churn) into the cross-tick
+        // store the cost-based planner prices from.  The spatial density
+        // comes from the maintained index's own occupancy hint when one is
+        // alive; the bounding box is only computed when a cost-based
+        // planner will actually consume it.
+        let changed_rows = movement_stats.moved + movement_stats.detoured + deaths;
+        let density_hint = self.index_manager.density_hint();
+        // The bounding-box fallback costs a full table scan — only pay it
+        // when a cost-based planner will consume it and no maintained index
+        // supplied its (better) occupancy-based density.
+        let world_area = if self.exec_config.planner.is_cost_based() && density_hint.is_none() {
+            self.world_area()
+        } else {
+            0.0
+        };
+        self.runtime_stats.observe_tick(
+            self.table.len(),
+            changed_rows,
+            world_area,
+            density_hint,
+            &obs,
+        );
+        exec_stats.planner_recosts += planner_recosts;
+        exec_stats.plan_switches += plan_switches;
 
         let report = TickReport {
             tick: self.tick,
@@ -442,17 +661,52 @@ impl Simulation {
     }
 
     /// Synchronize maintained index structures with the freshly mutated
-    /// environment (no-op under `RebuildEachTick`).
+    /// environment (no-op when no plan is maintained).
     fn maintain_indexes(&mut self, effects: &sgl_env::EffectBuffer) -> Result<MaintStats> {
-        if !self.index_manager.policy().is_dynamic() {
-            return Ok(MaintStats::default());
-        }
         Ok(self.index_manager.end_tick_with_effects(
             &self.table,
             effects,
             &self.planned,
             &self.constants,
         )?)
+    }
+
+    /// Which call sites are maintained across ticks, and under which
+    /// maintenance choice — the part of the physical plan whose change
+    /// requires an [`IndexManager`] re-sync.  Sorted for comparability.
+    fn maintained_profile(&self) -> Vec<(String, Option<sgl_algebra::MaintenanceChoice>)> {
+        let mut out: Vec<(String, Option<sgl_algebra::MaintenanceChoice>)> = self
+            .planned
+            .iter()
+            .filter(|(_, plan)| self.index_manager.plan_is_maintained(plan))
+            .map(|(name, plan)| (name.clone(), plan.choice.as_ref().map(|c| c.maintenance)))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Bounding-box area of the unit positions (the statistics collector's
+    /// fallback density estimate when no maintained index is alive).
+    fn world_area(&self) -> f64 {
+        let Some(spatial) = self.exec_config.spatial else {
+            return 0.0;
+        };
+        let mut lo = (f64::INFINITY, f64::INFINITY);
+        let mut hi = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for (_, row) in self.table.iter() {
+            let (Ok(x), Ok(y)) = (row.get_f64(spatial.x), row.get_f64(spatial.y)) else {
+                continue;
+            };
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            lo = (lo.0.min(x), lo.1.min(y));
+            hi = (hi.0.max(x), hi.1.max(y));
+        }
+        if lo.0 > hi.0 || lo.1 > hi.1 {
+            return 0.0;
+        }
+        (hi.0 - lo.0).max(1.0) * (hi.1 - lo.1).max(1.0)
     }
 
     /// Simulate `n` ticks, returning aggregate statistics.

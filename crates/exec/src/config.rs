@@ -122,6 +122,58 @@ impl Parallelism {
     }
 }
 
+/// Re-costing cadence of the cost-based planner: the planner re-prices every
+/// physical alternative and may swap backends/maintenance per call site at
+/// the start of every `ticks`-th tick (decisions only ever change at tick
+/// boundaries, so a tick is always executed under one consistent plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveWindow {
+    /// Re-cost every this many ticks (clamped to at least 1).
+    pub ticks: u32,
+}
+
+impl AdaptiveWindow {
+    /// Re-cost every `ticks` ticks.
+    pub fn every(ticks: u32) -> AdaptiveWindow {
+        AdaptiveWindow {
+            ticks: ticks.max(1),
+        }
+    }
+}
+
+impl Default for AdaptiveWindow {
+    fn default() -> AdaptiveWindow {
+        AdaptiveWindow { ticks: 8 }
+    }
+}
+
+/// How the physical backend of each aggregate call site is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerMode {
+    /// Fixed heuristics: the strategy planner's structure mapping driven by
+    /// the configured [`MaintenancePolicy`] / [`RebuildBackend`] — the
+    /// behaviour of every pre-cost-based configuration.
+    Heuristic,
+    /// Cost-based: price every alternative from runtime statistics
+    /// (`sgl_algebra::cost`) and re-cost on the given window.  Only
+    /// meaningful under [`ExecMode::Indexed`]; behaviour-neutral by
+    /// construction (every alternative returns identical results), so state
+    /// digests never depend on the mode.
+    CostBased(AdaptiveWindow),
+}
+
+impl PlannerMode {
+    /// Cost-based planning re-costed every `ticks` ticks.
+    pub fn cost_based(ticks: u32) -> PlannerMode {
+        PlannerMode::CostBased(AdaptiveWindow::every(ticks))
+    }
+
+    /// True for [`PlannerMode::CostBased`].
+    pub fn is_cost_based(&self) -> bool {
+        matches!(self, PlannerMode::CostBased(_))
+    }
+}
+
 /// Which attributes hold the spatial position of a unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpatialAttrs {
@@ -161,6 +213,8 @@ pub struct ExecConfig {
     pub backend: RebuildBackend,
     /// Worker threads for the decision/action phases of a tick.
     pub parallelism: Parallelism,
+    /// How physical backends are chosen per aggregate call site.
+    pub planner: PlannerMode,
 }
 
 impl ExecConfig {
@@ -175,6 +229,7 @@ impl ExecConfig {
             policy: MaintenancePolicy::RebuildEachTick,
             backend: RebuildBackend::LayeredTree,
             parallelism: Parallelism::from_env().unwrap_or(Parallelism::Off),
+            planner: PlannerMode::Heuristic,
         }
     }
 
@@ -190,6 +245,20 @@ impl ExecConfig {
             policy: MaintenancePolicy::RebuildEachTick,
             backend: RebuildBackend::LayeredTree,
             parallelism: Parallelism::from_env().unwrap_or(Parallelism::Off),
+            planner: PlannerMode::Heuristic,
+        }
+    }
+
+    /// Configuration for the cost-based planner: indexed execution whose
+    /// physical backends are chosen per call site by the cost model of
+    /// [`sgl_algebra::cost`], re-costed on the default
+    /// [`AdaptiveWindow`].  The base maintenance policy stays
+    /// `RebuildEachTick`; cross-tick maintained structures are created
+    /// exactly for the call sites the cost model routes to the grid.
+    pub fn cost_based(schema: &Schema) -> ExecConfig {
+        ExecConfig {
+            planner: PlannerMode::CostBased(AdaptiveWindow::default()),
+            ..ExecConfig::indexed(schema)
         }
     }
 
@@ -207,6 +276,7 @@ impl ExecConfig {
             policy: MaintenancePolicy::RebuildEachTick,
             backend: RebuildBackend::LayeredTree,
             parallelism: Parallelism::Off,
+            planner: PlannerMode::Heuristic,
         }
     }
 
@@ -238,6 +308,12 @@ impl ExecConfig {
         self.parallelism = parallelism;
         self
     }
+
+    /// Set the planner mode (heuristic vs cost-based).
+    pub fn with_planner(mut self, planner: PlannerMode) -> ExecConfig {
+        self.planner = planner;
+        self
+    }
 }
 
 /// Counters collected during a tick — used by tests, the ablation benchmarks
@@ -265,6 +341,11 @@ pub struct TickStats {
     pub partition_rebuilds: usize,
     /// Aggregate evaluations answered by a cross-tick maintained structure.
     pub maintained_probes: usize,
+    /// Cost-based planner re-costing passes performed this tick (0 or 1).
+    pub planner_recosts: usize,
+    /// Call sites whose chosen backend/maintenance changed in this tick's
+    /// re-costing pass.
+    pub plan_switches: usize,
 }
 
 impl TickStats {
@@ -280,6 +361,8 @@ impl TickStats {
         self.index_delta_ops += other.index_delta_ops;
         self.partition_rebuilds += other.partition_rebuilds;
         self.maintained_probes += other.maintained_probes;
+        self.planner_recosts += other.planner_recosts;
+        self.plan_switches += other.plan_switches;
     }
 }
 

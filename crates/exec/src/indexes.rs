@@ -36,10 +36,13 @@ use sgl_lang::ast::Term;
 use sgl_lang::builtins::{AggSpec, SimpleAgg};
 use sgl_lang::eval::{eval_term, EvalContext, NoAggregates, ScriptValue};
 
+use sgl_algebra::cost::{MaintenanceChoice, PhysicalBackend};
+
 use crate::config::{ExecConfig, MaintenancePolicy, SpatialAttrs, TickStats};
 use crate::error::{ExecError, Result};
 use crate::filter::FilterAnalysis;
 use crate::planner::{AggStrategy, PlannedAggregate};
+use crate::stats::TickObservations;
 
 // ---------------------------------------------------------------------------
 // Value fingerprints (the categorical hash layer's key type)
@@ -196,6 +199,36 @@ pub struct IndexManager {
     pub last_maint: MaintStats,
 }
 
+/// Whether a planned aggregate is served by a cross-tick maintained
+/// structure: decided per call site by the cost-based planner's choice when
+/// one is installed, otherwise globally by the maintenance policy.
+pub(crate) fn plan_is_maintained(policy: MaintenancePolicy, plan: &PlannedAggregate) -> bool {
+    if !plan.is_indexed() {
+        return false;
+    }
+    match &plan.choice {
+        Some(choice) => choice.backend == PhysicalBackend::MaintainedGrid,
+        None => policy.is_dynamic(),
+    }
+}
+
+/// The per-partition rebuild threshold for a maintained aggregate: the
+/// policy's ratio under the heuristic planner; under a cost-based choice,
+/// `Incremental` patches unconditionally and `Rebuild` (the modeled
+/// break-even was crossed) rebuilds every touched partition wholesale.
+fn effective_rebuild_ratio(policy: MaintenancePolicy, plan: &PlannedAggregate) -> f64 {
+    match &plan.choice {
+        Some(choice) => match choice.maintenance {
+            MaintenanceChoice::Rebuild => 0.0,
+            _ => f64::INFINITY,
+        },
+        None => match policy {
+            MaintenancePolicy::Adaptive { rebuild_ratio } => rebuild_ratio,
+            _ => f64::INFINITY,
+        },
+    }
+}
+
 impl IndexManager {
     /// Create a manager for a configuration.
     pub fn new(config: &ExecConfig) -> IndexManager {
@@ -225,6 +258,41 @@ impl IndexManager {
         self.synced = false;
     }
 
+    /// Mark the maintained state as out of sync with the environment (the
+    /// engine calls this after mutation phases that ran without a
+    /// maintenance pass, and after the cost-based planner changed which
+    /// call sites are maintained).  Structures are kept; the next
+    /// [`IndexManager::prepare`] re-syncs them.
+    pub fn mark_stale(&mut self) {
+        self.synced = false;
+    }
+
+    /// Whether this plan is served by a cross-tick maintained structure
+    /// under the manager's policy (per call site when a cost-based choice is
+    /// installed).
+    pub fn plan_is_maintained(&self, plan: &PlannedAggregate) -> bool {
+        plan_is_maintained(self.policy, plan)
+    }
+
+    /// Rows-per-area density measured by the live maintained grids (their
+    /// own size hints), if any are alive.  The statistics collector prefers
+    /// this over the bounding-box estimate: occupied cells describe where
+    /// units actually are.
+    pub fn density_hint(&self) -> Option<f64> {
+        let mut rows = 0usize;
+        let mut area = 0.0f64;
+        for state in self.dynamic.values() {
+            for grid in state.grids.values() {
+                if let Some(d) = AggIndex::density_hint(grid) {
+                    let n = AggIndex::size_hint_rows(grid);
+                    rows += n;
+                    area += n as f64 / d;
+                }
+            }
+        }
+        (rows > 0 && area > 0.0).then(|| rows as f64 / area)
+    }
+
     /// Synchronize the maintained structures with the environment.  Called
     /// by the engine after the mutation phases of each tick (and lazily
     /// before execution when the state is stale).  `effect_keys` — the unit
@@ -237,18 +305,25 @@ impl IndexManager {
         planned: &FxHashMap<String, PlannedAggregate>,
         constants: &FxHashMap<String, Value>,
     ) -> Result<MaintStats> {
-        if !self.policy.is_dynamic() {
+        let policy = self.policy;
+        if !planned.values().any(|p| plan_is_maintained(policy, p)) {
+            self.dynamic.clear();
+            self.synced = true;
             return Ok(MaintStats::default());
         }
         let mut stats = MaintStats::default();
         let Some(spatial) = self.spatial else {
             return Ok(MaintStats::default());
         };
-        // Drop states for aggregates that disappeared from the registry.
-        self.dynamic
-            .retain(|name, _| planned.get(name).is_some_and(|p| p.is_indexed()));
+        // Drop states for aggregates that disappeared from the registry or
+        // are no longer routed to a maintained structure.
+        self.dynamic.retain(|name, _| {
+            planned
+                .get(name)
+                .is_some_and(|p| plan_is_maintained(policy, p))
+        });
         for (name, plan) in planned {
-            if !plan.is_indexed() {
+            if !plan_is_maintained(policy, plan) {
                 continue;
             }
             let state = self
@@ -262,7 +337,8 @@ impl IndexManager {
                     mirror: FxHashMap::default(),
                 });
             state.cat_attrs = resolve_cat_attrs(&plan.analysis, table)?;
-            sync_state(state, table, spatial, constants, self.policy, &mut stats)?;
+            let ratio = effective_rebuild_ratio(policy, plan);
+            sync_state(state, table, spatial, constants, ratio, &mut stats)?;
         }
         self.synced = true;
         self.last_maint = stats;
@@ -293,7 +369,7 @@ impl IndexManager {
         planned: &FxHashMap<String, PlannedAggregate>,
         constants: &FxHashMap<String, Value>,
     ) -> Result<MaintStats> {
-        if !self.policy.is_dynamic() || self.synced {
+        if self.synced {
             return Ok(MaintStats::default());
         }
         self.end_tick(table, planned, constants)
@@ -324,7 +400,7 @@ fn sync_state(
     table: &EnvTable,
     spatial: SpatialAttrs,
     constants: &FxHashMap<String, Value>,
-    policy: MaintenancePolicy,
+    rebuild_ratio: f64,
     stats: &mut MaintStats,
 ) -> Result<()> {
     let schema = table.schema();
@@ -386,10 +462,6 @@ fn sync_state(
     }
     stats.rows_scanned += table.len();
 
-    let rebuild_ratio = match policy {
-        MaintenancePolicy::Adaptive { rebuild_ratio } => rebuild_ratio,
-        _ => f64::INFINITY,
-    };
     for (part, part_deltas) in deltas {
         let size = part_sizes.get(&part).copied().unwrap_or(0);
         if size == 0 {
@@ -427,6 +499,16 @@ fn sync_state(
 // Per-tick probe cache
 // ---------------------------------------------------------------------------
 
+/// The backend label a per-tick structure kind reports to the statistics
+/// collector (the *executed* choice surfaced in `explain`).
+fn served_backend_of(kind: AggStructureKind) -> PhysicalBackend {
+    match kind {
+        AggStructureKind::LayeredTree { .. } => PhysicalBackend::LayeredTree,
+        AggStructureKind::QuadTree { .. } => PhysicalBackend::QuadTree,
+        AggStructureKind::DynamicGrid { .. } => PhysicalBackend::MaintainedGrid,
+    }
+}
+
 /// A categorical partition of the environment.
 struct Partition {
     values: Vec<Value>,
@@ -455,6 +537,9 @@ pub struct TickIndexes<'a> {
     sweeps: FxHashMap<u64, Vec<Option<(f64, u32)>>>,
     /// Statistics.
     pub stats: TickStats,
+    /// Per-call-site observations (selectivity, rect areas, served
+    /// backends) for the cost-based planner's statistics feedback loop.
+    pub obs: TickObservations,
 }
 
 impl IndexManager {
@@ -471,7 +556,7 @@ impl IndexManager {
         let Some(spatial) = config.spatial else {
             return Ok(None);
         };
-        if self.policy.is_dynamic() && !self.synced {
+        if !self.synced && (self.policy.is_dynamic() || !self.dynamic.is_empty()) {
             return Err(ExecError::Internal(
                 "tick_view on an unsynced manager (call prepare/end_tick first)".into(),
             ));
@@ -488,6 +573,7 @@ impl IndexManager {
             enum_trees: FxHashMap::default(),
             sweeps: FxHashMap::default(),
             stats: TickStats::default(),
+            obs: TickObservations::default(),
         }))
     }
 }
@@ -605,10 +691,11 @@ impl<'a> TickIndexes<'a> {
         )))
     }
 
-    /// The maintained state for an aggregate, when the policy keeps one.
-    fn maintained(&self, name: &str) -> Option<&'a DynAggState> {
-        if self.config.policy.is_dynamic() {
-            self.manager.state(name)
+    /// The maintained state for an aggregate, when the policy (or the
+    /// cost-based choice) keeps one.
+    fn maintained(&self, plan: &PlannedAggregate) -> Option<&'a DynAggState> {
+        if plan_is_maintained(self.config.policy, plan) {
+            self.manager.state(&plan.def.name)
         } else {
             None
         }
@@ -743,6 +830,15 @@ impl<'a> TickIndexes<'a> {
         for (k, v) in param_bindings {
             ctx.bindings.insert(k.clone(), v.clone());
         }
+        // A cost-based choice of `Scan` sends the probe back to the caller's
+        // scan path (identical results, no structure built).
+        if planned
+            .choice
+            .as_ref()
+            .is_some_and(|c| c.backend == PhysicalBackend::Scan)
+        {
+            return Ok(None);
+        }
         match &planned.strategy {
             AggStrategy::Scan => Ok(None),
             AggStrategy::DivisibleTree {
@@ -772,18 +868,24 @@ impl<'a> TickIndexes<'a> {
         ));
         let mut acc = sgl_index::divisible::DivAcc::identity(channels.len());
 
-        if let Some(state) = self.maintained(&planned.def.name) {
+        let name = &planned.def.name;
+        if let Some(state) = self.maintained(planned) {
             for grid in Self::matching_grids(state, &required) {
                 acc.merge(&grid.probe_rect(&rect));
             }
             self.stats.maintained_probes += 1;
+            self.obs.record_partitions(name, state.grids.len());
+            self.obs
+                .record_served(name, PhysicalBackend::MaintainedGrid);
         } else {
             let kind = planned.structure(self.config).ok_or_else(|| {
                 ExecError::Internal("divisible strategy without a structure".into())
             })?;
             let cat_attrs = self.cat_attr_ids(&planned.analysis)?;
             let sig = self.ensure_partitions(&cat_attrs)?;
-            for part_fp in self.partition_fps(sig) {
+            let fps = self.partition_fps(sig);
+            self.obs.record_partitions(name, fps.len());
+            for part_fp in fps {
                 if !partition_matches(&self.partition_values(sig, part_fp), &required) {
                     continue;
                 }
@@ -791,8 +893,12 @@ impl<'a> TickIndexes<'a> {
                 let index = self.agg_structs.get(&key).expect("just ensured");
                 acc.merge(&index.probe_rect(&rect));
             }
+            self.obs.record_served(name, served_backend_of(kind));
         }
         self.stats.index_probes += 1;
+        self.obs.record_matched(name, acc.count().max(0.0) as u64);
+        let rect_area = (rect.x_max - rect.x_min) * (rect.y_max - rect.y_min);
+        self.obs.record_rect_area(name, rect_area);
 
         let outputs = match &planned.def.spec {
             AggSpec::Simple { outputs } => outputs,
@@ -847,7 +953,8 @@ impl<'a> TickIndexes<'a> {
             }
         };
 
-        if let Some(state) = self.maintained(&planned.def.name) {
+        let name = &planned.def.name;
+        if let Some(state) = self.maintained(planned) {
             use sgl_index::traits::SpatialIndex;
             for grid in Self::matching_grids(state, &required) {
                 if let Some((id, d2)) = grid.probe_nearest(&query) {
@@ -855,7 +962,11 @@ impl<'a> TickIndexes<'a> {
                 }
             }
             self.stats.maintained_probes += 1;
+            self.obs.record_partitions(name, state.grids.len());
+            self.obs
+                .record_served(name, PhysicalBackend::MaintainedGrid);
         } else {
+            self.obs.record_served(name, PhysicalBackend::KdTree);
             let cat_attrs = self.cat_attr_ids(&planned.analysis)?;
             let sig = self.ensure_partitions(&cat_attrs)?;
             for part_fp in self.partition_fps(sig) {
@@ -928,7 +1039,13 @@ impl<'a> TickIndexes<'a> {
             .ok_or_else(|| ExecError::Internal("min/max strategy requires a rectangle".into()))?;
         let required = Self::required_values(&planned.analysis, ctx)?;
 
-        if let Some(state) = self.maintained(&planned.def.name) {
+        let name = &planned.def.name;
+        self.obs
+            .record_rect_area(name, (rect.x_max - rect.x_min) * (rect.y_max - rect.y_min));
+        if let Some(state) = self.maintained(planned) {
+            self.obs.record_partitions(name, state.grids.len());
+            self.obs
+                .record_served(name, PhysicalBackend::MaintainedGrid);
             let grids = Self::matching_grids(state, &required);
             let mut fields = Vec::with_capacity(outputs.len());
             for (channel, o) in outputs.iter().enumerate() {
@@ -968,9 +1085,17 @@ impl<'a> TickIndexes<'a> {
         // quadtrees instead.
         let centred =
             (rect.x_min + rx - unit_x).abs() <= 1e-9 && (rect.y_min + ry - unit_y).abs() <= 1e-9;
-        if !centred {
+        // A cost-based choice of the quadtree skips the sweep batch even for
+        // centred probes (same results, different cost profile).
+        let quad_chosen = planned
+            .choice
+            .as_ref()
+            .is_some_and(|c| c.backend == PhysicalBackend::QuadTree);
+        if !centred || quad_chosen {
+            self.obs.record_served(name, PhysicalBackend::QuadTree);
             return self.eval_min_max_quadtree(planned, &outputs, &rect, &required);
         }
+        self.obs.record_served(name, PhysicalBackend::Sweep);
         let cat_attrs = self.cat_attr_ids(&planned.analysis)?;
         let sig = self.ensure_partitions(&cat_attrs)?;
         let my_row = self.table.find_key_readonly(ctx.unit_key).ok_or_else(|| {

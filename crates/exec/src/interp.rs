@@ -33,12 +33,15 @@ use sgl_lang::ast::{AggCall, Term};
 use sgl_lang::builtins::{ActionDef, Registry};
 use sgl_lang::eval::{eval_cond, eval_term, EvalContext, NoAggregates, ScriptValue};
 
+use sgl_algebra::cost::PhysicalBackend;
+
 use crate::builtin_eval::{bind_params, eval_aggregate_scan, eval_call_args};
 use crate::config::{ExecConfig, ExecMode, TickStats};
 use crate::error::{ExecError, Result};
 use crate::filter::analyze_filter;
 use crate::indexes::{hash_value, IndexManager, TickIndexes};
 use crate::planner::{plan_aggregate, PlannedAggregate};
+use crate::stats::TickObservations;
 
 /// One script to run in a tick: its optimized plan plus the acting units
 /// (row indices into the environment) that execute it.
@@ -99,12 +102,15 @@ pub fn execute_tick_with(
     execute_tick_planned(
         table, registry, runs, rng, config, manager, &planned, &constants,
     )
+    .map(|(effects, stats, _)| (effects, stats))
 }
 
 /// [`execute_tick_with`] with the aggregate plans and constants supplied by
 /// the caller — the engine caches both across ticks (they depend only on
 /// the registry, schema and configuration) instead of re-deriving them
-/// every tick.
+/// every tick.  Also returns the tick's per-call-site
+/// [`TickObservations`], which the engine feeds into the cost-based
+/// planner's statistics store.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_tick_planned(
     table: &EnvTable,
@@ -115,7 +121,7 @@ pub fn execute_tick_planned(
     manager: &mut IndexManager,
     planned: &FxHashMap<String, PlannedAggregate>,
     constants: &FxHashMap<String, Value>,
-) -> Result<(EffectBuffer, TickStats)> {
+) -> Result<(EffectBuffer, TickStats, TickObservations)> {
     let total_acting: usize = runs.iter().map(|r| r.acting_rows.len()).sum();
     let shards = config.parallelism.resolve(total_acting);
 
@@ -145,30 +151,31 @@ pub fn execute_tick_planned(
     if shards <= 1 {
         // Serial: fold every emission straight into the tick's buffer (no
         // logging detour for the default configuration).
-        let (sink, shard_stats) = run_shard(&shared, manager_view, runs, true)?;
+        let (sink, shard_stats, obs) = run_shard(&shared, manager_view, runs, true)?;
         let EffectSink::Direct(effects) = sink else {
             unreachable!("direct shard returns a direct sink");
         };
         stats.merge(&shard_stats);
         stats.effect_rows = effects.len();
-        return Ok((effects, stats));
+        return Ok((effects, stats, obs));
     }
 
     let shard_runs = shard_runs(runs, shards);
     let shared_ref = &shared;
-    let shard_results: Vec<(EffectSink, TickStats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shard_runs
-            .iter()
-            .map(|shard| scope.spawn(move || run_shard(shared_ref, manager_view, shard, false)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| match handle.join() {
-                Ok(result) => result,
-                Err(panic) => std::panic::resume_unwind(panic),
-            })
-            .collect::<Result<Vec<_>>>()
-    })?;
+    let shard_results: Vec<(EffectSink, TickStats, TickObservations)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shard_runs
+                .iter()
+                .map(|shard| scope.spawn(move || run_shard(shared_ref, manager_view, shard, false)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| match handle.join() {
+                    Ok(result) => result,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect::<Result<Vec<_>>>()
+        })?;
 
     // Replay the shards' per-run effect logs in the serial executor's order
     // — run-major (run 0 across all shards, then run 1, ...), each shard
@@ -176,12 +183,14 @@ pub fn execute_tick_planned(
     // applies the exact `⊕` fold sequence of serial execution.
     let mut effects = EffectBuffer::new(table.schema().clone());
     let mut run_logs: Vec<Vec<EffectLog>> = Vec::with_capacity(shards);
-    for (sink, shard_stats) in shard_results {
+    let mut obs = TickObservations::default();
+    for (sink, shard_stats, shard_obs) in shard_results {
         let EffectSink::Logs(logs) = sink else {
             unreachable!("parallel shards return logs");
         };
         run_logs.push(logs);
         stats.merge(&shard_stats);
+        obs.merge(&shard_obs);
     }
     for run_idx in 0..runs.len() {
         for logs in run_logs.iter_mut() {
@@ -191,7 +200,7 @@ pub fn execute_tick_planned(
         }
     }
     stats.effect_rows = effects.len();
-    Ok((effects, stats))
+    Ok((effects, stats, obs))
 }
 
 /// Effects emitted for one run by one shard, in emission order — the unit of
@@ -253,7 +262,7 @@ fn run_shard<'a>(
     manager: Option<&'a IndexManager>,
     runs: &[ScriptRun<'_>],
     direct: bool,
-) -> Result<(EffectSink, TickStats)> {
+) -> Result<(EffectSink, TickStats, TickObservations)> {
     let cache = match manager {
         Some(manager) => manager.tick_view(shared.table, shared.config, shared.constants)?,
         None => None,
@@ -261,6 +270,7 @@ fn run_shard<'a>(
     let mut state = ShardState {
         cache,
         memo: FxHashMap::default(),
+        obs: TickObservations::default(),
         effects: if direct {
             EffectSink::Direct(EffectBuffer::new(shared.table.schema().clone()))
         } else {
@@ -284,8 +294,9 @@ fn run_shard<'a>(
     }
     if let Some(cache) = state.cache.take() {
         state.stats.merge(&cache.stats);
+        state.obs.merge(&cache.obs);
     }
-    Ok((state.effects, state.stats))
+    Ok((state.effects, state.stats, state.obs))
 }
 
 /// Read-only state shared by every shard of a tick.  All fields are borrows
@@ -307,6 +318,9 @@ struct ShardState<'a> {
     cache: Option<TickIndexes<'a>>,
     /// Memo of aggregate results per (call fingerprint, unit row).
     memo: FxHashMap<(u64, u32), ScriptValue>,
+    /// Per-call-site observations for the cost-based planner (merged with
+    /// the cache's own observations at shard end).
+    obs: TickObservations,
     effects: EffectSink,
     stats: TickStats,
 }
@@ -477,6 +491,7 @@ impl<'a, 'p> Interp<'a, 'p> {
             .ok_or_else(|| ExecError::UnknownBuiltin(call.name.clone()))?;
         let params = bind_params(&def.name, &def.params, &args)?;
 
+        self.state.obs.record_probe(&call.name);
         let result = if self.shared.config.mode == ExecMode::Indexed {
             let planned = self
                 .shared
@@ -491,11 +506,17 @@ impl<'a, 'p> Interp<'a, 'p> {
                 Some(v) => v,
                 None => {
                     self.state.stats.naive_scans += 1;
+                    self.state
+                        .obs
+                        .record_served(&call.name, PhysicalBackend::Scan);
                     eval_aggregate_scan(def, &params, &ctx, self.shared.table)?
                 }
             }
         } else {
             self.state.stats.naive_scans += 1;
+            self.state
+                .obs
+                .record_served(&call.name, PhysicalBackend::Scan);
             eval_aggregate_scan(def, &params, &ctx, self.shared.table)?
         };
         if let Some(key) = memo_key {

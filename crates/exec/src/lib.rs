@@ -24,13 +24,18 @@ pub mod indexes;
 pub mod interp;
 pub mod oracle;
 pub mod planner;
+pub mod stats;
 
 pub use config::{
-    ExecConfig, ExecMode, MaintenancePolicy, Parallelism, RebuildBackend, SpatialAttrs, TickStats,
+    AdaptiveWindow, ExecConfig, ExecMode, MaintenancePolicy, Parallelism, PlannerMode,
+    RebuildBackend, SpatialAttrs, TickStats,
 };
 pub use error::{ExecError, Result};
 pub use filter::{analyze_filter, FilterAnalysis};
 pub use indexes::{fingerprint_values, IndexManager, MaintStats, TickIndexes};
 pub use interp::{execute_tick, execute_tick_planned, execute_tick_with, plan_registry, ScriptRun};
 pub use oracle::{execute_tick_oracle, OracleRun};
-pub use planner::{plan_aggregate, AggStrategy, PlannedAggregate};
+pub use planner::{
+    choose_physical, plan_aggregate, strategy_class, AggStrategy, PhysicalChoice, PlannedAggregate,
+};
+pub use stats::{CallObs, CallSiteStats, RuntimeStats, TickObservations, BACKEND_COUNT};

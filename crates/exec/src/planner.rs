@@ -10,6 +10,12 @@
 //! | `KdNearest` | argmin of squared distance | kD-tree per categorical partition |
 //! | `Scan` | anything else | per-unit scan (identical to the naive executor) |
 
+use rustc_hash::FxHashMap;
+
+use sgl_algebra::cost::{
+    best_alternative, price_alternatives, CostConstants, CostedAlternative, MaintenanceChoice,
+    PhysicalBackend, StrategyClass,
+};
 use sgl_env::Schema;
 use sgl_index::traits::AggStructureKind;
 use sgl_lang::ast::Term;
@@ -17,6 +23,7 @@ use sgl_lang::builtins::{AggSpec, AggregateDef, SimpleAgg};
 
 use crate::config::{ExecConfig, RebuildBackend, SpatialAttrs};
 use crate::filter::{analyze_filter, FilterAnalysis};
+use crate::stats::RuntimeStats;
 
 /// The physical strategy chosen for an aggregate.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +44,22 @@ pub enum AggStrategy {
     Scan,
 }
 
+/// The cost-based planner's decision for one call site: the chosen physical
+/// backend and maintenance, the modeled cost, and every priced alternative
+/// (kept for `explain`).  `None` on a [`PlannedAggregate`] means the
+/// heuristic mapping applies (policy/backend from the configuration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalChoice {
+    /// The structure that answers this call site.
+    pub backend: PhysicalBackend,
+    /// How the structure is kept in sync.
+    pub maintenance: MaintenanceChoice,
+    /// Modeled per-tick cost of the chosen alternative (µs).
+    pub est_us: f64,
+    /// Every priced alternative, in pricing order.
+    pub alternatives: Vec<CostedAlternative>,
+}
+
 /// A planned aggregate: definition + filter analysis + strategy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlannedAggregate {
@@ -46,6 +69,8 @@ pub struct PlannedAggregate {
     pub analysis: FilterAnalysis,
     /// Chosen strategy.
     pub strategy: AggStrategy,
+    /// Cost-based physical choice; `None` under the heuristic planner.
+    pub choice: Option<PhysicalChoice>,
 }
 
 impl PlannedAggregate {
@@ -63,6 +88,23 @@ impl PlannedAggregate {
     /// * `KdNearest` and `Scan` return `None` (kD-trees and scans are not
     ///   aggregate-accumulator structures).
     pub fn structure(&self, config: &ExecConfig) -> Option<AggStructureKind> {
+        if let Some(choice) = &self.choice {
+            // Cost-based: the choice names the structure directly.
+            return match choice.backend {
+                PhysicalBackend::Scan | PhysicalBackend::KdTree => None,
+                PhysicalBackend::LayeredTree => Some(AggStructureKind::LayeredTree {
+                    cascading: config.cascading,
+                }),
+                // `Sweep` keeps the quadtree as its fallback structure for
+                // probes the sweep batch cannot serve (non-centred rects).
+                PhysicalBackend::QuadTree | PhysicalBackend::Sweep => {
+                    Some(AggStructureKind::QuadTree { bucket: 8 })
+                }
+                PhysicalBackend::MaintainedGrid => {
+                    Some(AggStructureKind::DynamicGrid { cell: 0.0 })
+                }
+            };
+        }
         match &self.strategy {
             AggStrategy::Scan | AggStrategy::KdNearest => None,
             AggStrategy::DivisibleTree { .. } | AggStrategy::SweepMinMax
@@ -160,7 +202,60 @@ pub fn plan_aggregate(
         def: def.clone(),
         analysis,
         strategy,
+        choice: None,
     }
+}
+
+/// The cost-model strategy class of a planned aggregate; `None` for scan
+/// strategies (no alternatives to price).
+pub fn strategy_class(strategy: &AggStrategy) -> Option<StrategyClass> {
+    match strategy {
+        AggStrategy::DivisibleTree { .. } => Some(StrategyClass::Divisible),
+        AggStrategy::SweepMinMax => Some(StrategyClass::MinMax),
+        AggStrategy::KdNearest => Some(StrategyClass::Nearest),
+        AggStrategy::Scan => None,
+    }
+}
+
+/// One re-costing pass of the cost-based planner: price every alternative of
+/// every indexable call site from the runtime statistics and install the
+/// cheapest as the call site's [`PhysicalChoice`].  Returns how many call
+/// sites changed backend or maintenance — the `plan_switches` counter.
+///
+/// Every alternative returns identical results (the conformance lattice
+/// proves it), so this only ever moves *cost*, never observable behaviour.
+pub fn choose_physical(
+    planned: &mut FxHashMap<String, PlannedAggregate>,
+    stats: &RuntimeStats,
+    constants: &CostConstants,
+    cardinality: usize,
+    cascading: bool,
+) -> usize {
+    let mut switches = 0;
+    for (name, plan) in planned.iter_mut() {
+        let Some(class) = strategy_class(&plan.strategy) else {
+            plan.choice = None;
+            continue;
+        };
+        let inputs = stats.inputs_for(name, cardinality, cascading);
+        let alternatives = price_alternatives(class, &inputs, constants);
+        let best = best_alternative(&alternatives);
+        let changed = plan
+            .choice
+            .as_ref()
+            .map(|c| (c.backend, c.maintenance) != (best.backend, best.maintenance))
+            .unwrap_or(true);
+        if changed {
+            switches += 1;
+        }
+        plan.choice = Some(PhysicalChoice {
+            backend: best.backend,
+            maintenance: best.maintenance,
+            est_us: best.total_us(),
+            alternatives,
+        });
+    }
+    switches
 }
 
 fn choose_strategy(
@@ -480,6 +575,97 @@ mod tests {
             plan_aggregate(base, &schema, spatial(&schema)).strategy,
             AggStrategy::KdNearest
         );
+    }
+
+    #[test]
+    fn choose_physical_installs_and_switches_choices() {
+        use crate::stats::RuntimeStats;
+        let schema = paper_schema();
+        let registry = paper_registry();
+        let mut planned = FxHashMap::default();
+        for name in registry.aggregate_names() {
+            let def = registry.aggregate(name).unwrap();
+            planned.insert(
+                name.to_string(),
+                plan_aggregate(def, &schema, spatial(&schema)),
+            );
+        }
+        let constants = CostConstants::default();
+        let stats = RuntimeStats::default();
+
+        // Tiny environment: every indexable call site prices onto the scan
+        // path; the first pass counts one switch per priced call site.
+        let switches = choose_physical(&mut planned, &stats, &constants, 6, true);
+        let priced = planned
+            .values()
+            .filter(|p| strategy_class(&p.strategy).is_some())
+            .count();
+        assert!(priced > 0);
+        assert_eq!(switches, priced);
+        for plan in planned.values() {
+            match (&plan.choice, strategy_class(&plan.strategy)) {
+                (Some(choice), Some(_)) => {
+                    assert_eq!(choice.backend, PhysicalBackend::Scan, "{}", plan.def.name);
+                    assert!(!choice.alternatives.is_empty());
+                    assert!(choice.est_us.is_finite());
+                    // A scan choice routes probes away from the index cache.
+                    assert_eq!(plan.structure(&ExecConfig::indexed(&schema)), None);
+                }
+                (None, None) => {}
+                other => panic!("inconsistent choice {other:?}"),
+            }
+        }
+
+        // Same statistics again: nothing switches.
+        assert_eq!(
+            choose_physical(&mut planned, &stats, &constants, 6, true),
+            0
+        );
+        // A big environment re-prices every call site off the scan path.
+        let switches = choose_physical(&mut planned, &stats, &constants, 5000, true);
+        assert_eq!(switches, priced);
+        for plan in planned.values() {
+            if let Some(choice) = &plan.choice {
+                assert_ne!(choice.backend, PhysicalBackend::Scan, "{}", plan.def.name);
+            }
+        }
+    }
+
+    #[test]
+    fn choices_override_the_heuristic_structure_mapping() {
+        use sgl_algebra::cost::MaintenanceChoice;
+        use sgl_index::traits::AggStructureKind;
+        let schema = paper_schema();
+        let registry = paper_registry();
+        let mut count = plan_aggregate(
+            registry.aggregate("CountEnemiesInRange").unwrap(),
+            &schema,
+            spatial(&schema),
+        );
+        let config = ExecConfig::indexed(&schema);
+        let choose = |backend| PhysicalChoice {
+            backend,
+            maintenance: MaintenanceChoice::PerTick,
+            est_us: 1.0,
+            alternatives: Vec::new(),
+        };
+        count.choice = Some(choose(PhysicalBackend::QuadTree));
+        assert_eq!(
+            count.structure(&config),
+            Some(AggStructureKind::QuadTree { bucket: 8 })
+        );
+        count.choice = Some(choose(PhysicalBackend::MaintainedGrid));
+        assert_eq!(
+            count.structure(&config),
+            Some(AggStructureKind::DynamicGrid { cell: 0.0 })
+        );
+        count.choice = Some(choose(PhysicalBackend::LayeredTree));
+        assert_eq!(
+            count.structure(&config),
+            Some(AggStructureKind::LayeredTree { cascading: true })
+        );
+        count.choice = Some(choose(PhysicalBackend::Scan));
+        assert_eq!(count.structure(&config), None);
     }
 
     #[test]

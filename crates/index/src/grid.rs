@@ -240,7 +240,7 @@ mod tests {
 use rustc_hash::FxHashMap;
 
 use crate::divisible::DivAcc;
-use crate::traits::{AggIndex, ExtremumResult, IndexDelta, IndexRow, SpatialIndex};
+use crate::traits::{AggIndex, DeltaCostClass, ExtremumResult, IndexDelta, IndexRow, SpatialIndex};
 
 /// Per-cell summary of a [`DynamicAggGrid`]: the resident rows plus a
 /// divisible accumulator and per-channel extrema over them.
@@ -576,6 +576,19 @@ impl AggIndex for DynamicAggGrid {
 
     fn supports_deltas(&self) -> bool {
         true
+    }
+
+    fn delta_cost_class(&self) -> DeltaCostClass {
+        DeltaCostClass::Constant
+    }
+
+    fn density_hint(&self) -> Option<f64> {
+        let cells = self.occupied_cells();
+        if cells == 0 || self.rows.is_empty() || self.cell <= 0.0 {
+            return None;
+        }
+        let area = cells as f64 * self.cell * self.cell;
+        (area > 0.0).then(|| self.rows.len() as f64 / area)
     }
 }
 

@@ -75,6 +75,18 @@ pub enum IndexDelta {
     },
 }
 
+/// Coarse per-delta update-cost class of an [`AggIndex`] backend — a hint
+/// the cost-based planner maps onto its calibrated constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaCostClass {
+    /// The structure cannot absorb deltas; every change forces a rebuild.
+    RebuildOnly,
+    /// One delta costs `O(log n)` (balanced tree structures).
+    Logarithmic,
+    /// One delta costs `O(1)` amortised (hash grids).
+    Constant,
+}
+
 /// An extremum probe result: the extreme value and the id of a row attaining
 /// it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -133,6 +145,35 @@ pub trait AggIndex {
     /// Whether [`AggIndex::apply_delta`] is supported.
     fn supports_deltas(&self) -> bool {
         false
+    }
+
+    /// Approximate size of the structure in resident rows (the planner's
+    /// density statistics aggregate over this; the default is the exact row
+    /// count).
+    fn size_hint_rows(&self) -> usize {
+        self.len()
+    }
+
+    /// Coarse cost class of absorbing one [`IndexDelta`] — the
+    /// patch-vs-rebuild hint behind the cost model's calibrated delta
+    /// constants (`sgl-bench` asserts the maintained grid's advertised
+    /// class before measuring them).  Defaults to
+    /// [`DeltaCostClass::RebuildOnly`] for structures without delta
+    /// support.
+    fn delta_cost_class(&self) -> DeltaCostClass {
+        if self.supports_deltas() {
+            DeltaCostClass::Logarithmic
+        } else {
+            DeltaCostClass::RebuildOnly
+        }
+    }
+
+    /// Rows-per-area density of the indexed points, when the structure can
+    /// measure it from its own occupancy (cost-planner hint: maintained
+    /// grids report `rows / (occupied cells × cell area)`, which tracks
+    /// where units actually cluster better than a bounding box).
+    fn density_hint(&self) -> Option<f64> {
+        None
     }
 }
 
@@ -603,6 +644,15 @@ mod tests {
         assert!(grid.apply_delta(&delta));
         assert_eq!(grid.len(), 49);
         assert_eq!(tree.len(), 50);
+        // The advertised cost-class hints match the delta support.
+        assert_eq!(tree.delta_cost_class(), DeltaCostClass::RebuildOnly);
+        assert_eq!(grid.delta_cost_class(), DeltaCostClass::Constant);
+        assert_eq!(tree.size_hint_rows(), 50);
+        assert_eq!(grid.size_hint_rows(), 49);
+        assert!(grid.density_hint().is_some());
+        assert!(tree.density_hint().is_none());
+        let treap = DynamicXTreap::new();
+        assert_eq!(treap.delta_cost_class(), DeltaCostClass::Logarithmic);
     }
 
     #[test]

@@ -33,18 +33,22 @@ pub use script_gen::{generate_script, script_source, ScriptGenConfig};
 pub use world_gen::{generate_world, GeneratedWorld, WorldLayout, WorldSpec};
 
 use sgl_core::env::Schema;
-use sgl_core::exec::{ExecConfig, MaintenancePolicy, Parallelism, RebuildBackend};
+use sgl_core::exec::{ExecConfig, MaintenancePolicy, Parallelism, PlannerMode, RebuildBackend};
 
 /// The full executor-configuration lattice the conformance and golden-digest
-/// suites sweep (21 configurations):
+/// suites sweep (24 configurations):
 ///
 /// ```text
 /// {naive, planned} × {RebuildEachTick, Incremental, Adaptive}
 ///                  × {LayeredTree, QuadTree} × {serial, 2, 4 threads}
+///   + costbased(window=2) × {serial, 2, 4 threads}
 /// ```
 ///
 /// Maintenance policy and rebuild backend are index-layer knobs, so the
-/// naive executor contributes one entry per thread count.  The oracle
+/// naive executor contributes one entry per thread count.  The cost-based
+/// rows run the adaptive planner with a 2-tick re-costing window, so a 4–6
+/// tick conformance case re-costs (and may swap backends per call site)
+/// mid-run — proving adaptivity is observationally neutral.  The oracle
 /// configuration ([`ExecConfig::oracle`]) is deliberately *not* part of the
 /// lattice: it is the reference the lattice is compared against.
 pub fn config_lattice(schema: &Schema) -> Vec<(String, ExecConfig)> {
@@ -77,6 +81,12 @@ pub fn config_lattice(schema: &Schema) -> Vec<(String, ExecConfig)> {
                 ));
             }
         }
+        configs.push((
+            format!("planned/costbased/w2/{tname}"),
+            ExecConfig::cost_based(schema)
+                .with_planner(PlannerMode::cost_based(2))
+                .with_parallelism(par),
+        ));
     }
     configs
 }

@@ -56,4 +56,20 @@ fn main() {
             (cost.naive / cost.indexed).round()
         );
     }
+
+    // The physical side: run a battle under the cost-based planner and show
+    // the per-call-site choices (planned backend + priced alternatives +
+    // which backend actually served each call site at runtime).
+    use sgl::battle::{BattleScenario, ScenarioConfig};
+    use sgl::exec::{ExecConfig, PlannerMode};
+    let scenario = BattleScenario::generate(ScenarioConfig {
+        units: 200,
+        ..ScenarioConfig::default()
+    });
+    let mut sim = scenario.build_with_config(
+        ExecConfig::cost_based(&scenario.schema).with_planner(PlannerMode::cost_based(2)),
+    );
+    sim.run(6).expect("battle runs");
+    println!("\n=== cost-based physical plan after 6 ticks ===");
+    println!("{}", sim.explain());
 }

@@ -209,8 +209,9 @@ fn generated_cases_agree_with_the_oracle_across_the_lattice() {
 fn the_lattice_covers_the_advertised_configurations() {
     let schema = sgl::battle::battle_schema();
     let configs = lattice(&schema);
-    // 3 thread counts × (1 naive + 3 policies × 2 backends) = 21.
-    assert_eq!(configs.len(), 21);
+    // 3 thread counts × (1 naive + 3 policies × 2 backends + 1 cost-based)
+    // = 24.
+    assert_eq!(configs.len(), 24);
     let labels: Vec<&str> = configs.iter().map(|(l, _)| l.as_str()).collect();
     for needle in [
         "naive/serial",
