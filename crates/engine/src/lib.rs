@@ -734,6 +734,158 @@ impl Simulation {
         StateDigest::of_table(&self.table)
     }
 
+    /// Fingerprint of the registered scripts (names, selectors, plans).  A
+    /// checkpoint embeds it so a resume into a simulation running different
+    /// scripts is rejected instead of silently diverging: the environment
+    /// alone does not identify a game — the scripts are part of its state
+    /// trajectory.
+    fn scripts_fingerprint(&self) -> u64 {
+        let mut hash = sgl_env::checkpoint::Fnv64::new();
+        hash.write(&(self.scripts.len() as u64).to_le_bytes());
+        for script in &self.scripts {
+            hash.write(script.name.as_bytes());
+            hash.write(format!("{:?}", script.selector).as_bytes());
+            hash.write(format!("{:?}", script.plan).as_bytes());
+        }
+        hash.finish()
+    }
+
+    /// Serialize the complete run state of this simulation into a versioned
+    /// binary checkpoint: the environment table (as a
+    /// [`sgl_env::snapshot::snapshot`] section), the tick counter and RNG
+    /// seed (the entire RNG stream state — every draw is a pure hash of
+    /// `(seed, tick, unit key, i)`), the cross-tick [`RuntimeStats`], the
+    /// planner mode and installed physical choices, and the maintenance
+    /// counters.  Maintained index structures are *not* serialized: they are
+    /// a deterministic function of the table and are reconstructed on
+    /// [`Simulation::resume`].
+    ///
+    /// The encoding is deterministic: the same simulation state always
+    /// produces the same bytes.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        use sgl_env::checkpoint::{section, ByteWriter, CheckpointBuilder};
+        let fingerprint = sgl_env::snapshot::schema_fingerprint(self.table.schema());
+        let mut builder = CheckpointBuilder::new(fingerprint);
+        builder.section(
+            section::TABLE,
+            sgl_env::snapshot::snapshot(&self.table).to_vec(),
+        );
+        let mut clock = ByteWriter::new();
+        clock.u64(self.tick);
+        clock.u64(self.rng.seed());
+        clock.u64(self.scripts_fingerprint());
+        builder.section(section::CLOCK, clock.finish());
+        builder.section(
+            section::STATS,
+            sgl_exec::checkpoint::export_runtime_stats(&self.runtime_stats),
+        );
+        builder.section(
+            section::PLANNER,
+            sgl_exec::checkpoint::export_planner_state(self.exec_config.planner, &self.planned),
+        );
+        builder.section(
+            section::MAINT,
+            sgl_exec::checkpoint::export_maint_stats(&self.index_manager.last_maint),
+        );
+        builder.finish().to_vec()
+    }
+
+    /// Restore the run state saved by [`Simulation::checkpoint`] into this
+    /// simulation and continue under `config` — which may differ from the
+    /// writer's configuration in any behaviour-neutral knob (parallelism,
+    /// maintenance policy, rebuild backend, planner mode, even naive vs
+    /// indexed): the conformance lattice proves every configuration computes
+    /// the same game, so the resumed trajectory is digest-identical to an
+    /// uninterrupted run regardless.
+    ///
+    /// The simulation must have been built with the same schema and the same
+    /// scripts as the writer (both are fingerprint-checked; mismatches are
+    /// rejected with a typed [`sgl_env::EnvError::Checkpoint`]).  Everything
+    /// is validated *before* any state is replaced — a failed resume leaves
+    /// the simulation untouched.  On success the tick counter, RNG stream,
+    /// runtime statistics and (under a cost-based `config`) the installed
+    /// physical choices continue exactly where the writer stopped; the tick
+    /// history is cleared (it describes the writer's process, not this one)
+    /// and maintained index structures are deterministically reconstructed
+    /// from the restored table and validated eagerly.
+    pub fn resume(&mut self, bytes: &[u8], config: ExecConfig) -> Result<()> {
+        use sgl_env::checkpoint::{section, ByteReader, CheckpointReader};
+        let reader = CheckpointReader::parse(bytes).map_err(EngineError::Env)?;
+        let fingerprint = sgl_env::snapshot::schema_fingerprint(self.table.schema());
+        if reader.fingerprint() != fingerprint {
+            return Err(EngineError::Env(sgl_env::EnvError::Checkpoint(
+                "checkpoint was written against a different schema".into(),
+            )));
+        }
+        let table = sgl_env::snapshot::restore(
+            reader.require(section::TABLE, "environment table")?,
+            self.table.schema(),
+        )?;
+        let mut clock = ByteReader::new(reader.require(section::CLOCK, "simulation clock")?);
+        let tick = clock.u64("tick counter")?;
+        let seed = clock.u64("rng seed")?;
+        let scripts_fp = clock.u64("scripts fingerprint")?;
+        clock
+            .expect_end("simulation clock")
+            .map_err(EngineError::Env)?;
+        if scripts_fp != self.scripts_fingerprint() {
+            return Err(EngineError::Env(sgl_env::EnvError::Checkpoint(
+                "checkpoint was written by a simulation running different scripts".into(),
+            )));
+        }
+        let stats = sgl_exec::checkpoint::import_runtime_stats(
+            reader.require(section::STATS, "runtime statistics")?,
+        )?;
+        let (_writer_planner, choices) = sgl_exec::checkpoint::import_planner_state(
+            reader.require(section::PLANNER, "planner state")?,
+        )?;
+        let maint = sgl_exec::checkpoint::import_maint_stats(
+            reader.require(section::MAINT, "maintenance counters")?,
+        )?;
+
+        // Assemble the resumed plan and index state on the side, so *every*
+        // fallible step — including index reconstruction — happens before
+        // any of this simulation's state is replaced.
+        let mut planned = plan_registry(&self.registry, &table, &config);
+        if config.planner.is_cost_based() && config.mode == ExecMode::Indexed {
+            // Continue under the writer's physical plan so a resume mid
+            // re-costing window does not re-bootstrap from priors; the next
+            // window boundary re-prices as usual.  Under a heuristic resume
+            // configuration the choices are dropped — the heuristic mapping
+            // is the configuration's explicit request.
+            sgl_exec::checkpoint::install_choices(&mut planned, choices);
+        }
+        // Deterministic index reconstruction + eager resume-time validation:
+        // rebuild whatever maintained structures the resumed physical plan
+        // needs from the restored table now, so an unbuildable state fails
+        // here rather than mid-first-tick.  (Rebuilt and incrementally
+        // maintained structures answer identically — the equivalence suites
+        // prove it — so reconstruction never changes the game.)
+        let mut index_manager = IndexManager::new(&config);
+        if planned
+            .values()
+            .any(|p| index_manager.plan_is_maintained(p))
+        {
+            index_manager.prepare(&table, &planned, &self.constants)?;
+        }
+        // Restore the writer's maintenance counters on top of the
+        // reconstruction pass, so monitoring continuity survives a
+        // migration (the reconstruction is bookkeeping of the resume, not
+        // of a tick).
+        index_manager.last_maint = maint;
+
+        // Everything decoded, validated and rebuilt — commit.
+        self.table = table;
+        self.planned = planned;
+        self.index_manager = index_manager;
+        self.exec_config = config;
+        self.runtime_stats = stats;
+        self.rng = GameRng::new(seed);
+        self.tick = tick;
+        self.history.clear();
+        Ok(())
+    }
+
     /// Count units per value of an attribute (handy for reports and tests).
     pub fn population_by(&self, attr: AttrId) -> FxHashMap<i64, usize> {
         let mut out = FxHashMap::default();
@@ -1056,6 +1208,180 @@ mod tests {
         sim.set_exec_config(ExecConfig::oracle(&schema));
         let err = sim.step().unwrap_err();
         assert!(matches!(err, EngineError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_the_exact_digest_trajectory() {
+        // Uninterrupted reference run.
+        let (_, mut reference) = build_sim(26, true);
+        let digests: Vec<crate::replay::StateDigest> = (0..8)
+            .map(|_| {
+                reference.step().unwrap();
+                reference.digest()
+            })
+            .collect();
+        // Interrupted run: 3 ticks, checkpoint, resume into a fresh
+        // simulation, 5 more ticks — every digest must match bit for bit.
+        let (_, mut writer) = build_sim(26, true);
+        for (tick, expected) in digests.iter().take(3).enumerate() {
+            writer.step().unwrap();
+            assert_eq!(writer.digest(), *expected, "writer diverged at {tick}");
+        }
+        let bytes = writer.checkpoint();
+        assert_eq!(bytes, writer.checkpoint(), "checkpointing is deterministic");
+        let (_, mut resumed) = build_sim(26, true);
+        let config = *resumed.exec_config();
+        resumed.resume(&bytes, config).unwrap();
+        assert_eq!(resumed.current_tick(), 3);
+        assert_eq!(resumed.digest(), digests[2], "restored table digest");
+        assert!(resumed.history().is_empty());
+        for (tick, expected) in digests.iter().enumerate().skip(3) {
+            resumed.step().unwrap();
+            assert_eq!(
+                resumed.digest(),
+                *expected,
+                "resumed run diverged at {tick}"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_under_a_different_config_is_digest_identical() {
+        use sgl_exec::MaintenancePolicy;
+        let (_, mut reference) = build_sim(24, true);
+        let digests: Vec<crate::replay::StateDigest> = (0..7)
+            .map(|_| {
+                reference.step().unwrap();
+                reference.digest()
+            })
+            .collect();
+        let (_, mut writer) = build_sim(24, true);
+        for _ in 0..4 {
+            writer.step().unwrap();
+        }
+        let bytes = writer.checkpoint();
+        // Writer ran rebuild-each-tick serial; resume under incremental
+        // maintenance with 4 worker threads.
+        let (schema, mut resumed) = build_sim(24, true);
+        let config = ExecConfig::indexed(&schema)
+            .with_policy(MaintenancePolicy::Incremental)
+            .with_parallelism(Parallelism::Threads(4));
+        resumed.resume(&bytes, config).unwrap();
+        assert!(resumed.index_manager().policy().is_dynamic());
+        for (tick, expected) in digests.iter().enumerate().skip(4) {
+            resumed.step().unwrap();
+            assert_eq!(
+                resumed.digest(),
+                *expected,
+                "cross-config resume diverged at {tick}"
+            );
+        }
+        // The maintained structures were reconstructed at resume time.
+        assert!(resumed.index_manager().maintained_aggregates() > 0);
+    }
+
+    #[test]
+    fn resume_rejects_corruption_and_mismatches_without_touching_state() {
+        let (_, mut writer) = build_sim(12, true);
+        writer.run(2).unwrap();
+        let bytes = writer.checkpoint();
+
+        let (_, mut target) = build_sim(12, true);
+        target.run(1).unwrap();
+        let digest_before = target.digest();
+        let config = *target.exec_config();
+
+        // Bit flip anywhere fails with a typed checkpoint/snapshot error.
+        let mut corrupt = bytes.clone();
+        corrupt[bytes.len() / 2] ^= 0x40;
+        let err = target.resume(&corrupt, config).unwrap_err();
+        assert!(matches!(err, EngineError::Env(_)), "{err}");
+        // Truncation too.
+        let err = target
+            .resume(&bytes[..bytes.len() - 9], config)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Env(_)), "{err}");
+        // Different scripts: same schema, different behaviour.
+        let (_, mut other_scripts) = build_sim(12, true);
+        other_scripts.clear_scripts();
+        other_scripts.add_script(
+            "different",
+            compile("main(u) { perform MoveInDirection(u, 0, 0); }"),
+            UnitSelector::All,
+        );
+        let err = other_scripts.resume(&bytes, config).unwrap_err();
+        assert!(
+            err.to_string().contains("different scripts"),
+            "expected a scripts mismatch, got: {err}"
+        );
+        // A failed resume leaves the target untouched.
+        assert_eq!(target.digest(), digest_before);
+        assert_eq!(target.current_tick(), 1);
+        assert_eq!(target.history().len(), 1);
+    }
+
+    #[test]
+    fn resume_rejects_a_different_schema() {
+        let (_, mut writer) = build_sim(10, true);
+        writer.run(1).unwrap();
+        let bytes = writer.checkpoint();
+        // A simulation over a different schema must refuse the checkpoint.
+        let mut b = Schema::builder();
+        b.key("key")
+            .const_attr("posx", 0.0)
+            .const_attr("posy", 0.0)
+            .const_attr("health", 10i64)
+            .sum_attr("damage", 0i64);
+        let schema = b.build().unwrap().into_shared();
+        let table = EnvTable::new(Arc::clone(&schema));
+        let mechanics = Mechanics {
+            post: PostProcessor::new(Arc::clone(&schema)),
+            movement: None,
+            resurrect: None,
+        };
+        let mut sim = Simulation::new(
+            table,
+            paper_registry(),
+            mechanics,
+            ExecConfig::naive(&schema),
+            1,
+        );
+        let err = sim.resume(&bytes, ExecConfig::naive(&schema)).unwrap_err();
+        assert!(err.to_string().contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_carries_runtime_stats_and_planner_choices() {
+        use sgl_exec::PlannerMode;
+        let (schema, mut writer) = build_sim(30, true);
+        writer.set_exec_config(
+            ExecConfig::cost_based(&schema).with_planner(PlannerMode::cost_based(2)),
+        );
+        for _ in 0..5 {
+            writer.step().unwrap();
+        }
+        let stats_before = writer.runtime_stats().clone();
+        let choices_before = writer.physical_choices();
+        assert!(stats_before.ticks == 5 && !stats_before.calls.is_empty());
+        let bytes = writer.checkpoint();
+
+        let (_, mut resumed) = build_sim(30, true);
+        resumed
+            .resume(
+                &bytes,
+                ExecConfig::cost_based(&schema).with_planner(PlannerMode::cost_based(2)),
+            )
+            .unwrap();
+        assert_eq!(resumed.runtime_stats().ticks, 5);
+        assert_eq!(
+            resumed.runtime_stats().cardinality.to_bits(),
+            stats_before.cardinality.to_bits()
+        );
+        assert_eq!(
+            resumed.physical_choices(),
+            choices_before,
+            "installed physical choices survive the resume"
+        );
     }
 
     #[test]

@@ -155,6 +155,12 @@ impl TraceRecorder {
         });
     }
 
+    /// Append an already-recorded observation (splicing trace tails when
+    /// comparing a resumed run against the matching suffix of a full run).
+    pub fn push(&mut self, entry: TickTrace) {
+        self.entries.push(entry);
+    }
+
     /// The recorded entries.
     pub fn entries(&self) -> &[TickTrace] {
         &self.entries
@@ -172,7 +178,7 @@ impl TraceRecorder {
 }
 
 /// The result of comparing two traces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceComparison {
     /// The traces are identical (same length, same digests).
     Identical,
@@ -183,11 +189,40 @@ pub enum TraceComparison {
         /// Length of the second trace.
         right: usize,
     },
-    /// The traces diverge.
+    /// The traces diverge.  Both sides' recorded observations are carried so
+    /// a failing soak or determinism test can report *what* differed (both
+    /// digests, both populations, both death counts), not just where.
     DivergesAt {
-        /// First tick index at which the digests differ.
+        /// First tick index at which the recorded observations differ.
         tick: u64,
+        /// The first trace's observation at the divergent tick.
+        left: TickTrace,
+        /// The second trace's observation at the divergent tick.
+        right: TickTrace,
     },
+}
+
+impl std::fmt::Display for TraceComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceComparison::Identical => write!(f, "traces are identical"),
+            TraceComparison::LengthMismatch { left, right } => {
+                write!(f, "trace lengths differ: {left} vs {right} ticks")
+            }
+            TraceComparison::DivergesAt { tick, left, right } => write!(
+                f,
+                "traces diverge at tick {tick}: \
+                 left digest {:016x} (population {}, deaths {}) vs \
+                 right digest {:016x} (population {}, deaths {})",
+                left.digest.hash,
+                left.digest.population,
+                left.deaths,
+                right.digest.hash,
+                right.digest.population,
+                right.deaths,
+            ),
+        }
+    }
 }
 
 /// Compare two traces tick by tick.
@@ -196,6 +231,8 @@ pub fn compare_traces(a: &TraceRecorder, b: &TraceRecorder) -> TraceComparison {
         if ta.digest != tb.digest || ta.deaths != tb.deaths {
             return TraceComparison::DivergesAt {
                 tick: ta.tick.min(tb.tick),
+                left: *ta,
+                right: *tb,
             };
         }
     }
@@ -309,10 +346,14 @@ mod tests {
         let mut c = TraceRecorder::new();
         c.record(0, &t1, 0);
         c.record(1, &t2_diff, 1);
-        assert_eq!(
-            compare_traces(&a, &c),
-            TraceComparison::DivergesAt { tick: 1 }
-        );
+        match compare_traces(&a, &c) {
+            TraceComparison::DivergesAt { tick, left, right } => {
+                assert_eq!(tick, 1);
+                assert_eq!(left.digest, StateDigest::of_table(&t2));
+                assert_eq!(right.digest, StateDigest::of_table(&t2_diff));
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
 
         let mut d = TraceRecorder::new();
         d.record(0, &t1, 0);
@@ -332,9 +373,65 @@ mod tests {
         a.record(0, &t, 0);
         let mut b = TraceRecorder::new();
         b.record(0, &t, 2);
-        assert_eq!(
-            compare_traces(&a, &b),
-            TraceComparison::DivergesAt { tick: 0 }
+        match compare_traces(&a, &b) {
+            TraceComparison::DivergesAt { tick, left, right } => {
+                assert_eq!(tick, 0);
+                assert_eq!(left.deaths, 0);
+                assert_eq!(right.deaths, 2);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    /// Divergence reporting pins the first divergent tick and both sides'
+    /// population fields, and its rendered message names both digests —
+    /// the soak harness relies on this being diagnosable, not opaque.
+    #[test]
+    fn divergence_reports_carry_both_sides() {
+        let shared = table_with(&[(1, 1.0, 10), (2, 2.0, 20)]);
+        let left_t2 = table_with(&[(1, 1.5, 9), (2, 2.0, 20)]);
+        let right_t2 = table_with(&[(1, 1.5, 9)]); // unit 2 vanished
+        let left_t3 = table_with(&[(1, 1.6, 8), (2, 2.0, 20)]);
+
+        let mut a = TraceRecorder::new();
+        a.record(0, &shared, 0);
+        a.record(1, &left_t2, 0);
+        a.record(2, &left_t3, 0);
+        let mut b = TraceRecorder::new();
+        b.record(0, &shared, 0);
+        b.record(1, &right_t2, 1);
+        b.record(2, &left_t3, 0);
+
+        let cmp = compare_traces(&a, &b);
+        let TraceComparison::DivergesAt { tick, left, right } = cmp else {
+            panic!("expected divergence, got {cmp:?}");
+        };
+        // First divergent tick, not the last difference.
+        assert_eq!(tick, 1);
+        assert_eq!(left.digest.population, 2);
+        assert_eq!(right.digest.population, 1);
+        assert_eq!(left.digest, StateDigest::of_table(&left_t2));
+        assert_eq!(right.digest, StateDigest::of_table(&right_t2));
+
+        let message = cmp.to_string();
+        assert!(message.contains("tick 1"), "{message}");
+        assert!(
+            message.contains(&format!("{:016x}", left.digest.hash)),
+            "message must include the left digest: {message}"
         );
+        assert!(
+            message.contains(&format!("{:016x}", right.digest.hash)),
+            "message must include the right digest: {message}"
+        );
+        assert!(message.contains("population 2"), "{message}");
+        assert!(message.contains("population 1"), "{message}");
+
+        // The other variants render, too.
+        assert_eq!(compare_traces(&a, &a).to_string(), "traces are identical");
+        let mut short = TraceRecorder::new();
+        short.record(0, &shared, 0);
+        assert!(compare_traces(&a, &short)
+            .to_string()
+            .contains("3 vs 1 ticks"));
     }
 }

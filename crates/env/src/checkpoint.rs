@@ -1,0 +1,482 @@
+//! Versioned multi-section checkpoint framing.
+//!
+//! [`snapshot`](mod@crate::snapshot) serializes one table; a *checkpoint* of a
+//! running simulation needs more — the tick counter, the RNG seed, runtime
+//! statistics, installed physical plan choices, maintenance counters — and
+//! those sections live in different crates of the stack.  This module
+//! provides the shared container they are framed in:
+//!
+//! ```text
+//! magic (u32) · version (u16) · schema fingerprint (u64) · section count (u32)
+//!   section*: tag (u32) · length (u64) · payload
+//! trailing FNV-1a checksum (u64) over everything before it
+//! ```
+//!
+//! The container never interprets payloads; each layer reads and writes its
+//! own section through [`ByteWriter`] / [`ByteReader`], whose every read is
+//! bounds-checked and fails with a typed [`EnvError::Checkpoint`] — a
+//! corrupted or truncated checkpoint must never panic, allocate absurdly, or
+//! silently decode to wrong data.  Like snapshots, the encoding is
+//! deterministic byte for byte: the same simulation state always produces
+//! the same checkpoint, which is what lets the golden-checkpoint corpus pin
+//! the format.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::error::{EnvError, Result};
+
+/// Magic number at the start of every checkpoint (`"SGL\x43"`, 'C' for
+/// checkpoint — distinct from the table-snapshot magic).
+pub const MAGIC: u32 = 0x53474C43;
+/// Current checkpoint container version.
+pub const VERSION: u16 = 1;
+
+/// Section tags used by the engine checkpoint.  The container itself treats
+/// tags as opaque; these constants just keep the layers agreeing.
+pub mod section {
+    /// Environment table (a complete [`crate::snapshot::snapshot`] blob).
+    pub const TABLE: u32 = 1;
+    /// Simulation clock: tick counter, RNG seed, scripts fingerprint.
+    pub const CLOCK: u32 = 2;
+    /// Cross-tick runtime statistics (`sgl_exec::RuntimeStats`).
+    pub const STATS: u32 = 3;
+    /// Planner mode and installed per-call-site physical choices.
+    pub const PLANNER: u32 = 4;
+    /// Index maintenance counters of the most recent maintenance pass.
+    pub const MAINT: u32 = 5;
+}
+
+/// Streaming FNV-1a hasher — the one integrity/fingerprint hash of the
+/// persistence layer (snapshot checksums, checkpoint checksums, schema and
+/// script fingerprints).  Shared so the constants live in exactly one place:
+/// changing them invalidates every committed golden artifact at once.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// Start a hash at the FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64 {
+            state: 0xCBF2_9CE4_8422_2325,
+        }
+    }
+
+    /// Fold bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.state ^= *b as u64;
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+/// FNV-1a of one byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    fnv64(bytes)
+}
+
+fn err(msg: impl Into<String>) -> EnvError {
+    EnvError::Checkpoint(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Assembles a checkpoint from tagged sections.
+#[derive(Debug)]
+pub struct CheckpointBuilder {
+    fingerprint: u64,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl CheckpointBuilder {
+    /// Start a checkpoint bound to a schema fingerprint
+    /// ([`crate::snapshot::schema_fingerprint`]).
+    pub fn new(fingerprint: u64) -> CheckpointBuilder {
+        CheckpointBuilder {
+            fingerprint,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Append a section.  Tags must be unique within a checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate tag — the writer side is engine code, not
+    /// untrusted input, and a duplicate is a plain programming error.
+    pub fn section(&mut self, tag: u32, payload: Vec<u8>) -> &mut CheckpointBuilder {
+        assert!(
+            self.sections.iter().all(|(t, _)| *t != tag),
+            "duplicate checkpoint section tag {tag}"
+        );
+        self.sections.push((tag, payload));
+        self
+    }
+
+    /// Serialize the checkpoint (header, sections in insertion order,
+    /// trailing checksum).
+    pub fn finish(&self) -> Bytes {
+        let payload_len: usize = self.sections.iter().map(|(_, p)| p.len() + 12).sum();
+        let mut buf = BytesMut::with_capacity(32 + payload_len);
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u64_le(self.fingerprint);
+        buf.put_u32_le(self.sections.len() as u32);
+        for (tag, payload) in &self.sections {
+            buf.put_u32_le(*tag);
+            buf.put_u64_le(payload.len() as u64);
+            buf.put_slice(payload);
+        }
+        let checksum = fnv(&buf);
+        buf.put_u64_le(checksum);
+        buf.freeze()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// A parsed checkpoint: validated header and checksum, sections available by
+/// tag.  Unknown tags are preserved but ignored, so minor forward-compatible
+/// additions do not break old readers.
+#[derive(Debug)]
+pub struct CheckpointReader {
+    fingerprint: u64,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl CheckpointReader {
+    /// Parse and validate a checkpoint container.  Fails with a typed
+    /// [`EnvError::Checkpoint`] when the data is truncated, corrupted, of an
+    /// unsupported version, or structurally inconsistent.
+    pub fn parse(data: &[u8]) -> Result<CheckpointReader> {
+        // Smallest possible checkpoint: header (18 bytes) + checksum.
+        if data.len() < 4 + 2 + 8 + 4 + 8 {
+            return Err(err("checkpoint is too short"));
+        }
+        let (payload, checksum_bytes) = data.split_at(data.len() - 8);
+        let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+        if fnv(payload) != stored {
+            return Err(err("checksum mismatch (corrupted checkpoint)"));
+        }
+        let mut r = ByteReader::new(payload);
+        if r.u32("magic")? != MAGIC {
+            return Err(err("bad magic number (not a checkpoint)"));
+        }
+        let version = r.u16("version")?;
+        if version != VERSION {
+            return Err(err(format!("unsupported checkpoint version {version}")));
+        }
+        let fingerprint = r.u64("schema fingerprint")?;
+        let count = r.u32("section count")? as usize;
+        let mut sections = Vec::new();
+        for i in 0..count {
+            let tag = r.u32("section tag")?;
+            if sections.iter().any(|(t, _)| *t == tag) {
+                return Err(err(format!("duplicate section tag {tag}")));
+            }
+            let len = r.u64("section length")?;
+            if len > r.remaining() as u64 {
+                return Err(err(format!(
+                    "section {i} claims {len} bytes but only {} remain",
+                    r.remaining()
+                )));
+            }
+            sections.push((tag, r.bytes(len as usize, "section payload")?.to_vec()));
+        }
+        r.expect_end("checkpoint sections")?;
+        Ok(CheckpointReader {
+            fingerprint,
+            sections,
+        })
+    }
+
+    /// The schema fingerprint the checkpoint was written against.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// A section payload by tag, if present.
+    pub fn section(&self, tag: u32) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, p)| p.as_slice())
+    }
+
+    /// A section payload by tag, failing with a typed error naming the
+    /// missing section.
+    pub fn require(&self, tag: u32, what: &str) -> Result<&[u8]> {
+        self.section(tag).ok_or_else(|| {
+            err(format!(
+                "checkpoint is missing its {what} section (tag {tag})"
+            ))
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoding helpers
+// ---------------------------------------------------------------------------
+
+/// Little-endian primitive writer for section payloads.  Deterministic by
+/// construction; callers are responsible for emitting map contents in a
+/// sorted order.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Start an empty payload.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its little-endian bit pattern (exact round trip,
+    /// NaN payloads included).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// The finished payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian reader over a section payload.  Every read
+/// names what it was reading, so truncation errors say which field broke.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from a payload slice.
+    pub fn new(data: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { data }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.data.len() < n {
+            return Err(err(format!(
+                "unexpected end of checkpoint while reading {what} \
+                 (need {n} bytes, have {})",
+                self.data.len()
+            )));
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self, what: &str) -> Result<u16> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn f64(&mut self, what: &str) -> Result<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        self.take(n, what)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &str) -> Result<String> {
+        let len = self.u32(what)? as usize;
+        if len > self.remaining() {
+            return Err(err(format!(
+                "{what} claims {len} bytes but only {} remain",
+                self.remaining()
+            )));
+        }
+        String::from_utf8(self.take(len, what)?.to_vec())
+            .map_err(|_| err(format!("invalid UTF-8 in {what}")))
+    }
+
+    /// Fail unless the payload was consumed exactly.
+    pub fn expect_end(&self, what: &str) -> Result<()> {
+        if self.data.is_empty() {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "{} trailing bytes after {what}",
+                self.data.len()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Bytes {
+        let mut b = CheckpointBuilder::new(0xDEAD_BEEF);
+        let mut w = ByteWriter::new();
+        w.u64(42);
+        w.str("hello");
+        w.f64(-0.5);
+        b.section(section::CLOCK, w.finish());
+        b.section(section::STATS, vec![1, 2, 3]);
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_sections_and_fingerprint() {
+        let bytes = sample();
+        let r = CheckpointReader::parse(&bytes).unwrap();
+        assert_eq!(r.fingerprint(), 0xDEAD_BEEF);
+        assert_eq!(r.section(section::STATS), Some(&[1u8, 2, 3][..]));
+        assert!(r.section(section::TABLE).is_none());
+        let mut br = ByteReader::new(r.require(section::CLOCK, "clock").unwrap());
+        assert_eq!(br.u64("tick").unwrap(), 42);
+        assert_eq!(br.str("name").unwrap(), "hello");
+        assert_eq!(br.f64("x").unwrap(), -0.5);
+        br.expect_end("clock").unwrap();
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(sample(), sample());
+    }
+
+    #[test]
+    fn every_truncation_fails_typed() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            let e = CheckpointReader::parse(&bytes[..cut]).unwrap_err();
+            assert!(matches!(e, EnvError::Checkpoint(_)), "cut {cut}: {e}");
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_fails_typed() {
+        let bytes = sample().to_vec();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            let e = CheckpointReader::parse(&bad).unwrap_err();
+            assert!(matches!(e, EnvError::Checkpoint(_)), "byte {i}: {e}");
+        }
+    }
+
+    #[test]
+    fn oversized_section_lengths_are_rejected_before_allocation() {
+        // Hand-build a header that claims a section far larger than the
+        // payload, with a valid checksum, so the length guard (not the
+        // checksum) must catch it.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u64_le(7);
+        buf.put_u32_le(1);
+        buf.put_u32_le(section::TABLE);
+        buf.put_u64_le(u64::MAX);
+        let checksum = fnv64(&buf);
+        buf.put_u64_le(checksum);
+        let e = CheckpointReader::parse(&buf).unwrap_err();
+        assert!(matches!(e, EnvError::Checkpoint(_)), "{e}");
+        assert!(e.to_string().contains("claims"));
+    }
+
+    #[test]
+    fn missing_sections_fail_with_a_named_error() {
+        let bytes = sample();
+        let r = CheckpointReader::parse(&bytes).unwrap();
+        let e = r.require(section::PLANNER, "planner state").unwrap_err();
+        assert!(e.to_string().contains("planner state"), "{e}");
+    }
+
+    #[test]
+    fn wrong_magic_and_garbage_fail_typed() {
+        for data in [&[][..], &[0u8; 8], &[0xFFu8; 64]] {
+            assert!(matches!(
+                CheckpointReader::parse(data),
+                Err(EnvError::Checkpoint(_))
+            ));
+        }
+        // A valid table snapshot is not a checkpoint.
+        let schema = crate::schema::paper_schema().into_shared();
+        let table = crate::table::EnvTable::new(schema);
+        let snap = crate::snapshot::snapshot(&table);
+        assert!(matches!(
+            CheckpointReader::parse(&snap),
+            Err(EnvError::Checkpoint(_))
+        ));
+    }
+}

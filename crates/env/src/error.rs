@@ -34,6 +34,10 @@ pub enum EnvError {
     /// A serialized snapshot could not be decoded (truncated, corrupted, or
     /// written against a different schema).
     Snapshot(String),
+    /// A serialized checkpoint could not be decoded or does not match the
+    /// resuming simulation (truncated, corrupted, wrong version, different
+    /// schema or scripts).
+    Checkpoint(String),
 }
 
 impl fmt::Display for EnvError {
@@ -57,6 +61,7 @@ impl fmt::Display for EnvError {
             EnvError::UnknownKey(k) => write!(f, "unknown key {k}"),
             EnvError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
             EnvError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            EnvError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -89,6 +94,8 @@ mod tests {
             (EnvError::DuplicateKey(7), "7"),
             (EnvError::UnknownKey(9), "9"),
             (EnvError::Arithmetic("div by zero".into()), "div by zero"),
+            (EnvError::Snapshot("truncated".into()), "truncated"),
+            (EnvError::Checkpoint("bad magic".into()), "bad magic"),
         ];
         for (err, needle) in cases {
             assert!(

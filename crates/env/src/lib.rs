@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod combine;
 pub mod effects;
 pub mod error;

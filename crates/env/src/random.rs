@@ -28,6 +28,14 @@ impl GameRng {
         GameRng { seed }
     }
 
+    /// The seed this source was created from.  Because every draw is a pure
+    /// hash of `(seed, tick, unit key, i)`, the seed *is* the complete RNG
+    /// stream state — persisting it (plus the tick counter) in a checkpoint
+    /// reproduces the remaining stream exactly.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The per-tick random function handed to scripts at tick `tick`.
     pub fn for_tick(&self, tick: u64) -> TickRandom {
         TickRandom {

@@ -35,24 +35,18 @@ const TAG_STR: u8 = 4;
 /// kinds (defaults are not part of the identity — they only matter when
 /// spawning new units).
 pub fn schema_fingerprint(schema: &Schema) -> u64 {
-    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
-    let mut write = |bytes: &[u8]| {
-        for b in bytes {
-            hash ^= *b as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
+    let mut hash = crate::checkpoint::Fnv64::new();
     for attr in schema.attrs() {
-        write(attr.name.as_bytes());
-        write(&[match attr.kind {
+        hash.write(attr.name.as_bytes());
+        hash.write(&[match attr.kind {
             crate::schema::CombineKind::Const => 0u8,
             crate::schema::CombineKind::Sum => 1,
             crate::schema::CombineKind::Max => 2,
             crate::schema::CombineKind::Min => 3,
         }]);
     }
-    write(&(schema.len() as u64).to_le_bytes());
-    hash
+    hash.write(&(schema.len() as u64).to_le_bytes());
+    hash.finish()
 }
 
 /// Serialize a table into a self-describing snapshot.
@@ -113,7 +107,25 @@ pub fn restore(data: &[u8], schema: &std::sync::Arc<Schema>) -> Result<EnvTable>
             schema.len()
         )));
     }
-    let rows = cursor.get_u64_le() as usize;
+    let rows = cursor.get_u64_le();
+    // The smallest encoded value is two bytes (tag + bool payload); a row
+    // count the remaining payload cannot possibly hold is rejected up front,
+    // before the decode loop reserves any per-row memory.  The checksum
+    // catches random corruption, but a crafted blob with a recomputed
+    // checksum must fail through typed bounds checks too.
+    let min_bytes = rows
+        .checked_mul(arity as u64)
+        .and_then(|v| v.checked_mul(2));
+    match min_bytes {
+        Some(need) if need <= cursor.remaining() as u64 => {}
+        _ => {
+            return Err(EnvError::Snapshot(format!(
+                "snapshot claims {rows} rows but only {} payload bytes remain",
+                cursor.remaining()
+            )))
+        }
+    }
+    let rows = rows as usize;
 
     let mut table = EnvTable::new(std::sync::Arc::clone(schema));
     for _ in 0..rows {
@@ -193,14 +205,7 @@ fn get_value(cursor: &mut &[u8]) -> Result<Value> {
     }
 }
 
-fn fnv(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
-    for b in bytes {
-        hash ^= *b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
-}
+use crate::checkpoint::fnv64 as fnv;
 
 #[cfg(test)]
 mod tests {
@@ -341,6 +346,22 @@ mod tests {
             .min_attr("slow", 0i64);
         let c = builder.build().unwrap();
         assert_ne!(schema_fingerprint(&a), schema_fingerprint(&c));
+    }
+
+    #[test]
+    fn absurd_row_counts_with_a_fixed_checksum_are_rejected() {
+        // Corrupt the row-count field to u64::MAX and recompute the trailing
+        // checksum, so the bounds guard (not the checksum) must reject it.
+        let table = sample_table(4);
+        let bytes = snapshot(&table);
+        let mut forged = bytes[..bytes.len() - 8].to_vec();
+        let rows_at = 4 + 2 + 8 + 4;
+        forged[rows_at..rows_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let checksum = fnv(&forged);
+        forged.extend_from_slice(&checksum.to_le_bytes());
+        let err = restore(&forged, table.schema()).unwrap_err();
+        assert!(matches!(err, EnvError::Snapshot(_)));
+        assert!(err.to_string().contains("rows"), "{err}");
     }
 
     #[test]

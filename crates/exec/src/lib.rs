@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod builtin_eval;
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod filter;

@@ -17,7 +17,10 @@
 //!   coordinates);
 //! * [`case`] — [`ConformanceCase`], one `(script, world, seed)` triple with
 //!   plumbing to build a simulation under any [`sgl_core::exec::ExecConfig`]
-//!   and collect per-tick [`StateDigest`](sgl_core::engine::StateDigest)s.
+//!   and collect per-tick [`StateDigest`](sgl_core::engine::StateDigest)s;
+//! * [`soak`] — the long-horizon soak harness: thousands of ticks with
+//!   population churn, seeded checkpoint/resume into shadow simulations
+//!   under different configurations, and cross-tick invariant checks.
 //!
 //! Everything is a pure function of its seed: a failing case reported by
 //! `tests/conformance.rs` reproduces from the seed alone, forever.
@@ -26,10 +29,12 @@
 
 pub mod case;
 pub mod script_gen;
+pub mod soak;
 pub mod world_gen;
 
 pub use case::ConformanceCase;
 pub use script_gen::{generate_script, script_source, ScriptGenConfig};
+pub use soak::{run_soak, SoakFailure, SoakReport, SoakSpec};
 pub use world_gen::{generate_world, GeneratedWorld, WorldLayout, WorldSpec};
 
 use sgl_core::env::Schema;

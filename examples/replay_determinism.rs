@@ -8,7 +8,11 @@
 //!    recording a per-tick state digest with the replay harness;
 //! 2. compare the two traces (they must be identical);
 //! 3. snapshot the final environment to bytes, restore it, and check the
-//!    digest survives the round trip (the save-game substrate).
+//!    digest survives the round trip (the save-game substrate);
+//! 4. checkpoint a *running* simulation mid-battle, resume it into a fresh
+//!    simulation under a different executor configuration, and check the
+//!    resumed run reproduces the uninterrupted trace tick for tick (the
+//!    pause/migrate/crash-recover substrate).
 //!
 //! ```text
 //! cargo run --release --example replay_determinism
@@ -62,12 +66,8 @@ fn main() {
     let (_, indexed_trace, indexed_sim) = &traces[1];
     match compare_traces(naive_trace, indexed_trace) {
         TraceComparison::Identical => println!("traces: identical over {ticks} ticks ✓"),
-        TraceComparison::DivergesAt { tick } => {
-            panic!("traces diverge at tick {tick}: the optimization changed game semantics")
-        }
-        TraceComparison::LengthMismatch { left, right } => {
-            panic!("trace lengths differ: {left} vs {right}")
-        }
+        // The Display form names the divergent tick and both digests.
+        diverged => panic!("the optimization changed game semantics: {diverged}"),
     }
 
     // 3. Save-game round trip.
@@ -83,4 +83,46 @@ fn main() {
         "snapshot: {} bytes, digest preserved across save/restore ✓",
         bytes.len()
     );
+
+    // 4. Checkpoint a *running* game mid-battle and resume it elsewhere.
+    //    Unlike the table snapshot above, the checkpoint also carries the
+    //    tick counter, the RNG stream state, the runtime statistics and the
+    //    planner state — everything the remaining trajectory depends on.
+    let split = 6;
+    let mut writer = scenario.build_simulation(ExecMode::Indexed);
+    for _ in 0..split {
+        writer.step().expect("tick succeeds");
+    }
+    let checkpoint = writer.checkpoint();
+    println!(
+        "checkpoint: {} bytes after tick {split} (tick counter, RNG seed, \
+         stats, planner state + table)",
+        checkpoint.len()
+    );
+    drop(writer);
+
+    // Resume into a brand-new simulation — here even under a different
+    // configuration (naive execution): every knob is behaviour-neutral, so
+    // the resumed run must still reproduce the uninterrupted indexed trace.
+    let mut resumed = scenario.build_simulation(ExecMode::Naive);
+    let naive_config = *resumed.exec_config();
+    resumed
+        .resume(&checkpoint, naive_config)
+        .expect("checkpoint resumes");
+    let mut resumed_trace = TraceRecorder::new();
+    for _ in split..ticks {
+        let report = resumed.step().expect("tick succeeds");
+        resumed_trace.record(report.tick, resumed.table(), report.deaths);
+    }
+    let mut reference_tail = TraceRecorder::new();
+    for entry in &indexed_trace.entries()[split..] {
+        reference_tail.push(*entry);
+    }
+    match compare_traces(&reference_tail, &resumed_trace) {
+        TraceComparison::Identical => println!(
+            "resume: ticks {split}..{ticks} identical to the uninterrupted run \
+             (indexed writer → naive reader) ✓"
+        ),
+        diverged => panic!("checkpoint/resume changed game semantics: {diverged}"),
+    }
 }

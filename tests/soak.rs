@@ -1,0 +1,62 @@
+//! Long-horizon soak: drive generated worlds for many ticks with population
+//! churn, checkpointing at seeded intervals and checking cross-tick
+//! invariants (see `sgl_testkit::soak`).
+//!
+//! The tick budget is wall-clock bounded through `SGL_SOAK_TICKS` (tier-1
+//! default 160 per seed; the CI soak job runs thousands in release mode).
+//! On failure the complete reproducer dump is written to
+//! `target/soak/soak-seed<seed>.txt` — the CI job uploads that directory as
+//! an artifact.
+
+use std::path::PathBuf;
+
+use sgl_testkit::{run_soak, SoakSpec};
+
+fn tick_budget() -> usize {
+    std::env::var("SGL_SOAK_TICKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(160)
+}
+
+fn dump_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    PathBuf::from(target).join("soak")
+}
+
+#[test]
+fn long_horizon_soak_with_seeded_checkpoints() {
+    let ticks = tick_budget();
+    for seed in [1u64, 2, 3] {
+        let spec = SoakSpec::new(seed, ticks);
+        match run_soak(&spec) {
+            Ok(report) => {
+                eprintln!(
+                    "soak seed {seed}: {} ticks · {} checkpoints · {} shadow ticks · \
+                     {} deaths · final pop {} · primary {} · shadow {}",
+                    report.ticks,
+                    report.checkpoints,
+                    report.shadow_ticks,
+                    report.deaths,
+                    report.final_population,
+                    report.configs[0],
+                    report.configs[1],
+                );
+                assert_eq!(report.ticks, ticks);
+                assert!(report.checkpoints >= 1, "soak never checkpointed");
+                assert!(report.shadow_ticks >= 1, "soak never compared a shadow");
+            }
+            Err(failure) => {
+                let dir = dump_dir();
+                let _ = std::fs::create_dir_all(&dir);
+                let path = dir.join(format!("soak-seed{seed}.txt"));
+                let _ = std::fs::write(&path, &failure.dump);
+                panic!(
+                    "{failure}\nreproducer dump written to {}\n{}",
+                    path.display(),
+                    failure.dump
+                );
+            }
+        }
+    }
+}
