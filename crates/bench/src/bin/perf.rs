@@ -2,25 +2,31 @@
 //!
 //! Runs the engine-level perf suite (fixed seeds, wall-clock per-phase
 //! timings via the engine's `PhaseTimings` — no criterion sampling), writes
-//! the machine-readable summary as `BENCH_4.json`, and — when a baseline is
-//! given — fails with exit code 1 if any tracked scenario's anchor-relative
-//! throughput regressed more than the tolerance (default 25 %).
+//! the machine-readable summary as `BENCH_8.json`, and fails with exit
+//! code 1 if either gate fires:
+//!
+//! * a baseline was given and a tracked scenario's anchor-relative
+//!   throughput regressed more than the tolerance (default 25 %);
+//! * any `compiled_*` scenario failed to beat its `indexed_*` interpreter
+//!   twin by `--min-compiled-speedup` (default 1.0 — never slower).
 //!
 //! ```text
-//! perf [--out PATH] [--baseline PATH] [--max-regression FRACTION] [--calibrate]
+//! perf [--out PATH] [--baseline PATH] [--max-regression FRACTION]
+//!      [--min-compiled-speedup RATIO] [--calibrate]
 //! ```
 
 use std::process::ExitCode;
 
 use sgl_bench::{
-    calibrate_cost_constants, compare_reports, constants_summary, parse_report, report_to_json,
-    run_perf_suite,
+    calibrate_cost_constants, compare_reports, compiled_gate, compiled_speedups, constants_summary,
+    parse_report, report_to_json, run_perf_suite,
 };
 
 fn main() -> ExitCode {
-    let mut out_path = String::from("BENCH_4.json");
+    let mut out_path = String::from("BENCH_8.json");
     let mut baseline_path: Option<String> = None;
     let mut max_regression = 0.25f64;
+    let mut min_compiled_speedup = 1.0f64;
     let mut calibrate = false;
 
     let mut args = std::env::args().skip(1);
@@ -35,12 +41,20 @@ fn main() -> ExitCode {
                     .parse()
                     .expect("--max-regression must be a number in (0, 1)");
             }
+            "--min-compiled-speedup" => {
+                min_compiled_speedup = args
+                    .next()
+                    .expect("--min-compiled-speedup needs a ratio")
+                    .parse()
+                    .expect("--min-compiled-speedup must be a positive number");
+            }
             "--calibrate" => calibrate = true,
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: perf [--out PATH] [--baseline PATH] \
-                     [--max-regression FRACTION] [--calibrate]"
+                     [--max-regression FRACTION] [--min-compiled-speedup RATIO] \
+                     [--calibrate]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -67,6 +81,19 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {out_path}");
+
+    for (suffix, ratio) in compiled_speedups(&report) {
+        eprintln!("  compiled vs interpreter ({suffix}): {ratio:.2}×");
+    }
+    let compiled_violations = compiled_gate(&report, min_compiled_speedup);
+    if !compiled_violations.is_empty() {
+        eprintln!("compiled gate FAILED:");
+        for v in &compiled_violations {
+            eprintln!("  {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+    eprintln!("compiled gate passed: every compiled scenario ≥ {min_compiled_speedup:.2}× its interpreter twin");
 
     if let Some(path) = baseline_path {
         let text = match std::fs::read_to_string(&path) {

@@ -25,7 +25,7 @@ use std::time::Instant;
 use sgl_battle::{BattleScenario, ScenarioConfig};
 use sgl_core::algebra::cost::CostConstants;
 use sgl_core::engine::{PhaseTimings, Simulation};
-use sgl_core::exec::{ExecConfig, PlannerMode};
+use sgl_core::exec::{ExecConfig, ExecMode, PlannerMode};
 use sgl_index::agg_tree::{AggEntry, LayeredAggTree};
 use sgl_index::grid::DynamicAggGrid;
 use sgl_index::kdtree::KdTree;
@@ -101,6 +101,16 @@ pub struct PerfReport {
     pub tracked: Vec<String>,
 }
 
+/// Which script roster a perf scenario registers.
+#[derive(Clone, Copy, PartialEq)]
+enum ScriptRoster {
+    /// The knight/archer/healer battle scripts (aggregate-probe heavy).
+    BattleDefault,
+    /// One steering script for every unit (scalar-arithmetic heavy — the
+    /// workload class the register bytecode accelerates most).
+    Steering,
+}
+
 struct ScenarioSpec {
     name: &'static str,
     units: usize,
@@ -108,11 +118,79 @@ struct ScenarioSpec {
     ticks: usize,
     tracked: bool,
     config: fn(&BattleScenario) -> ExecConfig,
+    roster: ScriptRoster,
 }
 
-/// The fixed scenario list: one naive anchor plus the three indexed
-/// configurations the gate tracks.  Everything is seeded; the simulated
-/// battles are bit-reproducible, only the wall clock varies.
+/// SGL source of the steering script: a damped flocking rule — blend
+/// attraction to the enemy centroid with cohesion toward allies, scaled by
+/// health-derived bravery, then normalise the step vector.  Most of its
+/// per-unit cost is scalar arithmetic over `let` bindings rather than
+/// aggregate probes, so it isolates the script-evaluation overhead the
+/// bytecode VM removes.
+const STEERING_SCRIPT: &str = r#"
+main(u) {
+  (let visible = CountEnemiesInRange(u, u.sight))
+  (let in_reach = CountEnemiesInRange(u, u.range))
+  (let ec = CentroidOfEnemies(u, u.sight))
+  (let ac = CentroidOfAllies(u, u.sight))
+  (let dxe = ec.x - u.posx)
+  (let dye = ec.y - u.posy)
+  (let de = sqrt(dxe * dxe + dye * dye) + 1.0)
+  (let dxa = ac.x - u.posx)
+  (let dya = ac.y - u.posy)
+  (let da = sqrt(dxa * dxa + dya * dya) + 1.0)
+  (let press = (visible * 1.0) / (visible + u.morale + 1))
+  (let vitality = u.health / u.max_health)
+  (let brave = vitality * (1.0 - press))
+  (let fear = 1.0 - brave)
+  (let chase_x = brave * dxe / de)
+  (let chase_y = brave * dye / de)
+  (let flee_x = 0.0 - fear * dxe / de)
+  (let flee_y = 0.0 - fear * dye / de)
+  (let cohere_x = 0.25 * dxa / da)
+  (let cohere_y = 0.25 * dya / da)
+  (let jitter = abs(dxe) - abs(dye))
+  (let bias = jitter / (abs(jitter) + 8.0))
+  (let sx = chase_x + flee_x + cohere_x + 0.05 * bias)
+  (let sy = chase_y + flee_y + cohere_y - 0.05 * bias)
+  (let mag = sqrt(sx * sx + sy * sy) + 0.001)
+  (let step_x = 3.0 * sx / mag)
+  (let step_y = 3.0 * sy / mag) {
+    if in_reach > 0 and u.cooldown = 0 then
+      perform Strike(u, getNearestEnemy(u).key);
+    else
+      perform MoveInDirection(u, u.posx + step_x, u.posy + step_y);
+  }
+}
+"#;
+
+/// Build a simulation running [`STEERING_SCRIPT`] on every unit of a
+/// generated battle (same schema, mechanics and seed as the default roster).
+fn build_steering(scenario: &BattleScenario, exec: ExecConfig) -> Simulation {
+    use sgl_core::engine::UnitSelector;
+    sgl_core::GameBuilder::new(
+        std::sync::Arc::clone(&scenario.schema),
+        sgl_battle::battle_registry(),
+        sgl_battle::battle_mechanics(
+            &scenario.schema,
+            scenario.world_side,
+            scenario.config.resurrect,
+        ),
+    )
+    .exec_config(exec)
+    .seed(scenario.config.seed)
+    .script("steering", STEERING_SCRIPT, UnitSelector::All)
+    .build(scenario.table.clone())
+    .expect("steering script compiles")
+}
+
+/// The fixed scenario list: one naive anchor, the three plan-interpreter
+/// configurations the gate has tracked since PR 4 (pinned to
+/// [`ExecMode::Indexed`] — the presets consult `SGL_EXEC_MODE`, and perf
+/// numbers must not depend on an environment knob), and a register-bytecode
+/// twin for each so every report carries both sides of the compiled-vs-
+/// interpreter comparison.  Everything is seeded; the simulated battles are
+/// bit-reproducible, only the wall clock varies.
 fn scenario_specs() -> Vec<ScenarioSpec> {
     vec![
         ScenarioSpec {
@@ -121,6 +199,7 @@ fn scenario_specs() -> Vec<ScenarioSpec> {
             density: 0.01,
             ticks: 10,
             tracked: false,
+            roster: ScriptRoster::BattleDefault,
             config: |s| ExecConfig::naive(&s.schema),
         },
         ScenarioSpec {
@@ -129,7 +208,8 @@ fn scenario_specs() -> Vec<ScenarioSpec> {
             density: 0.01,
             ticks: 25,
             tracked: true,
-            config: |s| ExecConfig::indexed(&s.schema),
+            roster: ScriptRoster::BattleDefault,
+            config: |s| ExecConfig::indexed(&s.schema).with_mode(ExecMode::Indexed),
         },
         ScenarioSpec {
             name: "indexed_incremental_400",
@@ -137,8 +217,10 @@ fn scenario_specs() -> Vec<ScenarioSpec> {
             density: 0.01,
             ticks: 25,
             tracked: true,
+            roster: ScriptRoster::BattleDefault,
             config: |s| {
                 ExecConfig::indexed(&s.schema)
+                    .with_mode(ExecMode::Indexed)
                     .with_policy(sgl_core::exec::MaintenancePolicy::Incremental)
             },
         },
@@ -148,9 +230,141 @@ fn scenario_specs() -> Vec<ScenarioSpec> {
             density: 0.01,
             ticks: 25,
             tracked: true,
-            config: |s| ExecConfig::cost_based(&s.schema).with_planner(PlannerMode::cost_based(4)),
+            roster: ScriptRoster::BattleDefault,
+            config: |s| {
+                ExecConfig::cost_based(&s.schema)
+                    .with_mode(ExecMode::Indexed)
+                    .with_planner(PlannerMode::cost_based(4))
+            },
+        },
+        ScenarioSpec {
+            name: "compiled_rebuild_400",
+            units: 400,
+            density: 0.01,
+            ticks: 25,
+            tracked: true,
+            roster: ScriptRoster::BattleDefault,
+            config: |s| ExecConfig::indexed(&s.schema).with_mode(ExecMode::Compiled),
+        },
+        ScenarioSpec {
+            name: "compiled_incremental_400",
+            units: 400,
+            density: 0.01,
+            ticks: 25,
+            tracked: true,
+            roster: ScriptRoster::BattleDefault,
+            config: |s| {
+                ExecConfig::indexed(&s.schema)
+                    .with_mode(ExecMode::Compiled)
+                    .with_policy(sgl_core::exec::MaintenancePolicy::Incremental)
+            },
+        },
+        ScenarioSpec {
+            name: "indexed_sparse_800",
+            units: 800,
+            density: 0.0005,
+            ticks: 25,
+            tracked: true,
+            roster: ScriptRoster::BattleDefault,
+            config: |s| {
+                ExecConfig::indexed(&s.schema)
+                    .with_mode(ExecMode::Indexed)
+                    .with_policy(sgl_core::exec::MaintenancePolicy::Incremental)
+            },
+        },
+        ScenarioSpec {
+            name: "compiled_sparse_800",
+            units: 800,
+            density: 0.0005,
+            ticks: 25,
+            tracked: true,
+            roster: ScriptRoster::BattleDefault,
+            config: |s| {
+                ExecConfig::indexed(&s.schema)
+                    .with_mode(ExecMode::Compiled)
+                    .with_policy(sgl_core::exec::MaintenancePolicy::Incremental)
+            },
+        },
+        ScenarioSpec {
+            name: "indexed_steering_600",
+            units: 600,
+            density: 0.01,
+            ticks: 25,
+            tracked: true,
+            roster: ScriptRoster::Steering,
+            config: |s| {
+                ExecConfig::indexed(&s.schema)
+                    .with_mode(ExecMode::Indexed)
+                    .with_policy(sgl_core::exec::MaintenancePolicy::Incremental)
+            },
+        },
+        ScenarioSpec {
+            name: "compiled_steering_600",
+            units: 600,
+            density: 0.01,
+            ticks: 25,
+            tracked: true,
+            roster: ScriptRoster::Steering,
+            config: |s| {
+                ExecConfig::indexed(&s.schema)
+                    .with_mode(ExecMode::Compiled)
+                    .with_policy(sgl_core::exec::MaintenancePolicy::Incremental)
+            },
+        },
+        ScenarioSpec {
+            name: "compiled_costbased_400",
+            units: 400,
+            density: 0.01,
+            ticks: 25,
+            tracked: true,
+            roster: ScriptRoster::BattleDefault,
+            config: |s| {
+                ExecConfig::cost_based(&s.schema)
+                    .with_mode(ExecMode::Compiled)
+                    .with_planner(PlannerMode::cost_based(4))
+            },
         },
     ]
+}
+
+/// Pair each `compiled_*` scenario with its `indexed_*` interpreter twin and
+/// return `(pair suffix, compiled ticks/sec ÷ interpreter ticks/sec)`.
+/// Wall clock cancels inside a pair — both sides ran in the same process —
+/// so the ratios transfer between machines the way `relative` does.
+pub fn compiled_speedups(report: &PerfReport) -> Vec<(String, f64)> {
+    report
+        .scenarios
+        .iter()
+        .filter_map(|(name, compiled)| {
+            let suffix = name.strip_prefix("compiled_")?;
+            let interp = report.scenarios.get(&format!("indexed_{suffix}"))?;
+            Some((
+                suffix.to_string(),
+                compiled.ticks_per_sec / interp.ticks_per_sec.max(1e-9),
+            ))
+        })
+        .collect()
+}
+
+/// Gate: every compiled scenario must beat its interpreter twin by at least
+/// `min_speedup` (1.0 = "never slower").  Returns violations (empty = pass).
+/// A report with no compiled/interpreter pairs fails — the comparison must
+/// not silently disappear from the suite.
+pub fn compiled_gate(report: &PerfReport, min_speedup: f64) -> Vec<String> {
+    let speedups = compiled_speedups(report);
+    if speedups.is_empty() {
+        return vec!["no compiled/interpreter scenario pairs in the report".into()];
+    }
+    speedups
+        .into_iter()
+        .filter(|(_, ratio)| *ratio < min_speedup)
+        .map(|(suffix, ratio)| {
+            format!(
+                "`compiled_{suffix}` ran at {ratio:.2}× its interpreter twin \
+                 `indexed_{suffix}` (gate requires ≥ {min_speedup:.2}×)"
+            )
+        })
+        .collect()
 }
 
 fn run_scenario(spec: &ScenarioSpec) -> PerfScenarioResult {
@@ -160,7 +374,10 @@ fn run_scenario(spec: &ScenarioSpec) -> PerfScenarioResult {
         seed: 20260730,
         ..ScenarioConfig::default()
     });
-    let mut sim: Simulation = scenario.build_with_config((spec.config)(&scenario));
+    let mut sim: Simulation = match spec.roster {
+        ScriptRoster::BattleDefault => scenario.build_with_config((spec.config)(&scenario)),
+        ScriptRoster::Steering => build_steering(&scenario, (spec.config)(&scenario)),
+    };
     // One warmup tick so maintained structures and lazy caches exist before
     // anything is timed.
     sim.step().expect("warmup tick");
@@ -918,6 +1135,7 @@ mod tests {
             density: 0.02,
             ticks: 2,
             tracked: false,
+            roster: ScriptRoster::BattleDefault,
             config: |s| ExecConfig::indexed(&s.schema),
         };
         let result = run_scenario(&spec);

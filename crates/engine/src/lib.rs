@@ -41,9 +41,10 @@ use sgl_algebra::cost::CostConstants;
 use sgl_algebra::{explain_with_costs, CostAnnotation, LogicalPlan};
 use sgl_env::{AttrId, EnvTable, GameRng, PostProcessor, Value};
 use sgl_exec::{
-    choose_physical, execute_tick_oracle, execute_tick_planned, plan_registry, strategy_class,
-    ExecConfig, ExecMode, IndexManager, MaintStats, MaintenancePolicy, OracleRun, Parallelism,
-    PlannedAggregate, PlannerMode, RuntimeStats, ScriptRun, TickObservations, TickStats,
+    choose_physical, compile_script, execute_tick_oracle, execute_tick_planned, plan_registry,
+    strategy_class, CompiledScript, ExecConfig, ExecMode, IndexManager, MaintStats,
+    MaintenancePolicy, OracleRun, Parallelism, PlannedAggregate, PlannerMode, RuntimeStats,
+    ScriptRun, TickObservations, TickStats,
 };
 use sgl_lang::normalize::NormalScript;
 use sgl_lang::Registry;
@@ -131,6 +132,12 @@ pub struct RegisteredScript {
     pub normal: Option<NormalScript>,
     /// Which units run it.
     pub selector: UnitSelector,
+    /// Register bytecode lowered from `normal`, when the script carries its
+    /// source and compiles cleanly.  Executed under [`ExecMode::Compiled`];
+    /// scripts without bytecode fall back to the plan walker in any mode.
+    /// Never serialized — checkpoints carry no bytecode, and resume
+    /// recompiles from the normalized AST.
+    pub compiled: Option<CompiledScript>,
 }
 
 /// Resurrection rule of §6: dead units respawn at a random position.
@@ -244,6 +251,7 @@ impl Simulation {
             plan,
             normal: None,
             selector,
+            compiled: None,
         });
     }
 
@@ -257,12 +265,46 @@ impl Simulation {
         normal: NormalScript,
         selector: UnitSelector,
     ) {
+        let name = name.into();
+        // Lower to register bytecode eagerly.  A script that does not
+        // compile (e.g. it references a name only resolvable at runtime)
+        // simply keeps executing on the plan walker — the bytecode is an
+        // execution strategy, never a semantic requirement.
+        let compiled = compile_script(
+            &name,
+            &normal,
+            &self.registry,
+            self.table.schema(),
+            self.exec_config.spatial,
+        )
+        .ok();
         self.scripts.push(RegisteredScript {
-            name: name.into(),
+            name,
             plan,
             normal: Some(normal),
             selector,
+            compiled,
         });
+    }
+
+    /// Re-lower every script that carries its normalized source into
+    /// register bytecode.  The bytecode bakes in schema attribute ids and
+    /// the spatial-attribute configuration (per-clause filter analyses), so
+    /// it is rebuilt whenever the execution configuration changes — and on
+    /// resume, where the checkpoint stores no bytecode by design.
+    fn recompile_scripts(&mut self) {
+        for script in &mut self.scripts {
+            script.compiled = script.normal.as_ref().and_then(|normal| {
+                compile_script(
+                    &script.name,
+                    normal,
+                    &self.registry,
+                    self.table.schema(),
+                    self.exec_config.spatial,
+                )
+                .ok()
+            });
+        }
     }
 
     /// Remove all registered scripts.
@@ -314,6 +356,7 @@ impl Simulation {
         self.index_manager = IndexManager::new(&config);
         self.planned = plan_registry(&self.registry, &self.table, &config);
         self.exec_config = config;
+        self.recompile_scripts();
     }
 
     /// Change only the worker-thread count of the decision/action phases.
@@ -460,6 +503,17 @@ impl Simulation {
         for script in &self.scripts {
             let _ = writeln!(out, "script `{}`:", script.name);
             out.push_str(&explain_with_costs(&script.plan, &annotations));
+            // Bytecode lowering of each call site, when the script compiled:
+            // the registers feeding every aggregate probe and perform site,
+            // plus the clause shape (targeted / rect / scan) the VM executes.
+            if let Some(compiled) = &script.compiled {
+                for (_, line) in compiled.agg_site_lines() {
+                    let _ = writeln!(out, "  ↳ compiled: {line}");
+                }
+                for (_, line) in compiled.perform_site_lines() {
+                    let _ = writeln!(out, "  ↳ compiled: {line}");
+                }
+            }
         }
         out
     }
@@ -477,7 +531,7 @@ impl Simulation {
         let mut planner_recosts = 0usize;
         let mut plan_switches = 0usize;
         if let PlannerMode::CostBased(window) = self.exec_config.planner {
-            if self.exec_config.mode == ExecMode::Indexed {
+            if self.exec_config.mode.uses_indexes() {
                 let unpriced = self
                     .planned
                     .values()
@@ -544,9 +598,12 @@ impl Simulation {
                 .scripts
                 .iter()
                 .zip(acting)
-                .map(|(script, rows)| ScriptRun {
-                    plan: &script.plan,
-                    acting_rows: rows,
+                .map(|(script, rows)| {
+                    let run = ScriptRun::new(&script.plan, rows);
+                    match &script.compiled {
+                        Some(compiled) => run.with_compiled(compiled),
+                        None => run,
+                    }
                 })
                 .collect();
             execute_tick_planned(
@@ -847,7 +904,7 @@ impl Simulation {
         // fallible step — including index reconstruction — happens before
         // any of this simulation's state is replaced.
         let mut planned = plan_registry(&self.registry, &table, &config);
-        if config.planner.is_cost_based() && config.mode == ExecMode::Indexed {
+        if config.planner.is_cost_based() && config.mode.uses_indexes() {
             // Continue under the writer's physical plan so a resume mid
             // re-costing window does not re-bootstrap from priors; the next
             // window boundary re-prices as usual.  Under a heuristic resume
@@ -883,6 +940,9 @@ impl Simulation {
         self.rng = GameRng::new(seed);
         self.tick = tick;
         self.history.clear();
+        // Checkpoints carry no bytecode: reconstruct the compiled scripts
+        // from their stored normalized ASTs under the resume configuration.
+        self.recompile_scripts();
         Ok(())
     }
 

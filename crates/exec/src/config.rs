@@ -2,6 +2,8 @@
 
 use sgl_env::{AttrId, Schema};
 
+use crate::error::ExecError;
+
 /// Which execution strategy evaluates the aggregate queries of a tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
@@ -9,14 +11,52 @@ pub enum ExecMode {
     /// environment (`O(n)` per unit, `O(n²)` per tick) — the baseline of §6.
     Naive,
     /// Set-at-a-time evaluation through per-tick index structures
-    /// (`O(n log n)` per tick) — the paper's contribution.
+    /// (`O(n log n)` per tick) — the paper's contribution, with script
+    /// statements evaluated by the tree-walking interpreter.
     Indexed,
+    /// Indexed execution with scripts lowered to register bytecode
+    /// ([`crate::compile`]) and run by the dispatch-loop VM
+    /// (`vm` module).  Observationally identical to [`ExecMode::Indexed`];
+    /// scripts registered without sources (no normalized AST to compile)
+    /// transparently fall back to the interpreter.
+    Compiled,
     /// The reference interpreter of the conformance suite: tree-walking
     /// evaluation of the *normalized script AST* itself — no planner, no
     /// optimizer, no indexes, no aggregate sharing, strictly serial (see
     /// [`crate::oracle`]).  Deliberately the simplest possible execution so
     /// every other configuration can be differentially tested against it.
     Oracle,
+}
+
+impl ExecMode {
+    /// True for the modes that plan aggregates and probe index structures
+    /// (`Indexed` and `Compiled` differ only in how script *statements* are
+    /// evaluated; the aggregate/index machinery is shared).
+    pub fn uses_indexes(self) -> bool {
+        matches!(self, ExecMode::Indexed | ExecMode::Compiled)
+    }
+
+    /// The planned-execution mode selected by the `SGL_EXEC_MODE`
+    /// environment variable (`compiled`, or `interp`/`indexed` to force the
+    /// tree-walking interpreter), defaulting to [`ExecMode::Compiled`].
+    /// Unrecognised values warn and keep the default — presets must never
+    /// panic on environment noise.
+    fn planned_from_env() -> ExecMode {
+        match std::env::var("SGL_EXEC_MODE") {
+            Err(_) => ExecMode::Compiled,
+            Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+                "" | "compiled" => ExecMode::Compiled,
+                "interp" | "interpreter" | "indexed" => ExecMode::Indexed,
+                _ => {
+                    eprintln!(
+                        "warning: SGL_EXEC_MODE must be `compiled` or `interp`, \
+                         got `{raw}`; using compiled"
+                    );
+                    ExecMode::Compiled
+                }
+            },
+        }
+    }
 }
 
 /// How aggregate index structures are kept in sync with the environment
@@ -97,27 +137,37 @@ impl Parallelism {
         threads.min(work_items.max(1))
     }
 
-    /// Parse the `SGL_PARALLELISM` environment variable (`off`, `auto`, or a
-    /// thread count).  Used by the [`ExecConfig`] presets so test matrices
-    /// can exercise the parallel executor without touching call sites;
-    /// explicit [`ExecConfig::with_parallelism`] always wins.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an unparsable value: the variable exists so CI can prove
-    /// the knob is behaviour-neutral, and a typo silently falling back to
-    /// serial execution would turn that proof into a no-op.
+    /// Parse a `SGL_PARALLELISM`-style value (`off`, `auto`, or a thread
+    /// count) into a typed result.  Malformed input is an
+    /// [`ExecError::Config`], never a panic — the value usually arrives from
+    /// the process environment, which the library does not control.
+    pub fn parse(raw: &str) -> crate::error::Result<Parallelism> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "" | "off" | "0" | "1" => Ok(Parallelism::Off),
+            "auto" => Ok(Parallelism::Auto),
+            n => n.parse::<usize>().map(Parallelism::Threads).map_err(|_| {
+                ExecError::Config(format!(
+                    "SGL_PARALLELISM must be `off`, `auto` or a thread count, got `{raw}`"
+                ))
+            }),
+        }
+    }
+
+    /// Read the `SGL_PARALLELISM` environment variable.  Used by the
+    /// [`ExecConfig`] presets so test matrices can exercise the parallel
+    /// executor without touching call sites; explicit
+    /// [`ExecConfig::with_parallelism`] always wins.  A malformed value
+    /// warns and falls back to `None` (the preset default): CI matrices set
+    /// the variable to prove the knob is behaviour-neutral, but a typo in a
+    /// user environment must not abort the process.
     pub fn from_env() -> Option<Parallelism> {
         let raw = std::env::var("SGL_PARALLELISM").ok()?;
-        match raw.trim().to_ascii_lowercase().as_str() {
-            "" | "off" | "0" | "1" => Some(Parallelism::Off),
-            "auto" => Some(Parallelism::Auto),
-            n => match n.parse::<usize>() {
-                Ok(threads) => Some(Parallelism::Threads(threads)),
-                Err(_) => {
-                    panic!("SGL_PARALLELISM must be `off`, `auto` or a thread count, got `{raw}`")
-                }
-            },
+        match Parallelism::parse(&raw) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("warning: {e}; using serial execution");
+                None
+            }
         }
     }
 }
@@ -233,11 +283,13 @@ impl ExecConfig {
         }
     }
 
-    /// Configuration for indexed execution against a schema (all paper
-    /// optimizations enabled).
+    /// Configuration for planned (indexed) execution against a schema, all
+    /// paper optimizations enabled.  Scripts run on the bytecode VM by
+    /// default ([`ExecMode::Compiled`]); set `SGL_EXEC_MODE=interp` — or call
+    /// [`ExecConfig::with_mode`] — to force the tree-walking interpreter.
     pub fn indexed(schema: &Schema) -> ExecConfig {
         ExecConfig {
-            mode: ExecMode::Indexed,
+            mode: ExecMode::planned_from_env(),
             spatial: SpatialAttrs::from_schema(schema),
             cascading: true,
             share_aggregates: true,
@@ -286,9 +338,18 @@ impl ExecConfig {
     pub fn for_mode(mode: ExecMode, schema: &Schema) -> ExecConfig {
         match mode {
             ExecMode::Naive => ExecConfig::naive(schema),
-            ExecMode::Indexed => ExecConfig::indexed(schema),
+            // The planned preset resolves its own default from the
+            // environment; an explicit mode request overrides it.
+            ExecMode::Indexed | ExecMode::Compiled => ExecConfig::indexed(schema).with_mode(mode),
             ExecMode::Oracle => ExecConfig::oracle(schema),
         }
+    }
+
+    /// Set the execution mode (e.g. force [`ExecMode::Indexed`] to pin the
+    /// tree-walking interpreter on a planned preset).
+    pub fn with_mode(mut self, mode: ExecMode) -> ExecConfig {
+        self.mode = mode;
+        self
     }
 
     /// Set the cross-tick maintenance policy.
@@ -394,7 +455,10 @@ mod tests {
         assert_eq!(naive.mode, ExecMode::Naive);
         assert!(!naive.share_aggregates);
         let indexed = ExecConfig::indexed(&schema);
-        assert_eq!(indexed.mode, ExecMode::Indexed);
+        // The planned preset defaults to the bytecode VM (SGL_EXEC_MODE can
+        // force the interpreter); either way it is an index-using mode.
+        assert!(indexed.mode.uses_indexes());
+        assert_eq!(indexed.with_mode(ExecMode::Indexed).mode, ExecMode::Indexed);
         assert!(indexed.cascading && indexed.share_aggregates && indexed.aoe_index);
         assert_eq!(indexed.policy, MaintenancePolicy::RebuildEachTick);
         assert_eq!(indexed.backend, RebuildBackend::LayeredTree);
@@ -424,6 +488,53 @@ mod tests {
         let schema = paper_schema();
         let config = ExecConfig::indexed(&schema).with_parallelism(Parallelism::Threads(2));
         assert_eq!(config.parallelism, Parallelism::Threads(2));
+    }
+
+    #[test]
+    fn parallelism_parse_accepts_the_documented_values() {
+        assert_eq!(Parallelism::parse("off").unwrap(), Parallelism::Off);
+        assert_eq!(Parallelism::parse("OFF").unwrap(), Parallelism::Off);
+        assert_eq!(Parallelism::parse("").unwrap(), Parallelism::Off);
+        assert_eq!(Parallelism::parse("0").unwrap(), Parallelism::Off);
+        assert_eq!(Parallelism::parse("1").unwrap(), Parallelism::Off);
+        assert_eq!(Parallelism::parse("auto").unwrap(), Parallelism::Auto);
+        assert_eq!(Parallelism::parse(" 4 ").unwrap(), Parallelism::Threads(4));
+        // Huge-but-parsable counts are accepted; `resolve` clamps them to
+        // the number of work items at use time.
+        let huge = Parallelism::parse("100000").unwrap();
+        assert_eq!(huge, Parallelism::Threads(100_000));
+        assert_eq!(huge.resolve(7), 7);
+    }
+
+    #[test]
+    fn parallelism_parse_rejects_garbage_without_panicking() {
+        for bad in ["garbage", "-3", "3.5", "two", "auto!"] {
+            let err = Parallelism::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, ExecError::Config(_)),
+                "`{bad}` should be a Config error, got {err:?}"
+            );
+            assert!(err.to_string().contains(bad), "message names the input");
+        }
+    }
+
+    #[test]
+    fn exec_modes_classify_index_usage() {
+        assert!(ExecMode::Indexed.uses_indexes());
+        assert!(ExecMode::Compiled.uses_indexes());
+        assert!(!ExecMode::Naive.uses_indexes());
+        assert!(!ExecMode::Oracle.uses_indexes());
+        let schema = paper_schema();
+        // `for_mode` honours an explicit request even though the planned
+        // preset resolves its own default.
+        assert_eq!(
+            ExecConfig::for_mode(ExecMode::Indexed, &schema).mode,
+            ExecMode::Indexed
+        );
+        assert_eq!(
+            ExecConfig::for_mode(ExecMode::Compiled, &schema).mode,
+            ExecMode::Compiled
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@ pub enum ExecError {
     Env(sgl_env::EnvError),
     /// A plan referenced an unknown built-in.
     UnknownBuiltin(String),
+    /// Malformed executor configuration (environment knobs, presets).
+    Config(String),
     /// Internal invariant violation.
     Internal(String),
 }
@@ -21,6 +23,7 @@ impl fmt::Display for ExecError {
             ExecError::Lang(e) => write!(f, "{e}"),
             ExecError::Env(e) => write!(f, "{e}"),
             ExecError::UnknownBuiltin(name) => write!(f, "unknown builtin `{name}`"),
+            ExecError::Config(msg) => write!(f, "executor configuration error: {msg}"),
             ExecError::Internal(msg) => write!(f, "internal executor error: {msg}"),
         }
     }
@@ -59,5 +62,8 @@ mod tests {
         assert!(ExecError::Internal("bad".into())
             .to_string()
             .contains("bad"));
+        assert!(ExecError::Config("SGL_PARALLELISM".into())
+            .to_string()
+            .contains("configuration"));
     }
 }

@@ -26,6 +26,7 @@ use rustc_hash::FxHashMap;
 use std::hash::Hasher;
 
 use sgl_env::{AttrId, EnvTable, Value};
+use sgl_index::divisible::DivAcc;
 use sgl_index::grid::DynamicAggGrid;
 use sgl_index::kdtree::KdTree;
 use sgl_index::range_tree::RangeTree2D;
@@ -540,6 +541,15 @@ pub struct TickIndexes<'a> {
     /// Per-call-site observations (selectivity, rect areas, served
     /// backends) for the cost-based planner's statistics feedback loop.
     pub obs: TickObservations,
+    /// Scratch: matching grid fingerprints of the current probe, reused
+    /// across probes to keep the hot path allocation-free.
+    fps_scratch: Vec<u64>,
+    /// Scratch: the running accumulator of the current divisible probe.
+    probe_acc: DivAcc,
+    /// Scratch: one grid's partial accumulator within a probe (kept separate
+    /// from `probe_acc` so the merge order — per-grid partial, then merge —
+    /// is bit-identical to building a fresh accumulator per grid).
+    part_acc: DivAcc,
 }
 
 impl IndexManager {
@@ -574,6 +584,9 @@ impl IndexManager {
             sweeps: FxHashMap::default(),
             stats: TickStats::default(),
             obs: TickObservations::default(),
+            fps_scratch: Vec::new(),
+            probe_acc: DivAcc::identity(0),
+            part_acc: DivAcc::identity(0),
         }))
     }
 }
@@ -653,11 +666,13 @@ impl<'a> TickIndexes<'a> {
         for name in names {
             // If several constraints mention the same attribute we evaluate
             // the first (our builtins never have more than one per attribute).
-            let c = analysis
-                .cats
-                .iter()
-                .find(|c| c.attr == name)
-                .expect("attribute name came from the constraint list");
+            // The names come from the constraint list itself, so the find
+            // can only miss on an internal invariant violation.
+            let Some(c) = analysis.cats.iter().find(|c| c.attr == name) else {
+                return Err(ExecError::Internal(format!(
+                    "categorical constraint for `{name}` disappeared from its analysis"
+                )));
+            };
             let v = eval_term(&c.value, unit_ctx, &mut no_aggs)?
                 .as_scalar()?
                 .clone();
@@ -670,24 +685,25 @@ impl<'a> TickIndexes<'a> {
     /// when the analysis has no spatial bounds (aggregate over the whole
     /// world).
     fn rect_for(analysis: &FilterAnalysis, unit_ctx: &EvalContext<'_>) -> Result<Option<Rect>> {
-        if !analysis.has_rect() {
+        let (Some(x_lo), Some(x_hi), Some(y_lo), Some(y_hi)) = (
+            &analysis.x_lo,
+            &analysis.x_hi,
+            &analysis.y_lo,
+            &analysis.y_hi,
+        ) else {
             return Ok(None);
-        }
+        };
         let mut no_aggs = NoAggregates;
-        let mut get = |t: &Option<Term>| -> Result<f64> {
-            Ok(eval_term(
-                t.as_ref().expect("has_rect checked"),
-                unit_ctx,
-                &mut no_aggs,
-            )?
-            .as_scalar()?
-            .as_f64()?)
+        let mut get = |t: &Term| -> Result<f64> {
+            Ok(eval_term(t, unit_ctx, &mut no_aggs)?
+                .as_scalar()?
+                .as_f64()?)
         };
         Ok(Some(Rect::new(
-            get(&analysis.x_lo)?,
-            get(&analysis.x_hi)?,
-            get(&analysis.y_lo)?,
-            get(&analysis.y_hi)?,
+            get(x_lo)?,
+            get(x_hi)?,
+            get(y_lo)?,
+            get(y_hi)?,
         )))
     }
 
@@ -701,23 +717,19 @@ impl<'a> TickIndexes<'a> {
         }
     }
 
-    /// Iterate the maintained grids of partitions matching the constraints,
-    /// in deterministic (sorted fingerprint) order.
-    fn matching_grids(
-        state: &'a DynAggState,
-        required: &RequiredValues,
-    ) -> Vec<&'a DynamicAggGrid> {
-        let mut fps: Vec<u64> = state.grids.keys().copied().collect();
+    /// Fill `fps` with the fingerprints of the maintained grids whose
+    /// partitions match the constraints, in deterministic (sorted) order —
+    /// the allocation-free replacement for collecting matching grid
+    /// references on every probe.
+    fn fill_matching_fps(state: &DynAggState, required: &RequiredValues, fps: &mut Vec<u64>) {
+        fps.clear();
+        fps.extend(state.grids.keys().copied().filter(|fp| {
+            state
+                .partition_values
+                .get(fp)
+                .is_some_and(|values| partition_matches(values, required))
+        }));
         fps.sort_unstable();
-        fps.into_iter()
-            .filter(|fp| {
-                state
-                    .partition_values
-                    .get(fp)
-                    .is_some_and(|values| partition_matches(values, required))
-            })
-            .filter_map(|fp| state.grids.get(&fp))
-            .collect()
     }
 
     fn ensure_agg_struct(
@@ -794,7 +806,10 @@ impl<'a> TickIndexes<'a> {
         rect: &Rect,
     ) -> Result<Vec<u32>> {
         let key = self.ensure_enum_tree(cat_attrs, part_fp)?;
-        let (tree, rows) = self.enum_trees.get(&key).expect("just ensured");
+        let (tree, rows) = self
+            .enum_trees
+            .get(&key)
+            .ok_or_else(|| ExecError::Internal("enumeration tree vanished after ensure".into()))?;
         self.stats.index_probes += 1;
         Ok(tree
             .query(rect)
@@ -811,25 +826,19 @@ impl<'a> TickIndexes<'a> {
     }
 
     /// Evaluate a planned aggregate for one probing unit through its index.
+    ///
+    /// `ctx.bindings` must already hold the call's bound parameters (`range`
+    /// etc.) and nothing else needs to be visible: built-in aggregate
+    /// definitions are *closed* — their analysis terms reference parameters,
+    /// `u.*`/`e.*` attributes and named constants only, never the calling
+    /// script's `let` bindings — so callers hand over their reusable
+    /// parameter map directly instead of this function cloning and merging
+    /// binding maps on every probe.
     pub fn evaluate(
         &mut self,
         planned: &PlannedAggregate,
-        param_bindings: &FxHashMap<String, ScriptValue>,
-        unit_ctx: &EvalContext<'_>,
+        ctx: &EvalContext<'_>,
     ) -> Result<Option<ScriptValue>> {
-        // Extend the context with parameter bindings (range etc.).
-        let mut ctx = EvalContext {
-            schema: unit_ctx.schema,
-            unit: unit_ctx.unit,
-            unit_key: unit_ctx.unit_key,
-            row: None,
-            rng: unit_ctx.rng,
-            constants: unit_ctx.constants,
-            bindings: unit_ctx.bindings.clone(),
-        };
-        for (k, v) in param_bindings {
-            ctx.bindings.insert(k.clone(), v.clone());
-        }
         // A cost-based choice of `Scan` sends the probe back to the caller's
         // scan path (identical results, no structure built).
         if planned
@@ -845,10 +854,10 @@ impl<'a> TickIndexes<'a> {
                 channels,
                 output_channels,
             } => self
-                .eval_divisible(planned, channels, output_channels, &ctx)
+                .eval_divisible(planned, channels, output_channels, ctx)
                 .map(Some),
-            AggStrategy::KdNearest => self.eval_nearest(planned, &ctx).map(Some),
-            AggStrategy::SweepMinMax => self.eval_min_max(planned, &ctx).map(Some),
+            AggStrategy::KdNearest => self.eval_nearest(planned, ctx).map(Some),
+            AggStrategy::SweepMinMax => self.eval_min_max(planned, ctx).map(Some),
         }
     }
 
@@ -866,17 +875,23 @@ impl<'a> TickIndexes<'a> {
             f64::NEG_INFINITY,
             f64::INFINITY,
         ));
-        let mut acc = sgl_index::divisible::DivAcc::identity(channels.len());
+        self.probe_acc.reset(channels.len());
 
         let name = &planned.def.name;
+        let (partitions, backend);
         if let Some(state) = self.maintained(planned) {
-            for grid in Self::matching_grids(state, &required) {
-                acc.merge(&grid.probe_rect(&rect));
+            Self::fill_matching_fps(state, &required, &mut self.fps_scratch);
+            for fp in &self.fps_scratch {
+                let Some(grid) = state.grids.get(fp) else {
+                    continue;
+                };
+                self.part_acc.reset(channels.len());
+                grid.probe_rect_into(&rect, &mut self.part_acc);
+                self.probe_acc.merge(&self.part_acc);
             }
             self.stats.maintained_probes += 1;
-            self.obs.record_partitions(name, state.grids.len());
-            self.obs
-                .record_served(name, PhysicalBackend::MaintainedGrid);
+            partitions = state.grids.len();
+            backend = PhysicalBackend::MaintainedGrid;
         } else {
             let kind = planned.structure(self.config).ok_or_else(|| {
                 ExecError::Internal("divisible strategy without a structure".into())
@@ -884,21 +899,30 @@ impl<'a> TickIndexes<'a> {
             let cat_attrs = self.cat_attr_ids(&planned.analysis)?;
             let sig = self.ensure_partitions(&cat_attrs)?;
             let fps = self.partition_fps(sig);
-            self.obs.record_partitions(name, fps.len());
+            partitions = fps.len();
             for part_fp in fps {
                 if !partition_matches(&self.partition_values(sig, part_fp), &required) {
                     continue;
                 }
                 let key = self.ensure_agg_struct(kind, sig, part_fp, channels)?;
-                let index = self.agg_structs.get(&key).expect("just ensured");
-                acc.merge(&index.probe_rect(&rect));
+                let index = self.agg_structs.get(&key).ok_or_else(|| {
+                    ExecError::Internal("aggregate structure vanished after ensure".into())
+                })?;
+                let partial = index.probe_rect(&rect);
+                self.probe_acc.merge(&partial);
             }
-            self.obs.record_served(name, served_backend_of(kind));
+            backend = served_backend_of(kind);
         }
         self.stats.index_probes += 1;
-        self.obs.record_matched(name, acc.count().max(0.0) as u64);
+        let acc = &self.probe_acc;
         let rect_area = (rect.x_max - rect.x_min) * (rect.y_max - rect.y_min);
-        self.obs.record_rect_area(name, rect_area);
+        self.obs.record_index_probe(
+            name,
+            partitions,
+            backend,
+            acc.count().max(0.0) as u64,
+            rect_area,
+        );
 
         let outputs = match &planned.def.spec {
             AggSpec::Simple { outputs } => outputs,
@@ -956,15 +980,21 @@ impl<'a> TickIndexes<'a> {
         let name = &planned.def.name;
         if let Some(state) = self.maintained(planned) {
             use sgl_index::traits::SpatialIndex;
-            for grid in Self::matching_grids(state, &required) {
+            Self::fill_matching_fps(state, &required, &mut self.fps_scratch);
+            for fp in &self.fps_scratch {
+                let Some(grid) = state.grids.get(fp) else {
+                    continue;
+                };
                 if let Some((id, d2)) = grid.probe_nearest(&query) {
                     offer(&mut best, d2, id as i64);
                 }
             }
             self.stats.maintained_probes += 1;
-            self.obs.record_partitions(name, state.grids.len());
-            self.obs
-                .record_served(name, PhysicalBackend::MaintainedGrid);
+            self.obs.record_partitioned_serve(
+                name,
+                state.grids.len(),
+                PhysicalBackend::MaintainedGrid,
+            );
         } else {
             self.obs.record_served(name, PhysicalBackend::KdTree);
             let cat_attrs = self.cat_attr_ids(&planned.analysis)?;
@@ -974,7 +1004,10 @@ impl<'a> TickIndexes<'a> {
                     continue;
                 }
                 self.ensure_kd_tree(sig, part_fp)?;
-                let (tree, rows) = self.kd_trees.get(&(sig, part_fp)).expect("just ensured");
+                let (tree, rows) = self
+                    .kd_trees
+                    .get(&(sig, part_fp))
+                    .ok_or_else(|| ExecError::Internal("kd-tree vanished after ensure".into()))?;
                 if let Some((local_id, d2)) = tree.nearest(&query) {
                     let row = rows[local_id as usize] as usize;
                     let key = self.table.row(row).key(self.table.schema());
@@ -1043,15 +1076,20 @@ impl<'a> TickIndexes<'a> {
         self.obs
             .record_rect_area(name, (rect.x_max - rect.x_min) * (rect.y_max - rect.y_min));
         if let Some(state) = self.maintained(planned) {
-            self.obs.record_partitions(name, state.grids.len());
-            self.obs
-                .record_served(name, PhysicalBackend::MaintainedGrid);
-            let grids = Self::matching_grids(state, &required);
+            self.obs.record_partitioned_serve(
+                name,
+                state.grids.len(),
+                PhysicalBackend::MaintainedGrid,
+            );
+            Self::fill_matching_fps(state, &required, &mut self.fps_scratch);
             let mut fields = Vec::with_capacity(outputs.len());
             for (channel, o) in outputs.iter().enumerate() {
                 let minimize = o.func == SimpleAgg::Min;
                 let mut best: Option<f64> = None;
-                for grid in &grids {
+                for fp in &self.fps_scratch {
+                    let Some(grid) = state.grids.get(fp) else {
+                        continue;
+                    };
                     if let Some(e) = grid.probe_extremum(&rect, channel, minimize) {
                         best = Some(match best {
                             None => e.value,
@@ -1158,7 +1196,10 @@ impl<'a> TickIndexes<'a> {
                 self.sweeps.insert(sweep_fp, remapped);
             }
             self.stats.index_probes += 1;
-            let result = self.sweeps.get(&sweep_fp).expect("just built")[my_row];
+            let result =
+                self.sweeps.get(&sweep_fp).ok_or_else(|| {
+                    ExecError::Internal("sweep batch vanished after build".into())
+                })?[my_row];
             let value = match result {
                 Some((v, _)) => Value::Float(v),
                 None => o.default.clone(),
@@ -1186,7 +1227,9 @@ impl<'a> TickIndexes<'a> {
                 continue;
             }
             let key = self.ensure_agg_struct(kind, sig, part_fp, &channels)?;
-            let index = self.agg_structs.get(&key).expect("just ensured");
+            let index = self.agg_structs.get(&key).ok_or_else(|| {
+                ExecError::Internal("aggregate structure vanished after ensure".into())
+            })?;
             for (channel, o) in outputs.iter().enumerate() {
                 let minimize = o.func == SimpleAgg::Min;
                 if let Some(e) = index.probe_extremum(rect, channel, minimize) {
@@ -1316,15 +1359,15 @@ mod tests {
                 let mut cache = open_tick(&mut manager, &table, &config, &planned_map, &constants);
                 for row in 0..table.len() {
                     let unit = table.row(row).clone();
-                    let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+                    let mut ctx = EvalContext::new(&schema, &unit, &rng, &constants);
                     let args: Vec<ScriptValue> = if def.params.len() == 2 {
                         vec![ScriptValue::scalar(0i64), ScriptValue::scalar(15.0)]
                     } else {
                         vec![ScriptValue::scalar(0i64)]
                     };
-                    let bindings = bind_params(&def.name, &def.params, &args).unwrap();
-                    let fast = cache.evaluate(&planned, &bindings, &ctx).unwrap().unwrap();
-                    let slow = eval_aggregate_scan(def, &bindings, &ctx, &table).unwrap();
+                    ctx.bindings = bind_params(&def.name, &def.params, &args).unwrap();
+                    let fast = cache.evaluate(&planned, &ctx).unwrap().unwrap();
+                    let slow = eval_aggregate_scan(def, &ctx.bindings, &ctx, &table).unwrap();
                     match agg_name {
                         "CountEnemiesInRange" => {
                             assert_eq!(
@@ -1409,11 +1452,11 @@ mod tests {
             let mut cache = open_tick(&mut manager, &table, &config, &planned_map, &constants);
             for row in 0..table.len() {
                 let unit = table.row(row).clone();
-                let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+                let mut ctx = EvalContext::new(&schema, &unit, &rng, &constants);
                 let args = vec![ScriptValue::scalar(0i64), ScriptValue::scalar(10.0)];
-                let bindings = bind_params(&def.name, &def.params, &args).unwrap();
-                let fast = cache.evaluate(&planned, &bindings, &ctx).unwrap().unwrap();
-                let slow = eval_aggregate_scan(&def, &bindings, &ctx, &table).unwrap();
+                ctx.bindings = bind_params(&def.name, &def.params, &args).unwrap();
+                let fast = cache.evaluate(&planned, &ctx).unwrap().unwrap();
+                let slow = eval_aggregate_scan(&def, &ctx.bindings, &ctx, &table).unwrap();
                 assert_eq!(
                     fast.field("value").unwrap().as_f64().unwrap(),
                     slow.field("value").unwrap().as_f64().unwrap(),
@@ -1481,11 +1524,11 @@ mod tests {
         let mut cache = open_tick(&mut manager, &table, &config, &planned_map, &constants);
         for row in 0..table.len() {
             let unit = table.row(row).clone();
-            let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+            let mut ctx = EvalContext::new(&schema, &unit, &rng, &constants);
             let args = vec![ScriptValue::scalar(0i64), ScriptValue::scalar(12.0)];
-            let bindings = bind_params(&def.name, &def.params, &args).unwrap();
-            let fast = cache.evaluate(&planned, &bindings, &ctx).unwrap().unwrap();
-            let slow = eval_aggregate_scan(def, &bindings, &ctx, &table).unwrap();
+            ctx.bindings = bind_params(&def.name, &def.params, &args).unwrap();
+            let fast = cache.evaluate(&planned, &ctx).unwrap().unwrap();
+            let slow = eval_aggregate_scan(def, &ctx.bindings, &ctx, &table).unwrap();
             assert_eq!(
                 fast.as_scalar().unwrap(),
                 slow.as_scalar().unwrap(),

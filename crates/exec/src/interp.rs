@@ -36,6 +36,7 @@ use sgl_lang::eval::{eval_cond, eval_term, EvalContext, NoAggregates, ScriptValu
 use sgl_algebra::cost::PhysicalBackend;
 
 use crate::builtin_eval::{bind_params, eval_aggregate_scan, eval_call_args};
+use crate::compile::CompiledScript;
 use crate::config::{ExecConfig, ExecMode, TickStats};
 use crate::error::{ExecError, Result};
 use crate::filter::analyze_filter;
@@ -51,6 +52,28 @@ pub struct ScriptRun<'p> {
     pub plan: &'p LogicalPlan,
     /// Row indices of the units running this script.
     pub acting_rows: Vec<u32>,
+    /// Register bytecode for the script, if it was compiled.  Under
+    /// [`ExecMode::Compiled`] the run executes on the dispatch-loop VM;
+    /// a run without bytecode (or any other mode) walks the plan.
+    pub compiled: Option<&'p CompiledScript>,
+}
+
+impl<'p> ScriptRun<'p> {
+    /// A plan-walking run (no bytecode attached).
+    pub fn new(plan: &'p LogicalPlan, acting_rows: Vec<u32>) -> Self {
+        ScriptRun {
+            plan,
+            acting_rows,
+            compiled: None,
+        }
+    }
+
+    /// Attach compiled bytecode, used when the mode is
+    /// [`ExecMode::Compiled`].
+    pub fn with_compiled(mut self, compiled: &'p CompiledScript) -> Self {
+        self.compiled = Some(compiled);
+        self
+    }
 }
 
 /// Execute one clock tick with a throwaway [`IndexManager`] (every index is
@@ -76,8 +99,7 @@ pub fn plan_registry(
 ) -> FxHashMap<String, PlannedAggregate> {
     let schema = table.schema();
     let mut planned: FxHashMap<String, PlannedAggregate> = FxHashMap::default();
-    for name in registry.aggregate_names() {
-        let def = registry.aggregate(name).expect("name listed");
+    for (name, def) in registry.aggregates() {
         planned.insert(
             name.to_string(),
             plan_aggregate(def, schema, config.spatial),
@@ -127,7 +149,7 @@ pub fn execute_tick_planned(
 
     // Sync cross-tick maintained structures once, through the only mutable
     // borrow of the tick; the fan-out below probes the manager read-only.
-    let maint = if config.mode == ExecMode::Indexed {
+    let maint = if config.mode.uses_indexes() {
         manager.prepare(table, planned, constants)?
     } else {
         crate::indexes::MaintStats::default()
@@ -140,7 +162,7 @@ pub fn execute_tick_planned(
         constants,
         planned,
     };
-    let manager_view = (config.mode == ExecMode::Indexed).then_some(&*manager);
+    let manager_view = config.mode.uses_indexes().then_some(&*manager);
 
     let mut stats = TickStats {
         index_delta_ops: maint.delta_ops,
@@ -153,7 +175,9 @@ pub fn execute_tick_planned(
         // logging detour for the default configuration).
         let (sink, shard_stats, obs) = run_shard(&shared, manager_view, runs, true)?;
         let EffectSink::Direct(effects) = sink else {
-            unreachable!("direct shard returns a direct sink");
+            return Err(ExecError::Internal(
+                "direct shard returned a log sink".into(),
+            ));
         };
         stats.merge(&shard_stats);
         stats.effect_rows = effects.len();
@@ -185,8 +209,10 @@ pub fn execute_tick_planned(
     let mut run_logs: Vec<Vec<EffectLog>> = Vec::with_capacity(shards);
     let mut obs = TickObservations::default();
     for (sink, shard_stats, shard_obs) in shard_results {
-        let EffectSink::Logs(logs) = sink else {
-            unreachable!("parallel shards return logs");
+        let EffectSink::Logs { done: logs, .. } = sink else {
+            return Err(ExecError::Internal(
+                "parallel shard returned a direct sink".into(),
+            ));
         };
         run_logs.push(logs);
         stats.merge(&shard_stats);
@@ -205,28 +231,49 @@ pub fn execute_tick_planned(
 
 /// Effects emitted for one run by one shard, in emission order — the unit of
 /// the deterministic run-major replay above.
-type EffectLog = Vec<(i64, AttrId, Value)>;
+pub(crate) type EffectLog = Vec<(i64, AttrId, Value)>;
 
 /// Where a shard's effects go: the single-shard (serial) path folds into the
 /// tick's `EffectBuffer` directly; parallel shards log per run so the main
 /// thread can replay the serial fold order.
-enum EffectSink {
+pub(crate) enum EffectSink {
     /// Fold each emission immediately (exactly the pre-parallelism path).
     Direct(EffectBuffer),
-    /// One ordered log per run, replayed run-major across shards.
-    Logs(Vec<EffectLog>),
+    /// Ordered per-run logs, replayed run-major across shards.  `current`
+    /// always holds the log of the run in flight (so emitting never needs a
+    /// "log opened" precondition); [`EffectSink::finish_run`] rolls it into
+    /// `done`.
+    Logs {
+        /// Completed runs' logs, one per run, in run order.
+        done: Vec<EffectLog>,
+        /// The in-flight run's log.
+        current: EffectLog,
+    },
 }
 
 impl EffectSink {
-    fn emit(&mut self, key: i64, attr: AttrId, value: Value) -> Result<()> {
+    fn logs(runs: usize) -> Self {
+        EffectSink::Logs {
+            done: Vec::with_capacity(runs),
+            current: EffectLog::new(),
+        }
+    }
+
+    pub(crate) fn emit(&mut self, key: i64, attr: AttrId, value: Value) -> Result<()> {
         match self {
             EffectSink::Direct(buffer) => buffer.apply(key, attr, value).map_err(ExecError::from),
-            EffectSink::Logs(logs) => {
-                logs.last_mut()
-                    .expect("run log opened")
-                    .push((key, attr, value));
+            EffectSink::Logs { current, .. } => {
+                current.push((key, attr, value));
                 Ok(())
             }
+        }
+    }
+
+    /// Close the in-flight run's log and open the next one.  A no-op for the
+    /// direct sink.
+    fn finish_run(&mut self) {
+        if let EffectSink::Logs { done, current } = self {
+            done.push(std::mem::take(current));
         }
     }
 }
@@ -246,6 +293,7 @@ fn shard_runs<'p>(runs: &[ScriptRun<'p>], shards: usize) -> Vec<Vec<ScriptRun<'p
                     ScriptRun {
                         plan: run.plan,
                         acting_rows: rows[start..end].to_vec(),
+                        compiled: run.compiled,
                     }
                 })
                 .collect()
@@ -274,23 +322,31 @@ fn run_shard<'a>(
         effects: if direct {
             EffectSink::Direct(EffectBuffer::new(shared.table.schema().clone()))
         } else {
-            EffectSink::Logs(Vec::with_capacity(runs.len()))
+            EffectSink::logs(runs.len())
         },
         stats: TickStats::default(),
     };
     for run in runs {
-        if let EffectSink::Logs(logs) = &mut state.effects {
-            logs.push(EffectLog::new());
+        match run.compiled {
+            // Compiled mode with bytecode: the register VM.  A compiled run
+            // in any other mode still walks the plan — the bytecode is a
+            // pure execution strategy, not a semantic switch.
+            Some(compiled) if shared.config.mode == ExecMode::Compiled => {
+                crate::vm::run_compiled(shared, &mut state, compiled, &run.acting_rows)?;
+            }
+            _ => {
+                let mut interp = Interp {
+                    shared,
+                    state: &mut state,
+                };
+                interp.run_effects(
+                    run.plan,
+                    &run.acting_rows,
+                    &vec![FxHashMap::default(); run.acting_rows.len()],
+                )?;
+            }
         }
-        let mut interp = Interp {
-            shared,
-            state: &mut state,
-        };
-        interp.run_effects(
-            run.plan,
-            &run.acting_rows,
-            &vec![FxHashMap::default(); run.acting_rows.len()],
-        )?;
+        state.effects.finish_run();
     }
     if let Some(cache) = state.cache.take() {
         state.stats.merge(&cache.stats);
@@ -302,27 +358,27 @@ fn run_shard<'a>(
 /// Read-only state shared by every shard of a tick.  All fields are borrows
 /// of `Sync` data: the parallel executor hands one `&TickShared` to each
 /// worker thread.
-struct TickShared<'a> {
-    table: &'a EnvTable,
-    registry: &'a Registry,
-    config: &'a ExecConfig,
-    rng: &'a TickRandom,
-    constants: &'a FxHashMap<String, Value>,
-    planned: &'a FxHashMap<String, PlannedAggregate>,
+pub(crate) struct TickShared<'a> {
+    pub(crate) table: &'a EnvTable,
+    pub(crate) registry: &'a Registry,
+    pub(crate) config: &'a ExecConfig,
+    pub(crate) rng: &'a TickRandom,
+    pub(crate) constants: &'a FxHashMap<String, Value>,
+    pub(crate) planned: &'a FxHashMap<String, PlannedAggregate>,
 }
 
 /// Mutable state owned by one shard: its effect sink and statistics, the
 /// aggregate-sharing memo (keyed per unit row, so sharding never splits a
 /// unit's probes) and, in indexed mode, its per-tick probe cache.
-struct ShardState<'a> {
-    cache: Option<TickIndexes<'a>>,
+pub(crate) struct ShardState<'a> {
+    pub(crate) cache: Option<TickIndexes<'a>>,
     /// Memo of aggregate results per (call fingerprint, unit row).
-    memo: FxHashMap<(u64, u32), ScriptValue>,
+    pub(crate) memo: FxHashMap<(u64, u32), ScriptValue>,
     /// Per-call-site observations for the cost-based planner (merged with
     /// the cache's own observations at shard end).
-    obs: TickObservations,
-    effects: EffectSink,
-    stats: TickStats,
+    pub(crate) obs: TickObservations,
+    pub(crate) effects: EffectSink,
+    pub(crate) stats: TickStats,
 }
 
 /// Fingerprint of one aggregate probe for the sharing memo: the call name
@@ -331,7 +387,7 @@ struct ShardState<'a> {
 /// bits — the same discipline (and the same residual 2⁻⁶⁴-per-pair collision
 /// odds) as the partition-key fingerprints of `indexes.rs`.  Replaces the
 /// former per-probe `format!("{name}::{args:?}")` string key.
-fn fingerprint_call(name: &str, args: &[ScriptValue]) -> u64 {
+pub(crate) fn fingerprint_call(name: &str, args: &[ScriptValue]) -> u64 {
     let mut h = rustc_hash::FxHasher::default();
     h.write_usize(name.len());
     h.write(name.as_bytes());
@@ -492,14 +548,27 @@ impl<'a, 'p> Interp<'a, 'p> {
         let params = bind_params(&def.name, &def.params, &args)?;
 
         self.state.obs.record_probe(&call.name);
-        let result = if self.shared.config.mode == ExecMode::Indexed {
-            let planned = self
-                .shared
-                .planned
-                .get(&call.name)
-                .expect("all registry aggregates planned");
+        let result = if self.shared.config.mode.uses_indexes() {
+            let planned = self.shared.planned.get(&call.name).ok_or_else(|| {
+                ExecError::Internal(format!(
+                    "aggregate `{}` missing from the plan cache",
+                    call.name
+                ))
+            })?;
+            // Built-in definitions are closed (see `TickIndexes::evaluate`),
+            // so the probe context carries the bound parameters and nothing
+            // from the calling script's scope.
+            let probe_ctx = EvalContext {
+                schema: ctx.schema,
+                unit: ctx.unit,
+                unit_key: ctx.unit_key,
+                row: None,
+                rng: ctx.rng,
+                constants: ctx.constants,
+                bindings: params,
+            };
             let via_index = match self.state.cache.as_mut() {
-                Some(cache) => cache.evaluate(planned, &params, &ctx)?,
+                Some(cache) => cache.evaluate(planned, &probe_ctx)?,
                 None => None,
             };
             match via_index {
@@ -509,7 +578,7 @@ impl<'a, 'p> Interp<'a, 'p> {
                     self.state
                         .obs
                         .record_served(&call.name, PhysicalBackend::Scan);
-                    eval_aggregate_scan(def, &params, &ctx, self.shared.table)?
+                    eval_aggregate_scan(def, &probe_ctx.bindings, &ctx, self.shared.table)?
                 }
             }
         } else {
@@ -546,7 +615,8 @@ impl<'a, 'p> Interp<'a, 'p> {
 
         for clause in &def.clauses {
             // Determine the affected rows.
-            let candidates: Vec<u32> = if config.mode == ExecMode::Indexed {
+            let full_range = || (0..self.shared.table.len() as u32).collect::<Vec<u32>>();
+            let candidates: Vec<u32> = if config.mode.uses_indexes() {
                 let analysis = analyze_filter(&clause.filter, schema, config.spatial);
                 if let Some(key_term) = &analysis.key_eq {
                     // Targeted effect: O(1) key look-up.
@@ -557,26 +627,28 @@ impl<'a, 'p> Interp<'a, 'p> {
                         Some(idx) => vec![idx as u32],
                         None => Vec::new(),
                     }
-                } else if config.aoe_index && analysis.has_rect() && analysis.conjunctive {
+                } else if let (true, Some(x_lo), Some(x_hi), Some(y_lo), Some(y_hi)) = (
+                    config.aoe_index && analysis.conjunctive,
+                    &analysis.x_lo,
+                    &analysis.x_hi,
+                    &analysis.y_lo,
+                    &analysis.y_hi,
+                ) {
                     // Area-of-effect: enumerate candidates through the spatial
                     // index of every partition (§5.4-style processing).
                     let mut no_aggs2 = NoAggregates;
-                    let lo_x =
-                        eval_term(analysis.x_lo.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
-                            .as_scalar()?
-                            .as_f64()?;
-                    let hi_x =
-                        eval_term(analysis.x_hi.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
-                            .as_scalar()?
-                            .as_f64()?;
-                    let lo_y =
-                        eval_term(analysis.y_lo.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
-                            .as_scalar()?
-                            .as_f64()?;
-                    let hi_y =
-                        eval_term(analysis.y_hi.as_ref().unwrap(), &full_ctx, &mut no_aggs2)?
-                            .as_scalar()?
-                            .as_f64()?;
+                    let lo_x = eval_term(x_lo, &full_ctx, &mut no_aggs2)?
+                        .as_scalar()?
+                        .as_f64()?;
+                    let hi_x = eval_term(x_hi, &full_ctx, &mut no_aggs2)?
+                        .as_scalar()?
+                        .as_f64()?;
+                    let lo_y = eval_term(y_lo, &full_ctx, &mut no_aggs2)?
+                        .as_scalar()?
+                        .as_f64()?;
+                    let hi_y = eval_term(y_hi, &full_ctx, &mut no_aggs2)?
+                        .as_scalar()?
+                        .as_f64()?;
                     let rect = sgl_index::Rect::new(lo_x, hi_x, lo_y, hi_y);
                     match self.state.cache.as_mut() {
                         Some(cache) => {
@@ -587,13 +659,13 @@ impl<'a, 'p> Interp<'a, 'p> {
                             }
                             rows
                         }
-                        None => (0..self.shared.table.len() as u32).collect(),
+                        None => full_range(),
                     }
                 } else {
-                    (0..self.shared.table.len() as u32).collect()
+                    full_range()
                 }
             } else {
-                (0..self.shared.table.len() as u32).collect()
+                full_range()
             };
 
             for target in candidates {
@@ -680,10 +752,7 @@ mod tests {
     ) -> (EffectBuffer, TickStats) {
         let rng = GameRng::new(42).for_tick(1);
         let acting: Vec<u32> = (0..table.len() as u32).collect();
-        let runs = vec![ScriptRun {
-            plan,
-            acting_rows: acting,
-        }];
+        let runs = vec![ScriptRun::new(plan, acting)];
         execute_tick(table, registry, &runs, &rng, &mode_config).unwrap()
     }
 
@@ -739,10 +808,7 @@ mod tests {
         let plan = compile("main(u) { perform Heal(u); }", &registry);
         for config in [ExecConfig::naive(&schema), ExecConfig::indexed(&schema)] {
             let rng = GameRng::new(1).for_tick(0);
-            let runs = vec![ScriptRun {
-                plan: &plan,
-                acting_rows: vec![0],
-            }];
+            let runs = vec![ScriptRun::new(&plan, vec![0])];
             let (effects, _) = execute_tick(&table, &registry, &runs, &rng, &config).unwrap();
             let aura = schema.attr_id("inaura").unwrap();
             assert!(
@@ -781,10 +847,7 @@ mod tests {
         );
         let config = ExecConfig::indexed(&schema);
         let rng = GameRng::new(5).for_tick(2);
-        let runs = vec![ScriptRun {
-            plan: &plan,
-            acting_rows: vec![0],
-        }];
+        let runs = vec![ScriptRun::new(&plan, vec![0])];
         let (effects, stats) = execute_tick(&table, &registry, &runs, &rng, &config).unwrap();
         let weapon = schema.attr_id("weaponused").unwrap();
         let damage = schema.attr_id("damage").unwrap();
@@ -804,20 +867,14 @@ mod tests {
             input: Box::new(LogicalPlan::Empty),
         };
         let rng = GameRng::new(1).for_tick(0);
-        let runs = vec![ScriptRun {
-            plan: &plan,
-            acting_rows: vec![0, 1, 2, 3],
-        }];
+        let runs = vec![ScriptRun::new(&plan, vec![0, 1, 2, 3])];
         let (effects, stats) =
             execute_tick(&table, &registry, &runs, &rng, &ExecConfig::naive(&schema)).unwrap();
         assert!(effects.is_empty());
         assert_eq!(stats.aggregate_probes, 0);
 
         let bad = LogicalPlan::Scan.apply("Teleport", vec![]);
-        let runs = vec![ScriptRun {
-            plan: &bad,
-            acting_rows: vec![0],
-        }];
+        let runs = vec![ScriptRun::new(&bad, vec![0])];
         let err = execute_tick(&table, &registry, &runs, &rng, &ExecConfig::naive(&schema));
         assert!(matches!(err, Err(ExecError::UnknownBuiltin(_))));
     }
@@ -922,10 +979,7 @@ mod tests {
                 n => ExecConfig::naive(&schema).with_parallelism(Parallelism::Threads(n)),
             };
             let rng = GameRng::new(1).for_tick(0);
-            let runs = vec![ScriptRun {
-                plan: &plan,
-                acting_rows: vec![0, 1, 2],
-            }];
+            let runs = vec![ScriptRun::new(&plan, vec![0, 1, 2])];
             let (effects, _) = execute_tick(&table, &registry, &runs, &rng, &config).unwrap();
             effects
                 .get(0, schema.attr_id("movevect_x").unwrap())
@@ -987,14 +1041,8 @@ mod tests {
             };
             let rng = GameRng::new(1).for_tick(0);
             let runs = vec![
-                ScriptRun {
-                    plan: &plan,
-                    acting_rows: vec![0, 1],
-                },
-                ScriptRun {
-                    plan: &plan,
-                    acting_rows: vec![2],
-                },
+                ScriptRun::new(&plan, vec![0, 1]),
+                ScriptRun::new(&plan, vec![2]),
             ];
             let (effects, _) = execute_tick(&table, &registry, &runs, &rng, &config).unwrap();
             effects
@@ -1013,14 +1061,8 @@ mod tests {
     fn sharding_splits_rows_contiguously_and_exhaustively() {
         let plan = LogicalPlan::Scan;
         let runs = vec![
-            ScriptRun {
-                plan: &plan,
-                acting_rows: (0..10).collect(),
-            },
-            ScriptRun {
-                plan: &plan,
-                acting_rows: vec![100, 101, 102],
-            },
+            ScriptRun::new(&plan, (0..10).collect()),
+            ScriptRun::new(&plan, vec![100, 101, 102]),
         ];
         let shards = shard_runs(&runs, 4);
         assert_eq!(shards.len(), 4);

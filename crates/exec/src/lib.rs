@@ -18,6 +18,7 @@
 
 pub mod builtin_eval;
 pub mod checkpoint;
+pub mod compile;
 pub mod config;
 pub mod error;
 pub mod filter;
@@ -26,7 +27,9 @@ pub mod interp;
 pub mod oracle;
 pub mod planner;
 pub mod stats;
+pub(crate) mod vm;
 
+pub use compile::{compile_script, CompileError, CompiledScript};
 pub use config::{
     AdaptiveWindow, ExecConfig, ExecMode, MaintenancePolicy, Parallelism, PlannerMode,
     RebuildBackend, SpatialAttrs, TickStats,

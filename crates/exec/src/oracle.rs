@@ -181,8 +181,15 @@ impl<'a> OracleInterp<'a> {
                 if a.contains_aggregate() {
                     self.eval_term_scanning(a, bindings)
                 } else {
-                    eval_call_args(std::slice::from_ref(a), &self.ctx(bindings))
-                        .map(|mut values| values.pop().expect("one arg in, one value out"))
+                    eval_call_args(std::slice::from_ref(a), &self.ctx(bindings)).and_then(
+                        |mut values| {
+                            values.pop().ok_or_else(|| {
+                                ExecError::Internal(
+                                    "eval_call_args returned no value for one argument".into(),
+                                )
+                            })
+                        },
+                    )
                 }
             })
             .collect()
@@ -335,10 +342,7 @@ mod tests {
         .unwrap();
 
         for config in [ExecConfig::naive(&schema), ExecConfig::indexed(&schema)] {
-            let runs = vec![ScriptRun {
-                plan: &plan,
-                acting_rows: acting.clone(),
-            }];
+            let runs = vec![ScriptRun::new(&plan, acting.clone())];
             let (effects, stats) = execute_tick(&table, &registry, &runs, &rng, &config).unwrap();
             assert_eq!(
                 oracle_effects.canonical(),

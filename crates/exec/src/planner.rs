@@ -264,10 +264,12 @@ fn choose_strategy(
     schema: &Schema,
     spatial: Option<SpatialAttrs>,
 ) -> AggStrategy {
-    if !analysis.is_exact() || analysis.key_eq.is_some() || spatial.is_none() {
+    let Some(spatial) = spatial else {
+        return AggStrategy::Scan;
+    };
+    if !analysis.is_exact() || analysis.key_eq.is_some() {
         return AggStrategy::Scan;
     }
-    let spatial = spatial.expect("checked above");
     match &def.spec {
         AggSpec::Simple { outputs } => {
             let all_divisible = outputs.iter().all(|o| o.func.is_divisible());

@@ -70,28 +70,50 @@ pub struct TickObservations {
 }
 
 impl TickObservations {
-    fn entry(&mut self, name: &str) -> &mut CallObs {
-        if !self.calls.contains_key(name) {
-            self.calls.insert(name.to_string(), CallObs::default());
+    /// Apply `f` to the site's counters, creating the entry on first sight.
+    /// The hot path (entry exists) performs one hash lookup and no
+    /// allocation; only the first observation of a name allocates its key.
+    fn update(&mut self, name: &str, f: impl FnOnce(&mut CallObs)) {
+        if let Some(obs) = self.calls.get_mut(name) {
+            f(obs);
+        } else {
+            let mut obs = CallObs::default();
+            f(&mut obs);
+            self.calls.insert(name.to_string(), obs);
         }
-        self.calls.get_mut(name).expect("just inserted")
     }
 
     /// Record one evaluated probe (called once per memo miss).
     pub fn record_probe(&mut self, name: &str) {
-        self.entry(name).probes += 1;
+        self.update(name, |e| e.probes += 1);
+    }
+
+    /// Record `count` evaluated probes at once (the bytecode VM counts per
+    /// call site during a run and flushes here).
+    pub fn record_probes(&mut self, name: &str, count: u64) {
+        if count > 0 {
+            self.update(name, |e| e.probes += count);
+        }
     }
 
     /// Record which backend served a probe.
     pub fn record_served(&mut self, name: &str, backend: PhysicalBackend) {
-        self.entry(name).served[backend.index()] += 1;
+        self.update(name, |e| e.served[backend.index()] += 1);
+    }
+
+    /// Record `count` probes served by one backend at once.
+    pub fn record_served_n(&mut self, name: &str, backend: PhysicalBackend, count: u64) {
+        if count > 0 {
+            self.update(name, |e| e.served[backend.index()] += count);
+        }
     }
 
     /// Record the matched-row count of a probe (divisible probes know it).
     pub fn record_matched(&mut self, name: &str, matched: u64) {
-        let e = self.entry(name);
-        e.matched += matched;
-        e.matched_probes += 1;
+        self.update(name, |e| {
+            e.matched += matched;
+            e.matched_probes += 1;
+        });
     }
 
     /// Record a probe's finite rectangle area (quantised to area units).
@@ -99,21 +121,59 @@ impl TickObservations {
         if !area.is_finite() || area < 0.0 {
             return;
         }
-        let e = self.entry(name);
-        e.rect_area_q = e.rect_area_q.saturating_add(area.round() as u64);
-        e.rect_probes += 1;
+        self.update(name, |e| {
+            e.rect_area_q = e.rect_area_q.saturating_add(area.round() as u64);
+            e.rect_probes += 1;
+        });
     }
 
     /// Record the categorical partition count behind a call site.
     pub fn record_partitions(&mut self, name: &str, partitions: usize) {
-        let e = self.entry(name);
-        e.partitions = e.partitions.max(partitions as u64);
+        self.update(name, |e| e.partitions = e.partitions.max(partitions as u64));
+    }
+
+    /// Record everything one divisible index probe observes — partition
+    /// count, serving backend, matched rows and rectangle area — in a single
+    /// name lookup.  Equivalent to calling the individual `record_*` methods;
+    /// folded together because the probe path runs per aggregate call.
+    pub fn record_index_probe(
+        &mut self,
+        name: &str,
+        partitions: usize,
+        backend: PhysicalBackend,
+        matched: u64,
+        rect_area: f64,
+    ) {
+        self.update(name, |e| {
+            e.partitions = e.partitions.max(partitions as u64);
+            e.served[backend.index()] += 1;
+            e.matched += matched;
+            e.matched_probes += 1;
+            if rect_area.is_finite() && rect_area >= 0.0 {
+                e.rect_area_q = e.rect_area_q.saturating_add(rect_area.round() as u64);
+                e.rect_probes += 1;
+            }
+        });
+    }
+
+    /// Record a partition count and a served backend together (nearest and
+    /// min/max probes, which have no matched-row count).
+    pub fn record_partitioned_serve(
+        &mut self,
+        name: &str,
+        partitions: usize,
+        backend: PhysicalBackend,
+    ) {
+        self.update(name, |e| {
+            e.partitions = e.partitions.max(partitions as u64);
+            e.served[backend.index()] += 1;
+        });
     }
 
     /// Merge another tick fragment (shards, parallel executors).
     pub fn merge(&mut self, other: &TickObservations) {
         for (name, obs) in &other.calls {
-            self.entry(name).merge(obs);
+            self.update(name, |e| e.merge(obs));
         }
     }
 }
@@ -223,10 +283,7 @@ impl RuntimeStats {
             }
         }
         for (name, o) in &obs.calls {
-            if !self.calls.contains_key(name) {
-                self.calls.insert(name.clone(), CallSiteStats::default());
-            }
-            let site = self.calls.get_mut(name).expect("just inserted");
+            let site = self.calls.entry(name.clone()).or_default();
             let site_seeded = site.probes > 0.0;
             site.probes = ewma(site.probes, o.probes as f64, site_seeded);
             if o.matched_probes > 0 && n > 0.0 {

@@ -36,6 +36,16 @@ impl DivAcc {
         self.sum.len()
     }
 
+    /// Reset to the identity for `channels` channels, keeping the existing
+    /// allocations when the channel count is unchanged.
+    pub fn reset(&mut self, channels: usize) {
+        self.count = 0.0;
+        self.sum.clear();
+        self.sum.resize(channels, 0.0);
+        self.sum_sq.clear();
+        self.sum_sq.resize(channels, 0.0);
+    }
+
     /// Accumulate one row with the given channel values.
     pub fn insert(&mut self, values: &[f64]) {
         debug_assert_eq!(values.len(), self.sum.len());

@@ -456,6 +456,23 @@ impl DynamicAggGrid {
             }
         }
     }
+
+    /// Accumulate the rows inside `rect` into an existing accumulator — the
+    /// allocation-free form of [`AggIndex::probe_rect`] for hot probe loops
+    /// that reuse one scratch accumulator across probes.
+    pub fn probe_rect_into(&self, rect: &Rect, acc: &mut DivAcc) {
+        self.visit_cells(rect, |cell, contained| {
+            if contained {
+                acc.merge(&cell.acc);
+            } else {
+                for row in &cell.rows {
+                    if rect.contains(&row.point) {
+                        acc.insert(&row.values);
+                    }
+                }
+            }
+        });
+    }
 }
 
 impl AggIndex for DynamicAggGrid {
@@ -504,17 +521,7 @@ impl AggIndex for DynamicAggGrid {
 
     fn probe_rect(&self, rect: &Rect) -> DivAcc {
         let mut acc = DivAcc::identity(self.channels);
-        self.visit_cells(rect, |cell, contained| {
-            if contained {
-                acc.merge(&cell.acc);
-            } else {
-                for row in &cell.rows {
-                    if rect.contains(&row.point) {
-                        acc.insert(&row.values);
-                    }
-                }
-            }
-        });
+        self.probe_rect_into(rect, &mut acc);
         acc
     }
 

@@ -186,6 +186,19 @@ impl Registry {
         names
     }
 
+    /// Iterate over registered aggregates as `(name, def)` pairs, sorted by
+    /// name — name and definition come from the same map entry, so callers
+    /// never need a second fallible look-up.
+    pub fn aggregates(&self) -> Vec<(&str, &AggregateDef)> {
+        let mut defs: Vec<(&str, &AggregateDef)> = self
+            .aggregates
+            .iter()
+            .map(|(name, def)| (name.as_str(), def))
+            .collect();
+        defs.sort_unstable_by_key(|(name, _)| *name);
+        defs
+    }
+
     /// Iterate over registered action names (sorted).
     pub fn action_names(&self) -> Vec<&str> {
         let mut names: Vec<&str> = self.actions.keys().map(String::as_str).collect();

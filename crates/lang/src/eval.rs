@@ -69,7 +69,13 @@ impl ScriptValue {
         }
     }
 
-    fn zip_binop(op: BinOp, a: &ScriptValue, b: &ScriptValue) -> Result<ScriptValue> {
+    /// Apply a binary operator to two values: scalars combine directly,
+    /// multi-component values combine pointwise with the field-name
+    /// preference rule below.  This is the one shared implementation of the
+    /// `[[·]]term` binary-operation semantics — the tree-walking evaluator
+    /// ([`eval_term`]) and the bytecode VM of `sgl-exec` both call it, so
+    /// they cannot drift apart.
+    pub fn zip_binop(op: BinOp, a: &ScriptValue, b: &ScriptValue) -> Result<ScriptValue> {
         let av = a.components();
         let bv = b.components();
         if av.len() == 1 && bv.len() == 1 {

@@ -210,8 +210,9 @@ fn the_lattice_covers_the_advertised_configurations() {
     let schema = sgl::battle::battle_schema();
     let configs = lattice(&schema);
     // 3 thread counts × (1 naive + 3 policies × 2 backends + 1 cost-based)
-    // = 24.
-    assert_eq!(configs.len(), 24);
+    // = 24, plus 7 register-bytecode VM entries (3 rebuild/layered threads,
+    // incremental/serial, adaptive/4t, 2 cost-based) = 31.
+    assert_eq!(configs.len(), 31);
     let labels: Vec<&str> = configs.iter().map(|(l, _)| l.as_str()).collect();
     for needle in [
         "naive/serial",
@@ -220,6 +221,12 @@ fn the_lattice_covers_the_advertised_configurations() {
         "planned/rebuild/quadtree/2t",
         "planned/incremental/layered/4t",
         "planned/adaptive/quadtree/serial",
+        "compiled/rebuild/layered/serial",
+        "compiled/rebuild/layered/4t",
+        "compiled/incremental/layered/serial",
+        "compiled/adaptive/quadtree/4t",
+        "compiled/costbased/w2/serial",
+        "compiled/costbased/w2/4t",
     ] {
         assert!(labels.contains(&needle), "missing {needle}: {labels:?}");
     }

@@ -70,10 +70,7 @@ fn effects_of(plan: &LogicalPlan) -> Vec<(i64, sgl::env::AttrId, sgl::env::Value
     let registry = paper_registry();
     let (schema, table) = make_table(36);
     let rng = GameRng::new(5).for_tick(1);
-    let runs = vec![ScriptRun {
-        plan,
-        acting_rows: (0..table.len() as u32).collect(),
-    }];
+    let runs = vec![ScriptRun::new(plan, (0..table.len() as u32).collect())];
     let (effects, _) = execute_tick(&table, &registry, &runs, &rng, &ExecConfig::naive(&schema))
         .expect("plan executes");
     effects.canonical()
