@@ -2,31 +2,36 @@
 //!
 //! Runs the engine-level perf suite (fixed seeds, wall-clock per-phase
 //! timings via the engine's `PhaseTimings` — no criterion sampling), writes
-//! the machine-readable summary as `BENCH_8.json`, and fails with exit
-//! code 1 if either gate fires:
+//! the machine-readable summary as `BENCH_9.json`, and fails with exit
+//! code 1 if any gate fires:
 //!
 //! * a baseline was given and a tracked scenario's anchor-relative
 //!   throughput regressed more than the tolerance (default 25 %);
 //! * any `compiled_*` scenario failed to beat its `indexed_*` interpreter
-//!   twin by `--min-compiled-speedup` (default 1.0 — never slower).
+//!   twin by `--min-compiled-speedup` (default 1.0 — never slower);
+//! * a tracked scenario's memory footprint (bytes/row or peak resident
+//!   pages) grew more than `--max-footprint-regression` (default 25 %)
+//!   over a baseline that carries memory fields.
 //!
 //! ```text
 //! perf [--out PATH] [--baseline PATH] [--max-regression FRACTION]
-//!      [--min-compiled-speedup RATIO] [--calibrate]
+//!      [--min-compiled-speedup RATIO] [--max-footprint-regression FRACTION]
+//!      [--calibrate]
 //! ```
 
 use std::process::ExitCode;
 
 use sgl_bench::{
-    calibrate_cost_constants, compare_reports, compiled_gate, compiled_speedups, constants_summary,
-    parse_report, report_to_json, run_perf_suite,
+    calibrate_cost_constants, compare_memory, compare_reports, compiled_gate, compiled_speedups,
+    constants_summary, parse_report, report_to_json, run_perf_suite,
 };
 
 fn main() -> ExitCode {
-    let mut out_path = String::from("BENCH_8.json");
+    let mut out_path = String::from("BENCH_9.json");
     let mut baseline_path: Option<String> = None;
     let mut max_regression = 0.25f64;
     let mut min_compiled_speedup = 1.0f64;
+    let mut max_footprint_regression = 0.25f64;
     let mut calibrate = false;
 
     let mut args = std::env::args().skip(1);
@@ -48,13 +53,20 @@ fn main() -> ExitCode {
                     .parse()
                     .expect("--min-compiled-speedup must be a positive number");
             }
+            "--max-footprint-regression" => {
+                max_footprint_regression = args
+                    .next()
+                    .expect("--max-footprint-regression needs a fraction")
+                    .parse()
+                    .expect("--max-footprint-regression must be a number in (0, 1)");
+            }
             "--calibrate" => calibrate = true,
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: perf [--out PATH] [--baseline PATH] \
                      [--max-regression FRACTION] [--min-compiled-speedup RATIO] \
-                     [--calibrate]"
+                     [--max-footprint-regression FRACTION] [--calibrate]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -74,6 +86,20 @@ fn main() -> ExitCode {
             "  {name}: {:.1} ticks/s (relative {:.3}), exec {:.0}µs/tick, maintain {:.0}µs/tick",
             r.ticks_per_sec, r.relative, r.phase_us.exec, r.phase_us.maintain
         );
+        if let Some(mem) = &r.memory {
+            eprintln!(
+                "    memory: {:.1} bytes/row, peak {:.0} resident pages, \
+                 {:.2} page allocs/tick",
+                mem.bytes_per_row,
+                mem.peak_resident_pages,
+                mem.allocs_per_tick.fault_in
+                    + mem.allocs_per_tick.exec
+                    + mem.allocs_per_tick.post
+                    + mem.allocs_per_tick.movement
+                    + mem.allocs_per_tick.resurrect
+                    + mem.allocs_per_tick.maintain
+            );
+        }
     }
     let json = report_to_json(&report);
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -120,6 +146,19 @@ fn main() -> ExitCode {
         } else {
             eprintln!("perf gate FAILED:");
             for v in &violations {
+                eprintln!("  {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+        let footprint_violations = compare_memory(&report, &baseline, max_footprint_regression);
+        if footprint_violations.is_empty() {
+            eprintln!(
+                "footprint gate passed: tracked scenarios within {:.0}% of baseline memory",
+                max_footprint_regression * 100.0
+            );
+        } else {
+            eprintln!("footprint gate FAILED:");
+            for v in &footprint_violations {
                 eprintln!("  {v}");
             }
             return ExitCode::FAILURE;

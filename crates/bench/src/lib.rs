@@ -69,6 +69,40 @@ impl PhaseMicros {
     }
 }
 
+/// Mean page allocations (fresh pages + spill fault-ins) per tick, per
+/// engine phase — the bench-report mirror of the engine's `PhaseAllocs`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseAllocRates {
+    /// Tick-start fault-in of pages evicted by the previous tick.
+    pub fault_in: f64,
+    /// Decision/action phases.
+    pub exec: f64,
+    /// Post-processing.
+    pub post: f64,
+    /// Movement.
+    pub movement: f64,
+    /// Resurrection rule.
+    pub resurrect: f64,
+    /// Cross-tick index maintenance.
+    pub maintain: f64,
+}
+
+/// Memory footprint of one scenario's environment table.  Unlike wall
+/// clock, every field is deterministic — the simulated battles are seeded —
+/// so these numbers transfer between machines exactly and the footprint
+/// gate can compare them without anchor normalisation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemoryMetrics {
+    /// Resident heap bytes per row at the end of the measured run.
+    pub bytes_per_row: f64,
+    /// High-water mark of resident pages over the run.
+    pub peak_resident_pages: f64,
+    /// Resident heap bytes at the end of the run.
+    pub resident_bytes: f64,
+    /// Mean page allocations per tick, split by phase.
+    pub allocs_per_tick: PhaseAllocRates,
+}
+
 /// One scenario's measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfScenarioResult {
@@ -82,6 +116,10 @@ pub struct PerfScenarioResult {
     pub relative: f64,
     /// Mean per-tick phase timings.
     pub phase_us: PhaseMicros,
+    /// Memory footprint of the environment table.  `None` when parsed from
+    /// a baseline written before the columnar storage layer (schema ≤
+    /// BENCH_8); the footprint gate skips such scenarios.
+    pub memory: Option<MemoryMetrics>,
     /// Chosen physical backend per aggregate call site, as
     /// `backend/maintenance` labels (the executed configuration; under the
     /// cost-based planner this is what the cost model selected).
@@ -386,9 +424,31 @@ fn run_scenario(spec: &ScenarioSpec) -> PerfScenarioResult {
     sim.run(spec.ticks).expect("perf ticks");
     let elapsed = start.elapsed().as_secs_f64();
     let mut totals = PhaseTimings::default();
+    let mut allocs = sgl_core::engine::PhaseAllocs::default();
     for report in &sim.history()[history_start..] {
         totals.accumulate(&report.timings);
+        allocs.accumulate(&report.allocs);
     }
+    let memory = sim
+        .history()
+        .last()
+        .map(|last| {
+            let per_tick = |v: u64| v as f64 / spec.ticks.max(1) as f64;
+            MemoryMetrics {
+                bytes_per_row: last.memory.bytes_per_row,
+                peak_resident_pages: last.memory.peak_resident_pages as f64,
+                resident_bytes: last.memory.resident_bytes as f64,
+                allocs_per_tick: PhaseAllocRates {
+                    fault_in: per_tick(allocs.fault_in),
+                    exec: per_tick(allocs.exec),
+                    post: per_tick(allocs.post),
+                    movement: per_tick(allocs.movement),
+                    resurrect: per_tick(allocs.resurrect),
+                    maintain: per_tick(allocs.maintain),
+                },
+            }
+        })
+        .expect("at least the warmup tick ran");
     let backends = sim
         .physical_choices()
         .into_iter()
@@ -400,6 +460,7 @@ fn run_scenario(spec: &ScenarioSpec) -> PerfScenarioResult {
         ticks_per_sec: spec.ticks as f64 / elapsed.max(1e-9),
         relative: 0.0, // filled by the caller once the anchor is known
         phase_us: PhaseMicros::from_timings(&totals, spec.ticks),
+        memory: Some(memory),
         backends,
     }
 }
@@ -480,6 +541,64 @@ pub fn compare_reports(
     violations
 }
 
+/// Footprint gate: every tracked scenario's memory footprint must stay
+/// within `(1 + max_regression)` of the baseline's, on both `bytes_per_row`
+/// and `peak_resident_pages`.  The metrics are deterministic (seeded
+/// battles), so no anchor normalisation is needed and the tolerance exists
+/// only to absorb intentional layout changes below the gate's attention.
+/// Returns the violations (empty = pass).
+///
+/// Scenarios whose baseline predates the memory telemetry (`memory` absent)
+/// are skipped — the gate arms itself the first time a baseline with memory
+/// fields is committed.  A *current* run without memory fields is a
+/// violation: the telemetry must not silently disappear from the suite.
+pub fn compare_memory(
+    current: &PerfReport,
+    baseline: &PerfReport,
+    max_regression: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for name in &baseline.tracked {
+        let (Some(base), Some(cur)) = (baseline.scenarios.get(name), current.scenarios.get(name))
+        else {
+            // compare_reports already reports missing tracked scenarios.
+            continue;
+        };
+        let Some(base_mem) = &base.memory else {
+            continue;
+        };
+        let Some(cur_mem) = &cur.memory else {
+            violations.push(format!(
+                "tracked scenario `{name}` lost its memory telemetry \
+                 (baseline has it, current run does not)"
+            ));
+            continue;
+        };
+        let mut check = |metric: &str, cur_v: f64, base_v: f64| {
+            let ceiling = base_v * (1.0 + max_regression);
+            if cur_v > ceiling && cur_v - base_v > 1e-9 {
+                violations.push(format!(
+                    "`{name}` memory footprint regressed: {metric} {cur_v:.1} > {ceiling:.1} \
+                     (baseline {base_v:.1} + {:.0}% tolerance). If the layout change is \
+                     intentional, regenerate BENCH_BASELINE.json in the same PR.",
+                    max_regression * 100.0
+                ));
+            }
+        };
+        check(
+            "bytes_per_row",
+            cur_mem.bytes_per_row,
+            base_mem.bytes_per_row,
+        );
+        check(
+            "peak_resident_pages",
+            cur_mem.peak_resident_pages,
+            base_mem.peak_resident_pages,
+        );
+    }
+    violations
+}
+
 // ---------------------------------------------------------------------------
 // JSON (no external deps in this workspace: hand-rolled writer + parser)
 // ---------------------------------------------------------------------------
@@ -543,6 +662,24 @@ pub fn report_to_json(report: &PerfReport) -> String {
             fmt_f64(r.phase_us.resurrect),
             fmt_f64(r.phase_us.maintain)
         );
+        if let Some(mem) = &r.memory {
+            let _ = writeln!(
+                out,
+                "      \"memory\": {{\"bytes_per_row\": {}, \"peak_resident_pages\": {}, \
+                 \"resident_bytes\": {}, \"allocs_per_tick\": {{\"fault_in\": {}, \
+                 \"exec\": {}, \"post\": {}, \"movement\": {}, \"resurrect\": {}, \
+                 \"maintain\": {}}}}},",
+                fmt_f64(mem.bytes_per_row),
+                fmt_f64(mem.peak_resident_pages),
+                fmt_f64(mem.resident_bytes),
+                fmt_f64(mem.allocs_per_tick.fault_in),
+                fmt_f64(mem.allocs_per_tick.exec),
+                fmt_f64(mem.allocs_per_tick.post),
+                fmt_f64(mem.allocs_per_tick.movement),
+                fmt_f64(mem.allocs_per_tick.resurrect),
+                fmt_f64(mem.allocs_per_tick.maintain)
+            );
+        }
         let backends: Vec<String> = r
             .backends
             .iter()
@@ -833,6 +970,33 @@ pub fn parse_report(text: &str) -> Result<PerfReport, String> {
                 );
             }
         }
+        // Optional on read: baselines up to BENCH_8 predate the memory
+        // telemetry.  When the object is present, every field is required.
+        let memory = match e.get("memory") {
+            None => None,
+            Some(m) => {
+                let m = m
+                    .as_obj()
+                    .ok_or_else(|| format!("scenario `{name}` memory must be an object"))?;
+                let rates = m
+                    .get("allocs_per_tick")
+                    .and_then(Json::as_obj)
+                    .ok_or_else(|| format!("scenario `{name}` memory missing allocs_per_tick"))?;
+                Some(MemoryMetrics {
+                    bytes_per_row: get_f64(m, "bytes_per_row")?,
+                    peak_resident_pages: get_f64(m, "peak_resident_pages")?,
+                    resident_bytes: get_f64(m, "resident_bytes")?,
+                    allocs_per_tick: PhaseAllocRates {
+                        fault_in: get_f64(rates, "fault_in")?,
+                        exec: get_f64(rates, "exec")?,
+                        post: get_f64(rates, "post")?,
+                        movement: get_f64(rates, "movement")?,
+                        resurrect: get_f64(rates, "resurrect")?,
+                        maintain: get_f64(rates, "maintain")?,
+                    },
+                })
+            }
+        };
         report.scenarios.insert(
             name.clone(),
             PerfScenarioResult {
@@ -847,6 +1011,7 @@ pub fn parse_report(text: &str) -> Result<PerfReport, String> {
                     resurrect: get_f64(phases, "resurrect")?,
                     maintain: get_f64(phases, "maintain")?,
                 },
+                memory,
                 backends,
             },
         );
@@ -1034,6 +1199,7 @@ mod tests {
                     resurrect: 5.0,
                     maintain: 0.0,
                 },
+                memory: None,
                 backends: BTreeMap::new(),
             },
         );
@@ -1051,6 +1217,19 @@ mod tests {
                     resurrect: 5.0,
                     maintain: 30.0,
                 },
+                memory: Some(MemoryMetrics {
+                    bytes_per_row: 96.0,
+                    peak_resident_pages: 22.0,
+                    resident_bytes: 38400.0,
+                    allocs_per_tick: PhaseAllocRates {
+                        fault_in: 0.0,
+                        exec: 0.0,
+                        post: 0.2,
+                        movement: 0.1,
+                        resurrect: 0.0,
+                        maintain: 0.0,
+                    },
+                }),
                 backends,
             },
         );
@@ -1086,6 +1265,72 @@ mod tests {
         moved.anchor = "naive_300".into();
         let violations = compare_reports(&moved, &baseline, 0.25);
         assert!(violations.iter().any(|v| v.contains("anchor mismatch")));
+    }
+
+    #[test]
+    fn footprint_gate_fires_on_memory_regressions() {
+        let baseline = sample_report();
+        let mut current = sample_report();
+        assert!(compare_memory(&current, &baseline, 0.25).is_empty());
+        // 20% heavier: inside the 25% tolerance.
+        current
+            .scenarios
+            .get_mut("indexed")
+            .unwrap()
+            .memory
+            .as_mut()
+            .unwrap()
+            .bytes_per_row = 115.0;
+        assert!(compare_memory(&current, &baseline, 0.25).is_empty());
+        // 50% heavier: outside.
+        current
+            .scenarios
+            .get_mut("indexed")
+            .unwrap()
+            .memory
+            .as_mut()
+            .unwrap()
+            .bytes_per_row = 144.0;
+        let violations = compare_memory(&current, &baseline, 0.25);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("bytes_per_row"));
+        // Peak resident pages are gated independently.
+        current
+            .scenarios
+            .get_mut("indexed")
+            .unwrap()
+            .memory
+            .as_mut()
+            .unwrap()
+            .peak_resident_pages = 40.0;
+        assert_eq!(compare_memory(&current, &baseline, 0.25).len(), 2);
+        // Telemetry must not silently vanish from a tracked scenario.
+        current.scenarios.get_mut("indexed").unwrap().memory = None;
+        let violations = compare_memory(&current, &baseline, 0.25);
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("lost its memory telemetry")));
+        // A pre-telemetry baseline (no memory fields) leaves the gate dormant.
+        let mut old_baseline = sample_report();
+        old_baseline.scenarios.get_mut("indexed").unwrap().memory = None;
+        assert!(compare_memory(&sample_report(), &old_baseline, 0.25).is_empty());
+    }
+
+    #[test]
+    fn memory_metrics_round_trip_and_stay_optional() {
+        // With memory fields: full round trip.
+        let report = sample_report();
+        let json = report_to_json(&report);
+        assert!(json.contains("\"memory\""));
+        assert_eq!(parse_report(&json).unwrap(), report);
+        // Pre-BENCH_9 baselines have no memory object — they must parse.
+        let mut old = sample_report();
+        for r in old.scenarios.values_mut() {
+            r.memory = None;
+        }
+        let json = report_to_json(&old);
+        assert!(!json.contains("\"memory\""));
+        assert_eq!(parse_report(&json).unwrap(), old);
     }
 
     #[test]

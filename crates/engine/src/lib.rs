@@ -49,7 +49,7 @@ use sgl_exec::{
 use sgl_lang::normalize::NormalScript;
 use sgl_lang::Registry;
 
-pub use metrics::{PhaseTimings, RollingStats, ThroughputReport};
+pub use metrics::{PhaseAllocs, PhaseTimings, RollingStats, ThroughputReport};
 pub use movement::{run_movement, MovementConfig, MovementStats};
 pub use pathfind::{astar, next_waypoint, GridMap};
 pub use replay::{compare_traces, StateDigest, TraceComparison, TraceRecorder};
@@ -181,6 +181,11 @@ pub struct TickReport {
     pub population: usize,
     /// Wall-clock duration of each phase of the tick.
     pub timings: PhaseTimings,
+    /// Page allocations (fresh pages + spill fault-ins) per phase.
+    pub allocs: PhaseAllocs,
+    /// Memory footprint of the environment table after the tick (and after
+    /// the end-of-tick page-budget enforcement pass).
+    pub memory: sgl_env::TableMemoryStats,
 }
 
 /// The discrete simulation engine.
@@ -521,7 +526,19 @@ impl Simulation {
     /// Simulate one clock tick.
     pub fn step(&mut self) -> Result<TickReport> {
         let mut timings = PhaseTimings::default();
+        let mut allocs = PhaseAllocs::default();
         let tick_rng = self.rng.for_tick(self.tick);
+
+        // Residency protocol: fault the whole working set back in before any
+        // phase reads the table, then evict back down to the page budget
+        // after the last mutation (end of this function).  Every phase
+        // therefore sees identical fully-resident column data regardless of
+        // what the previous tick's eviction pass pushed out — which is the
+        // determinism-under-eviction argument in one sentence.
+        let mut alloc_mark = self.table.page_allocs();
+        self.table.ensure_resident();
+        allocs.fault_in = self.table.page_allocs() - alloc_mark;
+        alloc_mark = self.table.page_allocs();
 
         // Cost-based planning: re-price every physical alternative at the
         // adaptivity-window boundary (and immediately after a configuration
@@ -618,11 +635,15 @@ impl Simulation {
             )?
         };
         timings.exec = phase_start.elapsed();
+        allocs.exec = self.table.page_allocs() - alloc_mark;
+        alloc_mark = self.table.page_allocs();
 
         // Post-processing: apply non-positional effects.
         let phase_start = Instant::now();
         self.mechanics.post.apply(&mut self.table, &effects)?;
         timings.post = phase_start.elapsed();
+        allocs.post = self.table.page_allocs() - alloc_mark;
+        alloc_mark = self.table.page_allocs();
 
         // Movement phase.
         let phase_start = Instant::now();
@@ -631,6 +652,8 @@ impl Simulation {
             None => MovementStats::default(),
         };
         timings.movement = phase_start.elapsed();
+        allocs.movement = self.table.page_allocs() - alloc_mark;
+        alloc_mark = self.table.page_allocs();
 
         // Resurrection rule (§6): dead units respawn at random positions.
         let phase_start = Instant::now();
@@ -641,19 +664,20 @@ impl Simulation {
                 if hp <= 0 {
                     deaths += 1;
                     let key = self.table.key_of(row);
-                    let max_hp = self.table.row(row).get(res.max_health).clone();
+                    let max_hp = self.table.row(row).get(res.max_health);
                     let x =
                         res.world.0 + tick_rng.unit_float(key, 101) * (res.world.2 - res.world.0);
                     let y =
                         res.world.1 + tick_rng.unit_float(key, 102) * (res.world.3 - res.world.1);
-                    let unit = self.table.row_mut(row);
-                    unit.set(res.health, max_hp);
-                    unit.set(res.x, Value::Float(x));
-                    unit.set(res.y, Value::Float(y));
+                    self.table.set_attr(row, res.health, max_hp);
+                    self.table.set_attr(row, res.x, Value::Float(x));
+                    self.table.set_attr(row, res.y, Value::Float(y));
                 }
             }
         }
         timings.resurrect = phase_start.elapsed();
+        allocs.resurrect = self.table.page_allocs() - alloc_mark;
+        alloc_mark = self.table.page_allocs();
 
         // Index maintenance: hand the post-tick environment (and the effect
         // relation, for accounting) back to the manager so maintained
@@ -671,6 +695,7 @@ impl Simulation {
             exec_stats.index_delta_ops += maint.delta_ops;
             exec_stats.partition_rebuilds += maint.partition_rebuilds;
             timings.maintain = phase_start.elapsed();
+            allocs.maintain = self.table.page_allocs() - alloc_mark;
         } else {
             // The mutation phases ran without a maintenance pass; whatever
             // maintained state exists (none, or about to be dropped) no
@@ -704,6 +729,12 @@ impl Simulation {
         exec_stats.planner_recosts += planner_recosts;
         exec_stats.plan_switches += plan_switches;
 
+        // End-of-tick page-budget enforcement: evict least-recently-touched
+        // pages down to the configured budget.  The table *contents* are
+        // already final for this tick, so which pages spill affects only
+        // where bytes live — never what the next tick computes.
+        self.table.enforce_page_budget();
+
         let report = TickReport {
             tick: self.tick,
             exec: exec_stats,
@@ -711,6 +742,8 @@ impl Simulation {
             deaths,
             population: self.table.len(),
             timings,
+            allocs,
+            memory: self.table.memory_stats(),
         };
         self.history.push(report);
         self.tick += 1;
@@ -748,17 +781,20 @@ impl Simulation {
         let Some(spatial) = self.exec_config.spatial else {
             return 0.0;
         };
+        let (Ok(xs), Ok(ys)) = (
+            self.table.column_f64(spatial.x),
+            self.table.column_f64(spatial.y),
+        ) else {
+            return 0.0;
+        };
         let mut lo = (f64::INFINITY, f64::INFINITY);
         let mut hi = (f64::NEG_INFINITY, f64::NEG_INFINITY);
-        for (_, row) in self.table.iter() {
-            let (Ok(x), Ok(y)) = (row.get_f64(spatial.x), row.get_f64(spatial.y)) else {
-                continue;
-            };
+        for (x, y) in xs.iter().zip(&ys) {
             if !x.is_finite() || !y.is_finite() {
                 continue;
             }
-            lo = (lo.0.min(x), lo.1.min(y));
-            hi = (hi.0.max(x), hi.1.max(y));
+            lo = (lo.0.min(*x), lo.1.min(*y));
+            hi = (hi.0.max(*x), hi.1.max(*y));
         }
         if lo.0 > hi.0 || lo.1 > hi.1 {
             return 0.0;

@@ -60,6 +60,48 @@ impl PhaseTimings {
     }
 }
 
+/// Page allocations (fresh pages plus spill fault-ins) attributed to each
+/// phase of one simulated tick.  Sampled from the environment table's O(1)
+/// allocation counter around every phase, so the deltas are exact.
+///
+/// Under a [`RamPageManager`](sgl_env::pager::RamPageManager) with no budget
+/// the `fault_in` field stays zero; under a spill budget it counts the pages
+/// the tick-start residency restore read back from the spill file — the
+/// direct measure of how much of the working set the previous tick's
+/// eviction pass pushed out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseAllocs {
+    /// Tick-start fault-in of pages evicted at the end of the previous tick.
+    pub fault_in: u64,
+    /// Decision/action phases (read-only over the table: normally zero).
+    pub exec: u64,
+    /// Post-processing (column writebacks of combined effects).
+    pub post: u64,
+    /// Movement phase (position column writes).
+    pub movement: u64,
+    /// Resurrection rule.
+    pub resurrect: u64,
+    /// Cross-tick index maintenance.
+    pub maintain: u64,
+}
+
+impl PhaseAllocs {
+    /// Total pages allocated during the tick.
+    pub fn total(&self) -> u64 {
+        self.fault_in + self.exec + self.post + self.movement + self.resurrect + self.maintain
+    }
+
+    /// Accumulate another tick's allocations (used by run summaries).
+    pub fn accumulate(&mut self, other: &PhaseAllocs) {
+        self.fault_in += other.fault_in;
+        self.exec += other.exec;
+        self.post += other.post;
+        self.movement += other.movement;
+        self.resurrect += other.resurrect;
+        self.maintain += other.maintain;
+    }
+}
+
 /// Streaming statistics over a sequence of samples (Welford's algorithm).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RollingStats {

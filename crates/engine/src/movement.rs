@@ -197,9 +197,8 @@ pub fn run_movement(
                 } else {
                     stats.detoured += 1;
                 }
-                let row = table.row_mut(idx);
-                row.set(config.x, Value::Float(target.x));
-                row.set(config.y, Value::Float(target.y));
+                table.set_attr(idx, config.x, Value::Float(target.x));
+                table.set_attr(idx, config.y, Value::Float(target.y));
                 moved_rows[idx] = true;
                 moved_hash.insert(target);
             }

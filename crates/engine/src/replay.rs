@@ -20,7 +20,7 @@
 //! workflow for game developers (record a trace once, replay after every
 //! engine change).
 
-use sgl_env::{EnvTable, Value};
+use sgl_env::{EnvTable, PageData, Value};
 
 /// Quantization applied to float attributes before hashing (six decimal
 /// digits: movement arithmetic is identical across executors, but guarding
@@ -45,44 +45,85 @@ impl StateDigest {
     /// executors may materialise rows differently after removals.
     pub fn of_table(table: &EnvTable) -> StateDigest {
         let schema = table.schema();
-        let mut combined: u64 = 0;
-        for (_, row) in table.iter() {
-            let mut h = Fnv::new();
-            for (attr_idx, value) in row.values().iter().enumerate() {
-                h.write_u64(attr_idx as u64);
-                hash_value(&mut h, value);
-            }
-            let row_hash = h.finish();
-            // Commutative combine: sum of bijectively mixed row hashes.
-            combined = combined.wrapping_add(mix(row_hash));
+        let n = table.len();
+        // Column-major walk over the struct-of-arrays table: one resumable
+        // FNV state per row, advanced a whole attribute column at a time.
+        // FNV-1a's state is a single u64, so hashing attribute k for every
+        // row before attribute k+1 produces *exactly* the per-row hashes of
+        // the historical row-major loop — digests are layout-independent.
+        let mut states: Vec<u64> = vec![FNV_OFFSET; n];
+        for attr in 0..schema.len() {
+            let mut row = 0usize;
+            table
+                .for_each_column_page(attr, |page| match page {
+                    PageData::I64(v) => {
+                        for x in v {
+                            let h = &mut states[row];
+                            fnv_write_u64(h, attr as u64);
+                            fnv_write_u64(h, 1);
+                            fnv_write_u64(h, *x as u64);
+                            row += 1;
+                        }
+                    }
+                    PageData::F64(v) => {
+                        for x in v {
+                            let h = &mut states[row];
+                            fnv_write_u64(h, attr as u64);
+                            fnv_write_u64(h, 2);
+                            fnv_write_u64(h, (x * FLOAT_QUANTUM).round() as i64 as u64);
+                            row += 1;
+                        }
+                    }
+                    PageData::Bool(v) => {
+                        for b in v {
+                            let h = &mut states[row];
+                            fnv_write_u64(h, attr as u64);
+                            fnv_write_u64(h, 3);
+                            fnv_write_u64(h, *b as u64);
+                            row += 1;
+                        }
+                    }
+                    PageData::Mixed(v) => {
+                        for value in v {
+                            let h = &mut states[row];
+                            fnv_write_u64(h, attr as u64);
+                            hash_value(h, value);
+                            row += 1;
+                        }
+                    }
+                })
+                .expect("page manager I/O failed");
         }
-        let _ = schema;
+        // Commutative combine: sum of bijectively mixed row hashes.
+        let combined = states
+            .into_iter()
+            .fold(0u64, |acc, s| acc.wrapping_add(mix(s)));
         StateDigest {
             hash: combined,
-            population: table.len(),
+            population: n,
         }
     }
 }
 
-fn hash_value(h: &mut Fnv, value: &Value) {
+fn hash_value(h: &mut u64, value: &Value) {
     match value {
         Value::Int(v) => {
-            h.write_u64(1);
-            h.write_u64(*v as u64);
+            fnv_write_u64(h, 1);
+            fnv_write_u64(h, *v as u64);
         }
         Value::Float(v) => {
-            h.write_u64(2);
+            fnv_write_u64(h, 2);
             let q = (v * FLOAT_QUANTUM).round() as i64;
-            h.write_u64(q as u64);
+            fnv_write_u64(h, q as u64);
         }
         Value::Bool(b) => {
-            h.write_u64(3);
-            h.write_u64(*b as u64);
+            fnv_write_u64(h, 3);
+            fnv_write_u64(h, *b as u64);
         }
         Value::Str(s) => {
-            h.write_u64(4);
+            fnv_write_u64(h, 4);
             for byte in s.as_bytes() {
-                h.write_u64(*byte as u64);
+                fnv_write_u64(h, *byte as u64);
             }
         }
     }
@@ -98,28 +139,18 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Minimal FNV-1a hasher (no external dependencies, stable across platforms).
-struct Fnv {
-    state: u64,
-}
+/// Minimal FNV-1a hashing over bare `u64` states (no external dependencies,
+/// stable across platforms).  The state is carried per row while columns are
+/// walked, so it must be resumable — hence free functions over a plain u64
+/// instead of a hasher struct.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv {
-            state: 0xCBF2_9CE4_8422_2325,
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        for shift in (0..64).step_by(8) {
-            let byte = (v >> shift) & 0xFF;
-            self.state ^= byte;
-            self.state = self.state.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-
-    fn finish(&self) -> u64 {
-        self.state
+fn fnv_write_u64(state: &mut u64, v: u64) {
+    for shift in (0..64).step_by(8) {
+        let byte = (v >> shift) & 0xFF;
+        *state ^= byte;
+        *state = state.wrapping_mul(FNV_PRIME);
     }
 }
 

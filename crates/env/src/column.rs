@@ -1,0 +1,524 @@
+//! Paged columns for the struct-of-arrays environment table.
+//!
+//! Each attribute of the schema owns one [`Column`]: a sequence of
+//! [`PageData`] pages of [`PAGE_ROWS`] values.  Pages start out *typed*
+//! (plain `Vec<f64>` / `Vec<i64>` / `Vec<bool>`) and are promoted to
+//! `Mixed` the moment a variant-mismatched value is written, so the exact
+//! [`Value`] tag of every cell survives the columnar layout — state digests
+//! hash those tags, and they must not change just because storage went
+//! column-major.
+//!
+//! A page is either `Resident` (owned here) or `Spilled` (owned by the
+//! table's [`PageManager`], identified by a token).  Reads through `&self`
+//! never change residency: a read that hits a spilled page loads it
+//! transiently.  Mutating operations fault pages in and leave them
+//! resident; the table evicts again at tick end via its page budget.
+
+use crate::error::{EnvError, Result};
+use crate::pager::{PageData, PageManager, PAGE_ROWS};
+use crate::value::Value;
+
+/// Mutation counters shared between the table and its columns.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MemCounters {
+    /// Logical clock for LRU eviction: bumped on every fault-in and write.
+    pub touch_clock: u64,
+    /// Pages allocated (created or faulted back in) since table creation.
+    pub page_allocs: u64,
+}
+
+impl MemCounters {
+    fn tick(&mut self) -> u64 {
+        self.touch_clock += 1;
+        self.touch_clock
+    }
+}
+
+/// One page slot of a column.
+#[derive(Debug, Clone)]
+pub(crate) enum Slot {
+    /// Page owned in memory.
+    Resident {
+        /// The page values.
+        data: PageData,
+        /// LRU stamp: last fault-in or write.
+        touch: u64,
+    },
+    /// Page evicted through the page manager.
+    Spilled {
+        /// Token to load/free the page.
+        token: u64,
+    },
+}
+
+/// A single attribute's values for every row, split into pages.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Column {
+    len: usize,
+    pub(crate) slots: Vec<Slot>,
+}
+
+fn fresh_page_for(value: &Value) -> PageData {
+    match value {
+        Value::Float(_) => PageData::F64(Vec::with_capacity(PAGE_ROWS)),
+        Value::Int(_) => PageData::I64(Vec::with_capacity(PAGE_ROWS)),
+        Value::Bool(_) => PageData::Bool(Vec::with_capacity(PAGE_ROWS)),
+        Value::Str(_) => PageData::Mixed(Vec::with_capacity(PAGE_ROWS)),
+    }
+}
+
+fn promote_to_mixed(data: &mut PageData) {
+    let mixed = match data {
+        PageData::F64(v) => v.drain(..).map(Value::Float).collect(),
+        PageData::I64(v) => v.drain(..).map(Value::Int).collect(),
+        PageData::Bool(v) => v.drain(..).map(Value::Bool).collect(),
+        PageData::Mixed(_) => return,
+    };
+    *data = PageData::Mixed(mixed);
+}
+
+fn page_push(data: &mut PageData, value: Value) {
+    match (&mut *data, value) {
+        (PageData::F64(v), Value::Float(x)) => v.push(x),
+        (PageData::I64(v), Value::Int(x)) => v.push(x),
+        (PageData::Bool(v), Value::Bool(x)) => v.push(x),
+        (PageData::Mixed(v), x) => v.push(x),
+        (_, x) => {
+            promote_to_mixed(data);
+            page_push(data, x);
+        }
+    }
+}
+
+fn page_set(data: &mut PageData, off: usize, value: Value) {
+    match (&mut *data, value) {
+        (PageData::F64(v), Value::Float(x)) => v[off] = x,
+        (PageData::I64(v), Value::Int(x)) => v[off] = x,
+        (PageData::Bool(v), Value::Bool(x)) => v[off] = x,
+        (PageData::Mixed(v), x) => v[off] = x,
+        (_, x) => {
+            promote_to_mixed(data);
+            page_set(data, off, x);
+        }
+    }
+}
+
+/// Build a page from a slice of values: typed when every value shares one
+/// variant, `Mixed` otherwise.  Typedness is a pure function of content, so
+/// rebuilt columns (compaction, bulk writes, clones) converge to the same
+/// representation whatever the mutation history.
+pub(crate) fn page_from_values(values: &[Value]) -> PageData {
+    debug_assert!(!values.is_empty() && values.len() <= PAGE_ROWS);
+    let mut data = fresh_page_for(&values[0]);
+    for v in values {
+        page_push(&mut data, v.clone());
+    }
+    data
+}
+
+impl Column {
+    /// Empty column.
+    pub fn new() -> Column {
+        Column::default()
+    }
+
+    /// Number of values (rows) in the column.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    fn locate(row: usize) -> (usize, usize) {
+        (row / PAGE_ROWS, row % PAGE_ROWS)
+    }
+
+    /// Fault the given page in (if spilled) and return it mutably,
+    /// stamping the LRU clock.
+    fn fault_in<'a>(
+        &'a mut self,
+        page: usize,
+        pager: &dyn PageManager,
+        counters: &mut MemCounters,
+    ) -> Result<&'a mut PageData> {
+        let slot = &mut self.slots[page];
+        if let Slot::Spilled { token } = *slot {
+            let data = pager.load(token)?;
+            pager.free(token);
+            counters.page_allocs += 1;
+            *slot = Slot::Resident {
+                data,
+                touch: counters.tick(),
+            };
+        }
+        match slot {
+            Slot::Resident { data, touch } => {
+                *touch = counters.tick();
+                Ok(data)
+            }
+            Slot::Spilled { .. } => unreachable!("slot was just faulted in"),
+        }
+    }
+
+    /// Append a value.
+    pub fn push(
+        &mut self,
+        value: Value,
+        pager: &dyn PageManager,
+        counters: &mut MemCounters,
+    ) -> Result<()> {
+        if self.len.is_multiple_of(PAGE_ROWS) {
+            let mut data = fresh_page_for(&value);
+            page_push(&mut data, value);
+            counters.page_allocs += 1;
+            self.slots.push(Slot::Resident {
+                data,
+                touch: counters.tick(),
+            });
+        } else {
+            let page = self.slots.len() - 1;
+            let data = self.fault_in(page, pager, counters)?;
+            page_push(data, value);
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Read the value at `row`.  A spilled page is loaded transiently —
+    /// residency does not change through `&self`.
+    pub fn value(&self, row: usize, pager: &dyn PageManager) -> Result<Value> {
+        let (page, off) = Self::locate(row);
+        match &self.slots[page] {
+            Slot::Resident { data, .. } => Ok(data.value(off)),
+            Slot::Spilled { token } => Ok(pager.load(*token)?.value(off)),
+        }
+    }
+
+    /// Overwrite the value at `row`, faulting its page in.
+    pub fn set(
+        &mut self,
+        row: usize,
+        value: Value,
+        pager: &dyn PageManager,
+        counters: &mut MemCounters,
+    ) -> Result<()> {
+        let (page, off) = Self::locate(row);
+        let data = self.fault_in(page, pager, counters)?;
+        page_set(data, off, value);
+        Ok(())
+    }
+
+    /// Replace every value with `value` (the effect-reset fast path:
+    /// spilled pages are freed without being read, and the column collapses
+    /// back to fully typed pages).
+    pub fn fill(&mut self, value: &Value, pager: &dyn PageManager, counters: &mut MemCounters) {
+        self.free_spilled(pager);
+        let mut remaining = self.len;
+        for slot in &mut self.slots {
+            let take = remaining.min(PAGE_ROWS);
+            remaining -= take;
+            let mut data = fresh_page_for(value);
+            for _ in 0..take {
+                page_push(&mut data, value.clone());
+            }
+            counters.page_allocs += 1;
+            *slot = Slot::Resident {
+                data,
+                touch: counters.tick(),
+            };
+        }
+    }
+
+    /// Replace the whole column with `values` (bulk write-back path).
+    pub fn set_values(
+        &mut self,
+        values: Vec<Value>,
+        pager: &dyn PageManager,
+        counters: &mut MemCounters,
+    ) {
+        self.free_spilled(pager);
+        self.len = values.len();
+        self.slots = values
+            .chunks(PAGE_ROWS)
+            .map(|chunk| {
+                counters.page_allocs += 1;
+                Slot::Resident {
+                    data: page_from_values(chunk),
+                    touch: counters.tick(),
+                }
+            })
+            .collect();
+    }
+
+    /// Fault every page in.
+    pub fn ensure_resident(
+        &mut self,
+        pager: &dyn PageManager,
+        counters: &mut MemCounters,
+    ) -> Result<()> {
+        for page in 0..self.slots.len() {
+            self.fault_in(page, pager, counters)?;
+        }
+        Ok(())
+    }
+
+    /// Spill the given page out if resident.  Returns true when evicted.
+    pub fn evict(&mut self, page: usize, pager: &dyn PageManager) -> Result<bool> {
+        let slot = &mut self.slots[page];
+        if let Slot::Resident { data, .. } = slot {
+            let token = pager.spill(data)?;
+            *slot = Slot::Spilled { token };
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Visit every page in row order, loading spilled pages transiently.
+    pub fn for_each_page<F: FnMut(&PageData)>(
+        &self,
+        pager: &dyn PageManager,
+        mut f: F,
+    ) -> Result<()> {
+        for slot in &self.slots {
+            match slot {
+                Slot::Resident { data, .. } => f(data),
+                Slot::Spilled { token } => f(&pager.load(*token)?),
+            }
+        }
+        Ok(())
+    }
+
+    /// All values of the column, in row order.
+    pub fn values(&self, pager: &dyn PageManager) -> Result<Vec<Value>> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each_page(pager, |data| {
+            for off in 0..data.len() {
+                out.push(data.value(off));
+            }
+        })?;
+        Ok(out)
+    }
+
+    /// The whole column coerced to `f64`, page-at-a-time.
+    pub fn as_f64_vec(&self, pager: &dyn PageManager) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut bad = false;
+        self.for_each_page(pager, |data| match data {
+            PageData::F64(v) => out.extend_from_slice(v),
+            PageData::I64(v) => out.extend(v.iter().map(|&x| x as f64)),
+            PageData::Bool(_) => bad = true,
+            PageData::Mixed(v) => {
+                for val in v {
+                    match val.as_f64() {
+                        Ok(x) => out.push(x),
+                        Err(_) => bad = true,
+                    }
+                }
+            }
+        })?;
+        if bad {
+            return Err(EnvError::TypeError("column is not numeric".into()));
+        }
+        Ok(out)
+    }
+
+    /// The whole column coerced to `i64`, page-at-a-time.
+    pub fn as_i64_vec(&self, pager: &dyn PageManager) -> Result<Vec<i64>> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut bad = false;
+        self.for_each_page(pager, |data| match data {
+            PageData::I64(v) => out.extend_from_slice(v),
+            PageData::F64(v) => out.extend(v.iter().map(|&x| x as i64)),
+            PageData::Bool(_) => bad = true,
+            PageData::Mixed(v) => {
+                for val in v {
+                    match val.as_i64() {
+                        Ok(x) => out.push(x),
+                        Err(_) => bad = true,
+                    }
+                }
+            }
+        })?;
+        if bad {
+            return Err(EnvError::TypeError("column is not numeric".into()));
+        }
+        Ok(out)
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Resident { .. }))
+            .count()
+    }
+
+    /// Number of spilled pages.
+    pub fn spilled_pages(&self) -> usize {
+        self.slots.len() - self.resident_pages()
+    }
+
+    /// Heap bytes held by resident pages.
+    pub fn resident_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                Slot::Resident { data, .. } => data.heap_bytes(),
+                Slot::Spilled { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Free every spilled page held by this column (drop / rebuild paths).
+    pub fn free_spilled(&self, pager: &dyn PageManager) {
+        for slot in &self.slots {
+            if let Slot::Spilled { token } = slot {
+                pager.free(*token);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::RamPageManager;
+
+    fn push_all(col: &mut Column, values: &[Value], pager: &dyn PageManager) {
+        let mut c = MemCounters::default();
+        for v in values {
+            col.push(v.clone(), pager, &mut c).unwrap();
+        }
+    }
+
+    #[test]
+    fn typed_pages_promote_on_mismatched_write() {
+        let pager = RamPageManager::new();
+        let mut c = MemCounters::default();
+        let mut col = Column::new();
+        push_all(&mut col, &[Value::Int(1), Value::Int(2)], &pager);
+        assert!(matches!(
+            &col.slots[0],
+            Slot::Resident {
+                data: PageData::I64(_),
+                ..
+            }
+        ));
+        col.set(1, Value::Float(2.5), &pager, &mut c).unwrap();
+        assert!(matches!(
+            &col.slots[0],
+            Slot::Resident {
+                data: PageData::Mixed(_),
+                ..
+            }
+        ));
+        assert_eq!(col.value(0, &pager).unwrap(), Value::Int(1));
+        assert_eq!(col.value(1, &pager).unwrap(), Value::Float(2.5));
+    }
+
+    #[test]
+    fn pages_split_at_page_rows() {
+        let pager = RamPageManager::new();
+        let values: Vec<Value> = (0..PAGE_ROWS as i64 + 3).map(Value::Int).collect();
+        let mut col = Column::new();
+        push_all(&mut col, &values, &pager);
+        assert_eq!(col.slots.len(), 2);
+        assert_eq!(col.len(), PAGE_ROWS + 3);
+        assert_eq!(
+            col.value(PAGE_ROWS + 2, &pager).unwrap(),
+            Value::Int(PAGE_ROWS as i64 + 2)
+        );
+        assert_eq!(col.values(&pager).unwrap(), values);
+    }
+
+    #[test]
+    fn spilled_pages_read_transiently_and_fault_in_on_write() {
+        let pager = RamPageManager::with_budget(1);
+        let mut c = MemCounters::default();
+        let mut col = Column::new();
+        let values: Vec<Value> = (0..PAGE_ROWS as i64 * 2).map(Value::Int).collect();
+        push_all(&mut col, &values, &pager);
+        assert!(col.evict(0, &pager).unwrap());
+        assert_eq!(col.resident_pages(), 1);
+        assert_eq!(col.spilled_pages(), 1);
+        // Transient read leaves the page spilled.
+        assert_eq!(col.value(3, &pager).unwrap(), Value::Int(3));
+        assert_eq!(col.spilled_pages(), 1);
+        // Write faults it back in.
+        col.set(3, Value::Int(-3), &pager, &mut c).unwrap();
+        assert_eq!(col.spilled_pages(), 0);
+        assert_eq!(col.value(3, &pager).unwrap(), Value::Int(-3));
+        assert_eq!(pager.stats().spilled_pages, 0, "token freed on fault-in");
+    }
+
+    #[test]
+    fn fill_restores_typed_pages_and_frees_spill() {
+        let pager = RamPageManager::with_budget(1);
+        let mut c = MemCounters::default();
+        let mut col = Column::new();
+        push_all(
+            &mut col,
+            &(0..PAGE_ROWS as i64 + 1)
+                .map(Value::Int)
+                .collect::<Vec<_>>(),
+            &pager,
+        );
+        col.set(0, Value::Float(9.0), &pager, &mut c).unwrap(); // promote page 0
+        assert!(col.evict(0, &pager).unwrap());
+        col.fill(&Value::Int(0), &pager, &mut c);
+        assert_eq!(col.spilled_pages(), 0);
+        assert_eq!(pager.stats().spilled_pages, 0);
+        for slot in &col.slots {
+            assert!(matches!(
+                slot,
+                Slot::Resident {
+                    data: PageData::I64(_),
+                    ..
+                }
+            ));
+        }
+        assert_eq!(col.value(0, &pager).unwrap(), Value::Int(0));
+        assert_eq!(col.len(), PAGE_ROWS + 1);
+    }
+
+    #[test]
+    fn set_values_picks_typedness_from_content() {
+        let pager = RamPageManager::new();
+        let mut c = MemCounters::default();
+        let mut col = Column::new();
+        col.set_values(vec![Value::Int(1), Value::Float(2.0)], &pager, &mut c);
+        assert!(matches!(
+            &col.slots[0],
+            Slot::Resident {
+                data: PageData::Mixed(_),
+                ..
+            }
+        ));
+        col.set_values(vec![Value::Float(1.0), Value::Float(2.0)], &pager, &mut c);
+        assert!(matches!(
+            &col.slots[0],
+            Slot::Resident {
+                data: PageData::F64(_),
+                ..
+            }
+        ));
+        assert_eq!(col.as_f64_vec(&pager).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn typed_column_reads() {
+        let pager = RamPageManager::new();
+        let mut col = Column::new();
+        push_all(
+            &mut col,
+            &[Value::Int(1), Value::Int(2), Value::Int(3)],
+            &pager,
+        );
+        assert_eq!(col.as_i64_vec(&pager).unwrap(), vec![1, 2, 3]);
+        assert_eq!(col.as_f64_vec(&pager).unwrap(), vec![1.0, 2.0, 3.0]);
+        let mut bools = Column::new();
+        push_all(&mut bools, &[Value::Bool(true)], &pager);
+        assert!(bools.as_f64_vec(&pager).is_err());
+        assert!(bools.as_i64_vec(&pager).is_err());
+    }
+}

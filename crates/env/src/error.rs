@@ -38,6 +38,9 @@ pub enum EnvError {
     /// resuming simulation (truncated, corrupted, wrong version, different
     /// schema or scripts).
     Checkpoint(String),
+    /// A page manager failed to store or retrieve an evicted column page
+    /// (spill file I/O error, corrupted record, unknown token).
+    Pager(String),
 }
 
 impl fmt::Display for EnvError {
@@ -62,6 +65,7 @@ impl fmt::Display for EnvError {
             EnvError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
             EnvError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
             EnvError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            EnvError::Pager(msg) => write!(f, "page manager error: {msg}"),
         }
     }
 }
@@ -96,6 +100,7 @@ mod tests {
             (EnvError::Arithmetic("div by zero".into()), "div by zero"),
             (EnvError::Snapshot("truncated".into()), "truncated"),
             (EnvError::Checkpoint("bad magic".into()), "bad magic"),
+            (EnvError::Pager("checksum mismatch".into()), "checksum"),
         ];
         for (err, needle) in cases {
             assert!(

@@ -33,9 +33,11 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+mod column;
 pub mod combine;
 pub mod effects;
 pub mod error;
+pub mod pager;
 pub mod postprocess;
 pub mod random;
 pub mod schema;
@@ -48,11 +50,14 @@ pub mod value;
 pub mod prelude {
     pub use crate::effects::{EffectBuffer, EffectRow};
     pub use crate::error::{EnvError, Result};
+    pub use crate::pager::{
+        PageData, PageManager, PagerStats, RamPageManager, SpillPageManager, PAGE_ROWS,
+    };
     pub use crate::postprocess::{PostProcessor, PostStats, UpdateExpr};
     pub use crate::random::{GameRng, TickRandom};
     pub use crate::schema::{AttrDef, AttrId, CombineKind, Schema, SchemaBuilder};
     pub use crate::snapshot::{restore, schema_fingerprint, snapshot};
-    pub use crate::table::EnvTable;
+    pub use crate::table::{EnvTable, RowRef, TableMemoryStats};
     pub use crate::tuple::{Tuple, TupleBuilder};
     pub use crate::value::Value;
 }

@@ -1,0 +1,687 @@
+//! Page storage behind the columnar environment table.
+//!
+//! Every column of an [`crate::table::EnvTable`] is split into fixed-size
+//! pages of [`PAGE_ROWS`] values.  Pages are normally *resident* (owned
+//! in-memory by the column); under a page budget the table evicts
+//! least-recently-touched pages through a [`PageManager`], which stores the
+//! page bytes elsewhere and hands back a token for later fault-in.  Two
+//! managers are provided, in the spirit of perlin-core's RAM/disk page
+//! manager split:
+//!
+//! * [`RamPageManager`] — keeps evicted pages in a heap map.  The default:
+//!   with no budget nothing is ever evicted, and with a budget it exercises
+//!   the full pin/unpin/evict protocol without touching the filesystem
+//!   (used heavily by the paging fuzz suite).
+//! * [`SpillPageManager`] — serializes evicted pages into a temporary spill
+//!   file (checksummed, length-prefixed records with a free-list), so
+//!   worlds larger than the page budget survive on disk.  The file is
+//!   deleted when the manager is dropped.
+//!
+//! Determinism contract: paging is invisible to the simulation.  Eviction
+//! and fault-in never change a value, so digests, snapshots and checkpoints
+//! are bit-identical whatever the budget — the `spill` CI job runs the
+//! whole conformance suite under a deliberately tiny `SGL_PAGE_BUDGET` to
+//! enforce exactly that.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rustc_hash::FxHashMap;
+
+use crate::error::{EnvError, Result};
+use crate::value::Value;
+
+/// Number of rows per column page.  Fixed so row → (page, offset) is a
+/// shift/mask, and small enough that a tiny `SGL_PAGE_BUDGET` forces real
+/// eviction traffic even in unit-test sized worlds.
+pub const PAGE_ROWS: usize = 256;
+
+/// One page of column values: either a typed vector (the common case — the
+/// column's attribute holds a single [`Value`] variant) or a mixed page of
+/// boxed values (promoted on the first variant-mismatched write, so exact
+/// value *tags* survive the columnar layout: state digests hash them).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PageData {
+    /// Typed page of floats.
+    F64(Vec<f64>),
+    /// Typed page of integers.
+    I64(Vec<i64>),
+    /// Typed page of booleans.
+    Bool(Vec<bool>),
+    /// Mixed page of tagged values (promoted column, or string data).
+    Mixed(Vec<Value>),
+}
+
+impl PageData {
+    /// Number of values stored in the page.
+    pub fn len(&self) -> usize {
+        match self {
+            PageData::F64(v) => v.len(),
+            PageData::I64(v) => v.len(),
+            PageData::Bool(v) => v.len(),
+            PageData::Mixed(v) => v.len(),
+        }
+    }
+
+    /// True when the page holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `off`, reconstructed with its exact original tag.
+    pub fn value(&self, off: usize) -> Value {
+        match self {
+            PageData::F64(v) => Value::Float(v[off]),
+            PageData::I64(v) => Value::Int(v[off]),
+            PageData::Bool(v) => Value::Bool(v[off]),
+            PageData::Mixed(v) => v[off].clone(),
+        }
+    }
+
+    /// Approximate heap footprint of the page in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            PageData::F64(v) => v.capacity() * 8,
+            PageData::I64(v) => v.capacity() * 8,
+            PageData::Bool(v) => v.capacity(),
+            PageData::Mixed(v) => {
+                v.capacity() * std::mem::size_of::<Value>()
+                    + v.iter()
+                        .map(|val| match val {
+                            Value::Str(s) => s.len(),
+                            _ => 0,
+                        })
+                        .sum::<usize>()
+            }
+        }
+    }
+
+    /// Serialize the page into `out` (used by spill files; not a public
+    /// interchange format).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            PageData::F64(v) => {
+                out.push(1);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            PageData::I64(v) => {
+                out.push(2);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            PageData::Bool(v) => {
+                out.push(3);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for x in v {
+                    out.push(*x as u8);
+                }
+            }
+            PageData::Mixed(v) => {
+                out.push(4);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for val in v {
+                    match val {
+                        Value::Int(i) => {
+                            out.push(1);
+                            out.extend_from_slice(&i.to_le_bytes());
+                        }
+                        Value::Float(f) => {
+                            out.push(2);
+                            out.extend_from_slice(&f.to_le_bytes());
+                        }
+                        Value::Bool(b) => {
+                            out.push(3);
+                            out.push(*b as u8);
+                        }
+                        Value::Str(s) => {
+                            out.push(4);
+                            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                            out.extend_from_slice(s.as_bytes());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decode a page previously produced by [`PageData::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<PageData> {
+        let err = |msg: &str| EnvError::Pager(format!("spill page decode failed: {msg}"));
+        let mut cur = bytes;
+        let take = |cur: &mut &[u8], n: usize| -> Result<Vec<u8>> {
+            if cur.len() < n {
+                return Err(err("truncated page"));
+            }
+            let (head, tail) = cur.split_at(n);
+            *cur = tail;
+            Ok(head.to_vec())
+        };
+        let tag = *cur.first().ok_or_else(|| err("empty page"))?;
+        cur = &cur[1..];
+        let len_bytes = take(&mut cur, 4)?;
+        let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        if len > PAGE_ROWS {
+            return Err(err("page row count exceeds PAGE_ROWS"));
+        }
+        let page = match tag {
+            1 => {
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let b = take(&mut cur, 8)?;
+                    v.push(f64::from_le_bytes(b.try_into().expect("8 bytes")));
+                }
+                PageData::F64(v)
+            }
+            2 => {
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let b = take(&mut cur, 8)?;
+                    v.push(i64::from_le_bytes(b.try_into().expect("8 bytes")));
+                }
+                PageData::I64(v)
+            }
+            3 => {
+                let b = take(&mut cur, len)?;
+                PageData::Bool(b.into_iter().map(|x| x != 0).collect())
+            }
+            4 => {
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let vtag = take(&mut cur, 1)?[0];
+                    v.push(match vtag {
+                        1 => Value::Int(i64::from_le_bytes(
+                            take(&mut cur, 8)?.try_into().expect("8 bytes"),
+                        )),
+                        2 => Value::Float(f64::from_le_bytes(
+                            take(&mut cur, 8)?.try_into().expect("8 bytes"),
+                        )),
+                        3 => Value::Bool(take(&mut cur, 1)?[0] != 0),
+                        4 => {
+                            let slen =
+                                u32::from_le_bytes(take(&mut cur, 4)?.try_into().expect("4 bytes"))
+                                    as usize;
+                            let sbytes = take(&mut cur, slen)?;
+                            Value::Str(
+                                String::from_utf8(sbytes)
+                                    .map_err(|_| err("invalid UTF-8 in string value"))?
+                                    .into(),
+                            )
+                        }
+                        other => return Err(err(&format!("unknown value tag {other}"))),
+                    });
+                }
+                PageData::Mixed(v)
+            }
+            other => return Err(err(&format!("unknown page tag {other}"))),
+        };
+        if !cur.is_empty() {
+            return Err(err("trailing bytes after page payload"));
+        }
+        Ok(page)
+    }
+}
+
+/// Counters describing what a [`PageManager`] has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Pages written out (spilled) since creation.
+    pub spill_writes: u64,
+    /// Pages read back (faulted in) since creation.
+    pub spill_reads: u64,
+    /// Pages currently held by the manager (evicted, not yet freed).
+    pub spilled_pages: usize,
+    /// Bytes of backing storage currently reserved (file length for the
+    /// spill manager, heap bytes for the RAM manager).
+    pub backing_bytes: u64,
+}
+
+/// Owner of evicted column pages.
+///
+/// The table pins its whole working set at tick start (`ensure_resident`)
+/// and unpins at tick end (`enforce_page_budget`), which evicts
+/// least-recently-touched pages through `spill` until the resident count is
+/// back under [`PageManager::page_budget`].  Reads that hit an evicted page
+/// outside a tick fault it in transiently through `load`; the token stays
+/// valid until `free`.
+pub trait PageManager: Send + Sync + std::fmt::Debug {
+    /// Maximum number of resident pages a table may keep between ticks;
+    /// `None` means unlimited (nothing is ever evicted).
+    fn page_budget(&self) -> Option<usize>;
+
+    /// Store an evicted page, returning a token for [`PageManager::load`] /
+    /// [`PageManager::free`].
+    fn spill(&self, page: &PageData) -> Result<u64>;
+
+    /// Read a previously spilled page back.  The token remains valid — the
+    /// caller frees it explicitly once the page is resident again.
+    fn load(&self, token: u64) -> Result<PageData>;
+
+    /// Release a spilled page slot.
+    fn free(&self, token: u64);
+
+    /// Activity counters.
+    fn stats(&self) -> PagerStats;
+
+    /// Short human-readable label (`"ram"` / `"spill"`).
+    fn label(&self) -> &'static str;
+}
+
+/// In-memory page manager.  Without a budget it never evicts; with one it
+/// stores evicted pages in a heap map, exercising the same protocol as the
+/// spill-file manager without filesystem traffic.
+#[derive(Debug, Default)]
+pub struct RamPageManager {
+    budget: Option<usize>,
+    next_token: AtomicU64,
+    store: Mutex<FxHashMap<u64, PageData>>,
+    writes: AtomicU64,
+    reads: AtomicU64,
+}
+
+impl RamPageManager {
+    /// Unbudgeted manager: all pages stay resident forever.
+    pub fn new() -> RamPageManager {
+        RamPageManager::default()
+    }
+
+    /// Budgeted manager: at most `pages` resident pages per table between
+    /// ticks; evicted pages live in a heap map.
+    pub fn with_budget(pages: usize) -> RamPageManager {
+        RamPageManager {
+            budget: Some(pages.max(1)),
+            ..RamPageManager::default()
+        }
+    }
+}
+
+impl PageManager for RamPageManager {
+    fn page_budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    fn spill(&self, page: &PageData) -> Result<u64> {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.store
+            .lock()
+            .expect("ram pager lock poisoned")
+            .insert(token, page.clone());
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(token)
+    }
+
+    fn load(&self, token: u64) -> Result<PageData> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.store
+            .lock()
+            .expect("ram pager lock poisoned")
+            .get(&token)
+            .cloned()
+            .ok_or_else(|| EnvError::Pager(format!("unknown page token {token}")))
+    }
+
+    fn free(&self, token: u64) {
+        self.store
+            .lock()
+            .expect("ram pager lock poisoned")
+            .remove(&token);
+    }
+
+    fn stats(&self) -> PagerStats {
+        let store = self.store.lock().expect("ram pager lock poisoned");
+        PagerStats {
+            spill_writes: self.writes.load(Ordering::Relaxed),
+            spill_reads: self.reads.load(Ordering::Relaxed),
+            spilled_pages: store.len(),
+            backing_bytes: store.values().map(|p| p.heap_bytes() as u64).sum(),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "ram"
+    }
+}
+
+/// Record header inside the spill file: payload length + FNV-1a checksum.
+const RECORD_HEADER: usize = 4 + 8;
+
+#[derive(Debug)]
+struct SpillSlot {
+    offset: u64,
+    /// Bytes used by the current record (header + payload).
+    len: u32,
+    /// Bytes reserved for the slot (record may shrink on reuse).
+    cap: u32,
+}
+
+#[derive(Debug, Default)]
+struct SpillFileState {
+    slots: FxHashMap<u64, SpillSlot>,
+    free: Vec<SpillSlot>,
+    next_token: u64,
+    end: u64,
+}
+
+/// Page manager that evicts pages to a checksummed temporary file, deleted
+/// on drop.  Budget comes from the constructor (usually the
+/// `SGL_PAGE_BUDGET` environment variable, read by `EnvTable::new`).
+#[derive(Debug)]
+pub struct SpillPageManager {
+    budget: usize,
+    file: Mutex<(std::fs::File, SpillFileState)>,
+    path: std::path::PathBuf,
+    writes: AtomicU64,
+    reads: AtomicU64,
+}
+
+static SPILL_FILE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl SpillPageManager {
+    /// Create a manager with the given resident-page budget, backed by a
+    /// fresh temporary file.
+    pub fn new(budget_pages: usize) -> Result<SpillPageManager> {
+        let seq = SPILL_FILE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("sgl-spill-{}-{}.pages", std::process::id(), seq));
+        let file = std::fs::File::options()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| EnvError::Pager(format!("cannot create spill file {path:?}: {e}")))?;
+        Ok(SpillPageManager {
+            budget: budget_pages.max(1),
+            file: Mutex::new((file, SpillFileState::default())),
+            path,
+            writes: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+        })
+    }
+
+    /// Path of the backing file (exposed for crash-safety tests).
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Drop for SpillPageManager {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut state: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in bytes {
+        state ^= u64::from(*b);
+        state = state.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    state
+}
+
+impl PageManager for SpillPageManager {
+    fn page_budget(&self) -> Option<usize> {
+        Some(self.budget)
+    }
+
+    fn spill(&self, page: &PageData) -> Result<u64> {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut payload = Vec::with_capacity(PAGE_ROWS * 9);
+        page.encode(&mut payload);
+        let mut record = Vec::with_capacity(RECORD_HEADER + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&fnv64(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+
+        let mut guard = self.file.lock().expect("spill file lock poisoned");
+        let (file, state) = &mut *guard;
+        let need = record.len() as u32;
+        // Best-fit reuse of freed slots (smallest capacity that holds the
+        // record; ties broken by file offset, so reuse is deterministic),
+        // append otherwise.
+        let slot = match state
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.cap >= need)
+            .min_by_key(|(_, s)| (s.cap, s.offset))
+            .map(|(i, _)| i)
+            .map(|i| state.free.swap_remove(i))
+        {
+            Some(mut reused) => {
+                reused.len = need;
+                reused
+            }
+            None => {
+                let offset = state.end;
+                state.end += u64::from(need);
+                SpillSlot {
+                    offset,
+                    len: need,
+                    cap: need,
+                }
+            }
+        };
+        file.seek(SeekFrom::Start(slot.offset))
+            .and_then(|_| file.write_all(&record))
+            .map_err(|e| EnvError::Pager(format!("spill write failed: {e}")))?;
+        let token = state.next_token;
+        state.next_token += 1;
+        state.slots.insert(token, slot);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(token)
+    }
+
+    fn load(&self, token: u64) -> Result<PageData> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut guard = self.file.lock().expect("spill file lock poisoned");
+        let (file, state) = &mut *guard;
+        let slot = state
+            .slots
+            .get(&token)
+            .ok_or_else(|| EnvError::Pager(format!("unknown page token {token}")))?;
+        let mut record = vec![0u8; slot.len as usize];
+        file.seek(SeekFrom::Start(slot.offset))
+            .and_then(|_| file.read_exact(&mut record))
+            .map_err(|e| EnvError::Pager(format!("spill read failed: {e}")))?;
+        let len = u32::from_le_bytes(record[0..4].try_into().expect("4 bytes")) as usize;
+        if RECORD_HEADER + len != record.len() {
+            return Err(EnvError::Pager("spill record length mismatch".into()));
+        }
+        let checksum = u64::from_le_bytes(record[4..12].try_into().expect("8 bytes"));
+        let payload = &record[RECORD_HEADER..];
+        if fnv64(payload) != checksum {
+            return Err(EnvError::Pager(
+                "spill record checksum mismatch (corrupted spill file)".into(),
+            ));
+        }
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        PageData::decode(payload)
+    }
+
+    fn free(&self, token: u64) {
+        let mut guard = self.file.lock().expect("spill file lock poisoned");
+        let (_, state) = &mut *guard;
+        if let Some(slot) = state.slots.remove(&token) {
+            state.free.push(slot);
+        }
+    }
+
+    fn stats(&self) -> PagerStats {
+        let guard = self.file.lock().expect("spill file lock poisoned");
+        let (_, state) = &*guard;
+        PagerStats {
+            spill_writes: self.writes.load(Ordering::Relaxed),
+            spill_reads: self.reads.load(Ordering::Relaxed),
+            spilled_pages: state.slots.len(),
+            backing_bytes: state.end,
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "spill"
+    }
+}
+
+/// Resolve the page budget configured through the `SGL_PAGE_BUDGET`
+/// environment variable (number of resident pages per table).  Unset, empty
+/// or unparsable values mean "no budget".
+pub fn env_page_budget() -> Option<usize> {
+    std::env::var("SGL_PAGE_BUDGET")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_pages() -> Vec<PageData> {
+        vec![
+            PageData::F64(vec![1.5, -0.0, f64::NAN, 3.25]),
+            PageData::I64(vec![i64::MIN, -1, 0, 7, i64::MAX]),
+            PageData::Bool(vec![true, false, true]),
+            PageData::Mixed(vec![
+                Value::Int(3),
+                Value::Float(2.5),
+                Value::Bool(true),
+                Value::str("orc"),
+            ]),
+        ]
+    }
+
+    fn assert_page_eq(a: &PageData, b: &PageData) {
+        match (a, b) {
+            (PageData::F64(x), PageData::F64(y)) => {
+                assert_eq!(x.len(), y.len());
+                for (p, q) in x.iter().zip(y) {
+                    assert_eq!(p.to_bits(), q.to_bits(), "float bits must survive");
+                }
+            }
+            _ => assert_eq!(a, b),
+        }
+    }
+
+    #[test]
+    fn pages_encode_and_decode_bit_exactly() {
+        for page in sample_pages() {
+            let mut bytes = Vec::new();
+            page.encode(&mut bytes);
+            let decoded = PageData::decode(&bytes).unwrap();
+            assert_page_eq(&page, &decoded);
+            assert_eq!(decoded.len(), page.len());
+            assert!(!decoded.is_empty());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let page = PageData::I64(vec![1, 2, 3]);
+        let mut bytes = Vec::new();
+        page.encode(&mut bytes);
+        assert!(PageData::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(PageData::decode(&[]).is_err());
+        let mut wrong_tag = bytes.clone();
+        wrong_tag[0] = 9;
+        assert!(PageData::decode(&wrong_tag).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(PageData::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn ram_manager_round_trips_pages() {
+        let pager = RamPageManager::with_budget(2);
+        assert_eq!(pager.page_budget(), Some(2));
+        assert_eq!(pager.label(), "ram");
+        let mut tokens = Vec::new();
+        for page in sample_pages() {
+            tokens.push((pager.spill(&page).unwrap(), page));
+        }
+        for (token, page) in &tokens {
+            assert_page_eq(&pager.load(*token).unwrap(), page);
+        }
+        let stats = pager.stats();
+        assert_eq!(stats.spill_writes, 4);
+        assert_eq!(stats.spilled_pages, 4);
+        for (token, _) in tokens {
+            pager.free(token);
+        }
+        assert_eq!(pager.stats().spilled_pages, 0);
+        assert!(pager.load(999).is_err());
+    }
+
+    #[test]
+    fn spill_manager_round_trips_and_reuses_slots() {
+        let pager = SpillPageManager::new(1).unwrap();
+        assert_eq!(pager.label(), "spill");
+        let pages = sample_pages();
+        let tokens: Vec<u64> = pages.iter().map(|p| pager.spill(p).unwrap()).collect();
+        for (token, page) in tokens.iter().zip(&pages) {
+            assert_page_eq(&pager.load(*token).unwrap(), page);
+        }
+        let end_before = pager.stats().backing_bytes;
+        // Free everything and spill again: the file must not grow.
+        for token in tokens {
+            pager.free(token);
+        }
+        let tokens: Vec<u64> = pages.iter().map(|p| pager.spill(p).unwrap()).collect();
+        assert_eq!(pager.stats().backing_bytes, end_before);
+        for (token, page) in tokens.iter().zip(&pages) {
+            assert_page_eq(&pager.load(*token).unwrap(), page);
+        }
+        assert!(pager.stats().spill_reads >= 8);
+    }
+
+    #[test]
+    fn spill_file_corruption_is_detected_not_undefined() {
+        use std::io::{Seek, SeekFrom, Write};
+        let pager = SpillPageManager::new(1).unwrap();
+        let token = pager.spill(&PageData::I64((0..64).collect())).unwrap();
+        // Flip payload bytes directly in the backing file.
+        {
+            let mut f = std::fs::File::options()
+                .write(true)
+                .open(pager.path())
+                .unwrap();
+            f.seek(SeekFrom::Start(20)).unwrap();
+            f.write_all(&[0xAB, 0xCD]).unwrap();
+        }
+        let err = pager.load(token).unwrap_err();
+        assert!(matches!(err, EnvError::Pager(_)), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn spill_file_is_removed_on_drop() {
+        let pager = SpillPageManager::new(1).unwrap();
+        let path = pager.path().to_path_buf();
+        pager.spill(&PageData::Bool(vec![true])).unwrap();
+        assert!(path.exists());
+        drop(pager);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn env_budget_parses_strictly() {
+        // Not touching the real environment variable here (tests run in
+        // parallel); just exercise the parse contract through a local copy
+        // of the logic on representative inputs.
+        for (raw, expect) in [
+            ("8", Some(8usize)),
+            (" 16 ", Some(16)),
+            ("0", None),
+            ("-3", None),
+            ("lots", None),
+            ("", None),
+        ] {
+            let got = raw.trim().parse::<usize>().ok().filter(|&n| n > 0);
+            assert_eq!(got, expect, "{raw:?}");
+        }
+    }
+}

@@ -77,9 +77,14 @@ impl UpdateExpr {
         UpdateExpr::Max(Box::new(a), Box::new(b))
     }
 
-    fn eval(&self, state: &crate::tuple::Tuple, key: i64, effects: &EffectBuffer) -> Result<Value> {
+    fn eval(
+        &self,
+        state: crate::table::RowRef<'_>,
+        key: i64,
+        effects: &EffectBuffer,
+    ) -> Result<Value> {
         match self {
-            UpdateExpr::State(attr) => Ok(state.get(*attr).clone()),
+            UpdateExpr::State(attr) => Ok(state.get(*attr)),
             UpdateExpr::Effect(attr) => Ok(effects.get_or_default(key, *attr)),
             UpdateExpr::Const(v) => Ok(v.clone()),
             UpdateExpr::Add(a, b) => a
@@ -219,51 +224,69 @@ impl PostProcessor {
         let n = table.len();
         // Compute all new values first (reads must see the *old* state only),
         // then write them back: the simultaneous-update semantics of §2.2.
-        let mut new_values: Vec<Vec<(AttrId, Value)>> = Vec::with_capacity(n);
+        // The new values accumulate per *rule* — one full column each — so
+        // the write-back is a handful of bulk column replacements instead of
+        // a per-row, per-attribute walk.
+        let targets: Vec<AttrId> = self
+            .rules
+            .iter()
+            .map(|rule| match rule {
+                UpdateRule::Assign { target, .. } => *target,
+                UpdateRule::NormalizedMove { target, .. } => *target,
+            })
+            .collect();
+        let mut new_columns: Vec<Vec<Value>> =
+            self.rules.iter().map(|_| Vec::with_capacity(n)).collect();
         for idx in 0..n {
             let row = table.row(idx);
             let key = row.key(&schema);
-            let mut updates = Vec::with_capacity(self.rules.len());
-            for rule in &self.rules {
-                match rule {
-                    UpdateRule::Assign { target, expr } => {
-                        updates.push((*target, expr.eval(row, key, effects)?));
-                    }
+            let mut changed = false;
+            // Sequential per-row semantics for the `updated` statistic: a
+            // later rule targeting the same attribute compares against the
+            // earlier rule's value, exactly as the old in-place writes did.
+            let mut written: Vec<(AttrId, Value)> = Vec::with_capacity(self.rules.len());
+            for (ri, rule) in self.rules.iter().enumerate() {
+                let target = targets[ri];
+                let value = match rule {
+                    UpdateRule::Assign { expr, .. } => expr.eval(row, key, effects)?,
                     UpdateRule::NormalizedMove {
-                        target,
                         dx,
                         dy,
                         axis_is_x,
                         step,
+                        ..
                     } => {
                         let vx = effects.get_or_default(key, *dx).as_f64()?;
                         let vy = effects.get_or_default(key, *dy).as_f64()?;
                         let norm = (vx * vx + vy * vy).sqrt();
-                        let old = row.get(*target).as_f64()?;
+                        let old = row.get(target).as_f64()?;
                         let delta = if norm > f64::EPSILON {
                             let component = if *axis_is_x { vx } else { vy };
                             component * (step / norm).min(1.0)
                         } else {
                             0.0
                         };
-                        updates.push((*target, Value::Float(old + delta)));
+                        Value::Float(old + delta)
                     }
-                }
-            }
-            new_values.push(updates);
-        }
-        for (idx, updates) in new_values.into_iter().enumerate() {
-            let row = table.row_mut(idx);
-            let mut changed = false;
-            for (attr, value) in updates {
-                if row.get(attr) != &value {
+                };
+                let current = written
+                    .iter()
+                    .rev()
+                    .find(|(a, _)| *a == target)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_else(|| row.get(target));
+                if current != value {
                     changed = true;
                 }
-                row.set(attr, value);
+                written.push((target, value.clone()));
+                new_columns[ri].push(value);
             }
             if changed {
                 stats.updated += 1;
             }
+        }
+        for (ri, values) in new_columns.into_iter().enumerate() {
+            table.set_column(targets[ri], values)?;
         }
         if let Some(remove) = &self.remove {
             let attr = remove.attr;

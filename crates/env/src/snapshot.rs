@@ -8,14 +8,26 @@
 //! fingerprint so a snapshot written against one schema is never silently
 //! decoded against another.
 //!
-//! The format is intentionally simple (little-endian, length-prefixed,
-//! trailing FNV-1a checksum) so that saves are reproducible byte for byte —
-//! the replay harness in `sgl-engine` relies on "same seed + same snapshot ⇒
-//! same game" for its determinism checks.
+//! Version 2 of the format is columnar, matching the struct-of-arrays table:
+//! after the header, each attribute is written as one column — a one-byte
+//! column tag and a packed payload (raw little-endian `i64`/`f64`/`bool`
+//! arrays for typed columns, per-value tagged encoding for mixed ones).
+//! Column typedness is decided from the column's *content* at snapshot time,
+//! never from its in-memory page representation, so the bytes are a pure
+//! function of the logical table: snapshots are identical whatever the page
+//! budget, eviction history or mutation order.  Version 1 (row-major) is
+//! still decoded for old saves; [`snapshot_v1`] keeps a writer around for
+//! compatibility tests.
+//!
+//! The format stays little-endian, length-prefixed and guarded by a trailing
+//! FNV-1a checksum so that saves are reproducible byte for byte — the replay
+//! harness in `sgl-engine` relies on "same seed + same snapshot ⇒ same game"
+//! for its determinism checks.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::error::{EnvError, Result};
+use crate::pager::PageData;
 use crate::schema::Schema;
 use crate::table::EnvTable;
 use crate::tuple::Tuple;
@@ -23,13 +35,22 @@ use crate::value::Value;
 
 /// Magic number at the start of every snapshot (`"SGL\x01"`).
 const MAGIC: u32 = 0x53474C01;
-/// Current format version.
-const VERSION: u16 = 1;
+/// Current format version (columnar).
+const VERSION: u16 = 2;
+/// The legacy row-major version, still accepted by [`restore`].
+const VERSION_V1: u16 = 1;
 
 const TAG_INT: u8 = 1;
 const TAG_FLOAT: u8 = 2;
 const TAG_BOOL: u8 = 3;
 const TAG_STR: u8 = 4;
+
+/// Column tags of the v2 format.  The typed tags deliberately reuse the
+/// value-tag numbering; `COL_MIXED` marks a per-value tagged payload.
+const COL_I64: u8 = 1;
+const COL_F64: u8 = 2;
+const COL_BOOL: u8 = 3;
+const COL_MIXED: u8 = 4;
 
 /// A stable fingerprint of a schema: attribute names, order and combination
 /// kinds (defaults are not part of the identity — they only matter when
@@ -49,7 +70,53 @@ pub fn schema_fingerprint(schema: &Schema) -> u64 {
     hash.finish()
 }
 
-/// Serialize a table into a self-describing snapshot.
+fn value_tag(value: &Value) -> u8 {
+    match value {
+        Value::Int(_) => TAG_INT,
+        Value::Float(_) => TAG_FLOAT,
+        Value::Bool(_) => TAG_BOOL,
+        Value::Str(_) => TAG_STR,
+    }
+}
+
+/// Content-driven column tag: typed when every value of the column shares
+/// one variant, mixed otherwise.  An empty column falls back to the
+/// schema default's variant so the choice stays deterministic.
+fn column_tag(table: &EnvTable, attr: usize) -> u8 {
+    let mut tag: Option<u8> = None;
+    let mut mixed = false;
+    table
+        .for_each_column_page(attr, |page| {
+            let mut merge = |t: u8| match tag {
+                None => tag = Some(t),
+                Some(seen) if seen != t => mixed = true,
+                Some(_) => {}
+            };
+            match page {
+                PageData::F64(_) => merge(TAG_FLOAT),
+                PageData::I64(_) => merge(TAG_INT),
+                PageData::Bool(_) => merge(TAG_BOOL),
+                PageData::Mixed(values) => {
+                    for v in values {
+                        merge(value_tag(v));
+                    }
+                }
+            }
+        })
+        .expect("page manager I/O failed");
+    if mixed {
+        return COL_MIXED;
+    }
+    tag.unwrap_or_else(|| {
+        if table.is_empty() {
+            value_tag(&table.schema().attr(attr).default)
+        } else {
+            COL_MIXED
+        }
+    })
+}
+
+/// Serialize a table into a self-describing columnar (v2) snapshot.
 pub fn snapshot(table: &EnvTable) -> Bytes {
     let schema = table.schema();
     let mut buf = BytesMut::with_capacity(64 + table.len() * schema.len() * 9);
@@ -58,10 +125,12 @@ pub fn snapshot(table: &EnvTable) -> Bytes {
     buf.put_u64_le(schema_fingerprint(schema));
     buf.put_u32_le(schema.len() as u32);
     buf.put_u64_le(table.len() as u64);
-    for (_, row) in table.iter() {
-        for value in row.values() {
-            put_value(&mut buf, value);
-        }
+    for attr in 0..schema.len() {
+        let tag = column_tag(table, attr);
+        buf.put_u8(tag);
+        table
+            .for_each_column_page(attr, |page| put_column_page(&mut buf, tag, page))
+            .expect("page manager I/O failed");
     }
     // Trailing checksum over everything written so far.
     let checksum = fnv(&buf);
@@ -69,9 +138,83 @@ pub fn snapshot(table: &EnvTable) -> Bytes {
     buf.freeze()
 }
 
-/// Decode a snapshot previously produced by [`snapshot`] against the same
-/// schema.  Fails when the data is truncated, corrupted, or was written
-/// against a schema with a different fingerprint.
+fn put_column_page(buf: &mut BytesMut, tag: u8, page: &PageData) {
+    match (tag, page) {
+        (COL_I64, PageData::I64(v)) => {
+            for x in v {
+                buf.put_i64_le(*x);
+            }
+        }
+        (COL_F64, PageData::F64(v)) => {
+            for x in v {
+                buf.put_f64_le(*x);
+            }
+        }
+        (COL_BOOL, PageData::Bool(v)) => {
+            for x in v {
+                buf.put_u8(*x as u8);
+            }
+        }
+        // A typed column may still live in mixed pages (e.g. after a
+        // promotion whose mismatched value was later overwritten and the
+        // column rebuilt): the tag is content-driven, so re-pack the values.
+        (COL_I64, PageData::Mixed(v)) => {
+            for val in v {
+                match val {
+                    Value::Int(x) => buf.put_i64_le(*x),
+                    _ => unreachable!("column tagged i64 holds a non-int value"),
+                }
+            }
+        }
+        (COL_F64, PageData::Mixed(v)) => {
+            for val in v {
+                match val {
+                    Value::Float(x) => buf.put_f64_le(*x),
+                    _ => unreachable!("column tagged f64 holds a non-float value"),
+                }
+            }
+        }
+        (COL_BOOL, PageData::Mixed(v)) => {
+            for val in v {
+                match val {
+                    Value::Bool(x) => buf.put_u8(*x as u8),
+                    _ => unreachable!("column tagged bool holds a non-bool value"),
+                }
+            }
+        }
+        (COL_MIXED, page) => {
+            for off in 0..page.len() {
+                put_value(buf, &page.value(off));
+            }
+        }
+        _ => unreachable!("column tag contradicts page contents"),
+    }
+}
+
+/// Serialize a table in the legacy row-major v1 format.  Kept so the
+/// read-compatibility path has a writer to test against; new code always
+/// uses [`snapshot`].
+pub fn snapshot_v1(table: &EnvTable) -> Bytes {
+    let schema = table.schema();
+    let mut buf = BytesMut::with_capacity(64 + table.len() * schema.len() * 9);
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION_V1);
+    buf.put_u64_le(schema_fingerprint(schema));
+    buf.put_u32_le(schema.len() as u32);
+    buf.put_u64_le(table.len() as u64);
+    for (_, row) in table.iter() {
+        for attr in 0..schema.len() {
+            put_value(&mut buf, &row.get(attr));
+        }
+    }
+    let checksum = fnv(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Decode a snapshot previously produced by [`snapshot`] (v2) or the legacy
+/// v1 writer against the same schema.  Fails when the data is truncated,
+/// corrupted, or was written against a schema with a different fingerprint.
 pub fn restore(data: &[u8], schema: &std::sync::Arc<Schema>) -> Result<EnvTable> {
     if data.len() < 4 + 2 + 8 + 4 + 8 + 8 {
         return Err(EnvError::Snapshot("snapshot is too short".into()));
@@ -89,7 +232,7 @@ pub fn restore(data: &[u8], schema: &std::sync::Arc<Schema>) -> Result<EnvTable>
         return Err(EnvError::Snapshot("bad magic number".into()));
     }
     let version = cursor.get_u16_le();
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V1 {
         return Err(EnvError::Snapshot(format!(
             "unsupported snapshot version {version}"
         )));
@@ -108,14 +251,13 @@ pub fn restore(data: &[u8], schema: &std::sync::Arc<Schema>) -> Result<EnvTable>
         )));
     }
     let rows = cursor.get_u64_le();
-    // The smallest encoded value is two bytes (tag + bool payload); a row
-    // count the remaining payload cannot possibly hold is rejected up front,
-    // before the decode loop reserves any per-row memory.  The checksum
-    // catches random corruption, but a crafted blob with a recomputed
-    // checksum must fail through typed bounds checks too.
-    let min_bytes = rows
-        .checked_mul(arity as u64)
-        .and_then(|v| v.checked_mul(2));
+    // The smallest possible encoding is one byte per cell (v2 bool column)
+    // plus per-column tags; a row count the remaining payload cannot
+    // possibly hold is rejected up front, before the decode loop reserves
+    // any per-row memory.  The checksum catches random corruption, but a
+    // crafted blob with a recomputed checksum must fail through typed
+    // bounds checks too.
+    let min_bytes = rows.checked_mul(arity as u64);
     match min_bytes {
         Some(need) if need <= cursor.remaining() as u64 => {}
         _ => {
@@ -127,22 +269,77 @@ pub fn restore(data: &[u8], schema: &std::sync::Arc<Schema>) -> Result<EnvTable>
     }
     let rows = rows as usize;
 
-    let mut table = EnvTable::new(std::sync::Arc::clone(schema));
-    for _ in 0..rows {
-        let mut values = Vec::with_capacity(arity);
-        for _ in 0..arity {
-            values.push(get_value(&mut cursor)?);
+    if version == VERSION_V1 {
+        let mut table = EnvTable::new(std::sync::Arc::clone(schema));
+        for _ in 0..rows {
+            let mut values = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                values.push(get_value(&mut cursor)?);
+            }
+            let tuple = Tuple::new(schema, values)?;
+            table.insert(tuple)?;
         }
-        let tuple = Tuple::new(schema, values)?;
-        table.insert(tuple)?;
+        if cursor.has_remaining() {
+            return Err(EnvError::Snapshot(format!(
+                "{} trailing bytes after the last row",
+                cursor.remaining()
+            )));
+        }
+        return Ok(table);
+    }
+
+    let mut columns: Vec<Vec<Value>> = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        columns.push(get_column(&mut cursor, rows)?);
     }
     if cursor.has_remaining() {
         return Err(EnvError::Snapshot(format!(
-            "{} trailing bytes after the last row",
+            "{} trailing bytes after the last column",
             cursor.remaining()
         )));
     }
-    Ok(table)
+    EnvTable::from_column_values(std::sync::Arc::clone(schema), columns)
+}
+
+fn need(cursor: &&[u8], n: usize) -> Result<()> {
+    if cursor.remaining() < n {
+        Err(EnvError::Snapshot("unexpected end of snapshot".into()))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_column(cursor: &mut &[u8], rows: usize) -> Result<Vec<Value>> {
+    need(cursor, 1)?;
+    let tag = cursor.get_u8();
+    let mut values = Vec::with_capacity(rows);
+    match tag {
+        COL_I64 => {
+            need(cursor, rows * 8)?;
+            for _ in 0..rows {
+                values.push(Value::Int(cursor.get_i64_le()));
+            }
+        }
+        COL_F64 => {
+            need(cursor, rows * 8)?;
+            for _ in 0..rows {
+                values.push(Value::Float(cursor.get_f64_le()));
+            }
+        }
+        COL_BOOL => {
+            need(cursor, rows)?;
+            for _ in 0..rows {
+                values.push(Value::Bool(cursor.get_u8() != 0));
+            }
+        }
+        COL_MIXED => {
+            for _ in 0..rows {
+                values.push(get_value(cursor)?);
+            }
+        }
+        other => return Err(EnvError::Snapshot(format!("unknown column tag {other}"))),
+    }
+    Ok(values)
 }
 
 fn put_value(buf: &mut BytesMut, value: &Value) {
@@ -169,13 +366,6 @@ fn put_value(buf: &mut BytesMut, value: &Value) {
 }
 
 fn get_value(cursor: &mut &[u8]) -> Result<Value> {
-    let need = |cursor: &&[u8], n: usize| -> Result<()> {
-        if cursor.remaining() < n {
-            Err(EnvError::Snapshot("unexpected end of snapshot".into()))
-        } else {
-            Ok(())
-        }
-    };
     need(cursor, 1)?;
     let tag = cursor.get_u8();
     match tag {
@@ -238,19 +428,16 @@ mod tests {
         table
     }
 
-    #[test]
-    fn round_trip_preserves_every_value() {
-        let table = sample_table(50);
-        let bytes = snapshot(&table);
-        let restored = restore(&bytes, table.schema()).unwrap();
-        assert_eq!(restored.len(), table.len());
-        assert_eq!(restored.sorted_keys(), table.sorted_keys());
-        for (idx, row) in table.iter() {
-            let key = table.key_of(idx);
-            let other = restored.find_key_readonly(key).unwrap();
-            for (attr, value) in row.values().iter().enumerate() {
+    fn assert_tables_equal(a: &EnvTable, b: &EnvTable) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.sorted_keys(), b.sorted_keys());
+        let arity = a.schema().len();
+        for (idx, row) in a.iter() {
+            let key = a.key_of(idx);
+            let other = b.find_key_readonly(key).unwrap();
+            for attr in 0..arity {
                 assert!(
-                    value.loose_eq(restored.row(other).get(attr)),
+                    row.get(attr).loose_eq(&b.row(other).get(attr)),
                     "attribute {attr} of unit {key} changed across the round trip"
                 );
             }
@@ -258,9 +445,60 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_preserves_every_value() {
+        let table = sample_table(50);
+        let bytes = snapshot(&table);
+        let restored = restore(&bytes, table.schema()).unwrap();
+        assert_tables_equal(&table, &restored);
+    }
+
+    #[test]
     fn snapshots_are_deterministic() {
         let table = sample_table(20);
         assert_eq!(snapshot(&table), snapshot(&table));
+    }
+
+    #[test]
+    fn restored_tables_resnapshot_byte_identically() {
+        let table = sample_table(33);
+        let bytes = snapshot(&table);
+        let restored = restore(&bytes, table.schema()).unwrap();
+        assert_eq!(snapshot(&restored), bytes);
+    }
+
+    #[test]
+    fn v1_snapshots_still_restore() {
+        let table = sample_table(40);
+        let v1 = snapshot_v1(&table);
+        assert_eq!(v1[4], 1, "v1 writer stamps version 1");
+        let restored = restore(&v1, table.schema()).unwrap();
+        assert_tables_equal(&table, &restored);
+        // And a v1 restore re-snapshots into the v2 format losslessly.
+        let v2 = snapshot(&restored);
+        assert_eq!(v2[4], 2, "current writer stamps version 2");
+        assert_tables_equal(&table, &restore(&v2, table.schema()).unwrap());
+    }
+
+    #[test]
+    fn mixed_columns_round_trip() {
+        // Force a genuinely mixed column: Int and Float in the same attr.
+        let schema = paper_schema().into_shared();
+        let mut table = EnvTable::new(Arc::clone(&schema));
+        let hp = schema.attr_id("health").unwrap();
+        for key in 0..10i64 {
+            let t = TupleBuilder::new(&schema)
+                .set("key", key)
+                .unwrap()
+                .set("health", 10 + key)
+                .unwrap()
+                .build();
+            table.insert(t).unwrap();
+        }
+        table.set_attr(3, hp, Value::Float(7.5));
+        let restored = restore(&snapshot(&table), &schema).unwrap();
+        assert_eq!(restored.row(3).get(hp), Value::Float(7.5));
+        assert_eq!(restored.row(2).get(hp), Value::Int(12));
+        assert_eq!(snapshot(&restored), snapshot(&table));
     }
 
     #[test]
@@ -293,7 +531,8 @@ mod tests {
         let restored = restore(&snapshot(&table), &schema).unwrap();
         let name = schema.attr_id("name").unwrap();
         let alive = schema.attr_id("alive").unwrap();
-        assert_eq!(restored.row(0).get(name).as_str(), Some("Sir Lance"));
+        let name_value = restored.row(0).get(name);
+        assert_eq!(name_value.as_str(), Some("Sir Lance"));
         assert!(!restored.row(0).get(alive).as_bool().unwrap());
     }
 
@@ -362,6 +601,24 @@ mod tests {
         let err = restore(&forged, table.schema()).unwrap_err();
         assert!(matches!(err, EnvError::Snapshot(_)));
         assert!(err.to_string().contains("rows"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_keys_in_a_forged_columnar_snapshot_are_rejected() {
+        // Write two rows with the same key and recompute the checksum: the
+        // column decoder must reject it exactly like row-wise insert did.
+        let table = sample_table(2);
+        let bytes = snapshot(&table);
+        let mut forged = bytes[..bytes.len() - 8].to_vec();
+        // Key column is attribute 0 and all-int, so its payload starts one
+        // tag byte after the header.
+        let key_col_at = 4 + 2 + 8 + 4 + 8 + 1;
+        forged[key_col_at..key_col_at + 8].copy_from_slice(&0i64.to_le_bytes());
+        forged[key_col_at + 8..key_col_at + 16].copy_from_slice(&0i64.to_le_bytes());
+        let checksum = fnv(&forged);
+        forged.extend_from_slice(&checksum.to_le_bytes());
+        let err = restore(&forged, table.schema()).unwrap_err();
+        assert_eq!(err, EnvError::DuplicateKey(0));
     }
 
     #[test]

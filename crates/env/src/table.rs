@@ -1,35 +1,207 @@
-//! The environment relation `E`: a multiset of unit tuples.
+//! The environment relation `E`: a multiset of unit tuples, stored
+//! struct-of-arrays.
+//!
+//! Physically the table is one paged column per schema attribute, so
+//! aggregate scans, index rebuilds and digests stream contiguous typed
+//! memory instead of chasing per-row `Vec<Value>` allocations.  Pages live
+//! behind a [`PageManager`]: with no page budget everything stays resident;
+//! under a budget (`SGL_PAGE_BUDGET`) the table pins its working set at
+//! tick start ([`EnvTable::ensure_resident`]) and evicts
+//! least-recently-touched pages at tick end
+//! ([`EnvTable::enforce_page_budget`]).  Eviction is invisible to readers —
+//! values, digests and snapshots are identical whatever the budget.
+//!
+//! Row-shaped access survives as [`RowRef`], a cheap cursor that reads
+//! cells out of the columns; [`crate::tuple::Tuple`] remains the currency
+//! for building and inserting units.
 
 use std::sync::Arc;
 
 use rustc_hash::FxHashMap;
 
+use crate::column::{Column, MemCounters};
 use crate::error::{EnvError, Result};
+use crate::pager::{env_page_budget, PageData, PageManager, RamPageManager, SpillPageManager};
 use crate::schema::{AttrId, Schema};
 use crate::tuple::Tuple;
 use crate::value::Value;
+
+/// A borrowed view of one row, either backed by the columnar table or by a
+/// standalone [`Tuple`].  `Copy`, so it can be passed around like the old
+/// `&Tuple` references; reads return owned [`Value`]s.
+#[derive(Debug, Clone, Copy)]
+pub enum RowRef<'a> {
+    /// Row `row` of a columnar table.
+    Table {
+        /// The owning table.
+        table: &'a EnvTable,
+        /// Row position.
+        row: u32,
+    },
+    /// A standalone tuple (script-local units, tests).
+    Tuple(&'a Tuple),
+}
+
+impl<'a> RowRef<'a> {
+    /// The value of attribute `attr`.
+    pub fn get(&self, attr: AttrId) -> Value {
+        match self {
+            RowRef::Table { table, row } => table.value_at(*row as usize, attr),
+            RowRef::Tuple(t) => t.get(attr).clone(),
+        }
+    }
+
+    /// The value of `attr` coerced to `f64`.
+    pub fn get_f64(&self, attr: AttrId) -> Result<f64> {
+        self.get(attr).as_f64()
+    }
+
+    /// The value of `attr` coerced to `i64`.
+    pub fn get_i64(&self, attr: AttrId) -> Result<i64> {
+        self.get(attr).as_i64()
+    }
+
+    /// The row's key under `schema`.
+    pub fn key(&self, schema: &Schema) -> i64 {
+        match self {
+            RowRef::Table { table, row } => table.key_of(*row as usize),
+            RowRef::Tuple(t) => t.key(schema),
+        }
+    }
+
+    /// Number of attributes in the row.
+    pub fn arity(&self) -> usize {
+        match self {
+            RowRef::Table { table, .. } => table.schema.len(),
+            RowRef::Tuple(t) => t.arity(),
+        }
+    }
+
+    /// Materialise the row as an owned [`Tuple`].
+    pub fn to_tuple(&self) -> Tuple {
+        match self {
+            RowRef::Table { table, row } => {
+                let row = *row as usize;
+                Tuple::from_values(
+                    (0..table.schema.len())
+                        .map(|attr| table.value_at(row, attr))
+                        .collect(),
+                )
+            }
+            RowRef::Tuple(t) => (*t).clone(),
+        }
+    }
+}
+
+impl<'a> From<&'a Tuple> for RowRef<'a> {
+    fn from(t: &'a Tuple) -> RowRef<'a> {
+        RowRef::Tuple(t)
+    }
+}
+
+impl<'a, 'b> From<&'b RowRef<'a>> for RowRef<'b>
+where
+    'a: 'b,
+{
+    fn from(r: &'b RowRef<'a>) -> RowRef<'b> {
+        *r
+    }
+}
+
+/// Memory-footprint counters for one table (and, through the shared
+/// [`PageManager`], its spill traffic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableMemoryStats {
+    /// Rows in the table.
+    pub rows: usize,
+    /// Pages currently resident across all columns.
+    pub resident_pages: usize,
+    /// High-water mark of resident pages.
+    pub peak_resident_pages: usize,
+    /// Pages currently evicted to the page manager.
+    pub spilled_pages: usize,
+    /// Pages allocated (created or faulted in) since table creation.
+    pub page_allocs: u64,
+    /// Pages evicted by [`EnvTable::enforce_page_budget`] since creation.
+    pub evictions: u64,
+    /// Pages read back by the page manager (shared across clones).
+    pub spill_reads: u64,
+    /// Pages written out by the page manager (shared across clones).
+    pub spill_writes: u64,
+    /// Heap bytes held by resident pages.
+    pub resident_bytes: usize,
+    /// `resident_bytes / rows` (0 for an empty table).
+    pub bytes_per_row: f64,
+    /// Label of the page manager backing the table (`"ram"` / `"spill"`).
+    pub pager: &'static str,
+}
+
+impl Default for TableMemoryStats {
+    fn default() -> TableMemoryStats {
+        TableMemoryStats {
+            rows: 0,
+            resident_pages: 0,
+            peak_resident_pages: 0,
+            spilled_pages: 0,
+            page_allocs: 0,
+            evictions: 0,
+            spill_reads: 0,
+            spill_writes: 0,
+            resident_bytes: 0,
+            bytes_per_row: 0.0,
+            pager: "ram",
+        }
+    }
+}
 
 /// The environment relation.  Holds every unit/object in the game world.
 ///
 /// The table keeps a key → row-index map so executors can resolve
 /// `WHERE e.key = target_key` probes in O(1); the map is rebuilt lazily after
 /// structural changes (insert/remove).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct EnvTable {
     schema: Arc<Schema>,
-    rows: Vec<Tuple>,
+    len: usize,
+    columns: Vec<Column>,
+    pager: Arc<dyn PageManager>,
     key_index: FxHashMap<i64, usize>,
     key_index_dirty: bool,
+    counters: MemCounters,
+    evictions: u64,
+    peak_resident_pages: usize,
 }
 
 impl EnvTable {
     /// Create an empty environment with the given schema.
+    ///
+    /// The page manager is chosen from the `SGL_PAGE_BUDGET` environment
+    /// variable: set to a positive page count it backs the table with a
+    /// [`SpillPageManager`] under that budget; unset, every page stays
+    /// resident in a [`RamPageManager`].
     pub fn new(schema: Arc<Schema>) -> EnvTable {
+        let pager: Arc<dyn PageManager> = match env_page_budget() {
+            Some(budget) => Arc::new(
+                SpillPageManager::new(budget).expect("cannot create SGL_PAGE_BUDGET spill file"),
+            ),
+            None => Arc::new(RamPageManager::new()),
+        };
+        EnvTable::with_pager(schema, pager)
+    }
+
+    /// Create an empty environment backed by an explicit page manager.
+    pub fn with_pager(schema: Arc<Schema>, pager: Arc<dyn PageManager>) -> EnvTable {
+        let columns = (0..schema.len()).map(|_| Column::new()).collect();
         EnvTable {
             schema,
-            rows: Vec::new(),
+            len: 0,
+            columns,
+            pager,
             key_index: FxHashMap::default(),
             key_index_dirty: false,
+            counters: MemCounters::default(),
+            evictions: 0,
+            peak_resident_pages: 0,
         }
     }
 
@@ -38,14 +210,30 @@ impl EnvTable {
         &self.schema
     }
 
+    /// The page manager backing the table.
+    pub fn pager(&self) -> &Arc<dyn PageManager> {
+        &self.pager
+    }
+
     /// Number of units.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// True when there are no units.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
+    }
+
+    /// The value of `attr` for the row at `idx`.
+    ///
+    /// Panics if the backing page cannot be read (a corrupted spill file is
+    /// unrecoverable — it is detected by checksum and reported here).
+    pub fn value_at(&self, idx: usize, attr: AttrId) -> Value {
+        assert!(idx < self.len, "row {idx} out of bounds (len {})", self.len);
+        self.columns[attr]
+            .value(idx, &*self.pager)
+            .expect("page manager I/O failed")
     }
 
     /// Insert a unit, checking arity. Keys are expected to be unique; a
@@ -62,46 +250,69 @@ impl EnvTable {
         if self.key_index.contains_key(&key) {
             return Err(EnvError::DuplicateKey(key));
         }
-        self.key_index.insert(key, self.rows.len());
-        self.rows.push(tuple);
+        self.key_index.insert(key, self.len);
+        for (attr, value) in tuple.into_values().into_iter().enumerate() {
+            self.columns[attr].push(value, &*self.pager, &mut self.counters)?;
+        }
+        self.len += 1;
         Ok(())
     }
 
-    /// Access a row by position.
-    pub fn row(&self, idx: usize) -> &Tuple {
-        &self.rows[idx]
+    /// A [`RowRef`] cursor for the row at `idx`.
+    pub fn row(&self, idx: usize) -> RowRef<'_> {
+        assert!(idx < self.len, "row {idx} out of bounds (len {})", self.len);
+        RowRef::Table {
+            table: self,
+            row: idx as u32,
+        }
     }
 
-    /// Mutable access to a row by position.
-    pub fn row_mut(&mut self, idx: usize) -> &mut Tuple {
-        &mut self.rows[idx]
+    /// Overwrite one attribute of one row (the replacement for the old
+    /// `row_mut().set()` pattern).  Callers must not change keys through
+    /// this without rebuilding the key index.
+    pub fn set_attr(&mut self, idx: usize, attr: AttrId, value: Value) {
+        assert!(idx < self.len, "row {idx} out of bounds (len {})", self.len);
+        self.columns[attr]
+            .set(idx, value, &*self.pager, &mut self.counters)
+            .expect("page manager I/O failed");
     }
 
-    /// All rows.
-    pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+    /// Replace a whole column (bulk write-back path for postprocess rules).
+    /// `values.len()` must equal [`EnvTable::len`].
+    pub fn set_column(&mut self, attr: AttrId, values: Vec<Value>) -> Result<()> {
+        if values.len() != self.len {
+            return Err(EnvError::ArityMismatch {
+                expected: self.len,
+                found: values.len(),
+            });
+        }
+        self.columns[attr].set_values(values, &*self.pager, &mut self.counters);
+        Ok(())
     }
 
-    /// All rows, mutably. Callers must not change keys through this.
-    pub fn rows_mut(&mut self) -> &mut [Tuple] {
-        &mut self.rows
+    /// Iterate over `(row_index, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, RowRef<'_>)> {
+        (0..self.len).map(move |i| (i, self.row(i)))
     }
 
-    /// Iterate over `(row_index, tuple)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &Tuple)> {
-        self.rows.iter().enumerate()
+    /// Visit every page of one column in row order (digest/snapshot paths:
+    /// spilled pages are loaded once per page, not once per cell).
+    pub fn for_each_column_page<F: FnMut(&PageData)>(&self, attr: AttrId, f: F) -> Result<()> {
+        self.columns[attr].for_each_page(&*self.pager, f)
     }
 
     /// The key of the row at `idx`.
     pub fn key_of(&self, idx: usize) -> i64 {
-        self.rows[idx].key(&self.schema)
+        self.value_at(idx, self.schema.key_attr())
+            .as_i64()
+            .expect("key attribute must be integer valued")
     }
 
     fn ensure_key_index(&mut self) {
         if self.key_index_dirty {
             self.key_index.clear();
-            for (i, row) in self.rows.iter().enumerate() {
-                self.key_index.insert(row.key(&self.schema), i);
+            for i in 0..self.len {
+                self.key_index.insert(self.key_of(i), i);
             }
             self.key_index_dirty = false;
         }
@@ -119,36 +330,57 @@ impl EnvTable {
         if !self.key_index_dirty {
             return self.key_index.get(&key).copied();
         }
-        self.rows.iter().position(|r| r.key(&self.schema) == key)
+        (0..self.len).find(|&i| self.key_of(i) == key)
     }
 
     /// Read a whole column as `f64` (used to build per-tick indexes).
     pub fn column_f64(&self, attr: AttrId) -> Result<Vec<f64>> {
-        self.rows.iter().map(|r| r.get(attr).as_f64()).collect()
+        self.columns[attr].as_f64_vec(&*self.pager)
     }
 
     /// Read a whole column as `i64`.
     pub fn column_i64(&self, attr: AttrId) -> Result<Vec<i64>> {
-        self.rows.iter().map(|r| r.get(attr).as_i64()).collect()
+        self.columns[attr].as_i64_vec(&*self.pager)
+    }
+
+    /// All values of a column, in row order.
+    pub fn column_values(&self, attr: AttrId) -> Result<Vec<Value>> {
+        self.columns[attr].values(&*self.pager)
     }
 
     /// Reset every effect attribute of every unit to its default.
-    /// This is the per-tick initialisation step of the processing model (§4.3).
+    /// This is the per-tick initialisation step of the processing model
+    /// (§4.3) — a column fill, not a per-row walk.
     pub fn reset_effects(&mut self) {
         let schema = Arc::clone(&self.schema);
-        for row in &mut self.rows {
-            row.reset_effects(&schema);
+        for attr in schema.effect_attrs() {
+            let default = &schema.attr(attr).default;
+            self.columns[attr].fill(default, &*self.pager, &mut self.counters);
         }
     }
 
     /// Remove all rows matching the predicate. Returns the number removed.
-    pub fn remove_where<F: FnMut(&Tuple) -> bool>(&mut self, mut pred: F) -> usize {
-        let before = self.rows.len();
-        self.rows.retain(|r| !pred(r));
-        let removed = before - self.rows.len();
-        if removed > 0 {
-            self.key_index_dirty = true;
+    pub fn remove_where<F: FnMut(RowRef<'_>) -> bool>(&mut self, mut pred: F) -> usize {
+        let keep: Vec<bool> = (0..self.len).map(|i| !pred(self.row(i))).collect();
+        let kept = keep.iter().filter(|&&k| k).count();
+        let removed = self.len - kept;
+        if removed == 0 {
+            return 0;
         }
+        for attr in 0..self.columns.len() {
+            let values = self.columns[attr]
+                .values(&*self.pager)
+                .expect("page manager I/O failed");
+            let filtered: Vec<Value> = values
+                .into_iter()
+                .zip(&keep)
+                .filter(|(_, &k)| k)
+                .map(|(v, _)| v)
+                .collect();
+            self.columns[attr].set_values(filtered, &*self.pager, &mut self.counters);
+        }
+        self.len = kept;
+        self.key_index_dirty = true;
         removed
     }
 
@@ -162,21 +394,182 @@ impl EnvTable {
             ));
         }
         let idx = self.find_key(key).ok_or(EnvError::UnknownKey(key))?;
-        self.rows[idx].set(attr, value);
+        self.set_attr(idx, attr, value);
         Ok(())
+    }
+
+    /// Build a table directly from per-attribute value columns (the v2
+    /// snapshot decode path).  Validates column count, uniform column
+    /// length, integer keys and key uniqueness.
+    pub(crate) fn from_column_values(
+        schema: Arc<Schema>,
+        columns: Vec<Vec<Value>>,
+    ) -> Result<EnvTable> {
+        if columns.len() != schema.len() {
+            return Err(EnvError::ArityMismatch {
+                expected: schema.len(),
+                found: columns.len(),
+            });
+        }
+        let rows = columns.first().map_or(0, Vec::len);
+        if let Some(bad) = columns.iter().find(|c| c.len() != rows) {
+            return Err(EnvError::ArityMismatch {
+                expected: rows,
+                found: bad.len(),
+            });
+        }
+        let mut table = EnvTable::new(schema);
+        let key_attr = table.schema.key_attr();
+        for (i, value) in columns[key_attr].iter().enumerate() {
+            let key = value
+                .as_i64()
+                .map_err(|_| EnvError::InvalidKey("key attribute must be integer valued".into()))?;
+            if table.key_index.insert(key, i).is_some() {
+                return Err(EnvError::DuplicateKey(key));
+            }
+        }
+        for (attr, values) in columns.into_iter().enumerate() {
+            table.columns[attr].set_values(values, &*table.pager, &mut table.counters);
+        }
+        table.len = rows;
+        Ok(table)
     }
 
     /// Collect the multiset of keys (sorted) — useful in tests.
     pub fn sorted_keys(&self) -> Vec<i64> {
-        let mut keys: Vec<i64> = self.rows.iter().map(|r| r.key(&self.schema)).collect();
+        let mut keys: Vec<i64> = (0..self.len).map(|i| self.key_of(i)).collect();
         keys.sort_unstable();
         keys
+    }
+
+    /// The page budget of the backing manager (`None` = unlimited).
+    pub fn page_budget(&self) -> Option<usize> {
+        self.pager.page_budget()
+    }
+
+    /// Pages allocated (created or faulted in) since table creation — the
+    /// O(1) counter behind [`TableMemoryStats::page_allocs`], cheap enough
+    /// to sample around every phase of a tick.
+    pub fn page_allocs(&self) -> u64 {
+        self.counters.page_allocs
+    }
+
+    /// Fault every page in (tick-start pinning: after this, all in-tick
+    /// reads are straight vector indexing).
+    pub fn ensure_resident(&mut self) {
+        for col in &mut self.columns {
+            col.ensure_resident(&*self.pager, &mut self.counters)
+                .expect("page manager I/O failed");
+        }
+        self.note_peak();
+    }
+
+    /// Evict least-recently-touched pages until the resident count is back
+    /// under the page budget (tick-end unpinning).  Eviction order is a
+    /// deterministic function of the mutation history — `(touch, column,
+    /// page)` — but correctness never depends on it: evicted pages read
+    /// back bit-identically.  Returns the number of pages evicted.
+    pub fn enforce_page_budget(&mut self) -> usize {
+        let Some(budget) = self.pager.page_budget() else {
+            return 0;
+        };
+        self.note_peak();
+        let resident: usize = self.columns.iter().map(|c| c.resident_pages()).sum();
+        if resident <= budget {
+            return 0;
+        }
+        let mut candidates: Vec<(u64, usize, usize)> = Vec::with_capacity(resident);
+        for (ci, col) in self.columns.iter().enumerate() {
+            for (pi, slot) in col.slots.iter().enumerate() {
+                if let crate::column::Slot::Resident { touch, .. } = slot {
+                    candidates.push((*touch, ci, pi));
+                }
+            }
+        }
+        candidates.sort_unstable();
+        let to_evict = resident - budget;
+        for &(_, ci, pi) in candidates.iter().take(to_evict) {
+            self.columns[ci]
+                .evict(pi, &*self.pager)
+                .expect("page manager I/O failed");
+        }
+        self.evictions += to_evict as u64;
+        to_evict
+    }
+
+    fn note_peak(&mut self) {
+        let resident: usize = self.columns.iter().map(|c| c.resident_pages()).sum();
+        self.peak_resident_pages = self.peak_resident_pages.max(resident);
+    }
+
+    /// Memory-footprint counters for this table.
+    pub fn memory_stats(&self) -> TableMemoryStats {
+        let resident_pages: usize = self.columns.iter().map(|c| c.resident_pages()).sum();
+        let spilled_pages: usize = self.columns.iter().map(|c| c.spilled_pages()).sum();
+        let resident_bytes: usize = self.columns.iter().map(|c| c.resident_bytes()).sum();
+        let pager_stats = self.pager.stats();
+        TableMemoryStats {
+            rows: self.len,
+            resident_pages,
+            peak_resident_pages: self.peak_resident_pages.max(resident_pages),
+            spilled_pages,
+            page_allocs: self.counters.page_allocs,
+            evictions: self.evictions,
+            spill_reads: pager_stats.spill_reads,
+            spill_writes: pager_stats.spill_writes,
+            resident_bytes,
+            bytes_per_row: if self.len == 0 {
+                0.0
+            } else {
+                resident_bytes as f64 / self.len as f64
+            },
+            pager: self.pager.label(),
+        }
+    }
+}
+
+impl Clone for EnvTable {
+    /// Deep copy: every page is materialised resident in the clone (the
+    /// source keeps its own spilled pages and tokens); the page manager is
+    /// shared.
+    fn clone(&self) -> EnvTable {
+        let mut counters = MemCounters::default();
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| {
+                let values = col.values(&*self.pager).expect("page manager I/O failed");
+                let mut fresh = Column::new();
+                fresh.set_values(values, &*self.pager, &mut counters);
+                fresh
+            })
+            .collect();
+        EnvTable {
+            schema: Arc::clone(&self.schema),
+            len: self.len,
+            columns,
+            pager: Arc::clone(&self.pager),
+            key_index: self.key_index.clone(),
+            key_index_dirty: self.key_index_dirty,
+            counters,
+            evictions: 0,
+            peak_resident_pages: 0,
+        }
+    }
+}
+
+impl Drop for EnvTable {
+    fn drop(&mut self) {
+        for col in &self.columns {
+            col.free_spilled(&*self.pager);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pager::PAGE_ROWS;
     use crate::schema::paper_schema;
     use crate::tuple::TupleBuilder;
 
@@ -272,5 +665,152 @@ mod tests {
         t.remove_where(|r| r.get_i64(hp).unwrap() == 20); // key 1 gone, index dirty
         assert_eq!(t.find_key_readonly(2), Some(0));
         assert_eq!(t.find_key_readonly(1), None);
+    }
+
+    #[test]
+    fn row_refs_read_like_tuples() {
+        let (schema, t) = sample_table();
+        let posx = schema.attr_id("posx").unwrap();
+        let row = t.row(1);
+        assert_eq!(row.get(posx), Value::Float(3.0));
+        assert_eq!(row.get_f64(posx).unwrap(), 3.0);
+        assert_eq!(row.key(&schema), 2);
+        assert_eq!(row.arity(), schema.len());
+        let tup = row.to_tuple();
+        assert_eq!(tup.get(posx), &Value::Float(3.0));
+        let via_tuple: RowRef<'_> = (&tup).into();
+        assert_eq!(via_tuple.get(posx), Value::Float(3.0));
+        assert_eq!(via_tuple.key(&schema), 2);
+        let reborrow: RowRef<'_> = (&row).into();
+        assert_eq!(reborrow.get(posx), Value::Float(3.0));
+    }
+
+    #[test]
+    fn set_column_bulk_write() {
+        let (schema, mut t) = sample_table();
+        let hp = schema.attr_id("health").unwrap();
+        t.set_column(hp, vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+            .unwrap();
+        assert_eq!(t.column_i64(hp).unwrap(), vec![1, 2, 3]);
+        assert!(t.set_column(hp, vec![Value::Int(1)]).is_err());
+    }
+
+    fn big_table(schema: &Arc<Schema>, pager: Arc<dyn PageManager>, rows: i64) -> EnvTable {
+        let mut t = EnvTable::with_pager(Arc::clone(schema), pager);
+        for k in 0..rows {
+            t.insert(mk_unit(schema, k, k % 2, k as f64, -k as f64, 10 + k))
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn budget_enforcement_evicts_and_reads_stay_identical() {
+        let schema = paper_schema().into_shared();
+        let rows = PAGE_ROWS as i64 * 2 + 17;
+        let unbounded = big_table(&schema, Arc::new(RamPageManager::new()), rows);
+        let mut budgeted = big_table(&schema, Arc::new(RamPageManager::with_budget(4)), rows);
+
+        let evicted = budgeted.enforce_page_budget();
+        assert!(evicted > 0, "3 pages × 11 columns must exceed budget 4");
+        let stats = budgeted.memory_stats();
+        assert_eq!(stats.resident_pages, 4);
+        assert!(stats.spilled_pages > 0);
+        assert!(stats.peak_resident_pages >= stats.resident_pages + stats.spilled_pages);
+
+        // Cold reads on the spilled table must match the resident table.
+        for attr in 0..schema.len() {
+            assert_eq!(
+                budgeted.column_values(attr).unwrap(),
+                unbounded.column_values(attr).unwrap(),
+                "attr {attr}"
+            );
+        }
+        assert_eq!(budgeted.sorted_keys(), unbounded.sorted_keys());
+
+        // Pinning faults everything back in.
+        budgeted.ensure_resident();
+        assert_eq!(budgeted.memory_stats().spilled_pages, 0);
+    }
+
+    #[test]
+    fn clone_is_deep_and_fully_resident() {
+        let schema = paper_schema().into_shared();
+        let rows = PAGE_ROWS as i64 + 5;
+        let mut t = big_table(&schema, Arc::new(RamPageManager::with_budget(2)), rows);
+        t.enforce_page_budget();
+        let hp = schema.attr_id("health").unwrap();
+
+        let mut copy = t.clone();
+        assert_eq!(copy.memory_stats().spilled_pages, 0);
+        copy.set_attr(0, hp, Value::Int(-1));
+        assert_eq!(copy.row(0).get_i64(hp).unwrap(), -1);
+        assert_eq!(t.row(0).get_i64(hp).unwrap(), 10, "source untouched");
+        assert_eq!(
+            t.column_i64(hp).unwrap()[1..],
+            copy.column_i64(hp).unwrap()[1..]
+        );
+    }
+
+    #[test]
+    fn eviction_respects_lru_touch_order() {
+        let schema = paper_schema().into_shared();
+        let rows = PAGE_ROWS as i64 * 2;
+        let mut t = big_table(&schema, Arc::new(RamPageManager::with_budget(21)), rows);
+        let hp = schema.attr_id("health").unwrap();
+        // 11 columns × 2 pages = 22 resident pages; touch one page last so
+        // it survives the single eviction.
+        t.set_attr(0, hp, Value::Int(99));
+        assert_eq!(t.enforce_page_budget(), 1);
+        // The health column's page 0 was touched most recently of all the
+        // earliest-touched pages; the evicted page must not be it.
+        assert_eq!(t.row(0).get_i64(hp).unwrap(), 99);
+        let stats = t.memory_stats();
+        assert_eq!(stats.resident_pages, 21);
+        assert_eq!(stats.spilled_pages, 1);
+        assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn memory_stats_shape() {
+        let (_, t) = sample_table();
+        let stats = t.memory_stats();
+        assert_eq!(stats.rows, 3);
+        assert_eq!(stats.pager, "ram");
+        assert_eq!(stats.spilled_pages, 0);
+        assert!(stats.resident_pages >= 1);
+        assert!(stats.resident_bytes > 0);
+        assert!(stats.bytes_per_row > 0.0);
+        assert!(stats.page_allocs >= stats.resident_pages as u64);
+        assert_eq!(stats.evictions, 0);
+        assert!(
+            EnvTable::new(paper_schema().into_shared())
+                .memory_stats()
+                .bytes_per_row
+                .abs()
+                < f64::EPSILON
+        );
+    }
+
+    #[test]
+    fn spill_pager_tables_round_trip() {
+        let schema = paper_schema().into_shared();
+        let pager = Arc::new(SpillPageManager::new(3).unwrap());
+        let rows = PAGE_ROWS as i64 * 2 + 1;
+        let mut t = big_table(&schema, pager, rows);
+        let baseline: Vec<Vec<Value>> = (0..schema.len())
+            .map(|a| t.column_values(a).unwrap())
+            .collect();
+        assert!(t.enforce_page_budget() > 0);
+        let stats = t.memory_stats();
+        assert_eq!(stats.pager, "spill");
+        assert!(stats.spill_writes > 0);
+        for (attr, expected) in baseline.iter().enumerate() {
+            assert_eq!(&t.column_values(attr).unwrap(), expected, "attr {attr}");
+        }
+        t.ensure_resident();
+        for (attr, expected) in baseline.iter().enumerate() {
+            assert_eq!(&t.column_values(attr).unwrap(), expected, "attr {attr}");
+        }
     }
 }

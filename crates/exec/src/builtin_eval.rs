@@ -270,8 +270,8 @@ mod tests {
         let rng = GameRng::new(1).for_tick(0);
         let constants = registry.constants().clone();
         // Unit 1 (player 0) at (0,0) with range 5: enemies in range = unit 3 only.
-        let unit = table.row(0).clone();
-        let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+        let unit = table.row(0);
+        let ctx = EvalContext::new(&schema, unit, &rng, &constants);
         let def = registry.aggregate("CountEnemiesInRange").unwrap();
         let call = AggCall {
             name: def.name.clone(),
@@ -294,8 +294,8 @@ mod tests {
         let registry = paper_registry();
         let rng = GameRng::new(1).for_tick(0);
         let constants = registry.constants().clone();
-        let unit = table.row(0).clone();
-        let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+        let unit = table.row(0);
+        let ctx = EvalContext::new(&schema, unit, &rng, &constants);
         let def = registry.aggregate("CentroidOfEnemyUnits").unwrap();
         let call = AggCall {
             name: def.name.clone(),
@@ -312,8 +312,8 @@ mod tests {
         let registry = paper_registry();
         let rng = GameRng::new(1).for_tick(0);
         let constants = registry.constants().clone();
-        let unit = table.row(0).clone();
-        let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+        let unit = table.row(0);
+        let ctx = EvalContext::new(&schema, unit, &rng, &constants);
         let def = registry.aggregate("CountEnemiesInRange").unwrap();
         let call = AggCall {
             name: def.name.clone(),
@@ -329,8 +329,8 @@ mod tests {
         let registry = paper_registry();
         let rng = GameRng::new(1).for_tick(0);
         let constants = registry.constants().clone();
-        let unit = table.row(0).clone(); // (0, 0), player 0
-        let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+        let unit = table.row(0); // (0, 0), player 0
+        let ctx = EvalContext::new(&schema, unit, &rng, &constants);
         let def = registry.aggregate("getNearestEnemy").unwrap();
         let call = AggCall {
             name: def.name.clone(),
@@ -367,8 +367,8 @@ mod tests {
         let registry = paper_registry();
         let rng = GameRng::new(1).for_tick(0);
         let constants = registry.constants().clone();
-        let unit = table.row(2).clone(); // key 7, player 0 at the origin
-        let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+        let unit = table.row(2); // key 7, player 0 at the origin
+        let ctx = EvalContext::new(&schema, unit, &rng, &constants);
         let def = registry.aggregate("getNearestEnemy").unwrap();
         let call = AggCall {
             name: def.name.clone(),
@@ -409,8 +409,8 @@ mod tests {
         let registry = paper_registry();
         let rng = GameRng::new(1).for_tick(0);
         let constants = registry.constants().clone();
-        let unit = table.row(1).clone();
-        let ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+        let unit = table.row(1);
+        let ctx = EvalContext::new(&schema, unit, &rng, &constants);
         let args = eval_call_args(&[Term::name("u"), Term::unit("posx")], &ctx).unwrap();
         assert_eq!(args[0], ScriptValue::Scalar(Value::Int(2)));
         assert_eq!(args[1], ScriptValue::Scalar(Value::Float(2.0)));

@@ -33,7 +33,7 @@ use sgl_index::range_tree::RangeTree2D;
 use sgl_index::sweepline::{sweep_min_max, SweepKind};
 use sgl_index::traits::{build_agg_index, AggIndex, AggStructureKind, IndexDelta, IndexRow};
 use sgl_index::{Point2, Rect};
-use sgl_lang::ast::Term;
+use sgl_lang::ast::{Term, VarRef};
 use sgl_lang::builtins::{AggSpec, SimpleAgg};
 use sgl_lang::eval::{eval_term, EvalContext, NoAggregates, ScriptValue};
 
@@ -140,6 +140,44 @@ fn eval_row_term(
     let ctx = ctx.with_row(tuple);
     let mut no_aggs = NoAggregates;
     Ok(eval_term(term, &ctx, &mut no_aggs)?.as_scalar()?.clone())
+}
+
+/// One whole attribute column as `f64`, with the same coercions as the
+/// per-row `Value::as_f64` (the typed extractor rejects Bool pages, the
+/// per-row read does not — fall through to the generic view for those).
+fn extract_f64_column(table: &EnvTable, attr: AttrId) -> Result<Vec<f64>> {
+    if let Ok(col) = table.column_f64(attr) {
+        return Ok(col);
+    }
+    let mut out = Vec::with_capacity(table.len());
+    for v in table.column_values(attr)? {
+        out.push(v.as_f64()?);
+    }
+    Ok(out)
+}
+
+/// Evaluate a channel term for every row of the table, column-at-a-time
+/// when the term is a bare `e.attr` read (the common shape for SUM/AVG/
+/// MIN/MAX channels); anything more complex falls back to the per-row
+/// evaluator, which builds a full evaluation context per row.
+fn channel_column(
+    term: &Term,
+    table: &EnvTable,
+    constants: &FxHashMap<String, Value>,
+) -> Result<Vec<f64>> {
+    if let Term::Var(VarRef::Row(name)) = term {
+        if let Some(attr) = table.schema().attr_id(name) {
+            return extract_f64_column(table, attr);
+        }
+    }
+    (0..table.len())
+        .map(|r| Ok(eval_row_term(term, table, r, constants)?.as_f64()?))
+        .collect()
+}
+
+/// Fingerprint of a single term (the channel-column cache key).
+fn fingerprint_term(term: &Term) -> u64 {
+    fingerprint_terms(std::slice::from_ref(term))
 }
 
 // ---------------------------------------------------------------------------
@@ -411,19 +449,40 @@ fn sync_state(
     let mut deltas: FxHashMap<u64, Vec<IndexDelta>> = FxHashMap::default();
     let mut part_sizes: FxHashMap<u64, usize> = FxHashMap::default();
 
-    for (row_idx, row) in table.iter() {
-        let key = row.key(schema);
-        let values: Vec<Value> = state
-            .cat_attrs
-            .iter()
-            .map(|a| row.get(*a).clone())
-            .collect();
-        let part = fingerprint_values(&values);
-        state.partition_values.entry(part).or_insert(values);
-        let point = Point2::new(row.get_f64(spatial.x)?, row.get_f64(spatial.y)?);
+    // The diff scan reads every cell of every indexed attribute: pull each
+    // column once (one page walk apiece) and walk plain vectors, instead of
+    // per-row page arithmetic on every access.
+    let keys = table.column_i64(schema.key_attr())?;
+    let xs = extract_f64_column(table, spatial.x)?;
+    let ys = extract_f64_column(table, spatial.y)?;
+    let cat_cols: Vec<Vec<Value>> = state
+        .cat_attrs
+        .iter()
+        .map(|a| table.column_values(*a))
+        .collect::<std::result::Result<_, _>>()?;
+    let chan_cols: Vec<Vec<f64>> = state
+        .channels
+        .iter()
+        .map(|c| channel_column(c, table, constants))
+        .collect::<Result<_>>()?;
+
+    for row_idx in 0..table.len() {
+        let key = keys[row_idx];
+        let part = {
+            let mut h = rustc_hash::FxHasher::default();
+            for col in &cat_cols {
+                hash_value(&mut h, &col[row_idx]);
+            }
+            h.finish()
+        };
+        state
+            .partition_values
+            .entry(part)
+            .or_insert_with(|| cat_cols.iter().map(|col| col[row_idx].clone()).collect());
+        let point = Point2::new(xs[row_idx], ys[row_idx]);
         let mut chan_values = Vec::with_capacity(channels);
-        for c in &state.channels {
-            chan_values.push(eval_row_term(c, table, row_idx, constants)?.as_f64()?);
+        for col in &chan_cols {
+            chan_values.push(col[row_idx]);
         }
         *part_sizes.entry(part).or_insert(0) += 1;
         let id = key as u64;
@@ -541,6 +600,17 @@ pub struct TickIndexes<'a> {
     /// Per-call-site observations (selectivity, rect areas, served
     /// backends) for the cost-based planner's statistics feedback loop.
     pub obs: TickObservations,
+    /// Lazily extracted position columns: one page walk per tick the first
+    /// time a structure build or sweep batch needs points, then every
+    /// subsequent point read is a plain vector index.
+    positions: Option<(Vec<f64>, Vec<f64>)>,
+    /// Lazily extracted key column (kD-tree tie-break ordering and
+    /// nearest-hit key lookups).
+    keys: Option<Vec<i64>>,
+    /// Channel terms evaluated column-at-a-time, keyed by term fingerprint
+    /// — shared across the partitions of one tick so a multi-partition
+    /// build still evaluates each term once per row.
+    chan_cols: FxHashMap<u64, Vec<f64>>,
     /// Scratch: matching grid fingerprints of the current probe, reused
     /// across probes to keep the hot path allocation-free.
     fps_scratch: Vec<u64>,
@@ -584,6 +654,9 @@ impl IndexManager {
             sweeps: FxHashMap::default(),
             stats: TickStats::default(),
             obs: TickObservations::default(),
+            positions: None,
+            keys: None,
+            chan_cols: FxHashMap::default(),
             fps_scratch: Vec::new(),
             probe_acc: DivAcc::identity(0),
             part_acc: DivAcc::identity(0),
@@ -592,11 +665,34 @@ impl IndexManager {
 }
 
 impl<'a> TickIndexes<'a> {
-    fn point_of(&self, row: usize) -> Result<Point2> {
-        Ok(Point2::new(
-            self.table.row(row).get_f64(self.spatial.x)?,
-            self.table.row(row).get_f64(self.spatial.y)?,
-        ))
+    /// Extract the position columns once per tick (plain indexing after).
+    fn ensure_positions(&mut self) -> Result<()> {
+        if self.positions.is_none() {
+            self.positions = Some((
+                extract_f64_column(self.table, self.spatial.x)?,
+                extract_f64_column(self.table, self.spatial.y)?,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Extract the key column once per tick.
+    fn ensure_keys(&mut self) -> Result<()> {
+        if self.keys.is_none() {
+            self.keys = Some(self.table.column_i64(self.table.schema().key_attr())?);
+        }
+        Ok(())
+    }
+
+    /// Evaluate (and cache) a channel term's per-row values; returns the
+    /// cache key.
+    fn ensure_chan_col(&mut self, term: &Term) -> Result<u64> {
+        let fp = fingerprint_term(term);
+        if !self.chan_cols.contains_key(&fp) {
+            let col = channel_column(term, self.table, self.constants)?;
+            self.chan_cols.insert(fp, col);
+        }
+        Ok(fp)
     }
 
     /// Ensure the partition map for a set of categorical attributes exists;
@@ -604,13 +700,23 @@ impl<'a> TickIndexes<'a> {
     fn ensure_partitions(&mut self, cat_attrs: &[AttrId]) -> Result<u64> {
         let sig = fingerprint_attrs(cat_attrs);
         if !self.partitions.contains_key(&sig) {
+            // One page walk per categorical column, then fingerprint from
+            // the extracted vectors — the per-row value vector is only
+            // materialised the first time a partition appears.
+            let cat_cols: Vec<Vec<Value>> = cat_attrs
+                .iter()
+                .map(|a| self.table.column_values(*a))
+                .collect::<std::result::Result<_, _>>()?;
             let mut map: FxHashMap<u64, Partition> = FxHashMap::default();
-            for (idx, row) in self.table.iter() {
-                let values: Vec<Value> = cat_attrs.iter().map(|a| row.get(*a).clone()).collect();
-                let fp = fingerprint_values(&values);
+            for idx in 0..self.table.len() {
+                let mut h = rustc_hash::FxHasher::default();
+                for col in &cat_cols {
+                    hash_value(&mut h, &col[idx]);
+                }
+                let fp = h.finish();
                 map.entry(fp)
                     .or_insert_with(|| Partition {
-                        values,
+                        values: cat_cols.iter().map(|col| col[idx].clone()).collect(),
                         rows: Vec::new(),
                     })
                     .rows
@@ -744,15 +850,26 @@ impl<'a> TickIndexes<'a> {
             return Ok(key);
         }
         let rows = self.partition_rows(sig, part_fp);
-        let mut index_rows = Vec::with_capacity(rows.len());
-        for r in rows {
-            let point = self.point_of(r as usize)?;
-            let mut values = Vec::with_capacity(channels.len());
-            for c in channels {
-                values.push(eval_row_term(c, self.table, r as usize, self.constants)?.as_f64()?);
-            }
-            index_rows.push(IndexRow::new(r as u64, point, values));
-        }
+        let chan_fps: Vec<u64> = channels
+            .iter()
+            .map(|c| self.ensure_chan_col(c))
+            .collect::<Result<_>>()?;
+        self.ensure_positions()?;
+        let index_rows: Vec<IndexRow> = {
+            let (xs, ys) = self
+                .positions
+                .as_ref()
+                .ok_or_else(|| ExecError::Internal("positions vanished after ensure".into()))?;
+            rows.iter()
+                .map(|&r| {
+                    let r = r as usize;
+                    let point = Point2::new(xs[r], ys[r]);
+                    let values: Vec<f64> =
+                        chan_fps.iter().map(|fp| self.chan_cols[fp][r]).collect();
+                    IndexRow::new(r as u64, point, values)
+                })
+                .collect()
+        };
         self.stats.indexes_built += 1;
         self.agg_structs
             .insert(key, build_agg_index(kind, channels.len(), &index_rows));
@@ -766,15 +883,24 @@ impl<'a> TickIndexes<'a> {
         let mut rows = self.partition_rows(sig, part_fp);
         // Local ids in ascending key order: the kD-tree breaks exact
         // distance ties toward the smallest local id, which this ordering
-        // turns into the reference "smallest key wins" rule.  Cached keys:
-        // this runs per partition per rebuild, and the row fetch is not
-        // free enough to repeat O(n log n) times.
-        let schema = self.table.schema();
-        rows.sort_by_cached_key(|r| self.table.row(*r as usize).key(schema));
-        let mut points = Vec::with_capacity(rows.len());
-        for r in &rows {
-            points.push(self.point_of(*r as usize)?);
-        }
+        // turns into the reference "smallest key wins" rule.  Keys are
+        // unique, so the unstable sort is deterministic.
+        self.ensure_keys()?;
+        self.ensure_positions()?;
+        let points: Vec<Point2> = {
+            let keys = self
+                .keys
+                .as_ref()
+                .ok_or_else(|| ExecError::Internal("keys vanished after ensure".into()))?;
+            rows.sort_unstable_by_key(|r| keys[*r as usize]);
+            let (xs, ys) = self
+                .positions
+                .as_ref()
+                .ok_or_else(|| ExecError::Internal("positions vanished after ensure".into()))?;
+            rows.iter()
+                .map(|&r| Point2::new(xs[r as usize], ys[r as usize]))
+                .collect()
+        };
         self.stats.indexes_built += 1;
         self.kd_trees
             .insert((sig, part_fp), (KdTree::build(&points), rows));
@@ -787,10 +913,16 @@ impl<'a> TickIndexes<'a> {
         let sig = self.ensure_partitions(cat_attrs)?;
         if !self.enum_trees.contains_key(&(sig, part_fp)) {
             let rows = self.partition_rows(sig, part_fp);
-            let mut points = Vec::with_capacity(rows.len());
-            for r in &rows {
-                points.push(self.point_of(*r as usize)?);
-            }
+            self.ensure_positions()?;
+            let points: Vec<Point2> = {
+                let (xs, ys) = self
+                    .positions
+                    .as_ref()
+                    .ok_or_else(|| ExecError::Internal("positions vanished after ensure".into()))?;
+                rows.iter()
+                    .map(|&r| Point2::new(xs[r as usize], ys[r as usize]))
+                    .collect()
+            };
             self.stats.indexes_built += 1;
             self.enum_trees
                 .insert((sig, part_fp), (RangeTree2D::build(&points), rows));
@@ -1010,7 +1142,11 @@ impl<'a> TickIndexes<'a> {
                     .ok_or_else(|| ExecError::Internal("kd-tree vanished after ensure".into()))?;
                 if let Some((local_id, d2)) = tree.nearest(&query) {
                     let row = rows[local_id as usize] as usize;
-                    let key = self.table.row(row).key(self.table.schema());
+                    // The key column was extracted when the tree was built.
+                    let key = match &self.keys {
+                        Some(keys) => keys[row],
+                        None => self.table.row(row).key(self.table.schema()),
+                    };
                     offer(&mut best, d2, key);
                 }
             }
@@ -1168,25 +1304,31 @@ impl<'a> TickIndexes<'a> {
             if !self.sweeps.contains_key(&sweep_fp) {
                 // Data points: all rows in matching partitions; queries: every
                 // row of the table (every unit of this type will probe).
+                let value_fp = self.ensure_chan_col(&o.value)?;
+                self.ensure_positions()?;
                 let mut data_points = Vec::new();
                 let mut data_values = Vec::new();
                 let mut data_rows: Vec<u32> = Vec::new();
+                let (xs, ys) = self
+                    .positions
+                    .as_ref()
+                    .ok_or_else(|| ExecError::Internal("positions vanished after ensure".into()))?;
+                let value_col = &self.chan_cols[&value_fp];
                 for part_fp in self.partition_fps(sig) {
                     if !partition_matches(&self.partition_values(sig, part_fp), &required) {
                         continue;
                     }
                     for r in self.partition_rows(sig, part_fp) {
-                        data_points.push(self.point_of(r as usize)?);
-                        data_values.push(
-                            eval_row_term(&o.value, self.table, r as usize, self.constants)?
-                                .as_f64()?,
-                        );
+                        data_points.push(Point2::new(xs[r as usize], ys[r as usize]));
+                        data_values.push(value_col[r as usize]);
                         data_rows.push(r);
                     }
                 }
-                let queries: Vec<Point2> = (0..self.table.len())
-                    .map(|r| self.point_of(r))
-                    .collect::<Result<Vec<_>>>()?;
+                let queries: Vec<Point2> = xs
+                    .iter()
+                    .zip(ys.iter())
+                    .map(|(&x, &y)| Point2::new(x, y))
+                    .collect();
                 let raw = sweep_min_max(&data_points, &data_values, &queries, rx, ry, kind);
                 let remapped: Vec<Option<(f64, u32)>> = raw
                     .into_iter()
@@ -1358,8 +1500,8 @@ mod tests {
                 );
                 let mut cache = open_tick(&mut manager, &table, &config, &planned_map, &constants);
                 for row in 0..table.len() {
-                    let unit = table.row(row).clone();
-                    let mut ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+                    let unit = table.row(row);
+                    let mut ctx = EvalContext::new(&schema, unit, &rng, &constants);
                     let args: Vec<ScriptValue> = if def.params.len() == 2 {
                         vec![ScriptValue::scalar(0i64), ScriptValue::scalar(15.0)]
                     } else {
@@ -1451,8 +1593,8 @@ mod tests {
             let mut manager = IndexManager::new(&config);
             let mut cache = open_tick(&mut manager, &table, &config, &planned_map, &constants);
             for row in 0..table.len() {
-                let unit = table.row(row).clone();
-                let mut ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+                let unit = table.row(row);
+                let mut ctx = EvalContext::new(&schema, unit, &rng, &constants);
                 let args = vec![ScriptValue::scalar(0i64), ScriptValue::scalar(10.0)];
                 ctx.bindings = bind_params(&def.name, &def.params, &args).unwrap();
                 let fast = cache.evaluate(&planned, &ctx).unwrap().unwrap();
@@ -1508,7 +1650,7 @@ mod tests {
         let posx = schema.attr_id("posx").unwrap();
         for row in 0..10 {
             let new_x = table.row(row).get_f64(posx).unwrap() + 3.0;
-            table.row_mut(row).set(posx, Value::Float(new_x));
+            table.set_attr(row, posx, Value::Float(new_x));
         }
         let second = manager.end_tick(&table, &planned_map, &constants).unwrap();
         assert_eq!(
@@ -1523,8 +1665,8 @@ mod tests {
         let planned = plan_aggregate(def, &schema, config.spatial);
         let mut cache = open_tick(&mut manager, &table, &config, &planned_map, &constants);
         for row in 0..table.len() {
-            let unit = table.row(row).clone();
-            let mut ctx = EvalContext::new(&schema, &unit, &rng, &constants);
+            let unit = table.row(row);
+            let mut ctx = EvalContext::new(&schema, unit, &rng, &constants);
             let args = vec![ScriptValue::scalar(0i64), ScriptValue::scalar(12.0)];
             ctx.bindings = bind_params(&def.name, &def.params, &args).unwrap();
             let fast = cache.evaluate(&planned, &ctx).unwrap().unwrap();
@@ -1557,7 +1699,7 @@ mod tests {
         let posx = schema.attr_id("posx").unwrap();
         for row in 0..table.len() {
             let new_x = table.row(row).get_f64(posx).unwrap() * 0.5 + 1.0;
-            table.row_mut(row).set(posx, Value::Float(new_x));
+            table.set_attr(row, posx, Value::Float(new_x));
         }
         let heavy = manager.end_tick(&table, &planned_map, &constants).unwrap();
         assert!(heavy.partition_rebuilds > 0);
@@ -1567,7 +1709,7 @@ mod tests {
         // partitions are patched.
         for row in 0..2 {
             let new_x = table.row(row).get_f64(posx).unwrap() + 0.5;
-            table.row_mut(row).set(posx, Value::Float(new_x));
+            table.set_attr(row, posx, Value::Float(new_x));
         }
         let light = manager.end_tick(&table, &planned_map, &constants).unwrap();
         assert_eq!(light.partition_rebuilds, 0);

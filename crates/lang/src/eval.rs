@@ -10,7 +10,7 @@ use std::fmt;
 
 use rustc_hash::FxHashMap;
 
-use sgl_env::{AttrId, Schema, TickRandom, Tuple, Value};
+use sgl_env::{AttrId, RowRef, Schema, TickRandom, Value};
 
 use crate::ast::{AggCall, BinOp, Cond, Term, VarRef};
 use crate::error::{LangError, Result};
@@ -174,12 +174,12 @@ impl AggregateProvider for NoAggregates {
 pub struct EvalContext<'a> {
     /// Schema of the environment.
     pub schema: &'a Schema,
-    /// The current unit tuple `u`.
-    pub unit: &'a Tuple,
+    /// The current unit `u` (a columnar row cursor or a standalone tuple).
+    pub unit: RowRef<'a>,
     /// Key of the current unit (pre-extracted for the random function).
     pub unit_key: i64,
     /// The candidate row `e`, when evaluating built-in filter/effect terms.
-    pub row: Option<&'a Tuple>,
+    pub row: Option<RowRef<'a>>,
     /// Per-tick random function.
     pub rng: &'a TickRandom,
     /// Game constants (from the registry).
@@ -192,10 +192,11 @@ impl<'a> EvalContext<'a> {
     /// Create a context for evaluating script terms for one unit.
     pub fn new(
         schema: &'a Schema,
-        unit: &'a Tuple,
+        unit: impl Into<RowRef<'a>>,
         rng: &'a TickRandom,
         constants: &'a FxHashMap<String, Value>,
     ) -> EvalContext<'a> {
+        let unit = unit.into();
         let unit_key = unit.key(schema);
         EvalContext {
             schema,
@@ -209,7 +210,8 @@ impl<'a> EvalContext<'a> {
     }
 
     /// Derive a context that additionally exposes a candidate row `e`.
-    pub fn with_row(&self, row: &'a Tuple) -> EvalContext<'a> {
+    pub fn with_row(&self, row: impl Into<RowRef<'a>>) -> EvalContext<'a> {
+        let row = row.into();
         EvalContext {
             schema: self.schema,
             unit: self.unit,
@@ -243,7 +245,7 @@ pub fn eval_term(
         Term::Const(v) => Ok(ScriptValue::Scalar(v.clone())),
         Term::Var(VarRef::Unit(attr)) => {
             let id = ctx.attr(attr)?;
-            Ok(ScriptValue::Scalar(ctx.unit.get(id).clone()))
+            Ok(ScriptValue::Scalar(ctx.unit.get(id)))
         }
         Term::Var(VarRef::Row(attr)) => {
             let row = ctx.row.ok_or_else(|| {
@@ -252,7 +254,7 @@ pub fn eval_term(
                 ))
             })?;
             let id = ctx.attr(attr)?;
-            Ok(ScriptValue::Scalar(row.get(id).clone()))
+            Ok(ScriptValue::Scalar(row.get(id)))
         }
         Term::Var(VarRef::Name(name)) => {
             if let Some(v) = ctx.bindings.get(name) {
@@ -351,7 +353,12 @@ mod tests {
         }
     }
 
-    fn fixture() -> (sgl_env::Schema, Tuple, TickRandom, FxHashMap<String, Value>) {
+    fn fixture() -> (
+        sgl_env::Schema,
+        sgl_env::Tuple,
+        TickRandom,
+        FxHashMap<String, Value>,
+    ) {
         let schema = paper_schema();
         let unit = TupleBuilder::new(&schema)
             .set("key", 7i64)

@@ -48,7 +48,9 @@ fn table_subset(case: &ConformanceCase, keys: &[i64]) -> EnvTable {
     for (_, row) in case.world.table.iter() {
         let key = row.key(&case.world.schema);
         if keys.contains(&key) {
-            table.insert(row.clone()).expect("subset keys stay unique");
+            table
+                .insert(row.to_tuple())
+                .expect("subset keys stay unique");
         }
     }
     table

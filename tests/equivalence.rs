@@ -110,15 +110,17 @@ fn different_seeds_produce_different_battles() {
     let posx = sim_a.table().schema().attr_id("posx").unwrap();
     let xs_a: Vec<i64> = sim_a
         .table()
-        .rows()
+        .column_f64(posx)
+        .unwrap()
         .iter()
-        .map(|r| (r.get_f64(posx).unwrap() * 100.0) as i64)
+        .map(|x| (x * 100.0) as i64)
         .collect();
     let xs_b: Vec<i64> = sim_b
         .table()
-        .rows()
+        .column_f64(posx)
+        .unwrap()
         .iter()
-        .map(|r| (r.get_f64(posx).unwrap() * 100.0) as i64)
+        .map(|x| (x * 100.0) as i64)
         .collect();
     assert_ne!(xs_a, xs_b);
 }

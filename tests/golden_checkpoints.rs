@@ -134,6 +134,48 @@ fn golden_checkpoints_are_byte_stable() {
     }
 }
 
+/// Checkpoints written before the columnar TABLE section (snapshot format
+/// v1, row-major tagged values) still resume.  The committed `.v1.ckpt`
+/// artifacts are frozen copies of the pre-columnar golden corpus; they are
+/// never re-blessed.  Resuming one must land on the same digest as the
+/// current corpus and continue bit-identically — the paging layer changed
+/// the encoding, not the game.
+#[test]
+fn v1_table_checkpoints_still_resume() {
+    for name in PRESETS {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(format!("{name}.t{CHECKPOINT_TICK}.v1.ckpt"));
+        let bytes = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("{name}: no v1 artifact at {} ({e})", path.display()));
+        let reference = golden_digests(name);
+        let p = preset(name);
+        let config = writer_config(&p);
+        let mut sim: Simulation = p.build_with_config(config);
+        sim.resume(&bytes, config)
+            .unwrap_or_else(|e| panic!("{name}: v1 checkpoint resume failed: {e}"));
+        assert_eq!(
+            sim.digest(),
+            reference[CHECKPOINT_TICK - 1],
+            "{name}: v1 checkpoint restored to a different state"
+        );
+        for (tick, expected) in reference
+            .iter()
+            .enumerate()
+            .take(TICKS)
+            .skip(CHECKPOINT_TICK)
+        {
+            sim.step()
+                .unwrap_or_else(|e| panic!("{name}: tick {tick} failed after v1 resume: {e}"));
+            assert_eq!(
+                sim.digest(),
+                *expected,
+                "{name}: run resumed from a v1 checkpoint diverged at tick {tick}"
+            );
+        }
+    }
+}
+
 /// Every lattice configuration resumes the committed checkpoint and
 /// reproduces ticks 10..20 of the golden digest corpus.
 #[test]
