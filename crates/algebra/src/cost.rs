@@ -40,17 +40,21 @@ pub enum PhysicalBackend {
     Sweep,
     /// kD-tree nearest neighbour, rebuilt per tick.
     KdTree,
+    /// Materialized per-subscription answers patched from the delta stream
+    /// (true IVM); misses recompute through the per-tick structures.
+    Materialized,
 }
 
 impl PhysicalBackend {
     /// All backends, in the deterministic tie-break order of the planner.
-    pub const ALL: [PhysicalBackend; 6] = [
+    pub const ALL: [PhysicalBackend; 7] = [
         PhysicalBackend::Scan,
         PhysicalBackend::LayeredTree,
         PhysicalBackend::QuadTree,
         PhysicalBackend::MaintainedGrid,
         PhysicalBackend::Sweep,
         PhysicalBackend::KdTree,
+        PhysicalBackend::Materialized,
     ];
 
     /// Stable label used by `explain`, tests and the perf JSON.
@@ -62,6 +66,7 @@ impl PhysicalBackend {
             PhysicalBackend::MaintainedGrid => "grid",
             PhysicalBackend::Sweep => "sweep",
             PhysicalBackend::KdTree => "kd-tree",
+            PhysicalBackend::Materialized => "materialized",
         }
     }
 
@@ -144,6 +149,11 @@ pub struct CostConstants {
     /// bookkeeping) of every index alternative — what makes scans win on
     /// tiny tables.
     pub struct_overhead: f64,
+    /// One delta × one materialized entry relevance check (rect containment
+    /// + partition match) during answer maintenance.
+    pub mat_delta: f64,
+    /// One O(1) serve of a materialized answer (fingerprint lookup + clone).
+    pub mat_serve: f64,
 }
 
 impl CostConstants {
@@ -165,6 +175,8 @@ impl CostConstants {
             grid_probe_base: 0.200,
             grid_probe_row: 0.020,
             struct_overhead: 5.0,
+            mat_delta: 0.005,
+            mat_serve: 0.050,
         }
     }
 
@@ -301,6 +313,31 @@ fn sweep_alt(i: &CallSiteInputs, c: &CostConstants) -> CostedAlternative {
     }
 }
 
+/// Materialized per-subscription answers (true IVM).  The answer store is
+/// patched from the delta stream (`u·n` deltas checked against ~`p` live
+/// entries); a probe either serves its stored answer in O(1) or — when a
+/// relevant delta invalidated the entry — recomputes through a per-tick
+/// quadtree built only on ticks that actually miss.  The expected miss
+/// fraction is `u·(1 + s·n)`: the subscriber itself moved (`u`) or one of
+/// its ~`s·n` supporting rows changed (`u·s·n`) — exactly the
+/// update-rate × selectivity product the planner is meant to weigh.
+fn materialized_alt(i: &CallSiteInputs, c: &CostConstants) -> CostedAlternative {
+    let deltas = i.update_rate * i.n();
+    let miss = (i.update_rate * (1.0 + i.selectivity * i.n())).min(1.0);
+    let misses = (i.probes * miss).min(i.probes);
+    // The quadtree miss path is only built on ticks where at least one probe
+    // misses.
+    let build_present = misses.min(1.0);
+    let build_us = build_present * i.parts() * (c.struct_overhead + i.n() * c.build_quad_row);
+    let miss_probe_us = (2.0 * i.log_n() + i.selectivity * i.n()) * c.probe_quad;
+    CostedAlternative {
+        backend: PhysicalBackend::Materialized,
+        maintenance: MaintenanceChoice::Incremental,
+        prepare_us: c.struct_overhead + i.probes * deltas * c.mat_delta + build_us,
+        probe_us: i.probes * c.mat_serve + misses * miss_probe_us,
+    }
+}
+
 fn kd_alt(i: &CallSiteInputs, c: &CostConstants) -> CostedAlternative {
     CostedAlternative {
         backend: PhysicalBackend::KdTree,
@@ -322,13 +359,19 @@ pub fn price_alternatives(
             layered_alt(inputs, constants),
             quad_alt(inputs, constants),
             grid_alt(inputs, constants, inputs.selectivity * inputs.n()),
+            materialized_alt(inputs, constants),
         ],
         StrategyClass::MinMax => vec![
             scan_alt(inputs, constants),
             sweep_alt(inputs, constants),
             quad_alt(inputs, constants),
             grid_alt(inputs, constants, inputs.selectivity * inputs.n()),
+            materialized_alt(inputs, constants),
         ],
+        // Nearest/argbest answers are records of arbitrary output terms over
+        // the winning row; an attribute of that row can change without any
+        // positional delta, which would silently stale a stored answer, so
+        // materialization is not a legal alternative here.
         StrategyClass::Nearest => vec![
             scan_alt(inputs, constants),
             kd_alt(inputs, constants),
@@ -431,6 +474,46 @@ mod tests {
         ));
         assert_eq!(hot.backend, PhysicalBackend::MaintainedGrid);
         assert_eq!(hot.maintenance, MaintenanceChoice::Rebuild);
+    }
+
+    #[test]
+    fn low_churn_prefers_materialized_answers() {
+        let c = CostConstants::default();
+        // Nearly static world, sparse probes: serving stored answers in O(1)
+        // beats even the maintained grid's per-probe cell walk.
+        for class in [StrategyClass::Divisible, StrategyClass::MinMax] {
+            let calm = best_alternative(&price_alternatives(
+                class,
+                &inputs(800.0, 800.0, 0.01, 0.01),
+                &c,
+            ));
+            assert_eq!(calm.backend, PhysicalBackend::Materialized, "{class:?}");
+            assert_eq!(calm.maintenance, MaintenanceChoice::Incremental);
+        }
+    }
+
+    #[test]
+    fn high_churn_avoids_materialized_answers() {
+        let c = CostConstants::default();
+        // Heavy movement invalidates most entries every tick: the miss-path
+        // recompute plus the delta × entry patch sweep must price
+        // materialization out.
+        for class in [StrategyClass::Divisible, StrategyClass::MinMax] {
+            let hot = best_alternative(&price_alternatives(
+                class,
+                &inputs(800.0, 800.0, 0.01, 0.5),
+                &c,
+            ));
+            assert_ne!(hot.backend, PhysicalBackend::Materialized, "{class:?}");
+        }
+        // Nearest sites never even price it (stale-output hazard).
+        for alt in price_alternatives(
+            StrategyClass::Nearest,
+            &inputs(800.0, 800.0, 0.01, 0.01),
+            &c,
+        ) {
+            assert_ne!(alt.backend, PhysicalBackend::Materialized);
+        }
     }
 
     #[test]

@@ -2,35 +2,39 @@
 //!
 //! Runs the engine-level perf suite (fixed seeds, wall-clock per-phase
 //! timings via the engine's `PhaseTimings` — no criterion sampling), writes
-//! the machine-readable summary as `BENCH_9.json`, and fails with exit
+//! the machine-readable summary as `BENCH_10.json`, and fails with exit
 //! code 1 if any gate fires:
 //!
 //! * a baseline was given and a tracked scenario's anchor-relative
 //!   throughput regressed more than the tolerance (default 25 %);
 //! * any `compiled_*` scenario failed to beat its `indexed_*` interpreter
 //!   twin by `--min-compiled-speedup` (default 1.0 — never slower);
+//! * a low-churn `materialized_*` scenario failed to beat its `indexed_*`
+//!   incremental twin by `--min-materialized-speedup` (default 1.1);
 //! * a tracked scenario's memory footprint (bytes/row or peak resident
 //!   pages) grew more than `--max-footprint-regression` (default 25 %)
 //!   over a baseline that carries memory fields.
 //!
 //! ```text
 //! perf [--out PATH] [--baseline PATH] [--max-regression FRACTION]
-//!      [--min-compiled-speedup RATIO] [--max-footprint-regression FRACTION]
-//!      [--calibrate]
+//!      [--min-compiled-speedup RATIO] [--min-materialized-speedup RATIO]
+//!      [--max-footprint-regression FRACTION] [--calibrate]
 //! ```
 
 use std::process::ExitCode;
 
 use sgl_bench::{
     calibrate_cost_constants, compare_memory, compare_reports, compiled_gate, compiled_speedups,
-    constants_summary, parse_report, report_to_json, run_perf_suite,
+    constants_summary, materialized_gate, materialized_speedups, parse_report, report_to_json,
+    run_perf_suite,
 };
 
 fn main() -> ExitCode {
-    let mut out_path = String::from("BENCH_9.json");
+    let mut out_path = String::from("BENCH_10.json");
     let mut baseline_path: Option<String> = None;
     let mut max_regression = 0.25f64;
     let mut min_compiled_speedup = 1.0f64;
+    let mut min_materialized_speedup = 1.1f64;
     let mut max_footprint_regression = 0.25f64;
     let mut calibrate = false;
 
@@ -53,6 +57,13 @@ fn main() -> ExitCode {
                     .parse()
                     .expect("--min-compiled-speedup must be a positive number");
             }
+            "--min-materialized-speedup" => {
+                min_materialized_speedup = args
+                    .next()
+                    .expect("--min-materialized-speedup needs a ratio")
+                    .parse()
+                    .expect("--min-materialized-speedup must be a positive number");
+            }
             "--max-footprint-regression" => {
                 max_footprint_regression = args
                     .next()
@@ -66,6 +77,7 @@ fn main() -> ExitCode {
                 eprintln!(
                     "usage: perf [--out PATH] [--baseline PATH] \
                      [--max-regression FRACTION] [--min-compiled-speedup RATIO] \
+                     [--min-materialized-speedup RATIO] \
                      [--max-footprint-regression FRACTION] [--calibrate]"
                 );
                 return ExitCode::FAILURE;
@@ -120,6 +132,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("compiled gate passed: every compiled scenario ≥ {min_compiled_speedup:.2}× its interpreter twin");
+
+    for (suffix, ratio) in materialized_speedups(&report) {
+        eprintln!("  materialized vs incremental ({suffix}): {ratio:.2}×");
+    }
+    let materialized_violations = materialized_gate(&report, min_materialized_speedup);
+    if !materialized_violations.is_empty() {
+        eprintln!("materialized gate FAILED:");
+        for v in &materialized_violations {
+            eprintln!("  {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "materialized gate passed: every low-churn materialized scenario ≥ \
+         {min_materialized_speedup:.2}× its incremental twin"
+    );
 
     if let Some(path) = baseline_path {
         let text = match std::fs::read_to_string(&path) {

@@ -147,6 +147,10 @@ enum ScriptRoster {
     /// One steering script for every unit (scalar-arithmetic heavy — the
     /// workload class the register bytecode accelerates most).
     Steering,
+    /// One sentry script for every unit: stationary units probing fixed
+    /// sight rectangles, acting only when an enemy wanders into reach.
+    /// Near-zero churn — the workload class materialized answers serve.
+    Sentry,
 }
 
 struct ScenarioSpec {
@@ -220,6 +224,49 @@ fn build_steering(scenario: &BattleScenario, exec: ExecConfig) -> Simulation {
     .script("steering", STEERING_SCRIPT, UnitSelector::All)
     .build(scenario.table.clone())
     .expect("steering script compiles")
+}
+
+/// SGL source of the sentry script: a garrison of long-range watchtowers
+/// that never move.  Each unit keeps three *wide* standing subscriptions
+/// (many grid cells per probe — the regime where a maintained structure
+/// still pays per-cell fold cost on every evaluation) plus one short-range
+/// trigger, and acts only when an enemy is inside weapon reach.  The
+/// subscription rectangles are position-derived and positions never
+/// change, so the questions repeat verbatim tick after tick; in a sparse
+/// world almost no tick writes a row.  This is the low-churn regime where
+/// holding materialized answers must beat incremental index maintenance.
+const SENTRY_SCRIPT: &str = r#"
+main(u) {
+  (let visible = CountEnemiesInRange(u, u.sight * 50))
+  (let threat = EnemyStrengthInRange(u, u.sight * 50))
+  (let backup = CountAlliesInRange(u, u.sight * 50))
+  (let ec = CentroidOfEnemies(u, u.sight * 50))
+  (let wounded = MissingAllyHealthInRange(u, u.sight * 50))
+  (let in_reach = CountEnemiesInRange(u, u.range)) {
+    if visible > 0 and in_reach > 0 and u.cooldown = 0 and threat + u.morale + ec.x * 0.001 + wounded > backup then
+      perform FireAt(u, getNearestEnemy(u).key);
+  }
+}
+"#;
+
+/// Build a simulation running [`SENTRY_SCRIPT`] on every unit of a
+/// generated battle (same schema, mechanics and seed as the default roster).
+fn build_sentry(scenario: &BattleScenario, exec: ExecConfig) -> Simulation {
+    use sgl_core::engine::UnitSelector;
+    sgl_core::GameBuilder::new(
+        std::sync::Arc::clone(&scenario.schema),
+        sgl_battle::battle_registry(),
+        sgl_battle::battle_mechanics(
+            &scenario.schema,
+            scenario.world_side,
+            scenario.config.resurrect,
+        ),
+    )
+    .exec_config(exec)
+    .seed(scenario.config.seed)
+    .script("sentry", SENTRY_SCRIPT, UnitSelector::All)
+    .build(scenario.table.clone())
+    .expect("sentry script compiles")
 }
 
 /// The fixed scenario list: one naive anchor, the three plan-interpreter
@@ -362,6 +409,70 @@ fn scenario_specs() -> Vec<ScenarioSpec> {
                     .with_planner(PlannerMode::cost_based(4))
             },
         },
+        // Materialized-answer twins: the same worlds as the incremental
+        // scenarios above, but every legal call site holds its folded
+        // answer and patches it from the tick's delta stream.  The battle
+        // rosters move every unit every tick, so each probe's subscription
+        // rectangle changes and every answer misses — these two twins
+        // document the churn penalty in the report (tracked, not gated).
+        // The calm pair below is the gated low-churn case.
+        ScenarioSpec {
+            name: "materialized_sparse_800",
+            units: 800,
+            density: 0.0005,
+            ticks: 25,
+            tracked: true,
+            roster: ScriptRoster::BattleDefault,
+            config: |s| {
+                ExecConfig::cost_based(&s.schema)
+                    .with_mode(ExecMode::Indexed)
+                    .with_planner(PlannerMode::ForceMaterialized)
+            },
+        },
+        ScenarioSpec {
+            name: "materialized_incremental_400",
+            units: 400,
+            density: 0.01,
+            ticks: 25,
+            tracked: true,
+            roster: ScriptRoster::BattleDefault,
+            config: |s| {
+                ExecConfig::cost_based(&s.schema)
+                    .with_mode(ExecMode::Indexed)
+                    .with_planner(PlannerMode::ForceMaterialized)
+            },
+        },
+        // The low-churn pair the materialized gate enforces: a stationary
+        // sentry garrison in a sparse world.  Subscription rectangles never
+        // move and almost no tick writes a row, so the materialized side
+        // serves O(1) folded answers while the incremental side re-probes
+        // its maintained structures for every call.
+        ScenarioSpec {
+            name: "indexed_calm_1600",
+            units: 1600,
+            density: 0.0005,
+            ticks: 25,
+            tracked: true,
+            roster: ScriptRoster::Sentry,
+            config: |s| {
+                ExecConfig::indexed(&s.schema)
+                    .with_mode(ExecMode::Indexed)
+                    .with_policy(sgl_core::exec::MaintenancePolicy::Incremental)
+            },
+        },
+        ScenarioSpec {
+            name: "materialized_calm_1600",
+            units: 1600,
+            density: 0.0005,
+            ticks: 25,
+            tracked: true,
+            roster: ScriptRoster::Sentry,
+            config: |s| {
+                ExecConfig::cost_based(&s.schema)
+                    .with_mode(ExecMode::Indexed)
+                    .with_planner(PlannerMode::ForceMaterialized)
+            },
+        },
     ]
 }
 
@@ -405,6 +516,49 @@ pub fn compiled_gate(report: &PerfReport, min_speedup: f64) -> Vec<String> {
         .collect()
 }
 
+/// Pair each `materialized_*` scenario with its `indexed_*` incremental
+/// twin and return `(pair suffix, materialized ticks/sec ÷ incremental
+/// ticks/sec)`.  Both sides of a pair run in the same process, so wall
+/// clock cancels.
+pub fn materialized_speedups(report: &PerfReport) -> Vec<(String, f64)> {
+    report
+        .scenarios
+        .iter()
+        .filter_map(|(name, mat)| {
+            let suffix = name.strip_prefix("materialized_")?;
+            let interp = report.scenarios.get(&format!("indexed_{suffix}"))?;
+            Some((suffix.to_string(), mat.ticks_per_sec / interp.ticks_per_sec))
+        })
+        .collect()
+}
+
+/// The low-churn pair suffixes where holding materialized answers must beat
+/// incremental index maintenance (the high-churn pairs are tracked for the
+/// trajectory but not gated — the planner is *expected* to walk away from
+/// materialization there, which `tests/cost_planner.rs` pins).
+pub const MATERIALIZED_LOW_CHURN_SUFFIXES: &[&str] = &["calm_1600"];
+
+/// Gate: every low-churn materialized scenario must beat its incremental
+/// twin by at least `min_speedup`.  Returns the violations (empty = pass).
+pub fn materialized_gate(report: &PerfReport, min_speedup: f64) -> Vec<String> {
+    let speedups = materialized_speedups(report);
+    let mut violations = Vec::new();
+    for suffix in MATERIALIZED_LOW_CHURN_SUFFIXES {
+        match speedups.iter().find(|(s, _)| s == suffix) {
+            Some((_, ratio)) if *ratio < min_speedup => violations.push(format!(
+                "`materialized_{suffix}` ran at {ratio:.2}× its incremental twin \
+                 (gate requires ≥ {min_speedup:.2}×)"
+            )),
+            Some(_) => {}
+            None => violations.push(format!(
+                "low-churn pair `{suffix}` missing from the report — the \
+                 materialized gate would be vacuous"
+            )),
+        }
+    }
+    violations
+}
+
 fn run_scenario(spec: &ScenarioSpec) -> PerfScenarioResult {
     let scenario = BattleScenario::generate(ScenarioConfig {
         units: spec.units,
@@ -415,6 +569,7 @@ fn run_scenario(spec: &ScenarioSpec) -> PerfScenarioResult {
     let mut sim: Simulation = match spec.roster {
         ScriptRoster::BattleDefault => scenario.build_with_config((spec.config)(&scenario)),
         ScriptRoster::Steering => build_steering(&scenario, (spec.config)(&scenario)),
+        ScriptRoster::Sentry => build_sentry(&scenario, (spec.config)(&scenario)),
     };
     // One warmup tick so maintained structures and lazy caches exist before
     // anything is timed.
@@ -1129,6 +1284,28 @@ pub fn calibrate_cost_constants() -> CostConstants {
         std::hint::black_box(kd.nearest(&Point2::new(50.0, 50.0)));
     });
 
+    // Materialized answer store: a serve is one fingerprint lookup plus a
+    // clone of the stored answer; one maintenance step is a delta × entry
+    // relevance check (rect containment plus a channel-bits compare).
+    let answers: std::collections::HashMap<u64, Vec<f64>> = (0..n as u64)
+        .map(|k| (k.wrapping_mul(0x9E37_79B9_7F4A_7C15), vec![1.0, 2.0]))
+        .collect();
+    let probe_keys: Vec<u64> = answers.keys().copied().take(16).collect();
+    let mat_serve_us = time_us(2000, || {
+        for k in &probe_keys {
+            std::hint::black_box(answers.get(k).cloned());
+        }
+    });
+    let mat_delta_us = time_us(2000, || {
+        let mut relevant = 0usize;
+        for r in rows.iter().take(64) {
+            if rect.contains(&r.point) && r.values[0].to_bits() != 1 {
+                relevant += 1;
+            }
+        }
+        std::hint::black_box(relevant);
+    });
+
     CostConstants {
         scan_row: (scan_us / n as f64).max(1e-6),
         build_layered_row: (layered_build_us / (n as f64 * log_n)).max(1e-6),
@@ -1144,6 +1321,8 @@ pub fn calibrate_cost_constants() -> CostConstants {
         grid_probe_base: (grid_probe_us * 0.25).max(1e-6),
         grid_probe_row: (grid_probe_us * 0.75 / matched).max(1e-6),
         struct_overhead: CostConstants::default_calibration().struct_overhead,
+        mat_delta: (mat_delta_us / 64.0).max(1e-6),
+        mat_serve: (mat_serve_us / 16.0).max(1e-6),
     }
 }
 
@@ -1155,7 +1334,8 @@ pub fn constants_summary(c: &CostConstants) -> String {
          build_quad_row: {:.4}\nprobe_quad: {:.4}\nbuild_kd_row: {:.4}\n\
          probe_kd: {:.4}\nsweep_row: {:.4}\ngrid_delta: {:.4}\n\
          grid_build_row: {:.4}\ngrid_probe_base: {:.4}\ngrid_probe_row: {:.4}\n\
-         struct_overhead: {:.4}\nbreak_even_update_rate: {:.3}\n",
+         struct_overhead: {:.4}\nmat_delta: {:.4}\nmat_serve: {:.4}\n\
+         break_even_update_rate: {:.3}\n",
         c.scan_row,
         c.build_layered_row,
         c.probe_layered,
@@ -1169,6 +1349,8 @@ pub fn constants_summary(c: &CostConstants) -> String {
         c.grid_probe_base,
         c.grid_probe_row,
         c.struct_overhead,
+        c.mat_delta,
+        c.mat_serve,
         c.break_even_update_rate()
     )
 }

@@ -41,8 +41,8 @@ use sgl_algebra::cost::CostConstants;
 use sgl_algebra::{explain_with_costs, CostAnnotation, LogicalPlan};
 use sgl_env::{AttrId, EnvTable, GameRng, PostProcessor, Value};
 use sgl_exec::{
-    choose_physical, compile_script, execute_tick_oracle, execute_tick_planned, plan_registry,
-    strategy_class, CompiledScript, ExecConfig, ExecMode, IndexManager, MaintStats,
+    choose_physical, compile_script, execute_tick_oracle, execute_tick_planned, force_materialized,
+    plan_registry, strategy_class, CompiledScript, ExecConfig, ExecMode, IndexManager, MaintStats,
     MaintenancePolicy, OracleRun, Parallelism, PlannedAggregate, PlannerMode, RuntimeStats,
     ScriptRun, TickObservations, TickStats,
 };
@@ -536,7 +536,7 @@ impl Simulation {
         // what the previous tick's eviction pass pushed out — which is the
         // determinism-under-eviction argument in one sentence.
         let mut alloc_mark = self.table.page_allocs();
-        self.table.ensure_resident();
+        self.table.ensure_resident()?;
         allocs.fault_in = self.table.page_allocs() - alloc_mark;
         alloc_mark = self.table.page_allocs();
 
@@ -547,8 +547,8 @@ impl Simulation {
         // physical plan.
         let mut planner_recosts = 0usize;
         let mut plan_switches = 0usize;
-        if let PlannerMode::CostBased(window) = self.exec_config.planner {
-            if self.exec_config.mode.uses_indexes() {
+        match self.exec_config.planner {
+            PlannerMode::CostBased(window) if self.exec_config.mode.uses_indexes() => {
                 let unpriced = self
                     .planned
                     .values()
@@ -571,6 +571,20 @@ impl Simulation {
                     }
                 }
             }
+            PlannerMode::ForceMaterialized if self.exec_config.mode.uses_indexes() => {
+                // Idempotent: after the first tick every legal site already
+                // carries the materialized choice and this returns 0.
+                let before = self.maintained_profile();
+                let switches = force_materialized(&mut self.planned);
+                if switches > 0 {
+                    plan_switches = switches;
+                    planner_recosts = 1;
+                    if before != self.maintained_profile() {
+                        self.index_manager.mark_stale();
+                    }
+                }
+            }
+            _ => {}
         }
         // Assign acting units to scripts.
         let mut assigned: Vec<bool> = vec![false; self.table.len()];
@@ -648,7 +662,7 @@ impl Simulation {
         // Movement phase.
         let phase_start = Instant::now();
         let movement_stats = match &self.mechanics.movement {
-            Some(config) => run_movement(&mut self.table, &effects, config, &tick_rng),
+            Some(config) => run_movement(&mut self.table, &effects, config, &tick_rng)?,
             None => MovementStats::default(),
         };
         timings.movement = phase_start.elapsed();
@@ -669,9 +683,9 @@ impl Simulation {
                         res.world.0 + tick_rng.unit_float(key, 101) * (res.world.2 - res.world.0);
                     let y =
                         res.world.1 + tick_rng.unit_float(key, 102) * (res.world.3 - res.world.1);
-                    self.table.set_attr(row, res.health, max_hp);
-                    self.table.set_attr(row, res.x, Value::Float(x));
-                    self.table.set_attr(row, res.y, Value::Float(y));
+                    self.table.set_attr(row, res.health, max_hp)?;
+                    self.table.set_attr(row, res.x, Value::Float(x))?;
+                    self.table.set_attr(row, res.y, Value::Float(y))?;
                 }
             }
         }
@@ -685,10 +699,9 @@ impl Simulation {
         // the next tick probes them.  Which call sites are maintained is
         // decided per plan (globally by the policy, or per call site by the
         // cost-based planner's choices).
-        let wants_maintenance = self
-            .planned
-            .values()
-            .any(|p| self.index_manager.plan_is_maintained(p));
+        let wants_maintenance = self.planned.values().any(|p| {
+            self.index_manager.plan_is_maintained(p) || self.index_manager.plan_is_materialized(p)
+        });
         if wants_maintenance {
             let phase_start = Instant::now();
             let maint = self.maintain_indexes(&effects)?;
@@ -733,7 +746,7 @@ impl Simulation {
         // pages down to the configured budget.  The table *contents* are
         // already final for this tick, so which pages spill affects only
         // where bytes live — never what the next tick computes.
-        self.table.enforce_page_budget();
+        self.table.enforce_page_budget()?;
 
         let report = TickReport {
             tick: self.tick,
@@ -768,7 +781,10 @@ impl Simulation {
         let mut out: Vec<(String, Option<sgl_algebra::MaintenanceChoice>)> = self
             .planned
             .iter()
-            .filter(|(_, plan)| self.index_manager.plan_is_maintained(plan))
+            .filter(|(_, plan)| {
+                self.index_manager.plan_is_maintained(plan)
+                    || self.index_manager.plan_is_materialized(plan)
+            })
             .map(|(name, plan)| (name.clone(), plan.choice.as_ref().map(|c| c.maintenance)))
             .collect();
         out.sort();
@@ -854,14 +870,17 @@ impl Simulation {
     /// [`Simulation::resume`].
     ///
     /// The encoding is deterministic: the same simulation state always
-    /// produces the same bytes.
-    pub fn checkpoint(&self) -> Vec<u8> {
+    /// produces the same bytes.  Fails only when a spilled table page cannot
+    /// be read back while serializing ([`EngineError::Env`]).
+    pub fn checkpoint(&self) -> Result<Vec<u8>> {
         use sgl_env::checkpoint::{section, ByteWriter, CheckpointBuilder};
         let fingerprint = sgl_env::snapshot::schema_fingerprint(self.table.schema());
         let mut builder = CheckpointBuilder::new(fingerprint);
         builder.section(
             section::TABLE,
-            sgl_env::snapshot::snapshot(&self.table).to_vec(),
+            sgl_env::snapshot::snapshot(&self.table)
+                .map_err(EngineError::Env)?
+                .to_vec(),
         );
         let mut clock = ByteWriter::new();
         clock.u64(self.tick);
@@ -880,7 +899,7 @@ impl Simulation {
             section::MAINT,
             sgl_exec::checkpoint::export_maint_stats(&self.index_manager.last_maint),
         );
-        builder.finish().to_vec()
+        Ok(builder.finish().to_vec())
     }
 
     /// Restore the run state saved by [`Simulation::checkpoint`] into this
@@ -940,13 +959,25 @@ impl Simulation {
         // fallible step — including index reconstruction — happens before
         // any of this simulation's state is replaced.
         let mut planned = plan_registry(&self.registry, &table, &config);
-        if config.planner.is_cost_based() && config.mode.uses_indexes() {
-            // Continue under the writer's physical plan so a resume mid
-            // re-costing window does not re-bootstrap from priors; the next
-            // window boundary re-prices as usual.  Under a heuristic resume
-            // configuration the choices are dropped — the heuristic mapping
-            // is the configuration's explicit request.
-            sgl_exec::checkpoint::install_choices(&mut planned, choices);
+        if config.mode.uses_indexes() {
+            match config.planner {
+                // Continue under the writer's physical plan so a resume mid
+                // re-costing window does not re-bootstrap from priors; the
+                // next window boundary re-prices as usual.
+                PlannerMode::CostBased(_) => {
+                    sgl_exec::checkpoint::install_choices(&mut planned, choices);
+                }
+                // The forced mapping is deterministic — derive it rather
+                // than trusting the writer's choices, so a migration from
+                // any planner mode lands on the same plan.
+                PlannerMode::ForceMaterialized => {
+                    force_materialized(&mut planned);
+                }
+                // Under a heuristic resume configuration the choices are
+                // dropped — the heuristic mapping is the configuration's
+                // explicit request.
+                PlannerMode::Heuristic => {}
+            }
         }
         // Deterministic index reconstruction + eager resume-time validation:
         // rebuild whatever maintained structures the resumed physical plan
@@ -957,7 +988,7 @@ impl Simulation {
         let mut index_manager = IndexManager::new(&config);
         if planned
             .values()
-            .any(|p| index_manager.plan_is_maintained(p))
+            .any(|p| index_manager.plan_is_maintained(p) || index_manager.plan_is_materialized(p))
         {
             index_manager.prepare(&table, &planned, &self.constants)?;
         }
@@ -1323,8 +1354,12 @@ mod tests {
             writer.step().unwrap();
             assert_eq!(writer.digest(), *expected, "writer diverged at {tick}");
         }
-        let bytes = writer.checkpoint();
-        assert_eq!(bytes, writer.checkpoint(), "checkpointing is deterministic");
+        let bytes = writer.checkpoint().unwrap();
+        assert_eq!(
+            bytes,
+            writer.checkpoint().unwrap(),
+            "checkpointing is deterministic"
+        );
         let (_, mut resumed) = build_sim(26, true);
         let config = *resumed.exec_config();
         resumed.resume(&bytes, config).unwrap();
@@ -1355,7 +1390,7 @@ mod tests {
         for _ in 0..4 {
             writer.step().unwrap();
         }
-        let bytes = writer.checkpoint();
+        let bytes = writer.checkpoint().unwrap();
         // Writer ran rebuild-each-tick serial; resume under incremental
         // maintenance with 4 worker threads.
         let (schema, mut resumed) = build_sim(24, true);
@@ -1380,7 +1415,7 @@ mod tests {
     fn resume_rejects_corruption_and_mismatches_without_touching_state() {
         let (_, mut writer) = build_sim(12, true);
         writer.run(2).unwrap();
-        let bytes = writer.checkpoint();
+        let bytes = writer.checkpoint().unwrap();
 
         let (_, mut target) = build_sim(12, true);
         target.run(1).unwrap();
@@ -1420,7 +1455,7 @@ mod tests {
     fn resume_rejects_a_different_schema() {
         let (_, mut writer) = build_sim(10, true);
         writer.run(1).unwrap();
-        let bytes = writer.checkpoint();
+        let bytes = writer.checkpoint().unwrap();
         // A simulation over a different schema must refuse the checkpoint.
         let mut b = Schema::builder();
         b.key("key")
@@ -1459,7 +1494,7 @@ mod tests {
         let stats_before = writer.runtime_stats().clone();
         let choices_before = writer.physical_choices();
         assert!(stats_before.ticks == 5 && !stats_before.calls.is_empty());
-        let bytes = writer.checkpoint();
+        let bytes = writer.checkpoint().unwrap();
 
         let (_, mut resumed) = build_sim(30, true);
         resumed

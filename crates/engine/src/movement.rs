@@ -4,6 +4,8 @@
 use rustc_hash::FxHashMap;
 
 use sgl_env::{AttrId, EffectBuffer, EnvTable, TickRandom, Value};
+
+use crate::Result;
 use sgl_index::grid::UniformGrid;
 use sgl_index::{Point2, Rect};
 
@@ -93,11 +95,11 @@ pub fn run_movement(
     effects: &EffectBuffer,
     config: &MovementConfig,
     rng: &TickRandom,
-) -> MovementStats {
+) -> Result<MovementStats> {
     let mut stats = MovementStats::default();
     let n = table.len();
     if n == 0 {
-        return stats;
+        return Ok(stats);
     }
     let schema = table.schema().clone();
     // Snapshot current positions for collision checks.
@@ -197,8 +199,8 @@ pub fn run_movement(
                 } else {
                     stats.detoured += 1;
                 }
-                table.set_attr(idx, config.x, Value::Float(target.x));
-                table.set_attr(idx, config.y, Value::Float(target.y));
+                table.set_attr(idx, config.x, Value::Float(target.x))?;
+                table.set_attr(idx, config.y, Value::Float(target.y))?;
                 moved_rows[idx] = true;
                 moved_hash.insert(target);
             }
@@ -210,7 +212,7 @@ pub fn run_movement(
         }
     }
     let _ = schema;
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -254,7 +256,7 @@ mod tests {
         effects.apply(0, config.dx, Value::Float(3.0)).unwrap();
         effects.apply(0, config.dy, Value::Float(4.0)).unwrap();
         let rng = GameRng::new(1).for_tick(0);
-        let stats = run_movement(&mut table, &effects, &config, &rng);
+        let stats = run_movement(&mut table, &effects, &config, &rng).unwrap();
         assert_eq!(stats.movers, 1);
         assert_eq!(stats.moved, 1);
         let row = table.row(0);
@@ -270,7 +272,7 @@ mod tests {
         let mut effects = EffectBuffer::new(Arc::clone(&schema));
         effects.apply(0, config.dx, Value::Float(1.0)).unwrap();
         let rng = GameRng::new(3).for_tick(0);
-        let stats = run_movement(&mut table, &effects, &config, &rng);
+        let stats = run_movement(&mut table, &effects, &config, &rng).unwrap();
         assert_eq!(stats.movers, 1);
         // The direct move collides; the x-only candidate is the same, the
         // y-only candidate keeps position — so the unit is either detoured
@@ -288,7 +290,7 @@ mod tests {
         effects.apply(0, config.dx, Value::Float(-10.0)).unwrap();
         effects.apply(0, config.dy, Value::Float(-10.0)).unwrap();
         let rng = GameRng::new(1).for_tick(5);
-        run_movement(&mut table, &effects, &config, &rng);
+        run_movement(&mut table, &effects, &config, &rng).unwrap();
         assert!(table.row(0).get_f64(config.x).unwrap() >= 0.0);
         assert!(table.row(0).get_f64(config.y).unwrap() >= 0.0);
     }
@@ -298,7 +300,7 @@ mod tests {
         let (schema, mut table, config) = setup(&[(5.0, 5.0), (20.0, 20.0)]);
         let effects = EffectBuffer::new(Arc::clone(&schema));
         let rng = GameRng::new(1).for_tick(1);
-        let stats = run_movement(&mut table, &effects, &config, &rng);
+        let stats = run_movement(&mut table, &effects, &config, &rng).unwrap();
         assert_eq!(stats, MovementStats::default());
         assert_eq!(table.row(0).get_f64(config.x).unwrap(), 5.0);
     }
@@ -320,7 +322,7 @@ mod tests {
             // A healthy mover in the same phase still moves.
             effects.apply(1, config.dx, Value::Float(1.0)).unwrap();
             let rng = GameRng::new(4).for_tick(0);
-            let stats = run_movement(&mut table, &effects, &config, &rng);
+            let stats = run_movement(&mut table, &effects, &config, &rng).unwrap();
             assert_eq!(stats.movers, 2, "vector ({dx}, {dy})");
             assert_eq!(stats.blocked, 1, "vector ({dx}, {dy})");
             assert_eq!(stats.moved, 1, "vector ({dx}, {dy})");
@@ -349,7 +351,7 @@ mod tests {
             effects.apply(i, config.dy, Value::Float(14.0 - y)).unwrap();
         }
         let rng = GameRng::new(9).for_tick(3);
-        run_movement(&mut table, &effects, &config, &rng);
+        run_movement(&mut table, &effects, &config, &rng).unwrap();
         for i in 0..25 {
             for j in (i + 1)..25 {
                 let a = Point2::new(

@@ -177,7 +177,11 @@ impl CheckpointReader {
             return Err(err("checkpoint is too short"));
         }
         let (payload, checksum_bytes) = data.split_at(data.len() - 8);
-        let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+        let stored = u64::from_le_bytes(
+            checksum_bytes
+                .try_into()
+                .map_err(|_| err("truncated checksum"))?,
+        );
         if fnv(payload) != stored {
             return Err(err("checksum mismatch (corrupted checkpoint)"));
         }
@@ -326,23 +330,20 @@ impl<'a> ByteReader<'a> {
 
     /// Read a little-endian `u16`.
     pub fn u16(&mut self, what: &str) -> Result<u16> {
-        Ok(u16::from_le_bytes(
-            self.take(2, what)?.try_into().expect("2 bytes"),
-        ))
+        let bytes = self.take(2, what)?;
+        Ok(u16::from_le_bytes(bytes.try_into().map_err(|_| err(what))?))
     }
 
     /// Read a little-endian `u32`.
     pub fn u32(&mut self, what: &str) -> Result<u32> {
-        Ok(u32::from_le_bytes(
-            self.take(4, what)?.try_into().expect("4 bytes"),
-        ))
+        let bytes = self.take(4, what)?;
+        Ok(u32::from_le_bytes(bytes.try_into().map_err(|_| err(what))?))
     }
 
     /// Read a little-endian `u64`.
     pub fn u64(&mut self, what: &str) -> Result<u64> {
-        Ok(u64::from_le_bytes(
-            self.take(8, what)?.try_into().expect("8 bytes"),
-        ))
+        let bytes = self.take(8, what)?;
+        Ok(u64::from_le_bytes(bytes.try_into().map_err(|_| err(what))?))
     }
 
     /// Read an `f64` from its bit pattern.
@@ -473,7 +474,7 @@ mod tests {
         // A valid table snapshot is not a checkpoint.
         let schema = crate::schema::paper_schema().into_shared();
         let table = crate::table::EnvTable::new(schema);
-        let snap = crate::snapshot::snapshot(&table);
+        let snap = crate::snapshot::snapshot(&table).unwrap();
         assert!(matches!(
             CheckpointReader::parse(&snap),
             Err(EnvError::Checkpoint(_))

@@ -73,7 +73,7 @@ pub trait TupleBuilderExt<'a>: Sized {
 
 impl<'a> TupleBuilderExt<'a> for TupleBuilder<'a> {
     fn unwrap_key(self, name: &str, value: impl Into<Value>) -> Self {
-        self.set(name, value).expect("attribute exists")
+        self.set(name, value).expect("attribute exists") // PANIC-AUDIT: documented panicking doc-example helper
     }
 }
 

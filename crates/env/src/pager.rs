@@ -151,79 +151,85 @@ impl PageData {
 
     /// Decode a page previously produced by [`PageData::encode`].
     pub fn decode(bytes: &[u8]) -> Result<PageData> {
-        let err = |msg: &str| EnvError::Pager(format!("spill page decode failed: {msg}"));
         let mut cur = bytes;
-        let take = |cur: &mut &[u8], n: usize| -> Result<Vec<u8>> {
-            if cur.len() < n {
-                return Err(err("truncated page"));
-            }
-            let (head, tail) = cur.split_at(n);
-            *cur = tail;
-            Ok(head.to_vec())
-        };
-        let tag = *cur.first().ok_or_else(|| err("empty page"))?;
+        let tag = *cur.first().ok_or_else(|| decode_err("empty page"))?;
         cur = &cur[1..];
-        let len_bytes = take(&mut cur, 4)?;
-        let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes(take_arr(&mut cur)?) as usize;
         if len > PAGE_ROWS {
-            return Err(err("page row count exceeds PAGE_ROWS"));
+            return Err(decode_err("page row count exceeds PAGE_ROWS"));
         }
         let page = match tag {
             1 => {
                 let mut v = Vec::with_capacity(len);
                 for _ in 0..len {
-                    let b = take(&mut cur, 8)?;
-                    v.push(f64::from_le_bytes(b.try_into().expect("8 bytes")));
+                    v.push(f64::from_le_bytes(take_arr(&mut cur)?));
                 }
                 PageData::F64(v)
             }
             2 => {
                 let mut v = Vec::with_capacity(len);
                 for _ in 0..len {
-                    let b = take(&mut cur, 8)?;
-                    v.push(i64::from_le_bytes(b.try_into().expect("8 bytes")));
+                    v.push(i64::from_le_bytes(take_arr(&mut cur)?));
                 }
                 PageData::I64(v)
             }
             3 => {
                 let b = take(&mut cur, len)?;
-                PageData::Bool(b.into_iter().map(|x| x != 0).collect())
+                PageData::Bool(b.iter().map(|x| *x != 0).collect())
             }
             4 => {
                 let mut v = Vec::with_capacity(len);
                 for _ in 0..len {
-                    let vtag = take(&mut cur, 1)?[0];
+                    let [vtag] = take_arr(&mut cur)?;
                     v.push(match vtag {
-                        1 => Value::Int(i64::from_le_bytes(
-                            take(&mut cur, 8)?.try_into().expect("8 bytes"),
-                        )),
-                        2 => Value::Float(f64::from_le_bytes(
-                            take(&mut cur, 8)?.try_into().expect("8 bytes"),
-                        )),
-                        3 => Value::Bool(take(&mut cur, 1)?[0] != 0),
+                        1 => Value::Int(i64::from_le_bytes(take_arr(&mut cur)?)),
+                        2 => Value::Float(f64::from_le_bytes(take_arr(&mut cur)?)),
+                        3 => Value::Bool(take_arr::<1>(&mut cur)?[0] != 0),
                         4 => {
-                            let slen =
-                                u32::from_le_bytes(take(&mut cur, 4)?.try_into().expect("4 bytes"))
-                                    as usize;
+                            let slen = u32::from_le_bytes(take_arr(&mut cur)?) as usize;
                             let sbytes = take(&mut cur, slen)?;
                             Value::Str(
-                                String::from_utf8(sbytes)
-                                    .map_err(|_| err("invalid UTF-8 in string value"))?
+                                std::str::from_utf8(sbytes)
+                                    .map_err(|_| decode_err("invalid UTF-8 in string value"))?
                                     .into(),
                             )
                         }
-                        other => return Err(err(&format!("unknown value tag {other}"))),
+                        other => return Err(decode_err(&format!("unknown value tag {other}"))),
                     });
                 }
                 PageData::Mixed(v)
             }
-            other => return Err(err(&format!("unknown page tag {other}"))),
+            other => return Err(decode_err(&format!("unknown page tag {other}"))),
         };
         if !cur.is_empty() {
-            return Err(err("trailing bytes after page payload"));
+            return Err(decode_err("trailing bytes after page payload"));
         }
         Ok(page)
     }
+}
+
+fn decode_err(msg: &str) -> EnvError {
+    EnvError::Pager(format!("spill page decode failed: {msg}"))
+}
+
+/// Consume `n` bytes from the cursor, or fail with a typed decode error —
+/// the spill file is external input to the tick's fault-in path, so a short
+/// record must never panic.
+fn take<'a>(cur: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+    if cur.len() < n {
+        return Err(decode_err("truncated page"));
+    }
+    let (head, tail) = cur.split_at(n);
+    *cur = tail;
+    Ok(head)
+}
+
+/// [`take`] into a fixed-size array (the `from_le_bytes` shape), with the
+/// length mismatch mapped to the same typed error instead of an `expect`.
+fn take_arr<const N: usize>(cur: &mut &[u8]) -> Result<[u8; N]> {
+    take(cur, N)?
+        .try_into()
+        .map_err(|_| decode_err("truncated page"))
 }
 
 /// Counters describing what a [`PageManager`] has done so far.
@@ -271,6 +277,25 @@ pub trait PageManager: Send + Sync + std::fmt::Debug {
     fn label(&self) -> &'static str;
 }
 
+/// Lock a pager mutex on a fallible path, mapping a poisoned lock (another
+/// thread panicked mid-operation) to a typed error instead of propagating
+/// the panic into the tick's IO path.
+fn lock_pager<'a, T>(mutex: &'a Mutex<T>, what: &str) -> Result<std::sync::MutexGuard<'a, T>> {
+    mutex
+        .lock()
+        .map_err(|_| EnvError::Pager(format!("{what} lock poisoned")))
+}
+
+/// Lock a pager mutex on an infallible path (`free`, `stats`).  A poisoned
+/// lock degrades to the inner state: freeing a slot and reading counters
+/// stay well-defined on whatever the panicking thread left behind, and a
+/// leaked slot is strictly better than a second panic during cleanup.
+fn lock_pager_tolerant<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// In-memory page manager.  Without a budget it never evicts; with one it
 /// stores evicted pages in a heap map, exercising the same protocol as the
 /// spill-file manager without filesystem traffic.
@@ -306,33 +331,25 @@ impl PageManager for RamPageManager {
 
     fn spill(&self, page: &PageData) -> Result<u64> {
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
-        self.store
-            .lock()
-            .expect("ram pager lock poisoned")
-            .insert(token, page.clone());
+        lock_pager(&self.store, "ram pager")?.insert(token, page.clone());
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(token)
     }
 
     fn load(&self, token: u64) -> Result<PageData> {
         self.reads.fetch_add(1, Ordering::Relaxed);
-        self.store
-            .lock()
-            .expect("ram pager lock poisoned")
+        lock_pager(&self.store, "ram pager")?
             .get(&token)
             .cloned()
             .ok_or_else(|| EnvError::Pager(format!("unknown page token {token}")))
     }
 
     fn free(&self, token: u64) {
-        self.store
-            .lock()
-            .expect("ram pager lock poisoned")
-            .remove(&token);
+        lock_pager_tolerant(&self.store).remove(&token);
     }
 
     fn stats(&self) -> PagerStats {
-        let store = self.store.lock().expect("ram pager lock poisoned");
+        let store = lock_pager_tolerant(&self.store);
         PagerStats {
             spill_writes: self.writes.load(Ordering::Relaxed),
             spill_reads: self.reads.load(Ordering::Relaxed),
@@ -437,7 +454,7 @@ impl PageManager for SpillPageManager {
         record.extend_from_slice(&fnv64(&payload).to_le_bytes());
         record.extend_from_slice(&payload);
 
-        let mut guard = self.file.lock().expect("spill file lock poisoned");
+        let mut guard = lock_pager(&self.file, "spill file")?;
         let (file, state) = &mut *guard;
         let need = record.len() as u32;
         // Best-fit reuse of freed slots (smallest capacity that holds the
@@ -478,7 +495,7 @@ impl PageManager for SpillPageManager {
 
     fn load(&self, token: u64) -> Result<PageData> {
         use std::io::{Read, Seek, SeekFrom};
-        let mut guard = self.file.lock().expect("spill file lock poisoned");
+        let mut guard = lock_pager(&self.file, "spill file")?;
         let (file, state) = &mut *guard;
         let slot = state
             .slots
@@ -488,11 +505,12 @@ impl PageManager for SpillPageManager {
         file.seek(SeekFrom::Start(slot.offset))
             .and_then(|_| file.read_exact(&mut record))
             .map_err(|e| EnvError::Pager(format!("spill read failed: {e}")))?;
-        let len = u32::from_le_bytes(record[0..4].try_into().expect("4 bytes")) as usize;
+        let mut header = record.as_slice();
+        let len = u32::from_le_bytes(take_arr(&mut header)?) as usize;
         if RECORD_HEADER + len != record.len() {
             return Err(EnvError::Pager("spill record length mismatch".into()));
         }
-        let checksum = u64::from_le_bytes(record[4..12].try_into().expect("8 bytes"));
+        let checksum = u64::from_le_bytes(take_arr(&mut header)?);
         let payload = &record[RECORD_HEADER..];
         if fnv64(payload) != checksum {
             return Err(EnvError::Pager(
@@ -504,7 +522,7 @@ impl PageManager for SpillPageManager {
     }
 
     fn free(&self, token: u64) {
-        let mut guard = self.file.lock().expect("spill file lock poisoned");
+        let mut guard = lock_pager_tolerant(&self.file);
         let (_, state) = &mut *guard;
         if let Some(slot) = state.slots.remove(&token) {
             state.free.push(slot);
@@ -512,7 +530,7 @@ impl PageManager for SpillPageManager {
     }
 
     fn stats(&self) -> PagerStats {
-        let guard = self.file.lock().expect("spill file lock poisoned");
+        let guard = lock_pager_tolerant(&self.file);
         let (_, state) = &*guard;
         PagerStats {
             spill_writes: self.writes.load(Ordering::Relaxed),
@@ -527,14 +545,38 @@ impl PageManager for SpillPageManager {
     }
 }
 
+/// Parse a `SGL_PAGE_BUDGET`-style value (`off`, or a positive resident
+/// page count) into a typed result.  Malformed input — including `0`, which
+/// would silently mean "no budget" while looking like "a tiny budget" — is
+/// an [`EnvError::Pager`], never a panic: the value usually arrives from
+/// the process environment, which the library does not control.
+pub fn parse_page_budget(raw: &str) -> Result<Option<usize>> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" | "off" | "none" => Ok(None),
+        n => match n.parse::<usize>() {
+            Ok(pages) if pages > 0 => Ok(Some(pages)),
+            _ => Err(EnvError::Pager(format!(
+                "SGL_PAGE_BUDGET must be a positive page count (or `off`), got `{raw}`"
+            ))),
+        },
+    }
+}
+
 /// Resolve the page budget configured through the `SGL_PAGE_BUDGET`
-/// environment variable (number of resident pages per table).  Unset, empty
-/// or unparsable values mean "no budget".
+/// environment variable (number of resident pages per table).  Unset or
+/// explicitly-off values mean "no budget"; a malformed value warns and
+/// falls back to no budget — CI sets the variable to prove paging is
+/// behaviour-neutral, but a typo in a user environment must not abort the
+/// process.  Use [`parse_page_budget`] directly for the typed error.
 pub fn env_page_budget() -> Option<usize> {
-    std::env::var("SGL_PAGE_BUDGET")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
+    let raw = std::env::var("SGL_PAGE_BUDGET").ok()?;
+    match parse_page_budget(&raw) {
+        Ok(budget) => budget,
+        Err(e) => {
+            eprintln!("warning: {e}; running without a page budget");
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -670,18 +712,50 @@ mod tests {
     #[test]
     fn env_budget_parses_strictly() {
         // Not touching the real environment variable here (tests run in
-        // parallel); just exercise the parse contract through a local copy
-        // of the logic on representative inputs.
+        // parallel); exercise the typed parse contract directly.
         for (raw, expect) in [
             ("8", Some(8usize)),
             (" 16 ", Some(16)),
-            ("0", None),
-            ("-3", None),
-            ("lots", None),
+            ("off", None),
+            ("OFF", None),
+            ("none", None),
             ("", None),
         ] {
-            let got = raw.trim().parse::<usize>().ok().filter(|&n| n > 0);
-            assert_eq!(got, expect, "{raw:?}");
+            assert_eq!(parse_page_budget(raw).unwrap(), expect, "{raw:?}");
         }
+        // Malformed forms are typed errors, not panics and not a silent
+        // RAM fallback: `0` would read as "tiny budget" while acting as
+        // "no budget", and `abc` is a typo.
+        for raw in ["abc", "0", "-3", "1.5", "8 pages"] {
+            let err = parse_page_budget(raw).unwrap_err();
+            assert!(matches!(err, EnvError::Pager(_)), "{raw:?}: {err}");
+            assert!(err.to_string().contains("SGL_PAGE_BUDGET"), "{raw:?}");
+        }
+    }
+
+    /// A poisoned pager lock surfaces as a typed error on the fallible
+    /// paths and degrades gracefully on `free`/`stats` — never a second
+    /// panic out of the tick's IO path.
+    #[test]
+    fn poisoned_locks_degrade_without_panicking() {
+        use std::sync::Arc;
+        let pager = Arc::new(RamPageManager::with_budget(2));
+        let token = pager.spill(&PageData::I64(vec![1, 2, 3])).unwrap();
+        let poisoner = Arc::clone(&pager);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.store.lock().unwrap();
+            panic!("poison the pager lock");
+        })
+        .join();
+        let err = pager.load(token).unwrap_err();
+        assert!(matches!(err, EnvError::Pager(_)), "{err}");
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        assert!(matches!(
+            pager.spill(&PageData::Bool(vec![true])),
+            Err(EnvError::Pager(_))
+        ));
+        // Infallible paths keep working on the inner state.
+        pager.free(token);
+        assert_eq!(pager.stats().spilled_pages, 0);
     }
 }

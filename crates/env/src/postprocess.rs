@@ -296,7 +296,7 @@ impl PostProcessor {
                     .compare(&threshold)
                     .map(|o| o != std::cmp::Ordering::Greater)
                     .unwrap_or(false)
-            });
+            })?;
         }
         table.reset_effects();
         Ok(stats)

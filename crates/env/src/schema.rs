@@ -224,7 +224,7 @@ pub fn paper_schema() -> Schema {
         .sum_attr("movevect_y", 0.0f64)
         .sum_attr("damage", 0i64)
         .max_attr("inaura", 0i64);
-    b.build().expect("paper schema is valid")
+    b.build().expect("paper schema is valid") // PANIC-AUDIT: static schema, pinned by unit test
 }
 
 #[cfg(test)]

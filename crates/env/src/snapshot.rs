@@ -82,42 +82,44 @@ fn value_tag(value: &Value) -> u8 {
 /// Content-driven column tag: typed when every value of the column shares
 /// one variant, mixed otherwise.  An empty column falls back to the
 /// schema default's variant so the choice stays deterministic.
-fn column_tag(table: &EnvTable, attr: usize) -> u8 {
+fn column_tag(table: &EnvTable, attr: usize) -> Result<u8> {
     let mut tag: Option<u8> = None;
     let mut mixed = false;
-    table
-        .for_each_column_page(attr, |page| {
-            let mut merge = |t: u8| match tag {
-                None => tag = Some(t),
-                Some(seen) if seen != t => mixed = true,
-                Some(_) => {}
-            };
-            match page {
-                PageData::F64(_) => merge(TAG_FLOAT),
-                PageData::I64(_) => merge(TAG_INT),
-                PageData::Bool(_) => merge(TAG_BOOL),
-                PageData::Mixed(values) => {
-                    for v in values {
-                        merge(value_tag(v));
-                    }
+    table.for_each_column_page(attr, |page| {
+        let mut merge = |t: u8| match tag {
+            None => tag = Some(t),
+            Some(seen) if seen != t => mixed = true,
+            Some(_) => {}
+        };
+        match page {
+            PageData::F64(_) => merge(TAG_FLOAT),
+            PageData::I64(_) => merge(TAG_INT),
+            PageData::Bool(_) => merge(TAG_BOOL),
+            PageData::Mixed(values) => {
+                for v in values {
+                    merge(value_tag(v));
                 }
             }
-        })
-        .expect("page manager I/O failed");
+        }
+    })?;
     if mixed {
-        return COL_MIXED;
+        return Ok(COL_MIXED);
     }
-    tag.unwrap_or_else(|| {
+    Ok(tag.unwrap_or_else(|| {
         if table.is_empty() {
             value_tag(&table.schema().attr(attr).default)
         } else {
             COL_MIXED
         }
-    })
+    }))
 }
 
 /// Serialize a table into a self-describing columnar (v2) snapshot.
-pub fn snapshot(table: &EnvTable) -> Bytes {
+/// Fails only when a spilled page cannot be read back ([`EnvError::Pager`])
+/// or a column's pages contradict its just-computed tag
+/// ([`EnvError::Snapshot`] — an internal invariant, but a typed error beats
+/// aborting a host that merely asked for a checkpoint).
+pub fn snapshot(table: &EnvTable) -> Result<Bytes> {
     let schema = table.schema();
     let mut buf = BytesMut::with_capacity(64 + table.len() * schema.len() * 9);
     buf.put_u32_le(MAGIC);
@@ -126,19 +128,33 @@ pub fn snapshot(table: &EnvTable) -> Bytes {
     buf.put_u32_le(schema.len() as u32);
     buf.put_u64_le(table.len() as u64);
     for attr in 0..schema.len() {
-        let tag = column_tag(table, attr);
+        let tag = column_tag(table, attr)?;
         buf.put_u8(tag);
-        table
-            .for_each_column_page(attr, |page| put_column_page(&mut buf, tag, page))
-            .expect("page manager I/O failed");
+        // The per-page closure is infallible by signature; collect the
+        // first tag/content mismatch and surface it after the traversal.
+        let mut mismatch: Option<&'static str> = None;
+        table.for_each_column_page(attr, |page| {
+            if mismatch.is_none() {
+                if let Err(msg) = put_column_page(&mut buf, tag, page) {
+                    mismatch = Some(msg);
+                }
+            }
+        })?;
+        if let Some(msg) = mismatch {
+            return Err(EnvError::Snapshot(format!("column {attr}: {msg}")));
+        }
     }
     // Trailing checksum over everything written so far.
     let checksum = fnv(&buf);
     buf.put_u64_le(checksum);
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
-fn put_column_page(buf: &mut BytesMut, tag: u8, page: &PageData) {
+fn put_column_page(
+    buf: &mut BytesMut,
+    tag: u8,
+    page: &PageData,
+) -> std::result::Result<(), &'static str> {
     match (tag, page) {
         (COL_I64, PageData::I64(v)) => {
             for x in v {
@@ -162,7 +178,7 @@ fn put_column_page(buf: &mut BytesMut, tag: u8, page: &PageData) {
             for val in v {
                 match val {
                     Value::Int(x) => buf.put_i64_le(*x),
-                    _ => unreachable!("column tagged i64 holds a non-int value"),
+                    _ => return Err("column tagged i64 holds a non-int value"),
                 }
             }
         }
@@ -170,7 +186,7 @@ fn put_column_page(buf: &mut BytesMut, tag: u8, page: &PageData) {
             for val in v {
                 match val {
                     Value::Float(x) => buf.put_f64_le(*x),
-                    _ => unreachable!("column tagged f64 holds a non-float value"),
+                    _ => return Err("column tagged f64 holds a non-float value"),
                 }
             }
         }
@@ -178,7 +194,7 @@ fn put_column_page(buf: &mut BytesMut, tag: u8, page: &PageData) {
             for val in v {
                 match val {
                     Value::Bool(x) => buf.put_u8(*x as u8),
-                    _ => unreachable!("column tagged bool holds a non-bool value"),
+                    _ => return Err("column tagged bool holds a non-bool value"),
                 }
             }
         }
@@ -187,8 +203,9 @@ fn put_column_page(buf: &mut BytesMut, tag: u8, page: &PageData) {
                 put_value(buf, &page.value(off));
             }
         }
-        _ => unreachable!("column tag contradicts page contents"),
+        _ => return Err("column tag contradicts page contents"),
     }
+    Ok(())
 }
 
 /// Serialize a table in the legacy row-major v1 format.  Kept so the
@@ -220,7 +237,11 @@ pub fn restore(data: &[u8], schema: &std::sync::Arc<Schema>) -> Result<EnvTable>
         return Err(EnvError::Snapshot("snapshot is too short".into()));
     }
     let (payload, checksum_bytes) = data.split_at(data.len() - 8);
-    let stored_checksum = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+    let stored_checksum = u64::from_le_bytes(
+        checksum_bytes
+            .try_into()
+            .map_err(|_| EnvError::Snapshot("truncated checksum".into()))?,
+    );
     if fnv(payload) != stored_checksum {
         return Err(EnvError::Snapshot(
             "checksum mismatch (corrupted snapshot)".into(),
@@ -447,7 +468,7 @@ mod tests {
     #[test]
     fn round_trip_preserves_every_value() {
         let table = sample_table(50);
-        let bytes = snapshot(&table);
+        let bytes = snapshot(&table).unwrap();
         let restored = restore(&bytes, table.schema()).unwrap();
         assert_tables_equal(&table, &restored);
     }
@@ -455,15 +476,15 @@ mod tests {
     #[test]
     fn snapshots_are_deterministic() {
         let table = sample_table(20);
-        assert_eq!(snapshot(&table), snapshot(&table));
+        assert_eq!(snapshot(&table).unwrap(), snapshot(&table).unwrap());
     }
 
     #[test]
     fn restored_tables_resnapshot_byte_identically() {
         let table = sample_table(33);
-        let bytes = snapshot(&table);
+        let bytes = snapshot(&table).unwrap();
         let restored = restore(&bytes, table.schema()).unwrap();
-        assert_eq!(snapshot(&restored), bytes);
+        assert_eq!(snapshot(&restored).unwrap(), bytes);
     }
 
     #[test]
@@ -474,7 +495,7 @@ mod tests {
         let restored = restore(&v1, table.schema()).unwrap();
         assert_tables_equal(&table, &restored);
         // And a v1 restore re-snapshots into the v2 format losslessly.
-        let v2 = snapshot(&restored);
+        let v2 = snapshot(&restored).unwrap();
         assert_eq!(v2[4], 2, "current writer stamps version 2");
         assert_tables_equal(&table, &restore(&v2, table.schema()).unwrap());
     }
@@ -494,18 +515,18 @@ mod tests {
                 .build();
             table.insert(t).unwrap();
         }
-        table.set_attr(3, hp, Value::Float(7.5));
-        let restored = restore(&snapshot(&table), &schema).unwrap();
+        table.set_attr(3, hp, Value::Float(7.5)).unwrap();
+        let restored = restore(&snapshot(&table).unwrap(), &schema).unwrap();
         assert_eq!(restored.row(3).get(hp), Value::Float(7.5));
         assert_eq!(restored.row(2).get(hp), Value::Int(12));
-        assert_eq!(snapshot(&restored), snapshot(&table));
+        assert_eq!(snapshot(&restored).unwrap(), snapshot(&table).unwrap());
     }
 
     #[test]
     fn empty_tables_round_trip() {
         let schema = paper_schema().into_shared();
         let table = EnvTable::new(Arc::clone(&schema));
-        let bytes = snapshot(&table);
+        let bytes = snapshot(&table).unwrap();
         let restored = restore(&bytes, &schema).unwrap();
         assert!(restored.is_empty());
     }
@@ -528,7 +549,7 @@ mod tests {
             .unwrap()
             .build();
         table.insert(t).unwrap();
-        let restored = restore(&snapshot(&table), &schema).unwrap();
+        let restored = restore(&snapshot(&table).unwrap(), &schema).unwrap();
         let name = schema.attr_id("name").unwrap();
         let alive = schema.attr_id("alive").unwrap();
         let name_value = restored.row(0).get(name);
@@ -539,7 +560,7 @@ mod tests {
     #[test]
     fn corruption_is_detected() {
         let table = sample_table(10);
-        let bytes = snapshot(&table);
+        let bytes = snapshot(&table).unwrap();
         // Flip one byte in the middle of the payload.
         let mut corrupted = bytes.to_vec();
         let mid = corrupted.len() / 2;
@@ -552,7 +573,7 @@ mod tests {
     #[test]
     fn truncated_snapshots_are_rejected() {
         let table = sample_table(10);
-        let bytes = snapshot(&table);
+        let bytes = snapshot(&table).unwrap();
         for cut in [0usize, 5, 20, bytes.len() - 1] {
             let err = restore(&bytes[..cut], table.schema());
             assert!(err.is_err(), "truncation at {cut} bytes should fail");
@@ -562,7 +583,7 @@ mod tests {
     #[test]
     fn wrong_schema_is_rejected() {
         let table = sample_table(5);
-        let bytes = snapshot(&table);
+        let bytes = snapshot(&table).unwrap();
         let mut b = Schema::builder();
         b.key("key")
             .const_attr("posx", 0.0)
@@ -592,7 +613,7 @@ mod tests {
         // Corrupt the row-count field to u64::MAX and recompute the trailing
         // checksum, so the bounds guard (not the checksum) must reject it.
         let table = sample_table(4);
-        let bytes = snapshot(&table);
+        let bytes = snapshot(&table).unwrap();
         let mut forged = bytes[..bytes.len() - 8].to_vec();
         let rows_at = 4 + 2 + 8 + 4;
         forged[rows_at..rows_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
@@ -608,7 +629,7 @@ mod tests {
         // Write two rows with the same key and recompute the checksum: the
         // column decoder must reject it exactly like row-wise insert did.
         let table = sample_table(2);
-        let bytes = snapshot(&table);
+        let bytes = snapshot(&table).unwrap();
         let mut forged = bytes[..bytes.len() - 8].to_vec();
         // Key column is attribute 0 and all-int, so its payload starts one
         // tag byte after the header.

@@ -181,9 +181,17 @@ impl EnvTable {
     /// resident in a [`RamPageManager`].
     pub fn new(schema: Arc<Schema>) -> EnvTable {
         let pager: Arc<dyn PageManager> = match env_page_budget() {
-            Some(budget) => Arc::new(
-                SpillPageManager::new(budget).expect("cannot create SGL_PAGE_BUDGET spill file"),
-            ),
+            Some(budget) => match SpillPageManager::new(budget) {
+                Ok(spill) => Arc::new(spill),
+                // No spill file (read-only temp dir, exhausted fds): keep
+                // the budget but evict to RAM — same protocol, no disk.
+                // Documented degradation, not a panic: the budget is a
+                // memory-shape knob, never a correctness one.
+                Err(e) => {
+                    eprintln!("warning: {e}; keeping evicted pages in RAM");
+                    Arc::new(RamPageManager::with_budget(budget))
+                }
+            },
             None => Arc::new(RamPageManager::new()),
         };
         EnvTable::with_pager(schema, pager)
@@ -228,12 +236,16 @@ impl EnvTable {
     /// The value of `attr` for the row at `idx`.
     ///
     /// Panics if the backing page cannot be read (a corrupted spill file is
-    /// unrecoverable — it is detected by checksum and reported here).
+    /// unrecoverable — it is detected by checksum and reported here).  On
+    /// the tick path this read is infallible by construction: the engine
+    /// pins the whole working set with [`EnvTable::ensure_resident`] (which
+    /// *does* surface IO failures as typed errors) before any phase reads,
+    /// so resident-page access is plain vector indexing.
     pub fn value_at(&self, idx: usize, attr: AttrId) -> Value {
         assert!(idx < self.len, "row {idx} out of bounds (len {})", self.len);
         self.columns[attr]
             .value(idx, &*self.pager)
-            .expect("page manager I/O failed")
+            .expect("page manager I/O failed") // PANIC-AUDIT: infallible `Value` API; tick reads are resident (see above)
     }
 
     /// Insert a unit, checking arity. Keys are expected to be unique; a
@@ -269,12 +281,11 @@ impl EnvTable {
 
     /// Overwrite one attribute of one row (the replacement for the old
     /// `row_mut().set()` pattern).  Callers must not change keys through
-    /// this without rebuilding the key index.
-    pub fn set_attr(&mut self, idx: usize, attr: AttrId, value: Value) {
+    /// this without rebuilding the key index.  Fails only when a spilled
+    /// page cannot be faulted back in for the write.
+    pub fn set_attr(&mut self, idx: usize, attr: AttrId, value: Value) -> Result<()> {
         assert!(idx < self.len, "row {idx} out of bounds (len {})", self.len);
-        self.columns[attr]
-            .set(idx, value, &*self.pager, &mut self.counters)
-            .expect("page manager I/O failed");
+        self.columns[attr].set(idx, value, &*self.pager, &mut self.counters)
     }
 
     /// Replace a whole column (bulk write-back path for postprocess rules).
@@ -305,7 +316,7 @@ impl EnvTable {
     pub fn key_of(&self, idx: usize) -> i64 {
         self.value_at(idx, self.schema.key_attr())
             .as_i64()
-            .expect("key attribute must be integer valued")
+            .expect("key attribute must be integer valued") // PANIC-AUDIT: schema invariant (keys are Int by construction)
     }
 
     fn ensure_key_index(&mut self) {
@@ -359,18 +370,18 @@ impl EnvTable {
         }
     }
 
-    /// Remove all rows matching the predicate. Returns the number removed.
-    pub fn remove_where<F: FnMut(RowRef<'_>) -> bool>(&mut self, mut pred: F) -> usize {
+    /// Remove all rows matching the predicate. Returns the number removed,
+    /// or a typed error when a spilled page cannot be read back for the
+    /// compaction pass.
+    pub fn remove_where<F: FnMut(RowRef<'_>) -> bool>(&mut self, mut pred: F) -> Result<usize> {
         let keep: Vec<bool> = (0..self.len).map(|i| !pred(self.row(i))).collect();
         let kept = keep.iter().filter(|&&k| k).count();
         let removed = self.len - kept;
         if removed == 0 {
-            return 0;
+            return Ok(0);
         }
         for attr in 0..self.columns.len() {
-            let values = self.columns[attr]
-                .values(&*self.pager)
-                .expect("page manager I/O failed");
+            let values = self.columns[attr].values(&*self.pager)?;
             let filtered: Vec<Value> = values
                 .into_iter()
                 .zip(&keep)
@@ -381,7 +392,7 @@ impl EnvTable {
         }
         self.len = kept;
         self.key_index_dirty = true;
-        removed
+        Ok(removed)
     }
 
     /// Update a single unit's attribute by key.
@@ -394,8 +405,7 @@ impl EnvTable {
             ));
         }
         let idx = self.find_key(key).ok_or(EnvError::UnknownKey(key))?;
-        self.set_attr(idx, attr, value);
-        Ok(())
+        self.set_attr(idx, attr, value)
     }
 
     /// Build a table directly from per-attribute value columns (the v2
@@ -455,13 +465,15 @@ impl EnvTable {
     }
 
     /// Fault every page in (tick-start pinning: after this, all in-tick
-    /// reads are straight vector indexing).
-    pub fn ensure_resident(&mut self) {
+    /// reads are straight vector indexing).  This is the fallible half of
+    /// the residency protocol: once it returns `Ok`, the in-tick read path
+    /// ([`value_at`](Self::value_at) and friends) cannot fault.
+    pub fn ensure_resident(&mut self) -> Result<()> {
         for col in &mut self.columns {
-            col.ensure_resident(&*self.pager, &mut self.counters)
-                .expect("page manager I/O failed");
+            col.ensure_resident(&*self.pager, &mut self.counters)?;
         }
         self.note_peak();
+        Ok(())
     }
 
     /// Evict least-recently-touched pages until the resident count is back
@@ -469,14 +481,14 @@ impl EnvTable {
     /// deterministic function of the mutation history — `(touch, column,
     /// page)` — but correctness never depends on it: evicted pages read
     /// back bit-identically.  Returns the number of pages evicted.
-    pub fn enforce_page_budget(&mut self) -> usize {
+    pub fn enforce_page_budget(&mut self) -> Result<usize> {
         let Some(budget) = self.pager.page_budget() else {
-            return 0;
+            return Ok(0);
         };
         self.note_peak();
         let resident: usize = self.columns.iter().map(|c| c.resident_pages()).sum();
         if resident <= budget {
-            return 0;
+            return Ok(0);
         }
         let mut candidates: Vec<(u64, usize, usize)> = Vec::with_capacity(resident);
         for (ci, col) in self.columns.iter().enumerate() {
@@ -489,12 +501,10 @@ impl EnvTable {
         candidates.sort_unstable();
         let to_evict = resident - budget;
         for &(_, ci, pi) in candidates.iter().take(to_evict) {
-            self.columns[ci]
-                .evict(pi, &*self.pager)
-                .expect("page manager I/O failed");
+            self.columns[ci].evict(pi, &*self.pager)?;
         }
         self.evictions += to_evict as u64;
-        to_evict
+        Ok(to_evict)
     }
 
     fn note_peak(&mut self) {
@@ -538,7 +548,7 @@ impl Clone for EnvTable {
             .columns
             .iter()
             .map(|col| {
-                let values = col.values(&*self.pager).expect("page manager I/O failed");
+                let values = col.values(&*self.pager).expect("page manager I/O failed"); // PANIC-AUDIT: `Clone` cannot fail; clone sources are resident or spill-readable
                 let mut fresh = Column::new();
                 fresh.set_values(values, &*self.pager, &mut counters);
                 fresh
@@ -639,7 +649,7 @@ mod tests {
     fn remove_where_invalidates_key_index() {
         let (schema, mut t) = sample_table();
         let hp = schema.attr_id("health").unwrap();
-        let removed = t.remove_where(|r| r.get_i64(hp).unwrap() < 10);
+        let removed = t.remove_where(|r| r.get_i64(hp).unwrap() < 10).unwrap();
         assert_eq!(removed, 1);
         assert_eq!(t.len(), 2);
         assert_eq!(t.find_key(3), None);
@@ -662,7 +672,7 @@ mod tests {
     fn find_key_readonly_with_stale_index_scans() {
         let (schema, mut t) = sample_table();
         let hp = schema.attr_id("health").unwrap();
-        t.remove_where(|r| r.get_i64(hp).unwrap() == 20); // key 1 gone, index dirty
+        t.remove_where(|r| r.get_i64(hp).unwrap() == 20).unwrap(); // key 1 gone, index dirty
         assert_eq!(t.find_key_readonly(2), Some(0));
         assert_eq!(t.find_key_readonly(1), None);
     }
@@ -711,7 +721,7 @@ mod tests {
         let unbounded = big_table(&schema, Arc::new(RamPageManager::new()), rows);
         let mut budgeted = big_table(&schema, Arc::new(RamPageManager::with_budget(4)), rows);
 
-        let evicted = budgeted.enforce_page_budget();
+        let evicted = budgeted.enforce_page_budget().unwrap();
         assert!(evicted > 0, "3 pages × 11 columns must exceed budget 4");
         let stats = budgeted.memory_stats();
         assert_eq!(stats.resident_pages, 4);
@@ -729,7 +739,7 @@ mod tests {
         assert_eq!(budgeted.sorted_keys(), unbounded.sorted_keys());
 
         // Pinning faults everything back in.
-        budgeted.ensure_resident();
+        budgeted.ensure_resident().unwrap();
         assert_eq!(budgeted.memory_stats().spilled_pages, 0);
     }
 
@@ -738,12 +748,12 @@ mod tests {
         let schema = paper_schema().into_shared();
         let rows = PAGE_ROWS as i64 + 5;
         let mut t = big_table(&schema, Arc::new(RamPageManager::with_budget(2)), rows);
-        t.enforce_page_budget();
+        t.enforce_page_budget().unwrap();
         let hp = schema.attr_id("health").unwrap();
 
         let mut copy = t.clone();
         assert_eq!(copy.memory_stats().spilled_pages, 0);
-        copy.set_attr(0, hp, Value::Int(-1));
+        copy.set_attr(0, hp, Value::Int(-1)).unwrap();
         assert_eq!(copy.row(0).get_i64(hp).unwrap(), -1);
         assert_eq!(t.row(0).get_i64(hp).unwrap(), 10, "source untouched");
         assert_eq!(
@@ -760,8 +770,8 @@ mod tests {
         let hp = schema.attr_id("health").unwrap();
         // 11 columns × 2 pages = 22 resident pages; touch one page last so
         // it survives the single eviction.
-        t.set_attr(0, hp, Value::Int(99));
-        assert_eq!(t.enforce_page_budget(), 1);
+        t.set_attr(0, hp, Value::Int(99)).unwrap();
+        assert_eq!(t.enforce_page_budget().unwrap(), 1);
         // The health column's page 0 was touched most recently of all the
         // earliest-touched pages; the evicted page must not be it.
         assert_eq!(t.row(0).get_i64(hp).unwrap(), 99);
@@ -801,14 +811,14 @@ mod tests {
         let baseline: Vec<Vec<Value>> = (0..schema.len())
             .map(|a| t.column_values(a).unwrap())
             .collect();
-        assert!(t.enforce_page_budget() > 0);
+        assert!(t.enforce_page_budget().unwrap() > 0);
         let stats = t.memory_stats();
         assert_eq!(stats.pager, "spill");
         assert!(stats.spill_writes > 0);
         for (attr, expected) in baseline.iter().enumerate() {
             assert_eq!(&t.column_values(attr).unwrap(), expected, "attr {attr}");
         }
-        t.ensure_resident();
+        t.ensure_resident().unwrap();
         for (attr, expected) in baseline.iter().enumerate() {
             assert_eq!(&t.column_values(attr).unwrap(), expected, "attr {attr}");
         }

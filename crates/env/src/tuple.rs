@@ -67,7 +67,7 @@ impl Tuple {
     pub fn key(&self, schema: &Schema) -> i64 {
         self.values[schema.key_attr()]
             .as_i64()
-            .expect("key attribute is integer valued")
+            .expect("key attribute is integer valued") // PANIC-AUDIT: schema invariant (keys are Int by construction)
     }
 
     /// All values in attribute order.

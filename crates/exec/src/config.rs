@@ -210,6 +210,13 @@ pub enum PlannerMode {
     /// construction (every alternative returns identical results), so state
     /// digests never depend on the mode.
     CostBased(AdaptiveWindow),
+    /// Force the materialized-answer class on every call site where it is
+    /// legal (divisible and MIN/MAX strategies; nearest sites keep their
+    /// heuristic structures).  A testing/conformance knob: the generated
+    /// worlds are short and calm enough that the cost model would rarely
+    /// choose materialization on its own, and the lattice needs
+    /// deterministic materialized rows to prove behaviour neutrality.
+    ForceMaterialized,
 }
 
 impl PlannerMode {
@@ -221,6 +228,12 @@ impl PlannerMode {
     /// True for [`PlannerMode::CostBased`].
     pub fn is_cost_based(&self) -> bool {
         matches!(self, PlannerMode::CostBased(_))
+    }
+
+    /// True for the modes that install per-call-site physical choices (the
+    /// cost-based planner and the forced-materialized testing mode).
+    pub fn installs_choices(&self) -> bool {
+        !matches!(self, PlannerMode::Heuristic)
     }
 }
 
@@ -402,6 +415,8 @@ pub struct TickStats {
     pub partition_rebuilds: usize,
     /// Aggregate evaluations answered by a cross-tick maintained structure.
     pub maintained_probes: usize,
+    /// Aggregate evaluations served in O(1) from a materialized answer.
+    pub materialized_serves: usize,
     /// Cost-based planner re-costing passes performed this tick (0 or 1).
     pub planner_recosts: usize,
     /// Call sites whose chosen backend/maintenance changed in this tick's
@@ -422,6 +437,7 @@ impl TickStats {
         self.index_delta_ops += other.index_delta_ops;
         self.partition_rebuilds += other.partition_rebuilds;
         self.maintained_probes += other.maintained_probes;
+        self.materialized_serves += other.materialized_serves;
         self.planner_recosts += other.planner_recosts;
         self.plan_switches += other.plan_switches;
     }

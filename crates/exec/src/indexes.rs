@@ -180,6 +180,30 @@ fn fingerprint_term(term: &Term) -> u64 {
     fingerprint_terms(std::slice::from_ref(term))
 }
 
+/// Fingerprint of one unit's subscription shape: the categorical constraint
+/// values plus the exact rectangle bits.  Two probes with the same
+/// fingerprint ask the same question, so a materialized answer keyed by it
+/// can be served verbatim.  (Same collision tradeoff as the partition
+/// fingerprints above.)
+fn subscription_fp(required: &RequiredValues, rect: Option<&Rect>) -> u64 {
+    let mut h = rustc_hash::FxHasher::default();
+    for (equal, v) in required {
+        h.write_u8(*equal as u8);
+        hash_value(&mut h, v);
+    }
+    match rect {
+        None => h.write_u8(0),
+        Some(r) => {
+            h.write_u8(1);
+            h.write_u64(r.x_min.to_bits());
+            h.write_u64(r.x_max.to_bits());
+            h.write_u64(r.y_min.to_bits());
+            h.write_u64(r.y_max.to_bits());
+        }
+    }
+    h.finish()
+}
+
 // ---------------------------------------------------------------------------
 // The persistent manager
 // ---------------------------------------------------------------------------
@@ -198,6 +222,12 @@ pub struct MaintStats {
     /// depends on it because movement mutates positions outside the effect
     /// relation).
     pub effect_hints: usize,
+    /// Materialized answers patched in place from the delta stream.
+    pub mat_patched: usize,
+    /// Materialized answers invalidated (a supporting row left the
+    /// subscription's scope, the subscriber itself changed, or the patch was
+    /// not exact) — the next probe recomputes and re-materializes them.
+    pub mat_invalidated: usize,
 }
 
 impl MaintStats {
@@ -207,6 +237,8 @@ impl MaintStats {
         self.partition_rebuilds += other.partition_rebuilds;
         self.rows_scanned += other.rows_scanned;
         self.effect_hints += other.effect_hints;
+        self.mat_patched += other.mat_patched;
+        self.mat_invalidated += other.mat_invalidated;
     }
 }
 
@@ -221,6 +253,66 @@ struct DynAggState {
     mirror: FxHashMap<i64, (u64, Point2, Vec<f64>)>,
 }
 
+/// How a materialized call site's folded answers can be patched from the
+/// delta stream.  Decided once per site from the aggregate's spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MatPatch {
+    /// Every output is COUNT: any relevant delta adjusts the support count
+    /// and the answer is rebuilt exactly from it.
+    Count,
+    /// Every output is MIN or MAX: relevant inserts fold into the stored
+    /// extremum; removing (or updating) a row whose value equals the
+    /// extremum invalidates, because the remaining support is unknown.
+    MinMax,
+    /// Everything else (float SUM/AVG/STDDEV folds): any relevant delta
+    /// invalidates — patching would replay the fold in a different order
+    /// than a fresh recompute and the answer must stay bit-identical.
+    Replace,
+}
+
+/// One materialized answer: the folded result of a subscription, kept
+/// current by [`sync_mat_state`] until a delta it cannot patch exactly
+/// arrives.
+pub(crate) struct MatEntry {
+    /// The categorical constraint the subscription evaluated to.
+    required: RequiredValues,
+    /// The subscription rectangle (`None` = whole world).
+    rect: Option<Rect>,
+    /// The folded answer, bit-identical to a fresh recompute.
+    pub(crate) answer: ScriptValue,
+    /// COUNT sites: number of supporting rows (exact patches).
+    support: i64,
+    /// MIN/MAX sites: per-output extremum, `None` when the answer serves a
+    /// default (possibly-empty support — not insert-patchable).
+    extrema: Vec<Option<f64>>,
+}
+
+/// A miss-path recompute queued by a shard for materialization.  Shards
+/// probe the manager through a shared borrow, so answers travel back to the
+/// absorb seam by value; absorbing is idempotent (same subscription → same
+/// bits) and entries of distinct subscriptions never collide, so the merge
+/// is order-independent across shard counts.
+pub(crate) struct MatWrite {
+    pub(crate) name: String,
+    pub(crate) key: i64,
+    pub(crate) sub_fp: u64,
+    pub(crate) entry: MatEntry,
+}
+
+/// The materialized state of one aggregate call site: a mirror of the last
+/// indexed row states (the delta source) plus the per-subscriber answers.
+struct MatAggState {
+    cat_attrs: Vec<AttrId>,
+    channels: Vec<Term>,
+    patch: MatPatch,
+    /// MIN/MAX sites: per-output minimize flag.
+    minimize: Vec<bool>,
+    /// unit key → (categorical values, point, channel values) as last seen.
+    mirror: FxHashMap<i64, (Vec<Value>, Point2, Vec<f64>)>,
+    /// subscriber key → answers per subscription fingerprint.
+    entries: FxHashMap<i64, Vec<(u64, MatEntry)>>,
+}
+
 /// The cross-tick owner of aggregate index structures.
 ///
 /// Under `RebuildEachTick` the manager is stateless (structures live only in
@@ -233,6 +325,10 @@ pub struct IndexManager {
     policy: MaintenancePolicy,
     spatial: Option<SpatialAttrs>,
     dynamic: FxHashMap<String, DynAggState>,
+    /// Materialized answer stores, one per call site the planner routed to
+    /// [`PhysicalBackend::Materialized`].  Deliberately absent from
+    /// checkpoints: rebuilt lazily on resume, like the per-tick structures.
+    materialized: FxHashMap<String, MatAggState>,
     synced: bool,
     /// Counters of the most recent maintenance pass.
     pub last_maint: MaintStats,
@@ -248,6 +344,52 @@ pub(crate) fn plan_is_maintained(policy: MaintenancePolicy, plan: &PlannedAggreg
     match &plan.choice {
         Some(choice) => choice.backend == PhysicalBackend::MaintainedGrid,
         None => policy.is_dynamic(),
+    }
+}
+
+/// Whether a planned aggregate is served from a materialized answer store.
+/// Only a cost-based (or forced) choice routes here, and only for the
+/// divisible and MIN/MAX strategies: nearest/argbest answers embed output
+/// terms of the winning row that can change without any delta the mirror
+/// observes, so they are never materialized.
+pub(crate) fn plan_is_materialized(plan: &PlannedAggregate) -> bool {
+    plan.is_indexed()
+        && matches!(
+            &plan.strategy,
+            AggStrategy::DivisibleTree { .. } | AggStrategy::SweepMinMax
+        )
+        && plan
+            .choice
+            .as_ref()
+            .is_some_and(|c| c.backend == PhysicalBackend::Materialized)
+}
+
+/// The patch class of a materialized site (see [`MatPatch`]).
+fn mat_patch_of(plan: &PlannedAggregate) -> MatPatch {
+    match &plan.strategy {
+        AggStrategy::SweepMinMax => MatPatch::MinMax,
+        AggStrategy::DivisibleTree { .. } => {
+            let all_count = match &plan.def.spec {
+                AggSpec::Simple { outputs } => outputs.iter().all(|o| o.func == SimpleAgg::Count),
+                AggSpec::ArgBest { .. } => false,
+            };
+            if all_count {
+                MatPatch::Count
+            } else {
+                MatPatch::Replace
+            }
+        }
+        _ => MatPatch::Replace,
+    }
+}
+
+/// Per-output minimize flags of a MIN/MAX site (empty otherwise).
+fn mat_minimize_of(plan: &PlannedAggregate) -> Vec<bool> {
+    match (&plan.strategy, &plan.def.spec) {
+        (AggStrategy::SweepMinMax, AggSpec::Simple { outputs }) => {
+            outputs.iter().map(|o| o.func == SimpleAgg::Min).collect()
+        }
+        _ => Vec::new(),
     }
 }
 
@@ -275,6 +417,7 @@ impl IndexManager {
             policy: config.policy,
             spatial: config.spatial,
             dynamic: FxHashMap::default(),
+            materialized: FxHashMap::default(),
             synced: false,
             last_maint: MaintStats::default(),
         }
@@ -290,10 +433,24 @@ impl IndexManager {
         self.dynamic.len()
     }
 
+    /// Number of call sites with a materialized answer store.
+    pub fn materialized_sites(&self) -> usize {
+        self.materialized.len()
+    }
+
+    /// Number of live materialized answers across all sites.
+    pub fn materialized_entries(&self) -> usize {
+        self.materialized
+            .values()
+            .map(|s| s.entries.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
     /// Drop all maintained state (e.g. after out-of-band environment edits);
     /// the next tick rebuilds from scratch.
     pub fn invalidate(&mut self) {
         self.dynamic.clear();
+        self.materialized.clear();
         self.synced = false;
     }
 
@@ -311,6 +468,16 @@ impl IndexManager {
     /// installed).
     pub fn plan_is_maintained(&self, plan: &PlannedAggregate) -> bool {
         plan_is_maintained(self.policy, plan)
+    }
+
+    /// Whether this plan is served by a materialized per-site answer store
+    /// (a cost-based or forced [`PhysicalBackend::Materialized`] choice on a
+    /// strategy whose answers can be patched from deltas).  Materialized
+    /// sites need the end-of-tick maintenance pass even when no grid is
+    /// maintained: that pass is where the tick's deltas patch the stored
+    /// answers.
+    pub fn plan_is_materialized(&self, plan: &PlannedAggregate) -> bool {
+        plan_is_materialized(plan)
     }
 
     /// Rows-per-area density measured by the live maintained grids (their
@@ -345,8 +512,11 @@ impl IndexManager {
         constants: &FxHashMap<String, Value>,
     ) -> Result<MaintStats> {
         let policy = self.policy;
-        if !planned.values().any(|p| plan_is_maintained(policy, p)) {
+        let any_grid = planned.values().any(|p| plan_is_maintained(policy, p));
+        let any_mat = planned.values().any(|p| plan_is_materialized(p));
+        if !any_grid && !any_mat {
             self.dynamic.clear();
+            self.materialized.clear();
             self.synced = true;
             return Ok(MaintStats::default());
         }
@@ -361,23 +531,42 @@ impl IndexManager {
                 .get(name)
                 .is_some_and(|p| plan_is_maintained(policy, p))
         });
+        self.materialized
+            .retain(|name, _| planned.get(name).is_some_and(|p| plan_is_materialized(p)));
         for (name, plan) in planned {
-            if !plan_is_maintained(policy, plan) {
-                continue;
+            if plan_is_maintained(policy, plan) {
+                let state = self
+                    .dynamic
+                    .entry(name.clone())
+                    .or_insert_with(|| DynAggState {
+                        cat_attrs: Vec::new(),
+                        channels: plan.channel_terms(),
+                        grids: FxHashMap::default(),
+                        partition_values: FxHashMap::default(),
+                        mirror: FxHashMap::default(),
+                    });
+                state.cat_attrs = resolve_cat_attrs(&plan.analysis, table)?;
+                let ratio = effective_rebuild_ratio(policy, plan);
+                sync_state(state, table, spatial, constants, ratio, &mut stats)?;
             }
-            let state = self
-                .dynamic
-                .entry(name.clone())
-                .or_insert_with(|| DynAggState {
-                    cat_attrs: Vec::new(),
-                    channels: plan.channel_terms(),
-                    grids: FxHashMap::default(),
-                    partition_values: FxHashMap::default(),
-                    mirror: FxHashMap::default(),
-                });
-            state.cat_attrs = resolve_cat_attrs(&plan.analysis, table)?;
-            let ratio = effective_rebuild_ratio(policy, plan);
-            sync_state(state, table, spatial, constants, ratio, &mut stats)?;
+            if plan_is_materialized(plan) {
+                let state = self
+                    .materialized
+                    .entry(name.clone())
+                    .or_insert_with(|| MatAggState {
+                        cat_attrs: Vec::new(),
+                        channels: plan.channel_terms(),
+                        patch: MatPatch::Replace,
+                        minimize: Vec::new(),
+                        mirror: FxHashMap::default(),
+                        entries: FxHashMap::default(),
+                    });
+                state.cat_attrs = resolve_cat_attrs(&plan.analysis, table)?;
+                state.channels = plan.channel_terms();
+                state.patch = mat_patch_of(plan);
+                state.minimize = mat_minimize_of(plan);
+                sync_mat_state(state, table, spatial, constants, &mut stats)?;
+            }
         }
         self.synced = true;
         self.last_maint = stats;
@@ -416,6 +605,35 @@ impl IndexManager {
 
     fn state(&self, name: &str) -> Option<&DynAggState> {
         self.dynamic.get(name)
+    }
+
+    /// Absorb the miss-path recomputes of one tick into the materialized
+    /// answer stores.  Writes are sorted before insertion so the store's
+    /// layout — and therefore every later serve/patch pass — is independent
+    /// of shard count and completion order.  Writes for sites that lost
+    /// their store (the plan changed mid-flight) are dropped.
+    pub(crate) fn absorb_materialized(&mut self, mut writes: Vec<MatWrite>) -> usize {
+        if writes.is_empty() {
+            return 0;
+        }
+        writes.sort_by(|a, b| {
+            (a.name.as_str(), a.key, a.sub_fp).cmp(&(b.name.as_str(), b.key, b.sub_fp))
+        });
+        let mut absorbed = 0;
+        for w in writes {
+            let Some(state) = self.materialized.get_mut(&w.name) else {
+                continue;
+            };
+            let slot = state.entries.entry(w.key).or_default();
+            match slot.iter_mut().find(|(fp, _)| *fp == w.sub_fp) {
+                // Duplicate recomputes of one subscription carry the same
+                // bits; keeping the last is idempotent.
+                Some((_, entry)) => *entry = w.entry,
+                None => slot.push((w.sub_fp, w.entry)),
+            }
+            absorbed += 1;
+        }
+        absorbed
     }
 }
 
@@ -555,6 +773,254 @@ fn sync_state(
     Ok(())
 }
 
+/// One row's change between two materialized-mirror snapshots.
+struct MatDelta {
+    key: i64,
+    old: Option<(Vec<Value>, Point2, Vec<f64>)>,
+    new: Option<(Vec<Value>, Point2, Vec<f64>)>,
+}
+
+/// Is a row snapshot inside an entry's subscription scope?
+fn mat_relevant(side: Option<&(Vec<Value>, Point2, Vec<f64>)>, entry: &MatEntry) -> bool {
+    side.is_some_and(|(cats, point, _)| {
+        partition_matches(cats, &entry.required)
+            && entry.rect.as_ref().is_none_or(|r| r.contains(point))
+    })
+}
+
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Apply one tick's delta list to a materialized entry.  `Some(touched)`
+/// keeps the entry (patched in place when `touched`); `None` means it
+/// cannot be patched exactly and must be dropped (the next probe recomputes
+/// and re-materializes it).
+fn mat_patch_entry(
+    entry: &mut MatEntry,
+    deltas: &[MatDelta],
+    patch: MatPatch,
+    minimize: &[bool],
+) -> Option<bool> {
+    let mut touched = false;
+    let mut count_touched = false;
+    for d in deltas {
+        let old_rel = mat_relevant(d.old.as_ref(), entry);
+        let new_rel = mat_relevant(d.new.as_ref(), entry);
+        if !old_rel && !new_rel {
+            continue;
+        }
+        // A row that stayed in scope with unchanged channel values cannot
+        // change the fold (positions feed membership, channels feed the
+        // outputs): the common "moved within the rectangle" delta.
+        if old_rel && new_rel {
+            if let (Some((_, _, oc)), Some((_, _, nc))) = (&d.old, &d.new) {
+                if bits_equal(oc, nc) {
+                    continue;
+                }
+            }
+        }
+        touched = true;
+        match patch {
+            MatPatch::Replace => return None,
+            MatPatch::Count => {
+                entry.support += new_rel as i64 - old_rel as i64;
+                count_touched = true;
+            }
+            MatPatch::MinMax => {
+                if old_rel {
+                    let (_, _, chans) = d.old.as_ref()?;
+                    if !mat_minmax_removal_safe(entry, chans) {
+                        return None;
+                    }
+                }
+                if new_rel {
+                    let (_, _, chans) = d.new.as_ref()?;
+                    if !mat_minmax_insert(entry, chans, minimize) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+    if count_touched {
+        if entry.support <= 0 {
+            // Support drained (or the patch lost track): serve the defaults
+            // through a fresh recompute instead of guessing.
+            return None;
+        }
+        let ScriptValue::Record(fields) = &mut entry.answer else {
+            return None;
+        };
+        for (_, v) in fields.iter_mut() {
+            *v = Value::Int(entry.support);
+        }
+    }
+    Some(touched)
+}
+
+/// Removing a row never changes a MIN/MAX answer unless the row's value
+/// *is* the extremum (then the remaining support is unknown → invalidate).
+/// Unknown emptiness (`None` extremum) is never removal-safe.
+fn mat_minmax_removal_safe(entry: &MatEntry, chans: &[f64]) -> bool {
+    entry
+        .extrema
+        .iter()
+        .enumerate()
+        .all(|(i, e)| e.is_some_and(|e| chans.get(i).is_some_and(|v| v.to_bits() != e.to_bits())))
+}
+
+/// Fold an inserted row into a MIN/MAX answer.  Bails out (→ invalidate)
+/// on possibly-empty answers, NaN values, and ±0 ties whose folded bits
+/// could differ from a fresh recompute.
+fn mat_minmax_insert(entry: &mut MatEntry, chans: &[f64], minimize: &[bool]) -> bool {
+    for i in 0..entry.extrema.len() {
+        let Some(e) = entry.extrema[i] else {
+            return false;
+        };
+        let Some(&v) = chans.get(i) else {
+            return false;
+        };
+        if v.is_nan() {
+            return false;
+        }
+        let better = if minimize[i] { v < e } else { v > e };
+        if better {
+            entry.extrema[i] = Some(v);
+        } else if v == e && v.to_bits() != e.to_bits() {
+            return false;
+        }
+    }
+    let ScriptValue::Record(fields) = &mut entry.answer else {
+        return false;
+    };
+    if fields.len() != entry.extrema.len() {
+        return false;
+    }
+    for ((_, v), e) in fields.iter_mut().zip(&entry.extrema) {
+        match e {
+            Some(e) => *v = Value::Float(*e),
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Diff one materialized site's mirror against the environment and patch
+/// (or invalidate) the stored answers from the resulting delta stream.
+fn sync_mat_state(
+    state: &mut MatAggState,
+    table: &EnvTable,
+    spatial: SpatialAttrs,
+    constants: &FxHashMap<String, Value>,
+    stats: &mut MaintStats,
+) -> Result<()> {
+    let schema = table.schema();
+    let keys = table.column_i64(schema.key_attr())?;
+    let xs = extract_f64_column(table, spatial.x)?;
+    let ys = extract_f64_column(table, spatial.y)?;
+    let cat_cols: Vec<Vec<Value>> = state
+        .cat_attrs
+        .iter()
+        .map(|a| table.column_values(*a))
+        .collect::<std::result::Result<_, _>>()?;
+    let chan_cols: Vec<Vec<f64>> = state
+        .channels
+        .iter()
+        .map(|c| channel_column(c, table, constants))
+        .collect::<Result<_>>()?;
+
+    let mut new_mirror: FxHashMap<i64, (Vec<Value>, Point2, Vec<f64>)> =
+        FxHashMap::with_capacity_and_hasher(table.len(), Default::default());
+    let mut deltas: Vec<MatDelta> = Vec::new();
+    for row_idx in 0..table.len() {
+        let key = keys[row_idx];
+        let cats: Vec<Value> = cat_cols.iter().map(|c| c[row_idx].clone()).collect();
+        let point = Point2::new(xs[row_idx], ys[row_idx]);
+        let chans: Vec<f64> = chan_cols.iter().map(|c| c[row_idx]).collect();
+        match state.mirror.remove(&key) {
+            None => deltas.push(MatDelta {
+                key,
+                old: None,
+                new: Some((cats.clone(), point, chans.clone())),
+            }),
+            Some(old) => {
+                let same_cats = old.0.len() == cats.len()
+                    && old.0.iter().zip(&cats).all(|(a, b)| same_value(a, b));
+                if !same_cats || old.1 != point || !bits_equal(&old.2, &chans) {
+                    deltas.push(MatDelta {
+                        key,
+                        old: Some(old),
+                        new: Some((cats.clone(), point, chans.clone())),
+                    });
+                }
+            }
+        }
+        new_mirror.insert(key, (cats, point, chans));
+    }
+    // Whatever is left in the old mirror vanished from the environment.
+    for (key, old) in state.mirror.drain() {
+        deltas.push(MatDelta {
+            key,
+            old: Some(old),
+            new: None,
+        });
+    }
+    state.mirror = new_mirror;
+    stats.rows_scanned += table.len();
+
+    // Subscriptions accumulate per (subscriber, fingerprint); a subscriber
+    // probing with ever-changing arguments would otherwise grow the store
+    // without bound (its stale fingerprints are never served again).
+    let cap = 8 * (table.len() + 64);
+    let mut entry_count: usize = state.entries.values().map(Vec::len).sum();
+    if entry_count > cap {
+        stats.mat_invalidated += entry_count;
+        state.entries.clear();
+        return Ok(());
+    }
+    if deltas.is_empty() || entry_count == 0 {
+        return Ok(());
+    }
+
+    // A changed (or dead) subscriber invalidates its own answers: its probe
+    // arguments may derive from any of its attributes, including some the
+    // mirror does not track.
+    for d in &deltas {
+        if let Some(dropped) = state.entries.remove(&d.key) {
+            stats.mat_invalidated += dropped.len();
+            entry_count -= dropped.len();
+        }
+    }
+
+    // Mass-invalidation guard: when the patch pass would cost more than the
+    // recomputes it saves, drop everything and let the misses rebuild.
+    if deltas.len().saturating_mul(entry_count) > 256 * (table.len() + 64) {
+        stats.mat_invalidated += entry_count;
+        state.entries.clear();
+        return Ok(());
+    }
+
+    let patch = state.patch;
+    let minimize = &state.minimize;
+    for entries in state.entries.values_mut() {
+        entries.retain_mut(
+            |(_, entry)| match mat_patch_entry(entry, &deltas, patch, minimize) {
+                Some(touched) => {
+                    stats.mat_patched += touched as usize;
+                    true
+                }
+                None => {
+                    stats.mat_invalidated += 1;
+                    false
+                }
+            },
+        );
+    }
+    state.entries.retain(|_, v| !v.is_empty());
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // Per-tick probe cache
 // ---------------------------------------------------------------------------
@@ -620,6 +1086,10 @@ pub struct TickIndexes<'a> {
     /// from `probe_acc` so the merge order — per-grid partial, then merge —
     /// is bit-identical to building a fresh accumulator per grid).
     part_acc: DivAcc,
+    /// Miss-path recomputes of materialized sites, queued for
+    /// [`IndexManager::absorb_materialized`] once the executor regains the
+    /// mutable manager borrow after the shards join.
+    mat_writes: Vec<MatWrite>,
 }
 
 impl IndexManager {
@@ -636,7 +1106,11 @@ impl IndexManager {
         let Some(spatial) = config.spatial else {
             return Ok(None);
         };
-        if !self.synced && (self.policy.is_dynamic() || !self.dynamic.is_empty()) {
+        if !self.synced
+            && (self.policy.is_dynamic()
+                || !self.dynamic.is_empty()
+                || !self.materialized.is_empty())
+        {
             return Err(ExecError::Internal(
                 "tick_view on an unsynced manager (call prepare/end_tick first)".into(),
             ));
@@ -660,6 +1134,7 @@ impl IndexManager {
             fps_scratch: Vec::new(),
             probe_acc: DivAcc::identity(0),
             part_acc: DivAcc::identity(0),
+            mat_writes: Vec::new(),
         }))
     }
 }
@@ -980,6 +1455,9 @@ impl<'a> TickIndexes<'a> {
         {
             return Ok(None);
         }
+        if plan_is_materialized(planned) {
+            return self.eval_materialized(planned, ctx).map(Some);
+        }
         match &planned.strategy {
             AggStrategy::Scan => Ok(None),
             AggStrategy::DivisibleTree {
@@ -990,6 +1468,107 @@ impl<'a> TickIndexes<'a> {
                 .map(Some),
             AggStrategy::KdNearest => self.eval_nearest(planned, ctx).map(Some),
             AggStrategy::SweepMinMax => self.eval_min_max(planned, ctx).map(Some),
+        }
+    }
+
+    /// Look up one subscriber's materialized answer (shared manager borrow,
+    /// so the reference outlives `&mut self` calls on the cache).
+    fn mat_entry(&self, name: &str, key: i64, sub_fp: u64) -> Option<&'a MatEntry> {
+        let state = self.manager.materialized.get(name)?;
+        state
+            .entries
+            .get(&key)?
+            .iter()
+            .find(|(fp, _)| *fp == sub_fp)
+            .map(|(_, e)| e)
+    }
+
+    /// Take the tick's queued materialized writes (the absorb seam).
+    pub(crate) fn take_mat_writes(&mut self) -> Vec<MatWrite> {
+        std::mem::take(&mut self.mat_writes)
+    }
+
+    /// Serve a materialized call site: answer from the store when the
+    /// subscription is live, otherwise recompute through the per-tick
+    /// structure path and queue the answer for materialization.
+    fn eval_materialized(
+        &mut self,
+        planned: &PlannedAggregate,
+        ctx: &EvalContext<'_>,
+    ) -> Result<ScriptValue> {
+        let required = Self::required_values(&planned.analysis, ctx)?;
+        let rect = Self::rect_for(&planned.analysis, ctx)?;
+        let sub_fp = subscription_fp(&required, rect.as_ref());
+        let key = ctx.unit_key;
+        if let Some(entry) = self.mat_entry(&planned.def.name, key, sub_fp) {
+            self.stats.index_probes += 1;
+            self.stats.materialized_serves += 1;
+            self.obs
+                .record_served(&planned.def.name, PhysicalBackend::Materialized);
+            return Ok(entry.answer.clone());
+        }
+        match &planned.strategy {
+            AggStrategy::DivisibleTree {
+                channels,
+                output_channels,
+            } => {
+                let answer = self.eval_divisible(planned, channels, output_channels, ctx)?;
+                // `probe_acc` still holds this probe's fold.
+                let support = self.probe_acc.count() as i64;
+                self.mat_writes.push(MatWrite {
+                    name: planned.def.name.clone(),
+                    key,
+                    sub_fp,
+                    entry: MatEntry {
+                        required,
+                        rect,
+                        answer: answer.clone(),
+                        support,
+                        extrema: Vec::new(),
+                    },
+                });
+                Ok(answer)
+            }
+            AggStrategy::SweepMinMax => {
+                let answer = self.eval_min_max(planned, ctx)?;
+                let outputs = match &planned.def.spec {
+                    AggSpec::Simple { outputs } => outputs,
+                    AggSpec::ArgBest { .. } => {
+                        return Err(ExecError::Internal(
+                            "min/max strategy on an ArgBest aggregate".into(),
+                        ))
+                    }
+                };
+                // A field bitwise-equal to its default cannot be told apart
+                // from an empty answer: mark it not insert-patchable.
+                let extrema: Vec<Option<f64>> = match &answer {
+                    ScriptValue::Record(fields) => outputs
+                        .iter()
+                        .zip(fields)
+                        .map(|(o, (_, v))| match v {
+                            Value::Float(x) if !same_value(v, &o.default) => Some(*x),
+                            _ => None,
+                        })
+                        .collect(),
+                    _ => return Err(ExecError::Internal("min/max answer is not a record".into())),
+                };
+                self.mat_writes.push(MatWrite {
+                    name: planned.def.name.clone(),
+                    key,
+                    sub_fp,
+                    entry: MatEntry {
+                        required,
+                        rect,
+                        answer: answer.clone(),
+                        support: 0,
+                        extrema,
+                    },
+                });
+                Ok(answer)
+            }
+            _ => Err(ExecError::Internal(
+                "materialized choice on a non-materializable strategy".into(),
+            )),
         }
     }
 
@@ -1260,11 +1839,16 @@ impl<'a> TickIndexes<'a> {
         let centred =
             (rect.x_min + rx - unit_x).abs() <= 1e-9 && (rect.y_min + ry - unit_y).abs() <= 1e-9;
         // A cost-based choice of the quadtree skips the sweep batch even for
-        // centred probes (same results, different cost profile).
-        let quad_chosen = planned
-            .choice
-            .as_ref()
-            .is_some_and(|c| c.backend == PhysicalBackend::QuadTree);
+        // centred probes (same results, different cost profile).  Misses of
+        // a materialized site take the quadtree too: on a low-churn tick only
+        // a few probes miss, and a whole-batch sweep would be priced for all
+        // of them.
+        let quad_chosen = planned.choice.as_ref().is_some_and(|c| {
+            matches!(
+                c.backend,
+                PhysicalBackend::QuadTree | PhysicalBackend::Materialized
+            )
+        });
         if !centred || quad_chosen {
             self.obs.record_served(name, PhysicalBackend::QuadTree);
             return self.eval_min_max_quadtree(planned, &outputs, &rect, &required);
@@ -1650,7 +2234,7 @@ mod tests {
         let posx = schema.attr_id("posx").unwrap();
         for row in 0..10 {
             let new_x = table.row(row).get_f64(posx).unwrap() + 3.0;
-            table.set_attr(row, posx, Value::Float(new_x));
+            table.set_attr(row, posx, Value::Float(new_x)).unwrap();
         }
         let second = manager.end_tick(&table, &planned_map, &constants).unwrap();
         assert_eq!(
@@ -1699,7 +2283,7 @@ mod tests {
         let posx = schema.attr_id("posx").unwrap();
         for row in 0..table.len() {
             let new_x = table.row(row).get_f64(posx).unwrap() * 0.5 + 1.0;
-            table.set_attr(row, posx, Value::Float(new_x));
+            table.set_attr(row, posx, Value::Float(new_x)).unwrap();
         }
         let heavy = manager.end_tick(&table, &planned_map, &constants).unwrap();
         assert!(heavy.partition_rebuilds > 0);
@@ -1709,7 +2293,7 @@ mod tests {
         // partitions are patched.
         for row in 0..2 {
             let new_x = table.row(row).get_f64(posx).unwrap() + 0.5;
-            table.set_attr(row, posx, Value::Float(new_x));
+            table.set_attr(row, posx, Value::Float(new_x)).unwrap();
         }
         let light = manager.end_tick(&table, &planned_map, &constants).unwrap();
         assert_eq!(light.partition_rebuilds, 0);
@@ -1730,6 +2314,252 @@ mod tests {
         assert_eq!(manager.maintained_aggregates(), 0);
         let again = manager.prepare(&table, &planned_map, &constants).unwrap();
         assert!(again.partition_rebuilds > 0);
+    }
+
+    /// Probe every row of the table through a cache, absorbing materialized
+    /// writes afterwards; returns (answers, serves-from-store).
+    fn probe_all(
+        manager: &mut IndexManager,
+        table: &EnvTable,
+        config: &ExecConfig,
+        planned_map: &FxHashMap<String, PlannedAggregate>,
+        constants: &FxHashMap<String, Value>,
+        planned: &PlannedAggregate,
+        args: &[ScriptValue],
+    ) -> (Vec<ScriptValue>, usize) {
+        let schema = table.schema();
+        let rng = GameRng::new(7).for_tick(3);
+        let mut cache = open_tick(manager, table, config, planned_map, constants);
+        let mut answers = Vec::with_capacity(table.len());
+        for row in 0..table.len() {
+            let unit = table.row(row);
+            let mut ctx = EvalContext::new(schema, unit, &rng, constants);
+            ctx.bindings = bind_params(&planned.def.name, &planned.def.params, args).unwrap();
+            answers.push(cache.evaluate(planned, &ctx).unwrap().unwrap());
+        }
+        let serves = cache.stats.materialized_serves;
+        let writes = cache.take_mat_writes();
+        drop(cache);
+        manager.absorb_materialized(writes);
+        (answers, serves)
+    }
+
+    #[test]
+    fn materialized_answers_agree_with_scans_across_churn() {
+        let (schema, mut table) = make_table(90);
+        let registry = paper_registry();
+        let constants = registry.constants().clone();
+        let config = ExecConfig::indexed(&schema);
+        let rng = GameRng::new(7).for_tick(3);
+        let mut planned_map = crate::interp::plan_registry(&registry, &table, &config);
+        let switched = crate::planner::force_materialized(&mut planned_map);
+        assert!(switched > 0, "registry has materializable sites");
+
+        // CountEnemiesInRange (COUNT patch class) and CentroidOfEnemyUnits
+        // (replace class) both carry a Materialized choice now.
+        for agg_name in ["CountEnemiesInRange", "CentroidOfEnemyUnits"] {
+            let planned = planned_map.get(agg_name).unwrap().clone();
+            assert!(plan_is_materialized(&planned), "{agg_name}");
+            let mut manager = IndexManager::new(&config);
+            let args: Vec<ScriptValue> = if planned.def.params.len() == 2 {
+                vec![ScriptValue::scalar(0i64), ScriptValue::scalar(15.0)]
+            } else {
+                vec![ScriptValue::scalar(0i64)]
+            };
+
+            // Tick 0: every probe misses, recomputes, and materializes.
+            let (_, serves) = probe_all(
+                &mut manager,
+                &table,
+                &config,
+                &planned_map,
+                &constants,
+                &planned,
+                &args,
+            );
+            assert_eq!(serves, 0, "{agg_name}: no store on the first tick");
+            assert!(manager.materialized_entries() > 0, "{agg_name}");
+
+            // Churn a handful of rows, hand the table back, probe again:
+            // most answers are served from the store, all agree with scans.
+            let posx = schema.attr_id("posx").unwrap();
+            for row in 0..6 {
+                let new_x = table.row(row).get_f64(posx).unwrap() + 2.5;
+                table.set_attr(row, posx, Value::Float(new_x)).unwrap();
+            }
+            manager.end_tick(&table, &planned_map, &constants).unwrap();
+            let (fast, serves) = probe_all(
+                &mut manager,
+                &table,
+                &config,
+                &planned_map,
+                &constants,
+                &planned,
+                &args,
+            );
+            assert!(serves > 0, "{agg_name}: store must serve after churn");
+            let def = registry.aggregate(agg_name).unwrap();
+            for row in 0..table.len() {
+                let unit = table.row(row);
+                let mut ctx = EvalContext::new(&schema, unit, &rng, &constants);
+                ctx.bindings = bind_params(&def.name, &def.params, &args).unwrap();
+                let slow = eval_aggregate_scan(def, &ctx.bindings, &ctx, &table).unwrap();
+                match agg_name {
+                    "CountEnemiesInRange" => assert_eq!(
+                        fast[row].as_scalar().unwrap(),
+                        slow.as_scalar().unwrap(),
+                        "{agg_name} row {row}"
+                    ),
+                    _ => {
+                        for field in ["x", "y"] {
+                            let f = fast[row].field(field).unwrap().as_f64().unwrap();
+                            let s = slow.field(field).unwrap().as_f64().unwrap();
+                            assert!(
+                                (f - s).abs() < 1e-9,
+                                "{agg_name} row {row} field {field}: {f} vs {s}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_min_patches_inserts_and_invalidates_extremum_loss() {
+        use sgl_lang::ast::{Cond, Term};
+        use sgl_lang::builtins::{enemy_filter, rect_range_filter, AggOutput, AggregateDef};
+
+        let (schema, mut table) = make_table(60);
+        let registry = paper_registry();
+        let constants = registry.constants().clone();
+        let config = ExecConfig::indexed(&schema);
+        let def = AggregateDef {
+            name: "WeakestEnemyHealth".into(),
+            params: vec!["u".into(), "range".into()],
+            filter: Cond::and(rect_range_filter(Term::name("range")), enemy_filter()),
+            spec: AggSpec::Simple {
+                outputs: vec![AggOutput {
+                    name: "value".into(),
+                    func: SimpleAgg::Min,
+                    value: Term::row("health"),
+                    default: Value::Float(-1.0),
+                }],
+            },
+        };
+        let mut planned = plan_aggregate(&def, &schema, config.spatial);
+        assert_eq!(planned.strategy, AggStrategy::SweepMinMax);
+        let mut planned_map: FxHashMap<String, PlannedAggregate> = FxHashMap::default();
+        planned_map.insert(def.name.clone(), planned.clone());
+        assert_eq!(crate::planner::force_materialized(&mut planned_map), 1);
+        planned = planned_map.get(&def.name).unwrap().clone();
+        let args = vec![ScriptValue::scalar(0i64), ScriptValue::scalar(12.0)];
+
+        let mut manager = IndexManager::new(&config);
+        probe_all(
+            &mut manager,
+            &table,
+            &config,
+            &planned_map,
+            &constants,
+            &planned,
+            &args,
+        );
+        let entries_before = manager.materialized_entries();
+        assert!(entries_before > 0);
+
+        // Raise one unit's health far above every minimum: removal-safe for
+        // every subscription (the value was never the extremum is false —
+        // its OLD value may be an extremum somewhere, those invalidate; the
+        // rest patch in place).  The store keeps serving correct answers.
+        let health = schema.attr_id("health").unwrap();
+        table.set_attr(5, health, Value::Int(999)).unwrap();
+        manager.end_tick(&table, &planned_map, &constants).unwrap();
+        assert!(
+            manager.last_maint.mat_patched > 0,
+            "non-extremum updates must patch in place"
+        );
+        let (fast, serves) = probe_all(
+            &mut manager,
+            &table,
+            &config,
+            &planned_map,
+            &constants,
+            &planned,
+            &args,
+        );
+        assert!(serves > 0);
+        let rng = GameRng::new(7).for_tick(3);
+        for row in 0..table.len() {
+            let unit = table.row(row);
+            let mut ctx = EvalContext::new(&schema, unit, &rng, &constants);
+            ctx.bindings = bind_params(&def.name, &def.params, &args).unwrap();
+            let slow = eval_aggregate_scan(&def, &ctx.bindings, &ctx, &table).unwrap();
+            assert_eq!(
+                fast[row].field("value").unwrap().as_f64().unwrap(),
+                slow.field("value").unwrap().as_f64().unwrap(),
+                "row {row}"
+            );
+        }
+
+        // Now make that unit the global minimum: every subscription that
+        // sees it gets an exact insert-patch (their stored minimum folds
+        // down), and the answers still match scans.
+        table.set_attr(5, health, Value::Int(1)).unwrap();
+        manager.end_tick(&table, &planned_map, &constants).unwrap();
+        let (fast, _) = probe_all(
+            &mut manager,
+            &table,
+            &config,
+            &planned_map,
+            &constants,
+            &planned,
+            &args,
+        );
+        for row in 0..table.len() {
+            let unit = table.row(row);
+            let mut ctx = EvalContext::new(&schema, unit, &rng, &constants);
+            ctx.bindings = bind_params(&def.name, &def.params, &args).unwrap();
+            let slow = eval_aggregate_scan(&def, &ctx.bindings, &ctx, &table).unwrap();
+            assert_eq!(
+                fast[row].field("value").unwrap().as_f64().unwrap(),
+                slow.field("value").unwrap().as_f64().unwrap(),
+                "row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn materialized_stores_clear_when_choices_leave() {
+        let (schema, table) = make_table(40);
+        let registry = paper_registry();
+        let constants = registry.constants().clone();
+        let config = ExecConfig::indexed(&schema);
+        let mut planned_map = crate::interp::plan_registry(&registry, &table, &config);
+        crate::planner::force_materialized(&mut planned_map);
+        let planned = planned_map.get("CountEnemiesInRange").unwrap().clone();
+        let args = vec![ScriptValue::scalar(0i64), ScriptValue::scalar(15.0)];
+        let mut manager = IndexManager::new(&config);
+        probe_all(
+            &mut manager,
+            &table,
+            &config,
+            &planned_map,
+            &constants,
+            &planned,
+            &args,
+        );
+        assert!(manager.materialized_sites() > 0);
+
+        // Drop the choices (back to the heuristic): the next maintenance
+        // pass retires the stores.
+        for plan in planned_map.values_mut() {
+            plan.choice = None;
+        }
+        manager.mark_stale();
+        manager.prepare(&table, &planned_map, &constants).unwrap();
+        assert_eq!(manager.materialized_sites(), 0);
+        assert_eq!(manager.materialized_entries(), 0);
     }
 
     #[test]

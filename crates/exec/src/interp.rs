@@ -40,7 +40,7 @@ use crate::compile::CompiledScript;
 use crate::config::{ExecConfig, ExecMode, TickStats};
 use crate::error::{ExecError, Result};
 use crate::filter::analyze_filter;
-use crate::indexes::{hash_value, IndexManager, TickIndexes};
+use crate::indexes::{hash_value, IndexManager, MatWrite, TickIndexes};
 use crate::planner::{plan_aggregate, PlannedAggregate};
 use crate::stats::TickObservations;
 
@@ -173,7 +173,7 @@ pub fn execute_tick_planned(
     if shards <= 1 {
         // Serial: fold every emission straight into the tick's buffer (no
         // logging detour for the default configuration).
-        let (sink, shard_stats, obs) = run_shard(&shared, manager_view, runs, true)?;
+        let (sink, shard_stats, obs, mat_writes) = run_shard(&shared, manager_view, runs, true)?;
         let EffectSink::Direct(effects) = sink else {
             return Err(ExecError::Internal(
                 "direct shard returned a log sink".into(),
@@ -181,12 +181,13 @@ pub fn execute_tick_planned(
         };
         stats.merge(&shard_stats);
         stats.effect_rows = effects.len();
+        manager.absorb_materialized(mat_writes);
         return Ok((effects, stats, obs));
     }
 
     let shard_runs = shard_runs(runs, shards);
     let shared_ref = &shared;
-    let shard_results: Vec<(EffectSink, TickStats, TickObservations)> =
+    let shard_results: Vec<(EffectSink, TickStats, TickObservations, Vec<MatWrite>)> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = shard_runs
                 .iter()
@@ -208,7 +209,8 @@ pub fn execute_tick_planned(
     let mut effects = EffectBuffer::new(table.schema().clone());
     let mut run_logs: Vec<Vec<EffectLog>> = Vec::with_capacity(shards);
     let mut obs = TickObservations::default();
-    for (sink, shard_stats, shard_obs) in shard_results {
+    let mut mat_writes: Vec<MatWrite> = Vec::new();
+    for (sink, shard_stats, shard_obs, shard_writes) in shard_results {
         let EffectSink::Logs { done: logs, .. } = sink else {
             return Err(ExecError::Internal(
                 "parallel shard returned a direct sink".into(),
@@ -217,7 +219,12 @@ pub fn execute_tick_planned(
         run_logs.push(logs);
         stats.merge(&shard_stats);
         obs.merge(&shard_obs);
+        mat_writes.extend(shard_writes);
     }
+    // Materialize the shards' miss-path recomputes now that the immutable
+    // fan-out borrows are done.  Absorbing sorts the combined writes, so the
+    // resulting store is identical for every shard count.
+    manager.absorb_materialized(mat_writes);
     for run_idx in 0..runs.len() {
         for logs in run_logs.iter_mut() {
             for (key, attr, value) in std::mem::take(&mut logs[run_idx]) {
@@ -310,7 +317,7 @@ fn run_shard<'a>(
     manager: Option<&'a IndexManager>,
     runs: &[ScriptRun<'_>],
     direct: bool,
-) -> Result<(EffectSink, TickStats, TickObservations)> {
+) -> Result<(EffectSink, TickStats, TickObservations, Vec<MatWrite>)> {
     let cache = match manager {
         Some(manager) => manager.tick_view(shared.table, shared.config, shared.constants)?,
         None => None,
@@ -348,11 +355,13 @@ fn run_shard<'a>(
         }
         state.effects.finish_run();
     }
-    if let Some(cache) = state.cache.take() {
+    let mut mat_writes = Vec::new();
+    if let Some(mut cache) = state.cache.take() {
+        mat_writes = cache.take_mat_writes();
         state.stats.merge(&cache.stats);
         state.obs.merge(&cache.obs);
     }
-    Ok((state.effects, state.stats, state.obs))
+    Ok((state.effects, state.stats, state.obs, mat_writes))
 }
 
 /// Read-only state shared by every shard of a tick.  All fields are borrows

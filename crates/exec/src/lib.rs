@@ -40,6 +40,7 @@ pub use indexes::{fingerprint_values, IndexManager, MaintStats, TickIndexes};
 pub use interp::{execute_tick, execute_tick_planned, execute_tick_with, plan_registry, ScriptRun};
 pub use oracle::{execute_tick_oracle, OracleRun};
 pub use planner::{
-    choose_physical, plan_aggregate, strategy_class, AggStrategy, PhysicalChoice, PlannedAggregate,
+    choose_physical, force_materialized, plan_aggregate, strategy_class, AggStrategy,
+    PhysicalChoice, PlannedAggregate,
 };
 pub use stats::{CallObs, CallSiteStats, RuntimeStats, TickObservations, BACKEND_COUNT};

@@ -103,6 +103,10 @@ impl PlannedAggregate {
                 PhysicalBackend::MaintainedGrid => {
                     Some(AggStructureKind::DynamicGrid { cell: 0.0 })
                 }
+                // Materialized answers recompute through a per-tick quadtree
+                // on a miss; it is only built on ticks that actually miss, so
+                // the cheap-build structure wins over the layered tree here.
+                PhysicalBackend::Materialized => Some(AggStructureKind::QuadTree { bucket: 8 }),
             };
         }
         match &self.strategy {
@@ -253,6 +257,46 @@ pub fn choose_physical(
             maintenance: best.maintenance,
             est_us: best.total_us(),
             alternatives,
+        });
+    }
+    switches
+}
+
+/// Whether the materialized-answer class is legal for a strategy class:
+/// divisible and MIN/MAX answers are pure functions of the matched multiset
+/// (which the delta stream tracks), while nearest/argbest answers embed
+/// arbitrary output terms of the winning row that can change without any
+/// tracked delta.
+pub fn materialization_legal(class: StrategyClass) -> bool {
+    matches!(class, StrategyClass::Divisible | StrategyClass::MinMax)
+}
+
+/// Install the materialized-answer class on every call site where it is
+/// legal, regardless of cost ([`crate::config::PlannerMode::ForceMaterialized`]).
+/// Nearest sites and scans keep their heuristic plan (`choice = None`).
+/// Returns how many call sites changed choice.
+pub fn force_materialized(planned: &mut FxHashMap<String, PlannedAggregate>) -> usize {
+    let mut switches = 0;
+    for plan in planned.values_mut() {
+        let legal = strategy_class(&plan.strategy).is_some_and(materialization_legal);
+        if !legal {
+            if plan.choice.take().is_some() {
+                switches += 1;
+            }
+            continue;
+        }
+        let already = plan
+            .choice
+            .as_ref()
+            .is_some_and(|c| c.backend == PhysicalBackend::Materialized);
+        if !already {
+            switches += 1;
+        }
+        plan.choice = Some(PhysicalChoice {
+            backend: PhysicalBackend::Materialized,
+            maintenance: MaintenanceChoice::Incremental,
+            est_us: 0.0,
+            alternatives: Vec::new(),
         });
     }
     switches
@@ -668,6 +712,45 @@ mod tests {
         );
         count.choice = Some(choose(PhysicalBackend::Scan));
         assert_eq!(count.structure(&config), None);
+        count.choice = Some(choose(PhysicalBackend::Materialized));
+        assert_eq!(
+            count.structure(&config),
+            Some(AggStructureKind::QuadTree { bucket: 8 }),
+            "the materialized miss path recomputes through a quadtree"
+        );
+    }
+
+    #[test]
+    fn force_materialized_targets_legal_sites_only() {
+        let schema = paper_schema();
+        let registry = paper_registry();
+        let mut planned = FxHashMap::default();
+        for name in registry.aggregate_names() {
+            let def = registry.aggregate(name).unwrap();
+            planned.insert(
+                name.to_string(),
+                plan_aggregate(def, &schema, spatial(&schema)),
+            );
+        }
+        let switches = force_materialized(&mut planned);
+        let legal = planned
+            .values()
+            .filter(|p| strategy_class(&p.strategy).is_some_and(materialization_legal))
+            .count();
+        assert!(legal > 0);
+        assert_eq!(switches, legal);
+        for plan in planned.values() {
+            match strategy_class(&plan.strategy) {
+                Some(class) if materialization_legal(class) => {
+                    let choice = plan.choice.as_ref().unwrap();
+                    assert_eq!(choice.backend, PhysicalBackend::Materialized);
+                    assert_eq!(choice.maintenance, MaintenanceChoice::Incremental);
+                }
+                _ => assert!(plan.choice.is_none(), "{}", plan.def.name),
+            }
+        }
+        // Idempotent: a second pass switches nothing.
+        assert_eq!(force_materialized(&mut planned), 0);
     }
 
     #[test]

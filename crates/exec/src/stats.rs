@@ -183,6 +183,14 @@ impl TickObservations {
 pub struct CallSiteStats {
     /// EWMA of evaluated probes per tick.
     pub probes: f64,
+    /// Whether `probes` reflects at least one direct observation.  Distinct
+    /// from `probes > 0.0`: an idle site decays toward zero without ever
+    /// reaching it, and pricing that vanishing-but-positive volume as
+    /// "observed" skewed early cost decisions after idle windows.  The decay
+    /// loop snaps the flag off below [`PROBE_FLOOR`] so a long-idle site is
+    /// priced from priors again, and the next real observation re-seeds the
+    /// EWMA at full volume instead of crawling up by halves.
+    pub have_probes: bool,
     /// EWMA of observed selectivity (matched rows / cardinality per probe).
     pub selectivity: f64,
     /// Whether `selectivity` has ever been observed directly.
@@ -214,6 +222,10 @@ impl CallSiteStats {
 /// EWMA smoothing factor: new observations weigh half — fast enough for the
 /// small adaptivity windows of the test suite, smooth enough not to flap.
 const ALPHA: f64 = 0.5;
+
+/// Probe volume below which an idle call site is considered unobserved
+/// again (see [`CallSiteStats::have_probes`]).
+const PROBE_FLOOR: f64 = 0.5;
 
 fn ewma(current: f64, sample: f64, seeded: bool) -> f64 {
     if seeded {
@@ -277,15 +289,27 @@ impl RuntimeStats {
         // volume toward zero so the planner stops paying for structures that
         // serve nothing, instead of pricing them at their historical volume
         // forever.
+        // Only ever-observed sites decay (`have_probes`); once the volume
+        // falls under the floor the site reverts to unobserved, so it is
+        // priced from priors like a fresh site instead of from a
+        // vanishing-but-positive EWMA, and the next real observation
+        // re-seeds at full volume.
         for (name, site) in self.calls.iter_mut() {
-            if !obs.calls.contains_key(name) && site.probes > 0.0 {
+            if !obs.calls.contains_key(name) && site.have_probes {
                 site.probes = ewma(site.probes, 0.0, true);
+                if site.probes < PROBE_FLOOR {
+                    site.probes = 0.0;
+                    site.have_probes = false;
+                }
             }
         }
         for (name, o) in &obs.calls {
             let site = self.calls.entry(name.clone()).or_default();
-            let site_seeded = site.probes > 0.0;
+            let site_seeded = site.have_probes;
             site.probes = ewma(site.probes, o.probes as f64, site_seeded);
+            if o.probes > 0 {
+                site.have_probes = true;
+            }
             if o.matched_probes > 0 && n > 0.0 {
                 let sel = (o.matched as f64 / (o.matched_probes as f64 * n)).clamp(0.0, 1.0);
                 site.selectivity = ewma(site.selectivity, sel, site.have_selectivity);
@@ -312,7 +336,7 @@ impl RuntimeStats {
         let n = cardinality as f64;
         let site = self.calls.get(name);
         let probes = match site {
-            Some(s) if s.probes > 0.0 => s.probes,
+            Some(s) if s.have_probes && s.probes > 0.0 => s.probes,
             _ => n,
         };
         let selectivity = match site {
@@ -386,6 +410,34 @@ mod tests {
         // toward zero (the site stopped being probed).
         stats.observe_tick(100, 0, 400.0, None, &TickObservations::default());
         assert!((stats.calls["Count"].probes - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_windows_unseed_and_reseed_probe_volume() {
+        let mut stats = RuntimeStats::default();
+        let mut active = TickObservations::default();
+        active.record_probes("Count", 100);
+        stats.observe_tick(100, 10, 400.0, None, &active);
+        assert!(stats.calls["Count"].have_probes);
+        assert_eq!(stats.calls["Count"].probes, 100.0);
+
+        // A long idle window decays the volume; once it crosses the floor
+        // the site reverts to unobserved and is priced from priors again —
+        // not from a vanishing-but-positive EWMA.
+        let idle = TickObservations::default();
+        for _ in 0..16 {
+            stats.observe_tick(100, 0, 400.0, None, &idle);
+        }
+        let site = &stats.calls["Count"];
+        assert!(!site.have_probes);
+        assert_eq!(site.probes, 0.0);
+        assert_eq!(stats.inputs_for("Count", 100, true).probes, 100.0);
+
+        // Reactivation re-seeds at the full observed volume instead of
+        // crawling up from the decayed remnant by halves.
+        stats.observe_tick(100, 10, 400.0, None, &active);
+        assert_eq!(stats.calls["Count"].probes, 100.0);
+        assert!(stats.calls["Count"].have_probes);
     }
 
     #[test]

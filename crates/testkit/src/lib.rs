@@ -43,15 +43,17 @@ use sgl_core::exec::{
 };
 
 /// The full executor-configuration lattice the conformance and golden-digest
-/// suites sweep (31 configurations):
+/// suites sweep (37 configurations):
 ///
 /// ```text
 /// {naive, planned} × {RebuildEachTick, Incremental, Adaptive}
 ///                  × {LayeredTree, QuadTree} × {serial, 2, 4 threads}
 ///   + costbased(window=2) × {serial, 2, 4 threads}
+///   + materialized × {serial, 2, 4 threads}
 ///   + compiled × {rebuild/layered × {serial, 2t, 4t},
 ///                 incremental/layered/serial, adaptive/quadtree/4t,
-///                 costbased/w2 × {serial, 4t}}
+///                 costbased/w2 × {serial, 4t},
+///                 materialized × {serial, 2t, 4t}}
 /// ```
 ///
 /// Maintenance policy and rebuild backend are index-layer knobs, so the
@@ -103,6 +105,17 @@ pub fn config_lattice(schema: &Schema) -> Vec<(String, ExecConfig)> {
                 .with_planner(PlannerMode::cost_based(2))
                 .with_parallelism(par),
         ));
+        // Forced materialization: every divisible / min-max call site serves
+        // from the delta-patched answer store.  The generated worlds are too
+        // short for the cost model to pick materialization on its own, so
+        // the conformance rows force it to prove behaviour neutrality.
+        configs.push((
+            format!("planned/materialized/{tname}"),
+            ExecConfig::cost_based(schema)
+                .with_mode(ExecMode::Indexed)
+                .with_planner(PlannerMode::ForceMaterialized)
+                .with_parallelism(par),
+        ));
     }
     // Register-bytecode VM entries: a representative diagonal through
     // policy × backend × threads rather than the full product — the VM
@@ -150,6 +163,18 @@ pub fn config_lattice(schema: &Schema) -> Vec<(String, ExecConfig)> {
             ExecConfig::cost_based(schema)
                 .with_mode(ExecMode::Compiled)
                 .with_planner(PlannerMode::cost_based(2))
+                .with_parallelism(par),
+        ));
+    }
+    // The VM shares `TickIndexes` with the plan interpreter, so the
+    // materialized serve/miss/write-back path is the same code — the
+    // compiled rows prove the bytecode probe sites route through it.
+    for (tname, par) in threads {
+        configs.push((
+            format!("compiled/materialized/{tname}"),
+            ExecConfig::cost_based(schema)
+                .with_mode(ExecMode::Compiled)
+                .with_planner(PlannerMode::ForceMaterialized)
                 .with_parallelism(par),
         ));
     }

@@ -290,7 +290,7 @@ pub fn run_soak(spec: &SoakSpec) -> Result<SoakReport, SoakFailure> {
         // digest-identical right away.
         next_checkpoint -= 1;
         if next_checkpoint == 0 && tick + 1 < spec.ticks {
-            let bytes = primary.checkpoint();
+            let bytes = primary.checkpoint().unwrap();
             let mut fresh = run.case.build(shadow_config);
             fresh
                 .resume(&bytes, shadow_config)

@@ -71,7 +71,7 @@ fn main() {
     }
 
     // 3. Save-game round trip.
-    let bytes = snapshot(indexed_sim.table());
+    let bytes = snapshot(indexed_sim.table()).expect("snapshot serializes");
     let restored = restore(&bytes, indexed_sim.table().schema()).expect("snapshot restores");
     let before = indexed_sim.digest();
     let after = StateDigest::of_table(&restored);
@@ -93,7 +93,7 @@ fn main() {
     for _ in 0..split {
         writer.step().expect("tick succeeds");
     }
-    let checkpoint = writer.checkpoint();
+    let checkpoint = writer.checkpoint().expect("checkpoint serializes");
     println!(
         "checkpoint: {} bytes after tick {split} (tick counter, RNG seed, \
          stats, planner state + table)",

@@ -158,7 +158,49 @@ fn compiled_matches_oracle_on_64_seeds_beyond_the_lattice() {
 /// the first `#[cfg(test)]` down, by the crate's module layout) are exempt.
 #[test]
 fn exec_crate_non_test_code_is_panic_free() {
-    let src_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("crates/exec/src");
+    let (offenders, audited) = scan_crate_for_panics("crates/exec/src", 10);
+    assert!(
+        offenders.is_empty(),
+        "panicking constructs on non-test sgl-exec paths (use ExecError instead):\n{}",
+        offenders.join("\n")
+    );
+    assert_eq!(audited, 0, "sgl-exec carries no PANIC-AUDIT exemptions");
+}
+
+/// Same audit for `sgl-env`'s tick/IO path: the pager (spill-file decode,
+/// lock poisoning), snapshot/checkpoint decoding and the table layer all
+/// sit on the engine's per-tick residency protocol, where a panic would
+/// abort the host instead of failing the tick with a typed
+/// [`sgl::env::EnvError`].
+#[test]
+fn env_crate_non_test_code_is_panic_free() {
+    let (offenders, audited) = scan_crate_for_panics("crates/env/src", 5);
+    assert!(
+        offenders.is_empty(),
+        "panicking constructs on non-test sgl-env paths (use EnvError instead):\n{}",
+        offenders.join("\n")
+    );
+    // Six audited sites survive: the infallible `Value` read API over
+    // residency-pinned rows (`value_at`, `key_of`, `Tuple::key`), the
+    // `Clone` impl (the trait cannot return `Result`), the documented
+    // panicking doc-example helper (`TupleBuilderExt::unwrap_key`) and the
+    // static `paper_schema` constructor.  Anything beyond that must be
+    // converted to a typed `EnvError`.
+    assert!(
+        audited <= 6,
+        "PANIC-AUDIT exemptions in sgl-env grew to {audited} (cap 6) — convert new sites to EnvError"
+    );
+}
+
+/// Scan a crate's top-level sources for panicking constructs outside test
+/// modules (everything from the first `#[cfg(test)]` down, by the repo's
+/// module layout).  Lines carrying a `PANIC-AUDIT:` comment are exempt —
+/// those mark call sites whose panic is unreachable by an invariant the
+/// comment names (e.g. an infallible-by-trait `Clone`, or reads covered by
+/// the tick-start residency pin) — but the audited count is capped, so new
+/// markers still show up in review.  Returns `(offending lines, audited)`.
+fn scan_crate_for_panics(rel_src_dir: &str, min_files: usize) -> (Vec<String>, usize) {
+    let src_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel_src_dir);
     let banned = [
         ".unwrap(",
         ".expect(",
@@ -169,7 +211,8 @@ fn exec_crate_non_test_code_is_panic_free() {
     ];
     let mut files = 0;
     let mut offenders = Vec::new();
-    let entries = std::fs::read_dir(&src_dir).expect("crates/exec/src exists");
+    let mut audited = 0;
+    let entries = std::fs::read_dir(&src_dir).expect("crate src dir exists");
     for entry in entries {
         let path = entry.expect("readable dir entry").path();
         if path.extension().and_then(|e| e.to_str()) != Some("rs") {
@@ -188,20 +231,23 @@ fn exec_crate_non_test_code_is_panic_free() {
             let code = line.split("//").next().unwrap_or(line);
             for needle in banned {
                 if code.contains(needle) {
-                    offenders.push(format!(
-                        "{}:{}: {}",
-                        path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
-                        lineno + 1,
-                        line.trim()
-                    ));
+                    if line.contains("PANIC-AUDIT:") {
+                        audited += 1;
+                    } else {
+                        offenders.push(format!(
+                            "{}:{}: {}",
+                            path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
+                            lineno + 1,
+                            line.trim()
+                        ));
+                    }
                 }
             }
         }
     }
-    assert!(files >= 10, "expected the exec crate sources, saw {files}");
     assert!(
-        offenders.is_empty(),
-        "panicking constructs on non-test sgl-exec paths (use ExecError instead):\n{}",
-        offenders.join("\n")
+        files >= min_files,
+        "expected the {rel_src_dir} sources, saw {files}"
     );
+    (offenders, audited)
 }

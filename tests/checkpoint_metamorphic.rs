@@ -13,9 +13,11 @@
 //! deterministic function of what it does.
 //!
 //! The sweep covers ≥ 8 generated `(script, world)` seeds × the full
-//! 24-entry configuration lattice, with the split point chosen seeded and
-//! *odd* — the cost-based lattice rows re-cost on a 2-tick window, so an odd
-//! split resumes mid-window.  A second sweep resumes under a *different*
+//! 37-entry configuration lattice (including the force-materialized rows,
+//! whose answer stores are deliberately *not* serialized and must be
+//! rebuilt on resume), with the split point chosen seeded and *odd* — the
+//! cost-based lattice rows re-cost on a 2-tick window, so an odd split
+//! resumes mid-window with materialized answers live.  A second sweep resumes under a *different*
 //! configuration than the writer (different parallelism, backend, policy,
 //! planner and naive↔indexed), and a third checks the reader rejects
 //! corrupted and mismatched input with typed errors.
@@ -53,7 +55,7 @@ fn interrupted(
             .unwrap_or_else(|e| panic!("seed {}: writer tick {tick} failed: {e}", case.seed));
         digests.push(writer.digest());
     }
-    let bytes = writer.checkpoint();
+    let bytes = writer.checkpoint().unwrap();
     drop(writer);
     let mut resumed = case.build(reader_config);
     resumed
@@ -165,6 +167,22 @@ fn resume_under_a_different_config_than_the_writer() {
             ),
             ("indexed→naive", indexed, ExecConfig::naive(&schema)),
             ("naive→indexed", ExecConfig::naive(&schema), indexed),
+            // Materialized answer stores are never serialized: resuming
+            // *into* the materialized class rebuilds them from the restored
+            // table; resuming *out of* it discards them.  Either direction
+            // must be digest-neutral.
+            (
+                "materialized→heuristic",
+                ExecConfig::cost_based(&schema).with_planner(PlannerMode::ForceMaterialized),
+                indexed,
+            ),
+            (
+                "costbased→materialized/2t",
+                ExecConfig::cost_based(&schema).with_planner(PlannerMode::cost_based(2)),
+                ExecConfig::cost_based(&schema)
+                    .with_planner(PlannerMode::ForceMaterialized)
+                    .with_parallelism(Parallelism::Threads(2)),
+            ),
         ];
         let k = 3; // odd: mid-window for the cost-based writer
         for (label, writer, reader) in pairs {
@@ -202,7 +220,7 @@ fn resume_rejects_bad_input_with_typed_errors() {
     for _ in 0..3 {
         writer.step().unwrap();
     }
-    let bytes = writer.checkpoint();
+    let bytes = writer.checkpoint().unwrap();
 
     let mut rng = TestRng::new(0xBAD_C0DE);
     for _ in 0..200 {

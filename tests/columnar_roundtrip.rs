@@ -104,8 +104,9 @@ fn tombstone_compaction_keeps_columns_in_lockstep() {
             .collect();
 
         let before = table.len();
-        let removed =
-            table.remove_where(|row| row.get_i64(key_attr).unwrap().rem_euclid(modulus) == victim);
+        let removed = table
+            .remove_where(|row| row.get_i64(key_attr).unwrap().rem_euclid(modulus) == victim)
+            .unwrap();
         assert_eq!(before - removed, expected.len(), "{context}: removal count");
         assert_eq!(
             table.len(),
@@ -161,16 +162,18 @@ fn snapshot_restore_snapshot_is_a_fixed_point() {
             } else {
                 Value::Float(op as f64 * 1.5)
             };
-            table.set_attr(row, attr, value);
+            table.set_attr(row, attr, value).unwrap();
         }
         if rng.chance(2, 3) {
-            table.remove_where(|row| row.get_i64(0).unwrap() % 5 == 0);
+            table
+                .remove_where(|row| row.get_i64(0).unwrap() % 5 == 0)
+                .unwrap();
         }
 
-        let bytes = snapshot(table);
+        let bytes = snapshot(table).unwrap();
         let restored = restore(&bytes, table.schema()).expect("restore");
         assert_eq!(
-            snapshot(&restored),
+            snapshot(&restored).unwrap(),
             bytes,
             "{context}: snapshot → restore → snapshot is not a fixed point"
         );

@@ -211,10 +211,11 @@ fn generated_cases_agree_with_the_oracle_across_the_lattice() {
 fn the_lattice_covers_the_advertised_configurations() {
     let schema = sgl::battle::battle_schema();
     let configs = lattice(&schema);
-    // 3 thread counts × (1 naive + 3 policies × 2 backends + 1 cost-based)
-    // = 24, plus 7 register-bytecode VM entries (3 rebuild/layered threads,
-    // incremental/serial, adaptive/4t, 2 cost-based) = 31.
-    assert_eq!(configs.len(), 31);
+    // 3 thread counts × (1 naive + 3 policies × 2 backends + 1 cost-based
+    // + 1 forced-materialized) = 27, plus 10 register-bytecode VM entries
+    // (3 rebuild/layered threads, incremental/serial, adaptive/4t,
+    // 2 cost-based, 3 forced-materialized) = 37.
+    assert_eq!(configs.len(), 37);
     let labels: Vec<&str> = configs.iter().map(|(l, _)| l.as_str()).collect();
     for needle in [
         "naive/serial",
@@ -229,6 +230,12 @@ fn the_lattice_covers_the_advertised_configurations() {
         "compiled/adaptive/quadtree/4t",
         "compiled/costbased/w2/serial",
         "compiled/costbased/w2/4t",
+        "planned/materialized/serial",
+        "planned/materialized/2t",
+        "planned/materialized/4t",
+        "compiled/materialized/serial",
+        "compiled/materialized/2t",
+        "compiled/materialized/4t",
     ] {
         assert!(labels.contains(&needle), "missing {needle}: {labels:?}");
     }

@@ -216,3 +216,154 @@ fn recosting_happens_on_the_window_and_is_counted() {
         assert_eq!(cost.digest(), *expected, "tick {tick}");
     }
 }
+
+/// Regression for the EWMA decay-before-seed bug: a call site that goes
+/// idle decays its probe volume, and once the volume falls under the floor
+/// the site must revert to *unobserved* (priced from priors like a fresh
+/// site) instead of being costed from a vanishing-but-positive EWMA.  The
+/// old `probes > 0.0` proxy kept long-idle sites "observed" at microscopic
+/// volumes, skewing the first recost after an idle window.
+#[test]
+fn long_idle_windows_recost_from_priors_not_vanishing_ewmas() {
+    use sgl::exec::TickObservations;
+
+    let scen = scenario(300, 0.0004, 3);
+    let registry = sgl::battle::battle_registry();
+    let config = ExecConfig::cost_based(&scen.schema);
+    let constants = sgl::algebra::CostConstants::default();
+    let cardinality = scen.table.len();
+
+    let site_names: Vec<String> = plan_registry(&registry, &scen.table, &config)
+        .keys()
+        .cloned()
+        .collect();
+    assert!(!site_names.is_empty());
+
+    let decide = |stats: &RuntimeStats| {
+        let mut planned = plan_registry(&registry, &scen.table, &config);
+        choose_physical(&mut planned, stats, &constants, cardinality, true);
+        let mut out: Vec<(String, String, String)> = planned
+            .iter()
+            .filter_map(|(name, plan)| {
+                plan.choice.as_ref().map(|c| {
+                    (
+                        name.clone(),
+                        c.backend.label().to_string(),
+                        format!("{:?}", c.maintenance),
+                    )
+                })
+            })
+            .collect();
+        out.sort();
+        out
+    };
+
+    // Five live ticks seed every call site at the every-unit-probes volume
+    // (matching the unobserved prior, so the idle-window reversion to
+    // priors is decision-neutral by construction).
+    let mut stats = RuntimeStats::default();
+    for _ in 0..5 {
+        let mut obs = TickObservations::default();
+        for name in &site_names {
+            obs.record_probes(name, cardinality as u64);
+            obs.record_matched(name, 4);
+        }
+        stats.observe_tick(cardinality, 6, 10_000.0, None, &obs);
+    }
+    for name in &site_names {
+        assert!(stats.calls[name].have_probes, "{name} seeded");
+    }
+    let before_idle = decide(&stats);
+
+    // A long idle window: no site is probed for fifteen ticks.  The halving
+    // EWMA takes 300 under the 0.5 floor in ten ticks, so by now every
+    // site must have snapped back to unobserved — not to probes = 0.009.
+    for _ in 0..15 {
+        stats.observe_tick(cardinality, 6, 10_000.0, None, &TickObservations::default());
+    }
+    for name in &site_names {
+        let site = &stats.calls[name];
+        assert!(
+            !site.have_probes && site.probes == 0.0,
+            "{name}: idle window left a vanishing EWMA (probes {}, have_probes {})",
+            site.probes,
+            site.have_probes
+        );
+    }
+
+    // Unobserved sites are priced from priors, so the recost at the end of
+    // the idle window keeps every decision — the buggy `probes > 0.0` proxy
+    // priced them at microscopic volumes and flipped sites back to
+    // per-tick scans/rebuilds.
+    assert_eq!(
+        decide(&stats),
+        before_idle,
+        "recost after an idle window must not flip decisions"
+    );
+}
+
+/// The planner only materializes per-subscription answers when the delta
+/// stream is calm: under heavy churn, patching every stored answer against
+/// every delta dominates, and the cost model must walk away from the
+/// materialized class on every call site.
+#[test]
+fn high_churn_worlds_never_materialize_answers() {
+    use sgl::exec::TickObservations;
+
+    let scen = scenario(300, 0.0004, 3);
+    let registry = sgl::battle::battle_registry();
+    let config = ExecConfig::cost_based(&scen.schema);
+    let constants = sgl::algebra::CostConstants::default();
+    let cardinality = scen.table.len();
+
+    let site_names: Vec<String> = plan_registry(&registry, &scen.table, &config)
+        .keys()
+        .cloned()
+        .collect();
+
+    let decisions_at = |changed_rows: usize| {
+        let mut stats = RuntimeStats::default();
+        for _ in 0..5 {
+            let mut obs = TickObservations::default();
+            for name in &site_names {
+                obs.record_probes(name, 60);
+                obs.record_matched(name, 4);
+            }
+            stats.observe_tick(cardinality, changed_rows, 10_000.0, None, &obs);
+        }
+        let mut planned = plan_registry(&registry, &scen.table, &config);
+        choose_physical(&mut planned, &stats, &constants, cardinality, true);
+        planned
+    };
+
+    // Every row churning every tick: no site may hold a materialized answer.
+    let hot = decisions_at(cardinality);
+    for (name, plan) in &hot {
+        if let Some(choice) = &plan.choice {
+            assert_ne!(
+                choice.backend,
+                sgl::algebra::PhysicalBackend::Materialized,
+                "{name}: materialized answers under full churn"
+            );
+        }
+    }
+
+    // A calm world (nobody moves) is where materialization pays: the same
+    // probe profile must materialize at least one divisible/min-max site.
+    let calm = decisions_at(0);
+    let materialized = calm
+        .values()
+        .filter(|p| {
+            p.choice
+                .as_ref()
+                .is_some_and(|c| c.backend == sgl::algebra::PhysicalBackend::Materialized)
+        })
+        .count();
+    assert!(
+        materialized > 0,
+        "calm world materialized nothing: {:?}",
+        calm.iter()
+            .map(|(n, p)| (n.clone(), p.choice.as_ref().map(|c| c.backend.label())))
+            .collect::<Vec<_>>()
+    );
+}

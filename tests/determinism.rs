@@ -89,13 +89,13 @@ fn snapshots_preserve_mid_battle_state_exactly() {
     let mut sim = scenario.build_simulation(ExecMode::Indexed);
     sim.run(4).unwrap();
 
-    let bytes = snapshot(sim.table());
+    let bytes = snapshot(sim.table()).unwrap();
     let restored = restore(&bytes, sim.table().schema()).expect("snapshot restores");
     assert_eq!(StateDigest::of_table(&restored), sim.digest());
     assert_eq!(restored.len(), sim.table().len());
 
     // The snapshot must also be bit-stable: saving twice gives the same bytes.
-    assert_eq!(bytes, snapshot(sim.table()));
+    assert_eq!(bytes, snapshot(sim.table()).unwrap());
 }
 
 #[test]

@@ -94,7 +94,7 @@ fn write_checkpoint(name: &str) -> Vec<u8> {
         sim.step()
             .unwrap_or_else(|e| panic!("{name}: writer tick {tick} failed: {e}"));
     }
-    sim.checkpoint()
+    sim.checkpoint().unwrap()
 }
 
 fn blessing() -> bool {

@@ -44,8 +44,8 @@ fn assert_tables_identical(a: &EnvTable, b: &EnvTable, context: &str) {
         );
     }
     assert_eq!(
-        snapshot(a),
-        snapshot(b),
+        snapshot(a).unwrap(),
+        snapshot(b).unwrap(),
         "{context}: snapshot bytes diverged — the encoding leaked page-residency state"
     );
 }
@@ -80,7 +80,7 @@ fn apply_random_op(rng: &mut TestRng, tables: &mut [&mut EnvTable; 2], op_no: us
             let attr = 1 + rng.below(arity - 1);
             let value = Value::Float(-(op_no as f64));
             for t in tables.iter_mut() {
-                t.set_attr(row, attr, value.clone());
+                t.set_attr(row, attr, value.clone()).unwrap();
             }
         }
         // Tombstone + compaction: remove a slice of the key space.
@@ -103,9 +103,9 @@ fn apply_random_op(rng: &mut TestRng, tables: &mut [&mut EnvTable; 2], op_no: us
         _ => {
             for t in tables.iter_mut() {
                 if rng.chance(1, 2) {
-                    t.ensure_resident();
+                    t.ensure_resident().unwrap();
                 } else {
-                    t.enforce_page_budget();
+                    t.enforce_page_budget().unwrap();
                 }
             }
         }
@@ -128,7 +128,7 @@ fn seeded_mutation_interleavings_match_ram_and_spill() {
         // operation crosses the eviction path.
         let spill = Arc::new(SpillPageManager::new(2).expect("spill file"));
         let mut spilled = rebuild_on(&world.table, spill);
-        spilled.enforce_page_budget();
+        spilled.enforce_page_budget().unwrap();
 
         let mut rng = TestRng::new(seed ^ 0xFA57_F00D);
         for op_no in 0..60 {
@@ -172,7 +172,7 @@ fn budget_boundary_cases_stay_deterministic() {
     for budget in [1usize, total_pages, total_pages + 50] {
         let pager = Arc::new(SpillPageManager::new(budget).expect("spill file"));
         let mut table = rebuild_on(&world.table, pager);
-        let evicted = table.enforce_page_budget();
+        let evicted = table.enforce_page_budget().unwrap();
         let stats = table.memory_stats();
         assert!(
             stats.resident_pages <= budget,
@@ -187,12 +187,12 @@ fn budget_boundary_cases_stay_deterministic() {
         assert_tables_identical(&ram, &table, &format!("budget {budget}"));
         // A second enforcement pass is idempotent.
         assert_eq!(
-            table.enforce_page_budget(),
+            table.enforce_page_budget().unwrap(),
             0,
             "budget {budget} not idempotent"
         );
         // Fault everything back in: contents unchanged, nothing spilled.
-        table.ensure_resident();
+        table.ensure_resident().unwrap();
         assert_eq!(table.memory_stats().spilled_pages, 0);
         assert_tables_identical(&ram, &table, &format!("budget {budget} after fault-in"));
     }
@@ -245,15 +245,15 @@ fn snapshots_survive_a_spill_restart_cycle() {
     let pager = Arc::new(SpillPageManager::new(2).expect("spill file"));
     let spill_path = pager.path().to_path_buf();
     let mut table = rebuild_on(&world.table, pager);
-    table.enforce_page_budget();
-    let bytes = snapshot(&table);
+    table.enforce_page_budget().unwrap();
+    let bytes = snapshot(&table).unwrap();
     let schema = Arc::clone(table.schema());
     drop(table);
     assert!(!spill_path.exists(), "spill file must die with its tables");
 
     let restored = restore(&bytes, &schema).expect("restore after restart");
     assert_eq!(
-        snapshot(&restored),
+        snapshot(&restored).unwrap(),
         bytes,
         "re-snapshot after a spill restart drifted"
     );
@@ -291,8 +291,8 @@ fn engine_checkpoints_are_byte_identical_with_spill_on_and_off() {
             "seed {seed}: the spill run never crossed the eviction path"
         );
         assert_eq!(
-            sim_ram.checkpoint(),
-            sim_spill.checkpoint(),
+            sim_ram.checkpoint().unwrap(),
+            sim_spill.checkpoint().unwrap(),
             "seed {seed}: checkpoint bytes depend on the page manager"
         );
     }

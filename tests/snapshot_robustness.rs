@@ -46,7 +46,7 @@ fn sample_world(seed: u64, units: usize) -> sgl_testkit::GeneratedWorld {
 #[test]
 fn snapshot_restore_survives_seeded_corruption() {
     let world = sample_world(0xF1, 60);
-    let bytes = snapshot(&world.table).to_vec();
+    let bytes = snapshot(&world.table).unwrap().to_vec();
     let mut rng = TestRng::new(0xFA22);
 
     // Bit flips: every one must yield a typed error.
@@ -77,7 +77,7 @@ fn snapshot_restore_survives_seeded_corruption() {
         }
         let mutated = fix_checksum(mutated);
         if let Ok(table) = restore(&mutated, world.table.schema()) {
-            let again = snapshot(&table);
+            let again = snapshot(&table).unwrap();
             let back = restore(&again, world.table.schema()).expect("re-snapshot restores");
             assert_eq!(StateDigest::of_table(&back), StateDigest::of_table(&table));
         }
@@ -97,7 +97,7 @@ fn checkpoint_reader_survives_seeded_corruption() {
     for _ in 0..3 {
         sim.step().unwrap();
     }
-    let bytes = sim.checkpoint();
+    let bytes = sim.checkpoint().unwrap();
     assert!(CheckpointReader::parse(&bytes).is_ok());
 
     let mut rng = TestRng::new(0xCC02);
@@ -151,7 +151,7 @@ fn round_trip_sweep_over_generated_worlds() {
         let units = rng.in_range(1, 120);
         let world = sample_world(seed.wrapping_mul(0x9E37).wrapping_add(3), units);
         let table = &world.table;
-        let bytes = snapshot(table);
+        let bytes = snapshot(table).unwrap();
         let restored = restore(&bytes, table.schema()).unwrap_or_else(|e| {
             panic!(
                 "seed {seed}: {} world of {} units failed to restore: {e}",
@@ -160,7 +160,7 @@ fn round_trip_sweep_over_generated_worlds() {
             )
         });
         assert_eq!(
-            snapshot(&restored),
+            snapshot(&restored).unwrap(),
             bytes,
             "seed {seed}: re-snapshot must be byte-identical"
         );

@@ -60,3 +60,67 @@ fn long_horizon_soak_with_seeded_checkpoints() {
         }
     }
 }
+
+/// Materialized-class soak: a churn-heavy world (deaths + resurrection
+/// moving units every tick) runs the force-materialized configuration in
+/// lockstep with the oracle interpreter for the whole horizon, with a
+/// checkpoint/resume in the middle.  Digests must stay bit-identical
+/// through heavy support invalidation — min/max answers whose supporting
+/// extremum died must recompute, never serve a stale fold.
+#[test]
+fn materialized_soak_under_support_invalidation_churn() {
+    use sgl::exec::{ExecConfig, PlannerMode};
+    use sgl_testkit::ConformanceCase;
+
+    let ticks = (tick_budget() / 2).max(40);
+    for seed in [4u64, 6] {
+        let mut case = ConformanceCase::generate_sized(seed, 24, 96);
+        case.ticks = ticks;
+        case.resurrect = true; // deaths respawn and keep the churn going
+        let schema = case.world.schema.clone();
+
+        let mat_config =
+            ExecConfig::cost_based(&schema).with_planner(PlannerMode::ForceMaterialized);
+        let mut oracle = case.build(ExecConfig::oracle(&schema));
+        let mut mat = case.build(mat_config);
+
+        let mut serves = 0usize;
+        let mut invalidations = 0usize;
+        let mut deaths = 0usize;
+        let split = ticks / 2;
+        for tick in 0..ticks {
+            oracle.step().expect("oracle tick");
+            let report = mat.step().expect("materialized tick");
+            serves += report.exec.materialized_serves;
+            invalidations += mat.index_manager().last_maint.mat_invalidated;
+            deaths += report.deaths;
+            assert_eq!(
+                mat.digest(),
+                oracle.digest(),
+                "seed {seed}: materialized diverged from oracle at tick {tick}"
+            );
+            if tick + 1 == split {
+                // Mid-soak process boundary: the answer store is not in the
+                // checkpoint and must be rebuilt by the resumed simulation.
+                let bytes = mat.checkpoint().expect("checkpoint serializes");
+                let mut resumed = case.build(mat_config);
+                resumed.resume(&bytes, mat_config).expect("resume");
+                assert_eq!(resumed.digest(), mat.digest(), "seed {seed}: resume");
+                mat = resumed;
+            }
+        }
+        eprintln!(
+            "materialized soak seed {seed}: {ticks} ticks · {serves} O(1) serves · \
+             {invalidations} support invalidations · {deaths} deaths"
+        );
+        assert!(
+            serves > 0,
+            "seed {seed}: no materialized answer ever served"
+        );
+        assert!(deaths > 0, "seed {seed}: the world never churned");
+        assert!(
+            invalidations > 0,
+            "seed {seed}: churn never invalidated a stored answer"
+        );
+    }
+}
